@@ -1,0 +1,82 @@
+//! Macro-benchmarks: one end-to-end kernel per paper experiment, so
+//! regressions in any experiment's critical path show up in CI.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use wcs_core::designs::DesignPoint;
+use wcs_core::evaluate::Evaluator;
+use wcs_memshare::slowdown::{estimate_slowdown, SlowdownConfig};
+use wcs_platforms::{catalog, PlatformId};
+use wcs_simserver::{run_batch, ServerSpec};
+use wcs_tco::TcoModel;
+use wcs_workloads::perf::{measure_perf, MeasureConfig};
+use wcs_workloads::service::PlatformDemand;
+use wcs_workloads::{suite, WorkloadId};
+
+/// Figure 1 / Table 2 kernel: pricing a platform.
+fn bench_fig1_tco(c: &mut Criterion) {
+    let model = TcoModel::paper_default();
+    let p = catalog::platform(PlatformId::Srvr1);
+    c.bench_function("fig1_server_tco", |b| {
+        b.iter(|| black_box(model.server_tco(&p)))
+    });
+}
+
+/// Figure 2 kernel: one QoS throughput search (websearch on emb1).
+fn bench_fig2_cell(c: &mut Criterion) {
+    let wl = suite::workload(WorkloadId::Websearch);
+    let p = catalog::platform(PlatformId::Emb1);
+    let cfg = MeasureConfig::quick();
+    c.bench_function("fig2_websearch_emb1", |b| {
+        b.iter(|| black_box(measure_perf(&wl, &p, &cfg).unwrap().value))
+    });
+}
+
+/// Figure 2 kernel (batch): one mapreduce job.
+fn bench_fig2_batch(c: &mut Criterion) {
+    let wl = suite::workload(WorkloadId::MapredWc);
+    let p = catalog::platform(PlatformId::Desk);
+    let demand = PlatformDemand::new(&wl, &p);
+    c.bench_function("fig2_mapred_batch_256", |b| {
+        b.iter(|| {
+            black_box(run_batch(
+                ServerSpec::new(2),
+                demand.tasks(256),
+                8,
+            ))
+        })
+    });
+}
+
+/// Figure 4 kernel: one slowdown estimate (trace replay + conversion).
+/// Uses a shortened trace; the full-length version runs in the fig4 bin.
+fn bench_fig4_slowdown(c: &mut Criterion) {
+    let cfg = SlowdownConfig {
+        fill: 300_000,
+        measured: 300_000,
+        ..SlowdownConfig::paper_default()
+    };
+    c.bench_function("fig4_websearch_slowdown", |b| {
+        b.iter(|| black_box(estimate_slowdown(WorkloadId::Websearch, &cfg)))
+    });
+}
+
+/// Figure 5 kernel: a full design-point evaluation (N1, quick settings).
+fn bench_fig5_design_eval(c: &mut Criterion) {
+    let eval = Evaluator::quick();
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    group.bench_function("evaluate_n1_quick", |b| {
+        b.iter(|| black_box(eval.evaluate(&DesignPoint::n1()).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig1_tco,
+    bench_fig2_cell,
+    bench_fig2_batch,
+    bench_fig4_slowdown,
+    bench_fig5_design_eval
+);
+criterion_main!(benches);

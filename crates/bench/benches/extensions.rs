@@ -1,0 +1,86 @@
+//! Benchmarks of the extension substrates: FTL churn, ensemble blade
+//! runs, cluster simulation, and the open-loop driver.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use wcs_flashcache::ftl::Ftl;
+use wcs_memshare::ensemble::{run_ensemble, ServerConfig};
+use wcs_memshare::link::RemoteLink;
+use wcs_memshare::policy::PolicyKind;
+use wcs_simcore::{SimDuration, SimRng};
+use wcs_simserver::{run_open_loop, Cluster, Resource, ServerSpec, Stage};
+use wcs_workloads::WorkloadId;
+
+fn bench_ftl_churn(c: &mut Criterion) {
+    c.bench_function("ftl_random_overwrite_10k", |b| {
+        b.iter(|| {
+            let mut ftl = Ftl::new(16, 64, 0.15);
+            let n = ftl.logical_pages();
+            let mut rng = SimRng::seed_from(3);
+            for _ in 0..10_000 {
+                ftl.write(rng.index(n as usize) as u32);
+            }
+            black_box(ftl.write_amplification())
+        })
+    });
+}
+
+fn bench_ensemble(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ensemble");
+    group.sample_size(10);
+    group.bench_function("four_servers_200k_accesses", |b| {
+        b.iter(|| {
+            black_box(run_ensemble(
+                &vec![ServerConfig::paper_default(WorkloadId::Websearch); 4],
+                RemoteLink::pcie_x4(),
+                PolicyKind::Random,
+                200_000,
+                7,
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_cluster(c: &mut Criterion) {
+    c.bench_function("cluster_8_servers_8k_requests", |b| {
+        b.iter(|| {
+            let mut src = |rng: &mut SimRng| {
+                vec![Stage::new(
+                    Resource::Cpu,
+                    rng.exp_duration(SimDuration::from_micros(800)),
+                )]
+            };
+            black_box(
+                Cluster::ideal(ServerSpec::new(2), 8)
+                    .run_closed_loop(&mut src, 32, 500, 8000, 11)
+                    .throughput_rps(),
+            )
+        })
+    });
+}
+
+fn bench_open_loop(c: &mut Criterion) {
+    c.bench_function("open_loop_10k_arrivals", |b| {
+        b.iter(|| {
+            let mut src = |rng: &mut SimRng| {
+                vec![Stage::new(
+                    Resource::Cpu,
+                    rng.exp_duration(SimDuration::from_micros(900)),
+                )]
+            };
+            black_box(
+                run_open_loop(ServerSpec::new(2), &mut src, 1500.0, 500, 10_000, 13)
+                    .throughput_rps(),
+            )
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_ftl_churn,
+    bench_ensemble,
+    bench_cluster,
+    bench_open_loop
+);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Benchmarks of the storage system (Table 3's engine): flash-cache
+//! replay throughput with and without flash.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use wcs_flashcache::system::StorageSystem;
+use wcs_platforms::storage::{DiskModel, FlashModel};
+use wcs_workloads::disktrace::{params_for, DiskTraceGen};
+use wcs_workloads::WorkloadId;
+
+fn bench_replay(c: &mut Criterion) {
+    c.bench_function("storage_replay_disk_only_50k", |b| {
+        b.iter(|| {
+            let mut sys = StorageSystem::disk_only(DiskModel::laptop_remote());
+            let mut gen = DiskTraceGen::new(params_for(WorkloadId::Ytube), 3);
+            black_box(sys.replay(&mut gen, 50_000))
+        })
+    });
+    c.bench_function("storage_replay_with_flash_50k", |b| {
+        b.iter(|| {
+            let mut sys =
+                StorageSystem::with_flash(DiskModel::laptop_remote(), FlashModel::table3());
+            let mut gen = DiskTraceGen::new(params_for(WorkloadId::Ytube), 3);
+            black_box(sys.replay(&mut gen, 50_000))
+        })
+    });
+}
+
+criterion_group!(benches, bench_replay);
+criterion_main!(benches);

@@ -1,0 +1,198 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! * activity factor 0.5-1.0 (the paper: "qualitatively similar"),
+//! * electricity tariff $50-$170/MWh (the paper's quoted range),
+//! * replacement policy and local-memory fraction for the memory blade,
+//! * flash-cache capacity sweep,
+//! * N2 with and without each of its three techniques.
+//!
+//! Run with `cargo run --release -p wcs-bench --bin ablation`.
+
+use wcs_core::designs::{CoolingConfig, DesignPoint};
+use wcs_core::evaluate::Evaluator;
+use wcs_flashcache::system::StorageSystem;
+use wcs_memshare::policy::PolicyKind;
+use wcs_memshare::slowdown::{estimate_slowdown, SlowdownConfig};
+use wcs_platforms::storage::{DiskModel, FlashModel};
+use wcs_platforms::future::TechTrend;
+use wcs_platforms::{catalog, PlatformId};
+use wcs_tco::sensitivity::component_leverage;
+use wcs_tco::{BurdenedParams, Efficiency, TcoModel};
+use wcs_workloads::disktrace::{params_for, DiskTraceGen};
+use wcs_workloads::WorkloadId;
+
+fn main() {
+    activity_factor_sweep();
+    tariff_sweep();
+    component_leverage_ranking();
+    local_fraction_sweep();
+    flash_capacity_sweep();
+    n2_technique_ablation();
+    future_projection();
+}
+
+/// Does emb1's advantage persist as technology scales? (Section 3.4:
+/// "we expect these trends to hold into the future as well".)
+fn future_projection() {
+    println!("\nAblation: technology projection (emb1-class platform vs srvr1, Perf/TCO-$)");
+    let eval = Evaluator::quick();
+    let base = eval
+        .evaluate(&DesignPoint::baseline_srvr1())
+        .expect("baseline");
+    for years in [0.0, 2.0, 4.0] {
+        let platform = TechTrend::vintage_2008()
+            .project_platform(&catalog::platform(PlatformId::Emb1), years);
+        let mut design = DesignPoint::baseline(PlatformId::Emb1);
+        design.platform = platform;
+        design.name = format!("emb1+{years:.0}yr");
+        match eval.evaluate(&design) {
+            Ok(e) => println!(
+                "  +{years:.0} years: HMean Perf/TCO-$ {:>4.0}% (HW ${:.0})",
+                e.compare(&base).hmean(|r| r.perf_per_tco) * 100.0,
+                e.report.inf_usd()
+            ),
+            Err(err) => println!("  +{years:.0} years: {err}"),
+        }
+    }
+    println!("  (srvr1 held fixed; in reality it scales too — the point is that the");
+    println!("   embedded platform's lead widens as memory cost, its dominant BOM line,");
+    println!("   commoditizes fastest.)");
+}
+
+/// Which component should a designer attack next? (Figure 1(b)'s
+/// holistic-design argument, quantified.)
+fn component_leverage_ranking() {
+    println!("\nAblation: component leverage on srvr2 TCO (10% improvement each)");
+    let model = TcoModel::paper_default();
+    let lv = component_leverage(&model, &catalog::platform(PlatformId::Srvr2), 0.10);
+    for l in lv {
+        println!(
+            "  {:<14} cost {:>5.2}%  power {:>5.2}%  total {:>5.2}%",
+            l.component.to_string(),
+            l.cost_leverage * 100.0,
+            l.power_leverage * 100.0,
+            l.total() * 100.0
+        );
+    }
+}
+
+/// Does the emb1-vs-srvr1 TCO advantage survive the activity-factor
+/// range? (Section 2.2: "we also studied a range of activity factors
+/// from 0.5 to 1.0 and our results are qualitatively similar".)
+fn activity_factor_sweep() {
+    println!("Ablation: activity factor (emb1 Perf/TCO-$ vs srvr1 at fixed rel perf 27%)");
+    for af in [0.5, 0.625, 0.75, 0.875, 1.0] {
+        let burdened = BurdenedParams::paper_default().with_activity_factor(af);
+        let model = TcoModel::new(Default::default(), burdened);
+        let base = Efficiency::new(1.0, model.server_tco(&catalog::platform(PlatformId::Srvr1)));
+        let emb1 = Efficiency::new(0.27, model.server_tco(&catalog::platform(PlatformId::Emb1)));
+        println!(
+            "  AF {af:>5}: Perf/TCO-$ {:>4.0}%",
+            emb1.relative_to(&base).perf_per_tco * 100.0
+        );
+    }
+}
+
+/// The paper quotes a $50-$170/MWh tariff range around its $100 default.
+fn tariff_sweep() {
+    println!("\nAblation: electricity tariff (srvr1 3-yr P&C and total)");
+    for tariff in [50.0, 100.0, 170.0] {
+        let burdened = BurdenedParams::paper_default().with_tariff(tariff);
+        let model = TcoModel::new(Default::default(), burdened);
+        let r = model.server_tco(&catalog::platform(PlatformId::Srvr1));
+        println!(
+            "  ${tariff:>3}/MWh: P&C ${:>5.0}, total ${:>5.0} ({:.0}% of TCO is P&C)",
+            r.pc_usd(),
+            r.total_usd(),
+            r.pc_usd() / r.total_usd() * 100.0
+        );
+    }
+}
+
+/// Local-memory fraction and policy sweep for the memory blade.
+fn local_fraction_sweep() {
+    println!("\nAblation: memory-blade local fraction x policy (websearch slowdown %)");
+    print!("  {:<8}", "local");
+    for p in [PolicyKind::Lru, PolicyKind::Clock, PolicyKind::Random] {
+        print!("{:>8}", format!("{p:?}"));
+    }
+    println!();
+    for frac in [0.5, 0.25, 0.125, 0.0625] {
+        print!("  {:<8}", format!("{:.1}%", frac * 100.0));
+        for policy in [PolicyKind::Lru, PolicyKind::Clock, PolicyKind::Random] {
+            let r = estimate_slowdown(
+                WorkloadId::Websearch,
+                &SlowdownConfig {
+                    local_fraction: frac,
+                    policy,
+                    ..SlowdownConfig::paper_default()
+                },
+            );
+            print!("{:>7.2}%", r.slowdown * 100.0);
+        }
+        println!();
+    }
+}
+
+/// Flash-cache capacity sweep: mean service time for the ytube stream on
+/// the remote laptop disk.
+fn flash_capacity_sweep() {
+    println!("\nAblation: flash capacity (ytube on remote laptop disk)");
+    let bare = {
+        let mut sys = StorageSystem::disk_only(DiskModel::laptop_remote());
+        let mut gen = DiskTraceGen::new(params_for(WorkloadId::Ytube), 1);
+        sys.replay(&mut gen, 80_000).mean_service_secs()
+    };
+    println!("  no flash: {:.2} ms/IO", bare * 1e3);
+    for gb in [0.25, 0.5, 1.0, 2.0, 4.0] {
+        let mut sys =
+            StorageSystem::with_flash(DiskModel::laptop_remote(), FlashModel::scaled(gb));
+        let mut gen = DiskTraceGen::new(params_for(WorkloadId::Ytube), 1);
+        let stats = sys.replay(&mut gen, 80_000);
+        println!(
+            "  {gb:>4} GB: {:.2} ms/IO (hit ratio {:.0}%, ${:.0})",
+            stats.mean_service_secs() * 1e3,
+            stats.hit_ratio() * 100.0,
+            FlashModel::scaled(gb).price_usd
+        );
+    }
+}
+
+/// N2 with each technique removed: which contributes what?
+fn n2_technique_ablation() {
+    println!("\nAblation: N2 technique contributions (HMean Perf/TCO-$ vs srvr1)");
+    let eval = Evaluator::quick();
+    let base = eval
+        .evaluate(&DesignPoint::baseline_srvr1())
+        .expect("baseline");
+
+    let mut variants: Vec<(&str, DesignPoint)> = Vec::new();
+    variants.push(("N2 (full)", DesignPoint::n2()));
+    let mut no_mem = DesignPoint::n2();
+    no_mem.memshare = None;
+    no_mem.name = "N2 - memshare".into();
+    variants.push(("N2 without memory blade", no_mem));
+    let mut no_storage = DesignPoint::n2();
+    no_storage.storage = None;
+    no_storage.name = "N2 - storage".into();
+    variants.push(("N2 without flash/laptop disks", no_storage));
+    let mut no_cooling = DesignPoint::n2();
+    no_cooling.cooling = CoolingConfig::conventional();
+    no_cooling.name = "N2 - cooling".into();
+    variants.push(("N2 without new packaging", no_cooling));
+    variants.push(("emb1 alone", DesignPoint::baseline(PlatformId::Emb1)));
+
+    for (label, design) in variants {
+        match eval.evaluate(&design) {
+            Ok(e) => {
+                let cmp = e.compare(&base);
+                println!(
+                    "  {:<32} {:>5.0}%",
+                    label,
+                    cmp.hmean(|r| r.perf_per_tco) * 100.0
+                );
+            }
+            Err(err) => println!("  {label:<32} infeasible: {err}"),
+        }
+    }
+}

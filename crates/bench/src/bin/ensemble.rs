@@ -1,0 +1,75 @@
+//! The ensemble study: several servers sharing one memory blade, with
+//! allocation enforcement and PCIe link contention — Section 3.4's
+//! mechanisms operating together, plus the page-sharing and hybrid-blade
+//! extensions.
+//!
+//! Run with `cargo run --release -p wcs-bench --bin ensemble`.
+
+use wcs_memshare::ensemble::{run_ensemble, ServerConfig};
+use wcs_memshare::hybrid::HybridBlade;
+use wcs_memshare::link::RemoteLink;
+use wcs_memshare::pageshare::{dedup_scan, ContentProfile};
+use wcs_memshare::policy::PolicyKind;
+use wcs_workloads::WorkloadId;
+
+fn main() {
+    println!("Ensemble: servers sharing one memory blade (websearch, 25% local)");
+    println!(
+        "{:>8} {:>10} {:>12} {:>14} {:>16}",
+        "servers", "link util", "queueing us", "slowdown", "(isolated est.)"
+    );
+    for n in [2usize, 4, 8, 12, 16] {
+        let configs = vec![ServerConfig::paper_default(WorkloadId::Websearch); n];
+        let out = run_ensemble(&configs, RemoteLink::pcie_x4(), PolicyKind::Random, 600_000, 7);
+        println!(
+            "{:>8} {:>9.0}% {:>12.2} {:>13.2}% {:>15}",
+            n,
+            out.link_utilization * 100.0,
+            out.link_queueing_secs * 1e6,
+            out.worst_slowdown() * 100.0,
+            "~5.3%"
+        );
+    }
+
+    println!("\nMixed ensemble (one of each service + mapred-wc):");
+    let configs = vec![
+        ServerConfig::paper_default(WorkloadId::Websearch),
+        ServerConfig::paper_default(WorkloadId::Webmail),
+        ServerConfig::paper_default(WorkloadId::Ytube),
+        ServerConfig::paper_default(WorkloadId::MapredWc),
+    ];
+    let out = run_ensemble(&configs, RemoteLink::pcie_x4(), PolicyKind::Random, 800_000, 11);
+    for s in &out.servers {
+        println!(
+            "  {:<12} miss {:>5.1}%  {:>7.0} faults/s  slowdown {:>5.2}%",
+            s.workload.label(),
+            s.miss_ratio * 100.0,
+            s.faults_per_cpu_sec,
+            s.slowdown * 100.0
+        );
+    }
+
+    println!("\nContent-based page sharing across the ensemble (homogeneous stack):");
+    for n in [1u32, 4, 16, 64] {
+        let r = dedup_scan(&ContentProfile::homogeneous_stack(), n, 50_000, 3);
+        println!(
+            "  {n:>3} servers: {:>9} logical pages -> {:>9} physical ({:.0}% saved)",
+            r.logical_pages,
+            r.physical_pages,
+            r.saving() * 100.0
+        );
+    }
+
+    println!("\nDRAM/flash hybrid blade (websearch's 4.7% all-DRAM slowdown):");
+    for (dram, hits) in [(1.0, 1.0), (0.75, 0.97), (0.5, 0.90), (0.25, 0.75)] {
+        let h = HybridBlade::new(dram, hits, RemoteLink::pcie_x4());
+        println!(
+            "  {:>3.0}% DRAM ({:>3.0}% warm hits): slowdown {:>5.1}%  capacity cost {:>4.0}%  power {:>4.0}%",
+            dram * 100.0,
+            hits * 100.0,
+            0.047 * h.slowdown_scale() * 100.0,
+            h.relative_capacity_cost() * 100.0,
+            h.relative_power() * 100.0
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! Regenerates Figure 1 of the paper: the cost model detail table for
+//! srvr1/srvr2 (a) and the srvr2 TCO breakdown (b).
+//!
+//! Run with `cargo run --release -p wcs-bench --bin fig1`.
+
+use wcs_platforms::{catalog, Component, PlatformId};
+use wcs_tco::TcoModel;
+
+fn main() {
+    let model = TcoModel::paper_default();
+    let srvr1 = catalog::platform(PlatformId::Srvr1);
+    let srvr2 = catalog::platform(PlatformId::Srvr2);
+    let r1 = model.server_tco(&srvr1);
+    let r2 = model.server_tco(&srvr2);
+
+    println!("Figure 1(a): cost model detail (paper values: srvr1 $5,758, srvr2 $3,249)");
+    println!("{:<22} {:>10} {:>10}", "detail", "srvr1", "srvr2");
+    let comp = [
+        Component::Cpu,
+        Component::Memory,
+        Component::Disk,
+        Component::BoardMgmt,
+        Component::PowerFans,
+    ];
+    for c in comp {
+        println!(
+            "{:<22} {:>10.0} {:>10.0}",
+            format!("{c} cost ($)"),
+            srvr1.component_cost(c),
+            srvr2.component_cost(c)
+        );
+    }
+    println!(
+        "{:<22} {:>10.0} {:>10.0}",
+        "Per-server cost ($)",
+        srvr1.hardware_cost_usd(),
+        srvr2.hardware_cost_usd()
+    );
+    for c in comp {
+        println!(
+            "{:<22} {:>10.0} {:>10.0}",
+            format!("{c} power (W)"),
+            srvr1.component_power(c),
+            srvr2.component_power(c)
+        );
+    }
+    println!(
+        "{:<22} {:>10.0} {:>10.0}",
+        "Server power (W)",
+        srvr1.max_power_w(),
+        srvr2.max_power_w()
+    );
+    let b = &model.burdened;
+    println!(
+        "{:<22} {:>10} {:>10}",
+        "K1 / L1 / K2",
+        format!("{}/{}/{}", b.k1, b.l1, b.k2),
+        ""
+    );
+    println!(
+        "{:<22} {:>10.2} {:>10.2}",
+        "Activity factor", b.activity_factor, b.activity_factor
+    );
+    println!(
+        "{:<22} {:>10.0} {:>10.0}",
+        "3-yr power & cooling ($)",
+        r1.pc_usd(),
+        r2.pc_usd()
+    );
+    println!(
+        "{:<22} {:>10.0} {:>10.0}",
+        "Total costs ($)",
+        r1.total_usd(),
+        r2.total_usd()
+    );
+
+    println!("\nFigure 1(b): srvr2 TCO breakdown (% of total)");
+    println!("{:<14} {:>8} {:>8}", "component", "HW %", "P&C %");
+    for c in [
+        Component::Cpu,
+        Component::Memory,
+        Component::Disk,
+        Component::BoardMgmt,
+        Component::PowerFans,
+        Component::RackSwitch,
+    ] {
+        println!(
+            "{:<14} {:>7.1}% {:>7.1}%",
+            c.to_string(),
+            r2.hw_fraction(c) * 100.0,
+            r2.pc_fraction(c) * 100.0
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! Regenerates Figure 2 of the paper: cost/power breakdowns per platform
+//! (a, b) and the relative performance / efficiency grid (c).
+//!
+//! Run with `cargo run --release -p wcs-bench --bin fig2`.
+
+use wcs_platforms::{catalog, Component, PlatformId};
+use wcs_simcore::stats::harmonic_mean;
+use wcs_tco::{Efficiency, TcoModel};
+use wcs_workloads::perf::{measure_perf, MeasureConfig};
+use wcs_workloads::{suite, WorkloadId};
+
+fn main() {
+    let model = TcoModel::paper_default();
+    let platforms = catalog::all();
+
+    println!("Figure 2(a): infrastructure cost breakdown per server ($)");
+    print!("{:<12}", "component");
+    for p in &platforms {
+        print!("{:>9}", p.name);
+    }
+    println!();
+    for c in [
+        Component::Cpu,
+        Component::Memory,
+        Component::Disk,
+        Component::BoardMgmt,
+        Component::PowerFans,
+        Component::RackSwitch,
+    ] {
+        print!("{:<12}", c.to_string());
+        for p in &platforms {
+            let r = model.server_tco(p);
+            print!("{:>9.0}", r.line(c).map_or(0.0, |l| l.hw_usd));
+        }
+        println!();
+    }
+
+    println!("\nFigure 2(b): burdened 3-yr P&C cost breakdown per server ($)");
+    print!("{:<12}", "component");
+    for p in &platforms {
+        print!("{:>9}", p.name);
+    }
+    println!();
+    for c in [
+        Component::Cpu,
+        Component::Memory,
+        Component::Disk,
+        Component::BoardMgmt,
+        Component::PowerFans,
+        Component::RackSwitch,
+    ] {
+        print!("{:<12}", c.to_string());
+        for p in &platforms {
+            let r = model.server_tco(p);
+            print!("{:>9.0}", r.line(c).map_or(0.0, |l| l.pc_usd));
+        }
+        println!();
+    }
+
+    println!("\nFigure 2(c): performance and efficiencies relative to srvr1 (%)");
+    let cfg = MeasureConfig::default_accuracy();
+    let ids = [
+        PlatformId::Srvr1,
+        PlatformId::Srvr2,
+        PlatformId::Desk,
+        PlatformId::Mobl,
+        PlatformId::Emb1,
+        PlatformId::Emb2,
+    ];
+
+    // perf[workload][platform]
+    let mut perf = Vec::new();
+    for w in WorkloadId::ALL {
+        let wl = suite::workload(w);
+        let row: Vec<f64> = ids
+            .iter()
+            .map(|&id| {
+                measure_perf(&wl, &catalog::platform(id), &cfg)
+                    .map(|r| r.value)
+                    .unwrap_or(f64::NAN)
+            })
+            .collect();
+        perf.push(row);
+    }
+
+    for (metric, f) in [
+        ("Perf", 0usize),
+        ("Perf/Inf-$", 1),
+        ("Perf/W", 2),
+        ("Perf/TCO-$", 3),
+    ] {
+        println!("\n  {metric}");
+        print!("  {:<12}", "workload");
+        for id in &ids[1..] {
+            print!("{:>8}", id.label());
+        }
+        println!();
+        let mut cols: Vec<Vec<f64>> = vec![Vec::new(); ids.len() - 1];
+        for (wi, w) in WorkloadId::ALL.iter().enumerate() {
+            print!("  {:<12}", w.label());
+            let base = Efficiency::new(
+                perf[wi][0],
+                model.server_tco(&catalog::platform(ids[0])),
+            );
+            for (pi, &id) in ids[1..].iter().enumerate() {
+                let e = Efficiency::new(perf[wi][pi + 1], model.server_tco(&catalog::platform(id)));
+                let rel = e.relative_to(&base);
+                let v = match f {
+                    0 => rel.perf,
+                    1 => rel.perf_per_inf,
+                    2 => rel.perf_per_watt,
+                    _ => rel.perf_per_tco,
+                };
+                cols[pi].push(v);
+                print!("{:>8.0}", v * 100.0);
+            }
+            println!();
+        }
+        print!("  {:<12}", "HMean");
+        for col in &cols {
+            let h = harmonic_mean(col).unwrap_or(f64::NAN);
+            print!("{:>8.0}", h * 100.0);
+        }
+        println!();
+    }
+}

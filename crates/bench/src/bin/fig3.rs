@@ -1,0 +1,86 @@
+//! Regenerates Figure 3's claims: cooling efficiency and rack density of
+//! the dual-entry and microblade packaging designs.
+//!
+//! Run with `cargo run --release -p wcs-bench --bin fig3`.
+
+use wcs_cooling::datacenter::fleet_footprint;
+use wcs_cooling::thermal::{Conductor, HeatSink, ThermalPath};
+use wcs_cooling::transient::{simulate_transient, FanController, ThermalNode};
+use wcs_cooling::{EnclosureDesign, RackGeometry};
+
+fn main() {
+    let rack = RackGeometry::standard_42u();
+    let designs = [
+        EnclosureDesign::conventional_1u(),
+        EnclosureDesign::dual_entry(),
+        EnclosureDesign::microblade(),
+    ];
+
+    println!("Figure 3: packaging and cooling designs");
+    println!(
+        "{:<32} {:>9} {:>12} {:>12} {:>12} {:>10}",
+        "design", "W/system", "fan W/sys", "heat/fan-W", "gain vs 1U", "sys/rack"
+    );
+    for d in &designs {
+        let sol = d.solution(&rack);
+        println!(
+            "{:<32} {:>9.0} {:>12.2} {:>12.1} {:>11.2}x {:>10}",
+            d.name,
+            d.system_power_w,
+            d.fan_power_per_system_w(),
+            d.cooling_efficiency(),
+            sol.efficiency_gain,
+            sol.systems_per_rack
+        );
+    }
+    println!("\n(paper targets: ~2x and ~4x efficiency; 320 and ~1250 systems/rack)");
+
+    // Figure 3(b): the aggregated heat path keeps a 25 W module cool.
+    println!("\nAggregated heat removal: junction temperatures for a 25 W module");
+    let sink = HeatSink::new(0.35, 0.02);
+    let hp = ThermalPath::new(vec![Conductor::heat_pipe(0.12, 2.4e-4)], sink);
+    let cu = ThermalPath::new(vec![Conductor::copper(0.12, 2.4e-4)], sink);
+    println!(
+        "  planar heat pipe (3x copper): {:>5.1} C",
+        hp.junction_temp_c(25.0, 35.0, 0.02)
+    );
+    println!(
+        "  copper spreader:              {:>5.1} C",
+        cu.junction_temp_c(25.0, 35.0, 0.02)
+    );
+
+    // Thermal transient: a load step on a microblade module.
+    println!("\nTransient: 10 W -> 25 W load step on a microblade module");
+    let node = ThermalNode::new(0.8, 60.0);
+    let trace = simulate_transient(
+        node,
+        FanController::typical(),
+        |t| if t < 120.0 { 10.0 } else { 25.0 },
+        0.5,
+        1200,
+    );
+    for &i in &[0usize, 239, 300, 600, 1199] {
+        let s = trace[i];
+        println!(
+            "  t={:>5.0}s  rise {:>5.1} K  fan {:>4.0}%",
+            s.t_secs,
+            s.rise_k,
+            s.fan_speed * 100.0
+        );
+    }
+
+    // Datacenter footprint for a 10k-server fleet.
+    println!("\nFleet footprint (10,000 systems):");
+    for d in &designs {
+        let f = fleet_footprint(d, &rack, 10_000);
+        println!(
+            "  {:<32} {:>5} racks  {:>7.0} kW IT  {:>6.1} kW fans  {:>7.0} kW CRAC  PUE(mech) {:.2}",
+            d.name,
+            f.racks,
+            f.it_kw,
+            f.fan_kw,
+            f.crac_kw,
+            f.mechanical_pue()
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! Regenerates Figure 5 of the paper: cost and power efficiencies of the
+//! two unified designs (N1, N2) relative to the srvr1 baseline, plus the
+//! Section 3.6 comparisons against srvr2 and desk.
+//!
+//! Run with `cargo run --release -p wcs-bench --bin fig5`
+//! (add `-- srvr2` or `-- desk` for the alternate baselines).
+
+use wcs_core::designs::DesignPoint;
+use wcs_core::evaluate::Evaluator;
+use wcs_core::report::render_comparison;
+use wcs_platforms::PlatformId;
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "srvr1".into());
+    let baseline_id = match arg.as_str() {
+        "srvr1" => PlatformId::Srvr1,
+        "srvr2" => PlatformId::Srvr2,
+        "desk" => PlatformId::Desk,
+        other => {
+            eprintln!("unknown baseline {other}; use srvr1, srvr2, or desk");
+            std::process::exit(2);
+        }
+    };
+
+    let eval = Evaluator::paper_default();
+    let baseline = eval
+        .evaluate(&DesignPoint::baseline(baseline_id))
+        .expect("baseline evaluates");
+
+    for design in [DesignPoint::n1(), DesignPoint::n2()] {
+        let e = eval.evaluate(&design).expect("design evaluates");
+        println!("{}", render_comparison(&e.compare(&baseline)));
+        println!(
+            "  ({}: {} systems/rack, {:.0} W/server nameplate, ${:.0} HW)",
+            e.name,
+            e.systems_per_rack,
+            e.report.power_w(),
+            e.report.inf_usd()
+        );
+        println!();
+    }
+}

@@ -1,0 +1,66 @@
+//! Generates a complete markdown report of the reproduction: scorecard,
+//! per-design evaluations, and the headline comparisons — suitable for
+//! `cargo run --release -p wcs-bench --bin report > REPORT.md`.
+
+use wcs_core::designs::DesignPoint;
+use wcs_core::evaluate::Evaluator;
+use wcs_core::report::{render_comparison, render_eval_markdown};
+use wcs_core::validate::run_scorecard;
+use wcs_platforms::PlatformId;
+
+fn main() {
+    let accurate = std::env::args().any(|a| a == "--accurate");
+    let eval = if accurate {
+        Evaluator::paper_default()
+    } else {
+        Evaluator::quick()
+    };
+
+    println!("# wcs reproduction report\n");
+    println!(
+        "Lim et al., *Understanding and Designing New Server Architectures for \
+         Emerging Warehouse-Computing Environments*, ISCA 2008.\n"
+    );
+
+    // Scorecard.
+    println!("## Scorecard\n");
+    println!("| anchor | check | paper | measured | status |");
+    println!("|---|---|---:|---:|---|");
+    let card = run_scorecard(&eval);
+    for c in &card.checks {
+        println!(
+            "| {} | {} | {:.3} | {:.3} | {} |",
+            c.anchor,
+            c.what,
+            c.paper,
+            c.measured,
+            if c.pass() { "PASS" } else { "**FAIL**" }
+        );
+    }
+    println!("\n{}/{} checks pass\n", card.passed(), card.checks.len());
+
+    // Headline comparisons.
+    let base = eval
+        .evaluate(&DesignPoint::baseline_srvr1())
+        .expect("baseline evaluates");
+    println!("## Unified designs vs srvr1\n");
+    for design in [DesignPoint::n1(), DesignPoint::n2()] {
+        let e = eval.evaluate(&design).expect("design evaluates");
+        println!("```text");
+        print!("{}", render_comparison(&e.compare(&base)));
+        println!("```");
+    }
+
+    // Per-design detail.
+    println!("\n## Design details\n");
+    for id in [PlatformId::Srvr1, PlatformId::Emb1] {
+        let e = eval
+            .evaluate(&DesignPoint::baseline(id))
+            .expect("baseline evaluates");
+        println!("{}", render_eval_markdown(&e));
+    }
+    for design in [DesignPoint::n1(), DesignPoint::n2()] {
+        let e = eval.evaluate(&design).expect("design evaluates");
+        println!("{}", render_eval_markdown(&e));
+    }
+}

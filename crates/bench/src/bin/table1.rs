@@ -1,0 +1,50 @@
+//! Prints Table 1 of the paper: the benchmark-suite summary.
+//!
+//! Run with `cargo run --release -p wcs-bench --bin table1`.
+
+use wcs_workloads::{suite, Metric};
+
+fn main() {
+    println!("Table 1: the warehouse-computing benchmark suite");
+    println!(
+        "{:<12} {:<38} {:<18} description",
+        "workload", "emphasizes", "perf metric"
+    );
+    for w in suite::all() {
+        let metric = match w.metric {
+            Metric::ThroughputQos(q) => format!(
+                "RPS w/ QoS (p{:.0} < {:.1}s)",
+                q.percentile,
+                q.bound.as_secs_f64()
+            ),
+            Metric::Batch { tasks, .. } => format!("exec time ({tasks} tasks)"),
+        };
+        println!(
+            "{:<12} {:<38} {:<18} {}",
+            w.id.label(),
+            w.emphasizes,
+            metric,
+            w.description
+        );
+    }
+
+    println!("\nDemand models (calibrated against Figure 2(c); see EXPERIMENTS.md):");
+    println!(
+        "{:<12} {:>12} {:>7} {:>8} {:>9} {:>9} {:>10} {:>10}",
+        "workload", "cpu GHz-s", "sigma", "cache-s", "ws MiB", "IOs/req", "IO bytes", "net bytes"
+    );
+    for w in suite::all() {
+        let d = &w.demand;
+        println!(
+            "{:<12} {:>12.5} {:>7.3} {:>8.3} {:>9.2} {:>9.4} {:>10.0} {:>10.0}",
+            w.id.label(),
+            d.cpu_ghz_s,
+            d.sigma,
+            d.cache_sensitivity,
+            d.cache_ws_mib,
+            d.io_per_req,
+            d.io_bytes,
+            d.net_bytes
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! Regenerates Table 2 of the paper: the six platforms with their
+//! features, power, and infrastructure cost.
+//!
+//! Run with `cargo run --release -p wcs-bench --bin table2`.
+
+use wcs_platforms::catalog;
+
+fn main() {
+    println!("Table 2: systems considered");
+    println!(
+        "{:<7} {:<34} {:<46} {:>6} {:>7}",
+        "system", "similar to", "features", "Watt", "Inf-$"
+    );
+    let switch = catalog::switch_share();
+    for p in catalog::all() {
+        println!(
+            "{:<7} {:<34} {:<46} {:>6.0} {:>7.0}",
+            p.name,
+            p.cpu.name,
+            format!(
+                "{}p x {} cores, {:.1} GHz, {}, {}K/{} L1/L2",
+                p.cpu.sockets,
+                p.cpu.cores_per_socket,
+                p.cpu.freq_ghz,
+                p.cpu.microarch,
+                p.cpu.l1_kib,
+                if p.cpu.l2_kib >= 1024 {
+                    format!("{}MB", p.cpu.l2_kib / 1024)
+                } else {
+                    format!("{}K", p.cpu.l2_kib)
+                }
+            ),
+            p.max_power_w(),
+            p.hardware_cost_usd() + switch.cost_usd
+        );
+    }
+    println!("\n(Inf-$ includes the ${:.2} per-server rack-switch share.)", switch.cost_usd);
+}

@@ -1,0 +1,58 @@
+//! Regenerates Table 3 of the paper: flash/disk parameters (a) and the
+//! disk-alternative efficiency study (b).
+//!
+//! Run with `cargo run --release -p wcs-bench --bin table3`.
+
+use wcs_flashcache::study::{run_disk_study, DiskScenario};
+use wcs_platforms::storage::FlashModel;
+use wcs_workloads::perf::MeasureConfig;
+
+fn main() {
+    println!("Table 3(a): flash and disk parameters");
+    let flash = FlashModel::table3();
+    println!(
+        "  {:<12} {:>10} {:>22} {:>10} {:>8} {:>7}",
+        "device", "bandwidth", "access time", "capacity", "power", "price"
+    );
+    println!(
+        "  {:<12} {:>8} {:>22} {:>10} {:>8} {:>7}",
+        "flash",
+        format!("{} MB/s", flash.bandwidth_mbs),
+        format!(
+            "{}us r / {}us w / {}ms e",
+            flash.read_us, flash.write_us, flash.erase_ms
+        ),
+        format!("{} GB", flash.capacity_gb),
+        format!("{} W", flash.power_w),
+        format!("${}", flash.price_usd)
+    );
+    for scenario in DiskScenario::all() {
+        let d = &scenario.disk;
+        println!(
+            "  {:<12} {:>8} {:>22} {:>10} {:>8} {:>7}",
+            d.name,
+            format!("{} MB/s", d.bandwidth_mbs),
+            format!("{} ms avg ({})", d.avg_access_ms, d.location),
+            format!("{} GB", d.capacity_gb),
+            format!("{} W", d.power_w),
+            format!("${}", d.price_usd)
+        );
+    }
+
+    println!("\nTable 3(b): net cost and power efficiencies on emb1 (HMean across suite)");
+    println!(
+        "  {:<28} {:>7} {:>12} {:>8} {:>12}",
+        "disk type", "Perf", "Perf/Inf-$", "Perf/W", "Perf/TCO-$"
+    );
+    for row in run_disk_study(&MeasureConfig::default_accuracy()) {
+        println!(
+            "  {:<28} {:>6.0}% {:>11.0}% {:>7.0}% {:>11.0}%",
+            row.name,
+            row.perf * 100.0,
+            row.perf_per_inf * 100.0,
+            row.perf_per_watt * 100.0,
+            row.perf_per_tco * 100.0
+        );
+    }
+    println!("  (paper: laptop 93/100/96; +flash 99/109/104; laptop-2+flash 110/109/110)");
+}

@@ -1,0 +1,40 @@
+//! Prints the reproduction scorecard: every paper anchor, paper vs
+//! measured, pass/fail.
+//!
+//! Run with `cargo run --release -p wcs-bench --bin validate`
+//! (`-- --accurate` for full-accuracy simulation).
+
+use wcs_core::evaluate::Evaluator;
+use wcs_core::validate::run_scorecard;
+
+fn main() {
+    let accurate = std::env::args().any(|a| a == "--accurate");
+    let eval = if accurate {
+        Evaluator::paper_default()
+    } else {
+        Evaluator::quick()
+    };
+    let card = run_scorecard(&eval);
+    println!(
+        "{:<10} {:<48} {:>10} {:>10} {:>7}",
+        "anchor", "check", "paper", "measured", "status"
+    );
+    for c in &card.checks {
+        println!(
+            "{:<10} {:<48} {:>10.3} {:>10.3} {:>7}",
+            c.anchor,
+            c.what,
+            c.paper,
+            c.measured,
+            if c.pass() { "PASS" } else { "FAIL" }
+        );
+    }
+    println!(
+        "\n{}/{} checks pass",
+        card.passed(),
+        card.checks.len()
+    );
+    if !card.all_pass() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,20 @@
+//! Benchmark harness crate: binaries regenerating every table and figure
+//! of the paper, plus Criterion micro/macro benches.
+//!
+//! Binaries (run with `cargo run --release -p wcs-bench --bin <name>`):
+//!
+//! | binary   | regenerates |
+//! |----------|-------------|
+//! | `table1` | Table 1 — benchmark suite summary |
+//! | `fig1`   | Figure 1 — cost model and breakdowns |
+//! | `table2` | Table 2 — the six platforms |
+//! | `fig2`   | Figure 2 — per-platform efficiency grid |
+//! | `fig3`   | Figure 3 — cooling designs |
+//! | `fig4`   | Figure 4 — memory blade slowdowns and provisioning |
+//! | `table3` | Table 3 — flash disk caching study |
+//! | `fig5`   | Figure 5 — unified N1/N2 designs |
+//! | `ablation` | sensitivity studies (activity factor, tariff, policy, flash size, N2 pieces) |
+//! | `sweeps`  | design-space sweeps (local fraction, flash capacity, platform axis) |
+//! | `ensemble`| multi-server blade study: contention, page sharing, hybrid blades |
+//! | `report`  | full markdown reproduction report (scorecard + designs) |
+//! | `validate`| the reproduction scorecard: every paper anchor, pass/fail |

@@ -1,0 +1,72 @@
+//! Smoke tests: every figure/table binary runs and prints its anchors.
+//!
+//! These protect the regeneration harness itself — a binary that panics
+//! or silently drops a section would otherwise only be noticed manually.
+
+use std::process::Command;
+
+fn run(bin: &str, args: &[&str]) -> String {
+    let out = Command::new(bin).args(args).output().expect("binary runs");
+    assert!(out.status.success(), "{bin} exited with {:?}", out.status);
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn table1_prints_suite() {
+    let s = run(env!("CARGO_BIN_EXE_table1"), &[]);
+    for needle in ["websearch", "webmail", "ytube", "mapred-wc", "mapred-wr", "QoS"] {
+        assert!(s.contains(needle), "missing {needle}");
+    }
+}
+
+#[test]
+fn fig1_prints_exact_totals() {
+    let s = run(env!("CARGO_BIN_EXE_fig1"), &[]);
+    assert!(s.contains("5758"), "srvr1 total");
+    assert!(s.contains("3249") || s.contains("3250"), "srvr2 total");
+    assert!(s.contains("K1 / L1 / K2"));
+}
+
+#[test]
+fn table2_prints_six_platforms() {
+    let s = run(env!("CARGO_BIN_EXE_table2"), &[]);
+    for p in ["srvr1", "srvr2", "desk", "mobl", "emb1", "emb2"] {
+        assert!(s.contains(p), "missing {p}");
+    }
+    assert!(s.contains("3294"), "srvr1 Inf-$ with switch share");
+}
+
+#[test]
+fn fig3_prints_density_and_gains() {
+    let s = run(env!("CARGO_BIN_EXE_fig3"), &[]);
+    assert!(s.contains("320"));
+    assert!(s.contains("1280"));
+    assert!(s.contains("PUE"));
+    assert!(s.contains("heat pipe"));
+}
+
+#[test]
+fn fig4_prints_slowdown_rows() {
+    let s = run(env!("CARGO_BIN_EXE_fig4"), &[]);
+    assert!(s.contains("PCIe x4"));
+    assert!(s.contains("CBF"));
+    assert!(s.contains("static"));
+    assert!(s.contains("dynamic"));
+}
+
+#[test]
+fn ensemble_prints_contention_table() {
+    let s = run(env!("CARGO_BIN_EXE_ensemble"), &[]);
+    assert!(s.contains("link util"));
+    assert!(s.contains("DRAM/flash hybrid"));
+    assert!(s.contains("page sharing"));
+}
+
+#[test]
+fn fig5_rejects_unknown_baseline() {
+    let out = Command::new(env!("CARGO_BIN_EXE_fig5"))
+        .arg("nonsense")
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+}

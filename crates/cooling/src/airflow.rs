@@ -1,0 +1,174 @@
+//! Duct airflow and fan-power model.
+//!
+//! First-order physics: air absorbs heat according to `Q = m_dot * c_p *
+//! dT`; pushing that air through the chassis costs `P_fan = dP * V_dot /
+//! eta`. The pressure drop has a duct-friction part growing with flow
+//! length and a fixed component part (heat-sink fins, grills, filters),
+//! both quadratic in air velocity:
+//!
+//! ```text
+//! dP = (C_L * L + C_comp) * v^2
+//! ```
+//!
+//! Serial front-to-back airflow additionally pre-heats downstream
+//! components, forcing more air per watt (the `preheat_factor`); the
+//! dual-entry design's parallel paths eliminate that.
+
+/// Density of air at ~35 C inlet, kg/m^3.
+pub const AIR_DENSITY: f64 = 1.15;
+/// Specific heat of air, J/(kg K).
+pub const AIR_CP: f64 = 1006.0;
+/// Duct friction coefficient, Pa / (m * (m/s)^2). Calibrated so a
+/// conventional 1U server at ~300 W needs a realistic ~15-40 W of fan
+/// power.
+pub const DUCT_FRICTION: f64 = 1.0;
+
+/// A forced-air cooling path through a chassis.
+///
+/// # Example
+/// ```
+/// use wcs_cooling::airflow::AirPath;
+/// let path = AirPath::new(0.7, 10.0, 12.0, 1.5, 0.6);
+/// let fan_w = path.fan_power_w(300.0, 0.25);
+/// assert!((5.0..60.0).contains(&fan_w));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct AirPath {
+    /// Flow length through heat-producing sections, in meters.
+    pub flow_length_m: f64,
+    /// Design air velocity through the channel, m/s. Denser packaging
+    /// needs faster air through narrower channels.
+    pub velocity_ms: f64,
+    /// Usable air temperature rise in kelvin (inlet to exhaust).
+    pub usable_dt_k: f64,
+    /// Pre-heat factor: 1.0 = fully parallel (no pre-heat); serial
+    /// designs need proportionally more flow because downstream parts see
+    /// hotter air.
+    pub preheat_factor: f64,
+    /// Fixed component loss coefficient (heat sinks, grills, filters),
+    /// Pa / (m/s)^2. A single shared optimized heat sink has a lower
+    /// coefficient than many small ones.
+    pub component_drop: f64,
+}
+
+impl AirPath {
+    /// Creates an air path.
+    ///
+    /// # Panics
+    /// Panics if any parameter is non-positive or non-finite.
+    pub fn new(
+        flow_length_m: f64,
+        velocity_ms: f64,
+        usable_dt_k: f64,
+        preheat_factor: f64,
+        component_drop: f64,
+    ) -> Self {
+        for v in [flow_length_m, velocity_ms, usable_dt_k, preheat_factor, component_drop] {
+            assert!(v.is_finite() && v > 0.0, "air path parameters must be > 0");
+        }
+        AirPath {
+            flow_length_m,
+            velocity_ms,
+            usable_dt_k,
+            preheat_factor,
+            component_drop,
+        }
+    }
+
+    /// Volumetric airflow (m^3/s) required to remove `heat_w` watts.
+    ///
+    /// # Panics
+    /// Panics if `heat_w` is negative or non-finite.
+    pub fn required_flow_m3s(&self, heat_w: f64) -> f64 {
+        assert!(heat_w.is_finite() && heat_w >= 0.0);
+        self.preheat_factor * heat_w / (AIR_DENSITY * AIR_CP * self.usable_dt_k)
+    }
+
+    /// Pressure drop (Pa) at the design velocity.
+    pub fn pressure_drop_pa(&self) -> f64 {
+        (DUCT_FRICTION * self.flow_length_m + self.component_drop)
+            * self.velocity_ms
+            * self.velocity_ms
+    }
+
+    /// Fan electrical power (W) to remove `heat_w` with fan efficiency
+    /// `eta` (wire-to-air, typically 0.2-0.3).
+    ///
+    /// # Panics
+    /// Panics unless `eta` is in `(0, 1]`.
+    pub fn fan_power_w(&self, heat_w: f64, eta: f64) -> f64 {
+        assert!(eta > 0.0 && eta <= 1.0, "fan efficiency in (0,1]");
+        self.pressure_drop_pa() * self.required_flow_m3s(heat_w) / eta
+    }
+
+    /// Cooling efficiency: watts of heat removed per watt of fan power.
+    /// Independent of `heat_w` in this model, so it takes only `eta`.
+    pub fn cooling_efficiency(&self, eta: f64) -> f64 {
+        let fan_per_watt = self.fan_power_w(1.0, eta);
+        1.0 / fan_per_watt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conventional() -> AirPath {
+        // 1U pizza box: ~0.7 m front-to-back, serial path with pre-heat,
+        // many small heat sinks.
+        AirPath::new(0.7, 10.0, 12.0, 1.5, 0.6)
+    }
+
+    fn directed() -> AirPath {
+        // Dual-entry vertical path: ~0.25 m, fully parallel, faster air
+        // through narrower blade channels.
+        AirPath::new(0.25, 12.0, 15.0, 1.0, 0.6)
+    }
+
+    #[test]
+    fn fan_power_in_realistic_range() {
+        let fan = conventional().fan_power_w(300.0, 0.25);
+        assert!((5.0..60.0).contains(&fan), "fan {fan} W");
+    }
+
+    #[test]
+    fn directed_airflow_roughly_doubles_efficiency() {
+        let gain = directed().cooling_efficiency(0.25) / conventional().cooling_efficiency(0.25);
+        assert!((1.7..=2.6).contains(&gain), "gain {gain} should be ~2x");
+    }
+
+    #[test]
+    fn flow_scales_with_heat_and_preheat() {
+        let p = conventional();
+        assert!((p.required_flow_m3s(200.0) - 2.0 * p.required_flow_m3s(100.0)).abs() < 1e-12);
+        let parallel = AirPath::new(0.7, 10.0, 12.0, 1.0, 0.6);
+        assert!(p.required_flow_m3s(100.0) > parallel.required_flow_m3s(100.0));
+    }
+
+    #[test]
+    fn pressure_quadratic_in_velocity() {
+        let slow = AirPath::new(0.5, 5.0, 12.0, 1.0, 0.5);
+        let fast = AirPath::new(0.5, 10.0, 12.0, 1.0, 0.5);
+        assert!((fast.pressure_drop_pa() / slow.pressure_drop_pa() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shorter_path_lower_drop() {
+        let long = AirPath::new(0.7, 10.0, 12.0, 1.0, 0.6);
+        let short = AirPath::new(0.25, 10.0, 12.0, 1.0, 0.6);
+        assert!(short.pressure_drop_pa() < long.pressure_drop_pa());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be > 0")]
+    fn rejects_bad_params() {
+        AirPath::new(0.0, 10.0, 12.0, 1.0, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "fan efficiency")]
+    fn rejects_bad_eta() {
+        conventional().fan_power_w(100.0, 0.0);
+    }
+}

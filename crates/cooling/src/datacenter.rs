@@ -1,0 +1,106 @@
+//! Datacenter-level roll-up: racks, power, and cooling load for a fleet.
+//!
+//! The paper's motivation is datacenter-scale ("the datacenter
+//! infrastructure is often the largest capital and operating expense");
+//! this module turns a packaging design plus a fleet size into floor
+//! space and cooling load, including the CRAC (computer-room air
+//! conditioner) electricity that the burdened-cost model's `L1` term
+//! prices.
+
+use crate::enclosure::{EnclosureDesign, RackGeometry};
+
+/// A datacenter sizing result for one packaging design.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FleetFootprint {
+    /// Number of racks.
+    pub racks: u32,
+    /// Total IT power (servers only), kW.
+    pub it_kw: f64,
+    /// Total fan power inside the enclosures, kW.
+    pub fan_kw: f64,
+    /// CRAC electricity to remove the IT + fan heat, kW.
+    pub crac_kw: f64,
+    /// Floor area at the given rack pitch, square meters.
+    pub floor_m2: f64,
+}
+
+impl FleetFootprint {
+    /// Power usage effectiveness of the mechanical side alone:
+    /// (IT + fan + CRAC) / IT.
+    pub fn mechanical_pue(&self) -> f64 {
+        (self.it_kw + self.fan_kw + self.crac_kw) / self.it_kw
+    }
+}
+
+/// Coefficient of performance of the cooling plant: watts of heat moved
+/// per watt of CRAC electricity. Patel's chip-to-datacenter work uses
+/// values around 1.2-1.5 for conventional raised-floor rooms.
+pub const CRAC_COP: f64 = 1.25;
+
+/// Floor area per rack including aisle share, square meters.
+pub const RACK_PITCH_M2: f64 = 2.5;
+
+/// Sizes the datacenter footprint for `servers` systems packaged with
+/// `design`.
+///
+/// # Panics
+/// Panics if `servers` is zero.
+pub fn fleet_footprint(design: &EnclosureDesign, rack: &RackGeometry, servers: u32) -> FleetFootprint {
+    assert!(servers > 0, "fleet needs at least one server");
+    let per_rack = design.systems_per_rack(rack).max(1);
+    let racks = servers.div_ceil(per_rack);
+    let it_kw = servers as f64 * design.system_power_w / 1000.0;
+    let fan_kw = servers as f64 * design.fan_power_per_system_w() / 1000.0;
+    let crac_kw = (it_kw + fan_kw) / CRAC_COP;
+    FleetFootprint {
+        racks,
+        it_kw,
+        fan_kw,
+        crac_kw,
+        floor_m2: racks as f64 * RACK_PITCH_M2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn denser_packaging_needs_fewer_racks() {
+        let rack = RackGeometry::standard_42u();
+        let conv = fleet_footprint(&EnclosureDesign::conventional_1u(), &rack, 10_000);
+        let dual = fleet_footprint(&EnclosureDesign::dual_entry(), &rack, 10_000);
+        let micro = fleet_footprint(&EnclosureDesign::microblade(), &rack, 10_000);
+        assert!(dual.racks < conv.racks / 4);
+        assert!(micro.racks < dual.racks);
+        assert!(micro.floor_m2 < conv.floor_m2 / 10.0);
+    }
+
+    #[test]
+    fn pue_improves_with_better_packaging() {
+        let rack = RackGeometry::standard_42u();
+        let conv = fleet_footprint(&EnclosureDesign::conventional_1u(), &rack, 1_000);
+        let micro = fleet_footprint(&EnclosureDesign::microblade(), &rack, 1_000);
+        assert!(micro.mechanical_pue() < conv.mechanical_pue());
+        assert!(conv.mechanical_pue() > 1.5, "CRAC + fans are a real tax");
+        assert!(conv.mechanical_pue() < 2.5, "but not absurd");
+    }
+
+    #[test]
+    fn rack_count_rounds_up() {
+        let rack = RackGeometry::standard_42u();
+        let f = fleet_footprint(&EnclosureDesign::conventional_1u(), &rack, 41);
+        assert_eq!(f.racks, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn rejects_empty_fleet() {
+        fleet_footprint(
+            &EnclosureDesign::conventional_1u(),
+            &RackGeometry::standard_42u(),
+            0,
+        );
+    }
+}

@@ -1,0 +1,208 @@
+//! Enclosure designs, rack density, and the cooling solutions the
+//! unified designs consume.
+
+use crate::airflow::AirPath;
+
+/// Physical geometry of a rack.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RackGeometry {
+    /// Total rack units.
+    pub total_u: u32,
+    /// Rack units reserved for power distribution and top-of-rack
+    /// switching.
+    pub reserved_u: u32,
+}
+
+impl RackGeometry {
+    /// A standard 42U rack with 2U reserved.
+    pub fn standard_42u() -> Self {
+        RackGeometry {
+            total_u: 42,
+            reserved_u: 2,
+        }
+    }
+
+    /// Rack units available for compute enclosures.
+    pub fn usable_u(&self) -> u32 {
+        self.total_u.saturating_sub(self.reserved_u)
+    }
+}
+
+impl Default for RackGeometry {
+    fn default() -> Self {
+        Self::standard_42u()
+    }
+}
+
+/// One of the paper's enclosure/packaging design points.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct EnclosureDesign {
+    /// Human-readable name.
+    pub name: String,
+    /// Height of one enclosure in rack units.
+    pub enclosure_u: u32,
+    /// Independently cooled systems per enclosure.
+    pub systems_per_enclosure: u32,
+    /// Power budget per system, watts.
+    pub system_power_w: f64,
+    /// The airflow path through one system.
+    pub air_path: AirPath,
+    /// Wire-to-air fan efficiency.
+    pub fan_eta: f64,
+}
+
+impl EnclosureDesign {
+    /// Conventional rack of 1U "pizza box" servers: one server per 1U,
+    /// serial front-to-back airflow with pre-heat (the paper's baseline,
+    /// 40 servers per rack).
+    pub fn conventional_1u() -> Self {
+        EnclosureDesign {
+            name: "conventional 1U".into(),
+            enclosure_u: 1,
+            systems_per_enclosure: 1,
+            system_power_w: 300.0,
+            air_path: AirPath::new(0.7, 10.0, 12.0, 1.5, 0.6),
+            fan_eta: 0.25,
+        }
+    }
+
+    /// Dual-entry 5U enclosure with directed (vertical, parallel)
+    /// airflow: 40 blades of 75 W each, inserted front and back onto a
+    /// midplane (Figure 3(a)). Eight enclosures fill a 42U rack for 320
+    /// systems.
+    pub fn dual_entry() -> Self {
+        EnclosureDesign {
+            name: "dual-entry directed airflow".into(),
+            enclosure_u: 5,
+            systems_per_enclosure: 40,
+            system_power_w: 75.0,
+            air_path: AirPath::new(0.25, 12.0, 15.0, 1.0, 0.6),
+            fan_eta: 0.25,
+        }
+    }
+
+    /// Microblade carriers with aggregated heat removal (Figure 3(b)):
+    /// four 25 W modules per carrier blade, heat piped to one shared
+    /// sink; carriers live in a dual-entry enclosure. ~1250+ systems per
+    /// rack.
+    pub fn microblade() -> Self {
+        EnclosureDesign {
+            name: "microblade aggregated cooling".into(),
+            enclosure_u: 5,
+            systems_per_enclosure: 160, // 40 carriers x 4 modules
+            system_power_w: 25.0,
+            // The shared optimized sink gives a single short channel
+            // with a lower component loss coefficient and no pre-heat.
+            air_path: AirPath::new(0.20, 11.0, 15.0, 1.0, 0.3),
+            fan_eta: 0.25,
+        }
+    }
+
+    /// Cooling efficiency: heat watts removed per fan watt, at the
+    /// design's per-system power budget.
+    pub fn cooling_efficiency(&self) -> f64 {
+        self.air_path.cooling_efficiency(self.fan_eta)
+    }
+
+    /// Fan power per system, watts.
+    pub fn fan_power_per_system_w(&self) -> f64 {
+        self.air_path.fan_power_w(self.system_power_w, self.fan_eta)
+    }
+
+    /// Systems per rack under the given geometry.
+    pub fn systems_per_rack(&self, rack: &RackGeometry) -> u32 {
+        (rack.usable_u() / self.enclosure_u) * self.systems_per_enclosure
+    }
+
+    /// Summarizes this design as a [`CoolingSolution`] relative to the
+    /// conventional baseline.
+    pub fn solution(&self, rack: &RackGeometry) -> CoolingSolution {
+        let base = EnclosureDesign::conventional_1u();
+        let gain = self.cooling_efficiency() / base.cooling_efficiency();
+        CoolingSolution {
+            name: self.name.clone(),
+            efficiency_gain: gain,
+            cooling_scale: 1.0 / gain,
+            systems_per_rack: self.systems_per_rack(rack),
+        }
+    }
+}
+
+/// The cooling outputs the TCO pipeline consumes.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CoolingSolution {
+    /// Design name.
+    pub name: String,
+    /// Cooling efficiency relative to the conventional baseline
+    /// (2.0 = twice the heat removed per fan watt).
+    pub efficiency_gain: f64,
+    /// Scale factor to apply to the burdened cooling terms (L1, and with
+    /// it K2·L1): the reciprocal of the efficiency gain.
+    pub cooling_scale: f64,
+    /// Achievable density, systems per rack.
+    pub systems_per_rack: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_rack_holds_40() {
+        let rack = RackGeometry::standard_42u();
+        let conv = EnclosureDesign::conventional_1u();
+        assert_eq!(conv.systems_per_rack(&rack), 40);
+    }
+
+    #[test]
+    fn dual_entry_hits_320_per_rack() {
+        let rack = RackGeometry::standard_42u();
+        assert_eq!(EnclosureDesign::dual_entry().systems_per_rack(&rack), 320);
+    }
+
+    #[test]
+    fn microblade_hits_1250_plus_per_rack() {
+        let rack = RackGeometry::standard_42u();
+        let n = EnclosureDesign::microblade().systems_per_rack(&rack);
+        assert!(n >= 1250, "microblade density {n}");
+    }
+
+    #[test]
+    fn dual_entry_doubles_cooling_efficiency() {
+        let sol = EnclosureDesign::dual_entry().solution(&RackGeometry::standard_42u());
+        assert!(
+            (1.9..=3.5).contains(&sol.efficiency_gain),
+            "dual-entry gain {} should be ~2x",
+            sol.efficiency_gain
+        );
+    }
+
+    #[test]
+    fn microblade_quadruples_cooling_efficiency() {
+        let sol = EnclosureDesign::microblade().solution(&RackGeometry::standard_42u());
+        assert!(
+            sol.efficiency_gain >= 3.5,
+            "microblade gain {} should be ~4x",
+            sol.efficiency_gain
+        );
+    }
+
+    #[test]
+    fn cooling_scale_is_reciprocal() {
+        let sol = EnclosureDesign::dual_entry().solution(&RackGeometry::standard_42u());
+        assert!((sol.cooling_scale * sol.efficiency_gain - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fan_power_reasonable() {
+        // A 75 W blade should not need more than a few watts of fan.
+        let w = EnclosureDesign::dual_entry().fan_power_per_system_w();
+        assert!(w < 10.0, "fan {w} W");
+        // And the 300 W pizza box needs much more in total.
+        let conv = EnclosureDesign::conventional_1u().fan_power_per_system_w();
+        assert!(conv > w);
+    }
+}

@@ -1,0 +1,45 @@
+//! Packaging and cooling models (Section 3.3 / Figure 3 of the paper).
+//!
+//! The paper proposes two packaging innovations and claims they improve
+//! cooling efficiency by roughly 2x and 4x while enabling much denser
+//! racks (320 and ~1250 systems per 42U rack):
+//!
+//! 1. **Dual-entry enclosures with directed airflow** — blades insert
+//!    from front and back onto a midplane; cold air is ducted vertically
+//!    through all blades *in parallel* (instead of serially front to
+//!    back), shortening the flow length, removing pre-heat, and cutting
+//!    pressure drop.
+//! 2. **Board-level aggregated heat removal** — small 25 W "microblade"
+//!    modules are interspersed with planar heat pipes (effective
+//!    conductivity ~3x copper) that carry heat to one large, optimized
+//!    heat sink instead of many small ones.
+//!
+//! This crate models both with first-order physics: a duct-flow pressure
+//! model feeding a fan-power calculation ([`airflow`]), a thermal
+//! resistance network for the heat path ([`thermal`]), and enclosure
+//! geometry for rack density ([`enclosure`]). The paper omits its own
+//! calculations "for space", so the published results (~50% cooling-
+//! efficiency gain, 2x/4x, 320 and 1250 systems/rack) serve as the
+//! validation targets for the model rather than as hard-coded answers.
+//!
+//! # Example
+//! ```
+//! use wcs_cooling::{EnclosureDesign, RackGeometry};
+//!
+//! let conv = EnclosureDesign::conventional_1u();
+//! let dual = EnclosureDesign::dual_entry();
+//! let rack = RackGeometry::standard_42u();
+//! assert!(dual.cooling_efficiency() > 1.9 * conv.cooling_efficiency());
+//! assert_eq!(dual.systems_per_rack(&rack), 320);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod airflow;
+pub mod datacenter;
+pub mod enclosure;
+pub mod thermal;
+pub mod transient;
+
+pub use enclosure::{CoolingSolution, EnclosureDesign, RackGeometry};

@@ -1,0 +1,194 @@
+//! Thermal resistance networks: conduction paths, heat pipes, heat sinks.
+//!
+//! The aggregated-cooling design (Figure 3(b)) moves heat from several
+//! small modules through planar heat pipes into one large heat sink. Its
+//! benefit comes from two places: heat pipes conduct ~3x better than the
+//! copper spreaders they replace, and one big heat sink has more fin area
+//! and a better flow channel than many small ones.
+
+/// Thermal conductivity of copper, W/(m K).
+pub const COPPER_K: f64 = 400.0;
+/// Effective conductivity of a planar heat pipe: 3x copper (paper's
+/// figure).
+pub const HEATPIPE_K: f64 = 3.0 * COPPER_K;
+
+/// A one-dimensional conduction element (spreader plate or heat pipe).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Conductor {
+    /// Thermal conductivity, W/(m K).
+    pub k: f64,
+    /// Path length, m.
+    pub length_m: f64,
+    /// Cross-sectional area, m^2.
+    pub area_m2: f64,
+}
+
+impl Conductor {
+    /// Creates a conductor.
+    ///
+    /// # Panics
+    /// Panics if any parameter is non-positive or non-finite.
+    pub fn new(k: f64, length_m: f64, area_m2: f64) -> Self {
+        for v in [k, length_m, area_m2] {
+            assert!(v.is_finite() && v > 0.0, "conductor parameters must be > 0");
+        }
+        Conductor { k, length_m, area_m2 }
+    }
+
+    /// A copper spreader of the given geometry.
+    pub fn copper(length_m: f64, area_m2: f64) -> Self {
+        Conductor::new(COPPER_K, length_m, area_m2)
+    }
+
+    /// A planar heat pipe of the same geometry (3x copper conductivity).
+    pub fn heat_pipe(length_m: f64, area_m2: f64) -> Self {
+        Conductor::new(HEATPIPE_K, length_m, area_m2)
+    }
+
+    /// Thermal resistance, K/W.
+    pub fn resistance(&self) -> f64 {
+        self.length_m / (self.k * self.area_m2)
+    }
+}
+
+/// A finned heat sink cooled by forced air.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct HeatSink {
+    /// Base thermal resistance at the reference airflow, K/W.
+    pub r_base: f64,
+    /// Reference airflow, m^3/s.
+    pub ref_flow_m3s: f64,
+}
+
+impl HeatSink {
+    /// Creates a heat sink.
+    ///
+    /// # Panics
+    /// Panics if either parameter is non-positive or non-finite.
+    pub fn new(r_base: f64, ref_flow_m3s: f64) -> Self {
+        assert!(r_base.is_finite() && r_base > 0.0);
+        assert!(ref_flow_m3s.is_finite() && ref_flow_m3s > 0.0);
+        HeatSink { r_base, ref_flow_m3s }
+    }
+
+    /// Thermal resistance at airflow `flow` (K/W): convection improves
+    /// roughly with `flow^0.8` (turbulent forced convection).
+    pub fn resistance_at(&self, flow_m3s: f64) -> f64 {
+        assert!(flow_m3s.is_finite() && flow_m3s > 0.0);
+        self.r_base * (self.ref_flow_m3s / flow_m3s).powf(0.8)
+    }
+}
+
+/// A series thermal path from a device junction to ambient air.
+///
+/// # Example
+/// ```
+/// use wcs_cooling::thermal::{Conductor, HeatSink, ThermalPath};
+/// let path = ThermalPath::new(vec![Conductor::heat_pipe(0.1, 2e-4)], HeatSink::new(0.5, 0.01));
+/// let t = path.junction_temp_c(25.0, 35.0, 0.01);
+/// assert!(t < 85.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ThermalPath {
+    conductors: Vec<Conductor>,
+    sink: HeatSink,
+}
+
+impl ThermalPath {
+    /// Creates a path from conduction elements in series ending at a heat
+    /// sink.
+    pub fn new(conductors: Vec<Conductor>, sink: HeatSink) -> Self {
+        ThermalPath { conductors, sink }
+    }
+
+    /// Total junction-to-ambient resistance at the given airflow, K/W.
+    pub fn total_resistance(&self, flow_m3s: f64) -> f64 {
+        self.conductors.iter().map(Conductor::resistance).sum::<f64>()
+            + self.sink.resistance_at(flow_m3s)
+    }
+
+    /// Steady-state junction temperature (deg C) for `heat_w` dissipated
+    /// into `ambient_c` air at airflow `flow_m3s`.
+    pub fn junction_temp_c(&self, heat_w: f64, ambient_c: f64, flow_m3s: f64) -> f64 {
+        assert!(heat_w.is_finite() && heat_w >= 0.0);
+        ambient_c + heat_w * self.total_resistance(flow_m3s)
+    }
+}
+
+/// Combines `n` identical parallel resistances (e.g. several heat pipes
+/// feeding the same sink), K/W.
+///
+/// # Panics
+/// Panics if `n` is zero or `r_each` is non-positive.
+pub fn parallel_resistance(r_each: f64, n: u32) -> f64 {
+    assert!(n > 0, "need at least one parallel element");
+    assert!(r_each.is_finite() && r_each > 0.0);
+    r_each / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heat_pipe_is_three_times_copper() {
+        let cu = Conductor::copper(0.1, 1e-4);
+        let hp = Conductor::heat_pipe(0.1, 1e-4);
+        assert!((cu.resistance() / hp.resistance() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sink_improves_with_flow() {
+        let s = HeatSink::new(0.5, 0.01);
+        assert!(s.resistance_at(0.02) < s.resistance_at(0.01));
+        assert!((s.resistance_at(0.01) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn junction_temp_rises_with_heat() {
+        let path = ThermalPath::new(
+            vec![Conductor::copper(0.05, 5e-5)],
+            HeatSink::new(0.8, 0.01),
+        );
+        let t10 = path.junction_temp_c(10.0, 35.0, 0.01);
+        let t25 = path.junction_temp_c(25.0, 35.0, 0.01);
+        assert!(t25 > t10);
+        assert!(t10 > 35.0);
+    }
+
+    #[test]
+    fn aggregated_path_cools_25w_module() {
+        // A microblade module: heat pipe to a shared sink (big sink, so
+        // low resistance and generous reference airflow).
+        let path = ThermalPath::new(
+            vec![Conductor::heat_pipe(0.12, 2.4e-4)],
+            HeatSink::new(0.35, 0.02),
+        );
+        let t = path.junction_temp_c(25.0, 35.0, 0.02);
+        assert!(t < 85.0, "junction {t} C must stay under spec");
+    }
+
+    #[test]
+    fn copper_only_path_runs_hotter() {
+        let sink = HeatSink::new(0.35, 0.02);
+        let hp = ThermalPath::new(vec![Conductor::heat_pipe(0.12, 2.4e-4)], sink);
+        let cu = ThermalPath::new(vec![Conductor::copper(0.12, 2.4e-4)], sink);
+        assert!(
+            cu.junction_temp_c(25.0, 35.0, 0.02) > hp.junction_temp_c(25.0, 35.0, 0.02) + 10.0
+        );
+    }
+
+    #[test]
+    fn parallel_reduces_resistance() {
+        assert!((parallel_resistance(1.0, 4) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn parallel_rejects_zero() {
+        parallel_resistance(1.0, 0);
+    }
+}

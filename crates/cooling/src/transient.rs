@@ -1,0 +1,203 @@
+//! Thermal transients and fan-speed control.
+//!
+//! The steady-state models in [`crate::thermal`] answer "how hot at this
+//! power"; this module answers "how hot *when*": a lumped
+//! resistance-capacitance thermal model integrated over time, with a
+//! proportional fan controller trading fan power against temperature.
+//! It backs the packaging claims with dynamics — e.g. that the
+//! dual-entry design's lower thermal resistance also shortens thermal
+//! transients, letting the fan controller run slower for the same cap.
+
+/// A lumped RC thermal node: one component's junction over ambient.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ThermalNode {
+    /// Junction-to-ambient thermal resistance at nominal airflow, K/W.
+    pub r_nominal: f64,
+    /// Thermal capacitance, J/K (die + spreader + sink mass).
+    pub capacitance: f64,
+}
+
+impl ThermalNode {
+    /// Creates a node.
+    ///
+    /// # Panics
+    /// Panics if either parameter is non-positive or non-finite.
+    pub fn new(r_nominal: f64, capacitance: f64) -> Self {
+        assert!(r_nominal.is_finite() && r_nominal > 0.0);
+        assert!(capacitance.is_finite() && capacitance > 0.0);
+        ThermalNode {
+            r_nominal,
+            capacitance,
+        }
+    }
+
+    /// The RC time constant at nominal airflow, seconds.
+    pub fn time_constant_secs(&self) -> f64 {
+        self.r_nominal * self.capacitance
+    }
+}
+
+/// A proportional fan controller: fan speed rises linearly between the
+/// target temperature and the critical temperature.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FanController {
+    /// Temperature (over ambient) below which the fan idles, K.
+    pub target_rise_k: f64,
+    /// Temperature rise at which the fan saturates, K.
+    pub max_rise_k: f64,
+    /// Fan speed floor (fraction of max), keeping some airflow always.
+    pub min_speed: f64,
+}
+
+impl FanController {
+    /// A typical controller: idle below 40 K rise, saturate at 60 K,
+    /// 20% floor.
+    pub fn typical() -> Self {
+        FanController {
+            target_rise_k: 40.0,
+            max_rise_k: 60.0,
+            min_speed: 0.2,
+        }
+    }
+
+    /// Fan speed (fraction of max) commanded at the given temperature
+    /// rise.
+    pub fn speed(&self, rise_k: f64) -> f64 {
+        if rise_k <= self.target_rise_k {
+            self.min_speed
+        } else if rise_k >= self.max_rise_k {
+            1.0
+        } else {
+            let t = (rise_k - self.target_rise_k) / (self.max_rise_k - self.target_rise_k);
+            self.min_speed + (1.0 - self.min_speed) * t
+        }
+    }
+}
+
+/// One step of a simulated transient.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TransientSample {
+    /// Time, seconds.
+    pub t_secs: f64,
+    /// Junction rise over ambient, K.
+    pub rise_k: f64,
+    /// Fan speed fraction.
+    pub fan_speed: f64,
+}
+
+/// Integrates the node's temperature under a power trace, with the fan
+/// controller modulating the effective thermal resistance (faster air →
+/// `R ∝ speed^-0.8`, the forced-convection law the steady model uses).
+///
+/// `power_w(t)` gives dissipation at time `t`; the integration uses a
+/// forward-Euler step of `dt_secs` for `steps` steps.
+///
+/// # Panics
+/// Panics on a non-positive step size or zero steps.
+pub fn simulate_transient(
+    node: ThermalNode,
+    controller: FanController,
+    power_w: impl Fn(f64) -> f64,
+    dt_secs: f64,
+    steps: u32,
+) -> Vec<TransientSample> {
+    assert!(dt_secs.is_finite() && dt_secs > 0.0, "step must be positive");
+    assert!(steps > 0, "need steps");
+    let mut rise = 0.0f64;
+    let mut out = Vec::with_capacity(steps as usize);
+    for i in 0..steps {
+        let t = i as f64 * dt_secs;
+        let speed = controller.speed(rise);
+        let r = node.r_nominal * speed.powf(-0.8);
+        let p = power_w(t).max(0.0);
+        // dT/dt = (P - T/R) / C
+        let d_rise = (p - rise / r) / node.capacitance;
+        rise += d_rise * dt_secs;
+        out.push(TransientSample {
+            t_secs: t,
+            rise_k: rise,
+            fan_speed: speed,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node() -> ThermalNode {
+        // R = 0.5 K/W at full airflow, C = 120 J/K: tau = 60 s.
+        ThermalNode::new(0.5, 120.0)
+    }
+
+    #[test]
+    fn steps_toward_steady_state() {
+        // Constant 80 W with the fan saturated: steady rise = P * R.
+        let hot_controller = FanController {
+            target_rise_k: 0.0,
+            max_rise_k: 0.1,
+            min_speed: 0.2,
+        };
+        let trace = simulate_transient(node(), hot_controller, |_| 80.0, 0.5, 2000);
+        let last = trace.last().unwrap();
+        assert!((last.rise_k - 40.0).abs() < 1.0, "steady rise {}", last.rise_k);
+        assert!((last.fan_speed - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn temperature_rises_monotonically_under_step_power() {
+        let trace = simulate_transient(node(), FanController::typical(), |_| 60.0, 0.5, 500);
+        for w in trace.windows(2) {
+            assert!(w[1].rise_k >= w[0].rise_k - 1e-9);
+        }
+        assert!(trace[0].rise_k < 1.0);
+    }
+
+    #[test]
+    fn controller_holds_temperature_under_cap() {
+        let trace = simulate_transient(node(), FanController::typical(), |_| 100.0, 0.5, 4000);
+        let peak = trace.iter().map(|s| s.rise_k).fold(0.0, f64::max);
+        // 100 W * 0.5 K/W = 50 K at full fan; the controller must keep
+        // the rise at or below the saturation band.
+        assert!(peak < 61.0, "peak rise {peak}");
+    }
+
+    #[test]
+    fn cooler_node_lets_fan_idle() {
+        // A low-power module under the same controller: fan stays at the
+        // floor.
+        let trace = simulate_transient(node(), FanController::typical(), |_| 25.0, 0.5, 3000);
+        let last = trace.last().unwrap();
+        assert!(last.fan_speed <= 0.35, "fan {}", last.fan_speed);
+    }
+
+    #[test]
+    fn load_step_produces_transient_then_settles() {
+        // 20 W for 10 minutes, then 80 W.
+        let trace = simulate_transient(
+            node(),
+            FanController::typical(),
+            |t| if t < 600.0 { 20.0 } else { 80.0 },
+            0.5,
+            4000,
+        );
+        let before = trace[1150].rise_k; // ~575 s
+        let after = trace.last().unwrap().rise_k;
+        assert!(after > before + 10.0, "step visible: {before} -> {after}");
+    }
+
+    #[test]
+    fn time_constant() {
+        assert!((node().time_constant_secs() - 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "step must be positive")]
+    fn rejects_zero_step() {
+        simulate_transient(node(), FanController::typical(), |_| 1.0, 0.0, 10);
+    }
+}

@@ -1,0 +1,202 @@
+//! Named design points: baselines and the unified N1/N2 architectures.
+
+use wcs_cooling::{EnclosureDesign, RackGeometry};
+use wcs_flashcache::study::DiskScenario;
+use wcs_memshare::blade::BladeModel;
+use wcs_memshare::link::RemoteLink;
+use wcs_memshare::provisioning::Provisioning;
+use wcs_platforms::{catalog, BomItem, Component, Platform, PlatformId};
+
+/// The packaging/cooling configuration of a design.
+#[derive(Debug, Clone)]
+pub struct CoolingConfig {
+    /// Scale factor on the burdened cooling terms (1.0 = conventional).
+    pub cooling_scale: f64,
+    /// Achievable density, systems per rack.
+    pub systems_per_rack: u32,
+    /// Replacement power-supply + fan BOM line, if the packaging changes
+    /// it (shared enclosure PSUs, aggregated heat sinks).
+    pub power_fans: Option<BomItem>,
+}
+
+impl CoolingConfig {
+    /// Conventional 1U packaging: no changes.
+    pub fn conventional() -> Self {
+        CoolingConfig {
+            cooling_scale: 1.0,
+            systems_per_rack: 40,
+            power_fans: None,
+        }
+    }
+
+    /// Dual-entry enclosure with directed airflow (Figure 3(a)), derived
+    /// from the cooling crate's physical model: ~2x cooling efficiency,
+    /// 320 systems/rack, shared enclosure PSUs and small per-blade fans.
+    pub fn dual_entry() -> Self {
+        let sol = EnclosureDesign::dual_entry().solution(&RackGeometry::standard_42u());
+        CoolingConfig {
+            cooling_scale: sol.cooling_scale,
+            systems_per_rack: sol.systems_per_rack,
+            // Shared PSUs halve the per-server power-conversion cost;
+            // power = PSU conversion losses (~6% of load) + blade fan.
+            power_fans: Some(BomItem::new(Component::PowerFans, 60.0, 6.0)),
+        }
+    }
+
+    /// Microblade carriers with aggregated heat removal (Figure 3(b)):
+    /// ~4x cooling efficiency, 1250+ systems/rack.
+    pub fn microblade() -> Self {
+        let sol = EnclosureDesign::microblade().solution(&RackGeometry::standard_42u());
+        CoolingConfig {
+            cooling_scale: sol.cooling_scale,
+            systems_per_rack: sol.systems_per_rack,
+            power_fans: Some(BomItem::new(Component::PowerFans, 25.0, 2.0)),
+        }
+    }
+}
+
+/// The memory-sharing configuration of a design.
+#[derive(Debug, Clone)]
+pub struct MemShareConfig {
+    /// Capacity provisioning scheme.
+    pub provisioning: Provisioning,
+    /// Blade cost/power model.
+    pub blade: BladeModel,
+    /// Remote access link (whole-page PCIe or CBF).
+    pub link: RemoteLink,
+    /// Servers sharing one blade link (adds M/D/1 contention to the
+    /// fault latency). The paper's enclosure-level blade serves a
+    /// handful of servers.
+    pub servers_per_blade: u32,
+}
+
+/// A complete server design point: platform plus the ensemble-level
+/// options of Section 3.
+#[derive(Debug, Clone)]
+pub struct DesignPoint {
+    /// Design name ("srvr1", "N1", "N2", ...).
+    pub name: String,
+    /// The base platform.
+    pub platform: Platform,
+    /// Packaging and cooling.
+    pub cooling: CoolingConfig,
+    /// Ensemble memory sharing, if used.
+    pub memshare: Option<MemShareConfig>,
+    /// Storage configuration (None = the platform's stock local disk).
+    pub storage: Option<DiskScenario>,
+}
+
+impl DesignPoint {
+    /// A stock catalog platform in conventional packaging.
+    pub fn baseline(id: PlatformId) -> Self {
+        DesignPoint {
+            name: id.label().to_owned(),
+            platform: catalog::platform(id),
+            cooling: CoolingConfig::conventional(),
+            memshare: None,
+            storage: None,
+        }
+    }
+
+    /// The paper's main baseline, `srvr1`.
+    pub fn baseline_srvr1() -> Self {
+        Self::baseline(PlatformId::Srvr1)
+    }
+
+    /// **N1** — the near-term unified design (Section 3.6): mobile
+    /// (`mobl`) blades in dual-entry enclosures with directed airflow;
+    /// no memory sharing or flash disk caching.
+    pub fn n1() -> Self {
+        DesignPoint {
+            name: "N1".to_owned(),
+            platform: catalog::platform(PlatformId::Mobl),
+            cooling: CoolingConfig::dual_entry(),
+            memshare: None,
+            storage: None,
+        }
+    }
+
+    /// **N2** — the longer-term unified design (Section 3.6): embedded
+    /// (`emb1`) microblades with aggregated cooling, dynamic ensemble
+    /// memory sharing with critical-block-first transfers, and remote
+    /// laptop disks with flash-based disk caching.
+    pub fn n2() -> Self {
+        DesignPoint {
+            name: "N2".to_owned(),
+            platform: catalog::platform(PlatformId::Emb1),
+            cooling: CoolingConfig::microblade(),
+            memshare: Some(MemShareConfig {
+                provisioning: Provisioning::dynamic_provisioning(),
+                blade: BladeModel::paper_default(),
+                link: RemoteLink::pcie_x4_cbf(),
+                servers_per_blade: 8,
+            }),
+            storage: Some(DiskScenario::laptop_flash()),
+        }
+    }
+
+    /// The physical platform after applying memory sharing, storage, and
+    /// packaging changes — the BOM the cost model prices.
+    pub fn effective_platform(&self) -> Platform {
+        let mut p = self.platform.clone();
+        if let Some(ms) = &self.memshare {
+            p = ms.provisioning.apply(&p, &ms.blade);
+        }
+        if let Some(s) = &self.storage {
+            p = s.apply_bom(&p);
+        }
+        if let Some(pf) = &self.cooling.power_fans {
+            p = p.with_component(*pf);
+        }
+        p.name = self.name.clone();
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baselines_are_stock() {
+        let b = DesignPoint::baseline_srvr1();
+        let p = b.effective_platform();
+        assert!((p.hardware_cost_usd() - 3225.0).abs() < 1.0);
+        assert!((p.max_power_w() - 340.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn n1_is_cheaper_and_cooler_than_mobl() {
+        let mobl = catalog::platform(PlatformId::Mobl);
+        let n1 = DesignPoint::n1().effective_platform();
+        assert!(n1.hardware_cost_usd() < mobl.hardware_cost_usd());
+        assert!(n1.max_power_w() < mobl.max_power_w());
+        assert!(DesignPoint::n1().cooling.cooling_scale < 0.6);
+        assert_eq!(DesignPoint::n1().cooling.systems_per_rack, 320);
+    }
+
+    #[test]
+    fn n2_composes_all_three_techniques() {
+        let n2 = DesignPoint::n2();
+        assert!(n2.memshare.is_some());
+        assert!(n2.storage.is_some());
+        assert!(n2.cooling.cooling_scale < 0.3);
+        assert!(n2.cooling.systems_per_rack >= 1250);
+        let p = n2.effective_platform();
+        // Memory blade + flash + laptop disk + shared PSUs all present.
+        assert!(p.component_cost(Component::MemoryBlade) > 0.0);
+        assert!(p.component_cost(Component::Flash) > 0.0);
+        assert_eq!(p.component_cost(Component::Disk), 80.0);
+        assert_eq!(p.component_cost(Component::PowerFans), 25.0);
+        // Far below the emb1 baseline in power.
+        assert!(p.max_power_w() < 35.0, "N2 power {}", p.max_power_w());
+    }
+
+    #[test]
+    fn n2_keeps_memory_capacity_visible() {
+        // Memory sharing shrinks local DRAM but the blade backs the rest:
+        // software still sees the full capacity.
+        let p = DesignPoint::n2().effective_platform();
+        assert_eq!(p.memory.capacity_gib, 4.0);
+    }
+}

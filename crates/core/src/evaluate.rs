@@ -1,0 +1,287 @@
+//! The evaluation pipeline: performance simulation + cost model +
+//! efficiency metrics for any design point.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use wcs_flashcache::system::StorageSystem;
+use wcs_memshare::contention::SharedLink;
+use wcs_memshare::slowdown::{estimate_slowdown, SlowdownConfig};
+use wcs_platforms::Platform;
+use wcs_simcore::stats::harmonic_mean;
+use wcs_tco::{BurdenedParams, Efficiency, RackConfig, RealEstateParams, TcoModel, TcoReport};
+use wcs_workloads::disktrace::{params_for as disk_params, DiskTraceGen};
+use wcs_workloads::perf::{measure_perf_with_demand, MeasureConfig, MeasureError};
+use wcs_workloads::service::PlatformDemand;
+use wcs_workloads::{suite, WorkloadId};
+
+use crate::designs::DesignPoint;
+
+/// Evaluates design points: runs every workload's performance metric and
+/// prices the design's bill of materials.
+#[derive(Debug, Clone)]
+pub struct Evaluator {
+    /// Measurement effort.
+    pub measure: MeasureConfig,
+    /// Rack configuration for cost amortization.
+    pub rack: RackConfig,
+    /// Burdened power-and-cooling parameters before any cooling-design
+    /// scaling.
+    pub burdened: BurdenedParams,
+    /// Disk-trace replay length for storage scenarios.
+    pub storage_replay: u64,
+    /// Optional real-estate pricing. `None` matches the paper's Figure 1
+    /// cost scope exactly; `Some` adds an amortized floor-space line that
+    /// rewards dense packaging.
+    pub real_estate: Option<RealEstateParams>,
+}
+
+impl Evaluator {
+    /// Full-accuracy evaluator with the paper's cost parameters.
+    pub fn paper_default() -> Self {
+        Evaluator {
+            measure: MeasureConfig::default_accuracy(),
+            rack: RackConfig::paper_default(),
+            burdened: BurdenedParams::paper_default(),
+            storage_replay: 120_000,
+            real_estate: None,
+        }
+    }
+
+    /// Reduced-effort evaluator for tests and examples.
+    pub fn quick() -> Self {
+        Evaluator {
+            measure: MeasureConfig::quick(),
+            storage_replay: 40_000,
+            ..Self::paper_default()
+        }
+    }
+
+    /// Evaluates a design point across the whole benchmark suite.
+    ///
+    /// # Errors
+    /// Returns a [`MeasureError`] if any workload's QoS bound is
+    /// infeasible on the design.
+    pub fn evaluate(&self, design: &DesignPoint) -> Result<DesignEval, MeasureError> {
+        let platform = design.effective_platform();
+        let burdened = self
+            .burdened
+            .with_cooling_scale(design.cooling.cooling_scale);
+        let tco_model = TcoModel::new(self.rack, burdened);
+        let report = match &self.real_estate {
+            None => tco_model.server_tco(&platform),
+            Some(re) => {
+                let mut bom = platform.bom().to_vec();
+                bom.push(re.bom_item(design.cooling.systems_per_rack));
+                tco_model.bom_tco(&platform.name, &bom)
+            }
+        };
+
+        let mut perf = BTreeMap::new();
+        for id in WorkloadId::ALL {
+            let value = self.workload_perf(design, &platform, id)?;
+            perf.insert(id, value);
+        }
+        Ok(DesignEval {
+            name: design.name.clone(),
+            perf,
+            report,
+            systems_per_rack: design.cooling.systems_per_rack,
+        })
+    }
+
+    /// Performance of one workload on the design: applies the storage
+    /// scenario's effective disk service and the memory-sharing slowdown
+    /// before running the simulation.
+    fn workload_perf(
+        &self,
+        design: &DesignPoint,
+        platform: &Platform,
+        id: WorkloadId,
+    ) -> Result<f64, MeasureError> {
+        let wl = suite::workload(id);
+        let disk = design
+            .storage
+            .as_ref()
+            .map(|s| s.disk.clone())
+            .unwrap_or_else(|| design.platform.disk.clone());
+        let mut demand = PlatformDemand::with_overrides(
+            &wl,
+            &design.platform,
+            &disk,
+            platform.memory.capacity_gib,
+        );
+        if let Some(scenario) = &design.storage {
+            let mut sys = match &scenario.flash {
+                Some(f) => StorageSystem::with_flash(scenario.disk.clone(), f.clone()),
+                None => StorageSystem::disk_only(scenario.disk.clone()),
+            };
+            let mut gen = DiskTraceGen::new(disk_params(id), self.measure.seed ^ 0xD15C);
+            let stats = sys.replay(&mut gen, self.storage_replay);
+            demand.set_disk_secs(wl.demand.io_per_req * stats.mean_service_secs());
+        }
+        if let Some(ms) = &design.memshare {
+            // First pass: fault rate at the uncontended link; second
+            // pass folds the shared link's M/D/1 queueing delay back in.
+            let base = estimate_slowdown(
+                id,
+                &SlowdownConfig {
+                    local_fraction: ms.provisioning.local_fraction,
+                    link: ms.link,
+                    ..SlowdownConfig::paper_default()
+                },
+            );
+            let shared = SharedLink::new(ms.link, ms.servers_per_blade.max(1));
+            let effective = shared.effective_link(base.faults_per_cpu_sec);
+            let slowdown = 1.0 + base.faults_per_cpu_sec * effective.fault_latency_secs();
+            demand.inflate_cpu(slowdown);
+        }
+        measure_perf_with_demand(&wl, &demand, &self.measure).map(|r| r.value)
+    }
+}
+
+impl Default for Evaluator {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// The evaluation of one design: per-workload performance plus the TCO
+/// report.
+#[derive(Debug, Clone)]
+pub struct DesignEval {
+    /// Design name.
+    pub name: String,
+    /// Per-workload performance (workload-defined units).
+    pub perf: BTreeMap<WorkloadId, f64>,
+    /// The priced bill of materials.
+    pub report: TcoReport,
+    /// Rack density of the design's packaging.
+    pub systems_per_rack: u32,
+}
+
+impl DesignEval {
+    /// Efficiency bundle for one workload.
+    ///
+    /// # Panics
+    /// Panics if the workload was not evaluated.
+    pub fn efficiency(&self, id: WorkloadId) -> Efficiency {
+        Efficiency::new(self.perf[&id], self.report.clone())
+    }
+
+    /// Compares this design against a baseline, workload by workload.
+    pub fn compare(&self, baseline: &DesignEval) -> Comparison {
+        let mut rows = Vec::new();
+        for id in WorkloadId::ALL {
+            let rel = self.efficiency(id).relative_to(&baseline.efficiency(id));
+            rows.push(ComparisonRow {
+                workload: id,
+                perf: rel.perf,
+                perf_per_inf: rel.perf_per_inf,
+                perf_per_watt: rel.perf_per_watt,
+                perf_per_pc: rel.perf_per_pc,
+                perf_per_tco: rel.perf_per_tco,
+            });
+        }
+        Comparison {
+            design: self.name.clone(),
+            baseline: baseline.name.clone(),
+            rows,
+        }
+    }
+}
+
+/// One workload's relative metrics in a design comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct ComparisonRow {
+    /// The workload.
+    pub workload: WorkloadId,
+    /// Relative performance.
+    pub perf: f64,
+    /// Relative Perf/Inf-$.
+    pub perf_per_inf: f64,
+    /// Relative Perf/W.
+    pub perf_per_watt: f64,
+    /// Relative Perf/P&C-$.
+    pub perf_per_pc: f64,
+    /// Relative Perf/TCO-$.
+    pub perf_per_tco: f64,
+}
+
+/// A design-vs-baseline comparison across the suite (one of Figure 5's
+/// groups).
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Name of the compared design.
+    pub design: String,
+    /// Name of the baseline.
+    pub baseline: String,
+    /// Per-workload rows.
+    pub rows: Vec<ComparisonRow>,
+}
+
+impl Comparison {
+    /// Harmonic mean across workloads of one metric selected by `f`.
+    pub fn hmean(&self, f: impl Fn(&ComparisonRow) -> f64) -> f64 {
+        let vals: Vec<f64> = self.rows.iter().map(f).collect();
+        harmonic_mean(&vals).unwrap_or(f64::NAN)
+    }
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} vs {}", self.design, self.baseline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcs_platforms::PlatformId;
+
+    #[test]
+    fn baseline_self_comparison_is_unity() {
+        let eval = Evaluator::quick();
+        let b = eval.evaluate(&DesignPoint::baseline(PlatformId::Desk)).unwrap();
+        let cmp = b.compare(&b);
+        for row in &cmp.rows {
+            assert!((row.perf - 1.0).abs() < 1e-9);
+            assert!((row.perf_per_tco - 1.0).abs() < 1e-9);
+        }
+        assert!((cmp.hmean(|r| r.perf) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn evaluation_covers_all_workloads() {
+        let eval = Evaluator::quick();
+        let e = eval.evaluate(&DesignPoint::baseline(PlatformId::Emb1)).unwrap();
+        assert_eq!(e.perf.len(), 5);
+        assert!(e.perf.values().all(|&v| v > 0.0));
+    }
+}
+
+#[cfg(test)]
+mod real_estate_tests {
+    use super::*;
+    use crate::designs::DesignPoint;
+    use wcs_platforms::Component;
+
+    #[test]
+    fn real_estate_rewards_density() {
+        let mut eval = Evaluator::quick();
+        eval.real_estate = Some(RealEstateParams::default_2008());
+        let srvr1 = eval.evaluate(&DesignPoint::baseline_srvr1()).unwrap();
+        let n2 = eval.evaluate(&DesignPoint::n2()).unwrap();
+        let floor_1u = srvr1.report.line(Component::RealEstate).unwrap().hw_usd;
+        let floor_n2 = n2.report.line(Component::RealEstate).unwrap().hw_usd;
+        // 40 vs 1280 systems per rack: a 32x smaller floor share.
+        assert!((floor_1u / floor_n2 - 32.0).abs() < 0.5, "{floor_1u} / {floor_n2}");
+    }
+
+    #[test]
+    fn default_scope_has_no_floor_line() {
+        let eval = Evaluator::quick();
+        let e = eval.evaluate(&DesignPoint::baseline_srvr1()).unwrap();
+        assert!(e.report.line(Component::RealEstate).is_none());
+    }
+}

@@ -1,0 +1,39 @@
+//! The warehouse-computing server-architecture suite: public facade.
+//!
+//! This crate ties the substrates together into the paper's top-level
+//! story:
+//!
+//! * [`designs`] — named design points: the six Table 2 baselines plus
+//!   the unified **N1** (near-term: mobile blades in dual-entry
+//!   enclosures) and **N2** (longer-term: embedded microblades with
+//!   aggregated cooling, ensemble memory sharing, and flash-cached
+//!   remote laptop disks) architectures of Section 3.6,
+//! * [`evaluate`] — the evaluation pipeline: performance simulation +
+//!   cost model + efficiency metrics for any design point,
+//! * [`report`] — text rendering of the comparison tables the paper's
+//!   figures show.
+//!
+//! # Example
+//! ```no_run
+//! use wcs_core::designs::DesignPoint;
+//! use wcs_core::evaluate::Evaluator;
+//!
+//! let eval = Evaluator::quick();
+//! let baseline = eval.evaluate(&DesignPoint::baseline_srvr1()).unwrap();
+//! let n2 = eval.evaluate(&DesignPoint::n2()).unwrap();
+//! let cmp = n2.compare(&baseline);
+//! println!("{}", wcs_core::report::render_comparison(&cmp));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod designs;
+pub mod evaluate;
+pub mod experiments;
+pub mod report;
+pub mod sweeps;
+pub mod validate;
+
+pub use designs::DesignPoint;
+pub use evaluate::{DesignEval, Evaluator};

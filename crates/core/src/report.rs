@@ -1,0 +1,119 @@
+//! Text rendering of comparison tables (the paper's figure data).
+
+use std::fmt::Write as _;
+
+use crate::evaluate::Comparison;
+
+/// Renders one comparison as a text table with the paper's four metric
+/// columns plus the harmonic-mean row.
+///
+/// # Example
+/// ```no_run
+/// use wcs_core::{designs::DesignPoint, evaluate::Evaluator, report};
+/// let eval = Evaluator::quick();
+/// let base = eval.evaluate(&DesignPoint::baseline_srvr1()).unwrap();
+/// let n1 = eval.evaluate(&DesignPoint::n1()).unwrap();
+/// println!("{}", report::render_comparison(&n1.compare(&base)));
+/// ```
+pub fn render_comparison(cmp: &Comparison) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{} relative to {} (100% = parity)", cmp.design, cmp.baseline);
+    let _ = writeln!(
+        out,
+        "  {:<12} {:>8} {:>12} {:>8} {:>12} {:>12}",
+        "workload", "Perf", "Perf/Inf-$", "Perf/W", "Perf/P&C-$", "Perf/TCO-$"
+    );
+    for row in &cmp.rows {
+        let _ = writeln!(
+            out,
+            "  {:<12} {:>7.0}% {:>11.0}% {:>7.0}% {:>11.0}% {:>11.0}%",
+            row.workload.label(),
+            row.perf * 100.0,
+            row.perf_per_inf * 100.0,
+            row.perf_per_watt * 100.0,
+            row.perf_per_pc * 100.0,
+            row.perf_per_tco * 100.0
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  {:<12} {:>7.0}% {:>11.0}% {:>7.0}% {:>11.0}% {:>11.0}%",
+        "HMean",
+        cmp.hmean(|r| r.perf) * 100.0,
+        cmp.hmean(|r| r.perf_per_inf) * 100.0,
+        cmp.hmean(|r| r.perf_per_watt) * 100.0,
+        cmp.hmean(|r| r.perf_per_pc) * 100.0,
+        cmp.hmean(|r| r.perf_per_tco) * 100.0
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate::ComparisonRow;
+    use wcs_workloads::WorkloadId;
+
+    #[test]
+    fn renders_rows_and_hmean() {
+        let cmp = Comparison {
+            design: "N9".into(),
+            baseline: "srvr1".into(),
+            rows: vec![ComparisonRow {
+                workload: WorkloadId::Websearch,
+                perf: 0.5,
+                perf_per_inf: 2.0,
+                perf_per_watt: 3.0,
+                perf_per_pc: 4.0,
+                perf_per_tco: 2.5,
+            }],
+        };
+        let s = render_comparison(&cmp);
+        assert!(s.contains("N9 relative to srvr1"));
+        assert!(s.contains("websearch"));
+        assert!(s.contains("50%"));
+        assert!(s.contains("250%"));
+        assert!(s.contains("HMean"));
+    }
+}
+
+/// Renders a full design evaluation as markdown: performance list, TCO
+/// table, and density — ready to paste into a document.
+///
+/// # Example
+/// ```no_run
+/// use wcs_core::{designs::DesignPoint, evaluate::Evaluator, report};
+/// let e = Evaluator::quick().evaluate(&DesignPoint::n2()).unwrap();
+/// println!("{}", report::render_eval_markdown(&e));
+/// ```
+pub fn render_eval_markdown(eval: &crate::evaluate::DesignEval) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "## Design: {}", eval.name);
+    let _ = writeln!(out, "\nPackaging density: **{} systems/rack**\n", eval.systems_per_rack);
+    let _ = writeln!(out, "| workload | performance |");
+    let _ = writeln!(out, "|---|---:|");
+    for (id, perf) in &eval.perf {
+        let _ = writeln!(out, "| {} | {perf:.2} |", id.label());
+    }
+    let _ = writeln!(out);
+    out.push_str(&wcs_tco::render::report_markdown(&eval.report));
+    out
+}
+
+#[cfg(test)]
+mod markdown_tests {
+    use crate::designs::DesignPoint;
+    use crate::evaluate::Evaluator;
+
+    #[test]
+    fn eval_markdown_contains_sections() {
+        let e = Evaluator::quick()
+            .evaluate(&DesignPoint::baseline(wcs_platforms::PlatformId::Desk))
+            .unwrap();
+        let md = super::render_eval_markdown(&e);
+        assert!(md.contains("## Design: desk"));
+        assert!(md.contains("| websearch |"));
+        assert!(md.contains("| CPU |"));
+        assert!(md.contains("systems/rack"));
+    }
+}

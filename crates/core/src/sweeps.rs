@@ -1,0 +1,178 @@
+//! Design-space sweeps: evaluate a family of related design points and
+//! tabulate the results.
+//!
+//! These are the exploration tools a datacenter architect would use on
+//! top of the paper's framework: vary one design parameter, hold the
+//! rest, and watch the HMean Perf/TCO-$ respond.
+
+use wcs_memshare::provisioning::Provisioning;
+use wcs_platforms::storage::FlashModel;
+use wcs_platforms::PlatformId;
+use wcs_workloads::perf::MeasureError;
+
+use crate::designs::DesignPoint;
+use crate::evaluate::{DesignEval, Evaluator};
+
+/// One point of a sweep: the swept value, its label, and the evaluation.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// The swept parameter's value.
+    pub value: f64,
+    /// Human-readable label.
+    pub label: String,
+    /// The evaluation at this point.
+    pub eval: DesignEval,
+}
+
+/// Result of a sweep, with the baseline it is normalized against.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    /// What was swept.
+    pub parameter: &'static str,
+    /// Baseline evaluation (for relative metrics).
+    pub baseline: DesignEval,
+    /// The sweep points, in parameter order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl Sweep {
+    /// HMean Perf/TCO-$ of each point relative to the baseline.
+    pub fn tco_curve(&self) -> Vec<(f64, f64)> {
+        self.points
+            .iter()
+            .map(|p| {
+                (
+                    p.value,
+                    p.eval.compare(&self.baseline).hmean(|r| r.perf_per_tco),
+                )
+            })
+            .collect()
+    }
+
+    /// The sweep point with the best HMean Perf/TCO-$.
+    pub fn best(&self) -> Option<&SweepPoint> {
+        let mut best: Option<(&SweepPoint, f64)> = None;
+        for p in &self.points {
+            let v = p.eval.compare(&self.baseline).hmean(|r| r.perf_per_tco);
+            if best.is_none_or(|(_, b)| v > b) {
+                best = Some((p, v));
+            }
+        }
+        best.map(|(p, _)| p)
+    }
+}
+
+/// Sweeps the memory blade's local-memory fraction on the N2 design.
+///
+/// # Errors
+/// Propagates evaluation failures.
+pub fn sweep_local_fraction(
+    eval: &Evaluator,
+    fractions: &[f64],
+) -> Result<Sweep, MeasureError> {
+    let baseline = eval.evaluate(&DesignPoint::baseline_srvr1())?;
+    let mut points = Vec::new();
+    for &f in fractions {
+        let mut design = DesignPoint::n2();
+        let ms = design.memshare.as_mut().expect("N2 has memory sharing");
+        ms.provisioning = Provisioning {
+            name: "swept",
+            local_fraction: f,
+            remote_fraction: (1.0 - f).max(0.0) * 0.85,
+            assumed_slowdown: 0.02,
+        };
+        design.name = format!("N2-local{:.0}%", f * 100.0);
+        points.push(SweepPoint {
+            value: f,
+            label: design.name.clone(),
+            eval: eval.evaluate(&design)?,
+        });
+    }
+    Ok(Sweep {
+        parameter: "local memory fraction",
+        baseline,
+        points,
+    })
+}
+
+/// Sweeps the flash-cache capacity on the N2 design.
+///
+/// # Errors
+/// Propagates evaluation failures.
+pub fn sweep_flash_capacity(eval: &Evaluator, sizes_gb: &[f64]) -> Result<Sweep, MeasureError> {
+    let baseline = eval.evaluate(&DesignPoint::baseline_srvr1())?;
+    let mut points = Vec::new();
+    for &gb in sizes_gb {
+        let mut design = DesignPoint::n2();
+        let storage = design.storage.as_mut().expect("N2 has a storage scenario");
+        storage.flash = Some(FlashModel::scaled(gb));
+        design.name = format!("N2-flash{gb}GB");
+        points.push(SweepPoint {
+            value: gb,
+            label: design.name.clone(),
+            eval: eval.evaluate(&design)?,
+        });
+    }
+    Ok(Sweep {
+        parameter: "flash capacity (GB)",
+        baseline,
+        points,
+    })
+}
+
+/// Evaluates every baseline platform — Figure 2(c)'s platform axis as a
+/// sweep.
+///
+/// # Errors
+/// Propagates evaluation failures.
+pub fn sweep_platforms(eval: &Evaluator) -> Result<Sweep, MeasureError> {
+    let baseline = eval.evaluate(&DesignPoint::baseline_srvr1())?;
+    let mut points = Vec::new();
+    for (i, id) in PlatformId::ALL.iter().enumerate() {
+        points.push(SweepPoint {
+            value: i as f64,
+            label: id.label().to_owned(),
+            eval: eval.evaluate(&DesignPoint::baseline(*id))?,
+        });
+    }
+    Ok(Sweep {
+        parameter: "platform",
+        baseline,
+        points,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_fraction_tradeoff_is_visible() {
+        let eval = Evaluator::quick();
+        let sweep = sweep_local_fraction(&eval, &[0.5, 0.25, 0.125]).unwrap();
+        let curve = sweep.tco_curve();
+        assert_eq!(curve.len(), 3);
+        // All N2 variants still beat srvr1 comfortably.
+        for (f, tco) in &curve {
+            assert!(*tco > 1.5, "local {f}: Perf/TCO {tco}");
+        }
+        assert!(sweep.best().is_some());
+    }
+
+    #[test]
+    fn platform_sweep_finds_emb1_sweet_spot() {
+        let eval = Evaluator::quick();
+        let sweep = sweep_platforms(&eval).unwrap();
+        let best = sweep.best().unwrap();
+        assert_eq!(best.label, "emb1", "Figure 2(c)'s sweet spot");
+    }
+
+    #[test]
+    fn flash_sweep_is_monotone_in_cost() {
+        let eval = Evaluator::quick();
+        let sweep = sweep_flash_capacity(&eval, &[0.5, 4.0]).unwrap();
+        let small = &sweep.points[0].eval;
+        let big = &sweep.points[1].eval;
+        assert!(big.report.inf_usd() > small.report.inf_usd());
+    }
+}

@@ -1,0 +1,207 @@
+//! The reproduction scorecard: every paper anchor checked in one pass.
+//!
+//! Each [`Check`] compares one quantity from the paper against this
+//! suite's measured value with a stated tolerance; [`run_scorecard`]
+//! executes them all and reports pass/fail. The `validate` binary prints
+//! the card; the integration tests assert it stays green.
+
+use wcs_memshare::blade::BladeModel;
+use wcs_memshare::provisioning::Provisioning;
+use wcs_memshare::slowdown::{estimate_slowdown, SlowdownConfig};
+use wcs_platforms::{catalog, PlatformId};
+use wcs_tco::{Efficiency, TcoModel};
+use wcs_workloads::calib::{measure_grid, rmse, PAPER_PERF_GRID};
+use wcs_workloads::WorkloadId;
+
+use crate::designs::DesignPoint;
+use crate::evaluate::Evaluator;
+
+/// One validated quantity.
+#[derive(Debug, Clone)]
+pub struct Check {
+    /// Which table/figure this anchors.
+    pub anchor: &'static str,
+    /// What is being checked.
+    pub what: String,
+    /// The paper's value.
+    pub paper: f64,
+    /// Our measured value.
+    pub measured: f64,
+    /// Permitted absolute deviation.
+    pub tolerance: f64,
+}
+
+impl Check {
+    /// Whether the check passes.
+    pub fn pass(&self) -> bool {
+        (self.measured - self.paper).abs() <= self.tolerance
+    }
+}
+
+/// The full scorecard.
+#[derive(Debug, Clone)]
+pub struct Scorecard {
+    /// All checks, in paper order.
+    pub checks: Vec<Check>,
+}
+
+impl Scorecard {
+    /// Number of passing checks.
+    pub fn passed(&self) -> usize {
+        self.checks.iter().filter(|c| c.pass()).count()
+    }
+
+    /// True when every check passes.
+    pub fn all_pass(&self) -> bool {
+        self.passed() == self.checks.len()
+    }
+}
+
+/// Runs the scorecard. `eval` controls simulation effort.
+pub fn run_scorecard(eval: &Evaluator) -> Scorecard {
+    let mut checks = Vec::new();
+    let model = TcoModel::new(eval.rack, eval.burdened);
+
+    // Figure 1(a): cost-model exactness.
+    let r1 = model.server_tco(&catalog::platform(PlatformId::Srvr1));
+    let r2 = model.server_tco(&catalog::platform(PlatformId::Srvr2));
+    checks.push(Check {
+        anchor: "Fig 1(a)",
+        what: "srvr1 total TCO ($)".into(),
+        paper: 5758.0,
+        measured: r1.total_usd(),
+        tolerance: 2.0,
+    });
+    checks.push(Check {
+        anchor: "Fig 1(a)",
+        what: "srvr1 3-yr P&C ($)".into(),
+        paper: 2464.0,
+        measured: r1.pc_usd(),
+        tolerance: 2.0,
+    });
+    checks.push(Check {
+        anchor: "Fig 1(a)",
+        what: "srvr2 total TCO ($)".into(),
+        paper: 3249.0,
+        measured: r2.total_usd(),
+        tolerance: 2.0,
+    });
+
+    // Table 2: platform totals.
+    for (id, watt) in [
+        (PlatformId::Srvr1, 340.0),
+        (PlatformId::Desk, 135.0),
+        (PlatformId::Emb1, 52.0),
+        (PlatformId::Emb2, 35.0),
+    ] {
+        checks.push(Check {
+            anchor: "Table 2",
+            what: format!("{id} power (W)"),
+            paper: watt,
+            measured: catalog::platform(id).max_power_w(),
+            tolerance: 0.51,
+        });
+    }
+
+    // Figure 2(c): grid RMSE (excluding the documented emb2 residual).
+    let residuals = measure_grid(&eval.measure);
+    let non_emb2: Vec<_> = residuals
+        .iter()
+        .copied()
+        .filter(|r| {
+            r.platform != PlatformId::Emb2
+                && !(r.platform == PlatformId::Mobl && r.workload == WorkloadId::MapredWr)
+        })
+        .collect();
+    checks.push(Check {
+        anchor: "Fig 2(c)",
+        what: "grid RMSE vs paper (excl. documented residuals)".into(),
+        paper: 0.0,
+        measured: rmse(&non_emb2),
+        tolerance: 0.07,
+    });
+    let _ = PAPER_PERF_GRID; // grid lives in wcs-workloads::calib
+
+    // Figure 4(b): websearch slowdowns.
+    let ws_pcie = estimate_slowdown(WorkloadId::Websearch, &SlowdownConfig::paper_default());
+    checks.push(Check {
+        anchor: "Fig 4(b)",
+        what: "websearch slowdown, PCIe x4, 25% local (%)".into(),
+        paper: 4.7,
+        measured: ws_pcie.slowdown * 100.0,
+        tolerance: 1.5,
+    });
+    let ws_cbf = estimate_slowdown(WorkloadId::Websearch, &SlowdownConfig::paper_cbf());
+    checks.push(Check {
+        anchor: "Fig 4(b)",
+        what: "websearch slowdown, CBF (%)".into(),
+        paper: 1.2,
+        measured: ws_cbf.slowdown * 100.0,
+        tolerance: 0.5,
+    });
+
+    // Figure 4(c): provisioning efficiencies.
+    let emb1 = catalog::platform(PlatformId::Emb1);
+    let base_eff = Efficiency::new(1.0, model.server_tco(&emb1));
+    for (scheme, paper_tco) in [
+        (Provisioning::static_partitioning(), 1.08),
+        (Provisioning::dynamic_provisioning(), 1.11),
+    ] {
+        let modified = scheme.apply(&emb1, &BladeModel::paper_default());
+        let eff = Efficiency::new(
+            1.0 / (1.0 + scheme.assumed_slowdown),
+            model.server_tco(&modified),
+        );
+        checks.push(Check {
+            anchor: "Fig 4(c)",
+            what: format!("{} provisioning Perf/TCO-$ vs emb1", scheme.name),
+            paper: paper_tco,
+            measured: eff.relative_to(&base_eff).perf_per_tco,
+            tolerance: 0.04,
+        });
+    }
+
+    // Figure 5: the headline.
+    let base = eval
+        .evaluate(&DesignPoint::baseline_srvr1())
+        .expect("srvr1 evaluates");
+    for (design, paper_tco, tol) in [
+        (DesignPoint::n1(), 1.5, 0.35),
+        (DesignPoint::n2(), 2.0, 0.55),
+    ] {
+        let e = eval.evaluate(&design).expect("design evaluates");
+        let cmp = e.compare(&base);
+        checks.push(Check {
+            anchor: "Fig 5",
+            what: format!("{} HMean Perf/TCO-$ vs srvr1", cmp.design),
+            paper: paper_tco,
+            measured: cmp.hmean(|r| r.perf_per_tco),
+            tolerance: tol,
+        });
+    }
+
+    Scorecard { checks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scorecard_is_green() {
+        let card = run_scorecard(&Evaluator::quick());
+        for c in &card.checks {
+            assert!(
+                c.pass(),
+                "{} {}: measured {:.3} vs paper {:.3} (tol {:.3})",
+                c.anchor,
+                c.what,
+                c.measured,
+                c.paper,
+                c.tolerance
+            );
+        }
+        assert!(card.checks.len() >= 12, "scorecard covers the paper");
+        assert!(card.all_pass());
+    }
+}

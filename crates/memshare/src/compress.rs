@@ -1,0 +1,91 @@
+//! Memory compression on the blade (Section 3.4's "other optimizations":
+//! "memory compression [IBM MXT]").
+//!
+//! Compressing remote pages multiplies the blade's effective capacity at
+//! the cost of (de)compression latency on every transfer. Because blade
+//! accesses are page-granularity and already cost microseconds over
+//! PCIe, hardware compression's ~0.2-0.5 us is a small relative tax —
+//! which is why the paper flags it as a natural follow-on.
+
+use crate::link::RemoteLink;
+
+/// A compression engine model on the memory blade.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CompressionModel {
+    /// Achieved compression ratio (stored bytes = raw / ratio). MXT
+    /// reported ~2x on server workloads.
+    pub ratio: f64,
+    /// Added latency per page transfer for (de)compression, microseconds.
+    pub latency_us: f64,
+}
+
+impl CompressionModel {
+    /// IBM MXT-class hardware compression: 2x ratio, ~0.3 us per 4 KiB
+    /// page at memory-system speeds.
+    pub fn mxt_class() -> Self {
+        CompressionModel {
+            ratio: 2.0,
+            latency_us: 0.3,
+        }
+    }
+
+    /// Creates a model.
+    ///
+    /// # Panics
+    /// Panics unless `ratio >= 1` and `latency_us >= 0`, both finite.
+    pub fn new(ratio: f64, latency_us: f64) -> Self {
+        assert!(ratio.is_finite() && ratio >= 1.0, "ratio must be >= 1");
+        assert!(latency_us.is_finite() && latency_us >= 0.0);
+        CompressionModel { ratio, latency_us }
+    }
+
+    /// Effective blade capacity multiplier.
+    pub fn capacity_multiplier(&self) -> f64 {
+        self.ratio
+    }
+
+    /// The remote link with compression latency folded in.
+    pub fn compressed_link(&self, base: RemoteLink) -> RemoteLink {
+        RemoteLink::custom(
+            "compressed blade",
+            base.resume_us + self.latency_us,
+            base.trap_us,
+        )
+    }
+
+    /// Blade DRAM cost to back `fraction_of_baseline` of a server's
+    /// memory, relative to the uncompressed blade: compression divides
+    /// the devices needed.
+    pub fn remote_cost_factor(&self) -> f64 {
+        1.0 / self.ratio
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mxt_doubles_capacity() {
+        let c = CompressionModel::mxt_class();
+        assert!((c.capacity_multiplier() - 2.0).abs() < 1e-12);
+        assert!((c.remote_cost_factor() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compression_latency_is_small_relative_to_pcie() {
+        let c = CompressionModel::mxt_class();
+        let base = RemoteLink::pcie_x4();
+        let compressed = c.compressed_link(base);
+        let overhead =
+            compressed.fault_latency_secs() / base.fault_latency_secs() - 1.0;
+        assert!(overhead < 0.10, "compression adds {overhead:.2} of latency");
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio")]
+    fn rejects_expansion() {
+        CompressionModel::new(0.5, 0.1);
+    }
+}

@@ -1,0 +1,141 @@
+//! PCIe link contention on a shared memory blade.
+//!
+//! The paper's trace-driven methodology "cannot account for the
+//! second-order impact of PCIe link contention"; this module closes that
+//! gap with an M/D/1 queueing model of a blade link shared by several
+//! servers: page transfers are (nearly) deterministic 4 us jobs, and the
+//! aggregate fault rate of the attached servers offers load to the link.
+
+use crate::link::RemoteLink;
+
+/// A shared blade link serving page-transfer requests from `servers`
+/// attached servers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SharedLink {
+    /// The per-transfer latency model.
+    pub link: RemoteLink,
+    /// Number of servers sharing the blade.
+    pub servers: u32,
+}
+
+impl SharedLink {
+    /// Creates a shared link.
+    ///
+    /// # Panics
+    /// Panics if `servers` is zero.
+    pub fn new(link: RemoteLink, servers: u32) -> Self {
+        assert!(servers > 0, "a blade serves at least one server");
+        SharedLink { link, servers }
+    }
+
+    /// Link utilization when every attached server faults at
+    /// `faults_per_sec`.
+    ///
+    /// The link is busy for the page-transfer time of each fault (the
+    /// trap overhead is on the server, not the link). Note that the CBF
+    /// optimization does *not* reduce link occupancy — the whole page
+    /// still transfers — so CBF helps latency but not contention.
+    pub fn utilization(&self, faults_per_sec: f64) -> f64 {
+        assert!(faults_per_sec >= 0.0 && faults_per_sec.is_finite());
+        // Whole-page transfer time occupies the link regardless of CBF.
+        let transfer_secs = RemoteLink::pcie_x4().resume_us * 1e-6;
+        self.servers as f64 * faults_per_sec * transfer_secs
+    }
+
+    /// Mean queueing delay added to each fault by contention (M/D/1
+    /// waiting time: `rho * s / (2 (1 - rho))`), in seconds.
+    ///
+    /// Returns infinity when the offered load saturates the link.
+    pub fn queueing_delay_secs(&self, faults_per_sec: f64) -> f64 {
+        let rho = self.utilization(faults_per_sec);
+        if rho >= 1.0 {
+            return f64::INFINITY;
+        }
+        let s = RemoteLink::pcie_x4().resume_us * 1e-6;
+        rho * s / (2.0 * (1.0 - rho))
+    }
+
+    /// The effective per-fault latency including contention, as a new
+    /// [`RemoteLink`] usable by the slowdown pipeline.
+    pub fn effective_link(&self, faults_per_sec: f64) -> RemoteLink {
+        let delay_us = self.queueing_delay_secs(faults_per_sec) * 1e6;
+        assert!(
+            delay_us.is_finite(),
+            "link saturated: reduce servers per blade or local miss rate"
+        );
+        RemoteLink::custom(
+            "shared blade link",
+            self.link.resume_us + delay_us,
+            self.link.trap_us,
+        )
+    }
+
+    /// The largest per-server fault rate the link can absorb while
+    /// keeping utilization at or below `target_rho`.
+    ///
+    /// # Panics
+    /// Panics unless `target_rho` is in `(0, 1)`.
+    pub fn max_fault_rate(&self, target_rho: f64) -> f64 {
+        assert!(target_rho > 0.0 && target_rho < 1.0, "rho in (0,1)");
+        let s = RemoteLink::pcie_x4().resume_us * 1e-6;
+        target_rho / (self.servers as f64 * s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_load_no_delay() {
+        let l = SharedLink::new(RemoteLink::pcie_x4(), 8);
+        assert_eq!(l.queueing_delay_secs(0.0), 0.0);
+        assert_eq!(l.utilization(0.0), 0.0);
+    }
+
+    #[test]
+    fn delay_grows_with_servers_and_rate() {
+        let few = SharedLink::new(RemoteLink::pcie_x4(), 4);
+        let many = SharedLink::new(RemoteLink::pcie_x4(), 16);
+        let rate = 5_000.0;
+        assert!(many.queueing_delay_secs(rate) > few.queueing_delay_secs(rate));
+        assert!(few.queueing_delay_secs(2.0 * rate) > few.queueing_delay_secs(rate));
+    }
+
+    #[test]
+    fn saturation_is_flagged() {
+        let l = SharedLink::new(RemoteLink::pcie_x4(), 16);
+        // 16 servers x 20k faults/s x 4 us = 1.28 > 1.
+        assert!(l.utilization(20_000.0) > 1.0);
+        assert!(l.queueing_delay_secs(20_000.0).is_infinite());
+    }
+
+    #[test]
+    fn papers_operating_point_is_uncongested() {
+        // Figure 4(b)'s worst case: websearch at ~12k faults per CPU
+        // second with 25% local memory. Even 8 servers per blade leaves
+        // the link under 40% utilized, which supports the paper's claim
+        // that contention is second-order.
+        let l = SharedLink::new(RemoteLink::pcie_x4(), 8);
+        let rho = l.utilization(12_000.0);
+        assert!(rho < 0.45, "rho {rho}");
+        let eff = l.effective_link(12_000.0);
+        // Contention adds only ~1 us of queueing here.
+        assert!(eff.resume_us - RemoteLink::pcie_x4().resume_us < 2.0);
+    }
+
+    #[test]
+    fn cbf_does_not_reduce_link_occupancy() {
+        let pcie = SharedLink::new(RemoteLink::pcie_x4(), 8);
+        let cbf = SharedLink::new(RemoteLink::pcie_x4_cbf(), 8);
+        assert_eq!(pcie.utilization(5_000.0), cbf.utilization(5_000.0));
+    }
+
+    #[test]
+    fn max_fault_rate_inverts_utilization() {
+        let l = SharedLink::new(RemoteLink::pcie_x4(), 8);
+        let rate = l.max_fault_rate(0.5);
+        assert!((l.utilization(rate) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,136 @@
+//! DRAM/flash hybrid memory organization on the blade.
+//!
+//! The last of Section 3.4's "other optimizations": back part of the
+//! blade's capacity with flash instead of DRAM. Cold remote pages move
+//! to flash (cheap, slow); warm remote pages stay in blade DRAM. The
+//! module models the three-level hierarchy's average fault cost and the
+//! blade's cost/power as a function of the DRAM/flash split.
+
+use wcs_platforms::storage::FlashModel;
+
+use crate::link::RemoteLink;
+
+/// A hybrid blade configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct HybridBlade {
+    /// Fraction of blade capacity kept in DRAM (the warm tier).
+    pub dram_fraction: f64,
+    /// Fraction of remote faults served by the DRAM tier. With skewed
+    /// reuse this exceeds `dram_fraction` substantially (the blade
+    /// migrates warm pages up).
+    pub dram_hit_fraction: f64,
+    /// The PCIe link.
+    pub link: RemoteLink,
+    /// Flash read latency for a 4 KiB page, microseconds.
+    pub flash_page_read_us: f64,
+}
+
+impl HybridBlade {
+    /// A hybrid blade from the Table 3(a) flash technology: a 4 KiB read
+    /// costs the 20 us setup plus ~82 us of transfer at 50 MB/s.
+    ///
+    /// # Panics
+    /// Panics unless both fractions are in `[0, 1]` and the hit fraction
+    /// is at least the capacity fraction (migration cannot do worse than
+    /// random placement).
+    pub fn new(dram_fraction: f64, dram_hit_fraction: f64, link: RemoteLink) -> Self {
+        assert!((0.0..=1.0).contains(&dram_fraction), "fraction in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&dram_hit_fraction),
+            "hit fraction in [0,1]"
+        );
+        assert!(
+            dram_hit_fraction >= dram_fraction - 1e-12,
+            "warm-page migration cannot underperform random placement"
+        );
+        let flash = FlashModel::table3();
+        HybridBlade {
+            dram_fraction,
+            dram_hit_fraction,
+            link,
+            flash_page_read_us: flash.read_secs(4096.0) * 1e6,
+        }
+    }
+
+    /// Mean fault latency across DRAM and flash hits, seconds.
+    pub fn mean_fault_secs(&self) -> f64 {
+        let dram = self.link.fault_latency_secs();
+        // A flash-tier fault first reads the page from flash on the
+        // blade, then transfers it; the flash read dominates.
+        let flash = self.link.fault_latency_secs() + self.flash_page_read_us * 1e-6;
+        self.dram_hit_fraction * dram + (1.0 - self.dram_hit_fraction) * flash
+    }
+
+    /// Blade capacity cost relative to an all-DRAM blade, using the
+    /// paper's $/GB ratio (flash at $14/GB vs remote DRAM at roughly
+    /// $66/GB for the 2008 commodity sweet spot).
+    pub fn relative_capacity_cost(&self) -> f64 {
+        const FLASH_PER_DRAM_COST: f64 = 14.0 / 66.0;
+        self.dram_fraction + (1.0 - self.dram_fraction) * FLASH_PER_DRAM_COST
+    }
+
+    /// Blade power relative to an all-DRAM blade in power-down (flash
+    /// idles at effectively zero; DRAM in active power-down still
+    /// refreshes).
+    pub fn relative_power(&self) -> f64 {
+        const FLASH_PER_DRAM_POWER: f64 = 0.1;
+        self.dram_fraction + (1.0 - self.dram_fraction) * FLASH_PER_DRAM_POWER
+    }
+
+    /// The slowdown multiplier vs an all-DRAM blade for a workload whose
+    /// all-DRAM slowdown is `dram_slowdown` (e.g. Figure 4(b)'s 4.7%):
+    /// scales with the mean fault latency.
+    pub fn slowdown_scale(&self) -> f64 {
+        self.mean_fault_secs() / self.link.fault_latency_secs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_dram_is_the_identity() {
+        let b = HybridBlade::new(1.0, 1.0, RemoteLink::pcie_x4());
+        assert!((b.mean_fault_secs() - RemoteLink::pcie_x4().fault_latency_secs()).abs() < 1e-12);
+        assert!((b.relative_capacity_cost() - 1.0).abs() < 1e-12);
+        assert!((b.slowdown_scale() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn half_dram_with_skewed_reuse_is_cheap_and_not_much_slower() {
+        // Warm-page migration turns 50% DRAM capacity into ~90% of hits.
+        let b = HybridBlade::new(0.5, 0.9, RemoteLink::pcie_x4());
+        assert!(b.relative_capacity_cost() < 0.65);
+        assert!(b.relative_power() < 0.6);
+        // Mean fault cost grows, but far less than the flash/DRAM
+        // latency ratio.
+        let scale = b.slowdown_scale();
+        assert!((1.5..=4.5).contains(&scale), "scale {scale}");
+    }
+
+    #[test]
+    fn all_flash_blade_is_cheapest_but_slow() {
+        let b = HybridBlade::new(0.0, 0.0, RemoteLink::pcie_x4());
+        assert!(b.relative_capacity_cost() < 0.25);
+        // ~102 us flash read vs 4.36 us DRAM fault: ~24x the latency.
+        assert!(b.slowdown_scale() > 15.0, "scale {}", b.slowdown_scale());
+    }
+
+    #[test]
+    fn websearch_stays_viable_at_half_dram() {
+        // Figure 4(b): websearch suffers 4.7% with an all-DRAM blade.
+        // With 50% DRAM and 90% warm hits, the slowdown stays near 1.5x
+        // that — i.e. ~10%, which a 35%-cheaper blade may well buy.
+        let b = HybridBlade::new(0.5, 0.9, RemoteLink::pcie_x4());
+        let slowdown = 0.047 * b.slowdown_scale();
+        assert!(slowdown < 0.17, "hybrid websearch slowdown {slowdown}");
+    }
+
+    #[test]
+    #[should_panic(expected = "migration")]
+    fn rejects_worse_than_random_placement() {
+        HybridBlade::new(0.5, 0.2, RemoteLink::pcie_x4());
+    }
+}

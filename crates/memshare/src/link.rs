@@ -1,0 +1,94 @@
+//! PCIe link and fault-latency model.
+
+/// Latency model for a remote-page fault: a light-weight trap plus the
+/// time until the faulting access can resume.
+///
+/// The paper derives 4 us for a 4 KiB page over a PCIe 2.0 x4 link
+/// (2 x 1 GB/s per direction, plus DRAM and bus-transfer latencies), and
+/// 0.75 us with the critical-block-first optimization, where execution
+/// resumes as soon as the needed 64-byte block arrives.
+///
+/// # Example
+/// ```
+/// use wcs_memshare::link::RemoteLink;
+/// let pcie = RemoteLink::pcie_x4();
+/// let cbf = RemoteLink::pcie_x4_cbf();
+/// assert!(cbf.fault_latency_secs() < pcie.fault_latency_secs());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RemoteLink {
+    /// Descriptive name.
+    pub name: &'static str,
+    /// Time until the faulting access resumes, microseconds.
+    pub resume_us: f64,
+    /// Light-weight trap-handler overhead (TLB miss, victim selection,
+    /// DMA setup), microseconds.
+    pub trap_us: f64,
+}
+
+impl RemoteLink {
+    /// Whole-page transfer over PCIe 2.0 x4: 4 us to move 4 KiB.
+    pub fn pcie_x4() -> Self {
+        RemoteLink {
+            name: "PCIe x4 (4 us)",
+            resume_us: 4.0,
+            trap_us: 0.36,
+        }
+    }
+
+    /// Critical-block-first on the same link: resume after 0.75 us.
+    pub fn pcie_x4_cbf() -> Self {
+        RemoteLink {
+            name: "CBF (0.75 us)",
+            resume_us: 0.75,
+            trap_us: 0.36,
+        }
+    }
+
+    /// A custom link.
+    ///
+    /// # Panics
+    /// Panics if either latency is negative or non-finite.
+    pub fn custom(name: &'static str, resume_us: f64, trap_us: f64) -> Self {
+        assert!(resume_us.is_finite() && resume_us >= 0.0);
+        assert!(trap_us.is_finite() && trap_us >= 0.0);
+        RemoteLink {
+            name,
+            resume_us,
+            trap_us,
+        }
+    }
+
+    /// Total stall per remote fault, in seconds.
+    pub fn fault_latency_secs(&self) -> f64 {
+        (self.resume_us + self.trap_us) * 1e-6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_latency_points() {
+        assert!((RemoteLink::pcie_x4().resume_us - 4.0).abs() < 1e-12);
+        assert!((RemoteLink::pcie_x4_cbf().resume_us - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cbf_ratio_matches_figure4b() {
+        // Figure 4(b): websearch slows 4.7% on PCIe x4 and 1.2% with CBF
+        // — a 3.9x ratio. Slowdowns are proportional to fault latency, so
+        // the latency ratio must land there too.
+        let ratio = RemoteLink::pcie_x4().fault_latency_secs()
+            / RemoteLink::pcie_x4_cbf().fault_latency_secs();
+        assert!((3.6..=4.2).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn custom_rejects_negative() {
+        RemoteLink::custom("bad", -1.0, 0.0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Blade overflow under dynamic provisioning.
+//!
+//! The dynamic scheme provisions only 85% of the ensemble's peak memory
+//! (Section 3.4), betting that per-server peaks do not coincide. When
+//! the bet loses — aggregate demand exceeds the blade — something must
+//! give: the blade swaps its coldest pages to disk, and faults to those
+//! pages pay disk latency instead of PCIe latency. This module
+//! quantifies that risk: the probability of overflow for a given demand
+//! distribution and the expected fault-latency inflation when it
+//! happens.
+
+use wcs_simcore::SimRng;
+
+use crate::link::RemoteLink;
+
+/// Demand model for one server's memory use: a truncated-normal fraction
+/// of its peak.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DemandModel {
+    /// Mean demand as a fraction of the server's peak.
+    pub mean: f64,
+    /// Standard deviation of the fraction.
+    pub std_dev: f64,
+}
+
+impl DemandModel {
+    /// The sizing study's default: servers average 65% of peak with 15%
+    /// spread (consistent with the ensemble-overprovisioning studies the
+    /// paper cites [Ranganathan et al.]).
+    pub fn typical() -> Self {
+        DemandModel {
+            mean: 0.65,
+            std_dev: 0.15,
+        }
+    }
+
+    /// Validates the model.
+    ///
+    /// # Panics
+    /// Panics on out-of-range parameters.
+    pub fn validate(&self) {
+        assert!((0.0..=1.0).contains(&self.mean), "mean fraction in [0,1]");
+        assert!(self.std_dev >= 0.0 && self.std_dev.is_finite());
+    }
+
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        // Box-Muller normal, truncated to [0, 1].
+        let u1 = (1.0 - rng.uniform()).max(f64::MIN_POSITIVE);
+        let u2 = rng.uniform();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (self.mean + self.std_dev * z).clamp(0.0, 1.0)
+    }
+}
+
+/// Result of the overflow risk analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct OverflowRisk {
+    /// Fraction of sampled epochs in which aggregate demand exceeded the
+    /// provisioned capacity.
+    pub overflow_probability: f64,
+    /// Mean fraction of remote pages displaced to disk, over overflowing
+    /// epochs (0 when none overflow).
+    pub displaced_fraction: f64,
+    /// Expected fault latency across epochs, seconds (PCIe for resident
+    /// pages, disk for displaced ones).
+    pub expected_fault_secs: f64,
+}
+
+/// Disk swap latency for a 4 KiB page on the SAN laptop disk (~15 ms
+/// access dominates).
+pub const DISK_SWAP_SECS: f64 = 15.2e-3;
+
+/// Monte-Carlo estimate of the overflow risk for `servers` sharing a
+/// blade provisioned at `provisioned_fraction` of their aggregate peak.
+///
+/// # Panics
+/// Panics on zero servers/epochs or a non-positive provisioned fraction.
+pub fn overflow_risk(
+    demand: DemandModel,
+    servers: u32,
+    provisioned_fraction: f64,
+    link: RemoteLink,
+    epochs: u32,
+    seed: u64,
+) -> OverflowRisk {
+    demand.validate();
+    assert!(servers > 0, "need servers");
+    assert!(epochs > 0, "need epochs");
+    assert!(
+        provisioned_fraction.is_finite() && provisioned_fraction > 0.0,
+        "provisioned fraction must be positive"
+    );
+    let mut rng = SimRng::seed_from(seed);
+    let capacity = provisioned_fraction * servers as f64;
+    let mut overflows = 0u32;
+    let mut displaced_sum = 0.0;
+    let mut latency_sum = 0.0;
+    for _ in 0..epochs {
+        let total: f64 = (0..servers).map(|_| demand.sample(&mut rng)).sum();
+        let displaced = ((total - capacity) / total).max(0.0);
+        if displaced > 0.0 {
+            overflows += 1;
+            displaced_sum += displaced;
+        }
+        latency_sum += (1.0 - displaced) * link.fault_latency_secs() + displaced * DISK_SWAP_SECS;
+    }
+    OverflowRisk {
+        overflow_probability: f64::from(overflows) / f64::from(epochs),
+        displaced_fraction: if overflows > 0 {
+            displaced_sum / f64::from(overflows)
+        } else {
+            0.0
+        },
+        expected_fault_secs: latency_sum / f64::from(epochs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_provisioning_never_overflows() {
+        let r = overflow_risk(
+            DemandModel::typical(),
+            16,
+            1.0,
+            RemoteLink::pcie_x4(),
+            20_000,
+            1,
+        );
+        assert_eq!(r.overflow_probability, 0.0);
+        assert_eq!(r.displaced_fraction, 0.0);
+        assert!((r.expected_fault_secs - RemoteLink::pcie_x4().fault_latency_secs()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn papers_85_percent_is_safe_at_ensemble_scale() {
+        // 16 servers at 65% +/- 15% mean demand against 85% provisioning:
+        // the central limit keeps aggregate demand far from the cap.
+        let r = overflow_risk(
+            DemandModel::typical(),
+            16,
+            0.85,
+            RemoteLink::pcie_x4(),
+            50_000,
+            2,
+        );
+        assert!(r.overflow_probability < 0.01, "p {}", r.overflow_probability);
+        // Expected fault latency stays within 25% of pure PCIe.
+        assert!(r.expected_fault_secs < RemoteLink::pcie_x4().fault_latency_secs() * 1.25);
+    }
+
+    #[test]
+    fn small_ensembles_are_riskier() {
+        let small = overflow_risk(DemandModel::typical(), 2, 0.85, RemoteLink::pcie_x4(), 50_000, 3);
+        let large = overflow_risk(DemandModel::typical(), 32, 0.85, RemoteLink::pcie_x4(), 50_000, 3);
+        assert!(
+            small.overflow_probability > large.overflow_probability,
+            "{} vs {}",
+            small.overflow_probability,
+            large.overflow_probability
+        );
+    }
+
+    #[test]
+    fn underprovisioning_blows_up_latency() {
+        let r = overflow_risk(
+            DemandModel::typical(),
+            16,
+            0.5, // well under the 65% mean demand
+            RemoteLink::pcie_x4(),
+            20_000,
+            5,
+        );
+        assert!(r.overflow_probability > 0.99);
+        // Disk swaps dominate: expected latency is orders above PCIe.
+        assert!(r.expected_fault_secs > 100.0 * RemoteLink::pcie_x4().fault_latency_secs());
+    }
+
+    #[test]
+    #[should_panic(expected = "provisioned fraction")]
+    fn rejects_zero_provisioning() {
+        overflow_risk(DemandModel::typical(), 4, 0.0, RemoteLink::pcie_x4(), 10, 1);
+    }
+}

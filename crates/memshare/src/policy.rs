@@ -1,0 +1,269 @@
+//! Replacement policies for the local page store.
+//!
+//! The paper evaluates LRU and random replacement, "expecting that an
+//! implementable policy would have performance between these points"; we
+//! add clock (the usual implementable policy) to check that expectation.
+
+use std::collections::HashMap;
+
+use wcs_simcore::SimRng;
+
+/// Which replacement policy to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum PolicyKind {
+    /// Least-recently-used (upper bound among the paper's pair).
+    Lru,
+    /// Random victim (lower bound among the paper's pair).
+    Random,
+    /// Clock / second-chance (implementable middle ground).
+    Clock,
+}
+
+/// Result of touching a page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Touch {
+    /// The page was resident.
+    Hit,
+    /// The page was not resident; it has been installed, evicting the
+    /// contained victim (None while the store is still filling).
+    Miss {
+        /// Evicted page and whether it was dirty, if the store was full.
+        evicted: Option<(u64, bool)>,
+    },
+}
+
+/// A fixed-capacity local page store with a pluggable replacement policy.
+///
+/// Tracks dirty bits so the two-level simulator can count victim
+/// writebacks.
+///
+/// # Example
+/// ```
+/// use wcs_memshare::policy::{PageStore, PolicyKind, Touch};
+/// let mut store = PageStore::new(2, PolicyKind::Lru, 1);
+/// assert!(matches!(store.touch(1, false), Touch::Miss { evicted: None }));
+/// assert!(matches!(store.touch(1, false), Touch::Hit));
+/// ```
+#[derive(Debug)]
+pub struct PageStore {
+    kind: PolicyKind,
+    capacity: usize,
+    // page -> slot index
+    map: HashMap<u64, usize>,
+    // slot -> (page, dirty, ref_bit)
+    slots: Vec<(u64, bool, bool)>,
+    // LRU: doubly-linked list over slots; head = MRU, tail = LRU victim.
+    prev: Vec<usize>,
+    next: Vec<usize>,
+    head: usize,
+    tail: usize,
+    // Clock hand.
+    hand: usize,
+    rng: SimRng,
+}
+
+const NIL: usize = usize::MAX;
+
+impl PageStore {
+    /// Creates an empty store holding up to `capacity` pages.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, kind: PolicyKind, seed: u64) -> Self {
+        assert!(capacity > 0, "page store needs capacity");
+        PageStore {
+            kind,
+            capacity,
+            map: HashMap::with_capacity(capacity * 2),
+            slots: Vec::with_capacity(capacity),
+            prev: Vec::with_capacity(capacity),
+            next: Vec::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
+            hand: 0,
+            rng: SimRng::seed_from(seed),
+        }
+    }
+
+    /// Number of resident pages.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when no pages are resident.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Capacity in pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// True if `page` is resident (no policy state update).
+    pub fn contains(&self, page: u64) -> bool {
+        self.map.contains_key(&page)
+    }
+
+    fn unlink(&mut self, slot: usize) {
+        let (p, n) = (self.prev[slot], self.next[slot]);
+        if p != NIL {
+            self.next[p] = n;
+        } else {
+            self.head = n;
+        }
+        if n != NIL {
+            self.prev[n] = p;
+        } else {
+            self.tail = p;
+        }
+    }
+
+    fn push_front(&mut self, slot: usize) {
+        self.prev[slot] = NIL;
+        self.next[slot] = self.head;
+        if self.head != NIL {
+            self.prev[self.head] = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    fn pick_victim(&mut self) -> usize {
+        match self.kind {
+            PolicyKind::Lru => self.tail,
+            PolicyKind::Random => self.rng.index(self.slots.len()),
+            PolicyKind::Clock => loop {
+                let slot = self.hand;
+                self.hand = (self.hand + 1) % self.slots.len();
+                if self.slots[slot].2 {
+                    self.slots[slot].2 = false; // second chance
+                } else {
+                    break slot;
+                }
+            },
+        }
+    }
+
+    /// Touches `page`, marking it dirty when `write` is set. Returns
+    /// whether it hit, and on a full-store miss which victim was evicted.
+    pub fn touch(&mut self, page: u64, write: bool) -> Touch {
+        if let Some(&slot) = self.map.get(&page) {
+            self.slots[slot].1 |= write;
+            self.slots[slot].2 = true;
+            if self.kind == PolicyKind::Lru {
+                self.unlink(slot);
+                self.push_front(slot);
+            }
+            return Touch::Hit;
+        }
+        if self.slots.len() < self.capacity {
+            let slot = self.slots.len();
+            self.slots.push((page, write, true));
+            self.prev.push(NIL);
+            self.next.push(NIL);
+            self.push_front(slot);
+            self.map.insert(page, slot);
+            return Touch::Miss { evicted: None };
+        }
+        let victim = self.pick_victim();
+        let (old_page, dirty, _) = self.slots[victim];
+        self.map.remove(&old_page);
+        self.slots[victim] = (page, write, true);
+        self.map.insert(page, victim);
+        if self.kind == PolicyKind::Lru {
+            self.unlink(victim);
+            self.push_front(victim);
+        }
+        Touch::Miss {
+            evicted: Some((old_page, dirty)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut s = PageStore::new(2, PolicyKind::Lru, 0);
+        s.touch(1, false);
+        s.touch(2, false);
+        s.touch(1, false); // 1 is now MRU
+        let t = s.touch(3, false);
+        assert_eq!(
+            t,
+            Touch::Miss {
+                evicted: Some((2, false))
+            }
+        );
+        assert!(s.contains(1) && s.contains(3) && !s.contains(2));
+    }
+
+    #[test]
+    fn dirty_bit_propagates_to_eviction() {
+        let mut s = PageStore::new(1, PolicyKind::Lru, 0);
+        s.touch(7, true);
+        let t = s.touch(8, false);
+        assert_eq!(
+            t,
+            Touch::Miss {
+                evicted: Some((7, true))
+            }
+        );
+    }
+
+    #[test]
+    fn random_stays_within_capacity() {
+        let mut s = PageStore::new(64, PolicyKind::Random, 5);
+        for page in 0..10_000u64 {
+            s.touch(page % 512, page % 3 == 0);
+            assert!(s.len() <= 64);
+        }
+        assert_eq!(s.len(), 64);
+    }
+
+    #[test]
+    fn clock_gives_second_chances() {
+        let mut s = PageStore::new(3, PolicyKind::Clock, 0);
+        s.touch(1, false);
+        s.touch(2, false);
+        s.touch(3, false);
+        // Re-reference 1 so its ref bit is set; the next miss should
+        // evict 2 or 3, never 1 (1 gets a second chance).
+        s.touch(1, false);
+        // Clear ref bits by forcing a sweep: all have ref=1, so the hand
+        // clears 1 then evicts 2 (first with cleared bit after 1's
+        // second chance). Either way, 1 must survive exactly this miss.
+        s.touch(4, false);
+        assert!(s.contains(4));
+        assert!(s.len() == 3);
+    }
+
+    #[test]
+    fn lru_inclusion_property() {
+        // A larger LRU store hits whenever a smaller one does (stack
+        // property) — checked empirically on a skewed stream.
+        let mut small = PageStore::new(32, PolicyKind::Lru, 0);
+        let mut large = PageStore::new(128, PolicyKind::Lru, 0);
+        let mut rng = SimRng::seed_from(9);
+        for _ in 0..20_000 {
+            let page = (rng.uniform() * rng.uniform() * 4096.0) as u64;
+            let small_hit = matches!(small.touch(page, false), Touch::Hit);
+            let large_hit = matches!(large.touch(page, false), Touch::Hit);
+            if small_hit {
+                assert!(large_hit, "inclusion violated at page {page}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn rejects_zero_capacity() {
+        PageStore::new(0, PolicyKind::Lru, 0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Static and dynamic capacity provisioning (Figure 4(c)).
+//!
+//! Both schemes keep 25% of the baseline memory local:
+//!
+//! * **static partitioning** keeps the same total DRAM as the baseline,
+//!   with the remaining 75% on the blade;
+//! * **dynamic provisioning** exploits ensemble-level statistical
+//!   multiplexing: 20% of blades run on local memory alone, so the total
+//!   system memory is only 85% of baseline (25% local + 60% remote).
+//!
+//! The paper assumes a uniform 2% slowdown for both schemes when
+//! computing Figure 4(c).
+
+use wcs_platforms::{BomItem, Component, Platform};
+
+use crate::blade::BladeModel;
+
+/// A memory-provisioning scheme.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Provisioning {
+    /// Scheme name.
+    pub name: &'static str,
+    /// Local memory as a fraction of baseline capacity.
+    pub local_fraction: f64,
+    /// Remote (blade) memory as a fraction of baseline capacity.
+    pub remote_fraction: f64,
+    /// Assumed uniform slowdown (the paper uses 0.02).
+    pub assumed_slowdown: f64,
+}
+
+impl Provisioning {
+    /// Static partitioning: 25% local + 75% remote = 100% of baseline.
+    pub fn static_partitioning() -> Self {
+        Provisioning {
+            name: "static",
+            local_fraction: 0.25,
+            remote_fraction: 0.75,
+            assumed_slowdown: 0.02,
+        }
+    }
+
+    /// Dynamic provisioning: 25% local + 60% remote = 85% of baseline.
+    pub fn dynamic_provisioning() -> Self {
+        Provisioning {
+            name: "dynamic",
+            local_fraction: 0.25,
+            remote_fraction: 0.60,
+            assumed_slowdown: 0.02,
+        }
+    }
+
+    /// Applies the scheme to a platform: shrinks the local memory line
+    /// and adds a memory-blade line (remote devices + controller share).
+    /// Returns the modified platform; its performance should be scaled by
+    /// `1 / (1 + assumed_slowdown)`.
+    pub fn apply(&self, platform: &Platform, blade: &BladeModel) -> Platform {
+        let mem_cost = platform.component_cost(Component::Memory);
+        let mem_power = platform.component_power(Component::Memory);
+        let local = BomItem::new(
+            Component::Memory,
+            mem_cost * self.local_fraction,
+            mem_power * self.local_fraction,
+        );
+        let remote = BomItem::new(
+            Component::MemoryBlade,
+            blade.remote_memory_cost_usd(mem_cost, self.remote_fraction)
+                + blade.controller_cost_usd,
+            blade.remote_memory_power_w(mem_power, self.remote_fraction)
+                + blade.controller_power_w,
+        );
+        let mut p = platform.with_component(local).with_component(remote);
+        p.name = format!("{}+memblade-{}", platform.name, self.name);
+        // The effective memory capacity visible to software is unchanged
+        // (local + blade allocation), so `p.memory` keeps its capacity.
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcs_platforms::{catalog, PlatformId};
+    use wcs_tco::{Efficiency, TcoModel};
+
+    fn fig4c(scheme: Provisioning) -> (f64, f64, f64) {
+        // Relative Perf/Inf-$, Perf/W, Perf/TCO-$ vs the emb1 baseline.
+        let base_platform = catalog::platform(PlatformId::Emb1);
+        let modified = scheme.apply(&base_platform, &BladeModel::paper_default());
+        let model = TcoModel::paper_default();
+        let base = Efficiency::new(1.0, model.server_tco(&base_platform));
+        let new = Efficiency::new(
+            1.0 / (1.0 + scheme.assumed_slowdown),
+            model.server_tco(&modified),
+        );
+        let rel = new.relative_to(&base);
+        (rel.perf_per_inf, rel.perf_per_watt, rel.perf_per_tco)
+    }
+
+    /// Figure 4(c), static row: Perf/Inf-$ 102%, Perf/W 116%,
+    /// Perf/TCO-$ 108%.
+    #[test]
+    fn figure4c_static() {
+        let (inf, watt, tco) = fig4c(Provisioning::static_partitioning());
+        assert!((inf - 1.02).abs() < 0.03, "Perf/Inf-$ {inf}");
+        assert!((watt - 1.16).abs() < 0.05, "Perf/W {watt}");
+        assert!((tco - 1.08).abs() < 0.04, "Perf/TCO-$ {tco}");
+    }
+
+    /// Figure 4(c), dynamic row: Perf/Inf-$ 106%, Perf/W 116%,
+    /// Perf/TCO-$ 111%.
+    #[test]
+    fn figure4c_dynamic() {
+        let (inf, watt, tco) = fig4c(Provisioning::dynamic_provisioning());
+        assert!((inf - 1.06).abs() < 0.03, "Perf/Inf-$ {inf}");
+        assert!((watt - 1.16).abs() < 0.05, "Perf/W {watt}");
+        assert!((tco - 1.11).abs() < 0.04, "Perf/TCO-$ {tco}");
+    }
+
+    #[test]
+    fn dynamic_cheaper_than_static() {
+        let blade = BladeModel::paper_default();
+        let p = catalog::platform(PlatformId::Emb1);
+        let s = Provisioning::static_partitioning().apply(&p, &blade);
+        let d = Provisioning::dynamic_provisioning().apply(&p, &blade);
+        assert!(d.hardware_cost_usd() < s.hardware_cost_usd());
+        assert!(s.hardware_cost_usd() < p.hardware_cost_usd());
+    }
+
+    #[test]
+    fn memory_power_drops_substantially() {
+        let blade = BladeModel::paper_default();
+        let p = catalog::platform(PlatformId::Emb1);
+        let s = Provisioning::static_partitioning().apply(&p, &blade);
+        let before = p.component_power(Component::Memory);
+        let after = s.component_power(Component::Memory)
+            + s.component_power(Component::MemoryBlade);
+        assert!(after < before * 0.5, "{after} vs {before}");
+    }
+
+    #[test]
+    fn names_are_tagged() {
+        let blade = BladeModel::paper_default();
+        let p = catalog::platform(PlatformId::Emb1);
+        assert!(Provisioning::static_partitioning()
+            .apply(&p, &blade)
+            .name
+            .contains("static"));
+    }
+}

@@ -1,0 +1,205 @@
+//! Trace-driven two-level memory simulator.
+
+use wcs_workloads::memtrace::MemTraceGen;
+
+use crate::policy::{PageStore, PolicyKind, Touch};
+
+/// Miss statistics from a trace replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MissStats {
+    /// Page touches replayed.
+    pub accesses: u64,
+    /// Touches that faulted to the remote blade.
+    pub misses: u64,
+    /// Dirty victims written back during swaps.
+    pub writebacks: u64,
+}
+
+impl MissStats {
+    /// Fraction of touches that faulted.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// The two-level (local + remote-blade) memory simulator.
+///
+/// Models the paper's exclusive hierarchy: pages live either in local
+/// memory or on the blade; a fault swaps the touched page with a local
+/// victim (dirty victims cost a writeback DMA). Cold misses while local
+/// memory is still filling are not charged — the paper measures steady
+/// state.
+///
+/// # Example
+/// ```
+/// use wcs_memshare::twolevel::TwoLevelSim;
+/// use wcs_memshare::policy::PolicyKind;
+/// use wcs_workloads::{memtrace, WorkloadId};
+/// let mut gen = memtrace::MemTraceGen::new(memtrace::params_for(WorkloadId::Ytube), 3);
+/// let mut sim = TwoLevelSim::new(50_000, PolicyKind::Lru, 9);
+/// let stats = sim.run(&mut gen, 100_000);
+/// assert!(stats.accesses == 100_000);
+/// ```
+#[derive(Debug)]
+pub struct TwoLevelSim {
+    local: PageStore,
+    warm: bool,
+}
+
+impl TwoLevelSim {
+    /// Creates a simulator with `local_pages` of first-level memory.
+    ///
+    /// # Panics
+    /// Panics if `local_pages` is zero.
+    pub fn new(local_pages: usize, policy: PolicyKind, seed: u64) -> Self {
+        TwoLevelSim {
+            local: PageStore::new(local_pages, policy, seed),
+            warm: false,
+        }
+    }
+
+    /// Replays `n` touches from the generator, returning steady-state
+    /// statistics (the fill phase is replayed but not charged).
+    pub fn run(&mut self, gen: &mut MemTraceGen, n: u64) -> MissStats {
+        let mut stats = MissStats::default();
+        for _ in 0..n {
+            let a = gen.next_access();
+            let touch = self.local.touch(a.page, a.write);
+            stats.accesses += 1;
+            match touch {
+                Touch::Hit => {}
+                Touch::Miss { evicted: None } => {
+                    // Cold fill: local memory not yet full.
+                }
+                Touch::Miss {
+                    evicted: Some((_, dirty)),
+                } => {
+                    self.warm = true;
+                    stats.misses += 1;
+                    if dirty {
+                        stats.writebacks += 1;
+                    }
+                }
+            }
+        }
+        stats
+    }
+
+    /// Convenience: replay `fill` accesses to warm up, then measure over
+    /// `measured` accesses.
+    pub fn run_steady(&mut self, gen: &mut MemTraceGen, fill: u64, measured: u64) -> MissStats {
+        let _ = self.run(gen, fill);
+        self.run(gen, measured)
+    }
+
+    /// Local capacity in pages.
+    pub fn local_pages(&self) -> usize {
+        self.local.capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcs_workloads::memtrace::{params_for, MemTraceParams};
+    use wcs_workloads::WorkloadId;
+
+    fn small_params() -> MemTraceParams {
+        MemTraceParams {
+            footprint_pages: 10_000,
+            zipf_s: 0.8,
+            write_fraction: 0.3,
+            accesses_per_cpu_sec: 1e5,
+        }
+    }
+
+    #[test]
+    fn bigger_local_memory_misses_less() {
+        let p = small_params();
+        let mut small = TwoLevelSim::new(1_000, PolicyKind::Random, 1);
+        let mut large = TwoLevelSim::new(5_000, PolicyKind::Random, 1);
+        let mut g1 = MemTraceGen::new(p, 7);
+        let mut g2 = MemTraceGen::new(p, 7);
+        let s = small.run_steady(&mut g1, 50_000, 200_000);
+        let l = large.run_steady(&mut g2, 50_000, 200_000);
+        assert!(
+            s.miss_ratio() > l.miss_ratio() * 1.5,
+            "{} vs {}",
+            s.miss_ratio(),
+            l.miss_ratio()
+        );
+    }
+
+    #[test]
+    fn lru_beats_random_on_skewed_traces() {
+        let p = MemTraceParams {
+            zipf_s: 1.1,
+            ..small_params()
+        };
+        let mut lru = TwoLevelSim::new(2_000, PolicyKind::Lru, 1);
+        let mut rnd = TwoLevelSim::new(2_000, PolicyKind::Random, 1);
+        let l = lru.run_steady(&mut MemTraceGen::new(p, 3), 50_000, 200_000);
+        let r = rnd.run_steady(&mut MemTraceGen::new(p, 3), 50_000, 200_000);
+        assert!(l.miss_ratio() <= r.miss_ratio() * 1.05, "{} vs {}", l.miss_ratio(), r.miss_ratio());
+    }
+
+    #[test]
+    fn clock_lands_between_lru_and_random() {
+        let p = MemTraceParams {
+            zipf_s: 1.0,
+            ..small_params()
+        };
+        let run = |kind| {
+            let mut sim = TwoLevelSim::new(2_000, kind, 1);
+            sim.run_steady(&mut MemTraceGen::new(p, 5), 50_000, 300_000)
+                .miss_ratio()
+        };
+        let (lru, clock, rnd) = (
+            run(PolicyKind::Lru),
+            run(PolicyKind::Clock),
+            run(PolicyKind::Random),
+        );
+        // "An implementable policy would have performance between these
+        // points" — allow small statistical slack.
+        assert!(clock >= lru * 0.95, "clock {clock} vs lru {lru}");
+        assert!(clock <= rnd * 1.05, "clock {clock} vs random {rnd}");
+    }
+
+    #[test]
+    fn writebacks_track_write_fraction() {
+        let p = small_params();
+        let mut sim = TwoLevelSim::new(1_000, PolicyKind::Random, 1);
+        let stats = sim.run_steady(&mut MemTraceGen::new(p, 11), 50_000, 200_000);
+        assert!(stats.writebacks > 0);
+        assert!(stats.writebacks <= stats.misses);
+        // Writeback fraction should be near the steady-state dirty
+        // fraction, which exceeds the per-touch write fraction.
+        let frac = stats.writebacks as f64 / stats.misses as f64;
+        assert!(frac > 0.25, "writeback fraction {frac}");
+    }
+
+    #[test]
+    fn no_misses_when_footprint_fits() {
+        let p = MemTraceParams {
+            footprint_pages: 500,
+            ..small_params()
+        };
+        let mut sim = TwoLevelSim::new(1_000, PolicyKind::Lru, 1);
+        let stats = sim.run_steady(&mut MemTraceGen::new(p, 13), 10_000, 50_000);
+        assert_eq!(stats.misses, 0);
+    }
+
+    #[test]
+    fn paper_workload_traces_run() {
+        for id in WorkloadId::ALL {
+            let mut sim = TwoLevelSim::new(131_072, PolicyKind::Random, 2);
+            let stats = sim.run_steady(&mut MemTraceGen::new(params_for(id), 17), 200_000, 200_000);
+            assert_eq!(stats.accesses, 200_000, "{id}");
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! The six platforms of Table 2, with the cost/power data of Figure 1.
+//!
+//! `srvr1` and `srvr2` use the paper's published per-component numbers
+//! verbatim. For `desk`, `mobl`, `emb1`, and `emb2` the paper publishes
+//! only totals (Table 2: 135 W/$849-with-switch, 78 W/$989, 52 W/$499,
+//! 35 W/$379) plus stacked-bar charts; the per-component splits below are
+//! our estimates constrained to reproduce those totals exactly and to
+//! follow the text's qualitative statements (CPU is the biggest saving;
+//! mobile parts carry a low-power premium; all consumer platforms keep
+//! 4 GB of memory and a desktop disk).
+
+use crate::component::{BomItem, Component};
+use crate::cpu::{CpuModel, Microarch};
+use crate::memory::{MemoryConfig, MemoryTech};
+use crate::net::NicModel;
+use crate::platform::{Platform, PlatformId};
+use crate::storage::DiskModel;
+
+/// Number of servers per rack in the paper's default configuration.
+pub const SERVERS_PER_RACK: u32 = 40;
+/// Rack switch + enclosure cost, amortized across the rack (Figure 1(a)).
+pub const SWITCH_COST_USD: f64 = 2750.0;
+/// Rack switch power in watts (Figure 1(a)).
+pub const SWITCH_POWER_W: f64 = 40.0;
+
+/// Builds the catalog platform with the given id.
+///
+/// # Example
+/// ```
+/// use wcs_platforms::{catalog, PlatformId};
+/// let emb1 = catalog::platform(PlatformId::Emb1);
+/// assert_eq!(emb1.cpu.total_cores(), 2);
+/// assert!((emb1.max_power_w() - 52.0).abs() < 0.5);
+/// ```
+pub fn platform(id: PlatformId) -> Platform {
+    match id {
+        PlatformId::Srvr1 => srvr1(),
+        PlatformId::Srvr2 => srvr2(),
+        PlatformId::Desk => desk(),
+        PlatformId::Mobl => mobl(),
+        PlatformId::Emb1 => emb1(),
+        PlatformId::Emb2 => emb2(),
+    }
+}
+
+/// All six catalog platforms in Table 2 order.
+pub fn all() -> Vec<Platform> {
+    PlatformId::ALL.iter().map(|&id| platform(id)).collect()
+}
+
+fn srvr1() -> Platform {
+    let mut b = Platform::builder("srvr1");
+    b.cpu(
+        CpuModel::new("Xeon MP / Opteron MP", 2, 4, 2.6, Microarch::OutOfOrder, 64, 8192),
+        1700.0,
+        210.0,
+    )
+    .memory(MemoryConfig::new(4.0, MemoryTech::FbDimm), 350.0, 25.0)
+    .disk(DiskModel::server_15k())
+    .nic(NicModel::ten_gigabit())
+    .board_cost(400.0, 50.0)
+    .power_fans_cost(500.0, 40.0);
+    b.build()
+}
+
+fn srvr2() -> Platform {
+    let mut b = Platform::builder("srvr2");
+    b.cpu(
+        CpuModel::new("Xeon / Opteron", 1, 4, 2.6, Microarch::OutOfOrder, 64, 8192),
+        650.0,
+        105.0,
+    )
+    .memory(MemoryConfig::new(4.0, MemoryTech::FbDimm), 350.0, 25.0)
+    .disk(DiskModel::desktop())
+    .nic(NicModel::gigabit())
+    .board_cost(250.0, 40.0)
+    .power_fans_cost(250.0, 35.0);
+    // Figure 1(a) lists srvr2's disk at $120/10 W, which matches the
+    // desktop disk model exactly.
+    b.build()
+}
+
+fn desk() -> Platform {
+    let mut b = Platform::builder("desk");
+    b.cpu(
+        CpuModel::new("Core 2 / Athlon 64", 1, 2, 2.2, Microarch::OutOfOrder, 32, 2048),
+        180.0,
+        65.0,
+    )
+    .memory(MemoryConfig::new(4.0, MemoryTech::Ddr2), 200.0, 20.0)
+    .disk(DiskModel::desktop())
+    .nic(NicModel::gigabit())
+    .board_cost(160.0, 25.0)
+    .power_fans_cost(120.0, 15.0);
+    b.build()
+}
+
+fn mobl() -> Platform {
+    let mut b = Platform::builder("mobl");
+    b.cpu(
+        CpuModel::new("Core 2 Mobile / Turion", 1, 2, 2.0, Microarch::OutOfOrder, 32, 2048),
+        280.0,
+        25.0,
+    )
+    .memory(MemoryConfig::new(4.0, MemoryTech::Ddr2), 230.0, 12.0)
+    .disk(DiskModel::desktop())
+    .nic(NicModel::gigabit())
+    .board_cost(170.0, 18.0)
+    .power_fans_cost(120.0, 13.0);
+    b.build()
+}
+
+fn emb1() -> Platform {
+    let mut b = Platform::builder("emb1");
+    b.cpu(
+        CpuModel::new("PA Semi / Embedded Athlon 64", 1, 2, 1.2, Microarch::OutOfOrder, 32, 1024),
+        60.0,
+        12.0,
+    )
+    .memory(MemoryConfig::new(4.0, MemoryTech::Ddr2), 130.0, 12.0)
+    .disk(DiskModel::desktop())
+    .nic(NicModel::gigabit())
+    .board_cost(70.0, 10.0)
+    .power_fans_cost(50.0, 8.0);
+    b.build()
+}
+
+fn emb2() -> Platform {
+    let mut b = Platform::builder("emb2");
+    b.cpu(
+        CpuModel::new("AMD Geode / VIA Eden-N", 1, 1, 0.6, Microarch::InOrder, 32, 128),
+        25.0,
+        4.0,
+    )
+    .memory(MemoryConfig::new(4.0, MemoryTech::Ddr1), 95.0, 9.0)
+    .disk(DiskModel::desktop())
+    .nic(NicModel::gigabit())
+    .board_cost(45.0, 7.0)
+    .power_fans_cost(25.0, 5.0);
+    b.build()
+}
+
+/// Per-server share of the rack switch as a BOM item.
+pub fn switch_share() -> BomItem {
+    BomItem::new(
+        Component::RackSwitch,
+        SWITCH_COST_USD / SERVERS_PER_RACK as f64,
+        SWITCH_POWER_W / SERVERS_PER_RACK as f64,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table 2's published per-platform totals: (watts, hw-cost-with-
+    /// switch-share). The Inf-$ column of Table 2 includes the $68.75
+    /// switch share (srvr1: $3,225 + $68.75 = $3,294).
+    const TABLE2: [(PlatformId, f64, f64); 6] = [
+        (PlatformId::Srvr1, 340.0, 3294.0),
+        (PlatformId::Srvr2, 215.0, 1689.0),
+        (PlatformId::Desk, 135.0, 849.0),
+        (PlatformId::Mobl, 78.0, 989.0),
+        (PlatformId::Emb1, 52.0, 499.0),
+        (PlatformId::Emb2, 35.0, 379.0),
+    ];
+
+    #[test]
+    fn totals_match_table2() {
+        for (id, watts, inf_usd) in TABLE2 {
+            let p = platform(id);
+            assert!(
+                (p.max_power_w() - watts).abs() < 0.51,
+                "{id}: power {} != {watts}",
+                p.max_power_w()
+            );
+            let with_switch = p.hardware_cost_usd() + switch_share().cost_usd;
+            assert!(
+                (with_switch - inf_usd).abs() < 1.0,
+                "{id}: inf ${with_switch} != ${inf_usd}"
+            );
+        }
+    }
+
+    #[test]
+    fn srvr_component_lines_match_figure1() {
+        let s1 = platform(PlatformId::Srvr1);
+        assert_eq!(s1.component_cost(Component::Cpu), 1700.0);
+        assert_eq!(s1.component_cost(Component::Memory), 350.0);
+        assert_eq!(s1.component_cost(Component::Disk), 275.0);
+        assert_eq!(s1.component_cost(Component::BoardMgmt), 400.0);
+        assert_eq!(s1.component_cost(Component::PowerFans), 500.0);
+        assert_eq!(s1.component_power(Component::Cpu), 210.0);
+
+        let s2 = platform(PlatformId::Srvr2);
+        assert_eq!(s2.component_cost(Component::Cpu), 650.0);
+        assert_eq!(s2.component_cost(Component::Disk), 120.0);
+        assert_eq!(s2.component_power(Component::Cpu), 105.0);
+        assert_eq!(s2.component_power(Component::PowerFans), 35.0);
+    }
+
+    #[test]
+    fn cpu_configs_match_table2() {
+        assert_eq!(platform(PlatformId::Srvr1).cpu.total_cores(), 8);
+        assert_eq!(platform(PlatformId::Srvr2).cpu.total_cores(), 4);
+        assert_eq!(platform(PlatformId::Desk).cpu.total_cores(), 2);
+        assert_eq!(platform(PlatformId::Mobl).cpu.total_cores(), 2);
+        assert_eq!(platform(PlatformId::Emb1).cpu.total_cores(), 2);
+        assert_eq!(platform(PlatformId::Emb2).cpu.total_cores(), 1);
+        assert_eq!(platform(PlatformId::Emb2).cpu.microarch, Microarch::InOrder);
+        assert_eq!(platform(PlatformId::Emb1).cpu.l2_kib, 1024);
+    }
+
+    #[test]
+    fn all_platforms_have_4gb() {
+        for p in all() {
+            assert_eq!(p.memory.capacity_gib, 4.0, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn only_srvr1_has_fast_io() {
+        for p in all() {
+            if p.name == "srvr1" {
+                assert_eq!(p.nic.gbps, 10.0);
+                assert_eq!(p.disk.name, "15k server disk");
+            } else {
+                assert_eq!(p.nic.gbps, 1.0);
+                assert_eq!(p.disk.name, "desktop disk");
+            }
+        }
+    }
+
+    #[test]
+    fn switch_share_amortizes() {
+        let s = switch_share();
+        assert!((s.cost_usd - 68.75).abs() < 1e-9);
+        assert!((s.power_w - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cost_ordering_matches_paper_narrative() {
+        // "desk is only 25% of the costs of srvr1, emb1 only 15%".
+        let s1 = platform(PlatformId::Srvr1).hardware_cost_usd();
+        let d = platform(PlatformId::Desk).hardware_cost_usd();
+        let e1 = platform(PlatformId::Emb1).hardware_cost_usd();
+        let ratio_desk = d / s1;
+        let ratio_emb1 = e1 / s1;
+        assert!((0.20..=0.30).contains(&ratio_desk), "desk/srvr1 {ratio_desk}");
+        assert!((0.10..=0.18).contains(&ratio_emb1), "emb1/srvr1 {ratio_emb1}");
+        // mobl costs more than desk (low-power premium).
+        assert!(
+            platform(PlatformId::Mobl).hardware_cost_usd()
+                > platform(PlatformId::Desk).hardware_cost_usd()
+        );
+    }
+}

@@ -1,0 +1,138 @@
+//! Component taxonomy and bill-of-materials items.
+
+use std::fmt;
+
+/// The component categories the paper's cost model tracks (Figure 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Component {
+    /// Processor package(s).
+    Cpu,
+    /// Main-memory DIMMs (local to the server).
+    Memory,
+    /// Disk drive(s), local or remote.
+    Disk,
+    /// Motherboard, management controller (iLO), and NIC.
+    BoardMgmt,
+    /// Power supplies and fans.
+    PowerFans,
+    /// Flash disk cache (used by the N2 design).
+    Flash,
+    /// Per-server share of a shared memory blade (used by the N2 design).
+    MemoryBlade,
+    /// Rack-level switch and enclosure, amortized per server.
+    RackSwitch,
+    /// Datacenter floor space, amortized per server (Section 2.2 lists
+    /// real estate in the lifecycle cost; see `wcs_tco`'s real-estate
+    /// extension).
+    RealEstate,
+}
+
+impl Component {
+    /// All component kinds, in the order the paper's figures list them.
+    pub const ALL: [Component; 9] = [
+        Component::Cpu,
+        Component::Memory,
+        Component::Disk,
+        Component::BoardMgmt,
+        Component::PowerFans,
+        Component::Flash,
+        Component::MemoryBlade,
+        Component::RackSwitch,
+        Component::RealEstate,
+    ];
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Component::Cpu => "CPU",
+            Component::Memory => "Memory",
+            Component::Disk => "Disk",
+            Component::BoardMgmt => "Board+mgmt",
+            Component::PowerFans => "Power+fans",
+            Component::Flash => "Flash",
+            Component::MemoryBlade => "Memory blade",
+            Component::RackSwitch => "Rack+switch",
+            Component::RealEstate => "Real estate",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One line of a server bill of materials: a component with its purchase
+/// cost and maximum operational power draw.
+///
+/// # Example
+/// ```
+/// use wcs_platforms::{BomItem, Component};
+/// let cpu = BomItem::new(Component::Cpu, 650.0, 105.0);
+/// assert_eq!(cpu.component, Component::Cpu);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BomItem {
+    /// What kind of component this is.
+    pub component: Component,
+    /// Purchase cost in US dollars.
+    pub cost_usd: f64,
+    /// Maximum operational power draw in watts.
+    pub power_w: f64,
+}
+
+impl BomItem {
+    /// Creates a BOM line.
+    ///
+    /// # Panics
+    /// Panics if cost or power is negative or non-finite — a BOM with
+    /// garbage entries poisons every downstream cost figure.
+    pub fn new(component: Component, cost_usd: f64, power_w: f64) -> Self {
+        assert!(
+            cost_usd.is_finite() && cost_usd >= 0.0,
+            "BOM cost must be finite and >= 0"
+        );
+        assert!(
+            power_w.is_finite() && power_w >= 0.0,
+            "BOM power must be finite and >= 0"
+        );
+        BomItem {
+            component,
+            cost_usd,
+            power_w,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_match_paper_labels() {
+        assert_eq!(Component::Cpu.to_string(), "CPU");
+        assert_eq!(Component::BoardMgmt.to_string(), "Board+mgmt");
+        assert_eq!(Component::PowerFans.to_string(), "Power+fans");
+        assert_eq!(Component::RackSwitch.to_string(), "Rack+switch");
+    }
+
+    #[test]
+    fn all_is_exhaustive_and_unique() {
+        let mut set = std::collections::HashSet::new();
+        for c in Component::ALL {
+            assert!(set.insert(c));
+        }
+        assert_eq!(set.len(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "BOM cost")]
+    fn rejects_negative_cost() {
+        BomItem::new(Component::Cpu, -1.0, 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "BOM power")]
+    fn rejects_nan_power() {
+        BomItem::new(Component::Cpu, 1.0, f64::NAN);
+    }
+}

@@ -1,0 +1,177 @@
+//! Processor models.
+
+use std::fmt;
+
+/// Core microarchitecture class, used by the performance model to scale
+/// per-core instruction throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Microarch {
+    /// Wide out-of-order core (server/desktop/mobile class).
+    OutOfOrder,
+    /// Simple in-order core (low-end embedded class, e.g. AMD Geode).
+    InOrder,
+}
+
+impl Microarch {
+    /// Relative instructions-per-cycle factor on the suite's workloads,
+    /// normalized to a wide out-of-order core.
+    ///
+    /// The 0.5 in-order factor reflects the roughly 2x CPI gap measured
+    /// between contemporaneous in-order embedded cores and OoO cores on
+    /// branchy server code.
+    pub fn ipc_factor(self) -> f64 {
+        match self {
+            Microarch::OutOfOrder => 1.0,
+            Microarch::InOrder => 0.5,
+        }
+    }
+}
+
+impl fmt::Display for Microarch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Microarch::OutOfOrder => f.write_str("OoO"),
+            Microarch::InOrder => f.write_str("in-order"),
+        }
+    }
+}
+
+/// A processor configuration: sockets x cores, frequency, caches, and the
+/// per-socket cost/power that feed the BOM.
+///
+/// # Example
+/// ```
+/// use wcs_platforms::{CpuModel, Microarch};
+/// let cpu = CpuModel::new("Xeon-class", 2, 4, 2.6, Microarch::OutOfOrder, 64, 8192);
+/// assert_eq!(cpu.total_cores(), 8);
+/// assert!((cpu.peak_core_ghz_total() - 20.8).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CpuModel {
+    /// Marketing-class name ("similar to" column of Table 2).
+    pub name: String,
+    /// Number of sockets.
+    pub sockets: u32,
+    /// Cores per socket.
+    pub cores_per_socket: u32,
+    /// Core clock in GHz.
+    pub freq_ghz: f64,
+    /// Core microarchitecture class.
+    pub microarch: Microarch,
+    /// L1 cache size in KiB (per core).
+    pub l1_kib: u32,
+    /// Last-level cache size in KiB (total).
+    pub l2_kib: u32,
+}
+
+impl CpuModel {
+    /// Creates a processor model.
+    ///
+    /// # Panics
+    /// Panics if any count is zero or the frequency is not a positive
+    /// finite number.
+    pub fn new(
+        name: &str,
+        sockets: u32,
+        cores_per_socket: u32,
+        freq_ghz: f64,
+        microarch: Microarch,
+        l1_kib: u32,
+        l2_kib: u32,
+    ) -> Self {
+        assert!(sockets > 0 && cores_per_socket > 0, "CPU needs >= 1 core");
+        assert!(
+            freq_ghz.is_finite() && freq_ghz > 0.0,
+            "CPU frequency must be positive"
+        );
+        assert!(l1_kib > 0 && l2_kib > 0, "cache sizes must be positive");
+        CpuModel {
+            name: name.to_owned(),
+            sockets,
+            cores_per_socket,
+            freq_ghz,
+            microarch,
+            l1_kib,
+            l2_kib,
+        }
+    }
+
+    /// Total hardware core count.
+    pub fn total_cores(&self) -> u32 {
+        self.sockets * self.cores_per_socket
+    }
+
+    /// Aggregate core-GHz (cores x frequency), before any IPC or cache
+    /// scaling. A convenient raw-capability scalar.
+    pub fn peak_core_ghz_total(&self) -> f64 {
+        self.total_cores() as f64 * self.freq_ghz
+    }
+
+    /// Per-core compute capability relative to a 1 GHz wide OoO core:
+    /// frequency x microarchitecture IPC factor.
+    pub fn core_capability(&self) -> f64 {
+        self.freq_ghz * self.microarch.ipc_factor()
+    }
+
+    /// Last-level cache size in MiB.
+    pub fn l2_mib(&self) -> f64 {
+        self.l2_kib as f64 / 1024.0
+    }
+}
+
+impl fmt::Display for CpuModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}p x {} cores, {:.1} GHz, {}, {}K/{} L1/L2)",
+            self.name,
+            self.sockets,
+            self.cores_per_socket,
+            self.freq_ghz,
+            self.microarch,
+            self.l1_kib,
+            if self.l2_kib >= 1024 {
+                format!("{}MB", self.l2_kib / 1024)
+            } else {
+                format!("{}K", self.l2_kib)
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capability_scales_with_microarch() {
+        let ooo = CpuModel::new("a", 1, 2, 2.0, Microarch::OutOfOrder, 32, 2048);
+        let ino = CpuModel::new("b", 1, 2, 2.0, Microarch::InOrder, 32, 2048);
+        assert!(ooo.core_capability() > ino.core_capability());
+        assert!((ooo.core_capability() - 2.0).abs() < 1e-12);
+        assert!((ino.core_capability() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_descriptive() {
+        let cpu = CpuModel::new("Geode", 1, 1, 0.6, Microarch::InOrder, 32, 128);
+        let s = cpu.to_string();
+        assert!(s.contains("Geode") && s.contains("in-order") && s.contains("128K"));
+        let big = CpuModel::new("Xeon", 2, 4, 2.6, Microarch::OutOfOrder, 64, 8192);
+        assert!(big.to_string().contains("8MB"));
+    }
+
+    #[test]
+    #[should_panic(expected = "frequency")]
+    fn rejects_zero_frequency() {
+        CpuModel::new("bad", 1, 1, 0.0, Microarch::InOrder, 32, 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "core")]
+    fn rejects_zero_cores() {
+        CpuModel::new("bad", 1, 0, 1.0, Microarch::InOrder, 32, 128);
+    }
+}

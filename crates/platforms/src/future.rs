@@ -1,0 +1,131 @@
+//! Forward technology projection.
+//!
+//! The paper closes Section 3.4 with "we expect these trends to hold
+//! into the future as well, as workload sizes and memory densities both
+//! increase", and Section 3.6 notes N2's custom parts are "likely to
+//! become cost-effective in a few years with the volumes in this
+//! market". This module projects the component catalog forward so those
+//! claims can be tested: DRAM and flash get denser and cheaper per GB,
+//! embedded cores get faster at equal power, disks get bigger but no
+//! faster, and blade/packaging custom parts commoditize.
+
+use crate::catalog;
+use crate::platform::{Platform, PlatformId};
+use crate::{BomItem, Component};
+
+/// A technology projection: per-component scaling factors per year.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TechTrend {
+    /// DRAM $/GB decline per year (2008-era: ~30%/yr).
+    pub dram_cost_decline: f64,
+    /// Flash $/GB decline per year (steeper: ~40%/yr).
+    pub flash_cost_decline: f64,
+    /// Embedded-core performance growth per year at equal power.
+    pub embedded_perf_growth: f64,
+    /// Custom-part (blade controller, packaging) cost decline per year
+    /// as volume builds.
+    pub custom_cost_decline: f64,
+}
+
+impl TechTrend {
+    /// The 2008-vintage trend rates above.
+    pub fn vintage_2008() -> Self {
+        TechTrend {
+            dram_cost_decline: 0.30,
+            flash_cost_decline: 0.40,
+            embedded_perf_growth: 0.25,
+            custom_cost_decline: 0.20,
+        }
+    }
+
+    fn decline(rate: f64, years: f64) -> f64 {
+        (1.0 - rate).powf(years)
+    }
+
+    /// Projects a platform `years` forward: memory cost declines, the
+    /// CPU gets faster at the same cost and power (process scaling spent
+    /// on frequency for these small cores), everything else holds.
+    ///
+    /// # Panics
+    /// Panics if `years` is negative or non-finite.
+    pub fn project_platform(&self, platform: &Platform, years: f64) -> Platform {
+        assert!(years.is_finite() && years >= 0.0, "years must be >= 0");
+        let mem_cost = platform.component_cost(Component::Memory)
+            * Self::decline(self.dram_cost_decline, years);
+        let mem_power = platform.component_power(Component::Memory);
+        let mut p = platform.with_component(BomItem::new(Component::Memory, mem_cost, mem_power));
+        p.cpu.freq_ghz *= (1.0 + self.embedded_perf_growth).powf(years);
+        p.name = format!("{}+{:.0}yr", platform.name, years);
+        p
+    }
+
+    /// Projected flash price per GB, from the Table 3(a) $14/GB point.
+    pub fn flash_usd_per_gb(&self, years: f64) -> f64 {
+        assert!(years.is_finite() && years >= 0.0);
+        14.0 * Self::decline(self.flash_cost_decline, years)
+    }
+
+    /// Projected per-server blade-controller cost, from the paper's $10.
+    pub fn blade_controller_usd(&self, years: f64) -> f64 {
+        assert!(years.is_finite() && years >= 0.0);
+        10.0 * Self::decline(self.custom_cost_decline, years)
+    }
+}
+
+impl Default for TechTrend {
+    fn default() -> Self {
+        Self::vintage_2008()
+    }
+}
+
+/// Convenience: the emb1 platform projected `years` forward.
+pub fn emb1_projected(years: f64) -> Platform {
+    TechTrend::vintage_2008().project_platform(&catalog::platform(PlatformId::Emb1), years)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projection_preserves_power_and_cuts_memory_cost() {
+        let now = catalog::platform(PlatformId::Emb1);
+        let later = emb1_projected(3.0);
+        assert!((later.max_power_w() - now.max_power_w()).abs() < 1e-9);
+        assert!(later.component_cost(Component::Memory) < now.component_cost(Component::Memory) * 0.4);
+        assert!(later.cpu.freq_ghz > now.cpu.freq_ghz * 1.9);
+    }
+
+    #[test]
+    fn zero_years_is_identity_modulo_name() {
+        let now = catalog::platform(PlatformId::Desk);
+        let same = TechTrend::vintage_2008().project_platform(&now, 0.0);
+        assert!((same.hardware_cost_usd() - now.hardware_cost_usd()).abs() < 1e-9);
+        assert_eq!(same.cpu.freq_ghz, now.cpu.freq_ghz);
+    }
+
+    #[test]
+    fn flash_commoditizes_fast() {
+        let t = TechTrend::vintage_2008();
+        assert!((t.flash_usd_per_gb(0.0) - 14.0).abs() < 1e-12);
+        assert!(t.flash_usd_per_gb(3.0) < 3.1);
+        assert!(t.blade_controller_usd(3.0) < 5.2);
+    }
+
+    #[test]
+    fn papers_claim_custom_parts_become_cost_effective() {
+        // At 3 years out, the N2 bill's custom adders (controller $10,
+        // flash $14) shrink to under $8 combined — noise next to the
+        // $60 CPU.
+        let t = TechTrend::vintage_2008();
+        let adders = t.blade_controller_usd(3.0) + t.flash_usd_per_gb(3.0);
+        assert!(adders < 8.5, "custom adders ${adders}");
+    }
+
+    #[test]
+    #[should_panic(expected = "years")]
+    fn rejects_negative_years() {
+        emb1_projected(-1.0);
+    }
+}

@@ -1,0 +1,85 @@
+//! Network interface models.
+
+use std::fmt;
+
+/// A NIC model: link speed plus a fixed per-packet processing overhead.
+///
+/// `srvr1` has a 10 Gb NIC; every other platform in Table 2 uses 1 Gb.
+///
+/// # Example
+/// ```
+/// use wcs_platforms::NicModel;
+/// let nic = NicModel::gigabit();
+/// assert!((nic.gbps - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct NicModel {
+    /// Link speed in Gb/s.
+    pub gbps: f64,
+    /// Fixed per-transfer overhead in microseconds (interrupt + stack).
+    pub per_transfer_us: f64,
+}
+
+impl NicModel {
+    /// A 1 Gb/s NIC.
+    pub fn gigabit() -> Self {
+        NicModel {
+            gbps: 1.0,
+            per_transfer_us: 20.0,
+        }
+    }
+
+    /// A 10 Gb/s NIC (srvr1).
+    pub fn ten_gigabit() -> Self {
+        NicModel {
+            gbps: 10.0,
+            per_transfer_us: 10.0,
+        }
+    }
+
+    /// Wire+stack service time in seconds for `bytes` of payload.
+    ///
+    /// # Panics
+    /// Panics if `bytes` is negative or non-finite.
+    pub fn transfer_secs(&self, bytes: f64) -> f64 {
+        assert!(bytes.is_finite() && bytes >= 0.0, "bad byte count");
+        self.per_transfer_us * 1e-6 + bytes * 8.0 / (self.gbps * 1e9)
+    }
+
+    /// Usable bandwidth in bytes/second.
+    pub fn bytes_per_sec(&self) -> f64 {
+        self.gbps * 1e9 / 8.0
+    }
+}
+
+impl fmt::Display for NicModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} Gb NIC", self.gbps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_gig_is_faster() {
+        let big = 1_000_000.0;
+        assert!(NicModel::ten_gigabit().transfer_secs(big) < NicModel::gigabit().transfer_secs(big));
+    }
+
+    #[test]
+    fn transfer_time_scales_with_bytes() {
+        let nic = NicModel::gigabit();
+        // 125 MB at 1 Gb/s is one second on the wire.
+        let t = nic.transfer_secs(125e6);
+        assert!((t - 1.0).abs() < 1e-3, "t = {t}");
+    }
+
+    #[test]
+    #[should_panic(expected = "bad byte count")]
+    fn rejects_negative_bytes() {
+        NicModel::gigabit().transfer_secs(-1.0);
+    }
+}

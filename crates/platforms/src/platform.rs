@@ -1,0 +1,365 @@
+//! Platform assembly: a server is a set of components with costs, power,
+//! and the performance-relevant parameters.
+
+use std::fmt;
+
+use crate::component::{BomItem, Component};
+use crate::cpu::CpuModel;
+use crate::memory::MemoryConfig;
+use crate::net::NicModel;
+use crate::storage::DiskModel;
+
+/// The six platform design points of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum PlatformId {
+    /// Mid-range server (Xeon MP / Opteron MP class, 2p x 4 cores).
+    Srvr1,
+    /// Low-end server (Xeon / Opteron class, 1p x 4 cores).
+    Srvr2,
+    /// Desktop (Core 2 / Athlon 64 class, 2 cores).
+    Desk,
+    /// Mobile (Core 2 Mobile / Turion class, 2 cores).
+    Mobl,
+    /// Mid-range embedded (PA Semi / embedded Athlon class, 2 cores).
+    Emb1,
+    /// Low-end embedded (AMD Geode / VIA Eden class, 1 in-order core).
+    Emb2,
+}
+
+impl PlatformId {
+    /// All six platforms in the paper's order.
+    pub const ALL: [PlatformId; 6] = [
+        PlatformId::Srvr1,
+        PlatformId::Srvr2,
+        PlatformId::Desk,
+        PlatformId::Mobl,
+        PlatformId::Emb1,
+        PlatformId::Emb2,
+    ];
+
+    /// The paper's lower-case label for the platform.
+    pub fn label(self) -> &'static str {
+        match self {
+            PlatformId::Srvr1 => "srvr1",
+            PlatformId::Srvr2 => "srvr2",
+            PlatformId::Desk => "desk",
+            PlatformId::Mobl => "mobl",
+            PlatformId::Emb1 => "emb1",
+            PlatformId::Emb2 => "emb2",
+        }
+    }
+}
+
+impl fmt::Display for PlatformId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Error parsing a platform name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePlatformError(String);
+
+impl fmt::Display for ParsePlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown platform {:?}; expected one of srvr1, srvr2, desk, mobl, emb1, emb2",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParsePlatformError {}
+
+impl std::str::FromStr for PlatformId {
+    type Err = ParsePlatformError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        PlatformId::ALL
+            .iter()
+            .find(|id| id.label() == s)
+            .copied()
+            .ok_or_else(|| ParsePlatformError(s.to_owned()))
+    }
+}
+
+/// A fully specified server platform: performance-relevant component
+/// models plus the per-component cost/power bill of materials.
+///
+/// Construct catalog instances through [`crate::catalog::platform`] and
+/// custom designs through [`Platform::builder`].
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Platform {
+    /// Short name (e.g. "srvr1" or a custom label).
+    pub name: String,
+    /// Processor model.
+    pub cpu: CpuModel,
+    /// Memory configuration.
+    pub memory: MemoryConfig,
+    /// Disk model.
+    pub disk: DiskModel,
+    /// NIC model.
+    pub nic: NicModel,
+    bom: Vec<BomItem>,
+}
+
+impl Platform {
+    /// Starts building a custom platform.
+    pub fn builder(name: &str) -> PlatformBuilder {
+        PlatformBuilder::new(name)
+    }
+
+    /// Per-server hardware cost: sum of all BOM lines (excludes the rack
+    /// switch, which the TCO model amortizes separately).
+    pub fn hardware_cost_usd(&self) -> f64 {
+        self.bom.iter().map(|i| i.cost_usd).sum()
+    }
+
+    /// Maximum operational server power in watts (sum of all BOM lines).
+    pub fn max_power_w(&self) -> f64 {
+        self.bom.iter().map(|i| i.power_w).sum()
+    }
+
+    /// The bill of materials.
+    pub fn bom(&self) -> &[BomItem] {
+        &self.bom
+    }
+
+    /// Cost of one component category (0 if absent).
+    pub fn component_cost(&self, c: Component) -> f64 {
+        self.bom
+            .iter()
+            .filter(|i| i.component == c)
+            .map(|i| i.cost_usd)
+            .sum()
+    }
+
+    /// Power of one component category (0 if absent).
+    pub fn component_power(&self, c: Component) -> f64 {
+        self.bom
+            .iter()
+            .filter(|i| i.component == c)
+            .map(|i| i.power_w)
+            .sum()
+    }
+
+    /// Returns a copy with one component's BOM line replaced (used by the
+    /// unified designs to swap disks, add flash, or shrink memory).
+    pub fn with_component(&self, item: BomItem) -> Platform {
+        let mut p = self.clone();
+        p.bom.retain(|i| i.component != item.component);
+        p.bom.push(item);
+        p
+    }
+}
+
+impl fmt::Display for Platform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} | {} | {} | {} | ${:.0} HW, {:.0} W",
+            self.name,
+            self.cpu,
+            self.memory,
+            self.disk.name,
+            self.nic,
+            self.hardware_cost_usd(),
+            self.max_power_w()
+        )
+    }
+}
+
+/// Builder for [`Platform`], following the non-consuming builder pattern.
+///
+/// # Example
+/// ```
+/// use wcs_platforms::{Platform, CpuModel, Microarch, MemoryConfig, MemoryTech,
+///                     NicModel, Component};
+/// use wcs_platforms::storage::DiskModel;
+/// let p = Platform::builder("custom")
+///     .cpu(CpuModel::new("tiny", 1, 2, 1.0, Microarch::OutOfOrder, 32, 1024), 50.0, 10.0)
+///     .memory(MemoryConfig::new(2.0, MemoryTech::Ddr2), 100.0, 10.0)
+///     .disk(DiskModel::desktop())
+///     .nic(NicModel::gigabit())
+///     .board_cost(60.0, 8.0)
+///     .power_fans_cost(40.0, 6.0)
+///     .build();
+/// assert_eq!(p.component_cost(Component::Cpu), 50.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PlatformBuilder {
+    name: String,
+    cpu: Option<(CpuModel, f64, f64)>,
+    memory: Option<(MemoryConfig, f64, f64)>,
+    disk: Option<DiskModel>,
+    nic: Option<NicModel>,
+    board: (f64, f64),
+    power_fans: (f64, f64),
+    extra: Vec<BomItem>,
+}
+
+impl PlatformBuilder {
+    fn new(name: &str) -> Self {
+        PlatformBuilder {
+            name: name.to_owned(),
+            cpu: None,
+            memory: None,
+            disk: None,
+            nic: None,
+            board: (0.0, 0.0),
+            power_fans: (0.0, 0.0),
+            extra: Vec::new(),
+        }
+    }
+
+    /// Sets the CPU model with its cost and power.
+    pub fn cpu(&mut self, model: CpuModel, cost_usd: f64, power_w: f64) -> &mut Self {
+        self.cpu = Some((model, cost_usd, power_w));
+        self
+    }
+
+    /// Sets the memory configuration with its cost and power.
+    pub fn memory(&mut self, model: MemoryConfig, cost_usd: f64, power_w: f64) -> &mut Self {
+        self.memory = Some((model, cost_usd, power_w));
+        self
+    }
+
+    /// Sets the disk; its cost and power come from the disk model itself.
+    pub fn disk(&mut self, model: DiskModel) -> &mut Self {
+        self.disk = Some(model);
+        self
+    }
+
+    /// Sets the NIC (cost and power are folded into the board line, as in
+    /// the paper's breakdown).
+    pub fn nic(&mut self, model: NicModel) -> &mut Self {
+        self.nic = Some(model);
+        self
+    }
+
+    /// Board + management cost and power.
+    pub fn board_cost(&mut self, cost_usd: f64, power_w: f64) -> &mut Self {
+        self.board = (cost_usd, power_w);
+        self
+    }
+
+    /// Power-supply + fan cost and power.
+    pub fn power_fans_cost(&mut self, cost_usd: f64, power_w: f64) -> &mut Self {
+        self.power_fans = (cost_usd, power_w);
+        self
+    }
+
+    /// Adds an extra BOM line (e.g. flash, memory-blade share).
+    pub fn extra_item(&mut self, item: BomItem) -> &mut Self {
+        self.extra.push(item);
+        self
+    }
+
+    /// Builds the platform.
+    ///
+    /// # Panics
+    /// Panics if the CPU, memory, disk, or NIC was not set.
+    pub fn build(&self) -> Platform {
+        let (cpu, cpu_cost, cpu_power) = self.cpu.clone().expect("builder: cpu not set");
+        let (memory, mem_cost, mem_power) = self.memory.expect("builder: memory not set");
+        let disk = self.disk.clone().expect("builder: disk not set");
+        let nic = self.nic.expect("builder: nic not set");
+        let mut bom = vec![
+            BomItem::new(Component::Cpu, cpu_cost, cpu_power),
+            BomItem::new(Component::Memory, mem_cost, mem_power),
+            BomItem::new(Component::Disk, disk.price_usd, disk.power_w),
+            BomItem::new(Component::BoardMgmt, self.board.0, self.board.1),
+            BomItem::new(Component::PowerFans, self.power_fans.0, self.power_fans.1),
+        ];
+        bom.extend(self.extra.iter().copied());
+        Platform {
+            name: self.name.clone(),
+            cpu,
+            memory,
+            disk,
+            nic,
+            bom,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::Microarch;
+    use crate::memory::MemoryTech;
+
+    fn tiny() -> Platform {
+        let mut b = Platform::builder("t");
+        b.cpu(
+            CpuModel::new("c", 1, 1, 1.0, Microarch::InOrder, 32, 256),
+            10.0,
+            5.0,
+        )
+        .memory(MemoryConfig::new(1.0, MemoryTech::Ddr1), 20.0, 4.0)
+        .disk(DiskModel::desktop())
+        .nic(NicModel::gigabit())
+        .board_cost(30.0, 3.0)
+        .power_fans_cost(15.0, 2.0);
+        b.build()
+    }
+
+    #[test]
+    fn totals_sum_bom() {
+        let p = tiny();
+        assert!((p.hardware_cost_usd() - (10.0 + 20.0 + 120.0 + 30.0 + 15.0)).abs() < 1e-9);
+        assert!((p.max_power_w() - (5.0 + 4.0 + 10.0 + 3.0 + 2.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn component_lookup() {
+        let p = tiny();
+        assert_eq!(p.component_cost(Component::Disk), 120.0);
+        assert_eq!(p.component_power(Component::Cpu), 5.0);
+        assert_eq!(p.component_cost(Component::Flash), 0.0);
+    }
+
+    #[test]
+    fn with_component_replaces() {
+        let p = tiny();
+        let p2 = p.with_component(BomItem::new(Component::Disk, 40.0, 2.0));
+        assert_eq!(p2.component_cost(Component::Disk), 40.0);
+        assert_eq!(p2.component_power(Component::Disk), 2.0);
+        // other lines intact
+        assert_eq!(p2.component_cost(Component::Cpu), 10.0);
+    }
+
+    #[test]
+    fn with_component_adds_when_absent() {
+        let p = tiny();
+        let p2 = p.with_component(BomItem::new(Component::Flash, 14.0, 0.5));
+        assert_eq!(p2.component_cost(Component::Flash), 14.0);
+        assert!((p2.hardware_cost_usd() - p.hardware_cost_usd() - 14.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "cpu not set")]
+    fn builder_requires_cpu() {
+        Platform::builder("x").build();
+    }
+
+    #[test]
+    fn platform_id_labels() {
+        assert_eq!(PlatformId::Srvr1.label(), "srvr1");
+        assert_eq!(PlatformId::Emb2.to_string(), "emb2");
+        assert_eq!(PlatformId::ALL.len(), 6);
+    }
+
+    #[test]
+    fn platform_id_parses_round_trip() {
+        for id in PlatformId::ALL {
+            let parsed: PlatformId = id.label().parse().unwrap();
+            assert_eq!(parsed, id);
+        }
+        let err = "srvr9".parse::<PlatformId>().unwrap_err();
+        assert!(err.to_string().contains("srvr9"));
+    }
+}

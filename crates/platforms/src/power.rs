@@ -1,0 +1,170 @@
+//! CPU power scaling: DVFS and idle states.
+//!
+//! The paper's cost model prices maximum operational power times a flat
+//! activity factor. This module refines the CPU's share: active power
+//! scales roughly with `V^2 f` (and voltage tracks frequency across a
+//! DVFS range), idle cores drop to a fraction of active power, and deep
+//! sleep nearly eliminates it. The diurnal-energy studies use it to
+//! derive activity factors from load instead of assuming them.
+
+use crate::cpu::CpuModel;
+
+/// A processor's power behaviour across operating points.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CpuPowerModel {
+    /// Power at full frequency, all cores active, watts (the BOM figure).
+    pub max_active_w: f64,
+    /// Fraction of max power that does not scale with DVFS (leakage,
+    /// uncore, caches).
+    pub static_fraction: f64,
+    /// Lowest DVFS frequency as a fraction of nominal.
+    pub min_freq_fraction: f64,
+    /// Idle (clock-gated, C1-class) power as a fraction of max.
+    pub idle_fraction: f64,
+    /// Deep-sleep (package C-state) power as a fraction of max.
+    pub sleep_fraction: f64,
+}
+
+impl CpuPowerModel {
+    /// A 2008-era server/desktop part: ~30% static power, DVFS down to
+    /// half frequency, ~30% idle, ~5% deep sleep.
+    pub fn typical_2008(max_active_w: f64) -> Self {
+        assert!(max_active_w.is_finite() && max_active_w > 0.0);
+        CpuPowerModel {
+            max_active_w,
+            static_fraction: 0.30,
+            min_freq_fraction: 0.50,
+            idle_fraction: 0.30,
+            sleep_fraction: 0.05,
+        }
+    }
+
+    /// Builds the model from a platform CPU's BOM power.
+    pub fn for_cpu(cpu: &CpuModel, bom_power_w: f64) -> Self {
+        let _ = cpu; // geometry does not change the shape, only the scale
+        Self::typical_2008(bom_power_w)
+    }
+
+    /// Active power at a DVFS point `freq_fraction` of nominal
+    /// frequency: static part plus a dynamic part scaling with `f^3`
+    /// (voltage tracks frequency across the DVFS range).
+    ///
+    /// # Panics
+    /// Panics unless `freq_fraction` is within the DVFS range.
+    pub fn active_power_w(&self, freq_fraction: f64) -> f64 {
+        assert!(
+            freq_fraction >= self.min_freq_fraction && freq_fraction <= 1.0,
+            "frequency outside DVFS range"
+        );
+        let dynamic = self.max_active_w * (1.0 - self.static_fraction);
+        self.max_active_w * self.static_fraction + dynamic * freq_fraction.powi(3)
+    }
+
+    /// Idle power, watts.
+    pub fn idle_power_w(&self) -> f64 {
+        self.max_active_w * self.idle_fraction
+    }
+
+    /// Deep-sleep power, watts.
+    pub fn sleep_power_w(&self) -> f64 {
+        self.max_active_w * self.sleep_fraction
+    }
+
+    /// Mean power at `utilization` (0-1) under a race-to-idle policy:
+    /// the CPU runs at full frequency while busy and idles otherwise.
+    ///
+    /// # Panics
+    /// Panics unless `utilization` is in `[0, 1]`.
+    pub fn race_to_idle_w(&self, utilization: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&utilization), "utilization in [0,1]");
+        utilization * self.max_active_w + (1.0 - utilization) * self.idle_power_w()
+    }
+
+    /// Mean power at `utilization` when DVFS stretches the work to run
+    /// at the slowest frequency that still keeps up.
+    ///
+    /// # Panics
+    /// Panics unless `utilization` is in `[0, 1]`.
+    pub fn dvfs_stretch_w(&self, utilization: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&utilization), "utilization in [0,1]");
+        let f = utilization.max(self.min_freq_fraction).min(1.0);
+        // Running at fraction f, the work occupies utilization/f of time.
+        let busy = (utilization / f).min(1.0);
+        busy * self.active_power_w(f) + (1.0 - busy) * self.idle_power_w()
+    }
+
+    /// The energy-optimal policy at `utilization`: whichever of
+    /// race-to-idle or DVFS-stretch draws less.
+    pub fn best_policy_w(&self, utilization: f64) -> f64 {
+        self.race_to_idle_w(utilization)
+            .min(self.dvfs_stretch_w(utilization))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CpuPowerModel {
+        CpuPowerModel::typical_2008(100.0)
+    }
+
+    #[test]
+    fn endpoints_are_consistent() {
+        let m = model();
+        assert!((m.active_power_w(1.0) - 100.0).abs() < 1e-9);
+        assert_eq!(m.idle_power_w(), 30.0);
+        assert_eq!(m.sleep_power_w(), 5.0);
+        assert!((m.race_to_idle_w(1.0) - 100.0).abs() < 1e-9);
+        assert!((m.race_to_idle_w(0.0) - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dvfs_cubic_saves_power() {
+        let m = model();
+        // At half frequency: 30 + 70 * 0.125 = 38.75 W.
+        assert!((m.active_power_w(0.5) - 38.75).abs() < 1e-9);
+        assert!(m.active_power_w(0.7) < m.active_power_w(1.0));
+    }
+
+    #[test]
+    fn dvfs_beats_race_to_idle_at_moderate_load() {
+        let m = model();
+        // At 50% utilization, stretching to half frequency keeps the CPU
+        // busy at much lower power than racing at full speed.
+        assert!(m.dvfs_stretch_w(0.5) < m.race_to_idle_w(0.5));
+        // At very low load the idle floor dominates; both converge.
+        let lo_dvfs = m.dvfs_stretch_w(0.05);
+        let lo_race = m.race_to_idle_w(0.05);
+        assert!((lo_dvfs - lo_race).abs() / lo_race < 0.25);
+    }
+
+    #[test]
+    fn best_policy_is_the_lower_envelope() {
+        let m = model();
+        for u in [0.0, 0.2, 0.5, 0.8, 1.0] {
+            let b = m.best_policy_w(u);
+            assert!(b <= m.race_to_idle_w(u) + 1e-12);
+            assert!(b <= m.dvfs_stretch_w(u) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn power_monotone_in_utilization() {
+        let m = model();
+        let mut last = 0.0;
+        for i in 0..=10 {
+            let u = i as f64 / 10.0;
+            let p = m.best_policy_w(u);
+            assert!(p >= last - 1e-9, "power not monotone at u={u}");
+            last = p;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "DVFS range")]
+    fn rejects_frequency_below_floor() {
+        model().active_power_w(0.2);
+    }
+}

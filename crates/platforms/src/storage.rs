@@ -1,0 +1,284 @@
+//! Disk and flash storage models (Table 3(a) of the paper).
+
+use std::fmt;
+
+/// Where a disk lives relative to the server that uses it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum DiskLocation {
+    /// Directly attached to the server board.
+    Local,
+    /// Reached over a basic SATA SAN (Section 3.5); adds latency and the
+    /// conservative shared-bandwidth figures of Table 3(a).
+    Remote,
+}
+
+impl fmt::Display for DiskLocation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiskLocation::Local => f.write_str("local"),
+            DiskLocation::Remote => f.write_str("remote"),
+        }
+    }
+}
+
+/// A rotating-disk model with the parameters the simulators need.
+///
+/// The catalog constructors embed Table 3(a) plus the 15k server disk of
+/// `srvr1` (Figure 1(a): $275 / 15 W).
+///
+/// # Example
+/// ```
+/// use wcs_platforms::storage::DiskModel;
+/// let d = DiskModel::desktop();
+/// assert_eq!(d.capacity_gb, 500.0);
+/// assert!((d.avg_access_ms - 4.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DiskModel {
+    /// Human-readable name.
+    pub name: String,
+    /// Capacity in GB.
+    pub capacity_gb: f64,
+    /// Sustained bandwidth in MB/s (as seen by the server; remote disks
+    /// use the conservative SAN figure).
+    pub bandwidth_mbs: f64,
+    /// Average access (seek + rotation + path) latency in milliseconds.
+    pub avg_access_ms: f64,
+    /// Power draw in watts.
+    pub power_w: f64,
+    /// Purchase price in dollars.
+    pub price_usd: f64,
+    /// Local or SAN-remote.
+    pub location: DiskLocation,
+}
+
+impl DiskModel {
+    fn new(
+        name: &str,
+        capacity_gb: f64,
+        bandwidth_mbs: f64,
+        avg_access_ms: f64,
+        power_w: f64,
+        price_usd: f64,
+        location: DiskLocation,
+    ) -> Self {
+        assert!(capacity_gb > 0.0 && bandwidth_mbs > 0.0 && avg_access_ms > 0.0);
+        assert!(power_w >= 0.0 && price_usd >= 0.0);
+        DiskModel {
+            name: name.to_owned(),
+            capacity_gb,
+            bandwidth_mbs,
+            avg_access_ms,
+            power_w,
+            price_usd,
+            location,
+        }
+    }
+
+    /// The 15k RPM server disk used by `srvr1` (Figure 1(a)).
+    pub fn server_15k() -> Self {
+        DiskModel::new("15k server disk", 300.0, 90.0, 3.0, 15.0, 275.0, DiskLocation::Local)
+    }
+
+    /// The local 7.2k desktop disk of Table 3(a): 500 GB, 70 MB/s, 4 ms,
+    /// 10 W, $120.
+    pub fn desktop() -> Self {
+        DiskModel::new("desktop disk", 500.0, 70.0, 4.0, 10.0, 120.0, DiskLocation::Local)
+    }
+
+    /// The SAN-remote laptop disk of Table 3(a): 200 GB, 20 MB/s
+    /// (conservative remote figure), 15 ms, 2 W, $80.
+    pub fn laptop_remote() -> Self {
+        DiskModel::new("laptop disk", 200.0, 20.0, 15.0, 2.0, 80.0, DiskLocation::Remote)
+    }
+
+    /// The cheaper "laptop-2" variant of Table 3(a): identical behaviour
+    /// at $40 — the paper's commoditized-price scenario.
+    pub fn laptop2_remote() -> Self {
+        DiskModel::new("laptop-2 disk", 200.0, 20.0, 15.0, 2.0, 40.0, DiskLocation::Remote)
+    }
+
+    /// Service time for a random transfer of `bytes`, in seconds.
+    pub fn access_secs(&self, bytes: f64) -> f64 {
+        assert!(bytes >= 0.0 && bytes.is_finite());
+        self.avg_access_ms * 1e-3 + bytes / (self.bandwidth_mbs * 1e6)
+    }
+}
+
+impl fmt::Display for DiskModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} GB, {} MB/s, {} ms, {} W, ${}, {})",
+            self.name,
+            self.capacity_gb,
+            self.bandwidth_mbs,
+            self.avg_access_ms,
+            self.power_w,
+            self.price_usd,
+            self.location
+        )
+    }
+}
+
+/// NAND flash device model (Table 3(a)): asymmetric read/write/erase,
+/// finite write endurance.
+///
+/// # Example
+/// ```
+/// use wcs_platforms::storage::FlashModel;
+/// let f = FlashModel::table3();
+/// assert_eq!(f.capacity_gb, 1.0);
+/// assert!(f.read_secs(4096.0) < f.write_secs(4096.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FlashModel {
+    /// Capacity in GB.
+    pub capacity_gb: f64,
+    /// Sustained bandwidth in MB/s.
+    pub bandwidth_mbs: f64,
+    /// Read setup latency in microseconds.
+    pub read_us: f64,
+    /// Program (write) latency in microseconds.
+    pub write_us: f64,
+    /// Block-erase latency in milliseconds.
+    pub erase_ms: f64,
+    /// Power draw in watts.
+    pub power_w: f64,
+    /// Purchase price in dollars.
+    pub price_usd: f64,
+    /// Write-endurance limit per block (program/erase cycles).
+    pub endurance_cycles: u64,
+}
+
+impl FlashModel {
+    /// The flash device of Table 3(a): 1 GB, 50 MB/s, 20 µs read / 200 µs
+    /// write / 1.2 ms erase, 0.5 W, $14, 100k-cycle endurance.
+    pub fn table3() -> Self {
+        FlashModel {
+            capacity_gb: 1.0,
+            bandwidth_mbs: 50.0,
+            read_us: 20.0,
+            write_us: 200.0,
+            erase_ms: 1.2,
+            power_w: 0.5,
+            price_usd: 14.0,
+            endurance_cycles: 100_000,
+        }
+    }
+
+    /// A flash device of the same technology scaled to `capacity_gb`,
+    /// with price scaling linearly (the paper's $14/GB point).
+    ///
+    /// # Panics
+    /// Panics unless the capacity is positive and finite.
+    pub fn scaled(capacity_gb: f64) -> Self {
+        assert!(capacity_gb.is_finite() && capacity_gb > 0.0);
+        let base = FlashModel::table3();
+        FlashModel {
+            capacity_gb,
+            price_usd: base.price_usd * capacity_gb,
+            power_w: base.power_w * capacity_gb.sqrt(), // sub-linear: shared controller
+            ..base
+        }
+    }
+
+    /// Read service time for `bytes`, in seconds.
+    pub fn read_secs(&self, bytes: f64) -> f64 {
+        self.read_us * 1e-6 + bytes / (self.bandwidth_mbs * 1e6)
+    }
+
+    /// Write service time for `bytes`, in seconds (no erase; the cache
+    /// layer accounts for amortized erases separately).
+    pub fn write_secs(&self, bytes: f64) -> f64 {
+        self.write_us * 1e-6 + bytes / (self.bandwidth_mbs * 1e6)
+    }
+
+    /// Erase time for one block, in seconds.
+    pub fn erase_secs(&self) -> f64 {
+        self.erase_ms * 1e-3
+    }
+}
+
+impl fmt::Display for FlashModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "flash ({} GB, {} MB/s, {}us/{}us/{}ms r/w/e, {} W, ${})",
+            self.capacity_gb,
+            self.bandwidth_mbs,
+            self.read_us,
+            self.write_us,
+            self.erase_ms,
+            self.power_w,
+            self.price_usd
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_parameters_match_paper() {
+        let flash = FlashModel::table3();
+        assert_eq!(flash.price_usd, 14.0);
+        assert_eq!(flash.power_w, 0.5);
+        assert_eq!(flash.endurance_cycles, 100_000);
+
+        let laptop = DiskModel::laptop_remote();
+        assert_eq!(laptop.price_usd, 80.0);
+        assert_eq!(laptop.power_w, 2.0);
+        assert_eq!(laptop.location, DiskLocation::Remote);
+
+        let laptop2 = DiskModel::laptop2_remote();
+        assert_eq!(laptop2.price_usd, 40.0);
+
+        let desktop = DiskModel::desktop();
+        assert_eq!(desktop.price_usd, 120.0);
+        assert_eq!(desktop.power_w, 10.0);
+        assert_eq!(desktop.location, DiskLocation::Local);
+    }
+
+    #[test]
+    fn laptop_slower_than_desktop() {
+        let bytes = 64.0 * 1024.0;
+        assert!(
+            DiskModel::laptop_remote().access_secs(bytes) > DiskModel::desktop().access_secs(bytes)
+        );
+    }
+
+    #[test]
+    fn flash_much_faster_than_disk() {
+        let bytes = 4096.0;
+        let flash = FlashModel::table3();
+        let disk = DiskModel::desktop();
+        assert!(flash.read_secs(bytes) * 10.0 < disk.access_secs(bytes));
+        assert!(flash.write_secs(bytes) < disk.access_secs(bytes));
+    }
+
+    #[test]
+    fn access_time_includes_transfer() {
+        let d = DiskModel::desktop();
+        let small = d.access_secs(0.0);
+        let large = d.access_secs(70e6); // one second of transfer
+        assert!((large - small - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaled_flash_prices_linearly() {
+        let f4 = FlashModel::scaled(4.0);
+        assert!((f4.price_usd - 56.0).abs() < 1e-9);
+        assert_eq!(f4.capacity_gb, 4.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn scaled_rejects_zero() {
+        FlashModel::scaled(0.0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Windowed time series over simulated time.
+//!
+//! Simulators often need "throughput per 100 ms window" or "utilization
+//! over time" views; [`TimeSeries`] accumulates values into fixed-width
+//! windows of simulated time and exposes the per-window aggregates.
+
+use crate::{SimDuration, SimTime};
+
+/// A fixed-window accumulator over simulated time.
+///
+/// # Example
+/// ```
+/// use wcs_simcore::{SimDuration, SimTime};
+/// use wcs_simcore::timeseries::TimeSeries;
+/// let mut ts = TimeSeries::new(SimDuration::from_millis(10));
+/// ts.record(SimTime::from_nanos(1_000_000), 1.0);
+/// ts.record(SimTime::from_nanos(15_000_000), 2.0);
+/// let w = ts.windows();
+/// assert_eq!(w.len(), 2);
+/// assert_eq!(w[0].sum, 1.0);
+/// assert_eq!(w[1].count, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    width: SimDuration,
+    windows: Vec<Window>,
+}
+
+/// One aggregated window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Window {
+    /// Window start time.
+    pub start: SimTime,
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: f64,
+    /// Largest recorded value (NEG_INFINITY when empty).
+    pub max: f64,
+}
+
+impl Window {
+    fn new(start: SimTime) -> Self {
+        Window {
+            start,
+            count: 0,
+            sum: 0.0,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Mean of the recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+impl TimeSeries {
+    /// Creates a series with the given window width.
+    ///
+    /// # Panics
+    /// Panics if the width is zero.
+    pub fn new(width: SimDuration) -> Self {
+        assert!(!width.is_zero(), "window width must be positive");
+        TimeSeries {
+            width,
+            windows: Vec::new(),
+        }
+    }
+
+    fn window_index(&self, at: SimTime) -> usize {
+        (at.as_nanos() / self.width.as_nanos()) as usize
+    }
+
+    /// Records `value` at simulated time `at`. Times may arrive in any
+    /// order; windows are created on demand.
+    pub fn record(&mut self, at: SimTime, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        let idx = self.window_index(at);
+        while self.windows.len() <= idx {
+            let start =
+                SimTime::from_nanos(self.windows.len() as u64 * self.width.as_nanos());
+            self.windows.push(Window::new(start));
+        }
+        let w = &mut self.windows[idx];
+        w.count += 1;
+        w.sum += value;
+        w.max = w.max.max(value);
+    }
+
+    /// All windows from time zero through the latest recorded value.
+    pub fn windows(&self) -> &[Window] {
+        &self.windows
+    }
+
+    /// Per-window event rate (count / width) — e.g. completions per
+    /// second when recording one value per completion.
+    pub fn rates_per_sec(&self) -> Vec<f64> {
+        let w = self.width.as_secs_f64();
+        self.windows.iter().map(|win| win.count as f64 / w).collect()
+    }
+
+    /// The busiest window by count.
+    pub fn peak_window(&self) -> Option<&Window> {
+        self.windows.iter().max_by_key(|w| w.count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_land_in_correct_windows() {
+        let mut ts = TimeSeries::new(SimDuration::from_micros(100));
+        for i in 0..10u64 {
+            ts.record(SimTime::from_nanos(i * 50_000), i as f64);
+        }
+        // 50 us apart, 100 us windows: two values per window.
+        assert_eq!(ts.windows().len(), 5);
+        for w in ts.windows() {
+            assert_eq!(w.count, 2);
+        }
+    }
+
+    #[test]
+    fn rates_reflect_counts() {
+        let mut ts = TimeSeries::new(SimDuration::from_millis(1));
+        for i in 0..100u64 {
+            ts.record(SimTime::from_nanos(i * 10_000), 1.0); // 100/ms
+        }
+        let rates = ts.rates_per_sec();
+        assert_eq!(rates.len(), 1);
+        assert!((rates[0] - 100_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn out_of_order_and_gaps() {
+        let mut ts = TimeSeries::new(SimDuration::from_micros(10));
+        ts.record(SimTime::from_nanos(95_000), 5.0);
+        ts.record(SimTime::from_nanos(5_000), 1.0);
+        assert_eq!(ts.windows().len(), 10);
+        assert_eq!(ts.windows()[0].count, 1);
+        assert_eq!(ts.windows()[9].max, 5.0);
+        assert_eq!(ts.windows()[4].count, 0);
+        assert_eq!(ts.windows()[4].mean(), 0.0);
+    }
+
+    #[test]
+    fn peak_window() {
+        let mut ts = TimeSeries::new(SimDuration::from_micros(10));
+        ts.record(SimTime::from_nanos(1_000), 1.0);
+        ts.record(SimTime::from_nanos(12_000), 1.0);
+        ts.record(SimTime::from_nanos(13_000), 1.0);
+        assert_eq!(ts.peak_window().unwrap().start, SimTime::from_nanos(10_000));
+    }
+
+    #[test]
+    fn ignores_non_finite() {
+        let mut ts = TimeSeries::new(SimDuration::from_micros(10));
+        ts.record(SimTime::ZERO, f64::NAN);
+        assert!(ts.windows().is_empty(), "NaN must not create a window");
+        assert!(ts.peak_window().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn rejects_zero_width() {
+        TimeSeries::new(SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,234 @@
+//! Batch-job execution: run a fixed set of tasks to completion and report
+//! the makespan (for the `mapreduce` benchmarks, whose metric is
+//! execution time rather than throughput).
+
+use std::collections::VecDeque;
+
+use wcs_simcore::{EventQueue, SimDuration, SimTime};
+
+use crate::engine::ServerSpec;
+use crate::request::{Resource, Stage};
+
+/// Result of a batch run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchResult {
+    /// Time from start until the last task completed.
+    pub makespan: SimDuration,
+    /// Number of tasks executed.
+    pub tasks: usize,
+    /// Per-resource busy fraction over the makespan, indexed by
+    /// [`Resource::index`].
+    pub utilization: [f64; 4],
+}
+
+impl BatchResult {
+    /// The batch performance metric: 1 / makespan-seconds (bigger is
+    /// better, consistent with the throughput metrics).
+    pub fn perf(&self) -> f64 {
+        let s = self.makespan.as_secs_f64();
+        if s > 0.0 {
+            1.0 / s
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+struct Task {
+    stages: Vec<Stage>,
+    next_stage: usize,
+}
+
+#[derive(Clone, Copy)]
+struct StageDone {
+    task: usize,
+    resource: Resource,
+}
+
+/// Executes `tasks` on the server with at most `concurrency` tasks in
+/// flight (Hadoop's task-slot model; the paper uses 4 slots per CPU).
+///
+/// Tasks are admitted in order as slots free up; each task's stages run
+/// serially, queueing FCFS at each station.
+///
+/// # Panics
+/// Panics if `concurrency` is zero.
+pub fn run_batch(spec: ServerSpec, tasks: Vec<Vec<Stage>>, concurrency: u32) -> BatchResult {
+    assert!(concurrency > 0, "need at least one task slot");
+    let n_tasks = tasks.len();
+    let mut tasks: Vec<Task> = tasks
+        .into_iter()
+        .map(|stages| Task {
+            stages,
+            next_stage: 0,
+        })
+        .collect();
+
+    let mut events: EventQueue<StageDone> = EventQueue::new();
+    let mut queues: [VecDeque<usize>; 4] = Default::default();
+    let mut busy = [0u32; 4];
+    let mut busy_time_ns = [0u128; 4];
+    let mut next_admit = 0usize;
+    let mut done = 0usize;
+
+    let servers_at = |r: Resource| -> u32 {
+        match r {
+            Resource::Cpu => spec.cores,
+            Resource::Memory => spec.memory_channels,
+            Resource::Disk => spec.disks,
+            Resource::Net => spec.nics,
+        }
+    };
+
+    // Enqueue a task's current stage; returns false when the task has no
+    // stages left (it is complete).
+    fn enqueue(tasks: &[Task], queues: &mut [VecDeque<usize>; 4], id: usize) -> bool {
+        let t = &tasks[id];
+        if t.next_stage >= t.stages.len() {
+            return false;
+        }
+        let r = t.stages[t.next_stage].resource;
+        queues[r.index()].push_back(id);
+        true
+    }
+
+    macro_rules! try_start {
+        ($res:expr, $now:expr) => {{
+            let ri = $res.index();
+            while busy[ri] < servers_at($res) {
+                let Some(id) = queues[ri].pop_front() else { break };
+                busy[ri] += 1;
+                let service = tasks[id].stages[tasks[id].next_stage].service;
+                busy_time_ns[ri] += service.as_nanos() as u128;
+                events.schedule(
+                    $now + service,
+                    StageDone {
+                        task: id,
+                        resource: $res,
+                    },
+                );
+            }
+        }};
+    }
+
+    // Admit the initial window of tasks (empty tasks complete at t=0).
+    let mut inflight = 0u32;
+    while next_admit < n_tasks && inflight < concurrency {
+        if enqueue(&tasks, &mut queues, next_admit) {
+            inflight += 1;
+        } else {
+            done += 1;
+        }
+        next_admit += 1;
+    }
+    for r in Resource::ALL {
+        try_start!(r, SimTime::ZERO);
+    }
+
+    while let Some((now, ev)) = events.pop() {
+        busy[ev.resource.index()] -= 1;
+        tasks[ev.task].next_stage += 1;
+        if !enqueue(&tasks, &mut queues, ev.task) {
+            done += 1;
+            inflight -= 1;
+            // Admit the next waiting task(s).
+            while next_admit < n_tasks && inflight < concurrency {
+                if enqueue(&tasks, &mut queues, next_admit) {
+                    inflight += 1;
+                } else {
+                    done += 1;
+                }
+                next_admit += 1;
+            }
+        }
+        for r in Resource::ALL {
+            try_start!(r, now);
+        }
+    }
+    debug_assert_eq!(done, n_tasks);
+
+    let makespan = events.now().saturating_sub(SimTime::ZERO);
+    let span_ns = makespan.as_nanos() as f64;
+    let mut utilization = [0.0; 4];
+    if span_ns > 0.0 {
+        for r in Resource::ALL {
+            utilization[r.index()] =
+                busy_time_ns[r.index()] as f64 / (span_ns * servers_at(r) as f64);
+        }
+    }
+    BatchResult {
+        makespan,
+        tasks: n_tasks,
+        utilization,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cpu_task(ms: u64) -> Vec<Stage> {
+        vec![Stage::new(Resource::Cpu, SimDuration::from_millis(ms))]
+    }
+
+    #[test]
+    fn serial_tasks_sum_on_one_core() {
+        let res = run_batch(ServerSpec::new(1), vec![cpu_task(10); 10], 4);
+        assert_eq!(res.makespan, SimDuration::from_millis(100));
+        assert_eq!(res.tasks, 10);
+    }
+
+    #[test]
+    fn cores_divide_makespan() {
+        let one = run_batch(ServerSpec::new(1), vec![cpu_task(10); 16], 16);
+        let four = run_batch(ServerSpec::new(4), vec![cpu_task(10); 16], 16);
+        assert_eq!(one.makespan.as_nanos(), 4 * four.makespan.as_nanos());
+    }
+
+    #[test]
+    fn concurrency_limits_overlap() {
+        // Two-stage tasks: disk 10 ms then CPU 10 ms. With concurrency 1
+        // nothing overlaps: 8 tasks x 20 ms = 160 ms. With concurrency 2,
+        // disk and CPU pipeline: ~90 ms.
+        let task = || {
+            vec![
+                Stage::new(Resource::Disk, SimDuration::from_millis(10)),
+                Stage::new(Resource::Cpu, SimDuration::from_millis(10)),
+            ]
+        };
+        let tasks: Vec<_> = (0..8).map(|_| task()).collect();
+        let serial = run_batch(ServerSpec::new(1), tasks.clone(), 1);
+        let piped = run_batch(ServerSpec::new(1), tasks, 2);
+        assert_eq!(serial.makespan, SimDuration::from_millis(160));
+        assert!(piped.makespan < SimDuration::from_millis(100));
+    }
+
+    #[test]
+    fn perf_is_reciprocal_makespan() {
+        let res = run_batch(ServerSpec::new(1), vec![cpu_task(500)], 1);
+        assert!((res.perf() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_degenerate_tasks() {
+        let res = run_batch(ServerSpec::new(2), vec![], 4);
+        assert_eq!(res.tasks, 0);
+        assert_eq!(res.makespan, SimDuration::ZERO);
+        let res = run_batch(ServerSpec::new(2), vec![vec![], vec![], cpu_task(1)], 1);
+        assert_eq!(res.tasks, 3);
+        assert_eq!(res.makespan, SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn utilization_reported() {
+        let res = run_batch(ServerSpec::new(1), vec![cpu_task(10); 4], 4);
+        assert!((res.utilization[Resource::Cpu.index()] - 1.0).abs() < 1e-9);
+        assert_eq!(res.utilization[Resource::Disk.index()], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "task slot")]
+    fn rejects_zero_concurrency() {
+        run_batch(ServerSpec::new(1), vec![], 0);
+    }
+}

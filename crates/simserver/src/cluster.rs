@@ -1,0 +1,341 @@
+//! Cluster-level simulation: many servers behind a load balancer.
+//!
+//! The paper's performance model "makes the simplifying assumption that
+//! cluster-level performance can be approximated by the aggregation of
+//! single-machine benchmarks" and flags validation of that assumption as
+//! future work (Section 4). This module does the validation: it
+//! simulates `n` identical servers behind a dispatcher and compares the
+//! cluster's QoS-constrained throughput against `n x` the single-server
+//! result, including a configurable scale-out overhead (the Amdahl-style
+//! costs the paper lists: bigger data structures, more coordination,
+//! higher latency variability).
+
+use wcs_simcore::stats::Histogram;
+use wcs_simcore::{EventQueue, SimRng, SimTime};
+#[cfg(test)]
+use wcs_simcore::SimDuration;
+
+use crate::engine::{RunStats, ServerSpec};
+use crate::request::{RequestSource, Resource, Stage};
+
+/// Dispatch policy of the front-end load balancer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Dispatch {
+    /// Round-robin across servers.
+    RoundRobin,
+    /// Join the server with the fewest requests in flight.
+    LeastLoaded,
+    /// Uniformly random server.
+    Random,
+}
+
+/// A cluster of identical servers behind a dispatcher.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    /// Per-server capacity.
+    pub spec: ServerSpec,
+    /// Number of servers.
+    pub servers: u32,
+    /// Dispatch policy.
+    pub dispatch: Dispatch,
+    /// Fractional per-request demand inflation per doubling of cluster
+    /// size (the scale-out overhead: routing, fan-out, bigger metadata).
+    pub scaleout_overhead: f64,
+}
+
+impl Cluster {
+    /// A cluster with no scale-out overhead (the paper's idealized
+    /// aggregation assumption).
+    pub fn ideal(spec: ServerSpec, servers: u32) -> Self {
+        assert!(servers > 0, "cluster needs at least one server");
+        Cluster {
+            spec,
+            servers,
+            dispatch: Dispatch::LeastLoaded,
+            scaleout_overhead: 0.0,
+        }
+    }
+
+    /// Demand inflation factor for this cluster size.
+    pub fn inflation(&self) -> f64 {
+        1.0 + self.scaleout_overhead * (self.servers as f64).log2()
+    }
+
+    /// Runs `n_clients` closed-loop clients against the cluster until
+    /// `warmup + measured` completions; reports cluster-wide stats.
+    ///
+    /// # Panics
+    /// Panics if `n_clients` or `measured` is zero.
+    pub fn run_closed_loop(
+        &self,
+        source: &mut dyn RequestSource,
+        n_clients: u32,
+        warmup: u64,
+        measured: u64,
+        seed: u64,
+    ) -> RunStats {
+        assert!(n_clients > 0, "need at least one client");
+        assert!(measured > 0, "need a measurement window");
+        let s = self.servers as usize;
+        let n_res = Resource::ALL.len();
+        let mut rng = SimRng::seed_from(seed);
+        let mut dispatch_rng = rng.fork(99);
+
+        struct InFlight {
+            stages: Vec<Stage>,
+            next_stage: usize,
+            started: SimTime,
+        }
+        #[derive(Clone, Copy)]
+        struct Done {
+            req: usize,
+            server: usize,
+            resource: Resource,
+        }
+
+        let mut events: EventQueue<Done> = EventQueue::new();
+        let mut inflight: Vec<InFlight> = Vec::new();
+        let mut free: Vec<usize> = Vec::new();
+        // queues[server][resource]
+        let mut queues: Vec<Vec<std::collections::VecDeque<usize>>> =
+            vec![vec![Default::default(); n_res]; s];
+        let mut busy: Vec<[u32; 4]> = vec![[0; 4]; s];
+        let mut busy_ns: Vec<[u128; 4]> = vec![[0; 4]; s];
+        let mut in_flight_per_server: Vec<u32> = vec![0; s];
+        let mut rr_next = 0usize;
+
+        let servers_at = |r: Resource, spec: &ServerSpec| -> u32 {
+            match r {
+                Resource::Cpu => spec.cores,
+                Resource::Memory => spec.memory_channels,
+                Resource::Disk => spec.disks,
+                Resource::Net => spec.nics,
+            }
+        };
+
+        let inflation = self.inflation();
+        let target = warmup + measured;
+        let mut completed = 0u64;
+        let mut completed_measured = 0u64;
+        let mut latency = Histogram::new();
+        let mut measure_start = SimTime::ZERO;
+
+        macro_rules! try_start {
+            ($srv:expr, $res:expr, $now:expr) => {{
+                let ri = $res.index();
+                while busy[$srv][ri] < servers_at($res, &self.spec) {
+                    let Some(req) = queues[$srv][ri].pop_front() else { break };
+                    busy[$srv][ri] += 1;
+                    let svc = inflight[req].stages[inflight[req].next_stage].service;
+                    busy_ns[$srv][ri] += svc.as_nanos() as u128;
+                    events.schedule(
+                        $now + svc,
+                        Done {
+                            req,
+                            server: $srv,
+                            resource: $res,
+                        },
+                    );
+                }
+            }};
+        }
+
+        macro_rules! launch {
+            ($now:expr) => {{
+                'gen: while completed < target {
+                    let mut stages = source.next_request(&mut rng);
+                    if stages.is_empty() {
+                        completed += 1;
+                        if completed == warmup {
+                            measure_start = $now;
+                            latency = Histogram::new();
+                        }
+                        if completed > warmup {
+                            completed_measured += 1;
+                        }
+                        latency.record(0.0);
+                        continue 'gen;
+                    }
+                    for st in &mut stages {
+                        *st = Stage::new(st.resource, st.service * inflation);
+                    }
+                    let server = match self.dispatch {
+                        Dispatch::RoundRobin => {
+                            rr_next = (rr_next + 1) % s;
+                            rr_next
+                        }
+                        Dispatch::Random => dispatch_rng.index(s),
+                        Dispatch::LeastLoaded => {
+                            let mut best = 0;
+                            for i in 1..s {
+                                if in_flight_per_server[i] < in_flight_per_server[best] {
+                                    best = i;
+                                }
+                            }
+                            best
+                        }
+                    };
+                    in_flight_per_server[server] += 1;
+                    let slot = match free.pop() {
+                        Some(x) => {
+                            inflight[x] = InFlight {
+                                stages,
+                                next_stage: 0,
+                                started: $now,
+                            };
+                            x
+                        }
+                        None => {
+                            inflight.push(InFlight {
+                                stages,
+                                next_stage: 0,
+                                started: $now,
+                            });
+                            inflight.len() - 1
+                        }
+                    };
+                    let r = inflight[slot].stages[0].resource;
+                    queues[server][r.index()].push_back(slot);
+                    try_start!(server, r, $now);
+                    break 'gen;
+                }
+            }};
+        }
+
+        for _ in 0..n_clients {
+            launch!(SimTime::ZERO);
+        }
+
+        while let Some((now, ev)) = events.pop() {
+            busy[ev.server][ev.resource.index()] -= 1;
+            inflight[ev.req].next_stage += 1;
+            if inflight[ev.req].next_stage >= inflight[ev.req].stages.len() {
+                completed += 1;
+                if completed == warmup {
+                    measure_start = now;
+                    latency = Histogram::new();
+                }
+                if completed > warmup {
+                    completed_measured += 1;
+                }
+                latency.record_duration(now.saturating_sub(inflight[ev.req].started));
+                in_flight_per_server[ev.server] -= 1;
+                free.push(ev.req);
+                launch!(now);
+            } else {
+                let r = inflight[ev.req].stages[inflight[ev.req].next_stage].resource;
+                queues[ev.server][r.index()].push_back(ev.req);
+                try_start!(ev.server, r, now);
+            }
+            try_start!(ev.server, ev.resource, now);
+            if completed >= target {
+                break;
+            }
+        }
+
+        let end = events.now();
+        let window = end.saturating_sub(measure_start);
+        let span = end.saturating_sub(SimTime::ZERO).as_nanos() as f64;
+        let mut utilization = [0.0; 4];
+        if span > 0.0 {
+            for r in Resource::ALL {
+                let total: u128 = busy_ns.iter().map(|b| b[r.index()]).sum();
+                let cap = span * (servers_at(r, &self.spec) as f64) * s as f64;
+                utilization[r.index()] = (total as f64 / cap).min(1.0);
+            }
+        }
+        RunStats {
+            completed: completed_measured,
+            window,
+            latency,
+            utilization,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ServerSim;
+
+    fn exp_cpu(us: u64) -> impl FnMut(&mut SimRng) -> Vec<Stage> {
+        move |rng: &mut SimRng| {
+            vec![Stage::new(
+                Resource::Cpu,
+                rng.exp_duration(SimDuration::from_micros(us)),
+            )]
+        }
+    }
+
+    #[test]
+    fn ideal_cluster_aggregates_single_server_throughput() {
+        // The paper's aggregation assumption: 4 ideal servers ~= 4x one.
+        let single = ServerSim::new(ServerSpec::new(2))
+            .run_closed_loop(&mut exp_cpu(1000), 16, 300, 4000, 7)
+            .throughput_rps();
+        let cluster = Cluster::ideal(ServerSpec::new(2), 4)
+            .run_closed_loop(&mut exp_cpu(1000), 64, 300, 8000, 7)
+            .throughput_rps();
+        let ratio = cluster / single;
+        assert!((3.7..=4.3).contains(&ratio), "scaling ratio {ratio}");
+    }
+
+    #[test]
+    fn scaleout_overhead_erodes_aggregation() {
+        let mut lossy = Cluster::ideal(ServerSpec::new(2), 8);
+        lossy.scaleout_overhead = 0.05; // 5% per doubling
+        let ideal = Cluster::ideal(ServerSpec::new(2), 8)
+            .run_closed_loop(&mut exp_cpu(1000), 128, 300, 8000, 3)
+            .throughput_rps();
+        let eroded = lossy
+            .run_closed_loop(&mut exp_cpu(1000), 128, 300, 8000, 3)
+            .throughput_rps();
+        let loss = 1.0 - eroded / ideal;
+        // log2(8) * 5% = 15% inflation -> ~13% throughput loss.
+        assert!((0.08..=0.20).contains(&loss), "loss {loss}");
+    }
+
+    #[test]
+    fn least_loaded_beats_random_on_tail_latency() {
+        let run = |dispatch| {
+            let mut c = Cluster::ideal(ServerSpec::new(1), 8);
+            c.dispatch = dispatch;
+            let stats = c.run_closed_loop(&mut exp_cpu(1000), 12, 500, 8000, 11);
+            stats.latency.percentile(99.0).unwrap()
+        };
+        let ll = run(Dispatch::LeastLoaded);
+        let rnd = run(Dispatch::Random);
+        assert!(ll < rnd, "p99: least-loaded {ll} vs random {rnd}");
+    }
+
+    #[test]
+    fn round_robin_balances_perfectly_with_uniform_work() {
+        let c = Cluster {
+            dispatch: Dispatch::RoundRobin,
+            ..Cluster::ideal(ServerSpec::new(1), 4)
+        };
+        let mut fixed = |_rng: &mut SimRng| {
+            vec![Stage::new(Resource::Cpu, SimDuration::from_micros(500))]
+        };
+        let stats = c.run_closed_loop(&mut fixed, 4, 100, 2000, 5);
+        // 4 clients over 4 servers at 500 us: 8000 RPS, no queueing.
+        assert!((stats.throughput_rps() - 8000.0).abs() < 100.0);
+        let p95 = stats.latency.percentile(95.0).unwrap();
+        assert!(p95 < 6e-4, "p95 {p95}");
+    }
+
+    #[test]
+    fn inflation_formula() {
+        let mut c = Cluster::ideal(ServerSpec::new(1), 16);
+        c.scaleout_overhead = 0.1;
+        assert!((c.inflation() - 1.4).abs() < 1e-12);
+        assert_eq!(Cluster::ideal(ServerSpec::new(1), 16).inflation(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn rejects_empty_cluster() {
+        Cluster::ideal(ServerSpec::new(1), 0);
+    }
+}

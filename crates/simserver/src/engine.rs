@@ -1,0 +1,507 @@
+//! The discrete-event server engine.
+
+use std::collections::VecDeque;
+
+use wcs_simcore::stats::Histogram;
+use wcs_simcore::{EventQueue, SimDuration, SimRng, SimTime};
+
+use crate::request::{RequestSource, Resource, Stage};
+
+/// Capacity description of the simulated server: how many parallel servers
+/// each station has.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ServerSpec {
+    /// CPU cores (parallel servers at the CPU station).
+    pub cores: u32,
+    /// Parallel servers at the memory station (1 for a shared admission
+    /// path).
+    pub memory_channels: u32,
+    /// Parallel disk spindles.
+    pub disks: u32,
+    /// Parallel NICs.
+    pub nics: u32,
+}
+
+impl ServerSpec {
+    /// A server with `cores` cores and single-channel memory, disk, and
+    /// NIC stations.
+    ///
+    /// # Panics
+    /// Panics if `cores` is zero.
+    pub fn new(cores: u32) -> Self {
+        assert!(cores > 0, "server needs at least one core");
+        ServerSpec {
+            cores,
+            memory_channels: 1,
+            disks: 1,
+            nics: 1,
+        }
+    }
+
+    fn servers_at(&self, r: Resource) -> u32 {
+        match r {
+            Resource::Cpu => self.cores,
+            Resource::Memory => self.memory_channels,
+            Resource::Disk => self.disks,
+            Resource::Net => self.nics,
+        }
+    }
+}
+
+/// Results of one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Number of requests completed inside the measurement window.
+    pub completed: u64,
+    /// Length of the measurement window.
+    pub window: SimDuration,
+    /// End-to-end latency histogram (seconds) over requests completing
+    /// after warmup.
+    pub latency: Histogram,
+    /// Per-resource busy fraction during the whole run, indexed by
+    /// [`Resource::index`]. For multi-server stations this is normalized
+    /// by the server count (1.0 = all servers busy all the time).
+    pub utilization: [f64; 4],
+}
+
+impl RunStats {
+    /// Sustained throughput over the measurement window, requests/second.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.window.is_zero() {
+            0.0
+        } else {
+            self.completed as f64 / self.window.as_secs_f64()
+        }
+    }
+
+    /// The busiest resource and its utilization.
+    pub fn bottleneck(&self) -> (Resource, f64) {
+        let mut best = (Resource::Cpu, self.utilization[0]);
+        for r in Resource::ALL {
+            if self.utilization[r.index()] > best.1 {
+                best = (r, self.utilization[r.index()]);
+            }
+        }
+        best
+    }
+}
+
+struct InFlight {
+    stages: Vec<Stage>,
+    next_stage: usize,
+    started: SimTime,
+}
+
+#[derive(Clone, Copy)]
+enum Ev {
+    /// A stage finished at the given station for the given request.
+    StageDone { req: usize, resource: Resource },
+    /// A client's think time expired; it issues its next request.
+    Launch,
+}
+
+struct StageDoneInfo {
+    req: usize,
+    resource: Resource,
+}
+
+/// All mutable state of one run, so helper methods can borrow it cleanly.
+struct Run<'a> {
+    spec: ServerSpec,
+    source: &'a mut dyn RequestSource,
+    rng: SimRng,
+    events: EventQueue<Ev>,
+    inflight: Vec<InFlight>,
+    free_slots: Vec<usize>,
+    queues: [VecDeque<usize>; 4],
+    busy: [u32; 4],
+    busy_time_ns: [u128; 4],
+    completed_total: u64,
+    completed_measured: u64,
+    latency: Histogram,
+    measure_start: SimTime,
+    warmup: u64,
+    target_total: u64,
+    think_mean: Option<SimDuration>,
+}
+
+impl Run<'_> {
+    /// Starts queued work at `res` while servers are free.
+    fn try_start(&mut self, res: Resource, now: SimTime) {
+        let ri = res.index();
+        while self.busy[ri] < self.spec.servers_at(res) {
+            let Some(req) = self.queues[ri].pop_front() else {
+                break;
+            };
+            self.busy[ri] += 1;
+            let inf = &self.inflight[req];
+            let service = inf.stages[inf.next_stage].service;
+            self.busy_time_ns[ri] += service.as_nanos() as u128;
+            self.events
+                .schedule(now + service, Ev::StageDone { req, resource: res });
+        }
+    }
+
+    /// Records one completion and handles measurement-window edges.
+    fn account_completion(&mut self, started: SimTime, now: SimTime) {
+        self.completed_total += 1;
+        if self.completed_total == self.warmup {
+            self.measure_start = now;
+            self.latency = Histogram::new();
+        }
+        if self.completed_total > self.warmup {
+            self.completed_measured += 1;
+        }
+        self.latency.record_duration(now.saturating_sub(started));
+    }
+
+    /// Issues requests from one client until one actually occupies a
+    /// station (zero-demand requests complete instantly and are counted).
+    fn launch(&mut self, now: SimTime) {
+        while self.completed_total < self.target_total {
+            let stages = self.source.next_request(&mut self.rng);
+            if stages.is_empty() {
+                self.account_completion(now, now);
+                continue;
+            }
+            let slot = match self.free_slots.pop() {
+                Some(s) => {
+                    self.inflight[s] = InFlight {
+                        stages,
+                        next_stage: 0,
+                        started: now,
+                    };
+                    s
+                }
+                None => {
+                    self.inflight.push(InFlight {
+                        stages,
+                        next_stage: 0,
+                        started: now,
+                    });
+                    self.inflight.len() - 1
+                }
+            };
+            let r = self.inflight[slot].stages[0].resource;
+            self.queues[r.index()].push_back(slot);
+            self.try_start(r, now);
+            return;
+        }
+    }
+}
+
+/// The closed-loop discrete-event server simulator.
+///
+/// See the crate docs for the model. A `ServerSim` is cheap to construct;
+/// each [`run_closed_loop`](ServerSim::run_closed_loop) call is an
+/// independent, deterministic run for the seed it is given.
+#[derive(Debug, Clone)]
+pub struct ServerSim {
+    spec: ServerSpec,
+}
+
+impl ServerSim {
+    /// Creates a simulator for the given server capacity.
+    pub fn new(spec: ServerSpec) -> Self {
+        ServerSim { spec }
+    }
+
+    /// Runs `n_clients` closed-loop clients (zero think time) until
+    /// `warmup + measured` requests have completed, then reports
+    /// statistics over the measured portion.
+    ///
+    /// Deterministic for a given `(source, seed)` pair.
+    ///
+    /// # Panics
+    /// Panics if `n_clients` or `measured` is zero.
+    pub fn run_closed_loop(
+        &self,
+        source: &mut dyn RequestSource,
+        n_clients: u32,
+        warmup: u64,
+        measured: u64,
+        seed: u64,
+    ) -> RunStats {
+        self.run_closed_loop_think(source, n_clients, None, warmup, measured, seed)
+    }
+
+    /// Like [`run_closed_loop`](Self::run_closed_loop), but each client
+    /// waits an exponentially distributed think time (mean `think_mean`)
+    /// between receiving a response and issuing its next request — the
+    /// "user-defined think time" of the paper's client driver.
+    ///
+    /// # Panics
+    /// Panics if `n_clients` or `measured` is zero.
+    pub fn run_closed_loop_think(
+        &self,
+        source: &mut dyn RequestSource,
+        n_clients: u32,
+        think_mean: Option<SimDuration>,
+        warmup: u64,
+        measured: u64,
+        seed: u64,
+    ) -> RunStats {
+        assert!(n_clients > 0, "need at least one client");
+        assert!(measured > 0, "need a measurement window");
+        let mut run = Run {
+            spec: self.spec,
+            source,
+            rng: SimRng::seed_from(seed),
+            events: EventQueue::new(),
+            inflight: Vec::new(),
+            free_slots: Vec::new(),
+            queues: Default::default(),
+            busy: [0; 4],
+            busy_time_ns: [0; 4],
+            completed_total: 0,
+            completed_measured: 0,
+            latency: Histogram::new(),
+            measure_start: SimTime::ZERO,
+            warmup,
+            target_total: warmup + measured,
+            think_mean,
+        };
+
+        for _ in 0..n_clients {
+            run.launch(SimTime::ZERO);
+        }
+
+        while let Some((now, ev)) = run.events.pop() {
+            let Ev::StageDone { req, resource } = ev else {
+                run.launch(now);
+                continue;
+            };
+            let ev = StageDoneInfo { req, resource };
+            run.busy[ev.resource.index()] -= 1;
+            run.inflight[ev.req].next_stage += 1;
+            let inf = &run.inflight[ev.req];
+            if inf.next_stage >= inf.stages.len() {
+                let started = inf.started;
+                run.account_completion(started, now);
+                run.free_slots.push(ev.req);
+                match run.think_mean {
+                    Some(mean) if !mean.is_zero() => {
+                        let think = run.rng.exp_duration(mean);
+                        run.events.schedule(now + think, Ev::Launch);
+                    }
+                    _ => run.launch(now),
+                }
+            } else {
+                let r = inf.stages[inf.next_stage].resource;
+                run.queues[r.index()].push_back(ev.req);
+                run.try_start(r, now);
+            }
+            run.try_start(ev.resource, now);
+            if run.completed_total >= run.target_total {
+                break;
+            }
+        }
+
+        let end = run.events.now();
+        let window = end.saturating_sub(run.measure_start);
+        let total_span = end.saturating_sub(SimTime::ZERO);
+        let mut utilization = [0.0; 4];
+        for r in Resource::ALL {
+            let servers = self.spec.servers_at(r) as f64;
+            let denom = total_span.as_nanos() as f64 * servers;
+            if denom > 0.0 {
+                // Busy time is accrued at schedule time, so services still
+                // in flight when the run stops can push the raw ratio just
+                // past 1; clamp, since utilization above 1 is meaningless.
+                utilization[r.index()] = (run.busy_time_ns[r.index()] as f64 / denom).min(1.0);
+            }
+        }
+        RunStats {
+            completed: run.completed_measured,
+            window,
+            latency: run.latency,
+            utilization,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cpu_only(us: u64) -> impl FnMut(&mut SimRng) -> Vec<Stage> {
+        move |_rng| vec![Stage::new(Resource::Cpu, SimDuration::from_micros(us))]
+    }
+
+    #[test]
+    fn single_client_single_core_throughput() {
+        // 1 ms per request, one client: exactly 1000 RPS.
+        let sim = ServerSim::new(ServerSpec::new(1));
+        let stats = sim.run_closed_loop(&mut cpu_only(1000), 1, 100, 2000, 1);
+        let rps = stats.throughput_rps();
+        assert!((rps - 1000.0).abs() < 1.0, "rps {rps}");
+    }
+
+    #[test]
+    fn two_cores_double_throughput() {
+        let sim1 = ServerSim::new(ServerSpec::new(1));
+        let sim2 = ServerSim::new(ServerSpec::new(2));
+        let r1 = sim1
+            .run_closed_loop(&mut cpu_only(1000), 4, 100, 2000, 1)
+            .throughput_rps();
+        let r2 = sim2
+            .run_closed_loop(&mut cpu_only(1000), 4, 100, 2000, 1)
+            .throughput_rps();
+        assert!((r2 / r1 - 2.0).abs() < 0.05, "speedup {}", r2 / r1);
+    }
+
+    #[test]
+    fn latency_grows_with_clients_on_saturated_core() {
+        let sim = ServerSim::new(ServerSpec::new(1));
+        let one = sim.run_closed_loop(&mut cpu_only(1000), 1, 100, 1000, 3);
+        let eight = sim.run_closed_loop(&mut cpu_only(1000), 8, 100, 1000, 3);
+        let p95_1 = one.latency.percentile(95.0).unwrap();
+        let p95_8 = eight.latency.percentile(95.0).unwrap();
+        assert!(p95_8 > 6.0 * p95_1, "p95 {p95_1} vs {p95_8}");
+        // Throughput cannot exceed capacity.
+        assert!(eight.throughput_rps() < 1010.0);
+    }
+
+    #[test]
+    fn serial_pipeline_throughput_is_min_capacity() {
+        // CPU 1 ms + disk 2 ms: with plenty of clients the disk (500/s)
+        // limits throughput.
+        let mut src = |_rng: &mut SimRng| {
+            vec![
+                Stage::new(Resource::Cpu, SimDuration::from_micros(1000)),
+                Stage::new(Resource::Disk, SimDuration::from_micros(2000)),
+            ]
+        };
+        let sim = ServerSim::new(ServerSpec::new(4));
+        let stats = sim.run_closed_loop(&mut src, 16, 200, 3000, 5);
+        let rps = stats.throughput_rps();
+        assert!((rps - 500.0).abs() < 10.0, "rps {rps}");
+        let (bottleneck, util) = stats.bottleneck();
+        assert_eq!(bottleneck, Resource::Disk);
+        assert!(util > 0.9);
+    }
+
+    #[test]
+    fn single_client_latency_is_sum_of_services() {
+        let mut src = |_rng: &mut SimRng| {
+            vec![
+                Stage::new(Resource::Cpu, SimDuration::from_micros(300)),
+                Stage::new(Resource::Net, SimDuration::from_micros(700)),
+            ]
+        };
+        let sim = ServerSim::new(ServerSpec::new(1));
+        let stats = sim.run_closed_loop(&mut src, 1, 10, 500, 9);
+        let p95 = stats.latency.percentile(95.0).unwrap();
+        assert!((p95 - 1e-3).abs() < 5e-5, "p95 {p95}");
+        assert!((stats.throughput_rps() - 1000.0).abs() < 5.0);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let sim = ServerSim::new(ServerSpec::new(2));
+        let mut jitter = |rng: &mut SimRng| {
+            vec![Stage::new(
+                Resource::Cpu,
+                rng.exp_duration(SimDuration::from_micros(800)),
+            )]
+        };
+        let a = sim.run_closed_loop(&mut jitter, 3, 50, 500, 42);
+        let mut jitter2 = |rng: &mut SimRng| {
+            vec![Stage::new(
+                Resource::Cpu,
+                rng.exp_duration(SimDuration::from_micros(800)),
+            )]
+        };
+        let b = sim.run_closed_loop(&mut jitter2, 3, 50, 500, 42);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.window, b.window);
+    }
+
+    #[test]
+    fn empty_requests_complete() {
+        let mut src = |_rng: &mut SimRng| Vec::new();
+        let sim = ServerSim::new(ServerSpec::new(1));
+        let stats = sim.run_closed_loop(&mut src, 2, 10, 100, 1);
+        assert_eq!(stats.completed, 100);
+    }
+
+    #[test]
+    fn utilization_bounded_by_one() {
+        let sim = ServerSim::new(ServerSpec::new(2));
+        let stats = sim.run_closed_loop(&mut cpu_only(500), 8, 100, 2000, 11);
+        for u in stats.utilization {
+            assert!((0.0..=1.0001).contains(&u), "util {u}");
+        }
+        assert!(stats.utilization[Resource::Cpu.index()] > 0.95);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one client")]
+    fn rejects_zero_clients() {
+        let sim = ServerSim::new(ServerSpec::new(1));
+        sim.run_closed_loop(&mut cpu_only(1), 0, 1, 1, 1);
+    }
+}
+
+#[cfg(test)]
+mod think_tests {
+    use super::*;
+
+    fn cpu_only(us: u64) -> impl FnMut(&mut SimRng) -> Vec<Stage> {
+        move |_rng| vec![Stage::new(Resource::Cpu, SimDuration::from_micros(us))]
+    }
+
+    #[test]
+    fn think_time_reduces_offered_load() {
+        // One client, 1 ms service, 9 ms mean think: ~100 RPS instead of
+        // 1000.
+        let sim = ServerSim::new(ServerSpec::new(1));
+        let stats = sim.run_closed_loop_think(
+            &mut cpu_only(1000),
+            1,
+            Some(SimDuration::from_millis(9)),
+            200,
+            3000,
+            3,
+        );
+        let rps = stats.throughput_rps();
+        assert!((rps - 100.0).abs() < 8.0, "rps {rps}");
+        // Latency stays at the service time: no queueing.
+        let p50 = stats.latency.percentile(50.0).unwrap();
+        assert!((p50 - 1e-3).abs() < 1e-4, "p50 {p50}");
+    }
+
+    #[test]
+    fn zero_think_matches_plain_closed_loop() {
+        let sim = ServerSim::new(ServerSpec::new(2));
+        let a = sim.run_closed_loop(&mut cpu_only(500), 4, 100, 1000, 9);
+        let b = sim.run_closed_loop_think(
+            &mut cpu_only(500),
+            4,
+            Some(SimDuration::ZERO),
+            100,
+            1000,
+            9,
+        );
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.window, b.window);
+    }
+
+    #[test]
+    fn many_thinking_clients_saturate_like_few_eager_ones() {
+        let sim = ServerSim::new(ServerSpec::new(1));
+        // 50 clients with 4 ms think against a 1 ms server: offered load
+        // 50/(5ms) = 10k RPS >> 1k capacity; throughput pins at capacity.
+        let stats = sim.run_closed_loop_think(
+            &mut cpu_only(1000),
+            50,
+            Some(SimDuration::from_millis(4)),
+            200,
+            3000,
+            5,
+        );
+        let rps = stats.throughput_rps();
+        assert!((rps - 1000.0).abs() < 30.0, "rps {rps}");
+    }
+}

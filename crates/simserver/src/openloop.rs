@@ -1,0 +1,239 @@
+//! Open-loop (Poisson-arrival) simulation.
+//!
+//! The closed-loop driver models the paper's client harness; the open
+//! loop models production traffic, where arrivals do not wait for
+//! completions. Open-loop runs expose overload behaviour (queues grow
+//! without bound past saturation) that closed loops hide, so the suite
+//! provides both.
+
+use std::collections::VecDeque;
+
+use wcs_simcore::stats::Histogram;
+use wcs_simcore::{EventQueue, SimDuration, SimRng, SimTime};
+
+use crate::engine::{RunStats, ServerSpec};
+use crate::request::{RequestSource, Resource};
+
+struct InFlight {
+    stages: Vec<crate::request::Stage>,
+    next_stage: usize,
+    started: SimTime,
+}
+
+enum Event {
+    Arrival,
+    StageDone { req: usize, resource: Resource },
+}
+
+/// Runs an open-loop simulation: requests arrive as a Poisson process of
+/// rate `lambda_rps` and queue at the stations regardless of how many
+/// are already in flight.
+///
+/// Returns statistics over the requests completing after `warmup`
+/// completions. If the offered load exceeds capacity, the run still
+/// terminates (it measures the first `warmup + measured` completions)
+/// but latencies will be enormous — which is the point.
+///
+/// # Panics
+/// Panics if `lambda_rps` is not positive and finite, or `measured` is
+/// zero.
+pub fn run_open_loop(
+    spec: ServerSpec,
+    source: &mut dyn RequestSource,
+    lambda_rps: f64,
+    warmup: u64,
+    measured: u64,
+    seed: u64,
+) -> RunStats {
+    assert!(
+        lambda_rps.is_finite() && lambda_rps > 0.0,
+        "arrival rate must be positive"
+    );
+    assert!(measured > 0, "need a measurement window");
+    let mut rng = SimRng::seed_from(seed);
+    let mut arrival_rng = rng.fork(1);
+    let mean_iat = SimDuration::from_secs_f64(1.0 / lambda_rps);
+
+    let mut events: EventQueue<Event> = EventQueue::new();
+    let mut inflight: Vec<InFlight> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut queues: [VecDeque<usize>; 4] = Default::default();
+    let mut busy = [0u32; 4];
+    let mut busy_ns = [0u128; 4];
+
+    let servers_at = |r: Resource| -> u32 {
+        match r {
+            Resource::Cpu => spec.cores,
+            Resource::Memory => spec.memory_channels,
+            Resource::Disk => spec.disks,
+            Resource::Net => spec.nics,
+        }
+    };
+
+    let target = warmup + measured;
+    let mut completed: u64 = 0;
+    let mut completed_measured: u64 = 0;
+    let mut latency = Histogram::new();
+    let mut measure_start = SimTime::ZERO;
+
+    events.schedule(SimTime::ZERO + arrival_rng.exp_duration(mean_iat), Event::Arrival);
+
+    macro_rules! try_start {
+        ($res:expr, $now:expr) => {{
+            let ri = $res.index();
+            while busy[ri] < servers_at($res) {
+                let Some(req) = queues[ri].pop_front() else { break };
+                busy[ri] += 1;
+                let svc = inflight[req].stages[inflight[req].next_stage].service;
+                busy_ns[ri] += svc.as_nanos() as u128;
+                events.schedule($now + svc, Event::StageDone { req, resource: $res });
+            }
+        }};
+    }
+
+    macro_rules! complete {
+        ($now:expr, $started:expr) => {{
+            completed += 1;
+            if completed == warmup {
+                measure_start = $now;
+                latency = Histogram::new();
+            }
+            if completed > warmup {
+                completed_measured += 1;
+            }
+            latency.record_duration($now.saturating_sub($started));
+        }};
+    }
+
+    while completed < target {
+        let Some((now, ev)) = events.pop() else { break };
+        match ev {
+            Event::Arrival => {
+                // Schedule the next arrival first so the stream is
+                // independent of service completions.
+                events.schedule(now + arrival_rng.exp_duration(mean_iat), Event::Arrival);
+                let stages = source.next_request(&mut rng);
+                if stages.is_empty() {
+                    complete!(now, now);
+                    continue;
+                }
+                let slot = match free.pop() {
+                    Some(s) => {
+                        inflight[s] = InFlight { stages, next_stage: 0, started: now };
+                        s
+                    }
+                    None => {
+                        inflight.push(InFlight { stages, next_stage: 0, started: now });
+                        inflight.len() - 1
+                    }
+                };
+                let r = inflight[slot].stages[0].resource;
+                queues[r.index()].push_back(slot);
+                try_start!(r, now);
+            }
+            Event::StageDone { req, resource } => {
+                busy[resource.index()] -= 1;
+                inflight[req].next_stage += 1;
+                if inflight[req].next_stage >= inflight[req].stages.len() {
+                    let started = inflight[req].started;
+                    complete!(now, started);
+                    free.push(req);
+                } else {
+                    let r = inflight[req].stages[inflight[req].next_stage].resource;
+                    queues[r.index()].push_back(req);
+                    try_start!(r, now);
+                }
+                try_start!(resource, now);
+            }
+        }
+    }
+
+    let end = events.now();
+    let window = end.saturating_sub(measure_start);
+    let span = end.saturating_sub(SimTime::ZERO).as_nanos() as f64;
+    let mut utilization = [0.0; 4];
+    if span > 0.0 {
+        for r in Resource::ALL {
+            utilization[r.index()] =
+                (busy_ns[r.index()] as f64 / (span * servers_at(r) as f64)).min(1.0);
+        }
+    }
+    RunStats {
+        completed: completed_measured,
+        window,
+        latency,
+        utilization,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Stage;
+
+    fn cpu_source(us: u64) -> impl FnMut(&mut SimRng) -> Vec<Stage> {
+        move |rng: &mut SimRng| {
+            vec![Stage::new(
+                Resource::Cpu,
+                rng.exp_duration(SimDuration::from_micros(us)),
+            )]
+        }
+    }
+
+    #[test]
+    fn throughput_matches_offered_load_below_saturation() {
+        // M/M/2 with 1 ms service, offered 1000 RPS on 2000 RPS capacity.
+        let stats = run_open_loop(
+            ServerSpec::new(2),
+            &mut cpu_source(1000),
+            1000.0,
+            500,
+            5000,
+            3,
+        );
+        let rps = stats.throughput_rps();
+        assert!((rps - 1000.0).abs() < 60.0, "rps {rps}");
+        let u = stats.utilization[Resource::Cpu.index()];
+        assert!((u - 0.5).abs() < 0.05, "util {u}");
+    }
+
+    #[test]
+    fn mm1_latency_matches_theory() {
+        // M/M/1 at rho = 0.5: mean sojourn = s / (1 - rho) = 2 ms.
+        let stats = run_open_loop(
+            ServerSpec::new(1),
+            &mut cpu_source(1000),
+            500.0,
+            2000,
+            20000,
+            7,
+        );
+        let mean = stats.latency.mean();
+        assert!((mean - 2e-3).abs() < 4e-4, "mean sojourn {mean}");
+    }
+
+    #[test]
+    fn overload_shows_unbounded_latency() {
+        let ok = run_open_loop(ServerSpec::new(1), &mut cpu_source(1000), 800.0, 200, 3000, 9);
+        let over = run_open_loop(ServerSpec::new(1), &mut cpu_source(1000), 1500.0, 200, 3000, 9);
+        let p95_ok = ok.latency.percentile(95.0).unwrap();
+        let p95_over = over.latency.percentile(95.0).unwrap();
+        assert!(p95_over > 10.0 * p95_ok, "{p95_ok} vs {p95_over}");
+        // Throughput saturates at capacity.
+        assert!(over.throughput_rps() < 1050.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run_open_loop(ServerSpec::new(2), &mut cpu_source(500), 900.0, 100, 1000, 5);
+        let b = run_open_loop(ServerSpec::new(2), &mut cpu_source(500), 900.0, 100, 1000, 5);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.window, b.window);
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival rate")]
+    fn rejects_zero_rate() {
+        run_open_loop(ServerSpec::new(1), &mut cpu_source(1), 0.0, 1, 1, 1);
+    }
+}

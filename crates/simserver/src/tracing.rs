@@ -1,0 +1,268 @@
+//! Per-request tracing: capture a run's request timeline for inspection.
+//!
+//! The aggregate [`RunStats`](crate::RunStats) answer "how fast"; traces
+//! answer "why": where each request spent its time, station by station.
+//! Tracing re-runs the engine logic with instrumented stages, so it is
+//! opt-in and meant for small diagnostic runs.
+
+use std::collections::VecDeque;
+
+use wcs_simcore::{EventQueue, SimDuration, SimRng, SimTime};
+
+use crate::engine::ServerSpec;
+use crate::request::{RequestSource, Resource, Stage};
+
+/// One stage visit in a request's life.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct StageVisit {
+    /// The station.
+    pub resource: Resource,
+    /// Time spent queued before service began.
+    pub queued: SimDuration,
+    /// Service time.
+    pub service: SimDuration,
+}
+
+/// One traced request.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RequestTrace {
+    /// Arrival time.
+    pub arrived: SimTime,
+    /// Completion time.
+    pub completed: SimTime,
+    /// The visits, in order.
+    pub visits: Vec<StageVisit>,
+}
+
+impl RequestTrace {
+    /// End-to-end latency.
+    pub fn latency(&self) -> SimDuration {
+        self.completed.saturating_sub(self.arrived)
+    }
+
+    /// Total time spent waiting in queues.
+    pub fn total_queued(&self) -> SimDuration {
+        self.visits
+            .iter()
+            .fold(SimDuration::ZERO, |acc, v| acc + v.queued)
+    }
+
+    /// Total service time.
+    pub fn total_service(&self) -> SimDuration {
+        self.visits
+            .iter()
+            .fold(SimDuration::ZERO, |acc, v| acc + v.service)
+    }
+
+    /// The station where the request queued longest, if it queued at all.
+    pub fn worst_queue(&self) -> Option<Resource> {
+        self.visits
+            .iter()
+            .filter(|v| !v.queued.is_zero())
+            .max_by_key(|v| v.queued)
+            .map(|v| v.resource)
+    }
+}
+
+/// Runs a closed loop like
+/// [`ServerSim::run_closed_loop`](crate::ServerSim::run_closed_loop) but
+/// returns the full per-request timeline of the first `traced` completed
+/// requests.
+///
+/// # Panics
+/// Panics if `n_clients` or `traced` is zero.
+pub fn trace_closed_loop(
+    spec: ServerSpec,
+    source: &mut dyn RequestSource,
+    n_clients: u32,
+    traced: u64,
+    seed: u64,
+) -> Vec<RequestTrace> {
+    assert!(n_clients > 0, "need at least one client");
+    assert!(traced > 0, "need requests to trace");
+
+    struct InFlight {
+        stages: Vec<Stage>,
+        next_stage: usize,
+        arrived: SimTime,
+        enqueued_at: SimTime,
+        visits: Vec<StageVisit>,
+    }
+    #[derive(Clone, Copy)]
+    struct Done {
+        req: usize,
+        resource: Resource,
+    }
+
+    let servers_at = |r: Resource| -> u32 {
+        match r {
+            Resource::Cpu => spec.cores,
+            Resource::Memory => spec.memory_channels,
+            Resource::Disk => spec.disks,
+            Resource::Net => spec.nics,
+        }
+    };
+
+    let mut rng = SimRng::seed_from(seed);
+    let mut events: EventQueue<Done> = EventQueue::new();
+    let mut inflight: Vec<InFlight> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut queues: [VecDeque<usize>; 4] = Default::default();
+    let mut busy = [0u32; 4];
+    let mut traces: Vec<RequestTrace> = Vec::with_capacity(traced as usize);
+
+    macro_rules! try_start {
+        ($res:expr, $now:expr) => {{
+            let ri = $res.index();
+            while busy[ri] < servers_at($res) {
+                let Some(req) = queues[ri].pop_front() else { break };
+                busy[ri] += 1;
+                let inf = &mut inflight[req];
+                let service = inf.stages[inf.next_stage].service;
+                let queued = $now.saturating_sub(inf.enqueued_at);
+                inf.visits.push(StageVisit {
+                    resource: $res,
+                    queued,
+                    service,
+                });
+                events.schedule($now + service, Done { req, resource: $res });
+            }
+        }};
+    }
+
+    macro_rules! launch {
+        ($now:expr) => {{
+            loop {
+                let stages = source.next_request(&mut rng);
+                if stages.is_empty() {
+                    if (traces.len() as u64) < traced {
+                        traces.push(RequestTrace {
+                            arrived: $now,
+                            completed: $now,
+                            visits: Vec::new(),
+                        });
+                        continue;
+                    }
+                    break;
+                }
+                let slot = match free.pop() {
+                    Some(s) => s,
+                    None => {
+                        inflight.push(InFlight {
+                            stages: Vec::new(),
+                            next_stage: 0,
+                            arrived: SimTime::ZERO,
+                            enqueued_at: SimTime::ZERO,
+                            visits: Vec::new(),
+                        });
+                        inflight.len() - 1
+                    }
+                };
+                inflight[slot] = InFlight {
+                    stages,
+                    next_stage: 0,
+                    arrived: $now,
+                    enqueued_at: $now,
+                    visits: Vec::new(),
+                };
+                let r = inflight[slot].stages[0].resource;
+                queues[r.index()].push_back(slot);
+                try_start!(r, $now);
+                break;
+            }
+        }};
+    }
+
+    for _ in 0..n_clients {
+        launch!(SimTime::ZERO);
+    }
+
+    while (traces.len() as u64) < traced {
+        let Some((now, ev)) = events.pop() else { break };
+        busy[ev.resource.index()] -= 1;
+        inflight[ev.req].next_stage += 1;
+        if inflight[ev.req].next_stage >= inflight[ev.req].stages.len() {
+            let inf = &mut inflight[ev.req];
+            traces.push(RequestTrace {
+                arrived: inf.arrived,
+                completed: now,
+                visits: std::mem::take(&mut inf.visits),
+            });
+            free.push(ev.req);
+            launch!(now);
+        } else {
+            let inf = &mut inflight[ev.req];
+            inf.enqueued_at = now;
+            let r = inf.stages[inf.next_stage].resource;
+            queues[r.index()].push_back(ev.req);
+            try_start!(r, now);
+        }
+        try_start!(ev.resource, now);
+    }
+    traces
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixed(us_cpu: u64, us_disk: u64) -> impl FnMut(&mut SimRng) -> Vec<Stage> {
+        move |_rng| {
+            vec![
+                Stage::new(Resource::Cpu, SimDuration::from_micros(us_cpu)),
+                Stage::new(Resource::Disk, SimDuration::from_micros(us_disk)),
+            ]
+        }
+    }
+
+    #[test]
+    fn uncongested_requests_never_queue() {
+        let traces = trace_closed_loop(ServerSpec::new(2), &mut fixed(100, 200), 1, 50, 1);
+        assert_eq!(traces.len(), 50);
+        for t in &traces {
+            assert_eq!(t.total_queued(), SimDuration::ZERO);
+            assert_eq!(t.latency(), SimDuration::from_micros(300));
+            assert_eq!(t.visits.len(), 2);
+            assert!(t.worst_queue().is_none());
+        }
+    }
+
+    #[test]
+    fn congestion_shows_up_at_the_bottleneck() {
+        // 8 clients on one core: CPU queues dominate.
+        let traces = trace_closed_loop(ServerSpec::new(1), &mut fixed(500, 50), 8, 200, 3);
+        let queued: Vec<_> = traces.iter().filter(|t| !t.total_queued().is_zero()).collect();
+        assert!(queued.len() > 150, "most requests queue ({})", queued.len());
+        let cpu_worst = queued
+            .iter()
+            .filter(|t| t.worst_queue() == Some(Resource::Cpu))
+            .count();
+        assert!(cpu_worst * 10 > queued.len() * 9, "CPU is the bottleneck");
+    }
+
+    #[test]
+    fn latency_decomposes_into_queue_plus_service() {
+        let traces = trace_closed_loop(ServerSpec::new(1), &mut fixed(300, 100), 4, 100, 7);
+        for t in &traces {
+            let sum = t.total_queued() + t.total_service();
+            assert_eq!(sum, t.latency(), "decomposition must be exact");
+        }
+    }
+
+    #[test]
+    fn visit_order_matches_stage_order() {
+        let traces = trace_closed_loop(ServerSpec::new(2), &mut fixed(10, 20), 2, 20, 9);
+        for t in &traces {
+            assert_eq!(t.visits[0].resource, Resource::Cpu);
+            assert_eq!(t.visits[1].resource, Resource::Disk);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requests to trace")]
+    fn rejects_zero_traced() {
+        trace_closed_loop(ServerSpec::new(1), &mut fixed(1, 1), 1, 0, 1);
+    }
+}

@@ -1,0 +1,50 @@
+//! Cost, power, and total-cost-of-ownership models.
+//!
+//! Implements the paper's Section 2.2 evaluation metrics:
+//!
+//! * per-server **infrastructure cost** (hardware BOM plus an amortized
+//!   rack-switch share),
+//! * **burdened power & cooling cost** over a 3-year depreciation cycle
+//!   using the Patel–Shah model:
+//!
+//!   ```text
+//!   PowerCoolingCost = (1 + K1 + L1 + K2*L1) * U_grid * P_consumed
+//!   ```
+//!
+//!   where `K1` amortizes power-delivery infrastructure, `L1` is cooling
+//!   electricity per watt of IT load, `K2` amortizes the cooling plant,
+//!   and `U_grid` is the electricity tariff,
+//! * the derived efficiency metrics **Perf/W**, **Perf/Inf-$**,
+//!   **Perf/P&C-$**, and **Perf/TCO-$**.
+//!
+//! With the paper's defaults (K1 = 1.33, L1 = 0.8, K2 = 0.667, $100/MWh,
+//! activity factor 0.75, 40 servers/rack, $2,750 / 40 W switch) this
+//! reproduces Figure 1(a) exactly: srvr1 -> $2,464 3-year P&C and $5,758
+//! total; srvr2 -> $1,561 and $3,249.
+//!
+//! # Example
+//! ```
+//! use wcs_platforms::{catalog, PlatformId};
+//! use wcs_tco::TcoModel;
+//!
+//! let model = TcoModel::paper_default();
+//! let report = model.server_tco(&catalog::platform(PlatformId::Srvr1));
+//! assert!((report.total_usd() - 5758.0).abs() < 2.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod metrics;
+mod model;
+mod params;
+pub mod realestate;
+pub mod render;
+pub mod sensitivity;
+mod report;
+
+pub use metrics::{Efficiency, RelativeEfficiency};
+pub use model::TcoModel;
+pub use params::{BurdenedParams, RackConfig};
+pub use realestate::RealEstateParams;
+pub use report::TcoReport;

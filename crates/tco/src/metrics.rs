@@ -1,0 +1,160 @@
+//! Performance-per-cost efficiency metrics (Section 2.2).
+
+use std::fmt;
+
+use crate::report::TcoReport;
+
+/// A performance number paired with a TCO report, exposing the paper's
+/// efficiency metrics: Perf/W, Perf/Inf-$, Perf/P&C-$, Perf/TCO-$.
+///
+/// Performance is workload-defined (requests/second for the interactive
+/// benchmarks, 1/execution-time for mapreduce); the metrics only require
+/// it to be a positive "bigger is better" scalar.
+///
+/// # Example
+/// ```
+/// use wcs_platforms::{catalog, PlatformId};
+/// use wcs_tco::{Efficiency, TcoModel};
+/// let model = TcoModel::paper_default();
+/// let base = Efficiency::new(100.0, model.server_tco(&catalog::platform(PlatformId::Srvr1)));
+/// let emb = Efficiency::new(27.0, model.server_tco(&catalog::platform(PlatformId::Emb1)));
+/// let rel = emb.relative_to(&base);
+/// assert!(rel.perf_per_tco > 1.0); // emb1 wins on Perf/TCO-$
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Efficiency {
+    /// Sustained performance (workload-defined units).
+    pub perf: f64,
+    /// The TCO report for the design delivering that performance.
+    pub report: TcoReport,
+}
+
+impl Efficiency {
+    /// Pairs a performance figure with a TCO report.
+    ///
+    /// # Panics
+    /// Panics unless `perf` is positive and finite.
+    pub fn new(perf: f64, report: TcoReport) -> Self {
+        assert!(perf.is_finite() && perf > 0.0, "perf must be positive");
+        Efficiency { perf, report }
+    }
+
+    /// Performance per watt of maximum operational power.
+    pub fn perf_per_watt(&self) -> f64 {
+        self.perf / self.report.power_w()
+    }
+
+    /// Performance per infrastructure dollar.
+    pub fn perf_per_inf(&self) -> f64 {
+        self.perf / self.report.inf_usd()
+    }
+
+    /// Performance per burdened power-and-cooling dollar.
+    pub fn perf_per_pc(&self) -> f64 {
+        self.perf / self.report.pc_usd()
+    }
+
+    /// Performance per total-cost-of-ownership dollar — the paper's
+    /// headline metric.
+    pub fn perf_per_tco(&self) -> f64 {
+        self.perf / self.report.total_usd()
+    }
+
+    /// All four metrics relative to a baseline (1.0 = parity with the
+    /// baseline; the paper's figures report these as percentages).
+    pub fn relative_to(&self, baseline: &Efficiency) -> RelativeEfficiency {
+        RelativeEfficiency {
+            perf: self.perf / baseline.perf,
+            perf_per_watt: self.perf_per_watt() / baseline.perf_per_watt(),
+            perf_per_inf: self.perf_per_inf() / baseline.perf_per_inf(),
+            perf_per_pc: self.perf_per_pc() / baseline.perf_per_pc(),
+            perf_per_tco: self.perf_per_tco() / baseline.perf_per_tco(),
+        }
+    }
+}
+
+/// Efficiency metrics of one design normalized to a baseline design.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RelativeEfficiency {
+    /// Relative performance.
+    pub perf: f64,
+    /// Relative Perf/W.
+    pub perf_per_watt: f64,
+    /// Relative Perf/Inf-$.
+    pub perf_per_inf: f64,
+    /// Relative Perf/P&C-$.
+    pub perf_per_pc: f64,
+    /// Relative Perf/TCO-$.
+    pub perf_per_tco: f64,
+}
+
+impl fmt::Display for RelativeEfficiency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "perf {:.0}% | /W {:.0}% | /Inf-$ {:.0}% | /P&C-$ {:.0}% | /TCO-$ {:.0}%",
+            self.perf * 100.0,
+            self.perf_per_watt * 100.0,
+            self.perf_per_inf * 100.0,
+            self.perf_per_pc * 100.0,
+            self.perf_per_tco * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TcoModel;
+    use wcs_platforms::{catalog, PlatformId};
+
+    fn eff(perf: f64, id: PlatformId) -> Efficiency {
+        Efficiency::new(
+            perf,
+            TcoModel::paper_default().server_tco(&catalog::platform(id)),
+        )
+    }
+
+    #[test]
+    fn relative_to_self_is_unity() {
+        let e = eff(10.0, PlatformId::Desk);
+        let r = e.relative_to(&e);
+        assert!((r.perf - 1.0).abs() < 1e-12);
+        assert!((r.perf_per_tco - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metrics_are_consistent() {
+        let e = eff(100.0, PlatformId::Srvr2);
+        assert!((e.perf_per_tco() - 100.0 / e.report.total_usd()).abs() < 1e-12);
+        assert!(e.perf_per_inf() > e.perf_per_tco());
+        assert!(e.perf_per_pc() > e.perf_per_tco());
+    }
+
+    #[test]
+    fn emb1_fig2_sanity() {
+        // With the paper's HMean relative performance (27% of srvr1),
+        // emb1 should land near Fig 2(c)'s 192% Perf/TCO-$ and 181% Perf/W.
+        let base = eff(1.0, PlatformId::Srvr1);
+        let emb1 = eff(0.27, PlatformId::Emb1);
+        let rel = emb1.relative_to(&base);
+        assert!((rel.perf_per_tco - 1.92).abs() < 0.2, "perf/tco {}", rel.perf_per_tco);
+        assert!((rel.perf_per_watt - 1.81).abs() < 0.2, "perf/W {}", rel.perf_per_watt);
+        assert!((rel.perf_per_inf - 2.01).abs() < 0.25, "perf/inf {}", rel.perf_per_inf);
+    }
+
+    #[test]
+    #[should_panic(expected = "perf must be positive")]
+    fn rejects_zero_perf() {
+        eff(0.0, PlatformId::Desk);
+    }
+
+    #[test]
+    fn display_formats_percent() {
+        let e = eff(5.0, PlatformId::Desk);
+        let r = e.relative_to(&e);
+        assert!(r.to_string().contains("100%"));
+    }
+}

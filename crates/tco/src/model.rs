@@ -1,0 +1,189 @@
+//! The TCO model: BOM -> per-component hardware + burdened P&C costs.
+
+use wcs_platforms::{BomItem, Component, Platform};
+
+use crate::params::{BurdenedParams, RackConfig};
+use crate::report::{ComponentLine, TcoReport};
+
+/// Combines a rack configuration with burdened-power parameters and turns
+/// bills of materials into [`TcoReport`]s.
+///
+/// # Example
+/// ```
+/// use wcs_tco::{TcoModel, BurdenedParams, RackConfig};
+/// use wcs_platforms::{catalog, PlatformId};
+///
+/// let model = TcoModel::paper_default();
+/// let r1 = model.server_tco(&catalog::platform(PlatformId::Srvr1));
+/// let r2 = model.server_tco(&catalog::platform(PlatformId::Srvr2));
+/// assert!(r1.total_usd() > r2.total_usd());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TcoModel {
+    /// Rack-level aggregation parameters.
+    pub rack: RackConfig,
+    /// Burdened power-and-cooling parameters.
+    pub burdened: BurdenedParams,
+}
+
+impl TcoModel {
+    /// The paper's Section 2.2 default model.
+    pub fn paper_default() -> Self {
+        TcoModel {
+            rack: RackConfig::paper_default(),
+            burdened: BurdenedParams::paper_default(),
+        }
+    }
+
+    /// Creates a model from explicit parameters.
+    pub fn new(rack: RackConfig, burdened: BurdenedParams) -> Self {
+        TcoModel { rack, burdened }
+    }
+
+    /// Full TCO report for a platform, including its per-server share of
+    /// the rack switch.
+    pub fn server_tco(&self, platform: &Platform) -> TcoReport {
+        self.bom_tco(&platform.name, platform.bom())
+    }
+
+    /// Full TCO report for an arbitrary bill of materials (used for the
+    /// unified N1/N2 designs). The rack-switch share is appended
+    /// automatically; pass BOM lines without it.
+    pub fn bom_tco(&self, name: &str, bom: &[BomItem]) -> TcoReport {
+        let mut lines: Vec<ComponentLine> = bom
+            .iter()
+            .map(|item| ComponentLine {
+                component: item.component,
+                hw_usd: item.cost_usd,
+                power_w: item.power_w,
+                pc_usd: self.burdened.burdened_cost_usd(item.power_w),
+            })
+            .collect();
+        let switch = BomItem::new(
+            Component::RackSwitch,
+            self.rack.switch_cost_share(),
+            self.rack.switch_power_share(),
+        );
+        lines.push(ComponentLine {
+            component: switch.component,
+            hw_usd: switch.cost_usd,
+            power_w: switch.power_w,
+            pc_usd: self.burdened.burdened_cost_usd(switch.power_w),
+        });
+        TcoReport::new(name.to_owned(), lines)
+    }
+
+    /// Rack-level power draw (watts, after the activity factor) for
+    /// `servers_per_rack` copies of the given platform plus the switch.
+    pub fn rack_consumed_power_w(&self, platform: &Platform) -> f64 {
+        let per_server = platform.max_power_w() * self.rack.servers_per_rack as f64;
+        (per_server + self.rack.switch_power_w) * self.burdened.activity_factor
+    }
+}
+
+impl Default for TcoModel {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcs_platforms::{catalog, PlatformId};
+
+    /// Figure 1(a)'s bottom rows: 3-year P&C and total costs.
+    #[test]
+    fn figure1a_totals_reproduce() {
+        let model = TcoModel::paper_default();
+
+        let r1 = model.server_tco(&catalog::platform(PlatformId::Srvr1));
+        assert!((r1.pc_usd() - 2464.0).abs() < 2.0, "srvr1 P&C {}", r1.pc_usd());
+        assert!((r1.total_usd() - 5758.0).abs() < 2.0, "srvr1 total {}", r1.total_usd());
+
+        let r2 = model.server_tco(&catalog::platform(PlatformId::Srvr2));
+        assert!((r2.pc_usd() - 1561.0).abs() < 2.0, "srvr2 P&C {}", r2.pc_usd());
+        assert!((r2.total_usd() - 3249.0).abs() < 2.0, "srvr2 total {}", r2.total_usd());
+    }
+
+    /// Figure 1(b): srvr2's TCO breakdown percentages.
+    #[test]
+    fn figure1b_breakdown_reproduces() {
+        let model = TcoModel::paper_default();
+        let r = model.server_tco(&catalog::platform(PlatformId::Srvr2));
+        let cases = [
+            // (component, paper HW %, paper P&C %)
+            (Component::Cpu, 0.20, 0.22),
+            (Component::Memory, 0.11, 0.06),
+            (Component::Disk, 0.04, 0.02),
+            (Component::BoardMgmt, 0.08, 0.09),
+            (Component::PowerFans, 0.08, 0.08),
+            (Component::RackSwitch, 0.02, 0.00),
+        ];
+        for (c, hw, pc) in cases {
+            let got_hw = r.hw_fraction(c);
+            let got_pc = r.pc_fraction(c);
+            assert!((got_hw - hw).abs() < 0.02, "{c}: HW {got_hw:.3} vs {hw}");
+            assert!((got_pc - pc).abs() < 0.02, "{c}: P&C {got_pc:.3} vs {pc}");
+        }
+    }
+
+    /// The paper: "power and cooling costs are comparable to hardware
+    /// costs".
+    #[test]
+    fn pc_comparable_to_hw() {
+        let model = TcoModel::paper_default();
+        for p in catalog::all() {
+            let r = model.server_tco(&p);
+            let ratio = r.pc_usd() / r.inf_usd();
+            assert!(
+                (0.3..3.0).contains(&ratio),
+                "{}: P&C/HW ratio {ratio}",
+                p.name
+            );
+        }
+    }
+
+    /// srvr1 consumes 13.6 kW/rack (paper Section 3.2); emb1 only 2.7 kW.
+    #[test]
+    fn rack_power_matches_section32() {
+        let model = TcoModel::paper_default();
+        let srvr1_kw = model.rack_consumed_power_w(&catalog::platform(PlatformId::Srvr1)) / 1e3;
+        let emb1_kw = model.rack_consumed_power_w(&catalog::platform(PlatformId::Emb1)) / 1e3;
+        assert!((srvr1_kw - 10.23).abs() < 0.1, "srvr1 rack {srvr1_kw} kW");
+        assert!((emb1_kw - 1.59).abs() < 0.1, "emb1 rack {emb1_kw} kW");
+        // The paper quotes nameplate rack power (13.6 kW / 2.7 kW, i.e.
+        // activity factor 1.0):
+        let nameplate1 = srvr1_kw / model.burdened.activity_factor;
+        let nameplate_e = emb1_kw / model.burdened.activity_factor;
+        assert!((nameplate1 - 13.64).abs() < 0.1, "srvr1 nameplate {nameplate1}");
+        assert!((nameplate_e - 2.12).abs() < 0.2, "emb1 nameplate {nameplate_e}");
+    }
+
+    #[test]
+    fn bom_tco_appends_switch() {
+        let model = TcoModel::paper_default();
+        let r = model.bom_tco("custom", &[BomItem::new(Component::Cpu, 100.0, 10.0)]);
+        assert!(r.line(Component::RackSwitch).is_some());
+        assert!((r.inf_usd() - 168.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cheaper_platforms_have_lower_tco() {
+        let model = TcoModel::paper_default();
+        let totals: Vec<f64> = [
+            PlatformId::Srvr1,
+            PlatformId::Srvr2,
+            PlatformId::Desk,
+            PlatformId::Emb1,
+            PlatformId::Emb2,
+        ]
+        .iter()
+        .map(|&id| model.server_tco(&catalog::platform(id)).total_usd())
+        .collect();
+        for w in totals.windows(2) {
+            assert!(w[0] > w[1], "TCO should strictly decrease: {totals:?}");
+        }
+    }
+}

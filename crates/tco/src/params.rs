@@ -1,0 +1,226 @@
+//! Cost-model parameters.
+
+/// Parameters of the Patel–Shah burdened power-and-cooling cost model,
+/// plus the operational assumptions the paper layers on top (activity
+/// factor, depreciation period).
+///
+/// # Example
+/// ```
+/// use wcs_tco::BurdenedParams;
+/// let p = BurdenedParams::paper_default();
+/// assert!((p.multiplier() - 3.6636).abs() < 1e-4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BurdenedParams {
+    /// Amortized power-delivery infrastructure cost per electricity
+    /// dollar (paper default 1.33).
+    pub k1: f64,
+    /// Cooling electricity per watt of IT electricity (paper default 0.8).
+    pub l1: f64,
+    /// Amortized cooling-plant capital cost per cooling-electricity
+    /// dollar (paper default 0.667).
+    pub k2: f64,
+    /// Electricity tariff in dollars per MWh (paper default $100; the
+    /// paper quotes a realistic range of $50–$170).
+    pub tariff_usd_per_mwh: f64,
+    /// Fraction of maximum operational power actually drawn on average
+    /// (paper default 0.75; studied range 0.5–1.0).
+    pub activity_factor: f64,
+    /// Depreciation period in years (paper default 3).
+    pub years: f64,
+}
+
+/// Hours per year, using the 365.25-day civil year.
+pub(crate) const HOURS_PER_YEAR: f64 = 8766.0;
+
+impl BurdenedParams {
+    /// The paper's Section 2.2 defaults.
+    pub fn paper_default() -> Self {
+        BurdenedParams {
+            k1: 1.33,
+            l1: 0.8,
+            k2: 0.667,
+            tariff_usd_per_mwh: 100.0,
+            activity_factor: 0.75,
+            years: 3.0,
+        }
+    }
+
+    /// The burdening multiplier `1 + K1 + L1 + K2*L1` applied to raw
+    /// electricity cost.
+    pub fn multiplier(&self) -> f64 {
+        1.0 + self.k1 + self.l1 + self.k2 * self.l1
+    }
+
+    /// Burdened power-and-cooling cost over the depreciation period for a
+    /// device with the given maximum operational power.
+    ///
+    /// # Panics
+    /// Panics if `max_power_w` is negative or non-finite.
+    pub fn burdened_cost_usd(&self, max_power_w: f64) -> f64 {
+        assert!(
+            max_power_w.is_finite() && max_power_w >= 0.0,
+            "power must be finite and >= 0"
+        );
+        let consumed_w = max_power_w * self.activity_factor;
+        let mwh = consumed_w * HOURS_PER_YEAR * self.years / 1e9 * 1e3;
+        self.multiplier() * self.tariff_usd_per_mwh * mwh
+    }
+
+    /// Returns a copy with a different tariff (for the $50–$170/MWh
+    /// sensitivity study).
+    pub fn with_tariff(mut self, usd_per_mwh: f64) -> Self {
+        assert!(usd_per_mwh.is_finite() && usd_per_mwh > 0.0);
+        self.tariff_usd_per_mwh = usd_per_mwh;
+        self
+    }
+
+    /// Returns a copy with a different activity factor (0.5–1.0 study).
+    ///
+    /// # Panics
+    /// Panics unless `af` is in `(0, 1]`.
+    pub fn with_activity_factor(mut self, af: f64) -> Self {
+        assert!(af.is_finite() && af > 0.0 && af <= 1.0, "activity factor in (0,1]");
+        self.activity_factor = af;
+        self
+    }
+
+    /// Returns a copy with the cooling terms (`L1`, `K2`) scaled by
+    /// `factor` — how the cooling crate expresses improved cooling
+    /// efficiency (e.g. 0.5 for the dual-entry enclosure's ~50% gain).
+    ///
+    /// # Panics
+    /// Panics unless `factor` is positive and finite.
+    pub fn with_cooling_scale(mut self, factor: f64) -> Self {
+        assert!(factor.is_finite() && factor > 0.0, "cooling scale must be > 0");
+        self.l1 *= factor;
+        // K2 is capital per cooling-electricity dollar; the plant also
+        // shrinks with the load it must support, so it scales together
+        // with L1 through the L1*K2 product automatically.
+        self
+    }
+}
+
+impl Default for BurdenedParams {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Rack-level aggregation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RackConfig {
+    /// Servers per rack (paper default 40 for 1U "pizza boxes").
+    pub servers_per_rack: u32,
+    /// Switch + enclosure cost per rack.
+    pub switch_cost_usd: f64,
+    /// Switch power per rack in watts.
+    pub switch_power_w: f64,
+}
+
+impl RackConfig {
+    /// The paper's default rack: 40 servers, $2,750 switch, 40 W.
+    pub fn paper_default() -> Self {
+        RackConfig {
+            servers_per_rack: 40,
+            switch_cost_usd: 2750.0,
+            switch_power_w: 40.0,
+        }
+    }
+
+    /// Creates a rack configuration.
+    ///
+    /// # Panics
+    /// Panics if `servers_per_rack` is zero or costs/power are invalid.
+    pub fn new(servers_per_rack: u32, switch_cost_usd: f64, switch_power_w: f64) -> Self {
+        assert!(servers_per_rack > 0, "rack must hold at least one server");
+        assert!(switch_cost_usd.is_finite() && switch_cost_usd >= 0.0);
+        assert!(switch_power_w.is_finite() && switch_power_w >= 0.0);
+        RackConfig {
+            servers_per_rack,
+            switch_cost_usd,
+            switch_power_w,
+        }
+    }
+
+    /// Per-server share of switch cost.
+    pub fn switch_cost_share(&self) -> f64 {
+        self.switch_cost_usd / self.servers_per_rack as f64
+    }
+
+    /// Per-server share of switch power.
+    pub fn switch_power_share(&self) -> f64 {
+        self.switch_power_w / self.servers_per_rack as f64
+    }
+}
+
+impl Default for RackConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiplier_matches_paper_constants() {
+        let p = BurdenedParams::paper_default();
+        assert!((p.multiplier() - 3.6636).abs() < 1e-5);
+    }
+
+    #[test]
+    fn burdened_cost_srvr1_power() {
+        // srvr1 draws 340 W + 1 W switch share; the paper reports $2,464
+        // over three years.
+        let p = BurdenedParams::paper_default();
+        let cost = p.burdened_cost_usd(341.0);
+        assert!((cost - 2464.0).abs() < 2.0, "cost {cost}");
+    }
+
+    #[test]
+    fn burdened_cost_scales_linearly_with_power_and_tariff() {
+        let p = BurdenedParams::paper_default();
+        let c100 = p.burdened_cost_usd(100.0);
+        assert!((p.burdened_cost_usd(200.0) - 2.0 * c100).abs() < 1e-9);
+        let p170 = p.with_tariff(170.0);
+        assert!((p170.burdened_cost_usd(100.0) - 1.7 * c100).abs() < 1e-9);
+    }
+
+    #[test]
+    fn activity_factor_bounds() {
+        let p = BurdenedParams::paper_default().with_activity_factor(1.0);
+        assert!(p.burdened_cost_usd(100.0) > BurdenedParams::paper_default().burdened_cost_usd(100.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "activity factor")]
+    fn rejects_activity_factor_above_one() {
+        BurdenedParams::paper_default().with_activity_factor(1.5);
+    }
+
+    #[test]
+    fn cooling_scale_reduces_cost() {
+        let base = BurdenedParams::paper_default();
+        let improved = base.with_cooling_scale(0.5);
+        assert!(improved.multiplier() < base.multiplier());
+        // Halving cooling terms: 1 + 1.33 + 0.4 + 0.667*0.4 = 2.9968.
+        assert!((improved.multiplier() - 2.9968).abs() < 1e-4);
+    }
+
+    #[test]
+    fn rack_shares() {
+        let r = RackConfig::paper_default();
+        assert!((r.switch_cost_share() - 68.75).abs() < 1e-9);
+        assert!((r.switch_power_share() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn rack_rejects_zero_servers() {
+        RackConfig::new(0, 100.0, 10.0);
+    }
+}

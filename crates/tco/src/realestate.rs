@@ -1,0 +1,142 @@
+//! Real-estate costs — the lifecycle component the paper names but does
+//! not model.
+//!
+//! Section 2.2 scopes total lifecycle cost to "base hardware, burdened
+//! power and cooling, and real-estate", and Section 4 notes that an
+//! ideal open model "would also include" real-estate explicitly. This
+//! extension prices floor space per rack and amortizes it per server, so
+//! the dense packaging designs (320 and 1250+ systems per rack) collect
+//! the floor-space saving their compaction earns.
+//!
+//! It is deliberately *not* part of [`crate::TcoModel::paper_default`]:
+//! Figure 1's published totals do not include a real-estate line, and we
+//! reproduce those exactly. Add it explicitly where wanted.
+
+use wcs_platforms::{BomItem, Component};
+
+/// Floor-space pricing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RealEstateParams {
+    /// Datacenter floor cost, dollars per square meter per year
+    /// (fit-out amortization + lease; 2008-era figures ran roughly
+    /// $2,000-$4,000/m²/yr for Tier-III space).
+    pub usd_per_m2_year: f64,
+    /// Floor area per rack including aisle share, square meters.
+    pub rack_pitch_m2: f64,
+    /// Depreciation period in years (match the TCO model's).
+    pub years: f64,
+}
+
+impl RealEstateParams {
+    /// Default 2008-era Tier-III figures: $2,500/m²/yr, 2.5 m² per rack,
+    /// 3 years.
+    pub fn default_2008() -> Self {
+        RealEstateParams {
+            usd_per_m2_year: 2500.0,
+            rack_pitch_m2: 2.5,
+            years: 3.0,
+        }
+    }
+
+    /// Creates parameters.
+    ///
+    /// # Panics
+    /// Panics if any value is non-positive or non-finite.
+    pub fn new(usd_per_m2_year: f64, rack_pitch_m2: f64, years: f64) -> Self {
+        for v in [usd_per_m2_year, rack_pitch_m2, years] {
+            assert!(v.is_finite() && v > 0.0, "real-estate parameters must be > 0");
+        }
+        RealEstateParams {
+            usd_per_m2_year,
+            rack_pitch_m2,
+            years,
+        }
+    }
+
+    /// Per-rack cost over the depreciation period.
+    pub fn per_rack_usd(&self) -> f64 {
+        self.usd_per_m2_year * self.rack_pitch_m2 * self.years
+    }
+
+    /// Per-server share at the given packaging density.
+    ///
+    /// # Panics
+    /// Panics if `servers_per_rack` is zero.
+    pub fn per_server_usd(&self, servers_per_rack: u32) -> f64 {
+        assert!(servers_per_rack > 0, "density must be positive");
+        self.per_rack_usd() / servers_per_rack as f64
+    }
+
+    /// The per-server BOM line to append to a design's bill of
+    /// materials (zero power — floors don't draw watts).
+    pub fn bom_item(&self, servers_per_rack: u32) -> BomItem {
+        BomItem::new(
+            Component::RealEstate,
+            self.per_server_usd(servers_per_rack),
+            0.0,
+        )
+    }
+}
+
+impl Default for RealEstateParams {
+    fn default() -> Self {
+        Self::default_2008()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TcoModel;
+
+    #[test]
+    fn per_rack_math() {
+        let re = RealEstateParams::default_2008();
+        assert!((re.per_rack_usd() - 2500.0 * 2.5 * 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn density_slashes_the_share() {
+        let re = RealEstateParams::default_2008();
+        let conv = re.per_server_usd(40);
+        let dual = re.per_server_usd(320);
+        let micro = re.per_server_usd(1280);
+        assert!((conv / dual - 8.0).abs() < 1e-9);
+        assert!(micro < 20.0, "microblade floor share ${micro}");
+        assert!((conv - 468.75).abs() < 0.01);
+    }
+
+    #[test]
+    fn integrates_as_bom_line() {
+        let re = RealEstateParams::default_2008();
+        let model = TcoModel::paper_default();
+        let with = model.bom_tco(
+            "with floor",
+            &[
+                BomItem::new(Component::Cpu, 100.0, 50.0),
+                re.bom_item(40),
+            ],
+        );
+        let without = model.bom_tco("without", &[BomItem::new(Component::Cpu, 100.0, 50.0)]);
+        let delta = with.total_usd() - without.total_usd();
+        assert!((delta - re.per_server_usd(40)).abs() < 1e-9);
+        // No power, hence no P&C change.
+        assert!((with.pc_usd() - without.pc_usd()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn real_estate_favors_dense_designs_materially() {
+        // At 1U density the floor share is a visible fraction of an
+        // emb1-class server's cost; at microblade density it vanishes.
+        let re = RealEstateParams::default_2008();
+        assert!(re.per_server_usd(40) > 400.0);
+        assert!(re.per_server_usd(1280) < 15.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be > 0")]
+    fn rejects_zero_price() {
+        RealEstateParams::new(0.0, 2.5, 3.0);
+    }
+}

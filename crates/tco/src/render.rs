@@ -1,0 +1,114 @@
+//! Markdown rendering of cost reports, for dropping into documents.
+
+use std::fmt::Write as _;
+
+use wcs_platforms::Component;
+
+use crate::report::TcoReport;
+
+/// Renders one report as a markdown table (component rows, HW / W / P&C
+/// columns, totals row).
+///
+/// # Example
+/// ```
+/// use wcs_platforms::{catalog, PlatformId};
+/// use wcs_tco::{render, TcoModel};
+/// let r = TcoModel::paper_default().server_tco(&catalog::platform(PlatformId::Srvr2));
+/// let md = render::report_markdown(&r);
+/// assert!(md.contains("| CPU |"));
+/// assert!(md.contains("**total**"));
+/// ```
+pub fn report_markdown(report: &TcoReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "### {}", report.name);
+    let _ = writeln!(out, "| component | HW $ | W | P&C $ |");
+    let _ = writeln!(out, "|---|---:|---:|---:|");
+    for line in report.lines() {
+        let _ = writeln!(
+            out,
+            "| {} | {:.0} | {:.1} | {:.0} |",
+            line.component, line.hw_usd, line.power_w, line.pc_usd
+        );
+    }
+    let _ = writeln!(
+        out,
+        "| **total** | **{:.0}** | **{:.1}** | **{:.0}** |",
+        report.inf_usd(),
+        report.power_w(),
+        report.pc_usd()
+    );
+    let _ = writeln!(out, "\nTCO: **${:.0}**", report.total_usd());
+    out
+}
+
+/// Renders several reports side by side: one row per component, one
+/// column pair (HW, P&C) per report.
+pub fn comparison_markdown(reports: &[&TcoReport]) -> String {
+    let mut out = String::new();
+    let mut header = String::from("| component |");
+    let mut rule = String::from("|---|");
+    for r in reports {
+        let _ = write!(header, " {} HW $ | {} P&C $ |", r.name, r.name);
+        rule.push_str("---:|---:|");
+    }
+    let _ = writeln!(out, "{header}");
+    let _ = writeln!(out, "{rule}");
+    for c in Component::ALL {
+        if reports.iter().all(|r| r.line(c).is_none()) {
+            continue;
+        }
+        let mut row = format!("| {c} |");
+        for r in reports {
+            match r.line(c) {
+                Some(l) => {
+                    let _ = write!(row, " {:.0} | {:.0} |", l.hw_usd, l.pc_usd);
+                }
+                None => row.push_str(" – | – |"),
+            }
+        }
+        let _ = writeln!(out, "{row}");
+    }
+    let mut total = String::from("| **total** |");
+    for r in reports {
+        let _ = write!(total, " **{:.0}** | **{:.0}** |", r.inf_usd(), r.pc_usd());
+    }
+    let _ = writeln!(out, "{total}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TcoModel;
+    use wcs_platforms::{catalog, PlatformId};
+
+    #[test]
+    fn report_contains_all_lines_and_totals() {
+        let r = TcoModel::paper_default().server_tco(&catalog::platform(PlatformId::Srvr1));
+        let md = report_markdown(&r);
+        for needle in ["| CPU |", "| Memory |", "| Disk |", "Rack+switch", "TCO: **$5758**"] {
+            assert!(md.contains(needle), "missing {needle} in:\n{md}");
+        }
+    }
+
+    #[test]
+    fn comparison_renders_multiple_columns() {
+        let model = TcoModel::paper_default();
+        let a = model.server_tco(&catalog::platform(PlatformId::Srvr1));
+        let b = model.server_tco(&catalog::platform(PlatformId::Emb1));
+        let md = comparison_markdown(&[&a, &b]);
+        assert!(md.contains("srvr1 HW $"));
+        assert!(md.contains("emb1 HW $"));
+        // One component column + 2 reports x 2 columns.
+        let header_cols = md.lines().next().unwrap().matches('|').count();
+        assert_eq!(header_cols, 6);
+    }
+
+    #[test]
+    fn absent_components_are_dashes_or_skipped() {
+        let model = TcoModel::paper_default();
+        let r = model.server_tco(&catalog::platform(PlatformId::Desk));
+        let md = comparison_markdown(&[&r]);
+        assert!(!md.contains("| Flash |"), "absent everywhere: skipped");
+    }
+}

@@ -1,0 +1,159 @@
+//! Per-server TCO reports with component-level breakdowns (Figure 1).
+
+use std::fmt;
+
+use wcs_platforms::Component;
+
+/// One component's contribution to a server's TCO.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ComponentLine {
+    /// Component category.
+    pub component: Component,
+    /// Hardware (infrastructure) cost in dollars.
+    pub hw_usd: f64,
+    /// Maximum operational power in watts.
+    pub power_w: f64,
+    /// Burdened power-and-cooling cost over the depreciation period.
+    pub pc_usd: f64,
+}
+
+/// A full per-server TCO report: every component's hardware and burdened
+/// power-and-cooling cost, as in Figure 1 of the paper.
+///
+/// # Example
+/// ```
+/// use wcs_platforms::{catalog, PlatformId};
+/// use wcs_tco::TcoModel;
+/// let r = TcoModel::paper_default().server_tco(&catalog::platform(PlatformId::Srvr2));
+/// assert!((r.total_usd() - 3249.0).abs() < 2.0);
+/// assert!(r.hw_fraction(wcs_platforms::Component::Cpu) > 0.15);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TcoReport {
+    /// Name of the design this report describes.
+    pub name: String,
+    lines: Vec<ComponentLine>,
+}
+
+impl TcoReport {
+    pub(crate) fn new(name: String, lines: Vec<ComponentLine>) -> Self {
+        TcoReport { name, lines }
+    }
+
+    /// Component-level lines.
+    pub fn lines(&self) -> &[ComponentLine] {
+        &self.lines
+    }
+
+    /// Total infrastructure (hardware) cost, including the rack share.
+    pub fn inf_usd(&self) -> f64 {
+        self.lines.iter().map(|l| l.hw_usd).sum()
+    }
+
+    /// Total burdened power-and-cooling cost over the depreciation
+    /// period.
+    pub fn pc_usd(&self) -> f64 {
+        self.lines.iter().map(|l| l.pc_usd).sum()
+    }
+
+    /// Total cost of ownership: infrastructure + burdened P&C.
+    pub fn total_usd(&self) -> f64 {
+        self.inf_usd() + self.pc_usd()
+    }
+
+    /// Total maximum operational power (watts), including rack share.
+    pub fn power_w(&self) -> f64 {
+        self.lines.iter().map(|l| l.power_w).sum()
+    }
+
+    /// One component's line, if present.
+    pub fn line(&self, c: Component) -> Option<&ComponentLine> {
+        self.lines.iter().find(|l| l.component == c)
+    }
+
+    /// Fraction of TCO contributed by a component's hardware cost.
+    pub fn hw_fraction(&self, c: Component) -> f64 {
+        self.line(c).map_or(0.0, |l| l.hw_usd / self.total_usd())
+    }
+
+    /// Fraction of TCO contributed by a component's P&C cost.
+    pub fn pc_fraction(&self, c: Component) -> f64 {
+        self.line(c).map_or(0.0, |l| l.pc_usd / self.total_usd())
+    }
+}
+
+impl fmt::Display for TcoReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "TCO report: {}", self.name)?;
+        writeln!(f, "  {:<14} {:>10} {:>8} {:>10}", "component", "HW $", "W", "P&C $")?;
+        for l in &self.lines {
+            writeln!(
+                f,
+                "  {:<14} {:>10.2} {:>8.1} {:>10.2}",
+                l.component.to_string(),
+                l.hw_usd,
+                l.power_w,
+                l.pc_usd
+            )?;
+        }
+        write!(
+            f,
+            "  total: inf ${:.0} + P&C ${:.0} = ${:.0} ({:.0} W)",
+            self.inf_usd(),
+            self.pc_usd(),
+            self.total_usd(),
+            self.power_w()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TcoReport {
+        TcoReport::new(
+            "sample".into(),
+            vec![
+                ComponentLine {
+                    component: Component::Cpu,
+                    hw_usd: 100.0,
+                    power_w: 50.0,
+                    pc_usd: 200.0,
+                },
+                ComponentLine {
+                    component: Component::Disk,
+                    hw_usd: 50.0,
+                    power_w: 10.0,
+                    pc_usd: 40.0,
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn totals_sum_lines() {
+        let r = sample();
+        assert_eq!(r.inf_usd(), 150.0);
+        assert_eq!(r.pc_usd(), 240.0);
+        assert_eq!(r.total_usd(), 390.0);
+        assert_eq!(r.power_w(), 60.0);
+    }
+
+    #[test]
+    fn fractions() {
+        let r = sample();
+        assert!((r.hw_fraction(Component::Cpu) - 100.0 / 390.0).abs() < 1e-12);
+        assert!((r.pc_fraction(Component::Disk) - 40.0 / 390.0).abs() < 1e-12);
+        assert_eq!(r.hw_fraction(Component::Flash), 0.0);
+    }
+
+    #[test]
+    fn display_contains_totals() {
+        let s = sample().to_string();
+        assert!(s.contains("390"));
+        assert!(s.contains("CPU"));
+    }
+}

@@ -1,0 +1,132 @@
+//! TCO sensitivity analysis: which component should a designer attack?
+//!
+//! Figure 1(b)'s argument is that "a number of other components together
+//! contribute equally to the overall costs", so "solutions need to
+//! holistically address multiple components". This module quantifies
+//! that: for each BOM line, the marginal Perf/TCO-$ improvement from
+//! shaving 10% off its cost or its power — a ranked to-do list for the
+//! designer.
+
+use wcs_platforms::{BomItem, Component, Platform};
+
+use crate::model::TcoModel;
+
+/// One component's leverage on the design's TCO.
+#[derive(Debug, Clone, Copy)]
+pub struct Leverage {
+    /// The component.
+    pub component: Component,
+    /// Relative TCO reduction from cutting this line's hardware cost by
+    /// `delta` (e.g. 0.012 = 1.2% of TCO).
+    pub cost_leverage: f64,
+    /// Relative TCO reduction from cutting this line's power by `delta`.
+    pub power_leverage: f64,
+}
+
+impl Leverage {
+    /// Combined leverage: the TCO saved if both cost and power improve.
+    pub fn total(&self) -> f64 {
+        self.cost_leverage + self.power_leverage
+    }
+}
+
+/// Computes each BOM line's leverage on the platform's TCO for a
+/// fractional improvement `delta` (0.10 = shave 10%).
+///
+/// # Panics
+/// Panics unless `delta` is in `(0, 1)`.
+pub fn component_leverage(model: &TcoModel, platform: &Platform, delta: f64) -> Vec<Leverage> {
+    assert!(delta > 0.0 && delta < 1.0, "delta in (0,1)");
+    let base = model.server_tco(platform).total_usd();
+    let mut out = Vec::new();
+    for item in platform.bom() {
+        let cheaper = platform.with_component(BomItem::new(
+            item.component,
+            item.cost_usd * (1.0 - delta),
+            item.power_w,
+        ));
+        let cooler = platform.with_component(BomItem::new(
+            item.component,
+            item.cost_usd,
+            item.power_w * (1.0 - delta),
+        ));
+        out.push(Leverage {
+            component: item.component,
+            cost_leverage: 1.0 - model.server_tco(&cheaper).total_usd() / base,
+            power_leverage: 1.0 - model.server_tco(&cooler).total_usd() / base,
+        });
+    }
+    out.sort_by(|a, b| b.total().partial_cmp(&a.total()).expect("finite"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcs_platforms::{catalog, PlatformId};
+
+    #[test]
+    fn cpu_is_the_biggest_lever_on_srvr2() {
+        // Figure 1(b): CPU hardware and CPU P&C are the two largest TCO
+        // components of srvr2, so the CPU line must rank first.
+        let model = TcoModel::paper_default();
+        let lv = component_leverage(&model, &catalog::platform(PlatformId::Srvr2), 0.10);
+        assert_eq!(lv[0].component, Component::Cpu);
+        // And the paper's "holistic" point: the rest together outweigh
+        // the CPU.
+        let cpu = lv[0].total();
+        let rest: f64 = lv[1..].iter().map(Leverage::total).sum();
+        assert!(rest > cpu, "rest {rest} vs cpu {cpu}");
+    }
+
+    #[test]
+    fn leverage_scales_with_delta() {
+        let model = TcoModel::paper_default();
+        let p = catalog::platform(PlatformId::Desk);
+        let small = component_leverage(&model, &p, 0.05);
+        let large = component_leverage(&model, &p, 0.10);
+        let f = |lvs: &[Leverage]| {
+            lvs.iter()
+                .find(|l| l.component == Component::Cpu)
+                .unwrap()
+                .total()
+        };
+        let ratio = f(&large) / f(&small);
+        assert!((ratio - 2.0).abs() < 1e-6, "linear in delta: {ratio}");
+    }
+
+    #[test]
+    fn leverages_sum_to_delta() {
+        // Cutting every line by delta cuts the whole TCO by delta, so
+        // the leverages must sum to it (burdened P&C is linear in power).
+        let model = TcoModel::paper_default();
+        let p = catalog::platform(PlatformId::Emb1);
+        let lv = component_leverage(&model, &p, 0.10);
+        let total: f64 = lv.iter().map(Leverage::total).sum();
+        // The rack-switch share is not in the platform BOM, so the sum
+        // falls just short of delta.
+        assert!(total > 0.085 && total < 0.1001, "sum {total}");
+    }
+
+    #[test]
+    fn power_leverage_reflects_burdened_costs() {
+        // On srvr1 the CPU draws 210 W of 340 W; its power leverage must
+        // dwarf the memory's (25 W).
+        let model = TcoModel::paper_default();
+        let lv = component_leverage(&model, &catalog::platform(PlatformId::Srvr1), 0.10);
+        let get = |c: Component| {
+            lv.iter()
+                .find(|l| l.component == c)
+                .unwrap()
+                .power_leverage
+        };
+        assert!(get(Component::Cpu) > 5.0 * get(Component::Memory));
+    }
+
+    #[test]
+    #[should_panic(expected = "delta")]
+    fn rejects_bad_delta() {
+        let model = TcoModel::paper_default();
+        component_leverage(&model, &catalog::platform(PlatformId::Desk), 1.5);
+    }
+}

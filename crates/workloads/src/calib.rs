@@ -1,0 +1,159 @@
+//! The calibration contract: the paper's Figure 2(c) target grid and the
+//! machinery to measure this suite's residuals against it.
+//!
+//! The suite's demand constants were fitted against these targets once
+//! (see DESIGN.md §5) and frozen. This module keeps the targets in code
+//! so a test can fail loudly if anyone retunes a workload and silently
+//! shifts the reproduction, and so EXPERIMENTS.md's residual table can be
+//! regenerated mechanically.
+
+use wcs_platforms::{catalog, PlatformId};
+
+use crate::perf::{measure_perf, MeasureConfig};
+use crate::suite;
+use crate::WorkloadId;
+
+/// The platforms of Figure 2(c)'s columns (everything but the srvr1
+/// baseline).
+pub const GRID_PLATFORMS: [PlatformId; 5] = [
+    PlatformId::Srvr2,
+    PlatformId::Desk,
+    PlatformId::Mobl,
+    PlatformId::Emb1,
+    PlatformId::Emb2,
+];
+
+/// The paper's published relative-performance grid (fractions of srvr1),
+/// rows in [`WorkloadId::ALL`] order, columns in [`GRID_PLATFORMS`]
+/// order.
+pub const PAPER_PERF_GRID: [[f64; 5]; 5] = [
+    [0.68, 0.36, 0.34, 0.24, 0.11], // websearch
+    [0.48, 0.19, 0.17, 0.11, 0.05], // webmail
+    [0.97, 0.92, 0.95, 0.86, 0.24], // ytube
+    [0.93, 0.78, 0.72, 0.51, 0.12], // mapred-wc
+    [0.72, 0.70, 0.54, 0.48, 0.16], // mapred-wr
+];
+
+/// One cell's calibration residual.
+#[derive(Debug, Clone, Copy)]
+pub struct Residual {
+    /// The workload (row).
+    pub workload: WorkloadId,
+    /// The platform (column).
+    pub platform: PlatformId,
+    /// The paper's value.
+    pub paper: f64,
+    /// This suite's measured value.
+    pub measured: f64,
+}
+
+impl Residual {
+    /// Absolute error.
+    pub fn abs_error(&self) -> f64 {
+        (self.measured - self.paper).abs()
+    }
+}
+
+/// Measures the full grid and returns the residual of every cell.
+pub fn measure_grid(cfg: &MeasureConfig) -> Vec<Residual> {
+    let mut out = Vec::with_capacity(25);
+    for (wi, &w) in WorkloadId::ALL.iter().enumerate() {
+        let wl = suite::workload(w);
+        let base = measure_perf(&wl, &catalog::platform(PlatformId::Srvr1), cfg)
+            .expect("srvr1 is feasible")
+            .value;
+        for (pi, &p) in GRID_PLATFORMS.iter().enumerate() {
+            let v = measure_perf(&wl, &catalog::platform(p), cfg)
+                .expect("catalog platforms are feasible")
+                .value;
+            out.push(Residual {
+                workload: w,
+                platform: p,
+                paper: PAPER_PERF_GRID[wi][pi],
+                measured: v / base,
+            });
+        }
+    }
+    out
+}
+
+/// Root-mean-square error over a set of residuals.
+pub fn rmse(residuals: &[Residual]) -> f64 {
+    if residuals.is_empty() {
+        return 0.0;
+    }
+    let ss: f64 = residuals.iter().map(|r| r.abs_error().powi(2)).sum();
+    (ss / residuals.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The calibration contract: excluding the documented emb2 residual,
+    /// the grid must stay within an RMSE of 0.07 and no single cell may
+    /// drift more than 0.12 from the paper. emb2's systematic
+    /// underestimate is pinned separately so it cannot silently *grow*.
+    #[test]
+    fn calibration_contract_holds() {
+        let residuals = measure_grid(&MeasureConfig::quick());
+        assert_eq!(residuals.len(), 25);
+
+        // Documented exceptions (see EXPERIMENTS.md): the paper's
+        // mapred-wr desk/mobl split (70% vs 54% at a 10% frequency
+        // difference with identical disks) is not reproducible by a
+        // monotone resource model; we land both near the disk bound.
+        let excepted =
+            |r: &Residual| r.workload == WorkloadId::MapredWr && r.platform == PlatformId::Mobl;
+
+        let (emb2, rest): (Vec<Residual>, Vec<Residual>) = residuals
+            .into_iter()
+            .partition(|r| r.platform == PlatformId::Emb2);
+        let contract: Vec<Residual> = rest.iter().copied().filter(|r| !excepted(r)).collect();
+
+        let e = rmse(&contract);
+        assert!(e < 0.07, "non-emb2 grid RMSE {e:.3}");
+        for r in &contract {
+            assert!(
+                r.abs_error() < 0.12,
+                "{} on {}: measured {:.3} vs paper {:.3}",
+                r.workload,
+                r.platform,
+                r.measured,
+                r.paper
+            );
+        }
+        // The excepted cell is pinned too, just with its own bound.
+        for r in rest.iter().filter(|r| excepted(r)) {
+            assert!(
+                r.abs_error() < 0.30,
+                "excepted cell drifted further: {:.3} vs {:.3}",
+                r.measured,
+                r.paper
+            );
+        }
+        // emb2 is known to be underestimated but must stay within 0.09
+        // of the paper and *below* it (the documented direction).
+        for r in &emb2 {
+            assert!(
+                r.measured <= r.paper + 0.03 && r.abs_error() < 0.09,
+                "emb2 {}: measured {:.3} vs paper {:.3}",
+                r.workload,
+                r.measured,
+                r.paper
+            );
+        }
+    }
+
+    #[test]
+    fn rmse_of_perfect_fit_is_zero() {
+        let rs = vec![Residual {
+            workload: WorkloadId::Websearch,
+            platform: PlatformId::Desk,
+            paper: 0.36,
+            measured: 0.36,
+        }];
+        assert_eq!(rmse(&rs), 0.0);
+        assert_eq!(rmse(&[]), 0.0);
+    }
+}

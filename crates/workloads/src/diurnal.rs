@@ -1,0 +1,194 @@
+//! Time-of-day load modelling (Section 4: "in actual deployments,
+//! requests follow a time-of-day distribution [Fan et al.], but we only
+//! study request distributions that focus on sustained performance").
+//!
+//! This module supplies what the paper defers: a diurnal load curve and
+//! the fleet-energy arithmetic it drives. A fleet must be provisioned
+//! for the daily peak, so the average utilization — and with it the
+//! honest "activity factor" of the cost model — falls out of the curve
+//! shape rather than being assumed.
+
+use std::f64::consts::TAU;
+
+use wcs_simcore::SimRng;
+
+/// A diurnal load curve: load as a fraction of the daily peak, as a
+/// function of the hour of day.
+///
+/// The shape is a raised cosine with a configurable trough (Fan et al.'s
+/// datacenter traces bottom out around 40-60% of peak) plus optional
+/// noise.
+///
+/// # Example
+/// ```
+/// use wcs_workloads::diurnal::DiurnalCurve;
+/// let c = DiurnalCurve::typical();
+/// assert!(c.load_at(c.peak_hour) > 0.99);
+/// assert!(c.load_at(c.peak_hour + 12.0) < 0.6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DiurnalCurve {
+    /// Trough load as a fraction of peak (0 < trough <= 1).
+    pub trough: f64,
+    /// Hour of day at which load peaks.
+    pub peak_hour: f64,
+}
+
+impl DiurnalCurve {
+    /// A typical internet-service curve: 50% trough, 20:00 peak.
+    pub fn typical() -> Self {
+        DiurnalCurve {
+            trough: 0.5,
+            peak_hour: 20.0,
+        }
+    }
+
+    /// Creates a curve.
+    ///
+    /// # Panics
+    /// Panics unless `0 < trough <= 1` and `0 <= peak_hour < 24`.
+    pub fn new(trough: f64, peak_hour: f64) -> Self {
+        assert!(trough > 0.0 && trough <= 1.0, "trough in (0, 1]");
+        assert!((0.0..24.0).contains(&peak_hour), "peak hour in [0, 24)");
+        DiurnalCurve { trough, peak_hour }
+    }
+
+    /// Load fraction at the given hour (wraps past 24).
+    pub fn load_at(&self, hour: f64) -> f64 {
+        let phase = (hour - self.peak_hour) / 24.0 * TAU;
+        let mid = (1.0 + self.trough) / 2.0;
+        let amp = (1.0 - self.trough) / 2.0;
+        mid + amp * phase.cos()
+    }
+
+    /// Mean load fraction over the day.
+    pub fn mean_load(&self) -> f64 {
+        (1.0 + self.trough) / 2.0
+    }
+
+    /// Samples a noisy hourly load profile for one day.
+    pub fn sample_day(&self, noise: f64, rng: &mut SimRng) -> Vec<f64> {
+        assert!((0.0..1.0).contains(&noise), "noise fraction in [0, 1)");
+        (0..24)
+            .map(|h| {
+                let base = self.load_at(h as f64);
+                let jitter = 1.0 + noise * (rng.uniform() * 2.0 - 1.0);
+                (base * jitter).clamp(0.0, 1.0)
+            })
+            .collect()
+    }
+}
+
+/// Fleet-energy summary under a diurnal curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FleetEnergy {
+    /// Servers provisioned (sized for peak).
+    pub servers: f64,
+    /// Daily fleet energy in kWh without any power management (every
+    /// server at full power all day).
+    pub kwh_unmanaged: f64,
+    /// Daily fleet energy with ideal energy proportionality (power
+    /// tracks load).
+    pub kwh_proportional: f64,
+    /// Daily fleet energy with ensemble on/off management: unneeded
+    /// servers are parked at `idle_fraction` of full power.
+    pub kwh_parked: f64,
+}
+
+impl FleetEnergy {
+    /// The effective activity factor implied by the curve under parked
+    /// management — directly comparable with the cost model's assumed
+    /// 0.75.
+    pub fn effective_activity_factor(&self) -> f64 {
+        self.kwh_parked / self.kwh_unmanaged
+    }
+}
+
+/// Sizes a fleet for `peak_rps` given `per_server_rps`, then integrates
+/// daily energy under `curve` for a server drawing `server_watts` at
+/// full load, with parked servers drawing `idle_fraction` of that.
+///
+/// # Panics
+/// Panics on non-positive rates/power or `idle_fraction` outside `[0,1]`.
+pub fn fleet_energy(
+    curve: &DiurnalCurve,
+    peak_rps: f64,
+    per_server_rps: f64,
+    server_watts: f64,
+    idle_fraction: f64,
+) -> FleetEnergy {
+    assert!(peak_rps > 0.0 && per_server_rps > 0.0, "rates must be positive");
+    assert!(server_watts > 0.0, "power must be positive");
+    assert!((0.0..=1.0).contains(&idle_fraction), "idle fraction in [0,1]");
+    let servers = (peak_rps / per_server_rps).ceil();
+    let mut unmanaged = 0.0;
+    let mut proportional = 0.0;
+    let mut parked = 0.0;
+    for h in 0..24 {
+        let load = curve.load_at(h as f64);
+        let active = (servers * load).ceil().min(servers);
+        unmanaged += servers * server_watts;
+        proportional += servers * server_watts * load;
+        parked += active * server_watts + (servers - active) * server_watts * idle_fraction;
+    }
+    FleetEnergy {
+        servers,
+        kwh_unmanaged: unmanaged / 1000.0,
+        kwh_proportional: proportional / 1000.0,
+        kwh_parked: parked / 1000.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curve_peaks_and_troughs_where_expected() {
+        let c = DiurnalCurve::typical();
+        assert!((c.load_at(20.0) - 1.0).abs() < 1e-9);
+        assert!((c.load_at(8.0) - 0.5).abs() < 1e-9);
+        assert!((c.mean_load() - 0.75).abs() < 1e-9);
+        // Wraps smoothly.
+        assert!((c.load_at(0.0) - c.load_at(24.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_ordering() {
+        let c = DiurnalCurve::typical();
+        let e = fleet_energy(&c, 10_000.0, 50.0, 200.0, 0.3);
+        assert!(e.kwh_proportional < e.kwh_parked);
+        assert!(e.kwh_parked < e.kwh_unmanaged);
+        assert_eq!(e.servers, 200.0);
+    }
+
+    #[test]
+    fn effective_activity_factor_near_papers_assumption() {
+        // With a 50% trough and 30% idle power, the implied activity
+        // factor lands close to the paper's assumed 0.75.
+        let c = DiurnalCurve::typical();
+        let e = fleet_energy(&c, 10_000.0, 50.0, 200.0, 0.3);
+        let af = e.effective_activity_factor();
+        assert!((0.65..=0.95).contains(&af), "activity factor {af}");
+    }
+
+    #[test]
+    fn sampled_day_is_bounded_and_deterministic() {
+        let c = DiurnalCurve::typical();
+        let mut r1 = SimRng::seed_from(5);
+        let mut r2 = SimRng::seed_from(5);
+        let a = c.sample_day(0.1, &mut r1);
+        let b = c.sample_day(0.1, &mut r2);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        assert_eq!(a.len(), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "trough")]
+    fn rejects_zero_trough() {
+        DiurnalCurve::new(0.0, 12.0);
+    }
+}

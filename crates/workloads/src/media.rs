@@ -1,0 +1,202 @@
+//! Rich-media modelling for `ytube`.
+//!
+//! Section 2.1: the benchmark is "a heavily modified SPECweb2005 Support
+//! workload driven with YouTube traffic characteristics observed in edge
+//! servers by [Gill et al.]", with pages, files, and download sizes
+//! modified "to reflect the distributions seen in [Gill et al.]" and
+//! Zipf usage patterns.
+//!
+//! This module provides the video catalog and session structure: Zipf
+//! video popularity, a log-normal video-size distribution with a heavy
+//! tail (Gill et al. report a ~10 MB mean with large variance), and
+//! streaming sessions that fetch a video in chunks with early abandonment
+//! (most viewers do not finish a video).
+
+use wcs_simcore::dist::{Distribution, LogNormal, Zipf};
+use wcs_simcore::SimRng;
+
+/// A video-catalog model.
+#[derive(Debug)]
+pub struct VideoCatalog {
+    popularity: Zipf,
+    sizes_mb: Vec<f32>,
+}
+
+impl VideoCatalog {
+    /// The Gill et al.-style catalog: `n` videos, Zipf(0.9) popularity,
+    /// log-normal sizes with mean `mean_mb` and cv 1.5.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero or `mean_mb` is not positive.
+    pub fn new(n: usize, zipf_s: f64, mean_mb: f64, seed: u64) -> Self {
+        assert!(n > 0, "catalog needs videos");
+        assert!(mean_mb.is_finite() && mean_mb > 0.0);
+        let popularity = Zipf::new(n, zipf_s).expect("validated parameters");
+        let size_dist = LogNormal::from_mean_cv(mean_mb, 1.5).expect("valid cv");
+        let mut rng = SimRng::seed_from(seed);
+        let sizes_mb = (0..n).map(|_| size_dist.sample(&mut rng) as f32).collect();
+        VideoCatalog {
+            popularity,
+            sizes_mb,
+        }
+    }
+
+    /// A catalog matching the paper's edge-server study: 100k videos,
+    /// Zipf(0.9), ~10 MB mean size.
+    pub fn edge_server_2007() -> Self {
+        VideoCatalog::new(100_000, 0.9, 10.0, 0x71BE)
+    }
+
+    /// Number of videos.
+    pub fn len(&self) -> usize {
+        self.sizes_mb.len()
+    }
+
+    /// True for an empty catalog (never constructed).
+    pub fn is_empty(&self) -> bool {
+        self.sizes_mb.is_empty()
+    }
+
+    /// Picks a video by popularity; returns `(video id, size in MB)`.
+    pub fn sample_video(&self, rng: &mut SimRng) -> (usize, f64) {
+        let id = self.popularity.sample_rank(rng) - 1;
+        (id, f64::from(self.sizes_mb[id]))
+    }
+
+    /// Mean video size over the catalog, MB.
+    pub fn mean_size_mb(&self) -> f64 {
+        self.sizes_mb.iter().map(|&s| f64::from(s)).sum::<f64>() / self.len() as f64
+    }
+}
+
+/// One viewing session: a video streamed in fixed-size chunks, possibly
+/// abandoned early.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ViewSession {
+    /// Which video.
+    pub video: usize,
+    /// Total video size, MB.
+    pub video_mb: f64,
+    /// How much the viewer actually watched, MB.
+    pub streamed_mb: f64,
+    /// Number of chunk requests issued.
+    pub chunks: u32,
+}
+
+/// Streaming-session generator over a catalog.
+#[derive(Debug)]
+pub struct SessionStream<'a> {
+    catalog: &'a VideoCatalog,
+    chunk_mb: f64,
+    completion_mean: f64,
+}
+
+impl<'a> SessionStream<'a> {
+    /// Sessions that stream `chunk_mb` chunks and watch a Beta-ish
+    /// fraction of the video with the given mean completion (Gill et al.
+    /// observed most sessions abandon early; ~0.6 mean completion).
+    ///
+    /// # Panics
+    /// Panics unless `chunk_mb > 0` and `completion_mean` in `(0, 1]`.
+    pub fn new(catalog: &'a VideoCatalog, chunk_mb: f64, completion_mean: f64) -> Self {
+        assert!(chunk_mb.is_finite() && chunk_mb > 0.0, "chunk size must be positive");
+        assert!(
+            completion_mean > 0.0 && completion_mean <= 1.0,
+            "completion in (0, 1]"
+        );
+        SessionStream {
+            catalog,
+            chunk_mb,
+            completion_mean,
+        }
+    }
+
+    /// Generates one viewing session.
+    pub fn next_session(&self, rng: &mut SimRng) -> ViewSession {
+        let (video, video_mb) = self.catalog.sample_video(rng);
+        // Completion fraction: mixture of finishers and early quitters
+        // with the configured mean.
+        let p_finish = (2.0 * self.completion_mean - 1.0).clamp(0.05, 0.95);
+        let fraction = if rng.chance(p_finish) {
+            1.0
+        } else {
+            let residual_mean =
+                ((self.completion_mean - p_finish) / (1.0 - p_finish)).clamp(0.05, 1.0);
+            (rng.uniform() * 2.0 * residual_mean).min(1.0)
+        };
+        let streamed_mb = video_mb * fraction;
+        let chunks = (streamed_mb / self.chunk_mb).ceil().max(1.0) as u32;
+        ViewSession {
+            video,
+            video_mb,
+            streamed_mb,
+            chunks,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_sizes_have_configured_mean() {
+        let c = VideoCatalog::new(50_000, 0.9, 10.0, 3);
+        let m = c.mean_size_mb();
+        assert!((m - 10.0).abs() < 0.6, "mean size {m} MB");
+    }
+
+    #[test]
+    fn popular_videos_dominate_sessions() {
+        let c = VideoCatalog::edge_server_2007();
+        let mut rng = SimRng::seed_from(5);
+        let mut top_hits = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            let (id, _) = c.sample_video(&mut rng);
+            if id < c.len() / 100 {
+                top_hits += 1;
+            }
+        }
+        // Top 1% of a Zipf(0.9) catalog draws a large share of views.
+        let share = top_hits as f64 / n as f64;
+        assert!(share > 0.15, "top-1% share {share}");
+    }
+
+    #[test]
+    fn sessions_stream_at_most_the_video() {
+        let c = VideoCatalog::edge_server_2007();
+        let s = SessionStream::new(&c, 0.7, 0.6);
+        let mut rng = SimRng::seed_from(7);
+        for _ in 0..2000 {
+            let v = s.next_session(&mut rng);
+            assert!(v.streamed_mb <= v.video_mb + 1e-9);
+            assert!(v.chunks >= 1);
+            let max_chunks = (v.streamed_mb / 0.7).ceil() as u32;
+            assert!(v.chunks <= max_chunks.max(1));
+        }
+    }
+
+    #[test]
+    fn mean_completion_tracks_config() {
+        let c = VideoCatalog::edge_server_2007();
+        let s = SessionStream::new(&c, 0.7, 0.6);
+        let mut rng = SimRng::seed_from(9);
+        let n = 30_000;
+        let mut total = 0.0;
+        for _ in 0..n {
+            let v = s.next_session(&mut rng);
+            total += v.streamed_mb / v.video_mb;
+        }
+        let mean = total / n as f64;
+        assert!((mean - 0.6).abs() < 0.08, "mean completion {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size")]
+    fn rejects_zero_chunk() {
+        let c = VideoCatalog::new(10, 0.9, 1.0, 1);
+        SessionStream::new(&c, 0.0, 0.5);
+    }
+}

@@ -1,0 +1,199 @@
+//! Heterogeneous workload mixes.
+//!
+//! A real warehouse fleet serves all of its services at once; the
+//! paper's HMean row aggregates equally across the suite. A
+//! [`WorkloadMix`] generalizes that: weighted service shares, weighted
+//! aggregation of per-workload performance (weighted harmonic mean, the
+//! consistent aggregate for rate metrics), and fleet partitioning —
+//! how many of `n` servers each service needs under the mix.
+
+use std::collections::BTreeMap;
+
+use crate::WorkloadId;
+
+/// A weighted mix over the benchmark suite.
+///
+/// # Example
+/// ```
+/// use wcs_workloads::{mix::WorkloadMix, WorkloadId};
+/// let mix = WorkloadMix::uniform();
+/// assert!((mix.weight(WorkloadId::Ytube) - 0.2).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadMix {
+    weights: BTreeMap<WorkloadId, f64>,
+}
+
+impl WorkloadMix {
+    /// Equal weights across the suite (the paper's HMean).
+    pub fn uniform() -> Self {
+        let w = 1.0 / WorkloadId::ALL.len() as f64;
+        WorkloadMix {
+            weights: WorkloadId::ALL.iter().map(|&id| (id, w)).collect(),
+        }
+    }
+
+    /// A search-heavy portal mix: mostly websearch with supporting
+    /// services.
+    pub fn search_portal() -> Self {
+        WorkloadMix::new(&[
+            (WorkloadId::Websearch, 0.55),
+            (WorkloadId::Webmail, 0.15),
+            (WorkloadId::Ytube, 0.10),
+            (WorkloadId::MapredWc, 0.12),
+            (WorkloadId::MapredWr, 0.08),
+        ])
+    }
+
+    /// A media-heavy mix (video front and center).
+    pub fn media_site() -> Self {
+        WorkloadMix::new(&[
+            (WorkloadId::Websearch, 0.10),
+            (WorkloadId::Webmail, 0.05),
+            (WorkloadId::Ytube, 0.65),
+            (WorkloadId::MapredWc, 0.10),
+            (WorkloadId::MapredWr, 0.10),
+        ])
+    }
+
+    /// Creates a mix from `(workload, weight)` pairs; weights are
+    /// normalized.
+    ///
+    /// # Panics
+    /// Panics if the list is empty, a weight is non-positive, or a
+    /// workload repeats.
+    pub fn new(entries: &[(WorkloadId, f64)]) -> Self {
+        assert!(!entries.is_empty(), "mix needs entries");
+        let mut weights = BTreeMap::new();
+        let mut total = 0.0;
+        for &(id, w) in entries {
+            assert!(w.is_finite() && w > 0.0, "weights must be positive");
+            assert!(
+                weights.insert(id, w).is_none(),
+                "workload {id} repeated in mix"
+            );
+            total += w;
+        }
+        for w in weights.values_mut() {
+            *w /= total;
+        }
+        WorkloadMix { weights }
+    }
+
+    /// The normalized weight of a workload (0 when absent).
+    pub fn weight(&self, id: WorkloadId) -> f64 {
+        self.weights.get(&id).copied().unwrap_or(0.0)
+    }
+
+    /// Workloads present in the mix.
+    pub fn members(&self) -> impl Iterator<Item = (WorkloadId, f64)> + '_ {
+        self.weights.iter().map(|(&id, &w)| (id, w))
+    }
+
+    /// Weighted harmonic mean of per-workload rates: the consistent
+    /// fleet-level aggregate ("what rate does a proportionally shared
+    /// server deliver"). Returns `None` if any member's rate is missing
+    /// or non-positive.
+    pub fn aggregate_perf(&self, perf: &BTreeMap<WorkloadId, f64>) -> Option<f64> {
+        let mut acc = 0.0;
+        for (id, w) in self.members() {
+            let &p = perf.get(&id)?;
+            if !(p.is_finite() && p > 0.0) {
+                return None;
+            }
+            acc += w / p;
+        }
+        Some(1.0 / acc)
+    }
+
+    /// Splits a fleet of `servers` so each service's share of capacity
+    /// matches its weight; returns per-workload server counts (rounded,
+    /// sum preserved).
+    ///
+    /// # Panics
+    /// Panics if `servers` is zero.
+    pub fn partition_fleet(&self, servers: u32) -> BTreeMap<WorkloadId, u32> {
+        assert!(servers > 0, "fleet needs servers");
+        let mut out = BTreeMap::new();
+        let mut remaining = servers;
+        let members: Vec<(WorkloadId, f64)> = self.members().collect();
+        for (i, (id, w)) in members.iter().enumerate() {
+            let n = if i + 1 == members.len() {
+                remaining
+            } else {
+                // Rounding may overshoot; never hand out more than is
+                // left.
+                (((servers as f64) * w).round() as u32).min(remaining)
+            };
+            remaining -= n;
+            out.insert(*id, n);
+        }
+        out
+    }
+}
+
+impl Default for WorkloadMix {
+    fn default() -> Self {
+        Self::uniform()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn perf_map(vals: [f64; 5]) -> BTreeMap<WorkloadId, f64> {
+        WorkloadId::ALL.iter().copied().zip(vals).collect()
+    }
+
+    #[test]
+    fn uniform_matches_plain_hmean() {
+        let mix = WorkloadMix::uniform();
+        let perf = perf_map([1.0, 2.0, 4.0, 4.0, 4.0]);
+        let got = mix.aggregate_perf(&perf).unwrap();
+        let hmean = 5.0 / (1.0 + 0.5 + 0.25 + 0.25 + 0.25);
+        assert!((got - hmean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_normalize() {
+        let mix = WorkloadMix::new(&[(WorkloadId::Websearch, 3.0), (WorkloadId::Ytube, 1.0)]);
+        assert!((mix.weight(WorkloadId::Websearch) - 0.75).abs() < 1e-12);
+        assert_eq!(mix.weight(WorkloadId::Webmail), 0.0);
+    }
+
+    #[test]
+    fn heavier_weight_pulls_aggregate_toward_member() {
+        let perf = perf_map([10.0, 1.0, 1.0, 1.0, 1.0]);
+        let uniform = WorkloadMix::uniform().aggregate_perf(&perf).unwrap();
+        let searchy = WorkloadMix::search_portal().aggregate_perf(&perf).unwrap();
+        assert!(searchy > uniform, "{searchy} vs {uniform}");
+    }
+
+    #[test]
+    fn fleet_partition_sums() {
+        for servers in [7u32, 40, 1000] {
+            let parts = WorkloadMix::media_site().partition_fleet(servers);
+            let total: u32 = parts.values().sum();
+            assert_eq!(total, servers);
+        }
+        let parts = WorkloadMix::media_site().partition_fleet(100);
+        assert!(parts[&WorkloadId::Ytube] >= 60);
+    }
+
+    #[test]
+    fn missing_member_is_none() {
+        let mut perf = perf_map([1.0; 5]);
+        perf.remove(&WorkloadId::Ytube);
+        assert!(WorkloadMix::uniform().aggregate_perf(&perf).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "repeated")]
+    fn rejects_duplicates() {
+        WorkloadMix::new(&[
+            (WorkloadId::Ytube, 1.0),
+            (WorkloadId::Ytube, 2.0),
+        ]);
+    }
+}

@@ -1,0 +1,240 @@
+//! Measuring a workload's performance metric on a platform.
+
+use std::fmt;
+
+use wcs_platforms::Platform;
+use wcs_simserver::driver::SearchConfig;
+use wcs_simserver::{find_max_throughput, run_batch, Resource, ServerSim};
+
+use crate::service::PlatformDemand;
+use crate::spec::{Metric, Workload};
+
+/// Measurement effort configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct MeasureConfig {
+    /// Warmup requests per throughput probe.
+    pub warmup: u64,
+    /// Measured requests per throughput probe.
+    pub measured: u64,
+    /// Client-count cap for the adaptive driver.
+    pub max_clients: u32,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl MeasureConfig {
+    /// Full-accuracy configuration for reported results.
+    pub fn default_accuracy() -> Self {
+        MeasureConfig {
+            warmup: 500,
+            measured: 4000,
+            max_clients: 4096,
+            seed: 0x5EED,
+        }
+    }
+
+    /// Reduced-effort configuration for tests and examples.
+    pub fn quick() -> Self {
+        MeasureConfig {
+            warmup: 200,
+            measured: 1200,
+            max_clients: 1024,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl Default for MeasureConfig {
+    fn default() -> Self {
+        Self::default_accuracy()
+    }
+}
+
+/// A measured performance value.
+#[derive(Debug, Clone)]
+pub struct PerfResult {
+    /// The metric value: requests/second, or 1/makespan-seconds for
+    /// batch jobs. Bigger is better in both cases.
+    pub value: f64,
+    /// Unit label ("RPS" or "1/s").
+    pub unit: &'static str,
+    /// The busiest resource at the measured operating point.
+    pub bottleneck: Resource,
+}
+
+impl fmt::Display for PerfResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.2} {} (bottleneck: {})",
+            self.value, self.unit, self.bottleneck
+        )
+    }
+}
+
+/// Error measuring performance: the workload's QoS is infeasible on this
+/// platform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasureError {
+    /// Which workload failed.
+    pub workload: &'static str,
+    /// Explanation.
+    pub reason: String,
+}
+
+impl fmt::Display for MeasureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot measure {}: {}", self.workload, self.reason)
+    }
+}
+
+impl std::error::Error for MeasureError {}
+
+/// Measures `workload` on `platform` with the platform's stock disk and
+/// memory.
+///
+/// # Errors
+/// Returns [`MeasureError`] when the QoS bound cannot be met even by a
+/// single client.
+pub fn measure_perf(
+    workload: &Workload,
+    platform: &Platform,
+    config: &MeasureConfig,
+) -> Result<PerfResult, MeasureError> {
+    let demand = PlatformDemand::new(workload, platform);
+    measure_perf_with_demand(workload, &demand, config)
+}
+
+/// Measures `workload` with an explicitly prepared (possibly perturbed)
+/// demand — the entry point used by the memory-blade and flash-cache
+/// studies.
+///
+/// # Errors
+/// Returns [`MeasureError`] when the QoS bound cannot be met even by a
+/// single client.
+pub fn measure_perf_with_demand(
+    workload: &Workload,
+    demand: &PlatformDemand,
+    config: &MeasureConfig,
+) -> Result<PerfResult, MeasureError> {
+    let spec = demand.server_spec();
+    match workload.metric {
+        Metric::ThroughputQos(qos) => {
+            let sim = ServerSim::new(spec);
+            let search = SearchConfig {
+                warmup: config.warmup,
+                measured: config.measured,
+                max_clients: config.max_clients,
+                seed: config.seed,
+            };
+            let mut stream = 0u64;
+            let result = find_max_throughput(
+                &sim,
+                &mut || {
+                    stream += 1;
+                    Box::new(demand.source(stream))
+                },
+                qos,
+                search,
+            )
+            .map_err(|e| MeasureError {
+                workload: workload.id.label(),
+                reason: e.to_string(),
+            })?;
+            Ok(PerfResult {
+                value: result.rps,
+                unit: "RPS",
+                bottleneck: result.bottleneck,
+            })
+        }
+        Metric::Batch {
+            tasks,
+            slots_per_core,
+        } => {
+            let job = demand.tasks(tasks);
+            let result = run_batch(spec, job, slots_per_core * spec.cores);
+            let (bottleneck, _) = {
+                let mut best = (Resource::Cpu, result.utilization[0]);
+                for r in Resource::ALL {
+                    if result.utilization[r.index()] > best.1 {
+                        best = (r, result.utilization[r.index()]);
+                    }
+                }
+                best
+            };
+            Ok(PerfResult {
+                value: result.perf(),
+                unit: "1/s",
+                bottleneck,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite;
+    use crate::WorkloadId;
+    use wcs_platforms::{catalog, PlatformId};
+
+    fn perf(w: WorkloadId, p: PlatformId) -> f64 {
+        measure_perf(
+            &suite::workload(w),
+            &catalog::platform(p),
+            &MeasureConfig::quick(),
+        )
+        .unwrap()
+        .value
+    }
+
+    #[test]
+    fn srvr1_beats_emb2_everywhere() {
+        for id in WorkloadId::ALL {
+            let big = perf(id, PlatformId::Srvr1);
+            let small = perf(id, PlatformId::Emb2);
+            assert!(big > small, "{id}: {big} vs {small}");
+        }
+    }
+
+    #[test]
+    fn webmail_is_cpu_sensitive() {
+        // Figure 2(c): webmail degrades the most on small platforms.
+        let r_mail = perf(WorkloadId::Webmail, PlatformId::Emb1)
+            / perf(WorkloadId::Webmail, PlatformId::Srvr1);
+        let r_tube = perf(WorkloadId::Ytube, PlatformId::Emb1)
+            / perf(WorkloadId::Ytube, PlatformId::Srvr1);
+        assert!(r_mail < r_tube, "webmail {r_mail} vs ytube {r_tube}");
+    }
+
+    #[test]
+    fn ytube_is_insensitive_to_cores() {
+        // Figure 2(c): ytube barely degrades from srvr1 to srvr2.
+        let r = perf(WorkloadId::Ytube, PlatformId::Srvr2)
+            / perf(WorkloadId::Ytube, PlatformId::Srvr1);
+        assert!(r > 0.85, "ytube srvr2/srvr1 {r}");
+    }
+
+    #[test]
+    fn batch_metric_is_reciprocal_seconds() {
+        let res = measure_perf(
+            &suite::workload(WorkloadId::MapredWc),
+            &catalog::platform(PlatformId::Desk),
+            &MeasureConfig::quick(),
+        )
+        .unwrap();
+        assert_eq!(res.unit, "1/s");
+        assert!(res.value > 0.0);
+    }
+
+    #[test]
+    fn display_mentions_bottleneck() {
+        let res = measure_perf(
+            &suite::workload(WorkloadId::MapredWc),
+            &catalog::platform(PlatformId::Desk),
+            &MeasureConfig::quick(),
+        )
+        .unwrap();
+        assert!(res.to_string().contains("bottleneck"));
+    }
+}

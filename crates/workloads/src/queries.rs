@@ -1,0 +1,194 @@
+//! Search query modelling for `websearch`.
+//!
+//! Table 1 / Section 2.1: "the keywords in the queries are based on a
+//! Zipf distribution of the frequency of indexed words, and the number
+//! of keywords is based on observed real-world query patterns [Xie &
+//! O'Hallaron]", with "25% of index terms cached in memory".
+//!
+//! This module provides that query structure: a keyword-count
+//! distribution matching the published search-engine measurements (most
+//! queries have 1-3 terms), Zipf term popularity over the 1.3 M-document
+//! index vocabulary, and a per-query demand multiplier derived from how
+//! many of the query's posting lists are cache-resident.
+
+use wcs_simcore::dist::{Empirical, Zipf};
+use wcs_simcore::SimRng;
+
+/// A generated search query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Query {
+    /// The term ranks (1 = most popular indexed word).
+    pub term_ranks: Vec<u32>,
+    /// How many of the terms' posting lists were memory-resident.
+    pub cached_terms: u32,
+}
+
+impl Query {
+    /// Number of terms.
+    pub fn len(&self) -> usize {
+        self.term_ranks.len()
+    }
+
+    /// True for the (never generated) empty query.
+    pub fn is_empty(&self) -> bool {
+        self.term_ranks.is_empty()
+    }
+
+    /// Fraction of terms that missed the in-memory index cache and need
+    /// disk posting-list reads.
+    pub fn disk_fraction(&self) -> f64 {
+        1.0 - self.cached_terms as f64 / self.term_ranks.len() as f64
+    }
+}
+
+/// Generator of websearch queries.
+///
+/// # Example
+/// ```
+/// use wcs_workloads::queries::QueryGen;
+/// use wcs_simcore::SimRng;
+/// let mut gen = QueryGen::paper_default();
+/// let q = gen.next_query(&mut SimRng::seed_from(1));
+/// assert!((1..=6).contains(&q.len()));
+/// ```
+#[derive(Debug)]
+pub struct QueryGen {
+    term_popularity: Zipf,
+    keyword_count: Empirical,
+    cached_fraction: f64,
+}
+
+impl QueryGen {
+    /// The paper's configuration: Zipf term popularity over a 200k-word
+    /// vocabulary, the Xie & O'Hallaron keyword-count mix (1-6 terms,
+    /// mean ~2.4), and 25% of index terms cached.
+    pub fn paper_default() -> Self {
+        QueryGen::new(200_000, 1.0, 0.25)
+    }
+
+    /// Creates a generator over `vocab` indexed words with Zipf skew `s`
+    /// and the given cached-term fraction.
+    ///
+    /// # Panics
+    /// Panics if `vocab` is zero or `cached_fraction` outside `[0, 1]`.
+    pub fn new(vocab: usize, s: f64, cached_fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&cached_fraction), "cache fraction in [0,1]");
+        let term_popularity = Zipf::new(vocab, s).expect("validated vocabulary");
+        // Keyword-count distribution after web query-log studies:
+        // 1 term 25%, 2 terms 33%, 3 terms 22%, 4 terms 12%, 5 terms 5%,
+        // 6 terms 3%.
+        let keyword_count = Empirical::new(&[
+            (1.0, 25.0),
+            (2.0, 33.0),
+            (3.0, 22.0),
+            (4.0, 12.0),
+            (5.0, 5.0),
+            (6.0, 3.0),
+        ])
+        .expect("static mix is valid");
+        QueryGen {
+            term_popularity,
+            keyword_count,
+            cached_fraction,
+        }
+    }
+
+    /// Generates the next query. Popular terms are more likely to be
+    /// cached: term ranks in the top `cached_fraction` of the vocabulary
+    /// hit memory (the paper caches the hottest 25% of index terms).
+    pub fn next_query(&mut self, rng: &mut SimRng) -> Query {
+        use wcs_simcore::dist::Distribution;
+        let n = self.keyword_count.sample(rng) as usize;
+        let cutoff = (self.term_popularity.len() as f64 * self.cached_fraction) as u32;
+        let mut term_ranks = Vec::with_capacity(n);
+        let mut cached = 0;
+        for _ in 0..n {
+            let rank = self.term_popularity.sample_rank(rng) as u32;
+            if rank <= cutoff {
+                cached += 1;
+            }
+            term_ranks.push(rank);
+        }
+        Query {
+            term_ranks,
+            cached_terms: cached,
+        }
+    }
+
+    /// Long-run mean number of terms per query.
+    pub fn mean_terms(&self) -> f64 {
+        use wcs_simcore::dist::Distribution;
+        self.keyword_count.mean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_sizes_match_mix() {
+        let mut gen = QueryGen::paper_default();
+        let mut rng = SimRng::seed_from(3);
+        let n = 20_000;
+        let mut total = 0usize;
+        let mut ones = 0usize;
+        for _ in 0..n {
+            let q = gen.next_query(&mut rng);
+            assert!((1..=6).contains(&q.len()));
+            total += q.len();
+            if q.len() == 1 {
+                ones += 1;
+            }
+        }
+        let mean = total as f64 / n as f64;
+        assert!((mean - gen.mean_terms()).abs() < 0.05, "mean terms {mean}");
+        let f1 = ones as f64 / n as f64;
+        assert!((f1 - 0.25).abs() < 0.02, "single-term fraction {f1}");
+    }
+
+    #[test]
+    fn zipf_makes_most_lookups_cached() {
+        // With Zipf(1.0) popularity and the hottest 25% of terms cached,
+        // well over half of term lookups hit memory — the design point
+        // that lets the paper cache only 25% of the index.
+        let mut gen = QueryGen::paper_default();
+        let mut rng = SimRng::seed_from(5);
+        let mut cached = 0u64;
+        let mut terms = 0u64;
+        for _ in 0..20_000 {
+            let q = gen.next_query(&mut rng);
+            cached += u64::from(q.cached_terms);
+            terms += q.len() as u64;
+        }
+        let hit = cached as f64 / terms as f64;
+        assert!(hit > 0.6, "cached-term fraction {hit}");
+    }
+
+    #[test]
+    fn disk_fraction_complements_cache() {
+        let q = Query {
+            term_ranks: vec![1, 2, 100_000],
+            cached_terms: 2,
+        };
+        assert!((q.disk_fraction() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_caching_means_all_disk() {
+        let mut gen = QueryGen::new(50_000, 1.0, 0.0);
+        let mut rng = SimRng::seed_from(7);
+        for _ in 0..100 {
+            let q = gen.next_query(&mut rng);
+            assert_eq!(q.cached_terms, 0);
+            assert!((q.disk_fraction() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cache fraction")]
+    fn rejects_bad_cache_fraction() {
+        QueryGen::new(100, 1.0, 1.5);
+    }
+}

@@ -1,0 +1,187 @@
+//! Workload identity and demand parameterization.
+
+use std::fmt;
+
+use wcs_simserver::QosSpec;
+
+/// The five benchmarks of the suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum WorkloadId {
+    /// Nutch-style unstructured-data search.
+    Websearch,
+    /// SquirrelMail-style interactive mail.
+    Webmail,
+    /// YouTube-style rich-media serving.
+    Ytube,
+    /// Hadoop word count (5 GB corpus).
+    MapredWc,
+    /// Hadoop distributed file write.
+    MapredWr,
+}
+
+impl WorkloadId {
+    /// All workloads, in the paper's order.
+    pub const ALL: [WorkloadId; 5] = [
+        WorkloadId::Websearch,
+        WorkloadId::Webmail,
+        WorkloadId::Ytube,
+        WorkloadId::MapredWc,
+        WorkloadId::MapredWr,
+    ];
+
+    /// The paper's label for the workload.
+    pub fn label(self) -> &'static str {
+        match self {
+            WorkloadId::Websearch => "websearch",
+            WorkloadId::Webmail => "webmail",
+            WorkloadId::Ytube => "ytube",
+            WorkloadId::MapredWc => "mapred-wc",
+            WorkloadId::MapredWr => "mapred-wr",
+        }
+    }
+}
+
+impl fmt::Display for WorkloadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Per-request (or per-task) resource demands, expressed in platform-
+/// independent units and scaled to a concrete platform by
+/// [`crate::service::PlatformDemand`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DemandParams {
+    /// CPU work per request in GHz-seconds on a wide out-of-order core
+    /// with a fully fitting cache.
+    pub cpu_ghz_s: f64,
+    /// Software-scalability factor: per-request CPU work inflates by
+    /// `1 + sigma * (cores - 1)` (synchronization, data-structure
+    /// contention — the paper's Amdahl caveat).
+    pub sigma: f64,
+    /// Cache sensitivity exponent: CPU work inflates by
+    /// `1 + s * log2(ws / l2)` when the working set exceeds the L2.
+    pub cache_sensitivity: f64,
+    /// Per-core cache working set in MiB.
+    pub cache_ws_mib: f64,
+    /// Exposed (non-overlapped) disk IOs per request.
+    pub io_per_req: f64,
+    /// Bytes per disk IO.
+    pub io_bytes: f64,
+    /// Network bytes per request.
+    pub net_bytes: f64,
+    /// Memory-capacity admission demand: GiB-seconds per request (a 4 GiB
+    /// server serves `4 / mem_gib_s` requests/second through this path).
+    pub mem_gib_s: f64,
+    /// Coefficient of variation of sampled stage service times.
+    pub cv: f64,
+}
+
+impl DemandParams {
+    /// Validates the parameters.
+    ///
+    /// # Panics
+    /// Panics if any field is negative/non-finite or `cpu_ghz_s` is zero.
+    pub fn validate(&self) {
+        assert!(
+            self.cpu_ghz_s.is_finite() && self.cpu_ghz_s > 0.0,
+            "cpu_ghz_s must be positive"
+        );
+        for (name, v) in [
+            ("sigma", self.sigma),
+            ("cache_sensitivity", self.cache_sensitivity),
+            ("cache_ws_mib", self.cache_ws_mib),
+            ("io_per_req", self.io_per_req),
+            ("io_bytes", self.io_bytes),
+            ("net_bytes", self.net_bytes),
+            ("mem_gib_s", self.mem_gib_s),
+            ("cv", self.cv),
+        ] {
+            assert!(v.is_finite() && v >= 0.0, "{name} must be finite and >= 0");
+        }
+    }
+}
+
+/// How a workload's performance is measured.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Metric {
+    /// Sustained requests/second under a QoS bound, found by the adaptive
+    /// client driver (websearch, webmail, ytube).
+    ThroughputQos(QosSpec),
+    /// Reciprocal of the makespan of a fixed batch of tasks (mapreduce).
+    Batch {
+        /// Number of tasks in the job.
+        tasks: u32,
+        /// Task slots per CPU core (Hadoop default in the paper: 4).
+        slots_per_core: u32,
+    },
+}
+
+/// A fully described benchmark: identity, prose, demand model, metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    /// Which benchmark this is.
+    pub id: WorkloadId,
+    /// One-line description (Table 1's "emphasizes" column).
+    pub emphasizes: &'static str,
+    /// Longer description of the modelled stack.
+    pub description: &'static str,
+    /// The demand model.
+    pub demand: DemandParams,
+    /// The performance metric.
+    pub metric: Metric,
+}
+
+impl fmt::Display for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.id, self.emphasizes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(WorkloadId::Websearch.label(), "websearch");
+        assert_eq!(WorkloadId::MapredWr.to_string(), "mapred-wr");
+        assert_eq!(WorkloadId::ALL.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cpu_ghz_s")]
+    fn validate_rejects_zero_cpu() {
+        DemandParams {
+            cpu_ghz_s: 0.0,
+            sigma: 0.0,
+            cache_sensitivity: 0.0,
+            cache_ws_mib: 1.0,
+            io_per_req: 0.0,
+            io_bytes: 0.0,
+            net_bytes: 0.0,
+            mem_gib_s: 0.0,
+            cv: 0.5,
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma")]
+    fn validate_rejects_negative_sigma() {
+        DemandParams {
+            cpu_ghz_s: 0.1,
+            sigma: -0.1,
+            cache_sensitivity: 0.0,
+            cache_ws_mib: 1.0,
+            io_per_req: 0.0,
+            io_bytes: 0.0,
+            net_bytes: 0.0,
+            mem_gib_s: 0.0,
+            cv: 0.5,
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,234 @@
+//! Plain-text trace interchange: export and import the synthetic memory
+//! and disk traces so external tools (or future sessions with real
+//! traces) can drive the simulators.
+//!
+//! Format, one record per line:
+//!
+//! ```text
+//! # wcs-memtrace v1
+//! R 12345        <- read of page 12345
+//! W 678          <- write of page 678
+//! ```
+//!
+//! ```text
+//! # wcs-disktrace v1
+//! R 4096 16      <- read of 16 blocks starting at block 4096
+//! W 0 256        <- write of 256 blocks starting at block 0
+//! ```
+
+use std::io::{self, BufRead, Write};
+
+use crate::disktrace::BlockAccess;
+use crate::memtrace::PageAccess;
+
+const MEM_HEADER: &str = "# wcs-memtrace v1";
+const DISK_HEADER: &str = "# wcs-disktrace v1";
+
+/// Error reading a trace file.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file is not in the expected format.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        what: String,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceError::Parse { line, what } => write!(f, "trace parse error at line {line}: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+/// Writes a memory trace.
+///
+/// # Errors
+/// Propagates I/O failures from the writer.
+pub fn write_memtrace<W: Write>(mut w: W, trace: &[PageAccess]) -> Result<(), TraceError> {
+    writeln!(w, "{MEM_HEADER}")?;
+    for a in trace {
+        writeln!(w, "{} {}", if a.write { 'W' } else { 'R' }, a.page)?;
+    }
+    Ok(())
+}
+
+/// Reads a memory trace.
+///
+/// # Errors
+/// Fails on I/O errors, a missing header, or malformed records.
+pub fn read_memtrace<R: BufRead>(r: R) -> Result<Vec<PageAccess>, TraceError> {
+    let mut lines = r.lines();
+    let header = lines.next().transpose()?.unwrap_or_default();
+    if header.trim() != MEM_HEADER {
+        return Err(TraceError::Parse {
+            line: 1,
+            what: format!("expected header {MEM_HEADER:?}, found {header:?}"),
+        });
+    }
+    let mut out = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut parts = t.split_whitespace();
+        let op = parts.next().unwrap_or("");
+        let write = match op {
+            "R" => false,
+            "W" => true,
+            other => {
+                return Err(TraceError::Parse {
+                    line: i + 2,
+                    what: format!("unknown op {other:?}"),
+                })
+            }
+        };
+        let page = parts
+            .next()
+            .and_then(|p| p.parse::<u64>().ok())
+            .ok_or_else(|| TraceError::Parse {
+                line: i + 2,
+                what: "missing or invalid page number".into(),
+            })?;
+        out.push(PageAccess { page, write });
+    }
+    Ok(out)
+}
+
+/// Writes a disk trace.
+///
+/// # Errors
+/// Propagates I/O failures from the writer.
+pub fn write_disktrace<W: Write>(mut w: W, trace: &[BlockAccess]) -> Result<(), TraceError> {
+    writeln!(w, "{DISK_HEADER}")?;
+    for a in trace {
+        writeln!(
+            w,
+            "{} {} {}",
+            if a.write { 'W' } else { 'R' },
+            a.block,
+            a.blocks
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads a disk trace.
+///
+/// # Errors
+/// Fails on I/O errors, a missing header, or malformed records.
+pub fn read_disktrace<R: BufRead>(r: R) -> Result<Vec<BlockAccess>, TraceError> {
+    let mut lines = r.lines();
+    let header = lines.next().transpose()?.unwrap_or_default();
+    if header.trim() != DISK_HEADER {
+        return Err(TraceError::Parse {
+            line: 1,
+            what: format!("expected header {DISK_HEADER:?}, found {header:?}"),
+        });
+    }
+    let mut out = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut parts = t.split_whitespace();
+        let op = parts.next().unwrap_or("");
+        let write = match op {
+            "R" => false,
+            "W" => true,
+            other => {
+                return Err(TraceError::Parse {
+                    line: i + 2,
+                    what: format!("unknown op {other:?}"),
+                })
+            }
+        };
+        let block = parts.next().and_then(|p| p.parse::<u64>().ok());
+        let blocks = parts.next().and_then(|p| p.parse::<u32>().ok());
+        match (block, blocks) {
+            (Some(block), Some(blocks)) if blocks > 0 => {
+                out.push(BlockAccess { block, blocks, write })
+            }
+            _ => {
+                return Err(TraceError::Parse {
+                    line: i + 2,
+                    what: "expected `<op> <block> <blocks>`".into(),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disktrace::{params_for as disk_params, DiskTraceGen};
+    use crate::memtrace::{params_for as mem_params, MemTraceGen};
+    use crate::WorkloadId;
+
+    #[test]
+    fn memtrace_round_trips() {
+        let mut gen = MemTraceGen::new(mem_params(WorkloadId::Websearch), 5);
+        let trace = gen.take_vec(5_000);
+        let mut buf = Vec::new();
+        write_memtrace(&mut buf, &trace).unwrap();
+        let back = read_memtrace(buf.as_slice()).unwrap();
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn disktrace_round_trips() {
+        let mut gen = DiskTraceGen::new(disk_params(WorkloadId::Ytube), 7);
+        let trace = gen.take_vec(3_000);
+        let mut buf = Vec::new();
+        write_disktrace(&mut buf, &trace).unwrap();
+        let back = read_disktrace(buf.as_slice()).unwrap();
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn rejects_wrong_header() {
+        let err = read_memtrace("# wrong\nR 1\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("header"));
+        let err = read_disktrace("# wcs-memtrace v1\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("header"));
+    }
+
+    #[test]
+    fn rejects_malformed_records() {
+        let err = read_memtrace("# wcs-memtrace v1\nX 5\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("unknown op"));
+        let err = read_memtrace("# wcs-memtrace v1\nR notanumber\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 2"));
+        let err = read_disktrace("# wcs-disktrace v1\nR 5\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("expected"));
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let text = "# wcs-memtrace v1\n\n# a comment\nR 7\nW 9\n";
+        let trace = read_memtrace(text.as_bytes()).unwrap();
+        assert_eq!(trace.len(), 2);
+        assert!(!trace[0].write);
+        assert!(trace[1].write);
+    }
+}

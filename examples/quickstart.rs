@@ -1,0 +1,45 @@
+//! Quickstart: evaluate a platform on the benchmark suite and price it.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use wcs::designs::DesignPoint;
+use wcs::evaluate::Evaluator;
+use wcs::platforms::PlatformId;
+use wcs::report::render_comparison;
+
+fn main() {
+    // The evaluator bundles the performance simulator and the paper's
+    // cost model (K1 = 1.33, L1 = 0.8, K2 = 0.667, $100/MWh, activity
+    // factor 0.75, 3-year depreciation).
+    let eval = Evaluator::quick();
+
+    // Evaluate the paper's mid-range server baseline...
+    let srvr1 = eval
+        .evaluate(&DesignPoint::baseline_srvr1())
+        .expect("srvr1 meets every QoS bound");
+    println!("{}", srvr1.report);
+    println!();
+
+    // ...and the embedded-class alternative.
+    let emb1 = eval
+        .evaluate(&DesignPoint::baseline(PlatformId::Emb1))
+        .expect("emb1 meets every QoS bound");
+    println!("{}", emb1.report);
+    println!();
+
+    // Per-workload performance.
+    println!("Sustained performance:");
+    for (id, perf) in &emb1.perf {
+        println!(
+            "  {:<12} emb1 {:>10.2}  srvr1 {:>10.2}",
+            id.label(),
+            perf,
+            srvr1.perf[id]
+        );
+    }
+    println!();
+
+    // The paper's question: is the slower-but-cheaper platform a better
+    // deal per total-cost-of-ownership dollar?
+    println!("{}", render_comparison(&emb1.compare(&srvr1)));
+}

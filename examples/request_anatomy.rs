@@ -1,0 +1,52 @@
+//! Request anatomy: where does a websearch query spend its time?
+//!
+//! Uses the tracing runner to decompose per-request latency into queueing
+//! and service at each station, on an uncongested and a saturated emb1
+//! server — the "why" behind the QoS cliff the adaptive driver walks up
+//! to.
+//!
+//! Run with `cargo run --release --example request_anatomy`.
+
+use wcs::platforms::{catalog, PlatformId};
+use wcs::simserver::{trace_closed_loop, Resource};
+use wcs::workloads::service::PlatformDemand;
+use wcs::workloads::{suite, WorkloadId};
+
+fn main() {
+    let wl = suite::workload(WorkloadId::Websearch);
+    let platform = catalog::platform(PlatformId::Emb1);
+    let demand = PlatformDemand::new(&wl, &platform);
+    let spec = demand.server_spec();
+
+    for (label, clients) in [("light load (2 clients)", 2u32), ("saturated (48 clients)", 48)] {
+        let mut source = demand.source(1);
+        let traces = trace_closed_loop(spec, &mut source, clients, 2000, 17);
+
+        let mut queued = [0.0f64; 4];
+        let mut service = [0.0f64; 4];
+        let mut total_latency = 0.0;
+        for t in &traces {
+            total_latency += t.latency().as_secs_f64();
+            for v in &t.visits {
+                queued[v.resource.index()] += v.queued.as_secs_f64();
+                service[v.resource.index()] += v.service.as_secs_f64();
+            }
+        }
+        let n = traces.len() as f64;
+        println!("{label}: mean latency {:.2} ms", total_latency / n * 1e3);
+        for r in Resource::ALL {
+            let q = queued[r.index()] / n * 1e3;
+            let s = service[r.index()] / n * 1e3;
+            if q + s > 1e-4 {
+                println!("  {:<7} service {s:>7.3} ms   queued {q:>7.3} ms", r.to_string());
+            }
+        }
+        println!();
+    }
+
+    println!(
+        "Under saturation nearly all added latency is CPU queueing — which is why \
+         the paper's QoS bound translates directly into a utilization ceiling on \
+         the bottleneck station."
+    );
+}

@@ -1,0 +1,61 @@
+//! Scale-out validation: test the paper's cluster-aggregation assumption.
+//!
+//! Section 4 admits: "our performance model makes the simplifying
+//! assumption that cluster-level performance can be approximated by the
+//! aggregation of single-machine benchmarks. This needs to be
+//! validated." This example does the validation with the cluster
+//! simulator: N servers behind a least-loaded dispatcher vs N x the
+//! single-server throughput, with and without scale-out overheads.
+//!
+//! Run with `cargo run --release --example scale_out`.
+
+use wcs::platforms::{catalog, PlatformId};
+use wcs::simserver::{Cluster, ServerSim};
+use wcs::workloads::service::PlatformDemand;
+use wcs::workloads::{suite, WorkloadId};
+
+fn main() {
+    let platform = catalog::platform(PlatformId::Emb1);
+    let wl = suite::workload(WorkloadId::Websearch);
+    let demand = PlatformDemand::new(&wl, &platform);
+    let spec = demand.server_spec();
+
+    // Single-server reference throughput at a fixed population.
+    let single = ServerSim::new(spec)
+        .run_closed_loop(&mut demand.source(1), 16, 300, 4000, 42)
+        .throughput_rps();
+    println!("single emb1 server: {single:.1} RPS (websearch, 16 clients)");
+    println!();
+
+    println!(
+        "{:>8} {:>14} {:>14} {:>12} {:>16}",
+        "servers", "ideal RPS", "cluster RPS", "efficiency", "w/ 3% overhead"
+    );
+    for n in [2u32, 4, 8, 16, 32] {
+        let ideal = Cluster::ideal(spec, n)
+            .run_closed_loop(&mut demand.source(2), 16 * n, 300, 4000 * n as u64, 42)
+            .throughput_rps();
+        let mut lossy = Cluster::ideal(spec, n);
+        lossy.scaleout_overhead = 0.03;
+        let real = lossy
+            .run_closed_loop(&mut demand.source(3), 16 * n, 300, 4000 * n as u64, 42)
+            .throughput_rps();
+        println!(
+            "{:>8} {:>14.1} {:>14.1} {:>11.1}% {:>15.1}",
+            n,
+            single * n as f64,
+            ideal,
+            ideal / (single * n as f64) * 100.0,
+            real
+        );
+    }
+
+    println!(
+        "\nWith zero coordination overhead the aggregation assumption holds to \
+         within a few percent — queueing at shared stations, not dispatch, \
+         dominates. A modest 3% per-doubling software overhead (the Amdahl \
+         effects the paper warns about) erodes large ensembles measurably, \
+         which is why the suite's demand models carry a per-workload \
+         software-scalability factor."
+    );
+}

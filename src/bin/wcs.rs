@@ -1,0 +1,133 @@
+//! `wcs` — command-line interface to the warehouse-computing suite.
+//!
+//! ```text
+//! wcs list                     # available designs and workloads
+//! wcs evaluate <design>        # per-workload perf + TCO report
+//! wcs compare <design> <base>  # the paper's relative-efficiency table
+//! wcs sweep-tariff <design>    # TCO vs electricity price
+//! ```
+//!
+//! Designs: srvr1 srvr2 desk mobl emb1 emb2 n1 n2. Add `--accurate` for
+//! full-accuracy simulation (slower).
+
+use std::process::ExitCode;
+
+use wcs::designs::DesignPoint;
+use wcs::evaluate::Evaluator;
+use wcs::platforms::PlatformId;
+use wcs::report::render_comparison;
+use wcs::tco::BurdenedParams;
+
+fn design_by_name(name: &str) -> Option<DesignPoint> {
+    match name {
+        "n1" | "N1" => Some(DesignPoint::n1()),
+        "n2" | "N2" => Some(DesignPoint::n2()),
+        other => other
+            .parse::<PlatformId>()
+            .ok()
+            .map(DesignPoint::baseline),
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: wcs <command> [args] [--accurate]\n\
+         commands:\n\
+         \x20 list                      available designs and workloads\n\
+         \x20 evaluate <design>         per-workload performance + TCO report\n\
+         \x20 compare <design> <base>   relative-efficiency table\n\
+         \x20 sweep-tariff <design>     TCO at $50-$170/MWh"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let accurate = if let Some(pos) = args.iter().position(|a| a == "--accurate") {
+        args.remove(pos);
+        true
+    } else {
+        false
+    };
+    let eval = if accurate {
+        Evaluator::paper_default()
+    } else {
+        Evaluator::quick()
+    };
+
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            println!("designs:   srvr1 srvr2 desk mobl emb1 emb2 n1 n2");
+            println!("workloads: websearch webmail ytube mapred-wc mapred-wr");
+            ExitCode::SUCCESS
+        }
+        Some("evaluate") => {
+            let Some(name) = args.get(1) else { return usage() };
+            let Some(design) = design_by_name(name) else {
+                eprintln!("unknown design {name}");
+                return ExitCode::from(2);
+            };
+            match eval.evaluate(&design) {
+                Ok(e) => {
+                    println!("{}", e.report);
+                    println!("\nsustained performance:");
+                    for (id, perf) in &e.perf {
+                        println!("  {:<12} {perf:.2}", id.label());
+                    }
+                    println!("\npackaging density: {} systems/rack", e.systems_per_rack);
+                    ExitCode::SUCCESS
+                }
+                Err(err) => {
+                    eprintln!("evaluation failed: {err}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("compare") => {
+            let (Some(a), Some(b)) = (args.get(1), args.get(2)) else {
+                return usage();
+            };
+            let (Some(design), Some(base)) = (design_by_name(a), design_by_name(b)) else {
+                eprintln!("unknown design name");
+                return ExitCode::from(2);
+            };
+            match (eval.evaluate(&design), eval.evaluate(&base)) {
+                (Ok(d), Ok(b)) => {
+                    println!("{}", render_comparison(&d.compare(&b)));
+                    ExitCode::SUCCESS
+                }
+                (Err(err), _) | (_, Err(err)) => {
+                    eprintln!("evaluation failed: {err}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("sweep-tariff") => {
+            let Some(name) = args.get(1) else { return usage() };
+            let Some(design) = design_by_name(name) else {
+                eprintln!("unknown design {name}");
+                return ExitCode::from(2);
+            };
+            println!("{:<10} {:>10} {:>10} {:>10}", "tariff", "Inf-$", "P&C-$", "TCO-$");
+            for tariff in [50.0, 75.0, 100.0, 125.0, 150.0, 170.0] {
+                let mut e = eval.clone();
+                e.burdened = BurdenedParams::paper_default().with_tariff(tariff);
+                match e.evaluate(&design) {
+                    Ok(r) => println!(
+                        "${:<9} {:>10.0} {:>10.0} {:>10.0}",
+                        tariff,
+                        r.report.inf_usd(),
+                        r.report.pc_usd(),
+                        r.report.total_usd()
+                    ),
+                    Err(err) => {
+                        eprintln!("evaluation failed: {err}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,49 @@
+//! `wcs` — warehouse-computing server architecture suite.
+//!
+//! A full reproduction of *"Understanding and Designing New Server
+//! Architectures for Emerging Warehouse-Computing Environments"*
+//! (ISCA 2008): the benchmark suite, the cost/power/TCO models, the
+//! server performance simulator, the memory-blade and flash-cache
+//! substrates, the packaging/cooling models, and the unified N1/N2
+//! designs.
+//!
+//! This facade crate re-exports every workspace crate under one roof:
+//!
+//! ```
+//! use wcs::designs::DesignPoint;
+//! use wcs::evaluate::Evaluator;
+//!
+//! let eval = Evaluator::quick();
+//! let emb1 = eval.evaluate(&DesignPoint::baseline(wcs::platforms::PlatformId::Emb1));
+//! assert!(emb1.is_ok());
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/bench/src/bin/`
+//! for the binaries that regenerate every table and figure of the paper.
+
+pub use wcs_core::{designs, evaluate, report, DesignPoint, Evaluator};
+
+/// Discrete-event simulation substrate (events, RNG, distributions,
+/// statistics).
+pub use wcs_simcore as simcore;
+
+/// Component and platform catalog (Table 2, Figure 1, Table 3(a)).
+pub use wcs_platforms as platforms;
+
+/// Cost, power, and TCO models (Section 2.2).
+pub use wcs_tco as tco;
+
+/// The queueing-network server performance simulator.
+pub use wcs_simserver as simserver;
+
+/// The benchmark suite (Table 1) and trace generators.
+pub use wcs_workloads as workloads;
+
+/// The memory-blade substrate (Section 3.4).
+pub use wcs_memshare as memshare;
+
+/// The flash disk-cache substrate (Section 3.5).
+pub use wcs_flashcache as flashcache;
+
+/// Packaging and cooling models (Section 3.3).
+pub use wcs_cooling as cooling;

@@ -1,0 +1,62 @@
+//! End-to-end tests of the `wcs` CLI binary.
+
+use std::process::Command;
+
+fn wcs() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_wcs"))
+}
+
+#[test]
+fn list_names_everything() {
+    let out = wcs().arg("list").output().expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for name in ["srvr1", "emb2", "n1", "n2", "websearch", "mapred-wr"] {
+        assert!(stdout.contains(name), "missing {name} in: {stdout}");
+    }
+}
+
+#[test]
+fn evaluate_prints_tco_and_perf() {
+    let out = wcs().args(["evaluate", "emb1"]).output().expect("runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("TCO report"));
+    assert!(stdout.contains("websearch"));
+    assert!(stdout.contains("systems/rack"));
+}
+
+#[test]
+fn compare_emits_relative_table() {
+    let out = wcs().args(["compare", "n1", "srvr1"]).output().expect("runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("N1 relative to srvr1"));
+    assert!(stdout.contains("HMean"));
+    assert!(stdout.contains("Perf/TCO-$"));
+}
+
+#[test]
+fn sweep_tariff_scales_pc() {
+    let out = wcs().args(["sweep-tariff", "desk"]).output().expect("runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("$50"));
+    assert!(stdout.contains("$170"));
+}
+
+#[test]
+fn unknown_design_fails_cleanly() {
+    let out = wcs().args(["evaluate", "srvr9"]).output().expect("runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown design"));
+}
+
+#[test]
+fn no_args_prints_usage() {
+    let out = wcs().output().expect("runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage"));
+}

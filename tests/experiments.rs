@@ -1,0 +1,89 @@
+//! Integration tests of the experiment drivers and the scorecard —
+//! the programmatic forms of the paper's studies.
+
+use wcs::evaluate::Evaluator;
+use wcs::platforms::PlatformId;
+use wcs::workloads::WorkloadId;
+use wcs_core::experiments::{cpu_study, memory_study, run_disk_study, unified_study};
+use wcs_core::validate::run_scorecard;
+
+#[test]
+fn cpu_study_matches_figure2_shape() {
+    let eval = Evaluator::quick();
+    let study = cpu_study(&eval).expect("all platforms feasible");
+    // ytube is nearly flat across the consumer platforms...
+    for p in [PlatformId::Srvr2, PlatformId::Desk, PlatformId::Emb1] {
+        let r = study.relative_perf(p, WorkloadId::Ytube).unwrap();
+        assert!(r > 0.85, "{p}: ytube {r}");
+    }
+    // ...while webmail collapses down the ladder.
+    let srvr2 = study
+        .relative_perf(PlatformId::Srvr2, WorkloadId::Webmail)
+        .unwrap();
+    let emb1 = study
+        .relative_perf(PlatformId::Emb1, WorkloadId::Webmail)
+        .unwrap();
+    assert!(srvr2 > 3.0 * emb1, "webmail ladder: {srvr2} vs {emb1}");
+}
+
+#[test]
+fn memory_study_matches_figure4_shape() {
+    let m = memory_study(0.25);
+    let (ws_pcie, ws_cbf) = &m[&WorkloadId::Websearch];
+    // websearch is the most affected workload, in the paper and here.
+    for (id, (pcie, _)) in &m {
+        if *id != WorkloadId::Websearch {
+            assert!(
+                pcie.slowdown < ws_pcie.slowdown,
+                "{id} should slow less than websearch"
+            );
+        }
+    }
+    // CBF divides the slowdown by roughly the latency ratio (~3.9).
+    let ratio = ws_pcie.slowdown / ws_cbf.slowdown;
+    assert!((3.0..=5.0).contains(&ratio), "CBF ratio {ratio}");
+}
+
+#[test]
+fn disk_study_matches_table3_shape() {
+    let rows = run_disk_study(&wcs::workloads::perf::MeasureConfig::quick());
+    assert_eq!(rows.len(), 4);
+    // Flash beats the bare laptop on every metric.
+    assert!(rows[2].perf > rows[1].perf);
+    assert!(rows[2].perf_per_tco > rows[1].perf_per_tco);
+    assert!(rows[2].perf_per_watt > rows[1].perf_per_watt);
+    // Laptop-2 with flash is the overall winner.
+    let best = rows
+        .iter()
+        .map(|r| r.perf_per_tco)
+        .fold(f64::MIN, f64::max);
+    assert!((rows[3].perf_per_tco - best).abs() < 1e-12);
+}
+
+#[test]
+fn unified_study_matches_figure5_shape() {
+    let eval = Evaluator::quick();
+    let (n1, n2) = unified_study(&eval, PlatformId::Srvr1).expect("designs evaluate");
+    assert!(n1.hmean(|r| r.perf_per_tco) > 1.3);
+    assert!(n2.hmean(|r| r.perf_per_tco) > n1.hmean(|r| r.perf_per_tco));
+    // Against desk, the text's 1.7x-2.5x band for ytube/mapreduce.
+    let (_, n2_desk) = unified_study(&eval, PlatformId::Desk).expect("evaluates");
+    let ytube = n2_desk
+        .rows
+        .iter()
+        .find(|r| r.workload == WorkloadId::Ytube)
+        .unwrap();
+    assert!(ytube.perf_per_tco > 1.5, "ytube vs desk {}", ytube.perf_per_tco);
+}
+
+#[test]
+fn full_scorecard_is_green() {
+    let card = run_scorecard(&Evaluator::quick());
+    let failures: Vec<String> = card
+        .checks
+        .iter()
+        .filter(|c| !c.pass())
+        .map(|c| format!("{} {}: {:.3} vs {:.3}", c.anchor, c.what, c.measured, c.paper))
+        .collect();
+    assert!(failures.is_empty(), "failing checks: {failures:?}");
+}
