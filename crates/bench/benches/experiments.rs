@@ -37,13 +37,7 @@ fn bench_fig2_batch(c: &mut Criterion) {
     let p = catalog::platform(PlatformId::Desk);
     let demand = PlatformDemand::new(&wl, &p);
     c.bench_function("fig2_mapred_batch_256", |b| {
-        b.iter(|| {
-            black_box(run_batch(
-                ServerSpec::new(2),
-                demand.tasks(256),
-                8,
-            ))
-        })
+        b.iter(|| black_box(run_batch(ServerSpec::new(2), demand.tasks(256), 8)))
     });
 }
 

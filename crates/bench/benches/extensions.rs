@@ -30,7 +30,7 @@ fn bench_ensemble(c: &mut Criterion) {
     group.bench_function("four_servers_200k_accesses", |b| {
         b.iter(|| {
             black_box(run_ensemble(
-                &vec![ServerConfig::paper_default(WorkloadId::Websearch); 4],
+                &[ServerConfig::paper_default(WorkloadId::Websearch); 4],
                 RemoteLink::pcie_x4(),
                 PolicyKind::Random,
                 200_000,
@@ -52,7 +52,9 @@ fn bench_cluster(c: &mut Criterion) {
             };
             black_box(
                 Cluster::ideal(ServerSpec::new(2), 8)
+                    .expect("non-empty cluster")
                     .run_closed_loop(&mut src, 32, 500, 8000, 11)
+                    .expect("valid run parameters")
                     .throughput_rps(),
             )
         })

@@ -13,8 +13,8 @@ use wcs_core::evaluate::Evaluator;
 use wcs_flashcache::system::StorageSystem;
 use wcs_memshare::policy::PolicyKind;
 use wcs_memshare::slowdown::{estimate_slowdown, SlowdownConfig};
-use wcs_platforms::storage::{DiskModel, FlashModel};
 use wcs_platforms::future::TechTrend;
+use wcs_platforms::storage::{DiskModel, FlashModel};
 use wcs_platforms::{catalog, PlatformId};
 use wcs_tco::sensitivity::component_leverage;
 use wcs_tco::{BurdenedParams, Efficiency, TcoModel};
@@ -40,8 +40,8 @@ fn future_projection() {
         .evaluate(&DesignPoint::baseline_srvr1())
         .expect("baseline");
     for years in [0.0, 2.0, 4.0] {
-        let platform = TechTrend::vintage_2008()
-            .project_platform(&catalog::platform(PlatformId::Emb1), years);
+        let platform =
+            TechTrend::vintage_2008().project_platform(&catalog::platform(PlatformId::Emb1), years);
         let mut design = DesignPoint::baseline(PlatformId::Emb1);
         design.platform = platform;
         design.name = format!("emb1+{years:.0}yr");
@@ -127,7 +127,8 @@ fn local_fraction_sweep() {
                     policy,
                     ..SlowdownConfig::paper_default()
                 },
-            );
+            )
+            .expect("valid slowdown config");
             print!("{:>7.2}%", r.slowdown * 100.0);
         }
         println!();
@@ -145,8 +146,7 @@ fn flash_capacity_sweep() {
     };
     println!("  no flash: {:.2} ms/IO", bare * 1e3);
     for gb in [0.25, 0.5, 1.0, 2.0, 4.0] {
-        let mut sys =
-            StorageSystem::with_flash(DiskModel::laptop_remote(), FlashModel::scaled(gb));
+        let mut sys = StorageSystem::with_flash(DiskModel::laptop_remote(), FlashModel::scaled(gb));
         let mut gen = DiskTraceGen::new(params_for(WorkloadId::Ytube), 1);
         let stats = sys.replay(&mut gen, 80_000);
         println!(

@@ -20,7 +20,14 @@ fn main() {
     );
     for n in [2usize, 4, 8, 12, 16] {
         let configs = vec![ServerConfig::paper_default(WorkloadId::Websearch); n];
-        let out = run_ensemble(&configs, RemoteLink::pcie_x4(), PolicyKind::Random, 600_000, 7);
+        let out = run_ensemble(
+            &configs,
+            RemoteLink::pcie_x4(),
+            PolicyKind::Random,
+            600_000,
+            7,
+        )
+        .expect("non-empty ensemble");
         println!(
             "{:>8} {:>9.0}% {:>12.2} {:>13.2}% {:>15}",
             n,
@@ -38,7 +45,14 @@ fn main() {
         ServerConfig::paper_default(WorkloadId::Ytube),
         ServerConfig::paper_default(WorkloadId::MapredWc),
     ];
-    let out = run_ensemble(&configs, RemoteLink::pcie_x4(), PolicyKind::Random, 800_000, 11);
+    let out = run_ensemble(
+        &configs,
+        RemoteLink::pcie_x4(),
+        PolicyKind::Random,
+        800_000,
+        11,
+    )
+    .expect("non-empty ensemble");
     for s in &out.servers {
         println!(
             "  {:<12} miss {:>5.1}%  {:>7.0} faults/s  slowdown {:>5.2}%",

@@ -98,10 +98,7 @@ fn main() {
         let mut cols: Vec<Vec<f64>> = vec![Vec::new(); ids.len() - 1];
         for (wi, w) in WorkloadId::ALL.iter().enumerate() {
             print!("  {:<12}", w.label());
-            let base = Efficiency::new(
-                perf[wi][0],
-                model.server_tco(&catalog::platform(ids[0])),
-            );
+            let base = Efficiency::new(perf[wi][0], model.server_tco(&catalog::platform(ids[0])));
             for (pi, &id) in ids[1..].iter().enumerate() {
                 let e = Efficiency::new(perf[wi][pi + 1], model.server_tco(&catalog::platform(id)));
                 let rel = e.relative_to(&base);

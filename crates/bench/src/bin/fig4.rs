@@ -33,12 +33,15 @@ fn main() {
                     link,
                     ..SlowdownConfig::paper_default()
                 },
-            );
+            )
+            .expect("valid slowdown config");
             print!("{:>9.1}%", r.slowdown * 100.0);
         }
         println!();
     }
-    println!("(paper, PCIe x4 @ 25%: 4.7 / 0.2 / 1.4 / 0.7 / 0.7; CBF: 1.2 / 0.1 / 0.4 / 0.2 / 0.2)");
+    println!(
+        "(paper, PCIe x4 @ 25%: 4.7 / 0.2 / 1.4 / 0.7 / 0.7; CBF: 1.2 / 0.1 / 0.4 / 0.2 / 0.2)"
+    );
 
     println!("\nReplacement-policy comparison (websearch, 25% local, PCIe x4):");
     for policy in [PolicyKind::Lru, PolicyKind::Clock, PolicyKind::Random] {
@@ -48,7 +51,8 @@ fn main() {
                 policy,
                 ..SlowdownConfig::paper_default()
             },
-        );
+        )
+        .expect("valid slowdown config");
         println!(
             "  {:<8} miss ratio {:>6.3}  slowdown {:>5.2}%",
             format!("{policy:?}"),

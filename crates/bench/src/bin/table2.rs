@@ -34,5 +34,8 @@ fn main() {
             p.hardware_cost_usd() + switch.cost_usd
         );
     }
-    println!("\n(Inf-$ includes the ${:.2} per-server rack-switch share.)", switch.cost_usd);
+    println!(
+        "\n(Inf-$ includes the ${:.2} per-server rack-switch share.)",
+        switch.cost_usd
+    );
 }

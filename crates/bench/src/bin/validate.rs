@@ -29,11 +29,7 @@ fn main() {
             if c.pass() { "PASS" } else { "FAIL" }
         );
     }
-    println!(
-        "\n{}/{} checks pass",
-        card.passed(),
-        card.checks.len()
-    );
+    println!("\n{}/{} checks pass", card.passed(), card.checks.len());
     if !card.all_pass() {
         std::process::exit(1);
     }

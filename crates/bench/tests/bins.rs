@@ -14,7 +14,14 @@ fn run(bin: &str, args: &[&str]) -> String {
 #[test]
 fn table1_prints_suite() {
     let s = run(env!("CARGO_BIN_EXE_table1"), &[]);
-    for needle in ["websearch", "webmail", "ytube", "mapred-wc", "mapred-wr", "QoS"] {
+    for needle in [
+        "websearch",
+        "webmail",
+        "ytube",
+        "mapred-wc",
+        "mapred-wr",
+        "QoS",
+    ] {
         assert!(s.contains(needle), "missing {needle}");
     }
 }
@@ -69,4 +76,27 @@ fn fig5_rejects_unknown_baseline() {
         .output()
         .expect("binary runs");
     assert!(!out.status.success());
+}
+
+#[test]
+fn faults_degrades_gracefully_and_reproduces() {
+    let s = run(env!("CARGO_BIN_EXE_faults"), &[]);
+    // Every scenario section printed — the run survived all injected
+    // failures without panicking.
+    for needle in [
+        "fail-free",
+        "single blade failure",
+        "link flap",
+        "blade-down",
+        "Fan-wall failure",
+        "Availability-adjusted Figure 5",
+    ] {
+        assert!(s.contains(needle), "missing {needle}");
+    }
+    // Retries/timeouts surfaced in the fault counters, and degraded
+    // goodput stayed nonzero (graceful, not dead).
+    assert!(s.contains("retries"));
+    // Same seeds -> bit-identical output on a second invocation.
+    let again = run(env!("CARGO_BIN_EXE_faults"), &[]);
+    assert_eq!(s, again, "faults bin must be deterministic");
 }

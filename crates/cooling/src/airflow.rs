@@ -64,7 +64,13 @@ impl AirPath {
         preheat_factor: f64,
         component_drop: f64,
     ) -> Self {
-        for v in [flow_length_m, velocity_ms, usable_dt_k, preheat_factor, component_drop] {
+        for v in [
+            flow_length_m,
+            velocity_ms,
+            usable_dt_k,
+            preheat_factor,
+            component_drop,
+        ] {
             assert!(v.is_finite() && v > 0.0, "air path parameters must be > 0");
         }
         AirPath {

@@ -46,7 +46,11 @@ pub const RACK_PITCH_M2: f64 = 2.5;
 ///
 /// # Panics
 /// Panics if `servers` is zero.
-pub fn fleet_footprint(design: &EnclosureDesign, rack: &RackGeometry, servers: u32) -> FleetFootprint {
+pub fn fleet_footprint(
+    design: &EnclosureDesign,
+    rack: &RackGeometry,
+    servers: u32,
+) -> FleetFootprint {
     assert!(servers > 0, "fleet needs at least one server");
     let per_rack = design.systems_per_rack(rack).max(1);
     let racks = servers.div_ceil(per_rack);

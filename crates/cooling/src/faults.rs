@@ -1,0 +1,241 @@
+//! Fan failures and thermal throttling.
+//!
+//! The paper's dense enclosures (Section 3.2) aggregate many systems
+//! behind a shared fan wall, so a fan failure no longer takes out one
+//! pizza box — it shaves airflow off the whole enclosure. This module
+//! maps a fan failure to the graceful response: removable heat scales
+//! with the remaining airflow (`Q = rho * c_p * dT * V_dot`), so the
+//! enclosure throttles its systems' power — and with it performance —
+//! down to what the surviving fans can cool, instead of tripping a
+//! thermal shutdown.
+
+use wcs_simcore::faults::{downtime, FaultProcess};
+use wcs_simcore::{ConfigError, SimDuration, SimRng};
+
+use crate::enclosure::EnclosureDesign;
+
+/// The fan wall of one enclosure: `fans` identical fans sized so that
+/// `fans - redundant` of them move the design airflow (N+R sizing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FanWall {
+    /// Installed fans.
+    pub fans: u32,
+    /// Redundant fans: failures absorbed with no airflow loss.
+    pub redundant: u32,
+}
+
+impl FanWall {
+    /// An `n + r` fan wall.
+    ///
+    /// # Errors
+    /// Rejects zero installed fans and redundancy that leaves no
+    /// load-bearing fan.
+    pub fn new(fans: u32, redundant: u32) -> Result<Self, ConfigError> {
+        if fans == 0 {
+            return Err(ConfigError::ZeroCount { param: "fans" });
+        }
+        if redundant >= fans {
+            return Err(ConfigError::OutOfRange {
+                param: "redundant",
+                requirement: "must leave at least one load-bearing fan",
+                got: redundant as f64,
+            });
+        }
+        Ok(FanWall { fans, redundant })
+    }
+
+    /// The paper's dual-entry enclosure point: a shared wall of 6 fans
+    /// sized N+1.
+    pub fn n_plus_one() -> Self {
+        FanWall {
+            fans: 6,
+            redundant: 1,
+        }
+    }
+
+    /// Fraction of the design airflow available with `working` fans
+    /// healthy, in `[0, 1]`. Redundant capacity absorbs the first
+    /// failures for free.
+    pub fn flow_fraction(&self, working: u32) -> f64 {
+        let needed = (self.fans - self.redundant) as f64;
+        (working.min(self.fans) as f64 / needed).min(1.0)
+    }
+}
+
+/// What an enclosure does about a given number of failed fans.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThrottleState {
+    /// Fans still spinning.
+    pub working_fans: u32,
+    /// Fraction of design airflow (and thus removable heat) available.
+    pub flow_fraction: f64,
+    /// Power each system may draw, watts (airflow-limited).
+    pub power_cap_w: f64,
+    /// Sustainable performance as a fraction of nominal, in `[0, 1]`.
+    pub perf_fraction: f64,
+}
+
+/// Throttle response of `design` with `failed` fans out of `wall`.
+///
+/// Removable heat scales with airflow, so the per-system power cap is
+/// `flow_fraction * system_power_w`. Performance scales with the
+/// *dynamic* share of that power: below the idle floor (`idle_fraction`
+/// of nominal power) the slot must power off entirely.
+///
+/// # Errors
+/// Rejects an `idle_fraction` outside `[0, 1)`.
+pub fn throttle(
+    design: &EnclosureDesign,
+    wall: &FanWall,
+    failed: u32,
+    idle_fraction: f64,
+) -> Result<ThrottleState, ConfigError> {
+    ConfigError::check_f64(
+        "idle_fraction",
+        idle_fraction,
+        "must be in [0, 1)",
+        (0.0..1.0).contains(&idle_fraction),
+    )?;
+    let working = wall.fans.saturating_sub(failed);
+    let flow = wall.flow_fraction(working);
+    let power_cap_w = flow * design.system_power_w;
+    // perf = (power - idle) / (nominal - idle), clamped: a slot whose
+    // cap falls below idle power cannot run at all.
+    let perf_fraction = ((flow - idle_fraction) / (1.0 - idle_fraction)).clamp(0.0, 1.0);
+    Ok(ThrottleState {
+        working_fans: working,
+        flow_fraction: flow,
+        power_cap_w,
+        perf_fraction,
+    })
+}
+
+/// Expected enclosure performance (fraction of nominal) under a
+/// one-fan-at-a-time failure/repair process sampled over `horizon`:
+/// full speed while all fans spin, the single-failure throttle while
+/// one is down. Deterministic per `seed`; a fail-free process returns
+/// exactly 1.
+///
+/// # Errors
+/// Rejects a zero `horizon` or an invalid `idle_fraction`.
+pub fn expected_perf_under_fan_faults(
+    design: &EnclosureDesign,
+    wall: &FanWall,
+    fan: &FaultProcess,
+    horizon: SimDuration,
+    idle_fraction: f64,
+    seed: u64,
+) -> Result<f64, ConfigError> {
+    if horizon.is_zero() {
+        return Err(ConfigError::OutOfRange {
+            param: "horizon",
+            requirement: "must be positive",
+            got: 0.0,
+        });
+    }
+    let degraded = throttle(design, wall, 1, idle_fraction)?.perf_fraction;
+    let mut rng = SimRng::seed_from(seed);
+    let windows = fan.windows(horizon, &mut rng);
+    let down_frac = downtime(&windows, horizon).as_secs_f64() / horizon.as_secs_f64();
+    Ok((1.0 - down_frac) + down_frac * degraded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: f64) -> SimDuration {
+        SimDuration::from_secs_f64(s)
+    }
+
+    #[test]
+    fn redundant_fan_failure_costs_nothing() {
+        let wall = FanWall::n_plus_one();
+        let t = throttle(&EnclosureDesign::dual_entry(), &wall, 1, 0.3).unwrap();
+        assert_eq!(t.working_fans, 5);
+        assert_eq!(t.flow_fraction, 1.0);
+        assert_eq!(t.perf_fraction, 1.0);
+    }
+
+    #[test]
+    fn second_failure_throttles_proportionally() {
+        let wall = FanWall::n_plus_one(); // 6 fans, 5 load-bearing
+        let design = EnclosureDesign::dual_entry();
+        let t = throttle(&design, &wall, 2, 0.3).unwrap();
+        assert!((t.flow_fraction - 4.0 / 5.0).abs() < 1e-12);
+        assert!((t.power_cap_w - 0.8 * design.system_power_w).abs() < 1e-9);
+        // 80% power with a 30% idle floor -> (0.8-0.3)/0.7 ~ 71% perf.
+        assert!((t.perf_fraction - 0.5 / 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn losing_every_fan_powers_slots_off() {
+        let wall = FanWall::new(4, 0).unwrap();
+        let t = throttle(&EnclosureDesign::microblade(), &wall, 4, 0.25).unwrap();
+        assert_eq!(t.working_fans, 0);
+        assert_eq!(t.perf_fraction, 0.0);
+        assert_eq!(t.power_cap_w, 0.0);
+    }
+
+    #[test]
+    fn throttle_is_graceful_not_a_cliff() {
+        // Perf falls monotonically with failures, never below zero.
+        let wall = FanWall::new(6, 1).unwrap();
+        let design = EnclosureDesign::dual_entry();
+        let mut last = f64::INFINITY;
+        for failed in 0..=6 {
+            let t = throttle(&design, &wall, failed, 0.3).unwrap();
+            assert!(t.perf_fraction <= last + 1e-12);
+            assert!((0.0..=1.0).contains(&t.perf_fraction));
+            last = t.perf_fraction;
+        }
+    }
+
+    #[test]
+    fn fail_free_process_keeps_full_speed() {
+        let p = expected_perf_under_fan_faults(
+            &EnclosureDesign::dual_entry(),
+            &FanWall::n_plus_one(),
+            &FaultProcess::never(),
+            secs(1_000_000.0),
+            0.3,
+            11,
+        )
+        .unwrap();
+        assert_eq!(p, 1.0);
+    }
+
+    #[test]
+    fn fan_faults_shave_expected_perf_deterministically() {
+        let proc = FaultProcess::exponential(secs(50_000.0), secs(3600.0)).unwrap();
+        let run = |seed| {
+            expected_perf_under_fan_faults(
+                &EnclosureDesign::dual_entry(),
+                &FanWall::new(6, 0).unwrap(),
+                &proc,
+                secs(5_000_000.0),
+                0.3,
+                seed,
+            )
+            .unwrap()
+        };
+        let a = run(3);
+        assert!(a < 1.0, "expected perf {a} must dip below nominal");
+        assert!(a > 0.8, "one fan of six failing occasionally is mild: {a}");
+        assert_eq!(a, run(3), "same seed, same answer");
+    }
+
+    #[test]
+    fn bad_walls_rejected() {
+        assert!(FanWall::new(0, 0).is_err());
+        assert!(FanWall::new(4, 4).is_err());
+        assert!(FanWall::new(4, 3).is_ok());
+    }
+
+    #[test]
+    fn bad_idle_fraction_rejected() {
+        let wall = FanWall::n_plus_one();
+        assert!(throttle(&EnclosureDesign::dual_entry(), &wall, 0, 1.0).is_err());
+        assert!(throttle(&EnclosureDesign::dual_entry(), &wall, 0, -0.1).is_err());
+    }
+}

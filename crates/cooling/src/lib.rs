@@ -39,7 +39,9 @@
 pub mod airflow;
 pub mod datacenter;
 pub mod enclosure;
+pub mod faults;
 pub mod thermal;
 pub mod transient;
 
 pub use enclosure::{CoolingSolution, EnclosureDesign, RackGeometry};
+pub use faults::{FanWall, ThrottleState};

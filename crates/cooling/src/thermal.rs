@@ -33,7 +33,11 @@ impl Conductor {
         for v in [k, length_m, area_m2] {
             assert!(v.is_finite() && v > 0.0, "conductor parameters must be > 0");
         }
-        Conductor { k, length_m, area_m2 }
+        Conductor {
+            k,
+            length_m,
+            area_m2,
+        }
     }
 
     /// A copper spreader of the given geometry.
@@ -70,7 +74,10 @@ impl HeatSink {
     pub fn new(r_base: f64, ref_flow_m3s: f64) -> Self {
         assert!(r_base.is_finite() && r_base > 0.0);
         assert!(ref_flow_m3s.is_finite() && ref_flow_m3s > 0.0);
-        HeatSink { r_base, ref_flow_m3s }
+        HeatSink {
+            r_base,
+            ref_flow_m3s,
+        }
     }
 
     /// Thermal resistance at airflow `flow` (K/W): convection improves
@@ -106,7 +113,10 @@ impl ThermalPath {
 
     /// Total junction-to-ambient resistance at the given airflow, K/W.
     pub fn total_resistance(&self, flow_m3s: f64) -> f64 {
-        self.conductors.iter().map(Conductor::resistance).sum::<f64>()
+        self.conductors
+            .iter()
+            .map(Conductor::resistance)
+            .sum::<f64>()
             + self.sink.resistance_at(flow_m3s)
     }
 
@@ -176,9 +186,7 @@ mod tests {
         let sink = HeatSink::new(0.35, 0.02);
         let hp = ThermalPath::new(vec![Conductor::heat_pipe(0.12, 2.4e-4)], sink);
         let cu = ThermalPath::new(vec![Conductor::copper(0.12, 2.4e-4)], sink);
-        assert!(
-            cu.junction_temp_c(25.0, 35.0, 0.02) > hp.junction_temp_c(25.0, 35.0, 0.02) + 10.0
-        );
+        assert!(cu.junction_temp_c(25.0, 35.0, 0.02) > hp.junction_temp_c(25.0, 35.0, 0.02) + 10.0);
     }
 
     #[test]

@@ -104,7 +104,10 @@ pub fn simulate_transient(
     dt_secs: f64,
     steps: u32,
 ) -> Vec<TransientSample> {
-    assert!(dt_secs.is_finite() && dt_secs > 0.0, "step must be positive");
+    assert!(
+        dt_secs.is_finite() && dt_secs > 0.0,
+        "step must be positive"
+    );
     assert!(steps > 0, "need steps");
     let mut rise = 0.0f64;
     let mut out = Vec::with_capacity(steps as usize);
@@ -144,7 +147,11 @@ mod tests {
         };
         let trace = simulate_transient(node(), hot_controller, |_| 80.0, 0.5, 2000);
         let last = trace.last().unwrap();
-        assert!((last.rise_k - 40.0).abs() < 1.0, "steady rise {}", last.rise_k);
+        assert!(
+            (last.rise_k - 40.0).abs() < 1.0,
+            "steady rise {}",
+            last.rise_k
+        );
         assert!((last.fan_speed - 1.0).abs() < 1e-9);
     }
 

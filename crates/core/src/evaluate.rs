@@ -130,7 +130,8 @@ impl Evaluator {
                     link: ms.link,
                     ..SlowdownConfig::paper_default()
                 },
-            );
+            )
+            .expect("memshare design has local_fraction in (0, 1]");
             let shared = SharedLink::new(ms.link, ms.servers_per_blade.max(1));
             let effective = shared.effective_link(base.faults_per_cpu_sec);
             let slowdown = 1.0 + base.faults_per_cpu_sec * effective.fault_latency_secs();
@@ -242,7 +243,9 @@ mod tests {
     #[test]
     fn baseline_self_comparison_is_unity() {
         let eval = Evaluator::quick();
-        let b = eval.evaluate(&DesignPoint::baseline(PlatformId::Desk)).unwrap();
+        let b = eval
+            .evaluate(&DesignPoint::baseline(PlatformId::Desk))
+            .unwrap();
         let cmp = b.compare(&b);
         for row in &cmp.rows {
             assert!((row.perf - 1.0).abs() < 1e-9);
@@ -254,7 +257,9 @@ mod tests {
     #[test]
     fn evaluation_covers_all_workloads() {
         let eval = Evaluator::quick();
-        let e = eval.evaluate(&DesignPoint::baseline(PlatformId::Emb1)).unwrap();
+        let e = eval
+            .evaluate(&DesignPoint::baseline(PlatformId::Emb1))
+            .unwrap();
         assert_eq!(e.perf.len(), 5);
         assert!(e.perf.values().all(|&v| v > 0.0));
     }
@@ -275,7 +280,10 @@ mod real_estate_tests {
         let floor_1u = srvr1.report.line(Component::RealEstate).unwrap().hw_usd;
         let floor_n2 = n2.report.line(Component::RealEstate).unwrap().hw_usd;
         // 40 vs 1280 systems per rack: a 32x smaller floor share.
-        assert!((floor_1u / floor_n2 - 32.0).abs() < 0.5, "{floor_1u} / {floor_n2}");
+        assert!(
+            (floor_1u / floor_n2 - 32.0).abs() < 0.5,
+            "{floor_1u} / {floor_n2}"
+        );
     }
 
     #[test]

@@ -69,9 +69,7 @@ pub fn cpu_study(eval: &Evaluator) -> Result<CpuStudy, MeasureError> {
 /// Runs the Figure 4(b) study: slowdown of every workload under the
 /// given local-memory fraction, for both the whole-page PCIe link and
 /// CBF.
-pub fn memory_study(
-    local_fraction: f64,
-) -> BTreeMap<WorkloadId, (SlowdownResult, SlowdownResult)> {
+pub fn memory_study(local_fraction: f64) -> BTreeMap<WorkloadId, (SlowdownResult, SlowdownResult)> {
     let mut out = BTreeMap::new();
     for id in WorkloadId::ALL {
         let pcie = estimate_slowdown(
@@ -81,7 +79,8 @@ pub fn memory_study(
                 link: RemoteLink::pcie_x4(),
                 ..SlowdownConfig::paper_default()
             },
-        );
+        )
+        .expect("local fraction in (0, 1]");
         let cbf = estimate_slowdown(
             id,
             &SlowdownConfig {
@@ -89,7 +88,8 @@ pub fn memory_study(
                 link: RemoteLink::pcie_x4_cbf(),
                 ..SlowdownConfig::paper_default()
             },
-        );
+        )
+        .expect("local fraction in (0, 1]");
         out.insert(id, (pcie, cbf));
     }
     out

@@ -17,7 +17,11 @@ use crate::evaluate::Comparison;
 /// ```
 pub fn render_comparison(cmp: &Comparison) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "{} relative to {} (100% = parity)", cmp.design, cmp.baseline);
+    let _ = writeln!(
+        out,
+        "{} relative to {} (100% = parity)",
+        cmp.design, cmp.baseline
+    );
     let _ = writeln!(
         out,
         "  {:<12} {:>8} {:>12} {:>8} {:>12} {:>12}",
@@ -89,7 +93,11 @@ mod tests {
 pub fn render_eval_markdown(eval: &crate::evaluate::DesignEval) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "## Design: {}", eval.name);
-    let _ = writeln!(out, "\nPackaging density: **{} systems/rack**\n", eval.systems_per_rack);
+    let _ = writeln!(
+        out,
+        "\nPackaging density: **{} systems/rack**\n",
+        eval.systems_per_rack
+    );
     let _ = writeln!(out, "| workload | performance |");
     let _ = writeln!(out, "|---|---:|");
     for (id, perf) in &eval.perf {

@@ -66,10 +66,7 @@ impl Sweep {
 ///
 /// # Errors
 /// Propagates evaluation failures.
-pub fn sweep_local_fraction(
-    eval: &Evaluator,
-    fractions: &[f64],
-) -> Result<Sweep, MeasureError> {
+pub fn sweep_local_fraction(eval: &Evaluator, fractions: &[f64]) -> Result<Sweep, MeasureError> {
     let baseline = eval.evaluate(&DesignPoint::baseline_srvr1())?;
     let mut points = Vec::new();
     for &f in fractions {

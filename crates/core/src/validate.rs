@@ -123,7 +123,8 @@ pub fn run_scorecard(eval: &Evaluator) -> Scorecard {
     let _ = PAPER_PERF_GRID; // grid lives in wcs-workloads::calib
 
     // Figure 4(b): websearch slowdowns.
-    let ws_pcie = estimate_slowdown(WorkloadId::Websearch, &SlowdownConfig::paper_default());
+    let ws_pcie = estimate_slowdown(WorkloadId::Websearch, &SlowdownConfig::paper_default())
+        .expect("paper-default slowdown config is valid");
     checks.push(Check {
         anchor: "Fig 4(b)",
         what: "websearch slowdown, PCIe x4, 25% local (%)".into(),
@@ -131,7 +132,8 @@ pub fn run_scorecard(eval: &Evaluator) -> Scorecard {
         measured: ws_pcie.slowdown * 100.0,
         tolerance: 1.5,
     });
-    let ws_cbf = estimate_slowdown(WorkloadId::Websearch, &SlowdownConfig::paper_cbf());
+    let ws_cbf = estimate_slowdown(WorkloadId::Websearch, &SlowdownConfig::paper_cbf())
+        .expect("paper-default slowdown config is valid");
     checks.push(Check {
         anchor: "Fig 4(b)",
         what: "websearch slowdown, CBF (%)".into(),

@@ -85,6 +85,16 @@ impl FlashCacheIndex {
         self.wear_extent_bytes = bytes;
     }
 
+    /// The extent size used for wear accounting, in bytes.
+    pub fn extent_bytes(&self) -> u64 {
+        self.wear_extent_bytes
+    }
+
+    /// Maximum number of extents the cache can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Number of cached extents.
     pub fn len(&self) -> usize {
         self.slots.len()

@@ -80,7 +80,10 @@ impl Ftl {
     /// # Panics
     /// Panics if `lpage` is out of range.
     pub fn write(&mut self, lpage: u32) {
-        assert!((lpage as usize) < self.l2p.len(), "logical page out of range");
+        assert!(
+            (lpage as usize) < self.l2p.len(),
+            "logical page out of range"
+        );
         self.host_writes += 1;
         self.invalidate(lpage);
         let phys = self.frontier_page();
@@ -148,7 +151,10 @@ impl Ftl {
             .iter()
             .enumerate()
             .min_by_key(|(_, &b)| {
-                (self.valid_in_block[b as usize], self.erase_counts[b as usize])
+                (
+                    self.valid_in_block[b as usize],
+                    self.erase_counts[b as usize],
+                )
             })
             .expect("a used block exists when the pool is dry");
         let victim = self.used_blocks.swap_remove(idx);
@@ -199,8 +205,7 @@ impl Ftl {
     /// Maximum and mean erase counts — the wear-leveling report.
     pub fn wear_spread(&self) -> (u32, f64) {
         let max = *self.erase_counts.iter().max().expect("blocks exist");
-        let mean =
-            self.erase_counts.iter().map(|&e| e as f64).sum::<f64>() / self.blocks as f64;
+        let mean = self.erase_counts.iter().map(|&e| e as f64).sum::<f64>() / self.blocks as f64;
         (max, mean)
     }
 

@@ -77,7 +77,11 @@ impl DiskScenario {
             self.disk.power_w,
         ));
         if let Some(flash) = &self.flash {
-            p = p.with_component(BomItem::new(Component::Flash, flash.price_usd, flash.power_w));
+            p = p.with_component(BomItem::new(
+                Component::Flash,
+                flash.price_usd,
+                flash.power_w,
+            ));
         }
         p.name = format!("{}+{}", platform.name, self.name);
         p
@@ -122,8 +126,12 @@ pub fn scenario_perf(
         let mut sys = scenario.storage_system();
         let mut gen = DiskTraceGen::new(params_for(id), cfg.seed ^ 0xD15C);
         let stats = sys.replay(&mut gen, 120_000);
-        let mut demand =
-            PlatformDemand::with_overrides(&wl, platform, &scenario.disk, platform.memory.capacity_gib);
+        let mut demand = PlatformDemand::with_overrides(
+            &wl,
+            platform,
+            &scenario.disk,
+            platform.memory.capacity_gib,
+        );
         demand.set_disk_secs(wl.demand.io_per_req * stats.mean_service_secs());
         let perf = measure_perf_with_demand(&wl, &demand, cfg)
             .map(|r| r.value)

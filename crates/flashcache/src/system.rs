@@ -65,12 +65,17 @@ impl StorageStats {
 pub struct StorageSystem {
     disk: DiskModel,
     flash: Option<(FlashModel, FlashCacheIndex)>,
+    flash_failed: bool,
 }
 
 impl StorageSystem {
     /// A bare disk.
     pub fn disk_only(disk: DiskModel) -> Self {
-        StorageSystem { disk, flash: None }
+        StorageSystem {
+            disk,
+            flash: None,
+            flash_failed: false,
+        }
     }
 
     /// A disk fronted by a flash cache sized from the flash device's
@@ -80,12 +85,40 @@ impl StorageSystem {
         StorageSystem {
             disk,
             flash: Some((flash, index)),
+            flash_failed: false,
         }
     }
 
     /// The underlying disk model.
     pub fn disk(&self) -> &DiskModel {
         &self.disk
+    }
+
+    /// Fails the flash device: until [`repair_flash`] the system
+    /// degrades gracefully to the bare disk — every access is served at
+    /// disk latency, nothing is cached, and no wear accrues. A no-op on
+    /// a disk-only system.
+    ///
+    /// [`repair_flash`]: StorageSystem::repair_flash
+    pub fn fail_flash(&mut self) {
+        self.flash_failed = true;
+    }
+
+    /// Replaces the failed flash device. The replacement arrives cold:
+    /// the cache index is cleared and must re-warm.
+    pub fn repair_flash(&mut self) {
+        self.flash_failed = false;
+        if let Some((_, index)) = &mut self.flash {
+            let capacity = index.capacity();
+            let extent = index.extent_bytes();
+            *index = FlashCacheIndex::new(capacity.max(1));
+            index.set_extent_bytes(extent);
+        }
+    }
+
+    /// True when a flash cache is present and currently working.
+    pub fn flash_available(&self) -> bool {
+        self.flash.is_some() && !self.flash_failed
     }
 
     /// Replays `n` requests from the generator, returning service
@@ -106,13 +139,15 @@ impl StorageSystem {
             let req = gen.next_access();
             let bytes = req.bytes() as f64;
             stats.requests += 1;
-            match &mut self.flash {
-                None => {
+            // A failed flash device degrades to the bare-disk path:
+            // full disk latency, no caching, no wear.
+            match (&mut self.flash, self.flash_failed) {
+                (None, _) | (Some(_), true) => {
                     let svc = self.disk.access_secs(bytes);
                     stats.total_service_secs += svc;
                     stats.latency.record(svc);
                 }
-                Some((flash, index)) => {
+                (Some((flash, index)), false) => {
                     let hit = index.access(req.block, req.write);
                     let svc = if req.write {
                         // Write-back: absorbed by flash either way.
@@ -132,7 +167,7 @@ impl StorageSystem {
                 }
             }
         }
-        if let Some((_, index)) = &self.flash {
+        if let (Some((_, index)), false) = (&self.flash, self.flash_failed) {
             stats.wear = index.wear();
         }
         stats
@@ -162,7 +197,8 @@ mod tests {
     #[test]
     fn flash_cuts_mean_service_for_popular_reads() {
         let mut bare = StorageSystem::disk_only(DiskModel::laptop_remote());
-        let mut cached = StorageSystem::with_flash(DiskModel::laptop_remote(), FlashModel::table3());
+        let mut cached =
+            StorageSystem::with_flash(DiskModel::laptop_remote(), FlashModel::table3());
         let a = bare.replay(&mut gen(WorkloadId::Ytube, 2), 60_000);
         let b = cached.replay(&mut gen(WorkloadId::Ytube, 2), 60_000);
         assert!(b.hit_ratio() > 0.3, "hit ratio {}", b.hit_ratio());
@@ -176,7 +212,8 @@ mod tests {
 
     #[test]
     fn writes_absorbed_by_flash() {
-        let mut cached = StorageSystem::with_flash(DiskModel::laptop_remote(), FlashModel::table3());
+        let mut cached =
+            StorageSystem::with_flash(DiskModel::laptop_remote(), FlashModel::table3());
         let stats = cached.replay(&mut gen(WorkloadId::MapredWr, 3), 20_000);
         // 90% writes: mean service must be far below the raw disk time.
         let raw = DiskModel::laptop_remote().access_secs(1048576.0);
@@ -205,12 +242,80 @@ mod tests {
 
     #[test]
     fn scan_workload_gets_few_hits() {
-        let mut cached = StorageSystem::with_flash(DiskModel::laptop_remote(), FlashModel::table3());
+        let mut cached =
+            StorageSystem::with_flash(DiskModel::laptop_remote(), FlashModel::table3());
         let stats = cached.replay(&mut gen(WorkloadId::MapredWc, 7), 30_000);
         // wc is a near-sequential scan over 5 GB with a 1 GB cache: the
         // read hit ratio must be low (writes still count as "hits" only
         // when resident).
         assert!(stats.hit_ratio() < 0.45, "hit ratio {}", stats.hit_ratio());
+    }
+}
+
+#[cfg(test)]
+mod degraded_tests {
+    use super::*;
+    use wcs_workloads::disktrace::params_for;
+    use wcs_workloads::WorkloadId;
+
+    fn gen(id: WorkloadId, seed: u64) -> DiskTraceGen {
+        DiskTraceGen::new(params_for(id), seed)
+    }
+
+    #[test]
+    fn failed_flash_serves_at_bare_disk_speed() {
+        let mut cached =
+            StorageSystem::with_flash(DiskModel::laptop_remote(), FlashModel::table3());
+        let mut bare = StorageSystem::disk_only(DiskModel::laptop_remote());
+        cached.fail_flash();
+        assert!(!cached.flash_available());
+        let a = cached.replay(&mut gen(WorkloadId::Ytube, 4), 20_000);
+        let b = bare.replay(&mut gen(WorkloadId::Ytube, 4), 20_000);
+        // Bypass mode is indistinguishable from a disk-only system.
+        assert_eq!(a.flash_hits, 0);
+        assert_eq!(a.wear.bytes_programmed, 0);
+        assert!((a.mean_service_secs() - b.mean_service_secs()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outage_degrades_service_but_never_fails() {
+        let mut sys = StorageSystem::with_flash(DiskModel::laptop_remote(), FlashModel::table3());
+        let mut g = gen(WorkloadId::Ytube, 5);
+        let healthy = sys.replay(&mut g, 40_000);
+        sys.fail_flash();
+        let outage = sys.replay(&mut g, 40_000);
+        assert!(healthy.hit_ratio() > 0.3);
+        assert_eq!(outage.hit_ratio(), 0.0);
+        // Degraded, not dead: every request still completes, just slower.
+        assert_eq!(outage.requests, 40_000);
+        assert!(outage.mean_service_secs() > healthy.mean_service_secs());
+    }
+
+    #[test]
+    fn repair_restarts_cold_then_rewarms() {
+        let mut sys = StorageSystem::with_flash(DiskModel::laptop_remote(), FlashModel::table3());
+        let mut g = gen(WorkloadId::Ytube, 6);
+        let warm = sys.replay(&mut g, 40_000);
+        sys.fail_flash();
+        let _ = sys.replay(&mut g, 10_000);
+        sys.repair_flash();
+        assert!(sys.flash_available());
+        // The replacement device starts cold but re-warms to a similar
+        // steady-state hit ratio.
+        let rewarmed = sys.replay(&mut g, 40_000);
+        assert!(rewarmed.hit_ratio() > 0.0);
+        assert!(rewarmed.hit_ratio() > warm.hit_ratio() * 0.5);
+        // Replacement device: wear restarts from zero.
+        assert!(rewarmed.wear.bytes_programmed <= warm.wear.bytes_programmed);
+    }
+
+    #[test]
+    fn fail_flash_on_disk_only_is_a_noop() {
+        let mut sys = StorageSystem::disk_only(DiskModel::desktop());
+        sys.fail_flash();
+        let stats = sys.replay(&mut gen(WorkloadId::Webmail, 7), 1000);
+        assert_eq!(stats.requests, 1000);
+        assert!(!sys.flash_available());
     }
 }
 
@@ -223,8 +328,7 @@ mod latency_tests {
 
     #[test]
     fn cached_service_times_are_bimodal() {
-        let mut sys =
-            StorageSystem::with_flash(DiskModel::laptop_remote(), FlashModel::table3());
+        let mut sys = StorageSystem::with_flash(DiskModel::laptop_remote(), FlashModel::table3());
         let mut gen = DiskTraceGen::new(params_for(WorkloadId::Ytube), 21);
         let stats = sys.replay(&mut gen, 60_000);
         let p25 = stats.service_percentile(25.0).unwrap();
@@ -243,6 +347,9 @@ mod latency_tests {
         let stats = sys.replay(&mut gen, 10_000);
         let p10 = stats.service_percentile(10.0).unwrap();
         let p99 = stats.service_percentile(99.0).unwrap();
-        assert!(p99 < p10 * 1.1, "fixed-size requests on one disk are uniform");
+        assert!(
+            p99 < p10 * 1.1,
+            "fixed-size requests on one disk are uniform"
+        );
     }
 }

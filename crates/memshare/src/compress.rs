@@ -52,6 +52,7 @@ impl CompressionModel {
             base.resume_us + self.latency_us,
             base.trap_us,
         )
+        .expect("validated latencies stay non-negative")
     }
 
     /// Blade DRAM cost to back `fraction_of_baseline` of a server's
@@ -78,8 +79,7 @@ mod tests {
         let c = CompressionModel::mxt_class();
         let base = RemoteLink::pcie_x4();
         let compressed = c.compressed_link(base);
-        let overhead =
-            compressed.fault_latency_secs() / base.fault_latency_secs() - 1.0;
+        let overhead = compressed.fault_latency_secs() / base.fault_latency_secs() - 1.0;
         assert!(overhead < 0.10, "compression adds {overhead:.2} of latency");
     }
 

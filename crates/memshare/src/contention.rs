@@ -69,6 +69,7 @@ impl SharedLink {
             self.link.resume_us + delay_us,
             self.link.trap_us,
         )
+        .expect("finite queueing delay checked above")
     }
 
     /// The largest per-server fault rate the link can absorb while

@@ -1,0 +1,240 @@
+//! Graceful degradation when the memory blade or its PCIe link fails.
+//!
+//! Section 4 of the paper raises the reliability question for
+//! ensemble-level sharing: a server that has given up local DRAM
+//! capacity depends on the blade for part of its working set. This
+//! module prices the fallback: while the blade (or the link to it) is
+//! down, remote pages must come from **local disk swap** instead — the
+//! same fault stream, re-costed at millisecond instead of microsecond
+//! latency. Combined with a [`FaultProcess`] for the blade, that yields
+//! an availability-weighted expected slowdown, i.e. what the ensemble
+//! loses by sharing memory once failures are priced in.
+
+use wcs_simcore::faults::{downtime, FaultProcess};
+use wcs_simcore::{ConfigError, SimDuration, SimRng};
+use wcs_workloads::WorkloadId;
+
+use crate::link::RemoteLink;
+use crate::slowdown::{estimate_slowdown, SlowdownConfig, SlowdownResult};
+
+/// The degraded-mode "link": a remote fault serviced by local disk swap
+/// while the blade is unreachable. ~4 ms for the page read (seek +
+/// rotation + transfer on a laptop-class disk) plus a heavier trap
+/// (full page-fault path into the block layer, not the light-weight
+/// blade trap).
+pub fn disk_swap_link() -> RemoteLink {
+    RemoteLink::custom("disk swap (4 ms)", 4000.0, 10.0)
+        .expect("constant latencies are non-negative")
+}
+
+/// Blade-outage assessment for one workload: the normal (blade-up)
+/// slowdown, the degraded (blade-down, disk-swap) slowdown, and the
+/// blade availability that mixes them.
+#[derive(Debug, Clone, Copy)]
+pub struct DegradedOutcome {
+    /// Slowdown with the blade up (the Figure 4(b) estimate).
+    pub normal: SlowdownResult,
+    /// Slowdown while the blade is down and remote pages come from disk
+    /// swap.
+    pub degraded: SlowdownResult,
+    /// Fraction of time the blade is up, in `[0, 1]`.
+    pub availability: f64,
+    /// Number of blade failures over the assessed horizon.
+    pub failures: usize,
+}
+
+impl DegradedOutcome {
+    /// Expected slowdown: availability-weighted mix of the two modes.
+    pub fn effective_slowdown(&self) -> f64 {
+        availability_weighted(
+            self.normal.slowdown,
+            self.degraded.slowdown,
+            self.availability,
+        )
+        .expect("availability sampled in [0, 1]")
+    }
+
+    /// How much worse a blade-down second is than a blade-up second
+    /// (degraded over normal slowdown; `inf`-free because both share
+    /// the same fault rate).
+    pub fn degradation_factor(&self) -> f64 {
+        if self.normal.slowdown == 0.0 {
+            1.0
+        } else {
+            self.degraded.slowdown / self.normal.slowdown
+        }
+    }
+}
+
+/// Mixes a normal and a degraded metric by availability `a`:
+/// `a * normal + (1 - a) * degraded`.
+///
+/// # Errors
+/// Rejects an `availability` outside `[0, 1]`.
+pub fn availability_weighted(
+    normal: f64,
+    degraded: f64,
+    availability: f64,
+) -> Result<f64, ConfigError> {
+    ConfigError::check_f64(
+        "availability",
+        availability,
+        "must be in [0, 1]",
+        (0.0..=1.0).contains(&availability),
+    )?;
+    Ok(availability * normal + (1.0 - availability) * degraded)
+}
+
+/// Re-costs an already-measured slowdown for blade-down operation over
+/// `fallback` (by default [`disk_swap_link`]): the miss stream is a
+/// property of the workload and the local memory size, so only the
+/// per-fault latency changes.
+pub fn degrade_to(normal: &SlowdownResult, fallback: &RemoteLink) -> SlowdownResult {
+    normal.with_link(fallback)
+}
+
+/// Assesses `workload` under blade failures: measures the normal
+/// slowdown once, prices the degraded mode over [`disk_swap_link`], and
+/// samples `blade` over `horizon` (seeded by `seed`) for availability.
+///
+/// Same seed in, same assessment out; a fail-free `blade` process
+/// reproduces the plain [`estimate_slowdown`] result exactly with
+/// availability 1.
+///
+/// # Errors
+/// Rejects an invalid slowdown `config` (see [`estimate_slowdown`]) or
+/// a non-positive `horizon`.
+pub fn assess_blade_outages(
+    workload: WorkloadId,
+    config: &SlowdownConfig,
+    blade: &FaultProcess,
+    horizon: SimDuration,
+    seed: u64,
+) -> Result<DegradedOutcome, ConfigError> {
+    if horizon.is_zero() {
+        return Err(ConfigError::OutOfRange {
+            param: "horizon",
+            requirement: "must be positive",
+            got: 0.0,
+        });
+    }
+    let normal = estimate_slowdown(workload, config)?;
+    let degraded = degrade_to(&normal, &disk_swap_link());
+    let mut rng = SimRng::seed_from(seed);
+    let windows = blade.windows(horizon, &mut rng);
+    let down = downtime(&windows, horizon);
+    let availability = 1.0 - down.as_secs_f64() / horizon.as_secs_f64();
+    Ok(DegradedOutcome {
+        normal,
+        degraded,
+        availability,
+        failures: windows.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: f64) -> SimDuration {
+        SimDuration::from_secs_f64(s)
+    }
+
+    fn quick_cfg() -> SlowdownConfig {
+        SlowdownConfig {
+            fill: 200_000,
+            measured: 200_000,
+            ..SlowdownConfig::paper_default()
+        }
+    }
+
+    #[test]
+    fn disk_swap_is_three_orders_slower_than_pcie() {
+        let ratio =
+            disk_swap_link().fault_latency_secs() / RemoteLink::pcie_x4().fault_latency_secs();
+        assert!((500.0..2000.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn degraded_mode_dwarfs_normal_slowdown() {
+        let normal = estimate_slowdown(WorkloadId::Websearch, &quick_cfg()).unwrap();
+        let degraded = degrade_to(&normal, &disk_swap_link());
+        // Same fault stream...
+        assert_eq!(degraded.faults_per_cpu_sec, normal.faults_per_cpu_sec);
+        // ...but each fault now costs milliseconds: a few-percent
+        // slowdown becomes a many-fold one.
+        assert!(
+            degraded.slowdown > 100.0 * normal.slowdown,
+            "degraded {} vs normal {}",
+            degraded.slowdown,
+            normal.slowdown
+        );
+    }
+
+    #[test]
+    fn fail_free_blade_reproduces_plain_estimate() {
+        let out = assess_blade_outages(
+            WorkloadId::Ytube,
+            &quick_cfg(),
+            &FaultProcess::never(),
+            secs(3600.0),
+            42,
+        )
+        .unwrap();
+        let plain = estimate_slowdown(WorkloadId::Ytube, &quick_cfg()).unwrap();
+        assert_eq!(out.availability, 1.0);
+        assert_eq!(out.failures, 0);
+        // Bit-for-bit: the weighted mix collapses to the normal term.
+        assert_eq!(out.effective_slowdown(), plain.slowdown);
+    }
+
+    #[test]
+    fn outages_push_effective_slowdown_toward_disk_swap() {
+        let p = FaultProcess::exponential(secs(1000.0), secs(100.0)).unwrap();
+        let out = assess_blade_outages(WorkloadId::Websearch, &quick_cfg(), &p, secs(100_000.0), 9)
+            .unwrap();
+        assert!(out.availability < 1.0);
+        assert!(out.failures > 0);
+        let eff = out.effective_slowdown();
+        assert!(
+            eff > out.normal.slowdown,
+            "effective {eff} must exceed normal"
+        );
+        assert!(
+            eff < out.degraded.slowdown,
+            "effective {eff} below full-degraded"
+        );
+    }
+
+    #[test]
+    fn assessment_is_deterministic_per_seed() {
+        let p = FaultProcess::exponential(secs(500.0), secs(50.0)).unwrap();
+        let a =
+            assess_blade_outages(WorkloadId::Webmail, &quick_cfg(), &p, secs(50_000.0), 7).unwrap();
+        let b =
+            assess_blade_outages(WorkloadId::Webmail, &quick_cfg(), &p, secs(50_000.0), 7).unwrap();
+        assert_eq!(a.availability, b.availability);
+        assert_eq!(a.failures, b.failures);
+        assert_eq!(a.effective_slowdown(), b.effective_slowdown());
+    }
+
+    #[test]
+    fn weighted_mix_validates_availability() {
+        assert!(availability_weighted(0.05, 40.0, 1.5).is_err());
+        assert!(availability_weighted(0.05, 40.0, -0.1).is_err());
+        let half = availability_weighted(0.0, 10.0, 0.5).unwrap();
+        assert!((half - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_horizon_rejected() {
+        let r = assess_blade_outages(
+            WorkloadId::Webmail,
+            &quick_cfg(),
+            &FaultProcess::never(),
+            SimDuration::ZERO,
+            1,
+        );
+        assert!(r.is_err());
+    }
+}

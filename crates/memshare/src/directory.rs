@@ -222,13 +222,13 @@ impl BladeDirectory {
     /// # Errors
     /// Fails if the mapping does not exist.
     pub fn unmap_page(&mut self, server: ServerId, virt_page: u64) -> Result<(), BladeError> {
-        let phys = self
-            .mapping
-            .remove(&(server, virt_page))
-            .ok_or(BladeError::IsolationViolation {
-                server,
-                page: virt_page,
-            })?;
+        let phys =
+            self.mapping
+                .remove(&(server, virt_page))
+                .ok_or(BladeError::IsolationViolation {
+                    server,
+                    page: virt_page,
+                })?;
         self.owner_of.remove(&phys);
         self.free.push(phys);
         if let Some(alloc) = self.servers.get_mut(&server) {

@@ -2,6 +2,7 @@
 //! blade, with allocation enforcement, per-server two-level caching, and
 //! link contention — the pieces of Section 3.4 operating together.
 
+use wcs_simcore::ConfigError;
 use wcs_workloads::memtrace::{params_for, MemTraceGen};
 use wcs_workloads::WorkloadId;
 
@@ -77,17 +78,29 @@ impl EnsembleOutcome {
 /// (allocation-enforced); the aggregate fault rate loads the shared link
 /// whose queueing delay feeds back into every server's slowdown.
 ///
-/// # Panics
-/// Panics if `configs` is empty or a server's blade allocation cannot be
-/// registered (the blade is sized to fit all static allocations).
+/// # Errors
+/// Rejects an empty `configs` and any server whose `local_fraction` is
+/// outside `(0, 1]`.
 pub fn run_ensemble(
     configs: &[ServerConfig],
     link: RemoteLink,
     policy: PolicyKind,
     accesses_per_server: u64,
     seed: u64,
-) -> EnsembleOutcome {
-    assert!(!configs.is_empty(), "ensemble needs servers");
+) -> Result<EnsembleOutcome, ConfigError> {
+    if configs.is_empty() {
+        return Err(ConfigError::Empty {
+            what: "ensemble server configs",
+        });
+    }
+    for c in configs {
+        ConfigError::check_f64(
+            "local_fraction",
+            c.local_fraction,
+            "must be in (0, 1]",
+            c.local_fraction > 0.0 && c.local_fraction <= 1.0,
+        )?;
+    }
     let total_blade: u64 = configs.iter().map(|c| c.blade_pages).sum();
     let mut directory = BladeDirectory::new(total_blade);
     for (i, c) in configs.iter().enumerate() {
@@ -144,11 +157,11 @@ pub fn run_ensemble(
         o.slowdown = o.faults_per_cpu_sec * effective.fault_latency_secs();
     }
 
-    EnsembleOutcome {
+    Ok(EnsembleOutcome {
         servers: outcomes,
         link_utilization: utilization,
         link_queueing_secs: queueing,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -169,7 +182,8 @@ mod tests {
             PolicyKind::Random,
             1_500_000,
             7,
-        );
+        )
+        .unwrap();
         assert!(out.link_utilization < 0.5, "util {}", out.link_utilization);
         for s in &out.servers {
             assert!(
@@ -189,14 +203,16 @@ mod tests {
             PolicyKind::Random,
             800_000,
             3,
-        );
+        )
+        .unwrap();
         let big = run_ensemble(
             &homogeneous(12, WorkloadId::Websearch),
             RemoteLink::pcie_x4(),
             PolicyKind::Random,
             800_000,
             3,
-        );
+        )
+        .unwrap();
         assert!(big.link_utilization > small.link_utilization);
         assert!(big.worst_slowdown() >= small.worst_slowdown());
     }
@@ -217,13 +233,18 @@ mod tests {
             PolicyKind::Random,
             1_000_000,
             11,
-        );
+        )
+        .unwrap();
         let webmail = out
             .servers
             .iter()
             .find(|s| s.workload == WorkloadId::Webmail)
             .unwrap();
-        assert!(webmail.slowdown < 0.01, "webmail slowdown {}", webmail.slowdown);
+        assert!(
+            webmail.slowdown < 0.01,
+            "webmail slowdown {}",
+            webmail.slowdown
+        );
         // Every server stayed within its allocation.
         for s in &out.servers {
             assert!(s.blade_pages_used <= configs[0].blade_pages);
@@ -238,14 +259,16 @@ mod tests {
             PolicyKind::Random,
             600_000,
             5,
-        );
+        )
+        .unwrap();
         let cbf = run_ensemble(
             &homogeneous(6, WorkloadId::Websearch),
             RemoteLink::pcie_x4_cbf(),
             PolicyKind::Random,
             600_000,
             5,
-        );
+        )
+        .unwrap();
         assert!(cbf.worst_slowdown() < pcie.worst_slowdown());
         // But the link occupancy is the same — CBF does not shrink page
         // transfers.
@@ -253,8 +276,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "needs servers")]
     fn rejects_empty_ensemble() {
-        run_ensemble(&[], RemoteLink::pcie_x4(), PolicyKind::Random, 10, 1);
+        assert!(run_ensemble(&[], RemoteLink::pcie_x4(), PolicyKind::Random, 10, 1).is_err());
     }
 }

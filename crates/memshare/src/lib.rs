@@ -39,11 +39,12 @@
 pub mod blade;
 pub mod compress;
 pub mod contention;
+pub mod degraded;
 pub mod directory;
 pub mod ensemble;
 pub mod hybrid;
-pub mod overflow;
 pub mod link;
+pub mod overflow;
 pub mod pageshare;
 pub mod policy;
 pub mod provisioning;

@@ -1,5 +1,7 @@
 //! PCIe link and fault-latency model.
 
+use wcs_simcore::ConfigError;
+
 /// Latency model for a remote-page fault: a light-weight trap plus the
 /// time until the faulting access can resume.
 ///
@@ -48,16 +50,16 @@ impl RemoteLink {
 
     /// A custom link.
     ///
-    /// # Panics
-    /// Panics if either latency is negative or non-finite.
-    pub fn custom(name: &'static str, resume_us: f64, trap_us: f64) -> Self {
-        assert!(resume_us.is_finite() && resume_us >= 0.0);
-        assert!(trap_us.is_finite() && trap_us >= 0.0);
-        RemoteLink {
+    /// # Errors
+    /// Rejects a negative or non-finite latency.
+    pub fn custom(name: &'static str, resume_us: f64, trap_us: f64) -> Result<Self, ConfigError> {
+        ConfigError::check_f64("resume_us", resume_us, "must be >= 0", resume_us >= 0.0)?;
+        ConfigError::check_f64("trap_us", trap_us, "must be >= 0", trap_us >= 0.0)?;
+        Ok(RemoteLink {
             name,
             resume_us,
             trap_us,
-        }
+        })
     }
 
     /// Total stall per remote fault, in seconds.
@@ -87,8 +89,9 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
     fn custom_rejects_negative() {
-        RemoteLink::custom("bad", -1.0, 0.0);
+        assert!(RemoteLink::custom("bad", -1.0, 0.0).is_err());
+        assert!(RemoteLink::custom("bad", 1.0, f64::NAN).is_err());
+        assert!(RemoteLink::custom("ok", 1.0, 0.0).is_ok());
     }
 }

@@ -148,15 +148,33 @@ mod tests {
             50_000,
             2,
         );
-        assert!(r.overflow_probability < 0.01, "p {}", r.overflow_probability);
+        assert!(
+            r.overflow_probability < 0.01,
+            "p {}",
+            r.overflow_probability
+        );
         // Expected fault latency stays within 25% of pure PCIe.
         assert!(r.expected_fault_secs < RemoteLink::pcie_x4().fault_latency_secs() * 1.25);
     }
 
     #[test]
     fn small_ensembles_are_riskier() {
-        let small = overflow_risk(DemandModel::typical(), 2, 0.85, RemoteLink::pcie_x4(), 50_000, 3);
-        let large = overflow_risk(DemandModel::typical(), 32, 0.85, RemoteLink::pcie_x4(), 50_000, 3);
+        let small = overflow_risk(
+            DemandModel::typical(),
+            2,
+            0.85,
+            RemoteLink::pcie_x4(),
+            50_000,
+            3,
+        );
+        let large = overflow_risk(
+            DemandModel::typical(),
+            32,
+            0.85,
+            RemoteLink::pcie_x4(),
+            50_000,
+            3,
+        );
         assert!(
             small.overflow_probability > large.overflow_probability,
             "{} vs {}",

@@ -66,8 +66,7 @@ impl Provisioning {
             Component::MemoryBlade,
             blade.remote_memory_cost_usd(mem_cost, self.remote_fraction)
                 + blade.controller_cost_usd,
-            blade.remote_memory_power_w(mem_power, self.remote_fraction)
-                + blade.controller_power_w,
+            blade.remote_memory_power_w(mem_power, self.remote_fraction) + blade.controller_power_w,
         );
         let mut p = platform.with_component(local).with_component(remote);
         p.name = format!("{}+memblade-{}", platform.name, self.name);
@@ -133,8 +132,8 @@ mod tests {
         let p = catalog::platform(PlatformId::Emb1);
         let s = Provisioning::static_partitioning().apply(&p, &blade);
         let before = p.component_power(Component::Memory);
-        let after = s.component_power(Component::Memory)
-            + s.component_power(Component::MemoryBlade);
+        let after =
+            s.component_power(Component::Memory) + s.component_power(Component::MemoryBlade);
         assert!(after < before * 0.5, "{after} vs {before}");
     }
 

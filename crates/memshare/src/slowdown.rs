@@ -1,5 +1,6 @@
 //! Converting two-level miss rates into workload slowdowns (Figure 4(b)).
 
+use wcs_simcore::ConfigError;
 use wcs_workloads::memtrace::{params_for, MemTraceGen};
 use wcs_workloads::WorkloadId;
 
@@ -69,6 +70,18 @@ impl SlowdownResult {
     pub fn cpu_inflation(&self) -> f64 {
         1.0 + self.slowdown
     }
+
+    /// The same miss behaviour re-costed over a different link: slowdown
+    /// is `faults_per_cpu_sec * fault_latency`, so swapping the link only
+    /// rescales it. Used to price degraded modes (e.g. disk swap while
+    /// the blade is down) without replaying the trace.
+    pub fn with_link(&self, link: &RemoteLink) -> SlowdownResult {
+        SlowdownResult {
+            stats: self.stats,
+            faults_per_cpu_sec: self.faults_per_cpu_sec,
+            slowdown: self.faults_per_cpu_sec * link.fault_latency_secs(),
+        }
+    }
 }
 
 /// Estimates the slowdown `workload` suffers with a remote memory blade.
@@ -79,13 +92,18 @@ impl SlowdownResult {
 /// CPU for the link's fault latency, and the workload touches pages at
 /// its calibrated rate per second of CPU work.
 ///
-/// # Panics
-/// Panics unless `local_fraction` is in `(0, 1]`.
-pub fn estimate_slowdown(workload: WorkloadId, config: &SlowdownConfig) -> SlowdownResult {
-    assert!(
+/// # Errors
+/// Rejects a `local_fraction` outside `(0, 1]`.
+pub fn estimate_slowdown(
+    workload: WorkloadId,
+    config: &SlowdownConfig,
+) -> Result<SlowdownResult, ConfigError> {
+    ConfigError::check_f64(
+        "local_fraction",
+        config.local_fraction,
+        "must be in (0, 1]",
         config.local_fraction > 0.0 && config.local_fraction <= 1.0,
-        "local fraction in (0, 1]"
-    );
+    )?;
     let params = params_for(workload);
     let local_pages = ((BASELINE_2GIB_PAGES as f64) * config.local_fraction) as usize;
     let mut sim = TwoLevelSim::new(local_pages.max(1), config.policy, config.seed);
@@ -93,11 +111,11 @@ pub fn estimate_slowdown(workload: WorkloadId, config: &SlowdownConfig) -> Slowd
     let stats = sim.run_steady(&mut gen, config.fill, config.measured);
     let faults_per_cpu_sec = params.accesses_per_cpu_sec * stats.miss_ratio();
     let slowdown = faults_per_cpu_sec * config.link.fault_latency_secs();
-    SlowdownResult {
+    Ok(SlowdownResult {
         stats,
         faults_per_cpu_sec,
         slowdown,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -122,7 +140,7 @@ mod tests {
             (WorkloadId::MapredWr, 0.007),
         ];
         for (id, target) in targets {
-            let r = estimate_slowdown(id, &cfg);
+            let r = estimate_slowdown(id, &cfg).unwrap();
             assert!(
                 (r.slowdown - target).abs() < target * 0.35 + 0.001,
                 "{id}: slowdown {:.4} vs paper {target}",
@@ -135,14 +153,18 @@ mod tests {
     #[test]
     fn figure4b_cbf_row() {
         let cfg = SlowdownConfig::paper_cbf();
-        let r = estimate_slowdown(WorkloadId::Websearch, &cfg);
+        let r = estimate_slowdown(WorkloadId::Websearch, &cfg).unwrap();
         assert!(
             (r.slowdown - 0.012).abs() < 0.005,
             "websearch CBF slowdown {:.4}",
             r.slowdown
         );
-        let r = estimate_slowdown(WorkloadId::Ytube, &cfg);
-        assert!((r.slowdown - 0.004).abs() < 0.003, "ytube CBF {:.4}", r.slowdown);
+        let r = estimate_slowdown(WorkloadId::Ytube, &cfg).unwrap();
+        assert!(
+            (r.slowdown - 0.004).abs() < 0.003,
+            "ytube CBF {:.4}",
+            r.slowdown
+        );
     }
 
     /// The paper: 12.5% local roughly doubles the websearch slowdown
@@ -150,14 +172,16 @@ mod tests {
     /// most of the way there.
     #[test]
     fn halving_local_memory_increases_slowdown() {
-        let base = estimate_slowdown(WorkloadId::Websearch, &SlowdownConfig::paper_default());
+        let base =
+            estimate_slowdown(WorkloadId::Websearch, &SlowdownConfig::paper_default()).unwrap();
         let half = estimate_slowdown(
             WorkloadId::Websearch,
             &SlowdownConfig {
                 local_fraction: 0.125,
                 ..SlowdownConfig::paper_default()
             },
-        );
+        )
+        .unwrap();
         let ratio = half.slowdown / base.slowdown;
         assert!(ratio > 1.25, "12.5%-local should hurt more (ratio {ratio})");
     }
@@ -165,35 +189,37 @@ mod tests {
     /// "LRU results are nearly the same" as random (the paper).
     #[test]
     fn lru_close_to_random() {
-        let rnd = estimate_slowdown(WorkloadId::Websearch, &SlowdownConfig::paper_default());
+        let rnd =
+            estimate_slowdown(WorkloadId::Websearch, &SlowdownConfig::paper_default()).unwrap();
         let lru = estimate_slowdown(
             WorkloadId::Websearch,
             &SlowdownConfig {
                 policy: PolicyKind::Lru,
                 ..SlowdownConfig::paper_default()
             },
-        );
+        )
+        .unwrap();
         let rel = (lru.slowdown - rnd.slowdown).abs() / rnd.slowdown;
         assert!(rel < 0.35, "LRU vs random differ by {rel}");
     }
 
     #[test]
     fn cbf_cuts_slowdown_by_latency_ratio() {
-        let pcie = estimate_slowdown(WorkloadId::Ytube, &SlowdownConfig::paper_default());
-        let cbf = estimate_slowdown(WorkloadId::Ytube, &SlowdownConfig::paper_cbf());
+        let pcie = estimate_slowdown(WorkloadId::Ytube, &SlowdownConfig::paper_default()).unwrap();
+        let cbf = estimate_slowdown(WorkloadId::Ytube, &SlowdownConfig::paper_cbf()).unwrap();
         let ratio = pcie.slowdown / cbf.slowdown;
         assert!((3.0..=5.0).contains(&ratio), "ratio {ratio}");
     }
 
     #[test]
-    #[should_panic(expected = "local fraction")]
     fn rejects_bad_fraction() {
-        estimate_slowdown(
+        let r = estimate_slowdown(
             WorkloadId::Webmail,
             &SlowdownConfig {
                 local_fraction: 0.0,
                 ..SlowdownConfig::paper_default()
             },
         );
+        assert!(r.is_err());
     }
 }

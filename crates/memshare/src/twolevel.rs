@@ -145,7 +145,12 @@ mod tests {
         let mut rnd = TwoLevelSim::new(2_000, PolicyKind::Random, 1);
         let l = lru.run_steady(&mut MemTraceGen::new(p, 3), 50_000, 200_000);
         let r = rnd.run_steady(&mut MemTraceGen::new(p, 3), 50_000, 200_000);
-        assert!(l.miss_ratio() <= r.miss_ratio() * 1.05, "{} vs {}", l.miss_ratio(), r.miss_ratio());
+        assert!(
+            l.miss_ratio() <= r.miss_ratio() * 1.05,
+            "{} vs {}",
+            l.miss_ratio(),
+            r.miss_ratio()
+        );
     }
 
     #[test]

@@ -80,8 +80,14 @@ pub fn simulate_pool(
     seed: u64,
 ) -> PoolStats {
     assert!(pool_frames > 0, "pool needs at least one frame");
-    assert!(reclaim_rate.is_finite() && reclaim_rate > 0.0, "reclaim rate > 0");
-    assert!((0.0..=1.0).contains(&dirty_fraction), "dirty fraction in [0,1]");
+    assert!(
+        reclaim_rate.is_finite() && reclaim_rate > 0.0,
+        "reclaim rate > 0"
+    );
+    assert!(
+        (0.0..=1.0).contains(&dirty_fraction),
+        "dirty fraction in [0,1]"
+    );
     let mut rng = SimRng::seed_from(seed);
     let fetch = link.fault_latency_secs();
     let evict_extra = |dirty: bool| -> f64 {
@@ -115,9 +121,11 @@ pub fn simulate_pool(
 /// The mean fault latency with no pool at all (always synchronous
 /// eviction) — the comparison baseline.
 pub fn no_pool_fault_secs(link: RemoteLink, costs: VictimCosts, dirty_fraction: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&dirty_fraction), "dirty fraction in [0,1]");
-    link.fault_latency_secs()
-        + (dirty_fraction * costs.writeback_us + costs.shootdown_us) * 1e-6
+    assert!(
+        (0.0..=1.0).contains(&dirty_fraction),
+        "dirty fraction in [0,1]"
+    );
+    link.fault_latency_secs() + (dirty_fraction * costs.writeback_us + costs.shootdown_us) * 1e-6
 }
 
 #[cfg(test)]
@@ -157,11 +165,7 @@ mod tests {
             "decoupled {}",
             stats.decoupled_fraction()
         );
-        let sync = no_pool_fault_secs(
-            RemoteLink::pcie_x4(),
-            VictimCosts::paper_default(),
-            0.4,
-        );
+        let sync = no_pool_fault_secs(RemoteLink::pcie_x4(), VictimCosts::paper_default(), 0.4);
         let fetch = RemoteLink::pcie_x4().fault_latency_secs();
         assert!(stats.mean_fault_secs > fetch);
         assert!(stats.mean_fault_secs < sync);
@@ -171,11 +175,7 @@ mod tests {
     fn pool_saves_meaningful_latency() {
         // The mechanism matters: the synchronous path is ~30%+ slower
         // than fetch-only for a typical dirty fraction.
-        let sync = no_pool_fault_secs(
-            RemoteLink::pcie_x4(),
-            VictimCosts::paper_default(),
-            0.4,
-        );
+        let sync = no_pool_fault_secs(RemoteLink::pcie_x4(), VictimCosts::paper_default(), 0.4);
         let fetch = RemoteLink::pcie_x4().fault_latency_secs();
         assert!(sync / fetch > 1.3, "ratio {}", sync / fetch);
     }
@@ -192,11 +192,7 @@ mod tests {
             20_000,
             3,
         );
-        let slowest = no_pool_fault_secs(
-            RemoteLink::pcie_x4(),
-            VictimCosts::paper_default(),
-            0.4,
-        );
+        let slowest = no_pool_fault_secs(RemoteLink::pcie_x4(), VictimCosts::paper_default(), 0.4);
         assert!(
             slowest / stats.mean_fault_secs > 5.0,
             "fast path only {}x better",

@@ -51,7 +51,15 @@ pub fn all() -> Vec<Platform> {
 fn srvr1() -> Platform {
     let mut b = Platform::builder("srvr1");
     b.cpu(
-        CpuModel::new("Xeon MP / Opteron MP", 2, 4, 2.6, Microarch::OutOfOrder, 64, 8192),
+        CpuModel::new(
+            "Xeon MP / Opteron MP",
+            2,
+            4,
+            2.6,
+            Microarch::OutOfOrder,
+            64,
+            8192,
+        ),
         1700.0,
         210.0,
     )
@@ -83,7 +91,15 @@ fn srvr2() -> Platform {
 fn desk() -> Platform {
     let mut b = Platform::builder("desk");
     b.cpu(
-        CpuModel::new("Core 2 / Athlon 64", 1, 2, 2.2, Microarch::OutOfOrder, 32, 2048),
+        CpuModel::new(
+            "Core 2 / Athlon 64",
+            1,
+            2,
+            2.2,
+            Microarch::OutOfOrder,
+            32,
+            2048,
+        ),
         180.0,
         65.0,
     )
@@ -98,7 +114,15 @@ fn desk() -> Platform {
 fn mobl() -> Platform {
     let mut b = Platform::builder("mobl");
     b.cpu(
-        CpuModel::new("Core 2 Mobile / Turion", 1, 2, 2.0, Microarch::OutOfOrder, 32, 2048),
+        CpuModel::new(
+            "Core 2 Mobile / Turion",
+            1,
+            2,
+            2.0,
+            Microarch::OutOfOrder,
+            32,
+            2048,
+        ),
         280.0,
         25.0,
     )
@@ -113,7 +137,15 @@ fn mobl() -> Platform {
 fn emb1() -> Platform {
     let mut b = Platform::builder("emb1");
     b.cpu(
-        CpuModel::new("PA Semi / Embedded Athlon 64", 1, 2, 1.2, Microarch::OutOfOrder, 32, 1024),
+        CpuModel::new(
+            "PA Semi / Embedded Athlon 64",
+            1,
+            2,
+            1.2,
+            Microarch::OutOfOrder,
+            32,
+            1024,
+        ),
         60.0,
         12.0,
     )
@@ -128,7 +160,15 @@ fn emb1() -> Platform {
 fn emb2() -> Platform {
     let mut b = Platform::builder("emb2");
     b.cpu(
-        CpuModel::new("AMD Geode / VIA Eden-N", 1, 1, 0.6, Microarch::InOrder, 32, 128),
+        CpuModel::new(
+            "AMD Geode / VIA Eden-N",
+            1,
+            1,
+            0.6,
+            Microarch::InOrder,
+            32,
+            128,
+        ),
         25.0,
         4.0,
     )
@@ -246,8 +286,14 @@ mod tests {
         let e1 = platform(PlatformId::Emb1).hardware_cost_usd();
         let ratio_desk = d / s1;
         let ratio_emb1 = e1 / s1;
-        assert!((0.20..=0.30).contains(&ratio_desk), "desk/srvr1 {ratio_desk}");
-        assert!((0.10..=0.18).contains(&ratio_emb1), "emb1/srvr1 {ratio_emb1}");
+        assert!(
+            (0.20..=0.30).contains(&ratio_desk),
+            "desk/srvr1 {ratio_desk}"
+        );
+        assert!(
+            (0.10..=0.18).contains(&ratio_emb1),
+            "emb1/srvr1 {ratio_emb1}"
+        );
         // mobl costs more than desk (low-power premium).
         assert!(
             platform(PlatformId::Mobl).hardware_cost_usd()

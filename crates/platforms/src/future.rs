@@ -93,7 +93,9 @@ mod tests {
         let now = catalog::platform(PlatformId::Emb1);
         let later = emb1_projected(3.0);
         assert!((later.max_power_w() - now.max_power_w()).abs() < 1e-9);
-        assert!(later.component_cost(Component::Memory) < now.component_cost(Component::Memory) * 0.4);
+        assert!(
+            later.component_cost(Component::Memory) < now.component_cost(Component::Memory) * 0.4
+        );
         assert!(later.cpu.freq_ghz > now.cpu.freq_ghz * 1.9);
     }
 

@@ -25,9 +25,9 @@
 #![warn(missing_docs)]
 
 pub mod catalog;
-pub mod future;
 mod component;
 mod cpu;
+pub mod future;
 mod memory;
 mod net;
 mod platform;

@@ -66,7 +66,9 @@ mod tests {
     #[test]
     fn ten_gig_is_faster() {
         let big = 1_000_000.0;
-        assert!(NicModel::ten_gigabit().transfer_secs(big) < NicModel::gigabit().transfer_secs(big));
+        assert!(
+            NicModel::ten_gigabit().transfer_secs(big) < NicModel::gigabit().transfer_secs(big)
+        );
     }
 
     #[test]

@@ -79,25 +79,57 @@ impl DiskModel {
 
     /// The 15k RPM server disk used by `srvr1` (Figure 1(a)).
     pub fn server_15k() -> Self {
-        DiskModel::new("15k server disk", 300.0, 90.0, 3.0, 15.0, 275.0, DiskLocation::Local)
+        DiskModel::new(
+            "15k server disk",
+            300.0,
+            90.0,
+            3.0,
+            15.0,
+            275.0,
+            DiskLocation::Local,
+        )
     }
 
     /// The local 7.2k desktop disk of Table 3(a): 500 GB, 70 MB/s, 4 ms,
     /// 10 W, $120.
     pub fn desktop() -> Self {
-        DiskModel::new("desktop disk", 500.0, 70.0, 4.0, 10.0, 120.0, DiskLocation::Local)
+        DiskModel::new(
+            "desktop disk",
+            500.0,
+            70.0,
+            4.0,
+            10.0,
+            120.0,
+            DiskLocation::Local,
+        )
     }
 
     /// The SAN-remote laptop disk of Table 3(a): 200 GB, 20 MB/s
     /// (conservative remote figure), 15 ms, 2 W, $80.
     pub fn laptop_remote() -> Self {
-        DiskModel::new("laptop disk", 200.0, 20.0, 15.0, 2.0, 80.0, DiskLocation::Remote)
+        DiskModel::new(
+            "laptop disk",
+            200.0,
+            20.0,
+            15.0,
+            2.0,
+            80.0,
+            DiskLocation::Remote,
+        )
     }
 
     /// The cheaper "laptop-2" variant of Table 3(a): identical behaviour
     /// at $40 — the paper's commoditized-price scenario.
     pub fn laptop2_remote() -> Self {
-        DiskModel::new("laptop-2 disk", 200.0, 20.0, 15.0, 2.0, 40.0, DiskLocation::Remote)
+        DiskModel::new(
+            "laptop-2 disk",
+            200.0,
+            20.0,
+            15.0,
+            2.0,
+            40.0,
+            DiskLocation::Remote,
+        )
     }
 
     /// Service time for a random transfer of `bytes`, in seconds.

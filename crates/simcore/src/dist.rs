@@ -203,7 +203,12 @@ impl BoundedPareto {
     /// # Errors
     /// Fails unless `alpha > 0` and `0 < lo < hi`, all finite.
     pub fn new(alpha: f64, lo: f64, hi: f64) -> Result<Self, ParamError> {
-        if !(alpha.is_finite() && alpha > 0.0 && lo.is_finite() && hi.is_finite() && 0.0 < lo && lo < hi)
+        if !(alpha.is_finite()
+            && alpha > 0.0
+            && lo.is_finite()
+            && hi.is_finite()
+            && 0.0 < lo
+            && lo < hi)
         {
             return Err(ParamError::new(
                 "BoundedPareto requires alpha > 0 and 0 < lo < hi",
@@ -233,7 +238,9 @@ impl Distribution for BoundedPareto {
         } else {
             let la = l.powf(a);
             let ha = h.powf(a);
-            (la / (1.0 - la / ha)) * (a / (a - 1.0)) * (1.0 / l.powf(a - 1.0) - 1.0 / h.powf(a - 1.0))
+            (la / (1.0 - la / ha))
+                * (a / (a - 1.0))
+                * (1.0 / l.powf(a - 1.0) - 1.0 / h.powf(a - 1.0))
         }
     }
 }
@@ -458,7 +465,11 @@ mod tests {
             assert!((1.0..=1000.0).contains(&x));
         }
         let m = sample_mean(&d, 17, 200_000);
-        assert!((m - d.mean()).abs() / d.mean() < 0.1, "mean {m} vs {}", d.mean());
+        assert!(
+            (m - d.mean()).abs() / d.mean() < 0.1,
+            "mean {m} vs {}",
+            d.mean()
+        );
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! The workspace-wide configuration-error type.
+//!
+//! Public constructors and entry points across the workspace validate
+//! their inputs and report problems through [`ConfigError`] instead of
+//! panicking, so library callers (dashboards, sweep drivers, services)
+//! can surface bad configurations gracefully. Internal invariants — the
+//! bugs-only cases — stay as `debug_assert!`.
+
+use std::fmt;
+
+/// A rejected configuration input.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// A numeric parameter violated its documented range.
+    OutOfRange {
+        /// Parameter name.
+        param: &'static str,
+        /// Human-readable requirement, e.g. "must be in (0, 1]".
+        requirement: &'static str,
+        /// The offending value.
+        got: f64,
+    },
+    /// A count that must be non-zero was zero.
+    ZeroCount {
+        /// Parameter name.
+        param: &'static str,
+    },
+    /// A collection input that must be non-empty was empty.
+    Empty {
+        /// What was empty.
+        what: &'static str,
+    },
+    /// A resource request exceeded a configured capacity.
+    CapacityExceeded {
+        /// What overflowed.
+        what: &'static str,
+        /// The amount requested.
+        requested: u64,
+        /// The amount available.
+        available: u64,
+    },
+}
+
+impl ConfigError {
+    /// Validates that `value` is finite and satisfies `ok`, describing
+    /// the requirement on failure.
+    pub fn check_f64(
+        param: &'static str,
+        value: f64,
+        requirement: &'static str,
+        ok: bool,
+    ) -> Result<(), ConfigError> {
+        if value.is_finite() && ok {
+            Ok(())
+        } else {
+            Err(ConfigError::OutOfRange {
+                param,
+                requirement,
+                got: value,
+            })
+        }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::OutOfRange {
+                param,
+                requirement,
+                got,
+            } => write!(f, "{param} {requirement} (got {got})"),
+            ConfigError::ZeroCount { param } => write!(f, "{param} must be non-zero"),
+            ConfigError::Empty { what } => write!(f, "{what} must be non-empty"),
+            ConfigError::CapacityExceeded {
+                what,
+                requested,
+                available,
+            } => write!(
+                f,
+                "{what}: requested {requested} exceeds available {available}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = ConfigError::OutOfRange {
+            param: "local_fraction",
+            requirement: "must be in (0, 1]",
+            got: 1.5,
+        };
+        assert!(e.to_string().contains("local_fraction"));
+        assert!(e.to_string().contains("1.5"));
+        assert!(ConfigError::ZeroCount { param: "servers" }
+            .to_string()
+            .contains("servers"));
+        assert!(ConfigError::Empty { what: "ensemble" }
+            .to_string()
+            .contains("ensemble"));
+    }
+
+    #[test]
+    fn check_f64_accepts_and_rejects() {
+        assert!(ConfigError::check_f64("x", 0.5, "in (0,1]", true).is_ok());
+        assert!(ConfigError::check_f64("x", f64::NAN, "in (0,1]", true).is_err());
+        assert!(ConfigError::check_f64("x", 2.0, "in (0,1]", false).is_err());
+    }
+}

@@ -1,0 +1,571 @@
+//! Deterministic fault injection for ensemble simulations.
+//!
+//! The paper's ensemble architectures deliberately create *shared
+//! failure domains* — one memory blade backs a whole enclosure, remote
+//! laptop disks sit behind a SAN link, dual-entry enclosures share fans —
+//! and Section 4 defers "reliability concerns of ensemble-level sharing"
+//! to future work. This module supplies the missing substrate: seeded
+//! stochastic fault processes that yield reproducible failure traces,
+//! which the higher-level simulators (cluster dispatcher, memory-blade
+//! ensemble, flash cache, cooling) consume to model graceful degradation
+//! instead of a fail-free world.
+//!
+//! Determinism is the design center: the same seed always produces the
+//! same failure trace ([`FaultTrace::fingerprint`] lets tests assert
+//! byte-identical schedules), and a zero-rate process
+//! ([`FaultProcess::never`]) produces an empty trace so fault-aware code
+//! paths reproduce fail-free results exactly.
+//!
+//! # Example
+//! ```
+//! use wcs_simcore::faults::{FaultInjector, FaultProcess};
+//! use wcs_simcore::SimDuration;
+//!
+//! let mut inj = FaultInjector::new();
+//! let blade = inj.add(
+//!     "memory-blade",
+//!     FaultProcess::exponential(
+//!         SimDuration::from_secs_f64(3.0e5), // MTTF
+//!         SimDuration::from_secs_f64(3.6e3), // MTTR
+//!     )
+//!     .unwrap(),
+//! );
+//! let horizon = SimDuration::from_secs_f64(3.0e7); // ~1 year
+//! let trace = inj.trace(horizon, 42);
+//! let again = inj.trace(horizon, 42);
+//! assert_eq!(trace.fingerprint(), again.fingerprint());
+//! assert!(trace.availability(blade, horizon) < 1.0);
+//! ```
+
+use crate::error::ConfigError;
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// Time-to-failure distribution of a component.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TtfDist {
+    /// The component never fails (the zero-rate process).
+    Never,
+    /// Memoryless failures at a constant hazard rate (classic MTTF
+    /// model for electronics in their useful-life phase).
+    Exponential {
+        /// Mean time to failure.
+        mttf: SimDuration,
+    },
+    /// Weibull time to failure: `shape < 1` models infant mortality
+    /// (commodity disks, fans wearing in), `shape > 1` wear-out.
+    Weibull {
+        /// Shape parameter `k` (> 0).
+        shape: f64,
+        /// Scale parameter (characteristic life).
+        scale: SimDuration,
+    },
+}
+
+impl TtfDist {
+    fn sample(&self, rng: &mut SimRng) -> Option<SimDuration> {
+        match *self {
+            TtfDist::Never => None,
+            TtfDist::Exponential { mttf } => Some(rng.exp_duration(mttf)),
+            TtfDist::Weibull { shape, scale } => {
+                let u = 1.0 - rng.uniform(); // in (0, 1]
+                let t = scale.as_secs_f64() * (-u.ln()).powf(1.0 / shape);
+                Some(SimDuration::from_secs_f64(t))
+            }
+        }
+    }
+}
+
+/// Repair-time distribution of a component.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RepairDist {
+    /// Deterministic repair time (a swap by a technician on a fixed
+    /// service-level agreement).
+    Fixed(SimDuration),
+    /// Exponentially distributed repair with the given mean.
+    Exponential {
+        /// Mean time to repair.
+        mttr: SimDuration,
+    },
+    /// Uniformly distributed repair time in `[lo, hi]`.
+    Uniform {
+        /// Shortest repair.
+        lo: SimDuration,
+        /// Longest repair.
+        hi: SimDuration,
+    },
+}
+
+impl RepairDist {
+    fn sample(&self, rng: &mut SimRng) -> SimDuration {
+        match *self {
+            RepairDist::Fixed(d) => d,
+            RepairDist::Exponential { mttr } => rng.exp_duration(mttr),
+            RepairDist::Uniform { lo, hi } => {
+                let lo_s = lo.as_secs_f64();
+                let hi_s = hi.as_secs_f64();
+                SimDuration::from_secs_f64(rng.uniform_range(lo_s, hi_s))
+            }
+        }
+    }
+}
+
+/// A component's failure/repair behaviour.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultProcess {
+    /// Time-to-failure distribution.
+    pub ttf: TtfDist,
+    /// Repair-time distribution.
+    pub repair: RepairDist,
+}
+
+impl FaultProcess {
+    /// The fail-free process: never fails, so it contributes no events.
+    pub fn never() -> Self {
+        FaultProcess {
+            ttf: TtfDist::Never,
+            repair: RepairDist::Fixed(SimDuration::ZERO),
+        }
+    }
+
+    /// Memoryless failures with mean `mttf`, memoryless repairs with
+    /// mean `mttr`.
+    ///
+    /// # Errors
+    /// Rejects non-positive MTTF or negative MTTR.
+    pub fn exponential(mttf: SimDuration, mttr: SimDuration) -> Result<Self, ConfigError> {
+        ConfigError::check_f64(
+            "mttf",
+            mttf.as_secs_f64(),
+            "must be positive",
+            !mttf.is_zero(),
+        )?;
+        Ok(FaultProcess {
+            ttf: TtfDist::Exponential { mttf },
+            repair: RepairDist::Exponential { mttr },
+        })
+    }
+
+    /// Weibull failures with the given shape and characteristic life,
+    /// fixed repair time.
+    ///
+    /// # Errors
+    /// Rejects non-positive shape or scale.
+    pub fn weibull(
+        shape: f64,
+        scale: SimDuration,
+        repair: SimDuration,
+    ) -> Result<Self, ConfigError> {
+        ConfigError::check_f64("shape", shape, "must be positive", shape > 0.0)?;
+        ConfigError::check_f64(
+            "scale",
+            scale.as_secs_f64(),
+            "must be positive",
+            !scale.is_zero(),
+        )?;
+        Ok(FaultProcess {
+            ttf: TtfDist::Weibull { shape, scale },
+            repair: RepairDist::Fixed(repair),
+        })
+    }
+
+    /// True when this process can never produce a failure.
+    pub fn is_fail_free(&self) -> bool {
+        matches!(self.ttf, TtfDist::Never)
+    }
+
+    /// Generates this component's down windows over `[0, horizon)`.
+    ///
+    /// Windows are disjoint, sorted, and clipped to the horizon. The
+    /// generator draws only from `rng`, so a forked per-component stream
+    /// keeps components statistically independent *and* stable when
+    /// another component's parameters change.
+    pub fn windows(&self, horizon: SimDuration, rng: &mut SimRng) -> Vec<DownWindow> {
+        let mut out = Vec::new();
+        if self.is_fail_free() || horizon.is_zero() {
+            return out;
+        }
+        let end = SimTime::ZERO + horizon;
+        let mut t = SimTime::ZERO;
+        while let Some(ttf) = self.ttf.sample(rng) {
+            let down_at = t + ttf;
+            if down_at >= end {
+                break;
+            }
+            let repair = self.repair.sample(rng);
+            let up_at = down_at + repair;
+            let clipped_up = if up_at > end { end } else { up_at };
+            out.push(DownWindow {
+                down_at,
+                up_at: clipped_up,
+            });
+            if up_at >= end {
+                break;
+            }
+            t = up_at;
+        }
+        out
+    }
+}
+
+/// One outage: the component is down in `[down_at, up_at)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DownWindow {
+    /// Failure instant.
+    pub down_at: SimTime,
+    /// Repair-complete instant.
+    pub up_at: SimTime,
+}
+
+impl DownWindow {
+    /// Length of the outage.
+    pub fn duration(&self) -> SimDuration {
+        self.up_at.saturating_sub(self.down_at)
+    }
+
+    /// True while `t` falls inside the outage.
+    pub fn contains(&self, t: SimTime) -> bool {
+        t >= self.down_at && t < self.up_at
+    }
+}
+
+/// Sums the downtime of sorted, disjoint windows, clipped to `horizon`.
+pub fn downtime(windows: &[DownWindow], horizon: SimDuration) -> SimDuration {
+    let end = SimTime::ZERO + horizon;
+    let mut total = SimDuration::ZERO;
+    for w in windows {
+        if w.down_at >= end {
+            break;
+        }
+        let up = if w.up_at > end { end } else { w.up_at };
+        total += up.saturating_sub(w.down_at);
+    }
+    total
+}
+
+/// Availability over `horizon` of a component with the given down
+/// windows: `1 - downtime / horizon` (1.0 for an empty horizon).
+pub fn availability(windows: &[DownWindow], horizon: SimDuration) -> f64 {
+    if horizon.is_zero() {
+        return 1.0;
+    }
+    1.0 - downtime(windows, horizon).as_secs_f64() / horizon.as_secs_f64()
+}
+
+/// True while `t` falls inside any of the (sorted) windows.
+pub fn is_down(windows: &[DownWindow], t: SimTime) -> bool {
+    // Windows are sorted and disjoint; partition to the candidate.
+    windows
+        .binary_search_by(|w| {
+            if t < w.down_at {
+                std::cmp::Ordering::Greater
+            } else if t >= w.up_at {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        })
+        .is_ok()
+}
+
+/// Handle to a component registered with a [`FaultInjector`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ComponentId(pub u32);
+
+/// What happened to a component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The component went down.
+    Fail,
+    /// The component came back up.
+    Repair,
+}
+
+/// One entry of a failure trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// When it happened.
+    pub at: SimTime,
+    /// Which component.
+    pub component: ComponentId,
+    /// Fail or repair.
+    pub kind: FaultKind,
+}
+
+/// A set of components with fault processes, from which deterministic
+/// failure traces are generated.
+#[derive(Debug, Clone, Default)]
+pub struct FaultInjector {
+    components: Vec<(String, FaultProcess)>,
+}
+
+impl FaultInjector {
+    /// An injector with no components.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a component, returning its handle.
+    pub fn add(&mut self, label: impl Into<String>, process: FaultProcess) -> ComponentId {
+        let id = ComponentId(self.components.len() as u32);
+        self.components.push((label.into(), process));
+        id
+    }
+
+    /// Number of registered components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// True when no components are registered.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// A component's label.
+    ///
+    /// # Panics
+    /// Panics on an unknown handle (a handle from a different injector —
+    /// always a caller bug).
+    pub fn label(&self, id: ComponentId) -> &str {
+        &self.components[id.0 as usize].0
+    }
+
+    /// Generates the deterministic failure trace over `[0, horizon)` for
+    /// `seed`.
+    ///
+    /// Each component draws from an independent forked stream, so adding
+    /// or reconfiguring one component never perturbs another's schedule.
+    pub fn trace(&self, horizon: SimDuration, seed: u64) -> FaultTrace {
+        let mut master = SimRng::seed_from(seed);
+        let mut per_component = Vec::with_capacity(self.components.len());
+        for (i, (_, process)) in self.components.iter().enumerate() {
+            // Fork label mixes the index so streams stay distinct even
+            // for identical processes.
+            let mut rng = master.fork(0xFA17 ^ (i as u64));
+            per_component.push(process.windows(horizon, &mut rng));
+        }
+        let mut events = Vec::new();
+        for (i, windows) in per_component.iter().enumerate() {
+            for w in windows {
+                events.push(FaultEvent {
+                    at: w.down_at,
+                    component: ComponentId(i as u32),
+                    kind: FaultKind::Fail,
+                });
+                events.push(FaultEvent {
+                    at: w.up_at,
+                    component: ComponentId(i as u32),
+                    kind: FaultKind::Repair,
+                });
+            }
+        }
+        events.sort_by_key(|e| (e.at, e.component.0, e.kind == FaultKind::Repair));
+        FaultTrace {
+            horizon,
+            events,
+            per_component,
+        }
+    }
+}
+
+/// A deterministic failure trace: every fail/repair event over a
+/// horizon, plus per-component outage windows.
+#[derive(Debug, Clone)]
+pub struct FaultTrace {
+    horizon: SimDuration,
+    events: Vec<FaultEvent>,
+    per_component: Vec<Vec<DownWindow>>,
+}
+
+impl FaultTrace {
+    /// The horizon this trace covers.
+    pub fn horizon(&self) -> SimDuration {
+        self.horizon
+    }
+
+    /// All events in time order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// A component's sorted outage windows.
+    pub fn windows(&self, id: ComponentId) -> &[DownWindow] {
+        &self.per_component[id.0 as usize]
+    }
+
+    /// A component's availability over the trace horizon.
+    pub fn availability(&self, id: ComponentId, horizon: SimDuration) -> f64 {
+        availability(self.windows(id), horizon)
+    }
+
+    /// Number of failures of a component.
+    pub fn failure_count(&self, id: ComponentId) -> usize {
+        self.per_component[id.0 as usize].len()
+    }
+
+    /// True while `t` falls inside one of `id`'s outages.
+    pub fn is_down(&self, id: ComponentId, t: SimTime) -> bool {
+        is_down(self.windows(id), t)
+    }
+
+    /// An order- and value-sensitive digest of the whole trace (FNV-1a
+    /// over every event's nanosecond timestamp, component, and kind).
+    /// Two traces with equal fingerprints are byte-identical with
+    /// overwhelming probability; determinism tests compare these.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |x: u64| {
+            for b in x.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        };
+        mix(self.events.len() as u64);
+        for e in &self.events {
+            mix(e.at.as_nanos());
+            mix(e.component.0 as u64);
+            mix(match e.kind {
+                FaultKind::Fail => 0,
+                FaultKind::Repair => 1,
+            });
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: f64) -> SimDuration {
+        SimDuration::from_secs_f64(s)
+    }
+
+    #[test]
+    fn never_process_is_empty() {
+        let mut rng = SimRng::seed_from(1);
+        let w = FaultProcess::never().windows(secs(1e9), &mut rng);
+        assert!(w.is_empty());
+        assert!(FaultProcess::never().is_fail_free());
+    }
+
+    #[test]
+    fn exponential_windows_are_sorted_and_disjoint() {
+        let p = FaultProcess::exponential(secs(1000.0), secs(50.0)).unwrap();
+        let mut rng = SimRng::seed_from(7);
+        let w = p.windows(secs(100_000.0), &mut rng);
+        assert!(!w.is_empty());
+        for pair in w.windows(2) {
+            assert!(pair[0].up_at <= pair[1].down_at);
+        }
+        for win in &w {
+            assert!(win.down_at < win.up_at);
+        }
+    }
+
+    #[test]
+    fn failure_count_tracks_mttf() {
+        // horizon / (MTTF + MTTR) ~ expected cycles; loose bound.
+        let p = FaultProcess::exponential(secs(1000.0), secs(0.001)).unwrap();
+        let mut rng = SimRng::seed_from(3);
+        let n = p.windows(secs(1_000_000.0), &mut rng).len() as f64;
+        assert!((n - 1000.0).abs() < 150.0, "cycles {n}");
+    }
+
+    #[test]
+    fn weibull_shape_one_matches_exponential_mean() {
+        // k = 1 reduces Weibull to exponential with mean = scale.
+        let p = FaultProcess::weibull(1.0, secs(500.0), secs(1.0)).unwrap();
+        let mut rng = SimRng::seed_from(9);
+        let w = p.windows(secs(2_000_000.0), &mut rng);
+        let mean_gap = 2_000_000.0 / w.len() as f64;
+        assert!((mean_gap - 501.0).abs() < 60.0, "mean gap {mean_gap}");
+    }
+
+    #[test]
+    fn trace_is_deterministic_per_seed() {
+        let mut inj = FaultInjector::new();
+        inj.add(
+            "blade",
+            FaultProcess::exponential(secs(500.0), secs(20.0)).unwrap(),
+        );
+        inj.add(
+            "fan",
+            FaultProcess::weibull(0.8, secs(2000.0), secs(100.0)).unwrap(),
+        );
+        let a = inj.trace(secs(50_000.0), 42);
+        let b = inj.trace(secs(50_000.0), 42);
+        assert_eq!(a.events(), b.events());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = inj.trace(secs(50_000.0), 43);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn components_are_independent_streams() {
+        // Adding a second component must not change the first's windows.
+        let p = FaultProcess::exponential(secs(500.0), secs(20.0)).unwrap();
+        let mut one = FaultInjector::new();
+        let b1 = one.add("blade", p);
+        let mut two = FaultInjector::new();
+        let b2 = two.add("blade", p);
+        two.add(
+            "fan",
+            FaultProcess::exponential(secs(100.0), secs(5.0)).unwrap(),
+        );
+        let t1 = one.trace(secs(10_000.0), 11);
+        let t2 = two.trace(secs(10_000.0), 11);
+        assert_eq!(t1.windows(b1), t2.windows(b2));
+    }
+
+    #[test]
+    fn availability_accounts_downtime() {
+        let windows = [
+            DownWindow {
+                down_at: SimTime::from_nanos(0),
+                up_at: SimTime::ZERO + secs(10.0),
+            },
+            DownWindow {
+                down_at: SimTime::ZERO + secs(50.0),
+                up_at: SimTime::ZERO + secs(70.0),
+            },
+        ];
+        let a = availability(&windows, secs(100.0));
+        assert!((a - 0.70).abs() < 1e-12, "availability {a}");
+        assert!(is_down(&windows, SimTime::ZERO + secs(5.0)));
+        assert!(is_down(&windows, SimTime::ZERO + secs(60.0)));
+        assert!(!is_down(&windows, SimTime::ZERO + secs(20.0)));
+        assert!(!is_down(&windows, SimTime::ZERO + secs(99.0)));
+    }
+
+    #[test]
+    fn windows_clip_to_horizon() {
+        let p = FaultProcess {
+            ttf: TtfDist::Exponential { mttf: secs(10.0) },
+            repair: RepairDist::Fixed(secs(1e9)), // repairs never finish
+        };
+        let mut rng = SimRng::seed_from(5);
+        let w = p.windows(secs(1000.0), &mut rng);
+        assert_eq!(w.len(), 1, "one failure, repair outlives horizon");
+        assert!(w[0].up_at <= SimTime::ZERO + secs(1000.0));
+        let a = availability(&w, secs(1000.0));
+        assert!(a < 1.0);
+    }
+
+    #[test]
+    fn zero_rate_trace_fingerprint_is_stable() {
+        let mut inj = FaultInjector::new();
+        inj.add("blade", FaultProcess::never());
+        let t = inj.trace(secs(1e6), 1);
+        assert!(t.events().is_empty());
+        assert_eq!(t.fingerprint(), inj.trace(secs(1e6), 2).fingerprint());
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(FaultProcess::exponential(SimDuration::ZERO, secs(1.0)).is_err());
+        assert!(FaultProcess::weibull(0.0, secs(1.0), secs(1.0)).is_err());
+        assert!(FaultProcess::weibull(1.0, SimDuration::ZERO, secs(1.0)).is_err());
+    }
+}

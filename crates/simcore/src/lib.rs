@@ -47,9 +47,12 @@ mod time;
 
 pub mod batchmeans;
 pub mod dist;
+pub mod error;
+pub mod faults;
 pub mod stats;
 pub mod timeseries;
 
+pub use error::ConfigError;
 pub use event::EventQueue;
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

@@ -150,9 +150,7 @@ mod tests {
         let mut rng = SimRng::seed_from(11);
         let mean = SimDuration::from_micros(100);
         let n = 20_000;
-        let total: f64 = (0..n)
-            .map(|_| rng.exp_duration(mean).as_secs_f64())
-            .sum();
+        let total: f64 = (0..n).map(|_| rng.exp_duration(mean).as_secs_f64()).sum();
         let observed = total / n as f64;
         assert!((observed - 1e-4).abs() / 1e-4 < 0.05, "mean {observed}");
     }

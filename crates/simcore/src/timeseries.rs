@@ -85,8 +85,7 @@ impl TimeSeries {
         }
         let idx = self.window_index(at);
         while self.windows.len() <= idx {
-            let start =
-                SimTime::from_nanos(self.windows.len() as u64 * self.width.as_nanos());
+            let start = SimTime::from_nanos(self.windows.len() as u64 * self.width.as_nanos());
             self.windows.push(Window::new(start));
         }
         let w = &mut self.windows[idx];
@@ -104,7 +103,10 @@ impl TimeSeries {
     /// second when recording one value per completion.
     pub fn rates_per_sec(&self) -> Vec<f64> {
         let w = self.width.as_secs_f64();
-        self.windows.iter().map(|win| win.count as f64 / w).collect()
+        self.windows
+            .iter()
+            .map(|win| win.count as f64 / w)
+            .collect()
     }
 
     /// The busiest window by count.

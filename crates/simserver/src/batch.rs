@@ -96,7 +96,9 @@ pub fn run_batch(spec: ServerSpec, tasks: Vec<Vec<Stage>>, concurrency: u32) -> 
         ($res:expr, $now:expr) => {{
             let ri = $res.index();
             while busy[ri] < servers_at($res) {
-                let Some(id) = queues[ri].pop_front() else { break };
+                let Some(id) = queues[ri].pop_front() else {
+                    break;
+                };
                 busy[ri] += 1;
                 let service = tasks[id].stages[tasks[id].next_stage].service;
                 busy_time_ns[ri] += service.as_nanos() as u128;

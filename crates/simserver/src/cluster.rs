@@ -9,13 +9,24 @@
 //! result, including a configurable scale-out overhead (the Amdahl-style
 //! costs the paper lists: bigger data structures, more coordination,
 //! higher latency variability).
+//!
+//! The cluster is also where the availability layer lives
+//! ([`run_closed_loop_faulted`](Cluster::run_closed_loop_faulted)):
+//! servers go down and come back per a [`ClusterFaults`] plan, the
+//! dispatcher fails over around dead servers, and a [`RetryPolicy`]
+//! governs per-request timeouts and bounded, backed-off retries. With a
+//! fail-free plan and a no-op policy the fault-aware path reproduces the
+//! plain run bit for bit.
+
+use std::collections::VecDeque;
 
 use wcs_simcore::stats::Histogram;
-use wcs_simcore::{EventQueue, SimRng, SimTime};
 #[cfg(test)]
 use wcs_simcore::SimDuration;
+use wcs_simcore::{ConfigError, EventQueue, SimRng, SimTime};
 
 use crate::engine::{RunStats, ServerSpec};
+use crate::failover::{ClusterFaults, FaultStats, RetryPolicy};
 use crate::request::{RequestSource, Resource, Stage};
 
 /// Dispatch policy of the front-end load balancer.
@@ -44,17 +55,62 @@ pub struct Cluster {
     pub scaleout_overhead: f64,
 }
 
+/// One physical attempt at a logical request.
+struct Attempt {
+    stages: Vec<Stage>,
+    next_stage: usize,
+    /// First dispatch instant of the *logical* request, so latency spans
+    /// retries.
+    logical_started: SimTime,
+    server: usize,
+    /// 0-based attempt index (0 = first try).
+    attempt_no: u32,
+    /// The client gave up on this attempt (timeout); the work keeps
+    /// draining on the server but no longer counts.
+    abandoned: bool,
+}
+
+/// Cluster-run events.
+enum CEv {
+    /// A stage finished on a server. `gen` must match the slot's current
+    /// generation; otherwise the work was voided by a crash or already
+    /// freed.
+    Done {
+        slot: usize,
+        gen: u64,
+        server: usize,
+        resource: Resource,
+    },
+    /// A dispatched attempt's timeout expired.
+    Timeout { slot: usize, gen: u64 },
+    /// A server fails.
+    Down { server: usize },
+    /// A server finishes repair.
+    Up { server: usize },
+    /// A backed-off retry re-enters the dispatcher.
+    Retry {
+        stages: Vec<Stage>,
+        logical_started: SimTime,
+        attempt_no: u32,
+    },
+}
+
 impl Cluster {
     /// A cluster with no scale-out overhead (the paper's idealized
     /// aggregation assumption).
-    pub fn ideal(spec: ServerSpec, servers: u32) -> Self {
-        assert!(servers > 0, "cluster needs at least one server");
-        Cluster {
+    ///
+    /// # Errors
+    /// Rejects an empty cluster.
+    pub fn ideal(spec: ServerSpec, servers: u32) -> Result<Self, ConfigError> {
+        if servers == 0 {
+            return Err(ConfigError::ZeroCount { param: "servers" });
+        }
+        Ok(Cluster {
             spec,
             servers,
             dispatch: Dispatch::LeastLoaded,
             scaleout_overhead: 0.0,
-        }
+        })
     }
 
     /// Demand inflation factor for this cluster size.
@@ -65,8 +121,12 @@ impl Cluster {
     /// Runs `n_clients` closed-loop clients against the cluster until
     /// `warmup + measured` completions; reports cluster-wide stats.
     ///
-    /// # Panics
-    /// Panics if `n_clients` or `measured` is zero.
+    /// Equivalent to
+    /// [`run_closed_loop_faulted`](Self::run_closed_loop_faulted) with a
+    /// fail-free plan and no-op retry policy — and bit-identical to it.
+    ///
+    /// # Errors
+    /// Rejects zero `n_clients` or zero `measured`.
     pub fn run_closed_loop(
         &self,
         source: &mut dyn RequestSource,
@@ -74,36 +134,92 @@ impl Cluster {
         warmup: u64,
         measured: u64,
         seed: u64,
-    ) -> RunStats {
-        assert!(n_clients > 0, "need at least one client");
-        assert!(measured > 0, "need a measurement window");
+    ) -> Result<RunStats, ConfigError> {
+        self.run_closed_loop_faulted(
+            source,
+            n_clients,
+            warmup,
+            measured,
+            seed,
+            &ClusterFaults::fail_free(),
+            &RetryPolicy::none(),
+        )
+    }
+
+    /// Runs the closed loop under a fault plan: servers go down and come
+    /// back per `faults`, the dispatcher routes around dead servers, and
+    /// `retry` governs per-request timeouts and bounded retries.
+    ///
+    /// Failure semantics:
+    ///
+    /// * When a server dies, everything queued or in service there fails
+    ///   immediately (fail-fast); each failed request retries after
+    ///   backoff if budget remains, else it is dropped and its client
+    ///   moves on.
+    /// * When an attempt times out, the client abandons it and retries
+    ///   (or drops), but the server keeps draining the zombie work —
+    ///   the wasted-work effect of real datacenter timeouts.
+    /// * While every server is down, new work parks at the dispatcher
+    ///   and re-enters on the next repair.
+    ///
+    /// If faults prevent the run from ever reaching `warmup + measured`
+    /// completions, the run ends when no events remain (after the last
+    /// scheduled repair) and reports whatever completed — degraded, not
+    /// panicking.
+    ///
+    /// # Errors
+    /// Rejects zero `n_clients` or `measured`, and a fault plan that
+    /// names more servers than the cluster has.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_closed_loop_faulted(
+        &self,
+        source: &mut dyn RequestSource,
+        n_clients: u32,
+        warmup: u64,
+        measured: u64,
+        seed: u64,
+        faults: &ClusterFaults,
+        retry: &RetryPolicy,
+    ) -> Result<RunStats, ConfigError> {
+        if n_clients == 0 {
+            return Err(ConfigError::ZeroCount { param: "n_clients" });
+        }
+        if measured == 0 {
+            return Err(ConfigError::ZeroCount { param: "measured" });
+        }
+        if faults.planned_servers() > self.servers as usize {
+            return Err(ConfigError::CapacityExceeded {
+                what: "fault plan servers",
+                requested: faults.planned_servers() as u64,
+                available: self.servers as u64,
+            });
+        }
         let s = self.servers as usize;
         let n_res = Resource::ALL.len();
         let mut rng = SimRng::seed_from(seed);
         let mut dispatch_rng = rng.fork(99);
 
-        struct InFlight {
-            stages: Vec<Stage>,
-            next_stage: usize,
-            started: SimTime,
-        }
-        #[derive(Clone, Copy)]
-        struct Done {
-            req: usize,
-            server: usize,
-            resource: Resource,
-        }
-
-        let mut events: EventQueue<Done> = EventQueue::new();
-        let mut inflight: Vec<InFlight> = Vec::new();
+        let mut events: EventQueue<CEv> = EventQueue::new();
+        let mut inflight: Vec<Attempt> = Vec::new();
+        let mut slot_gen: Vec<u64> = Vec::new();
+        let mut active: Vec<bool> = Vec::new();
         let mut free: Vec<usize> = Vec::new();
         // queues[server][resource]
-        let mut queues: Vec<Vec<std::collections::VecDeque<usize>>> =
-            vec![vec![Default::default(); n_res]; s];
+        let mut queues: Vec<Vec<VecDeque<usize>>> = vec![vec![Default::default(); n_res]; s];
         let mut busy: Vec<[u32; 4]> = vec![[0; 4]; s];
         let mut busy_ns: Vec<[u128; 4]> = vec![[0; 4]; s];
         let mut in_flight_per_server: Vec<u32> = vec![0; s];
+        let mut up: Vec<bool> = vec![true; s];
+        let mut parked: VecDeque<(Vec<Stage>, SimTime, u32)> = VecDeque::new();
         let mut rr_next = 0usize;
+
+        // Pre-schedule the whole outage plan; zero windows => zero events.
+        for server in 0..s {
+            for w in faults.windows_for(server) {
+                events.schedule(w.down_at, CEv::Down { server });
+                events.schedule(w.up_at, CEv::Up { server });
+            }
+        }
 
         let servers_at = |r: Resource, spec: &ServerSpec| -> u32 {
             match r {
@@ -118,6 +234,13 @@ impl Cluster {
         let target = warmup + measured;
         let mut completed = 0u64;
         let mut completed_measured = 0u64;
+        let mut timeouts_n = 0u64;
+        let mut retries_n = 0u64;
+        let mut dropped_n = 0u64;
+        // Drops over the whole run (never reset): drops count toward the
+        // termination target so a run where faults starve completions
+        // still ends instead of generating retry work forever.
+        let mut dropped_total = 0u64;
         let mut latency = Histogram::new();
         let mut measure_start = SimTime::ZERO;
 
@@ -125,14 +248,17 @@ impl Cluster {
             ($srv:expr, $res:expr, $now:expr) => {{
                 let ri = $res.index();
                 while busy[$srv][ri] < servers_at($res, &self.spec) {
-                    let Some(req) = queues[$srv][ri].pop_front() else { break };
+                    let Some(req) = queues[$srv][ri].pop_front() else {
+                        break;
+                    };
                     busy[$srv][ri] += 1;
                     let svc = inflight[req].stages[inflight[req].next_stage].service;
                     busy_ns[$srv][ri] += svc.as_nanos() as u128;
                     events.schedule(
                         $now + svc,
-                        Done {
-                            req,
+                        CEv::Done {
+                            slot: req,
+                            gen: slot_gen[req],
                             server: $srv,
                             resource: $res,
                         },
@@ -141,64 +267,150 @@ impl Cluster {
             }};
         }
 
+        // Picks a live server per the dispatch policy; `None` when every
+        // server is down. Fault-free, this draws exactly what the plain
+        // run draws (the bit-for-bit guarantee).
+        macro_rules! pick_server {
+            () => {{
+                match self.dispatch {
+                    Dispatch::RoundRobin => {
+                        let mut chosen = None;
+                        for _ in 0..s {
+                            rr_next = (rr_next + 1) % s;
+                            if up[rr_next] {
+                                chosen = Some(rr_next);
+                                break;
+                            }
+                        }
+                        chosen
+                    }
+                    Dispatch::Random => {
+                        if up.iter().all(|&u| u) {
+                            Some(dispatch_rng.index(s))
+                        } else {
+                            let ups: Vec<usize> = (0..s).filter(|&i| up[i]).collect();
+                            if ups.is_empty() {
+                                None
+                            } else {
+                                Some(ups[dispatch_rng.index(ups.len())])
+                            }
+                        }
+                    }
+                    Dispatch::LeastLoaded => {
+                        let mut best: Option<usize> = None;
+                        for i in 0..s {
+                            if !up[i] {
+                                continue;
+                            }
+                            match best {
+                                Some(b) if in_flight_per_server[i] >= in_flight_per_server[b] => {}
+                                _ => best = Some(i),
+                            }
+                        }
+                        best
+                    }
+                }
+            }};
+        }
+
+        macro_rules! complete {
+            ($started:expr, $now:expr) => {{
+                completed += 1;
+                if completed == warmup {
+                    measure_start = $now;
+                    latency = Histogram::new();
+                    timeouts_n = 0;
+                    retries_n = 0;
+                    dropped_n = 0;
+                }
+                if completed > warmup {
+                    completed_measured += 1;
+                }
+                latency.record_duration($now.saturating_sub($started));
+            }};
+        }
+
+        macro_rules! enqueue {
+            ($stages:expr, $logical_started:expr, $attempt_no:expr, $now:expr) => {{
+                let stages: Vec<Stage> = $stages;
+                match pick_server!() {
+                    None => parked.push_back((stages, $logical_started, $attempt_no)),
+                    Some(server) => {
+                        in_flight_per_server[server] += 1;
+                        let first = stages[0].resource;
+                        let attempt = Attempt {
+                            stages,
+                            next_stage: 0,
+                            logical_started: $logical_started,
+                            server,
+                            attempt_no: $attempt_no,
+                            abandoned: false,
+                        };
+                        let slot = match free.pop() {
+                            Some(x) => {
+                                inflight[x] = attempt;
+                                active[x] = true;
+                                x
+                            }
+                            None => {
+                                inflight.push(attempt);
+                                slot_gen.push(0);
+                                active.push(true);
+                                inflight.len() - 1
+                            }
+                        };
+                        if let Some(t) = retry.timeout {
+                            events.schedule(
+                                $now + t,
+                                CEv::Timeout {
+                                    slot,
+                                    gen: slot_gen[slot],
+                                },
+                            );
+                        }
+                        queues[server][first.index()].push_back(slot);
+                        try_start!(server, first, $now);
+                    }
+                }
+            }};
+        }
+
         macro_rules! launch {
             ($now:expr) => {{
-                'gen: while completed < target {
+                'gen: while completed + dropped_total < target {
                     let mut stages = source.next_request(&mut rng);
                     if stages.is_empty() {
-                        completed += 1;
-                        if completed == warmup {
-                            measure_start = $now;
-                            latency = Histogram::new();
-                        }
-                        if completed > warmup {
-                            completed_measured += 1;
-                        }
-                        latency.record(0.0);
+                        complete!($now, $now);
                         continue 'gen;
                     }
                     for st in &mut stages {
                         *st = Stage::new(st.resource, st.service * inflation);
                     }
-                    let server = match self.dispatch {
-                        Dispatch::RoundRobin => {
-                            rr_next = (rr_next + 1) % s;
-                            rr_next
-                        }
-                        Dispatch::Random => dispatch_rng.index(s),
-                        Dispatch::LeastLoaded => {
-                            let mut best = 0;
-                            for i in 1..s {
-                                if in_flight_per_server[i] < in_flight_per_server[best] {
-                                    best = i;
-                                }
-                            }
-                            best
-                        }
-                    };
-                    in_flight_per_server[server] += 1;
-                    let slot = match free.pop() {
-                        Some(x) => {
-                            inflight[x] = InFlight {
-                                stages,
-                                next_stage: 0,
-                                started: $now,
-                            };
-                            x
-                        }
-                        None => {
-                            inflight.push(InFlight {
-                                stages,
-                                next_stage: 0,
-                                started: $now,
-                            });
-                            inflight.len() - 1
-                        }
-                    };
-                    let r = inflight[slot].stages[0].resource;
-                    queues[server][r.index()].push_back(slot);
-                    try_start!(server, r, $now);
+                    enqueue!(stages, $now, 0u32, $now);
                     break 'gen;
+                }
+            }};
+        }
+
+        // A dispatched attempt failed (crash or timeout): retry with
+        // backoff while budget remains, else drop and free the client.
+        macro_rules! fail_attempt {
+            ($stages:expr, $logical_started:expr, $attempt_no:expr, $now:expr) => {{
+                if $attempt_no < retry.max_retries {
+                    retries_n += 1;
+                    let delay = retry.backoff_for($attempt_no);
+                    events.schedule(
+                        $now + delay,
+                        CEv::Retry {
+                            stages: $stages,
+                            logical_started: $logical_started,
+                            attempt_no: $attempt_no + 1,
+                        },
+                    );
+                } else {
+                    dropped_n += 1;
+                    dropped_total += 1;
+                    launch!($now);
                 }
             }};
         }
@@ -208,28 +420,89 @@ impl Cluster {
         }
 
         while let Some((now, ev)) = events.pop() {
-            busy[ev.server][ev.resource.index()] -= 1;
-            inflight[ev.req].next_stage += 1;
-            if inflight[ev.req].next_stage >= inflight[ev.req].stages.len() {
-                completed += 1;
-                if completed == warmup {
-                    measure_start = now;
-                    latency = Histogram::new();
+            match ev {
+                CEv::Down { server } => {
+                    up[server] = false;
+                    // Fail-fast: everything queued or running here dies.
+                    let victims: Vec<usize> = (0..inflight.len())
+                        .filter(|&slot| active[slot] && inflight[slot].server == server)
+                        .collect();
+                    for q in queues[server].iter_mut() {
+                        q.clear();
+                    }
+                    busy[server] = [0; 4];
+                    in_flight_per_server[server] = 0;
+                    for slot in victims {
+                        slot_gen[slot] += 1; // voids pending Done/Timeout
+                        active[slot] = false;
+                        free.push(slot);
+                        if !inflight[slot].abandoned {
+                            let stages = std::mem::take(&mut inflight[slot].stages);
+                            let ls = inflight[slot].logical_started;
+                            let an = inflight[slot].attempt_no;
+                            fail_attempt!(stages, ls, an, now);
+                        }
+                    }
                 }
-                if completed > warmup {
-                    completed_measured += 1;
+                CEv::Up { server } => {
+                    up[server] = true;
+                    // Work parked while everything was down re-enters now.
+                    while let Some((stages, ls, an)) = parked.pop_front() {
+                        enqueue!(stages, ls, an, now);
+                    }
                 }
-                latency.record_duration(now.saturating_sub(inflight[ev.req].started));
-                in_flight_per_server[ev.server] -= 1;
-                free.push(ev.req);
-                launch!(now);
-            } else {
-                let r = inflight[ev.req].stages[inflight[ev.req].next_stage].resource;
-                queues[ev.server][r.index()].push_back(ev.req);
-                try_start!(ev.server, r, now);
+                CEv::Timeout { slot, gen } => {
+                    if slot_gen[slot] != gen || !active[slot] || inflight[slot].abandoned {
+                        continue;
+                    }
+                    inflight[slot].abandoned = true;
+                    timeouts_n += 1;
+                    // The zombie keeps draining on the server; the client
+                    // moves on with a copy of the work.
+                    let stages = inflight[slot].stages.clone();
+                    let ls = inflight[slot].logical_started;
+                    let an = inflight[slot].attempt_no;
+                    fail_attempt!(stages, ls, an, now);
+                }
+                CEv::Retry {
+                    stages,
+                    logical_started,
+                    attempt_no,
+                } => {
+                    enqueue!(stages, logical_started, attempt_no, now);
+                }
+                CEv::Done {
+                    slot,
+                    gen,
+                    server,
+                    resource,
+                } => {
+                    if slot_gen[slot] != gen {
+                        continue; // voided by a crash
+                    }
+                    busy[server][resource.index()] -= 1;
+                    inflight[slot].next_stage += 1;
+                    if inflight[slot].next_stage >= inflight[slot].stages.len() {
+                        in_flight_per_server[server] -= 1;
+                        slot_gen[slot] += 1; // voids a pending Timeout
+                        active[slot] = false;
+                        free.push(slot);
+                        if !inflight[slot].abandoned {
+                            let started = inflight[slot].logical_started;
+                            complete!(started, now);
+                            launch!(now);
+                        }
+                    } else {
+                        let r = inflight[slot].stages[inflight[slot].next_stage].resource;
+                        queues[server][r.index()].push_back(slot);
+                        try_start!(server, r, now);
+                    }
+                    try_start!(server, resource, now);
+                }
             }
-            try_start!(ev.server, ev.resource, now);
-            if completed >= target {
+            // Drops count toward the target: a fault-starved run ends
+            // after the drop budget instead of looping forever.
+            if completed + dropped_total >= target {
                 break;
             }
         }
@@ -245,12 +518,18 @@ impl Cluster {
                 utilization[r.index()] = (total as f64 / cap).min(1.0);
             }
         }
-        RunStats {
+        Ok(RunStats {
             completed: completed_measured,
             window,
             latency,
             utilization,
-        }
+            faults: FaultStats {
+                timeouts: timeouts_n,
+                retries: retries_n,
+                dropped: dropped_n,
+                offered: completed_measured + dropped_n,
+            },
+        })
     }
 }
 
@@ -275,7 +554,9 @@ mod tests {
             .run_closed_loop(&mut exp_cpu(1000), 16, 300, 4000, 7)
             .throughput_rps();
         let cluster = Cluster::ideal(ServerSpec::new(2), 4)
+            .unwrap()
             .run_closed_loop(&mut exp_cpu(1000), 64, 300, 8000, 7)
+            .unwrap()
             .throughput_rps();
         let ratio = cluster / single;
         assert!((3.7..=4.3).contains(&ratio), "scaling ratio {ratio}");
@@ -283,13 +564,16 @@ mod tests {
 
     #[test]
     fn scaleout_overhead_erodes_aggregation() {
-        let mut lossy = Cluster::ideal(ServerSpec::new(2), 8);
+        let mut lossy = Cluster::ideal(ServerSpec::new(2), 8).unwrap();
         lossy.scaleout_overhead = 0.05; // 5% per doubling
         let ideal = Cluster::ideal(ServerSpec::new(2), 8)
+            .unwrap()
             .run_closed_loop(&mut exp_cpu(1000), 128, 300, 8000, 3)
+            .unwrap()
             .throughput_rps();
         let eroded = lossy
             .run_closed_loop(&mut exp_cpu(1000), 128, 300, 8000, 3)
+            .unwrap()
             .throughput_rps();
         let loss = 1.0 - eroded / ideal;
         // log2(8) * 5% = 15% inflation -> ~13% throughput loss.
@@ -299,9 +583,11 @@ mod tests {
     #[test]
     fn least_loaded_beats_random_on_tail_latency() {
         let run = |dispatch| {
-            let mut c = Cluster::ideal(ServerSpec::new(1), 8);
+            let mut c = Cluster::ideal(ServerSpec::new(1), 8).unwrap();
             c.dispatch = dispatch;
-            let stats = c.run_closed_loop(&mut exp_cpu(1000), 12, 500, 8000, 11);
+            let stats = c
+                .run_closed_loop(&mut exp_cpu(1000), 12, 500, 8000, 11)
+                .unwrap();
             stats.latency.percentile(99.0).unwrap()
         };
         let ll = run(Dispatch::LeastLoaded);
@@ -313,12 +599,11 @@ mod tests {
     fn round_robin_balances_perfectly_with_uniform_work() {
         let c = Cluster {
             dispatch: Dispatch::RoundRobin,
-            ..Cluster::ideal(ServerSpec::new(1), 4)
+            ..Cluster::ideal(ServerSpec::new(1), 4).unwrap()
         };
-        let mut fixed = |_rng: &mut SimRng| {
-            vec![Stage::new(Resource::Cpu, SimDuration::from_micros(500))]
-        };
-        let stats = c.run_closed_loop(&mut fixed, 4, 100, 2000, 5);
+        let mut fixed =
+            |_rng: &mut SimRng| vec![Stage::new(Resource::Cpu, SimDuration::from_micros(500))];
+        let stats = c.run_closed_loop(&mut fixed, 4, 100, 2000, 5).unwrap();
         // 4 clients over 4 servers at 500 us: 8000 RPS, no queueing.
         assert!((stats.throughput_rps() - 8000.0).abs() < 100.0);
         let p95 = stats.latency.percentile(95.0).unwrap();
@@ -327,15 +612,202 @@ mod tests {
 
     #[test]
     fn inflation_formula() {
-        let mut c = Cluster::ideal(ServerSpec::new(1), 16);
+        let mut c = Cluster::ideal(ServerSpec::new(1), 16).unwrap();
         c.scaleout_overhead = 0.1;
         assert!((c.inflation() - 1.4).abs() < 1e-12);
-        assert_eq!(Cluster::ideal(ServerSpec::new(1), 16).inflation(), 1.0);
+        assert_eq!(
+            Cluster::ideal(ServerSpec::new(1), 16).unwrap().inflation(),
+            1.0
+        );
     }
 
     #[test]
-    #[should_panic(expected = "at least one server")]
     fn rejects_empty_cluster() {
-        Cluster::ideal(ServerSpec::new(1), 0);
+        assert!(matches!(
+            Cluster::ideal(ServerSpec::new(1), 0),
+            Err(ConfigError::ZeroCount { param: "servers" })
+        ));
+    }
+
+    #[test]
+    fn rejects_zero_clients_and_window() {
+        let c = Cluster::ideal(ServerSpec::new(1), 2).unwrap();
+        assert!(c.run_closed_loop(&mut exp_cpu(100), 0, 1, 1, 1).is_err());
+        assert!(c.run_closed_loop(&mut exp_cpu(100), 1, 1, 0, 1).is_err());
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use wcs_simcore::faults::FaultProcess;
+
+    fn exp_cpu(us: u64) -> impl FnMut(&mut SimRng) -> Vec<Stage> {
+        move |rng: &mut SimRng| {
+            vec![Stage::new(
+                Resource::Cpu,
+                rng.exp_duration(SimDuration::from_micros(us)),
+            )]
+        }
+    }
+
+    fn fingerprint(stats: &RunStats) -> (u64, u64, String, String) {
+        (
+            stats.completed,
+            stats.window.as_nanos(),
+            format!("{:?}", stats.latency),
+            format!("{:?}", stats.utilization),
+        )
+    }
+
+    #[test]
+    fn fail_free_plan_is_bit_identical_to_plain_run() {
+        for dispatch in [
+            Dispatch::RoundRobin,
+            Dispatch::LeastLoaded,
+            Dispatch::Random,
+        ] {
+            let mut c = Cluster::ideal(ServerSpec::new(2), 4).unwrap();
+            c.dispatch = dispatch;
+            let plain = c
+                .run_closed_loop(&mut exp_cpu(800), 16, 200, 3000, 21)
+                .unwrap();
+            let faulted = c
+                .run_closed_loop_faulted(
+                    &mut exp_cpu(800),
+                    16,
+                    200,
+                    3000,
+                    21,
+                    &ClusterFaults::fail_free(),
+                    &RetryPolicy::none(),
+                )
+                .unwrap();
+            assert_eq!(fingerprint(&plain), fingerprint(&faulted));
+            assert_eq!(faulted.faults.timeouts, 0);
+            assert_eq!(faulted.faults.dropped, 0);
+            assert_eq!(faulted.faults.offered, faulted.completed);
+        }
+    }
+
+    #[test]
+    fn single_server_outage_degrades_but_does_not_stop() {
+        let c = Cluster::ideal(ServerSpec::new(2), 4).unwrap();
+        // Server 0 dies at 0.5 s for 1 s, in the middle of the run.
+        let faults = ClusterFaults::single_outage(
+            0,
+            SimTime::ZERO + SimDuration::from_millis(500),
+            SimDuration::from_secs(1),
+        );
+        let retry =
+            RetryPolicy::new(SimDuration::from_millis(50), 3, SimDuration::from_millis(1)).unwrap();
+        let stats = c
+            .run_closed_loop_faulted(&mut exp_cpu(1000), 32, 200, 8000, 9, &faults, &retry)
+            .unwrap();
+        assert_eq!(stats.completed, 8000, "run still completes");
+        // The crash kills in-flight work exactly once; retries recover it.
+        assert!(stats.faults.retries > 0, "crash should trigger retries");
+        assert!(stats.goodput_rps() > 0.0);
+        assert!(stats.offered_rps() >= stats.goodput_rps());
+    }
+
+    #[test]
+    fn dropped_requests_widen_offered_over_goodput() {
+        let c = Cluster::ideal(ServerSpec::new(1), 2).unwrap();
+        // Both servers down together for a stretch; no retry budget, so
+        // crash victims are dropped.
+        let mut faults = ClusterFaults::fail_free();
+        for srv in 0..2 {
+            faults.set_windows(
+                srv,
+                vec![wcs_simcore::faults::DownWindow {
+                    down_at: SimTime::ZERO + SimDuration::from_millis(100),
+                    up_at: SimTime::ZERO + SimDuration::from_millis(400),
+                }],
+            );
+        }
+        let stats = c
+            .run_closed_loop_faulted(
+                &mut exp_cpu(1000),
+                8,
+                100,
+                4000,
+                13,
+                &faults,
+                &RetryPolicy::none(),
+            )
+            .unwrap();
+        assert!(stats.faults.dropped > 0, "crash victims are dropped");
+        assert_eq!(stats.faults.offered, stats.completed + stats.faults.dropped);
+        assert!(stats.offered_rps() > stats.goodput_rps());
+    }
+
+    #[test]
+    fn timeouts_fire_on_slow_requests() {
+        let c = Cluster::ideal(ServerSpec::new(1), 1).unwrap();
+        // 10 eager clients on one 1-core server: queueing delay ~10 ms,
+        // but the timeout is 3 ms, so waits blow the budget constantly.
+        let retry = RetryPolicy::new(
+            SimDuration::from_millis(3),
+            1,
+            SimDuration::from_micros(100),
+        )
+        .unwrap();
+        let stats = c
+            .run_closed_loop_faulted(
+                &mut exp_cpu(1000),
+                10,
+                100,
+                2000,
+                5,
+                &ClusterFaults::fail_free(),
+                &retry,
+            )
+            .unwrap();
+        assert!(stats.faults.timeouts > 0, "timeouts {:?}", stats.faults);
+        assert!(stats.faults.retries > 0);
+    }
+
+    #[test]
+    fn faulted_run_is_deterministic() {
+        let c = Cluster::ideal(ServerSpec::new(2), 4).unwrap();
+        let p =
+            FaultProcess::exponential(SimDuration::from_millis(300), SimDuration::from_millis(40))
+                .unwrap();
+        let faults = ClusterFaults::from_processes(&[p, p, p, p], SimDuration::from_secs(30), 77);
+        let retry =
+            RetryPolicy::new(SimDuration::from_millis(20), 2, SimDuration::from_millis(1)).unwrap();
+        let run = || {
+            c.run_closed_loop_faulted(&mut exp_cpu(900), 24, 200, 4000, 31, &faults, &retry)
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.window, b.window);
+        assert_eq!(a.faults, b.faults);
+    }
+
+    #[test]
+    fn whole_cluster_outage_parks_and_recovers() {
+        let c = Cluster::ideal(ServerSpec::new(1), 1).unwrap();
+        let faults = ClusterFaults::single_outage(
+            0,
+            SimTime::ZERO + SimDuration::from_millis(50),
+            SimDuration::from_millis(200),
+        );
+        let retry = RetryPolicy::new(
+            SimDuration::from_millis(500),
+            5,
+            SimDuration::from_millis(1),
+        )
+        .unwrap();
+        // With a generous timeout and retry budget, all work eventually
+        // completes after the repair.
+        let stats = c
+            .run_closed_loop_faulted(&mut exp_cpu(500), 4, 50, 1000, 3, &faults, &retry)
+            .unwrap();
+        assert_eq!(stats.completed, 1000);
+        assert!(stats.faults.retries > 0);
     }
 }

@@ -231,6 +231,14 @@ mod tests {
             SearchConfig::default(),
         )
         .unwrap();
+        // The original expectation (`tight.rps < loose.rps`, strictly)
+        // was wrong: a tighter QoS can only *weakly* reduce sustainable
+        // throughput. Per Section 2.1 the driver adapts the client count
+        // to the highest throughput "without overloading the servers";
+        // a closed-loop 2-core server saturates at 2 eager clients, so
+        // both bounds can converge on the same saturated operating point
+        // and tie exactly. The monotone property is `<=`, and the tight
+        // result must additionally satisfy its own (tighter) bound.
         let tight = find_max_throughput(
             &sim,
             &mut || exp_cpu_source(1000),
@@ -238,7 +246,7 @@ mod tests {
             SearchConfig::default(),
         )
         .unwrap();
-        assert!(tight.rps < loose.rps, "{} !< {}", tight.rps, loose.rps);
+        assert!(tight.rps <= loose.rps, "{} !<= {}", tight.rps, loose.rps);
         assert!(tight.latency_at_qos <= 4.5e-3);
     }
 
@@ -265,10 +273,20 @@ mod tests {
     fn deterministic_search() {
         let sim = ServerSim::new(ServerSpec::new(2));
         let qos = QosSpec::new(95.0, SimDuration::from_millis(20));
-        let a = find_max_throughput(&sim, &mut || exp_cpu_source(700), qos, SearchConfig::default())
-            .unwrap();
-        let b = find_max_throughput(&sim, &mut || exp_cpu_source(700), qos, SearchConfig::default())
-            .unwrap();
+        let a = find_max_throughput(
+            &sim,
+            &mut || exp_cpu_source(700),
+            qos,
+            SearchConfig::default(),
+        )
+        .unwrap();
+        let b = find_max_throughput(
+            &sim,
+            &mut || exp_cpu_source(700),
+            qos,
+            SearchConfig::default(),
+        )
+        .unwrap();
         assert_eq!(a.rps, b.rps);
         assert_eq!(a.clients, b.clients);
     }

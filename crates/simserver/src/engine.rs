@@ -5,6 +5,7 @@ use std::collections::VecDeque;
 use wcs_simcore::stats::Histogram;
 use wcs_simcore::{EventQueue, SimDuration, SimRng, SimTime};
 
+use crate::failover::FaultStats;
 use crate::request::{RequestSource, Resource, Stage};
 
 /// Capacity description of the simulated server: how many parallel servers
@@ -63,6 +64,9 @@ pub struct RunStats {
     /// [`Resource::index`]. For multi-server stations this is normalized
     /// by the server count (1.0 = all servers busy all the time).
     pub utilization: [f64; 4],
+    /// Fault-side accounting (timeouts, retries, drops, offered count).
+    /// All-zero for fault-free single-server runs.
+    pub faults: FaultStats,
 }
 
 impl RunStats {
@@ -73,6 +77,25 @@ impl RunStats {
         } else {
             self.completed as f64 / self.window.as_secs_f64()
         }
+    }
+
+    /// Goodput: successfully completed requests per second. The same as
+    /// [`throughput_rps`](Self::throughput_rps); the alias exists so
+    /// fault-aware reports read naturally against
+    /// [`offered_rps`](Self::offered_rps).
+    pub fn goodput_rps(&self) -> f64 {
+        self.throughput_rps()
+    }
+
+    /// Offered throughput: requests *resolved* per second, counting both
+    /// completions and drops. Falls back to goodput when the run did not
+    /// track offered load (plain single-server runs).
+    pub fn offered_rps(&self) -> f64 {
+        if self.window.is_zero() {
+            return 0.0;
+        }
+        let offered = self.faults.offered.max(self.completed);
+        offered as f64 / self.window.as_secs_f64()
     }
 
     /// The busiest resource and its utilization.
@@ -317,6 +340,7 @@ impl ServerSim {
             window,
             latency: run.latency,
             utilization,
+            faults: FaultStats::default(),
         }
     }
 }
@@ -476,14 +500,8 @@ mod think_tests {
     fn zero_think_matches_plain_closed_loop() {
         let sim = ServerSim::new(ServerSpec::new(2));
         let a = sim.run_closed_loop(&mut cpu_only(500), 4, 100, 1000, 9);
-        let b = sim.run_closed_loop_think(
-            &mut cpu_only(500),
-            4,
-            Some(SimDuration::ZERO),
-            100,
-            1000,
-            9,
-        );
+        let b =
+            sim.run_closed_loop_think(&mut cpu_only(500), 4, Some(SimDuration::ZERO), 100, 1000, 9);
         assert_eq!(a.completed, b.completed);
         assert_eq!(a.window, b.window);
     }

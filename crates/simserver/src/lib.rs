@@ -44,14 +44,16 @@ mod batch;
 pub mod cluster;
 pub mod driver;
 mod engine;
+pub mod failover;
 pub mod openloop;
 mod request;
 pub mod tracing;
 
 pub use batch::{run_batch, BatchResult};
+pub use cluster::{Cluster, Dispatch};
 pub use driver::{find_max_throughput, QosSpec, ThroughputResult};
 pub use engine::{RunStats, ServerSim, ServerSpec};
-pub use cluster::{Cluster, Dispatch};
+pub use failover::{ClusterFaults, FaultStats, RetryPolicy};
 pub use openloop::run_open_loop;
 pub use request::{RequestSource, Resource, Stage};
 pub use tracing::{trace_closed_loop, RequestTrace, StageVisit};

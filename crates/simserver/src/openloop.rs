@@ -76,17 +76,28 @@ pub fn run_open_loop(
     let mut latency = Histogram::new();
     let mut measure_start = SimTime::ZERO;
 
-    events.schedule(SimTime::ZERO + arrival_rng.exp_duration(mean_iat), Event::Arrival);
+    events.schedule(
+        SimTime::ZERO + arrival_rng.exp_duration(mean_iat),
+        Event::Arrival,
+    );
 
     macro_rules! try_start {
         ($res:expr, $now:expr) => {{
             let ri = $res.index();
             while busy[ri] < servers_at($res) {
-                let Some(req) = queues[ri].pop_front() else { break };
+                let Some(req) = queues[ri].pop_front() else {
+                    break;
+                };
                 busy[ri] += 1;
                 let svc = inflight[req].stages[inflight[req].next_stage].service;
                 busy_ns[ri] += svc.as_nanos() as u128;
-                events.schedule($now + svc, Event::StageDone { req, resource: $res });
+                events.schedule(
+                    $now + svc,
+                    Event::StageDone {
+                        req,
+                        resource: $res,
+                    },
+                );
             }
         }};
     }
@@ -119,11 +130,19 @@ pub fn run_open_loop(
                 }
                 let slot = match free.pop() {
                     Some(s) => {
-                        inflight[s] = InFlight { stages, next_stage: 0, started: now };
+                        inflight[s] = InFlight {
+                            stages,
+                            next_stage: 0,
+                            started: now,
+                        };
                         s
                     }
                     None => {
-                        inflight.push(InFlight { stages, next_stage: 0, started: now });
+                        inflight.push(InFlight {
+                            stages,
+                            next_stage: 0,
+                            started: now,
+                        });
                         inflight.len() - 1
                     }
                 };
@@ -163,6 +182,7 @@ pub fn run_open_loop(
         window,
         latency,
         utilization,
+        faults: crate::failover::FaultStats::default(),
     }
 }
 
@@ -214,8 +234,22 @@ mod tests {
 
     #[test]
     fn overload_shows_unbounded_latency() {
-        let ok = run_open_loop(ServerSpec::new(1), &mut cpu_source(1000), 800.0, 200, 3000, 9);
-        let over = run_open_loop(ServerSpec::new(1), &mut cpu_source(1000), 1500.0, 200, 3000, 9);
+        let ok = run_open_loop(
+            ServerSpec::new(1),
+            &mut cpu_source(1000),
+            800.0,
+            200,
+            3000,
+            9,
+        );
+        let over = run_open_loop(
+            ServerSpec::new(1),
+            &mut cpu_source(1000),
+            1500.0,
+            200,
+            3000,
+            9,
+        );
         let p95_ok = ok.latency.percentile(95.0).unwrap();
         let p95_over = over.latency.percentile(95.0).unwrap();
         assert!(p95_over > 10.0 * p95_ok, "{p95_ok} vs {p95_over}");
@@ -225,8 +259,22 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let a = run_open_loop(ServerSpec::new(2), &mut cpu_source(500), 900.0, 100, 1000, 5);
-        let b = run_open_loop(ServerSpec::new(2), &mut cpu_source(500), 900.0, 100, 1000, 5);
+        let a = run_open_loop(
+            ServerSpec::new(2),
+            &mut cpu_source(500),
+            900.0,
+            100,
+            1000,
+            5,
+        );
+        let b = run_open_loop(
+            ServerSpec::new(2),
+            &mut cpu_source(500),
+            900.0,
+            100,
+            1000,
+            5,
+        );
         assert_eq!(a.completed, b.completed);
         assert_eq!(a.window, b.window);
     }

@@ -104,7 +104,8 @@ mod tests {
 
     #[test]
     fn closures_are_sources() {
-        let mut src = |_rng: &mut SimRng| vec![Stage::new(Resource::Cpu, SimDuration::from_micros(1))];
+        let mut src =
+            |_rng: &mut SimRng| vec![Stage::new(Resource::Cpu, SimDuration::from_micros(1))];
         let mut rng = SimRng::seed_from(0);
         let req = src.next_request(&mut rng);
         assert_eq!(req.len(), 1);

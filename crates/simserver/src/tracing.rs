@@ -117,7 +117,9 @@ pub fn trace_closed_loop(
         ($res:expr, $now:expr) => {{
             let ri = $res.index();
             while busy[ri] < servers_at($res) {
-                let Some(req) = queues[ri].pop_front() else { break };
+                let Some(req) = queues[ri].pop_front() else {
+                    break;
+                };
                 busy[ri] += 1;
                 let inf = &mut inflight[req];
                 let service = inf.stages[inf.next_stage].service;
@@ -127,7 +129,13 @@ pub fn trace_closed_loop(
                     queued,
                     service,
                 });
-                events.schedule($now + service, Done { req, resource: $res });
+                events.schedule(
+                    $now + service,
+                    Done {
+                        req,
+                        resource: $res,
+                    },
+                );
             }
         }};
     }
@@ -233,7 +241,10 @@ mod tests {
     fn congestion_shows_up_at_the_bottleneck() {
         // 8 clients on one core: CPU queues dominate.
         let traces = trace_closed_loop(ServerSpec::new(1), &mut fixed(500, 50), 8, 200, 3);
-        let queued: Vec<_> = traces.iter().filter(|t| !t.total_queued().is_zero()).collect();
+        let queued: Vec<_> = traces
+            .iter()
+            .filter(|t| !t.total_queued().is_zero())
+            .collect();
         assert!(queued.len() > 150, "most requests queue ({})", queued.len());
         let cpu_worst = queued
             .iter()

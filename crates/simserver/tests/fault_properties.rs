@@ -1,0 +1,161 @@
+//! Property tests for the availability layer, across many seeds:
+//!
+//! * fault-injection determinism — the same seed always produces a
+//!   byte-identical failure trace and identical `RunStats`;
+//! * pay-for-what-you-use — zero-rate fault processes and fail-free
+//!   plans reproduce the plain simulator's results exactly.
+
+use wcs_simcore::faults::{FaultInjector, FaultProcess};
+use wcs_simcore::{SimDuration, SimRng};
+use wcs_simserver::{
+    Cluster, ClusterFaults, Dispatch, Resource, RetryPolicy, RunStats, ServerSpec, Stage,
+};
+
+fn secs(s: f64) -> SimDuration {
+    SimDuration::from_secs_f64(s)
+}
+
+fn source(rng: &mut SimRng) -> Vec<Stage> {
+    vec![Stage::new(
+        Resource::Cpu,
+        rng.exp_duration(SimDuration::from_micros(900)),
+    )]
+}
+
+/// Everything observable about a run, as one comparable value.
+fn fingerprint(stats: &RunStats) -> (u64, u64, String, String, String) {
+    (
+        stats.completed,
+        stats.window.as_nanos(),
+        format!("{:?}", stats.latency),
+        format!("{:?}", stats.utilization),
+        format!("{:?}", stats.faults),
+    )
+}
+
+fn mixed_injector() -> FaultInjector {
+    let mut inj = FaultInjector::new();
+    inj.add(
+        "exp",
+        FaultProcess::exponential(secs(300.0), secs(20.0)).unwrap(),
+    );
+    inj.add(
+        "weibull",
+        FaultProcess::weibull(1.5, secs(500.0), secs(10.0)).unwrap(),
+    );
+    inj.add("never", FaultProcess::never());
+    inj
+}
+
+#[test]
+fn same_seed_means_byte_identical_failure_trace() {
+    for seed in 0..24u64 {
+        let a = mixed_injector().trace(secs(20_000.0), seed);
+        let b = mixed_injector().trace(secs(20_000.0), seed);
+        assert_eq!(a.fingerprint(), b.fingerprint(), "seed {seed}");
+        assert_eq!(format!("{:?}", a.events()), format!("{:?}", b.events()));
+    }
+}
+
+#[test]
+fn different_seeds_change_the_trace() {
+    // Not a hard guarantee per pair, but across 24 seeds at least one
+    // must differ from seed 0 or the injector is ignoring its seed.
+    let base = mixed_injector().trace(secs(20_000.0), 0).fingerprint();
+    assert!(
+        (1..24u64).any(|s| mixed_injector().trace(secs(20_000.0), s).fingerprint() != base),
+        "every seed produced the same trace"
+    );
+}
+
+#[test]
+fn zero_rate_processes_schedule_nothing() {
+    let p = FaultProcess::never();
+    for seed in 0..16u64 {
+        let mut rng = SimRng::seed_from(seed);
+        assert!(p.windows(secs(1e9), &mut rng).is_empty());
+    }
+}
+
+#[test]
+fn fail_free_plan_reproduces_plain_run_exactly() {
+    for dispatch in [
+        Dispatch::RoundRobin,
+        Dispatch::Random,
+        Dispatch::LeastLoaded,
+    ] {
+        for seed in [1u64, 7, 42] {
+            let mut cluster = Cluster::ideal(ServerSpec::new(2), 6).unwrap();
+            cluster.dispatch = dispatch;
+            let plain = cluster
+                .run_closed_loop(&mut source, 24, 400, 4_000, seed)
+                .unwrap();
+            let faulted = cluster
+                .run_closed_loop_faulted(
+                    &mut source,
+                    24,
+                    400,
+                    4_000,
+                    seed,
+                    &ClusterFaults::fail_free(),
+                    &RetryPolicy::none(),
+                )
+                .unwrap();
+            assert_eq!(
+                fingerprint(&plain),
+                fingerprint(&faulted),
+                "{dispatch:?} seed {seed}"
+            );
+            assert_eq!(plain.faults.timeouts, 0);
+            assert_eq!(plain.faults.dropped, 0);
+        }
+    }
+}
+
+#[test]
+fn faulted_runs_are_reproducible_per_seed() {
+    let retry = RetryPolicy::new(secs(0.01), 2, SimDuration::from_millis(1)).unwrap();
+    for seed in [3u64, 11, 29] {
+        let cluster = Cluster::ideal(ServerSpec::new(2), 5).unwrap();
+        let plan = ClusterFaults::from_processes(
+            &vec![FaultProcess::exponential(secs(0.5), secs(0.05)).unwrap(); 5],
+            secs(10.0),
+            seed,
+        );
+        let run = || {
+            cluster
+                .run_closed_loop_faulted(&mut source, 20, 300, 3_000, seed, &plan, &retry)
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(fingerprint(&a), fingerprint(&b), "seed {seed}");
+        // The flap plan must actually exercise the fault path.
+        assert!(
+            a.faults.retries + a.faults.dropped + a.faults.timeouts > 0,
+            "seed {seed} produced a fault-free run"
+        );
+    }
+}
+
+#[test]
+fn goodput_never_exceeds_offered() {
+    let retry = RetryPolicy::new(secs(0.01), 1, SimDuration::from_millis(1)).unwrap();
+    for seed in 0..8u64 {
+        let cluster = Cluster::ideal(ServerSpec::new(2), 4).unwrap();
+        let plan = ClusterFaults::from_processes(
+            &[FaultProcess::exponential(secs(1.0), secs(0.1)).unwrap(); 4],
+            secs(20.0),
+            seed,
+        );
+        let stats = cluster
+            .run_closed_loop_faulted(&mut source, 16, 200, 2_000, seed, &plan, &retry)
+            .unwrap();
+        assert!(
+            stats.goodput_rps() <= stats.offered_rps() + 1e-9,
+            "seed {seed}: goodput {} > offered {}",
+            stats.goodput_rps(),
+            stats.offered_rps()
+        );
+    }
+}

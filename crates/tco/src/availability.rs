@@ -1,0 +1,261 @@
+//! Availability-adjusted efficiency metrics.
+//!
+//! The paper's Perf/TCO-$ metrics assume every server delivers its
+//! sustained performance for the whole 3-year depreciation cycle.
+//! Ensemble-level sharing weakens that assumption — a memory blade or
+//! fan-wall failure degrades many servers at once — so this module
+//! burdens the metrics with failures: delivered performance scales
+//! with availability, and each repair event adds a service cost to the
+//! TCO denominator.
+
+use wcs_simcore::ConfigError;
+
+use crate::metrics::{Efficiency, RelativeEfficiency};
+
+/// Availability and repair-cost parameters for one design.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct AvailabilityModel {
+    /// Fraction of time the design delivers its nominal performance,
+    /// in `(0, 1]`.
+    pub availability: f64,
+    /// Expected failure (and thus repair) events per server-year.
+    pub repairs_per_year: f64,
+    /// Service cost per repair event (technician time + parts), USD.
+    pub repair_cost_usd: f64,
+}
+
+impl AvailabilityModel {
+    /// A design that never fails: the adjusted metrics collapse to the
+    /// paper's originals.
+    pub fn perfect() -> Self {
+        AvailabilityModel {
+            availability: 1.0,
+            repairs_per_year: 0.0,
+            repair_cost_usd: 0.0,
+        }
+    }
+
+    /// Builds a model from explicit parameters.
+    ///
+    /// # Errors
+    /// Rejects availability outside `(0, 1]` and negative rates or
+    /// costs.
+    pub fn new(
+        availability: f64,
+        repairs_per_year: f64,
+        repair_cost_usd: f64,
+    ) -> Result<Self, ConfigError> {
+        ConfigError::check_f64(
+            "availability",
+            availability,
+            "must be in (0, 1]",
+            availability > 0.0 && availability <= 1.0,
+        )?;
+        ConfigError::check_f64(
+            "repairs_per_year",
+            repairs_per_year,
+            "must be >= 0",
+            repairs_per_year >= 0.0,
+        )?;
+        ConfigError::check_f64(
+            "repair_cost_usd",
+            repair_cost_usd,
+            "must be >= 0",
+            repair_cost_usd >= 0.0,
+        )?;
+        Ok(AvailabilityModel {
+            availability,
+            repairs_per_year,
+            repair_cost_usd,
+        })
+    }
+
+    /// Derives the model from MTTF / MTTR in hours:
+    /// `A = MTTF / (MTTF + MTTR)`, with `8766 / (MTTF + MTTR)` repair
+    /// events per year.
+    ///
+    /// # Errors
+    /// Rejects non-positive MTTF, negative MTTR, or a negative cost.
+    pub fn from_mttf_mttr(
+        mttf_hours: f64,
+        mttr_hours: f64,
+        repair_cost_usd: f64,
+    ) -> Result<Self, ConfigError> {
+        ConfigError::check_f64("mttf_hours", mttf_hours, "must be > 0", mttf_hours > 0.0)?;
+        ConfigError::check_f64("mttr_hours", mttr_hours, "must be >= 0", mttr_hours >= 0.0)?;
+        let cycle = mttf_hours + mttr_hours;
+        AvailabilityModel::new(mttf_hours / cycle, 8766.0 / cycle, repair_cost_usd)
+    }
+
+    /// Total repair spend over `years` of operation, USD.
+    pub fn repair_cost_over(&self, years: f64) -> f64 {
+        self.repairs_per_year * years * self.repair_cost_usd
+    }
+}
+
+/// An [`Efficiency`] burdened with failures: performance delivered only
+/// while up, repair costs folded into the TCO denominator over the
+/// depreciation period.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct AvailableEfficiency {
+    /// The unburdened efficiency.
+    pub base: Efficiency,
+    /// Failure and repair parameters.
+    pub model: AvailabilityModel,
+    /// Depreciation period the repair costs accrue over (the paper uses
+    /// 3 years).
+    pub years: f64,
+}
+
+impl AvailableEfficiency {
+    /// Burdens `base` with `model` over `years` of operation.
+    ///
+    /// # Errors
+    /// Rejects a non-positive depreciation period.
+    pub fn new(
+        base: Efficiency,
+        model: AvailabilityModel,
+        years: f64,
+    ) -> Result<Self, ConfigError> {
+        ConfigError::check_f64("years", years, "must be > 0", years > 0.0)?;
+        Ok(AvailableEfficiency { base, model, years })
+    }
+
+    /// Performance actually delivered: nominal scaled by availability.
+    pub fn effective_perf(&self) -> f64 {
+        self.base.perf * self.model.availability
+    }
+
+    /// TCO including repair events over the depreciation period, USD.
+    pub fn adjusted_total_usd(&self) -> f64 {
+        self.base.report.total_usd() + self.model.repair_cost_over(self.years)
+    }
+
+    /// Availability-adjusted Perf/W (power draw is unchanged; downtime
+    /// wastes the idle floor, conservatively charged in full).
+    pub fn perf_per_watt(&self) -> f64 {
+        self.effective_perf() / self.base.report.power_w()
+    }
+
+    /// Availability-adjusted Perf/Inf-$.
+    pub fn perf_per_inf(&self) -> f64 {
+        self.effective_perf() / self.base.report.inf_usd()
+    }
+
+    /// Availability-adjusted Perf/P&C-$.
+    pub fn perf_per_pc(&self) -> f64 {
+        self.effective_perf() / self.base.report.pc_usd()
+    }
+
+    /// The headline metric with failures priced in: delivered
+    /// performance per repair-burdened TCO dollar.
+    pub fn perf_per_tco(&self) -> f64 {
+        self.effective_perf() / self.adjusted_total_usd()
+    }
+
+    /// All metrics relative to another (possibly differently-burdened)
+    /// design.
+    pub fn relative_to(&self, baseline: &AvailableEfficiency) -> RelativeEfficiency {
+        RelativeEfficiency {
+            perf: self.effective_perf() / baseline.effective_perf(),
+            perf_per_watt: self.perf_per_watt() / baseline.perf_per_watt(),
+            perf_per_inf: self.perf_per_inf() / baseline.perf_per_inf(),
+            perf_per_pc: self.perf_per_pc() / baseline.perf_per_pc(),
+            perf_per_tco: self.perf_per_tco() / baseline.perf_per_tco(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TcoModel;
+    use wcs_platforms::{catalog, PlatformId};
+
+    fn eff(perf: f64, id: PlatformId) -> Efficiency {
+        Efficiency::new(
+            perf,
+            TcoModel::paper_default().server_tco(&catalog::platform(id)),
+        )
+    }
+
+    #[test]
+    fn perfect_model_reproduces_unburdened_metrics() {
+        let base = eff(100.0, PlatformId::Srvr1);
+        let adj =
+            AvailableEfficiency::new(base.clone(), AvailabilityModel::perfect(), 3.0).unwrap();
+        assert_eq!(adj.effective_perf(), base.perf);
+        assert_eq!(adj.adjusted_total_usd(), base.report.total_usd());
+        assert_eq!(adj.perf_per_tco(), base.perf_per_tco());
+        assert_eq!(adj.perf_per_watt(), base.perf_per_watt());
+    }
+
+    #[test]
+    fn downtime_and_repairs_both_tax_the_metric() {
+        let base = eff(100.0, PlatformId::Srvr1);
+        let faulty = AvailabilityModel::new(0.99, 2.0, 150.0).unwrap();
+        let adj = AvailableEfficiency::new(base.clone(), faulty, 3.0).unwrap();
+        assert!(adj.effective_perf() < base.perf);
+        // 2 repairs/yr * 3 yr * $150 = $900 extra TCO.
+        assert!((adj.adjusted_total_usd() - base.report.total_usd() - 900.0).abs() < 1e-9);
+        assert!(adj.perf_per_tco() < base.perf_per_tco());
+    }
+
+    #[test]
+    fn mttf_mttr_availability_formula() {
+        // 999 h MTTF, 1 h MTTR -> 99.9% availability, ~8.77 repairs/yr.
+        let m = AvailabilityModel::from_mttf_mttr(999.0, 1.0, 50.0).unwrap();
+        assert!((m.availability - 0.999).abs() < 1e-12);
+        assert!((m.repairs_per_year - 8766.0 / 1000.0).abs() < 1e-12);
+        assert!((m.repair_cost_over(3.0) - 3.0 * 8.766 * 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_infrastructure_can_flip_a_ranking() {
+        // The cheap dense design wins on paper, but give it a blade
+        // dependency with worse availability and a per-event cost and
+        // the gap narrows — the paper's Section 4 reliability caveat,
+        // quantified.
+        let srvr = AvailableEfficiency::new(
+            eff(1.0, PlatformId::Srvr1),
+            AvailabilityModel::new(0.999, 0.5, 200.0).unwrap(),
+            3.0,
+        )
+        .unwrap();
+        let dense_healthy = AvailableEfficiency::new(
+            eff(0.27, PlatformId::Emb1),
+            AvailabilityModel::new(0.999, 0.5, 200.0).unwrap(),
+            3.0,
+        )
+        .unwrap();
+        let dense_fragile = AvailableEfficiency::new(
+            eff(0.27, PlatformId::Emb1),
+            AvailabilityModel::new(0.96, 12.0, 200.0).unwrap(),
+            3.0,
+        )
+        .unwrap();
+        let healthy = dense_healthy.relative_to(&srvr).perf_per_tco;
+        let fragile = dense_fragile.relative_to(&srvr).perf_per_tco;
+        // Even healthy, flat per-event repair costs weigh more against
+        // a cheap server's small TCO — the win shrinks from the
+        // unburdened ~1.9x but survives.
+        assert!(
+            healthy > 1.2,
+            "healthy dense design keeps its win ({healthy})"
+        );
+        assert!(fragile < healthy, "failures must erode the advantage");
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(AvailabilityModel::new(0.0, 1.0, 1.0).is_err());
+        assert!(AvailabilityModel::new(1.1, 1.0, 1.0).is_err());
+        assert!(AvailabilityModel::new(0.9, -1.0, 1.0).is_err());
+        assert!(AvailabilityModel::new(0.9, 1.0, -1.0).is_err());
+        assert!(AvailabilityModel::from_mttf_mttr(0.0, 1.0, 1.0).is_err());
+        let base = eff(1.0, PlatformId::Desk);
+        assert!(AvailableEfficiency::new(base, AvailabilityModel::perfect(), 0.0).is_err());
+    }
+}

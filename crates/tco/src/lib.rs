@@ -35,14 +35,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod availability;
 mod metrics;
 mod model;
 mod params;
 pub mod realestate;
 pub mod render;
-pub mod sensitivity;
 mod report;
+pub mod sensitivity;
 
+pub use availability::{AvailabilityModel, AvailableEfficiency};
 pub use metrics::{Efficiency, RelativeEfficiency};
 pub use model::TcoModel;
 pub use params::{BurdenedParams, RackConfig};

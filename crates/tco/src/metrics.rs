@@ -140,9 +140,21 @@ mod tests {
         let base = eff(1.0, PlatformId::Srvr1);
         let emb1 = eff(0.27, PlatformId::Emb1);
         let rel = emb1.relative_to(&base);
-        assert!((rel.perf_per_tco - 1.92).abs() < 0.2, "perf/tco {}", rel.perf_per_tco);
-        assert!((rel.perf_per_watt - 1.81).abs() < 0.2, "perf/W {}", rel.perf_per_watt);
-        assert!((rel.perf_per_inf - 2.01).abs() < 0.25, "perf/inf {}", rel.perf_per_inf);
+        assert!(
+            (rel.perf_per_tco - 1.92).abs() < 0.2,
+            "perf/tco {}",
+            rel.perf_per_tco
+        );
+        assert!(
+            (rel.perf_per_watt - 1.81).abs() < 0.2,
+            "perf/W {}",
+            rel.perf_per_watt
+        );
+        assert!(
+            (rel.perf_per_inf - 2.01).abs() < 0.25,
+            "perf/inf {}",
+            rel.perf_per_inf
+        );
     }
 
     #[test]

@@ -99,12 +99,28 @@ mod tests {
         let model = TcoModel::paper_default();
 
         let r1 = model.server_tco(&catalog::platform(PlatformId::Srvr1));
-        assert!((r1.pc_usd() - 2464.0).abs() < 2.0, "srvr1 P&C {}", r1.pc_usd());
-        assert!((r1.total_usd() - 5758.0).abs() < 2.0, "srvr1 total {}", r1.total_usd());
+        assert!(
+            (r1.pc_usd() - 2464.0).abs() < 2.0,
+            "srvr1 P&C {}",
+            r1.pc_usd()
+        );
+        assert!(
+            (r1.total_usd() - 5758.0).abs() < 2.0,
+            "srvr1 total {}",
+            r1.total_usd()
+        );
 
         let r2 = model.server_tco(&catalog::platform(PlatformId::Srvr2));
-        assert!((r2.pc_usd() - 1561.0).abs() < 2.0, "srvr2 P&C {}", r2.pc_usd());
-        assert!((r2.total_usd() - 3249.0).abs() < 2.0, "srvr2 total {}", r2.total_usd());
+        assert!(
+            (r2.pc_usd() - 1561.0).abs() < 2.0,
+            "srvr2 P&C {}",
+            r2.pc_usd()
+        );
+        assert!(
+            (r2.total_usd() - 3249.0).abs() < 2.0,
+            "srvr2 total {}",
+            r2.total_usd()
+        );
     }
 
     /// Figure 1(b): srvr2's TCO breakdown percentages.
@@ -157,8 +173,14 @@ mod tests {
         // activity factor 1.0):
         let nameplate1 = srvr1_kw / model.burdened.activity_factor;
         let nameplate_e = emb1_kw / model.burdened.activity_factor;
-        assert!((nameplate1 - 13.64).abs() < 0.1, "srvr1 nameplate {nameplate1}");
-        assert!((nameplate_e - 2.12).abs() < 0.2, "emb1 nameplate {nameplate_e}");
+        assert!(
+            (nameplate1 - 13.64).abs() < 0.1,
+            "srvr1 nameplate {nameplate1}"
+        );
+        assert!(
+            (nameplate_e - 2.12).abs() < 0.2,
+            "emb1 nameplate {nameplate_e}"
+        );
     }
 
     #[test]

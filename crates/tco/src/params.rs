@@ -81,7 +81,10 @@ impl BurdenedParams {
     /// # Panics
     /// Panics unless `af` is in `(0, 1]`.
     pub fn with_activity_factor(mut self, af: f64) -> Self {
-        assert!(af.is_finite() && af > 0.0 && af <= 1.0, "activity factor in (0,1]");
+        assert!(
+            af.is_finite() && af > 0.0 && af <= 1.0,
+            "activity factor in (0,1]"
+        );
         self.activity_factor = af;
         self
     }
@@ -93,7 +96,10 @@ impl BurdenedParams {
     /// # Panics
     /// Panics unless `factor` is positive and finite.
     pub fn with_cooling_scale(mut self, factor: f64) -> Self {
-        assert!(factor.is_finite() && factor > 0.0, "cooling scale must be > 0");
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "cooling scale must be > 0"
+        );
         self.l1 *= factor;
         // K2 is capital per cooling-electricity dollar; the plant also
         // shrinks with the load it must support, so it scales together
@@ -193,7 +199,9 @@ mod tests {
     #[test]
     fn activity_factor_bounds() {
         let p = BurdenedParams::paper_default().with_activity_factor(1.0);
-        assert!(p.burdened_cost_usd(100.0) > BurdenedParams::paper_default().burdened_cost_usd(100.0));
+        assert!(
+            p.burdened_cost_usd(100.0) > BurdenedParams::paper_default().burdened_cost_usd(100.0)
+        );
     }
 
     #[test]

@@ -45,7 +45,10 @@ impl RealEstateParams {
     /// Panics if any value is non-positive or non-finite.
     pub fn new(usd_per_m2_year: f64, rack_pitch_m2: f64, years: f64) -> Self {
         for v in [usd_per_m2_year, rack_pitch_m2, years] {
-            assert!(v.is_finite() && v > 0.0, "real-estate parameters must be > 0");
+            assert!(
+                v.is_finite() && v > 0.0,
+                "real-estate parameters must be > 0"
+            );
         }
         RealEstateParams {
             usd_per_m2_year,
@@ -113,10 +116,7 @@ mod tests {
         let model = TcoModel::paper_default();
         let with = model.bom_tco(
             "with floor",
-            &[
-                BomItem::new(Component::Cpu, 100.0, 50.0),
-                re.bom_item(40),
-            ],
+            &[BomItem::new(Component::Cpu, 100.0, 50.0), re.bom_item(40)],
         );
         let without = model.bom_tco("without", &[BomItem::new(Component::Cpu, 100.0, 50.0)]);
         let delta = with.total_usd() - without.total_usd();

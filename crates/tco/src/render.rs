@@ -86,7 +86,13 @@ mod tests {
     fn report_contains_all_lines_and_totals() {
         let r = TcoModel::paper_default().server_tco(&catalog::platform(PlatformId::Srvr1));
         let md = report_markdown(&r);
-        for needle in ["| CPU |", "| Memory |", "| Disk |", "Rack+switch", "TCO: **$5758**"] {
+        for needle in [
+            "| CPU |",
+            "| Memory |",
+            "| Disk |",
+            "Rack+switch",
+            "TCO: **$5758**",
+        ] {
             assert!(md.contains(needle), "missing {needle} in:\n{md}");
         }
     }

@@ -87,7 +87,11 @@ impl TcoReport {
 impl fmt::Display for TcoReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "TCO report: {}", self.name)?;
-        writeln!(f, "  {:<14} {:>10} {:>8} {:>10}", "component", "HW $", "W", "P&C $")?;
+        writeln!(
+            f,
+            "  {:<14} {:>10} {:>8} {:>10}",
+            "component", "HW $", "W", "P&C $"
+        )?;
         for l in &self.lines {
             writeln!(
                 f,

@@ -114,12 +114,7 @@ mod tests {
         // dwarf the memory's (25 W).
         let model = TcoModel::paper_default();
         let lv = component_leverage(&model, &catalog::platform(PlatformId::Srvr1), 0.10);
-        let get = |c: Component| {
-            lv.iter()
-                .find(|l| l.component == c)
-                .unwrap()
-                .power_leverage
-        };
+        let get = |c: Component| lv.iter().find(|l| l.component == c).unwrap().power_leverage;
         assert!(get(Component::Cpu) > 5.0 * get(Component::Memory));
     }
 

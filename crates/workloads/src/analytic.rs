@@ -98,7 +98,11 @@ mod tests {
     #[test]
     fn simulated_throughput_respects_bottleneck_bound() {
         let cfg = MeasureConfig::quick();
-        for id in [WorkloadId::Websearch, WorkloadId::Webmail, WorkloadId::Ytube] {
+        for id in [
+            WorkloadId::Websearch,
+            WorkloadId::Webmail,
+            WorkloadId::Ytube,
+        ] {
             let wl = suite::workload(id);
             for pid in [PlatformId::Srvr1, PlatformId::Desk, PlatformId::Emb1] {
                 let p = catalog::platform(pid);
@@ -139,7 +143,10 @@ mod tests {
     fn n_star_marks_saturation() {
         let wl = suite::workload(WorkloadId::Websearch);
         let b = bounds(&wl, &catalog::platform(PlatformId::Srvr2));
-        assert!(b.n_star() > 1.0, "multi-core platform saturates above one client");
+        assert!(
+            b.n_star() > 1.0,
+            "multi-core platform saturates above one client"
+        );
         assert!(b.latency_bound_rps(1) <= b.bottleneck_rps() * b.n_star());
     }
 

@@ -192,8 +192,7 @@ mod tests {
     fn popular_extents_repeat_for_ytube() {
         let mut g = DiskTraceGen::new(params_for(WorkloadId::Ytube), 7);
         let trace = g.take_vec(30_000);
-        let distinct: std::collections::HashSet<u64> =
-            trace.iter().map(|a| a.block).collect();
+        let distinct: std::collections::HashSet<u64> = trace.iter().map(|a| a.block).collect();
         assert!(distinct.len() < trace.len() * 9 / 10);
     }
 

@@ -119,9 +119,15 @@ pub fn fleet_energy(
     server_watts: f64,
     idle_fraction: f64,
 ) -> FleetEnergy {
-    assert!(peak_rps > 0.0 && per_server_rps > 0.0, "rates must be positive");
+    assert!(
+        peak_rps > 0.0 && per_server_rps > 0.0,
+        "rates must be positive"
+    );
     assert!(server_watts > 0.0, "power must be positive");
-    assert!((0.0..=1.0).contains(&idle_fraction), "idle fraction in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&idle_fraction),
+        "idle fraction in [0,1]"
+    );
     let servers = (peak_rps / per_server_rps).ceil();
     let mut unmanaged = 0.0;
     let mut proportional = 0.0;

@@ -47,8 +47,8 @@
 
 pub mod analytic;
 pub mod calib;
-pub mod diurnal;
 pub mod disktrace;
+pub mod diurnal;
 pub mod media;
 pub mod memtrace;
 pub mod mix;

@@ -100,7 +100,10 @@ impl<'a> SessionStream<'a> {
     /// # Panics
     /// Panics unless `chunk_mb > 0` and `completion_mean` in `(0, 1]`.
     pub fn new(catalog: &'a VideoCatalog, chunk_mb: f64, completion_mean: f64) -> Self {
-        assert!(chunk_mb.is_finite() && chunk_mb > 0.0, "chunk size must be positive");
+        assert!(
+            chunk_mb.is_finite() && chunk_mb > 0.0,
+            "chunk size must be positive"
+        );
         assert!(
             completion_mean > 0.0 && completion_mean <= 1.0,
             "completion in (0, 1]"

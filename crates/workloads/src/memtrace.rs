@@ -192,8 +192,7 @@ mod tests {
         // With Zipf skew, a short trace must contain repeated pages.
         let mut g = MemTraceGen::new(params_for(WorkloadId::Webmail), 13);
         let trace = g.take_vec(50_000);
-        let distinct: std::collections::HashSet<u64> =
-            trace.iter().map(|a| a.page).collect();
+        let distinct: std::collections::HashSet<u64> = trace.iter().map(|a| a.page).collect();
         assert!(distinct.len() < trace.len());
     }
 

@@ -191,9 +191,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "repeated")]
     fn rejects_duplicates() {
-        WorkloadMix::new(&[
-            (WorkloadId::Ytube, 1.0),
-            (WorkloadId::Ytube, 2.0),
-        ]);
+        WorkloadMix::new(&[(WorkloadId::Ytube, 1.0), (WorkloadId::Ytube, 2.0)]);
     }
 }

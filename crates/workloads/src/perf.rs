@@ -202,16 +202,16 @@ mod tests {
         // Figure 2(c): webmail degrades the most on small platforms.
         let r_mail = perf(WorkloadId::Webmail, PlatformId::Emb1)
             / perf(WorkloadId::Webmail, PlatformId::Srvr1);
-        let r_tube = perf(WorkloadId::Ytube, PlatformId::Emb1)
-            / perf(WorkloadId::Ytube, PlatformId::Srvr1);
+        let r_tube =
+            perf(WorkloadId::Ytube, PlatformId::Emb1) / perf(WorkloadId::Ytube, PlatformId::Srvr1);
         assert!(r_mail < r_tube, "webmail {r_mail} vs ytube {r_tube}");
     }
 
     #[test]
     fn ytube_is_insensitive_to_cores() {
         // Figure 2(c): ytube barely degrades from srvr1 to srvr2.
-        let r = perf(WorkloadId::Ytube, PlatformId::Srvr2)
-            / perf(WorkloadId::Ytube, PlatformId::Srvr1);
+        let r =
+            perf(WorkloadId::Ytube, PlatformId::Srvr2) / perf(WorkloadId::Ytube, PlatformId::Srvr1);
         assert!(r > 0.85, "ytube srvr2/srvr1 {r}");
     }
 

@@ -73,7 +73,10 @@ impl QueryGen {
     /// # Panics
     /// Panics if `vocab` is zero or `cached_fraction` outside `[0, 1]`.
     pub fn new(vocab: usize, s: f64, cached_fraction: f64) -> Self {
-        assert!((0.0..=1.0).contains(&cached_fraction), "cache fraction in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&cached_fraction),
+            "cache fraction in [0,1]"
+        );
         let term_popularity = Zipf::new(vocab, s).expect("validated vocabulary");
         // Keyword-count distribution after web query-log studies:
         // 1 term 25%, 2 terms 33%, 3 terms 22%, 4 terms 12%, 5 terms 5%,

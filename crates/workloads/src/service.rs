@@ -34,7 +34,12 @@ impl PlatformDemand {
     /// Scales `workload` onto `platform` using the platform's own disk
     /// and memory capacity.
     pub fn new(workload: &Workload, platform: &Platform) -> Self {
-        Self::with_overrides(workload, platform, &platform.disk, platform.memory.capacity_gib)
+        Self::with_overrides(
+            workload,
+            platform,
+            &platform.disk,
+            platform.memory.capacity_gib,
+        )
     }
 
     /// Scales `workload` onto `platform` with a substituted disk model
@@ -49,7 +54,10 @@ impl PlatformDemand {
         disk: &DiskModel,
         mem_gib: f64,
     ) -> Self {
-        assert!(mem_gib.is_finite() && mem_gib > 0.0, "memory must be positive");
+        assert!(
+            mem_gib.is_finite() && mem_gib > 0.0,
+            "memory must be positive"
+        );
         workload.demand.validate();
         let d = &workload.demand;
         let cpu = &platform.cpu;
@@ -302,10 +310,7 @@ mod tests {
         let n = 20_000;
         for _ in 0..n {
             let stages = src.next_request(&mut rng);
-            total += stages
-                .iter()
-                .map(|s| s.service.as_secs_f64())
-                .sum::<f64>();
+            total += stages.iter().map(|s| s.service.as_secs_f64()).sum::<f64>();
         }
         let mean = total / n as f64;
         let expect = d.single_client_latency_secs();

@@ -42,7 +42,9 @@ impl std::fmt::Display for TraceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
-            TraceError::Parse { line, what } => write!(f, "trace parse error at line {line}: {what}"),
+            TraceError::Parse { line, what } => {
+                write!(f, "trace parse error at line {line}: {what}")
+            }
         }
     }
 }
@@ -164,9 +166,11 @@ pub fn read_disktrace<R: BufRead>(r: R) -> Result<Vec<BlockAccess>, TraceError> 
         let block = parts.next().and_then(|p| p.parse::<u64>().ok());
         let blocks = parts.next().and_then(|p| p.parse::<u32>().ok());
         match (block, blocks) {
-            (Some(block), Some(blocks)) if blocks > 0 => {
-                out.push(BlockAccess { block, blocks, write })
-            }
+            (Some(block), Some(blocks)) if blocks > 0 => out.push(BlockAccess {
+                block,
+                blocks,
+                write,
+            }),
             _ => {
                 return Err(TraceError::Parse {
                     line: i + 2,

@@ -22,7 +22,15 @@ fn custom_quad_embedded() -> Platform {
     b.cpu(
         // 4 cores at 1.0 GHz, out-of-order, 2 MiB shared L2. Costed a
         // little above emb1's dual-core part.
-        CpuModel::new("hypothetical quad embedded", 1, 4, 1.0, Microarch::OutOfOrder, 32, 2048),
+        CpuModel::new(
+            "hypothetical quad embedded",
+            1,
+            4,
+            1.0,
+            Microarch::OutOfOrder,
+            32,
+            2048,
+        ),
         85.0,
         16.0,
     )
@@ -63,12 +71,8 @@ fn main() {
     println!("{}", render_comparison(&quad.compare(&baseline)));
     println!();
 
-    let n2_tco = n2
-        .compare(&baseline)
-        .hmean(|r| r.perf_per_tco);
-    let quad_tco = quad
-        .compare(&baseline)
-        .hmean(|r| r.perf_per_tco);
+    let n2_tco = n2.compare(&baseline).hmean(|r| r.perf_per_tco);
+    let quad_tco = quad.compare(&baseline).hmean(|r| r.perf_per_tco);
     if quad_tco > n2_tco {
         println!(
             "quad-emb wins: {:.0}% vs N2's {:.0}% mean Perf/TCO-$ — the extra cores \

@@ -20,9 +20,7 @@ fn mean_ms(sys: &mut StorageSystem, id: WorkloadId) -> (f64, f64) {
 fn main() {
     let sizes_gb = [0.25, 0.5, 1.0, 2.0, 4.0];
 
-    println!(
-        "Effective disk service time (ms/IO) on the remote laptop disk, by flash size:"
-    );
+    println!("Effective disk service time (ms/IO) on the remote laptop disk, by flash size:");
     print!("{:<12} {:>9}", "workload", "no flash");
     for gb in sizes_gb {
         print!("{:>9}", format!("{gb} GB"));

@@ -34,7 +34,8 @@ fn main() {
                         policy: PolicyKind::Random,
                         ..SlowdownConfig::paper_default()
                     },
-                );
+                )
+                .expect("swept fractions are in (0, 1]");
                 print!("{:>11.2}%", r.slowdown * 100.0);
             }
             println!();
@@ -55,6 +56,7 @@ fn main() {
                     ..SlowdownConfig::paper_default()
                 },
             )
+            .expect("paper-default local fraction is valid")
             .slowdown
         })
         .fold(0.0f64, f64::max);

@@ -18,7 +18,10 @@ fn main() {
     let demand = PlatformDemand::new(&wl, &platform);
     let spec = demand.server_spec();
 
-    for (label, clients) in [("light load (2 clients)", 2u32), ("saturated (48 clients)", 48)] {
+    for (label, clients) in [
+        ("light load (2 clients)", 2u32),
+        ("saturated (48 clients)", 48),
+    ] {
         let mut source = demand.source(1);
         let traces = trace_closed_loop(spec, &mut source, clients, 2000, 17);
 
@@ -38,7 +41,10 @@ fn main() {
             let q = queued[r.index()] / n * 1e3;
             let s = service[r.index()] / n * 1e3;
             if q + s > 1e-4 {
-                println!("  {:<7} service {s:>7.3} ms   queued {q:>7.3} ms", r.to_string());
+                println!(
+                    "  {:<7} service {s:>7.3} ms   queued {q:>7.3} ms",
+                    r.to_string()
+                );
             }
         }
         println!();

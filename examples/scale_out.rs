@@ -33,12 +33,15 @@ fn main() {
     );
     for n in [2u32, 4, 8, 16, 32] {
         let ideal = Cluster::ideal(spec, n)
+            .expect("non-empty cluster")
             .run_closed_loop(&mut demand.source(2), 16 * n, 300, 4000 * n as u64, 42)
+            .expect("valid run parameters")
             .throughput_rps();
-        let mut lossy = Cluster::ideal(spec, n);
+        let mut lossy = Cluster::ideal(spec, n).expect("non-empty cluster");
         lossy.scaleout_overhead = 0.03;
         let real = lossy
             .run_closed_loop(&mut demand.source(3), 16 * n, 300, 4000 * n as u64, 42)
+            .expect("valid run parameters")
             .throughput_rps();
         println!(
             "{:>8} {:>14.1} {:>14.1} {:>11.1}% {:>15.1}",

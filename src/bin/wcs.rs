@@ -22,10 +22,7 @@ fn design_by_name(name: &str) -> Option<DesignPoint> {
     match name {
         "n1" | "N1" => Some(DesignPoint::n1()),
         "n2" | "N2" => Some(DesignPoint::n2()),
-        other => other
-            .parse::<PlatformId>()
-            .ok()
-            .map(DesignPoint::baseline),
+        other => other.parse::<PlatformId>().ok().map(DesignPoint::baseline),
     }
 }
 
@@ -62,7 +59,9 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("evaluate") => {
-            let Some(name) = args.get(1) else { return usage() };
+            let Some(name) = args.get(1) else {
+                return usage();
+            };
             let Some(design) = design_by_name(name) else {
                 eprintln!("unknown design {name}");
                 return ExitCode::from(2);
@@ -103,12 +102,17 @@ fn main() -> ExitCode {
             }
         }
         Some("sweep-tariff") => {
-            let Some(name) = args.get(1) else { return usage() };
+            let Some(name) = args.get(1) else {
+                return usage();
+            };
             let Some(design) = design_by_name(name) else {
                 eprintln!("unknown design {name}");
                 return ExitCode::from(2);
             };
-            println!("{:<10} {:>10} {:>10} {:>10}", "tariff", "Inf-$", "P&C-$", "TCO-$");
+            println!(
+                "{:<10} {:>10} {:>10} {:>10}",
+                "tariff", "Inf-$", "P&C-$", "TCO-$"
+            );
             for tariff in [50.0, 75.0, 100.0, 125.0, 150.0, 170.0] {
                 let mut e = eval.clone();
                 e.burdened = BurdenedParams::paper_default().with_tariff(tariff);

@@ -28,7 +28,10 @@ fn evaluate_prints_tco_and_perf() {
 
 #[test]
 fn compare_emits_relative_table() {
-    let out = wcs().args(["compare", "n1", "srvr1"]).output().expect("runs");
+    let out = wcs()
+        .args(["compare", "n1", "srvr1"])
+        .output()
+        .expect("runs");
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("N1 relative to srvr1"));

@@ -53,10 +53,7 @@ fn disk_study_matches_table3_shape() {
     assert!(rows[2].perf_per_tco > rows[1].perf_per_tco);
     assert!(rows[2].perf_per_watt > rows[1].perf_per_watt);
     // Laptop-2 with flash is the overall winner.
-    let best = rows
-        .iter()
-        .map(|r| r.perf_per_tco)
-        .fold(f64::MIN, f64::max);
+    let best = rows.iter().map(|r| r.perf_per_tco).fold(f64::MIN, f64::max);
     assert!((rows[3].perf_per_tco - best).abs() < 1e-12);
 }
 
@@ -73,7 +70,11 @@ fn unified_study_matches_figure5_shape() {
         .iter()
         .find(|r| r.workload == WorkloadId::Ytube)
         .unwrap();
-    assert!(ytube.perf_per_tco > 1.5, "ytube vs desk {}", ytube.perf_per_tco);
+    assert!(
+        ytube.perf_per_tco > 1.5,
+        "ytube vs desk {}",
+        ytube.perf_per_tco
+    );
 }
 
 #[test]
@@ -83,7 +84,12 @@ fn full_scorecard_is_green() {
         .checks
         .iter()
         .filter(|c| !c.pass())
-        .map(|c| format!("{} {}: {:.3} vs {:.3}", c.anchor, c.what, c.measured, c.paper))
+        .map(|c| {
+            format!(
+                "{} {}: {:.3} vs {:.3}",
+                c.anchor, c.what, c.measured, c.paper
+            )
+        })
         .collect();
     assert!(failures.is_empty(), "failing checks: {failures:?}");
 }

@@ -18,10 +18,18 @@ use wcs::workloads::{suite, WorkloadId};
 fn figure1_totals() {
     let model = TcoModel::paper_default();
     let r1 = model.server_tco(&catalog::platform(PlatformId::Srvr1));
-    assert!((r1.total_usd() - 5758.0).abs() < 2.0, "srvr1 {}", r1.total_usd());
+    assert!(
+        (r1.total_usd() - 5758.0).abs() < 2.0,
+        "srvr1 {}",
+        r1.total_usd()
+    );
     assert!((r1.pc_usd() - 2464.0).abs() < 2.0);
     let r2 = model.server_tco(&catalog::platform(PlatformId::Srvr2));
-    assert!((r2.total_usd() - 3249.0).abs() < 2.0, "srvr2 {}", r2.total_usd());
+    assert!(
+        (r2.total_usd() - 3249.0).abs() < 2.0,
+        "srvr2 {}",
+        r2.total_usd()
+    );
     assert!((r2.pc_usd() - 1561.0).abs() < 2.0);
 }
 
@@ -169,6 +177,12 @@ fn section32_cost_narrative() {
     let srvr1 = pc(PlatformId::Srvr1);
     let desk_saving = 1.0 - pc(PlatformId::Desk) / srvr1;
     let emb1_saving = 1.0 - pc(PlatformId::Emb1) / srvr1;
-    assert!((0.5..0.7).contains(&desk_saving), "desk P&C saving {desk_saving}");
-    assert!((0.8..0.9).contains(&emb1_saving), "emb1 P&C saving {emb1_saving}");
+    assert!(
+        (0.5..0.7).contains(&desk_saving),
+        "desk P&C saving {desk_saving}"
+    );
+    assert!(
+        (0.8..0.9).contains(&emb1_saving),
+        "emb1 P&C saving {emb1_saving}"
+    );
 }

@@ -68,13 +68,21 @@ fn storage_scenarios_change_disk_sensitive_workloads_most() {
     let drop = |id: WorkloadId| b.perf[&id] / a.perf[&id];
     // The streaming and write-heavy workloads hurt most; webmail's tiny
     // exposed disk demand barely notices.
-    assert!(drop(WorkloadId::Ytube) < 0.95, "ytube {}", drop(WorkloadId::Ytube));
+    assert!(
+        drop(WorkloadId::Ytube) < 0.95,
+        "ytube {}",
+        drop(WorkloadId::Ytube)
+    );
     assert!(
         drop(WorkloadId::MapredWr) < 0.8,
         "mapred-wr {}",
         drop(WorkloadId::MapredWr)
     );
-    assert!(drop(WorkloadId::Webmail) > 0.97, "webmail {}", drop(WorkloadId::Webmail));
+    assert!(
+        drop(WorkloadId::Webmail) > 0.97,
+        "webmail {}",
+        drop(WorkloadId::Webmail)
+    );
 }
 
 #[test]
@@ -91,7 +99,10 @@ fn memshare_costs_less_but_slows_slightly() {
     assert!(b.report.inf_usd() < a.report.inf_usd());
     assert!(b.report.power_w() < a.report.power_w());
     for id in WorkloadId::ALL {
-        assert!(b.perf[&id] <= a.perf[&id] * 1.001, "{id} should not speed up");
+        assert!(
+            b.perf[&id] <= a.perf[&id] * 1.001,
+            "{id} should not speed up"
+        );
         assert!(b.perf[&id] >= a.perf[&id] * 0.90, "{id} slows too much");
     }
 }
@@ -99,8 +110,12 @@ fn memshare_costs_less_but_slows_slightly() {
 #[test]
 fn comparisons_are_antisymmetric() {
     let eval = Evaluator::quick();
-    let a = eval.evaluate(&DesignPoint::baseline(PlatformId::Desk)).unwrap();
-    let b = eval.evaluate(&DesignPoint::baseline(PlatformId::Emb1)).unwrap();
+    let a = eval
+        .evaluate(&DesignPoint::baseline(PlatformId::Desk))
+        .unwrap();
+    let b = eval
+        .evaluate(&DesignPoint::baseline(PlatformId::Emb1))
+        .unwrap();
     let ab = b.compare(&a);
     let ba = a.compare(&b);
     for (x, y) in ab.rows.iter().zip(&ba.rows) {

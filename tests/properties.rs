@@ -1,6 +1,9 @@
 //! Property-based tests over the core data structures and models.
-
-use proptest::prelude::*;
+//!
+//! The offline build environment cannot fetch `proptest`, so these
+//! properties are exercised with a hand-rolled deterministic case
+//! generator: each property runs against many pseudo-random inputs drawn
+//! from a fixed-seed [`SimRng`], which keeps failures reproducible.
 
 use wcs::memshare::policy::{PageStore, PolicyKind, Touch};
 use wcs::platforms::{BomItem, Component};
@@ -9,120 +12,169 @@ use wcs::simcore::stats::{harmonic_mean, Histogram, OnlineStats};
 use wcs::simcore::{EventQueue, SimRng, SimTime};
 use wcs::tco::{BurdenedParams, TcoModel};
 
-proptest! {
-    /// Events always pop in nondecreasing time order, regardless of the
-    /// schedule order.
-    #[test]
-    fn event_queue_orders_any_schedule(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+const CASES: usize = 64;
+
+fn vec_u64(rng: &mut SimRng, lo: u64, hi: u64, min_len: usize, max_len: usize) -> Vec<u64> {
+    let len = min_len + rng.index(max_len - min_len);
+    (0..len).map(|_| lo + rng.next_u64() % (hi - lo)).collect()
+}
+
+fn vec_f64(rng: &mut SimRng, lo: f64, hi: f64, min_len: usize, max_len: usize) -> Vec<f64> {
+    let len = min_len + rng.index(max_len - min_len);
+    (0..len).map(|_| rng.uniform_range(lo, hi)).collect()
+}
+
+/// Events always pop in nondecreasing time order, regardless of the
+/// schedule order.
+#[test]
+fn event_queue_orders_any_schedule() {
+    let mut rng = SimRng::seed_from(0xE4E);
+    for _ in 0..CASES {
+        let times = vec_u64(&mut rng, 0, 1_000_000, 1, 200);
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule(SimTime::from_nanos(t), i);
         }
         let mut last = SimTime::ZERO;
         while let Some((when, _)) = q.pop() {
-            prop_assert!(when >= last);
+            assert!(when >= last);
             last = when;
         }
     }
+}
 
-    /// Histogram percentiles are monotone in the percentile and bracket
-    /// the recorded extremes.
-    #[test]
-    fn histogram_percentiles_monotone(values in prop::collection::vec(1e-9f64..1e3, 1..300)) {
+/// Histogram percentiles are monotone in the percentile and bracket the
+/// recorded extremes.
+#[test]
+fn histogram_percentiles_monotone() {
+    let mut rng = SimRng::seed_from(0x415);
+    for _ in 0..CASES {
+        let values = vec_f64(&mut rng, 1e-9, 1e3, 1, 300);
         let mut h = Histogram::new();
-        for &v in &values { h.record(v); }
+        for &v in &values {
+            h.record(v);
+        }
         let p10 = h.percentile(10.0).unwrap();
         let p50 = h.percentile(50.0).unwrap();
         let p99 = h.percentile(99.0).unwrap();
-        prop_assert!(p10 <= p50 && p50 <= p99);
+        assert!(p10 <= p50 && p50 <= p99);
         let min = values.iter().cloned().fold(f64::MAX, f64::min);
         let max = values.iter().cloned().fold(f64::MIN, f64::max);
         // Bucketing overestimates by at most ~2.1%.
-        prop_assert!(p10 >= min * 0.97);
-        prop_assert!(p99 <= max * 1.03);
+        assert!(p10 >= min * 0.97);
+        assert!(p99 <= max * 1.03);
     }
+}
 
-    /// The mean-inequality chain: harmonic <= arithmetic, and the
-    /// streaming stats agree with a direct computation.
-    #[test]
-    fn mean_inequalities(values in prop::collection::vec(0.001f64..1e6, 1..100)) {
+/// The mean-inequality chain: harmonic <= arithmetic, and the streaming
+/// stats agree with a direct computation.
+#[test]
+fn mean_inequalities() {
+    let mut rng = SimRng::seed_from(0x3A4);
+    for _ in 0..CASES {
+        let values = vec_f64(&mut rng, 0.001, 1e6, 1, 100);
         let mut s = OnlineStats::new();
-        for &v in &values { s.record(v); }
+        for &v in &values {
+            s.record(v);
+        }
         let arith = values.iter().sum::<f64>() / values.len() as f64;
-        prop_assert!((s.mean() - arith).abs() / arith < 1e-9);
+        assert!((s.mean() - arith).abs() / arith < 1e-9);
         let h = harmonic_mean(&values).unwrap();
-        prop_assert!(h <= arith * (1.0 + 1e-12));
+        assert!(h <= arith * (1.0 + 1e-12));
     }
+}
 
-    /// A Zipf pmf sums to 1 and is non-increasing in rank.
-    #[test]
-    fn zipf_pmf_properties(n in 1usize..2000, s in 0.0f64..2.5) {
+/// A Zipf pmf sums to 1 and is non-increasing in rank.
+#[test]
+fn zipf_pmf_properties() {
+    let mut rng = SimRng::seed_from(0x21F);
+    for _ in 0..24 {
+        let n = 1 + rng.index(2000);
+        let s = rng.uniform_range(0.0, 2.5);
         let z = Zipf::new(n, s).unwrap();
         let total: f64 = (1..=n).map(|k| z.pmf(k)).sum();
-        prop_assert!((total - 1.0).abs() < 1e-9);
+        assert!((total - 1.0).abs() < 1e-9);
         for k in 2..=n {
-            prop_assert!(z.pmf(k) <= z.pmf(k - 1) + 1e-12);
+            assert!(z.pmf(k) <= z.pmf(k - 1) + 1e-12);
         }
     }
+}
 
-    /// Exponential samples are non-negative and the sample mean tracks
-    /// the parameter.
-    #[test]
-    fn exp_samples_nonnegative(mean in 0.001f64..100.0, seed in 0u64..1000) {
+/// Exponential samples are non-negative and the sample mean tracks the
+/// parameter.
+#[test]
+fn exp_samples_nonnegative() {
+    let mut rng = SimRng::seed_from(0xE27);
+    for _ in 0..CASES {
+        let mean = rng.uniform_range(0.001, 100.0);
+        let seed = rng.next_u64() % 1000;
         let d = Exp::new(mean).unwrap();
-        let mut rng = SimRng::seed_from(seed);
+        let mut sample_rng = SimRng::seed_from(seed);
         for _ in 0..100 {
-            prop_assert!(d.sample(&mut rng) >= 0.0);
+            assert!(d.sample(&mut sample_rng) >= 0.0);
         }
     }
+}
 
-    /// Page stores never exceed capacity and never evict while below it,
-    /// under any policy and any trace.
-    #[test]
-    fn page_store_capacity_invariant(
-        capacity in 1usize..64,
-        pages in prop::collection::vec((0u64..128, any::<bool>()), 1..500),
-        policy in prop::sample::select(vec![PolicyKind::Lru, PolicyKind::Random, PolicyKind::Clock]),
-    ) {
+/// Page stores never exceed capacity and never evict while below it,
+/// under any policy and any trace.
+#[test]
+fn page_store_capacity_invariant() {
+    let mut rng = SimRng::seed_from(0x9A6);
+    let policies = [PolicyKind::Lru, PolicyKind::Random, PolicyKind::Clock];
+    for case in 0..CASES {
+        let capacity = 1 + rng.index(63);
+        let policy = policies[case % policies.len()];
+        let n_ops = 1 + rng.index(499);
         let mut store = PageStore::new(capacity, policy, 1);
-        for &(page, write) in &pages {
+        for _ in 0..n_ops {
+            let page = rng.next_u64() % 128;
+            let write = rng.chance(0.5);
             let before = store.len();
             match store.touch(page, write) {
-                Touch::Hit => prop_assert!(store.contains(page)),
-                Touch::Miss { evicted: None } => prop_assert!(before < capacity),
-                Touch::Miss { evicted: Some((victim, _)) } => {
-                    prop_assert_eq!(before, capacity);
-                    prop_assert!(victim != page);
-                    prop_assert!(!store.contains(victim) || victim == page);
+                Touch::Hit => assert!(store.contains(page)),
+                Touch::Miss { evicted: None } => assert!(before < capacity),
+                Touch::Miss {
+                    evicted: Some((victim, _)),
+                } => {
+                    assert_eq!(before, capacity);
+                    assert!(victim != page);
+                    assert!(!store.contains(victim) || victim == page);
                 }
             }
-            prop_assert!(store.len() <= capacity);
-            prop_assert!(store.contains(page));
+            assert!(store.len() <= capacity);
+            assert!(store.contains(page));
         }
     }
+}
 
-    /// Burdened P&C cost is monotone in power, tariff, and activity
-    /// factor, and the multiplier always exceeds 1 (burdening can only
-    /// add cost).
-    #[test]
-    fn burdened_cost_monotone(
-        power in 0.0f64..2000.0,
-        extra in 0.1f64..500.0,
-        tariff in 50.0f64..170.0,
-        af in 0.5f64..1.0,
-    ) {
+/// Burdened P&C cost is monotone in power, tariff, and activity factor,
+/// and the multiplier always exceeds 1 (burdening can only add cost).
+#[test]
+fn burdened_cost_monotone() {
+    let mut rng = SimRng::seed_from(0xB42);
+    for _ in 0..CASES {
+        let power = rng.uniform_range(0.0, 2000.0);
+        let extra = rng.uniform_range(0.1, 500.0);
+        let tariff = rng.uniform_range(50.0, 170.0);
+        let af = rng.uniform_range(0.5, 1.0);
         let base = BurdenedParams::paper_default()
             .with_tariff(tariff)
             .with_activity_factor(af);
-        prop_assert!(base.multiplier() > 1.0);
-        prop_assert!(base.burdened_cost_usd(power + extra) > base.burdened_cost_usd(power));
+        assert!(base.multiplier() > 1.0);
+        assert!(base.burdened_cost_usd(power + extra) > base.burdened_cost_usd(power));
         let hotter = base.with_tariff(tariff + 10.0);
-        prop_assert!(hotter.burdened_cost_usd(power + extra) > base.burdened_cost_usd(power + extra));
+        assert!(hotter.burdened_cost_usd(power + extra) > base.burdened_cost_usd(power + extra));
     }
+}
 
-    /// Adding any BOM item can only increase a server's TCO.
-    #[test]
-    fn tco_monotone_in_bom(cost in 0.0f64..5000.0, power in 0.0f64..500.0) {
+/// Adding any BOM item can only increase a server's TCO.
+#[test]
+fn tco_monotone_in_bom() {
+    let mut rng = SimRng::seed_from(0x7C0);
+    for _ in 0..CASES {
+        let cost = rng.uniform_range(0.0, 5000.0);
+        let power = rng.uniform_range(0.0, 500.0);
         let model = TcoModel::paper_default();
         let small = model.bom_tco("small", &[BomItem::new(Component::Cpu, 100.0, 50.0)]);
         let big = model.bom_tco(
@@ -132,20 +184,24 @@ proptest! {
                 BomItem::new(Component::Flash, cost, power),
             ],
         );
-        prop_assert!(big.total_usd() >= small.total_usd());
-        prop_assert!(big.power_w() >= small.power_w());
+        assert!(big.total_usd() >= small.total_usd());
+        assert!(big.power_w() >= small.power_w());
     }
+}
 
-    /// LRU inclusion: a hit in a smaller LRU store implies a hit in a
-    /// larger one fed the same trace (the stack property).
-    #[test]
-    fn lru_inclusion(pages in prop::collection::vec(0u64..256, 1..400)) {
+/// LRU inclusion: a hit in a smaller LRU store implies a hit in a larger
+/// one fed the same trace (the stack property).
+#[test]
+fn lru_inclusion() {
+    let mut rng = SimRng::seed_from(0x14C);
+    for _ in 0..CASES {
+        let pages = vec_u64(&mut rng, 0, 256, 1, 400);
         let mut small = PageStore::new(16, PolicyKind::Lru, 0);
         let mut large = PageStore::new(64, PolicyKind::Lru, 0);
         for &p in &pages {
             let s_hit = matches!(small.touch(p, false), Touch::Hit);
             let l_hit = matches!(large.touch(p, false), Touch::Hit);
-            prop_assert!(!s_hit || l_hit, "inclusion violated");
+            assert!(!s_hit || l_hit, "inclusion violated");
         }
     }
 }

@@ -1,7 +1,8 @@
 //! Property-based tests over the extension substrates: FTL, blade
 //! directory, link contention, diurnal curves, time series, batch means.
-
-use proptest::prelude::*;
+//!
+//! Like `properties.rs`, these use a deterministic fixed-seed case
+//! generator instead of `proptest` (unavailable in the offline build).
 
 use wcs::flashcache::ftl::Ftl;
 use wcs::memshare::contention::SharedLink;
@@ -9,143 +10,178 @@ use wcs::memshare::directory::{BladeDirectory, ServerId};
 use wcs::memshare::link::RemoteLink;
 use wcs::simcore::batchmeans::batch_means_ci;
 use wcs::simcore::timeseries::TimeSeries;
-use wcs::simcore::{SimDuration, SimTime};
+use wcs::simcore::{SimDuration, SimRng, SimTime};
 use wcs::workloads::diurnal::DiurnalCurve;
 use wcs::workloads::mix::WorkloadMix;
 use wcs::workloads::WorkloadId;
 
-proptest! {
-    /// The FTL's logical/physical maps stay mutually consistent under
-    /// any write pattern, and write amplification never drops below 1.
-    #[test]
-    fn ftl_consistent_under_any_writes(
-        writes in prop::collection::vec(0u32..400, 1..2000),
-    ) {
+const CASES: usize = 48;
+
+/// The FTL's logical/physical maps stay mutually consistent under any
+/// write pattern, and write amplification never drops below 1.
+#[test]
+fn ftl_consistent_under_any_writes() {
+    let mut rng = SimRng::seed_from(0xF71);
+    for _ in 0..16 {
+        let n_writes = 1 + rng.index(1999);
         let mut ftl = Ftl::new(8, 64, 0.25);
         let n = ftl.logical_pages();
-        for w in writes {
+        for _ in 0..n_writes {
+            let w = (rng.next_u64() % 400) as u32;
             ftl.write(w % n);
         }
-        prop_assert!(ftl.check_consistency());
-        prop_assert!(ftl.write_amplification() >= 1.0);
-        prop_assert!(ftl.healthy(u32::MAX));
+        assert!(ftl.check_consistency());
+        assert!(ftl.write_amplification() >= 1.0);
+        assert!(ftl.healthy(u32::MAX));
     }
+}
 
-    /// The blade directory never hands the same physical page to two
-    /// owners and never exceeds per-server limits.
-    #[test]
-    fn directory_never_double_allocates(
-        ops in prop::collection::vec((0u32..4, 0u64..64), 1..400),
-    ) {
+/// The blade directory never hands the same physical page to two owners
+/// and never exceeds per-server limits.
+#[test]
+fn directory_never_double_allocates() {
+    let mut rng = SimRng::seed_from(0xD12);
+    for _ in 0..CASES {
+        let n_ops = 1 + rng.index(399);
         let mut dir = BladeDirectory::new(128);
         for s in 0..4 {
             dir.register(ServerId(s), 32).unwrap();
         }
         let mut owned: std::collections::HashMap<u64, ServerId> = Default::default();
-        for (s, v) in ops {
+        for _ in 0..n_ops {
+            let s = (rng.next_u64() % 4) as u32;
+            let v = rng.next_u64() % 64;
             let server = ServerId(s);
             match dir.map_page(server, v) {
                 Ok(phys) => {
                     if let Some(prev) = owned.insert(phys, server) {
-                        prop_assert_eq!(prev, server, "physical page reassigned while owned");
+                        assert_eq!(prev, server, "physical page reassigned while owned");
                     }
-                    prop_assert!(dir.check_access(server, phys).is_ok());
+                    assert!(dir.check_access(server, phys).is_ok());
                     // Nobody else may touch it.
                     let other = ServerId((s + 1) % 4);
-                    prop_assert!(dir.check_access(other, phys).is_err());
+                    assert!(dir.check_access(other, phys).is_err());
                 }
                 Err(_) => {
-                    prop_assert!(dir.used_pages(server) <= 32);
+                    assert!(dir.used_pages(server) <= 32);
                 }
             }
-            prop_assert!(dir.used_pages(server) <= 32);
+            assert!(dir.used_pages(server) <= 32);
         }
     }
+}
 
-    /// Link queueing delay is monotone in both fault rate and server
-    /// count, and zero at zero load.
-    #[test]
-    fn contention_monotone(
-        rate in 0.0f64..5000.0,
-        extra in 1.0f64..5000.0,
-        servers in 1u32..16,
-    ) {
+/// Link queueing delay is monotone in both fault rate and server count,
+/// and zero at zero load.
+#[test]
+fn contention_monotone() {
+    let mut rng = SimRng::seed_from(0xC09);
+    for _ in 0..CASES {
+        let rate = rng.uniform_range(0.0, 5000.0);
+        let extra = rng.uniform_range(1.0, 5000.0);
+        let servers = 1 + (rng.next_u64() % 15) as u32;
         let few = SharedLink::new(RemoteLink::pcie_x4(), servers);
         let more = SharedLink::new(RemoteLink::pcie_x4(), servers + 1);
-        prop_assert_eq!(few.queueing_delay_secs(0.0), 0.0);
+        assert_eq!(few.queueing_delay_secs(0.0), 0.0);
         let d1 = few.queueing_delay_secs(rate);
         let d2 = few.queueing_delay_secs(rate + extra);
-        prop_assert!(d2 >= d1);
+        assert!(d2 >= d1);
         if d1.is_finite() {
-            prop_assert!(more.queueing_delay_secs(rate) >= d1);
+            assert!(more.queueing_delay_secs(rate) >= d1);
         }
     }
+}
 
-    /// Diurnal load stays within [trough, 1] everywhere and means
-    /// correctly.
-    #[test]
-    fn diurnal_bounds(trough in 0.05f64..1.0, peak in 0.0f64..23.99, hour in 0.0f64..48.0) {
+/// Diurnal load stays within [trough, 1] everywhere and means correctly.
+#[test]
+fn diurnal_bounds() {
+    let mut rng = SimRng::seed_from(0xD10);
+    for _ in 0..CASES {
+        let trough = rng.uniform_range(0.05, 1.0);
+        let peak = rng.uniform_range(0.0, 23.99);
+        let hour = rng.uniform_range(0.0, 48.0);
         let c = DiurnalCurve::new(trough, peak);
         let v = c.load_at(hour);
-        prop_assert!(v >= trough - 1e-9 && v <= 1.0 + 1e-9, "load {v}");
-        prop_assert!((c.mean_load() - (1.0 + trough) / 2.0).abs() < 1e-12);
-        prop_assert!((c.load_at(peak) - 1.0).abs() < 1e-9);
+        assert!(v >= trough - 1e-9 && v <= 1.0 + 1e-9, "load {v}");
+        assert!((c.mean_load() - (1.0 + trough) / 2.0).abs() < 1e-12);
+        assert!((c.load_at(peak) - 1.0).abs() < 1e-9);
     }
+}
 
-    /// Time-series window totals equal the number of recorded samples.
-    #[test]
-    fn timeseries_conserves_counts(
-        times in prop::collection::vec(0u64..10_000_000u64, 1..300),
-    ) {
+/// Time-series window totals equal the number of recorded samples.
+#[test]
+fn timeseries_conserves_counts() {
+    let mut rng = SimRng::seed_from(0x75E);
+    for _ in 0..CASES {
+        let n = 1 + rng.index(299);
+        let times: Vec<u64> = (0..n).map(|_| rng.next_u64() % 10_000_000).collect();
         let mut ts = TimeSeries::new(SimDuration::from_micros(100));
         for &t in &times {
             ts.record(SimTime::from_nanos(t), 1.0);
         }
         let total: u64 = ts.windows().iter().map(|w| w.count).sum();
-        prop_assert_eq!(total, times.len() as u64);
+        assert_eq!(total, times.len() as u64);
         let peak = ts.peak_window().unwrap();
         for w in ts.windows() {
-            prop_assert!(w.count <= peak.count);
+            assert!(w.count <= peak.count);
         }
     }
+}
 
-    /// Batch-means intervals always contain their own grand mean and
-    /// shrink (weakly) with more batches of iid data.
-    #[test]
-    fn batch_means_sane(values in prop::collection::vec(0.0f64..100.0, 40..400)) {
+/// Batch-means intervals always contain their own grand mean and shrink
+/// (weakly) with more batches of iid data.
+#[test]
+fn batch_means_sane() {
+    let mut rng = SimRng::seed_from(0xBA7);
+    for _ in 0..CASES {
+        let n = 40 + rng.index(360);
+        let values: Vec<f64> = (0..n).map(|_| rng.uniform_range(0.0, 100.0)).collect();
         let ci = batch_means_ci(&values, 10).unwrap();
-        prop_assert!(ci.contains(ci.mean));
-        prop_assert!(ci.half_width >= 0.0);
+        assert!(ci.contains(ci.mean));
+        assert!(ci.half_width >= 0.0);
         let grand = {
             let per = values.len() / 10;
             let used = &values[..per * 10];
             used.iter().sum::<f64>() / used.len() as f64
         };
-        prop_assert!((ci.mean - grand).abs() < 1e-9);
+        assert!((ci.mean - grand).abs() < 1e-9);
     }
+}
 
-    /// Workload-mix aggregation sits between the min and max member
-    /// rates and equals the plain value on a uniform vector.
-    #[test]
-    fn mix_aggregate_bounded(vals in prop::collection::vec(0.1f64..100.0, 5)) {
-        let perf: std::collections::BTreeMap<_, _> =
-            WorkloadId::ALL.iter().copied().zip(vals.iter().copied()).collect();
+/// Workload-mix aggregation sits between the min and max member rates
+/// and equals the plain value on a uniform vector.
+#[test]
+fn mix_aggregate_bounded() {
+    let mut rng = SimRng::seed_from(0xA88);
+    for _ in 0..CASES {
+        let vals: Vec<f64> = (0..5).map(|_| rng.uniform_range(0.1, 100.0)).collect();
+        let perf: std::collections::BTreeMap<_, _> = WorkloadId::ALL
+            .iter()
+            .copied()
+            .zip(vals.iter().copied())
+            .collect();
         let agg = WorkloadMix::uniform().aggregate_perf(&perf).unwrap();
         let min = vals.iter().cloned().fold(f64::MAX, f64::min);
         let max = vals.iter().cloned().fold(f64::MIN, f64::max);
-        prop_assert!(agg >= min - 1e-9 && agg <= max + 1e-9);
+        assert!(agg >= min - 1e-9 && agg <= max + 1e-9);
     }
+}
 
-    /// Fleet partitions always sum to the fleet, for any normalized mix.
-    #[test]
-    fn mix_partition_conserves_servers(
-        w in prop::collection::vec(0.01f64..10.0, 5),
-        servers in 1u32..5000,
-    ) {
-        let entries: Vec<_> = WorkloadId::ALL.iter().copied().zip(w.iter().copied()).collect();
+/// Fleet partitions always sum to the fleet, for any normalized mix.
+#[test]
+fn mix_partition_conserves_servers() {
+    let mut rng = SimRng::seed_from(0x5E2);
+    for _ in 0..CASES {
+        let w: Vec<f64> = (0..5).map(|_| rng.uniform_range(0.01, 10.0)).collect();
+        let servers = 1 + (rng.next_u64() % 4999) as u32;
+        let entries: Vec<_> = WorkloadId::ALL
+            .iter()
+            .copied()
+            .zip(w.iter().copied())
+            .collect();
         let mix = WorkloadMix::new(&entries);
         let parts = mix.partition_fleet(servers);
         let total: u32 = parts.values().sum();
-        prop_assert_eq!(total, servers);
+        assert_eq!(total, servers);
     }
 }

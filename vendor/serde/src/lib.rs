@@ -1,0 +1,16 @@
+//! Offline placeholder for `serde`.
+//!
+//! The workspace declares `serde` as an *optional* dependency behind a
+//! per-crate `serde` cargo feature that nothing in this offline build
+//! enables. This placeholder exists only so dependency resolution
+//! succeeds without network access. It intentionally provides no derive
+//! macros; enabling any crate's `serde` feature in this environment is
+//! unsupported and will fail to compile, which is the honest outcome.
+
+#![forbid(unsafe_code)]
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
