@@ -1,0 +1,35 @@
+//! Benchmarks of the deterministic thread pool: fan-out overhead and
+//! scaling on simulation-shaped work.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use wcs_simcore::{SimRng, ThreadPool};
+
+/// A simulation-shaped task: burn a deterministic amount of RNG work.
+fn task(seed: u64, stream: u64) -> u64 {
+    let mut rng = SimRng::stream(seed, stream);
+    let mut acc = 0u64;
+    for _ in 0..20_000 {
+        acc = acc.wrapping_add(rng.next_u64());
+    }
+    acc
+}
+
+fn bench_par_map(c: &mut Criterion) {
+    let items: Vec<u64> = (0..64).collect();
+    c.bench_function("par_map_64_tasks_serial", |b| {
+        let pool = ThreadPool::serial();
+        b.iter(|| black_box(pool.par_map(&items, |i, _| task(42, i as u64))))
+    });
+    c.bench_function("par_map_64_tasks_available", |b| {
+        let pool = ThreadPool::available();
+        b.iter(|| black_box(pool.par_map(&items, |i, _| task(42, i as u64))))
+    });
+    // Fan-out overhead floor: trivial tasks, so scope+slot cost dominates.
+    c.bench_function("par_map_64_trivial_tasks_available", |b| {
+        let pool = ThreadPool::available();
+        b.iter(|| black_box(pool.par_map(&items, |i, &x| x.wrapping_mul(i as u64))))
+    });
+}
+
+criterion_group!(benches, bench_par_map);
+criterion_main!(benches);

@@ -21,6 +21,41 @@ fn bench_event_queue(c: &mut Criterion) {
             black_box(sum)
         })
     });
+    c.bench_function("event_queue_presized_push_pop_1k", |b| {
+        let mut rng = SimRng::seed_from(1);
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(1000);
+            for i in 0..1000u64 {
+                q.schedule(SimTime::from_nanos(rng.next_u64() % 1_000_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, e)) = q.pop() {
+                sum = sum.wrapping_add(e);
+            }
+            black_box(sum)
+        })
+    });
+    // The dispatch idiom the cluster engine leans on: pop an event, then
+    // schedule its follow-up at the very same timestamp — the immediate
+    // buffer turns the second half into a VecDeque push.
+    c.bench_function("event_queue_same_instant_pop_push_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(64);
+            for i in 0..64u64 {
+                q.schedule(SimTime::from_nanos(i * 100), i);
+            }
+            let mut sum = 0u64;
+            let mut hops = 0u32;
+            while let Some((t, e)) = q.pop() {
+                sum = sum.wrapping_add(e);
+                if hops < 1000 {
+                    hops += 1;
+                    q.schedule(t, e ^ hops as u64);
+                }
+            }
+            black_box(sum)
+        })
+    });
 }
 
 fn bench_zipf(c: &mut Criterion) {

@@ -16,26 +16,28 @@ use wcs_memshare::slowdown::{estimate_slowdown, SlowdownConfig};
 use wcs_platforms::future::TechTrend;
 use wcs_platforms::storage::{DiskModel, FlashModel};
 use wcs_platforms::{catalog, PlatformId};
+use wcs_simcore::ThreadPool;
 use wcs_tco::sensitivity::component_leverage;
 use wcs_tco::{BurdenedParams, Efficiency, TcoModel};
 use wcs_workloads::disktrace::{params_for, DiskTraceGen};
 use wcs_workloads::WorkloadId;
 
 fn main() {
+    let pool = wcs_bench::cli::parse().pool;
     activity_factor_sweep();
     tariff_sweep();
     component_leverage_ranking();
     local_fraction_sweep();
     flash_capacity_sweep();
-    n2_technique_ablation();
-    future_projection();
+    n2_technique_ablation(pool);
+    future_projection(pool);
 }
 
 /// Does emb1's advantage persist as technology scales? (Section 3.4:
 /// "we expect these trends to hold into the future as well".)
-fn future_projection() {
+fn future_projection(pool: ThreadPool) {
     println!("\nAblation: technology projection (emb1-class platform vs srvr1, Perf/TCO-$)");
-    let eval = Evaluator::quick();
+    let eval = Evaluator::quick().with_pool(pool);
     let base = eval
         .evaluate(&DesignPoint::baseline_srvr1())
         .expect("baseline");
@@ -159,9 +161,9 @@ fn flash_capacity_sweep() {
 }
 
 /// N2 with each technique removed: which contributes what?
-fn n2_technique_ablation() {
+fn n2_technique_ablation(pool: ThreadPool) {
     println!("\nAblation: N2 technique contributions (HMean Perf/TCO-$ vs srvr1)");
-    let eval = Evaluator::quick();
+    let eval = Evaluator::quick().with_pool(pool);
     let base = eval
         .evaluate(&DesignPoint::baseline_srvr1())
         .expect("baseline");

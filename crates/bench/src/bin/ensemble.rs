@@ -5,7 +5,8 @@
 //!
 //! Run with `cargo run --release -p wcs-bench --bin ensemble`.
 
-use wcs_memshare::ensemble::{run_ensemble, ServerConfig};
+use wcs_bench::cli;
+use wcs_memshare::ensemble::{run_ensemble_pooled, ServerConfig};
 use wcs_memshare::hybrid::HybridBlade;
 use wcs_memshare::link::RemoteLink;
 use wcs_memshare::pageshare::{dedup_scan, ContentProfile};
@@ -13,6 +14,9 @@ use wcs_memshare::policy::PolicyKind;
 use wcs_workloads::WorkloadId;
 
 fn main() {
+    // Per-server replays fan out over the pool; results are identical at
+    // any --threads value.
+    let pool = cli::parse().pool;
     println!("Ensemble: servers sharing one memory blade (websearch, 25% local)");
     println!(
         "{:>8} {:>10} {:>12} {:>14} {:>16}",
@@ -20,12 +24,13 @@ fn main() {
     );
     for n in [2usize, 4, 8, 12, 16] {
         let configs = vec![ServerConfig::paper_default(WorkloadId::Websearch); n];
-        let out = run_ensemble(
+        let out = run_ensemble_pooled(
             &configs,
             RemoteLink::pcie_x4(),
             PolicyKind::Random,
             600_000,
             7,
+            pool,
         )
         .expect("non-empty ensemble");
         println!(
@@ -45,12 +50,13 @@ fn main() {
         ServerConfig::paper_default(WorkloadId::Ytube),
         ServerConfig::paper_default(WorkloadId::MapredWc),
     ];
-    let out = run_ensemble(
+    let out = run_ensemble_pooled(
         &configs,
         RemoteLink::pcie_x4(),
         PolicyKind::Random,
         800_000,
         11,
+        pool,
     )
     .expect("non-empty ensemble");
     for s in &out.servers {

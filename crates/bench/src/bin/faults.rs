@@ -15,19 +15,36 @@
 //!
 //! The closing table folds the measured availabilities into the
 //! Figure-5 Perf/TCO-$ comparison. Run with
-//! `cargo run --release -p wcs-bench --bin faults`.
+//! `cargo run --release -p wcs-bench --bin faults [--threads N]`.
+//!
+//! The scenarios are scheduled in two parallel waves: everything
+//! independent of the measured window (healthy run, blade assessments,
+//! fan models, Figure-5 evaluations) fans out first, then the three
+//! fault-window runs that need the healthy run's window. Output is
+//! printed after both waves in a fixed order, so it is byte-identical
+//! at every `--threads` value.
 
+use wcs_bench::cli;
 use wcs_cooling::faults::{expected_perf_under_fan_faults, throttle, FanWall};
 use wcs_cooling::EnclosureDesign;
 use wcs_core::designs::DesignPoint;
-use wcs_core::evaluate::Evaluator;
-use wcs_memshare::degraded::assess_blade_outages;
+use wcs_core::evaluate::{DesignEval, Evaluator};
+use wcs_memshare::degraded::{assess_blade_outages, DegradedOutcome};
 use wcs_memshare::slowdown::SlowdownConfig;
 use wcs_simcore::faults::FaultProcess;
+use wcs_simcore::pool::Task;
 use wcs_simcore::{SimDuration, SimRng, SimTime};
 use wcs_simserver::{Cluster, ClusterFaults, Resource, RetryPolicy, RunStats, ServerSpec, Stage};
 use wcs_tco::{AvailabilityModel, AvailableEfficiency};
 use wcs_workloads::WorkloadId;
+
+/// One result from the first wave of independent scenario work.
+enum Piece {
+    Stats(Box<RunStats>),
+    Blade(DegradedOutcome),
+    Fan(f64),
+    Eval(Box<DesignEval>),
+}
 
 fn secs(s: f64) -> SimDuration {
     SimDuration::from_secs_f64(s)
@@ -55,6 +72,7 @@ fn print_run(label: &str, stats: &RunStats) {
 }
 
 fn main() {
+    let pool = cli::parse().pool;
     let servers = 16u32;
     let cluster = Cluster::ideal(ServerSpec::new(2), servers).expect("non-empty cluster");
     let retry =
@@ -65,52 +83,109 @@ fn main() {
             .expect("valid run parameters")
     };
 
-    println!("Scenario runs: {servers}-server ensemble, 64 closed-loop clients, seed 17");
-    println!(
-        "  {:<22} {:>9} {:>9} {:>8} {:>8} {:>8} {:>9}",
-        "scenario", "offered/s", "goodput/s", "timeouts", "retries", "dropped", "p99 (ms)"
-    );
-
-    let healthy = run(&ClusterFaults::fail_free(), &RetryPolicy::none());
-    print_run("fail-free", &healthy);
-
-    // 1. Single blade failure: server 3 dies mid-measurement for a
-    // quarter of the run and comes back.
-    let window = healthy.window.as_secs_f64().max(1.0);
-    let outage =
-        ClusterFaults::single_outage(3, SimTime::ZERO + secs(0.2 * window), secs(0.5 * window));
-    print_run("single blade failure", &run(&outage, &retry));
-
-    // 2. Link flap: every server sees frequent 20 ms outages (MTTF a
-    // few hundred ms) for the whole run.
-    let flap = FaultProcess::exponential(secs(0.4), secs(0.02)).expect("positive rates");
-    let flap_plan =
-        ClusterFaults::from_processes(&vec![flap; servers as usize], secs(2.0 * window), 23);
-    print_run("link flap (all)", &run(&flap_plan, &retry));
-
-    // The same flap without retries: drops replace recoveries.
-    print_run(
-        "link flap, no retry",
-        &run(&flap_plan, &RetryPolicy::none()),
-    );
-
-    // 3. Memory-blade outage pricing: while the blade is down, remote
-    // pages come from disk swap.
-    println!("\nMemory-blade degradation (25% local, PCIe x4 vs disk-swap fallback):");
+    // Wave 1: everything that does not need the healthy run's measured
+    // window — the healthy run itself, the blade-outage assessments, the
+    // fan-fault expectations, and the three Figure-5 evaluations. Each
+    // task is seeded independently, so the fan-out cannot change any
+    // number.
     let blade = FaultProcess::exponential(secs(500_000.0), secs(900.0)).expect("positive rates");
     let cfg = SlowdownConfig {
         fill: 400_000,
         measured: 400_000,
         ..SlowdownConfig::paper_default()
     };
-    let mut blade_availability = 1.0f64;
-    for wl in [
+    let design = EnclosureDesign::dual_entry();
+    let wall = FanWall::n_plus_one();
+    let fan = FaultProcess::exponential(secs(200_000.0), secs(14_400.0)).expect("positive rates");
+    let bare_wall = FanWall::new(6, 0).expect("valid wall");
+    let eval = Evaluator::quick();
+
+    let blade_workloads = [
         WorkloadId::Websearch,
         WorkloadId::Ytube,
         WorkloadId::Webmail,
+    ];
+    let mut tasks: Vec<Task<'_, Piece>> = Vec::new();
+    tasks.push(Box::new(|| {
+        Piece::Stats(Box::new(run(
+            &ClusterFaults::fail_free(),
+            &RetryPolicy::none(),
+        )))
+    }));
+    for wl in blade_workloads {
+        let (cfg, blade) = (&cfg, &blade);
+        tasks.push(Box::new(move || {
+            Piece::Blade(
+                assess_blade_outages(wl, cfg, blade, secs(10_000_000.0), 29)
+                    .expect("valid assessment"),
+            )
+        }));
+    }
+    for w in [&wall, &bare_wall] {
+        let (design, fan) = (&design, &fan);
+        tasks.push(Box::new(move || {
+            Piece::Fan(
+                expected_perf_under_fan_faults(design, w, fan, secs(100_000_000.0), 0.3, 31)
+                    .expect("valid fan model"),
+            )
+        }));
+    }
+    for d in [
+        DesignPoint::baseline_srvr1(),
+        DesignPoint::n1(),
+        DesignPoint::n2(),
     ] {
-        let out = assess_blade_outages(wl, &cfg, &blade, secs(10_000_000.0), 29)
-            .expect("valid assessment");
+        let eval = &eval;
+        tasks.push(Box::new(move || {
+            Piece::Eval(Box::new(eval.evaluate(&d).expect("design evaluates")))
+        }));
+    }
+
+    let (mut stats, mut blades, mut fans, mut evals) = (vec![], vec![], vec![], vec![]);
+    for piece in pool.par_tasks(tasks) {
+        match piece {
+            Piece::Stats(s) => stats.push(s),
+            Piece::Blade(b) => blades.push(b),
+            Piece::Fan(f) => fans.push(f),
+            Piece::Eval(e) => evals.push(e),
+        }
+    }
+    let healthy = stats.pop().expect("healthy run scheduled");
+
+    // Wave 2: the three fault-window runs, sized off the healthy run's
+    // measured window.
+    // 1. Single blade failure: server 3 dies mid-measurement for a
+    // quarter of the run and comes back.
+    let window = healthy.window.as_secs_f64().max(1.0);
+    let outage =
+        ClusterFaults::single_outage(3, SimTime::ZERO + secs(0.2 * window), secs(0.5 * window));
+    // 2. Link flap: every server sees frequent 20 ms outages (MTTF a
+    // few hundred ms) for the whole run; once with retries, once with
+    // drops replacing recoveries.
+    let flap = FaultProcess::exponential(secs(0.4), secs(0.02)).expect("positive rates");
+    let flap_plan =
+        ClusterFaults::from_processes(&vec![flap; servers as usize], secs(2.0 * window), 23);
+    let faulted = pool.par_tasks(vec![
+        Box::new(|| run(&outage, &retry)) as Task<'_, RunStats>,
+        Box::new(|| run(&flap_plan, &retry)),
+        Box::new(|| run(&flap_plan, &RetryPolicy::none())),
+    ]);
+
+    println!("Scenario runs: {servers}-server ensemble, 64 closed-loop clients, seed 17");
+    println!(
+        "  {:<22} {:>9} {:>9} {:>8} {:>8} {:>8} {:>9}",
+        "scenario", "offered/s", "goodput/s", "timeouts", "retries", "dropped", "p99 (ms)"
+    );
+    print_run("fail-free", &healthy);
+    print_run("single blade failure", &faulted[0]);
+    print_run("link flap (all)", &faulted[1]);
+    print_run("link flap, no retry", &faulted[2]);
+
+    // 3. Memory-blade outage pricing: while the blade is down, remote
+    // pages come from disk swap.
+    println!("\nMemory-blade degradation (25% local, PCIe x4 vs disk-swap fallback):");
+    let mut blade_availability = 1.0f64;
+    for (wl, out) in blade_workloads.iter().zip(&blades) {
         blade_availability = blade_availability.min(out.availability);
         println!(
             "  {:<12} normal {:>6.2}%  blade-down {:>7.1}%  availability {:>7.4}  effective {:>6.2}%",
@@ -124,8 +199,6 @@ fn main() {
 
     // 4. Fan failure: the dense enclosure throttles instead of dying.
     println!("\nFan-wall failure (dual-entry enclosure, 6 fans sized N+1, 30% idle floor):");
-    let design = EnclosureDesign::dual_entry();
-    let wall = FanWall::n_plus_one();
     for failed in 0..=3u32 {
         let t = throttle(&design, &wall, failed, 0.3).expect("valid idle fraction");
         println!(
@@ -135,14 +208,7 @@ fn main() {
             t.perf_fraction * 100.0,
         );
     }
-    let fan = FaultProcess::exponential(secs(200_000.0), secs(14_400.0)).expect("positive rates");
-    let with_spare =
-        expected_perf_under_fan_faults(&design, &wall, &fan, secs(100_000_000.0), 0.3, 31)
-            .expect("valid fan model");
-    let bare_wall = FanWall::new(6, 0).expect("valid wall");
-    let fan_perf =
-        expected_perf_under_fan_faults(&design, &bare_wall, &fan, secs(100_000_000.0), 0.3, 31)
-            .expect("valid fan model");
+    let (with_spare, fan_perf) = (fans[0], fans[1]);
     println!(
         "  expected perf under fan failures: N+1 wall {:.2}%, no spare {:.2}%",
         with_spare * 100.0,
@@ -151,18 +217,14 @@ fn main() {
 
     // 5. Fold availability into the Figure-5 comparison.
     println!("\nAvailability-adjusted Figure 5 (websearch Perf/TCO-$ vs srvr1):");
-    let eval = Evaluator::quick();
-    let baseline = eval
-        .evaluate(&DesignPoint::baseline_srvr1())
-        .expect("baseline evaluates");
+    let baseline = &evals[0];
     let base_eff = AvailableEfficiency::new(
         baseline.efficiency(WorkloadId::Websearch),
         AvailabilityModel::from_mttf_mttr(30_000.0, 4.0, 150.0).expect("valid server model"),
         3.0,
     )
     .expect("positive depreciation");
-    for design in [DesignPoint::n1(), DesignPoint::n2()] {
-        let e = eval.evaluate(&design).expect("design evaluates");
+    for e in &evals[1..] {
         let healthy_eff = AvailableEfficiency::new(
             e.efficiency(WorkloadId::Websearch),
             AvailabilityModel::from_mttf_mttr(30_000.0, 4.0, 150.0).expect("valid server model"),

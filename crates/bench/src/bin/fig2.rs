@@ -1,8 +1,9 @@
 //! Regenerates Figure 2 of the paper: cost/power breakdowns per platform
 //! (a, b) and the relative performance / efficiency grid (c).
 //!
-//! Run with `cargo run --release -p wcs-bench --bin fig2`.
+//! Run with `cargo run --release -p wcs-bench --bin fig2 [--threads N]`.
 
+use wcs_bench::cli;
 use wcs_platforms::{catalog, Component, PlatformId};
 use wcs_simcore::stats::harmonic_mean;
 use wcs_tco::{Efficiency, TcoModel};
@@ -10,6 +11,7 @@ use wcs_workloads::perf::{measure_perf, MeasureConfig};
 use wcs_workloads::{suite, WorkloadId};
 
 fn main() {
+    let pool = cli::parse().pool;
     let model = TcoModel::paper_default();
     let platforms = catalog::all();
 
@@ -68,20 +70,19 @@ fn main() {
         PlatformId::Emb2,
     ];
 
-    // perf[workload][platform]
-    let mut perf = Vec::new();
-    for w in WorkloadId::ALL {
-        let wl = suite::workload(w);
-        let row: Vec<f64> = ids
-            .iter()
-            .map(|&id| {
-                measure_perf(&wl, &catalog::platform(id), &cfg)
-                    .map(|r| r.value)
-                    .unwrap_or(f64::NAN)
-            })
-            .collect();
-        perf.push(row);
-    }
+    // perf[workload][platform]: the 30 (workload, platform) measurements
+    // are independent, so fan the whole grid out at once. Each cell's
+    // seed comes from the shared MeasureConfig, never from order.
+    let cells: Vec<(WorkloadId, PlatformId)> = WorkloadId::ALL
+        .iter()
+        .flat_map(|&w| ids.iter().map(move |&id| (w, id)))
+        .collect();
+    let values = pool.par_map(&cells, |_, &(w, id)| {
+        measure_perf(&suite::workload(w), &catalog::platform(id), &cfg)
+            .map(|r| r.value)
+            .unwrap_or(f64::NAN)
+    });
+    let perf: Vec<Vec<f64>> = values.chunks(ids.len()).map(<[f64]>::to_vec).collect();
 
     for (metric, f) in [
         ("Perf", 0usize),

@@ -9,6 +9,8 @@ use wcs_cooling::transient::{simulate_transient, FanController, ThermalNode};
 use wcs_cooling::{EnclosureDesign, RackGeometry};
 
 fn main() {
+    // Accept the fleet-wide --threads flag; this binary has no fan-out.
+    let _ = wcs_bench::cli::parse();
     let rack = RackGeometry::standard_42u();
     let designs = [
         EnclosureDesign::conventional_1u(),

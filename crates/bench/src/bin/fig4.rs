@@ -13,6 +13,8 @@ use wcs_tco::{Efficiency, TcoModel};
 use wcs_workloads::WorkloadId;
 
 fn main() {
+    // Accept the fleet-wide --threads flag; this binary has no fan-out.
+    let _ = wcs_bench::cli::parse();
     println!("Figure 4(b): slowdowns with random replacement (% of execution time)");
     println!(
         "{:<18} {:>10} {:>9} {:>8} {:>10} {:>10}",

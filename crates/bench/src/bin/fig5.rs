@@ -11,7 +11,8 @@ use wcs_core::report::render_comparison;
 use wcs_platforms::PlatformId;
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "srvr1".into());
+    let args = wcs_bench::cli::parse();
+    let arg = args.rest.first().cloned().unwrap_or_else(|| "srvr1".into());
     let baseline_id = match arg.as_str() {
         "srvr1" => PlatformId::Srvr1,
         "srvr2" => PlatformId::Srvr2,
@@ -22,7 +23,7 @@ fn main() {
         }
     };
 
-    let eval = Evaluator::paper_default();
+    let eval = Evaluator::paper_default().with_pool(args.pool);
     let baseline = eval
         .evaluate(&DesignPoint::baseline(baseline_id))
         .expect("baseline evaluates");

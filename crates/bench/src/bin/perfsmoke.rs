@@ -1,0 +1,127 @@
+//! Fixed-seed performance smoke test: times the workspace's main studies
+//! and the event-queue hot path, then writes `BENCH_results.json` to the
+//! current directory.
+//!
+//! All studies run with pinned seeds, so the *numbers* they produce are
+//! identical run to run and across `--threads` values; only the wall
+//! times vary. Run with
+//! `cargo run --release -p wcs-bench --bin perfsmoke [--threads N]`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use wcs_bench::cli;
+use wcs_core::evaluate::Evaluator;
+use wcs_core::experiments::{cpu_study, unified_study};
+use wcs_memshare::ensemble::{run_ensemble_pooled, ServerConfig};
+use wcs_memshare::link::RemoteLink;
+use wcs_memshare::policy::PolicyKind;
+use wcs_platforms::PlatformId;
+use wcs_simcore::faults::FaultProcess;
+use wcs_simcore::{EventQueue, SimDuration, SimRng, SimTime};
+use wcs_simserver::{Cluster, ClusterFaults, Resource, RetryPolicy, ServerSpec, Stage};
+use wcs_workloads::WorkloadId;
+
+fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Push/pop one million uniformly-timed events and report events/sec.
+fn event_queue_rate() -> (u64, f64) {
+    const EVENTS: u64 = 1_000_000;
+    let mut rng = SimRng::seed_from(97);
+    let mut q = EventQueue::with_capacity(EVENTS as usize);
+    let (sum, wall_ms) = timed(|| {
+        for i in 0..EVENTS {
+            q.schedule(SimTime::from_nanos(rng.next_u64() % 1_000_000_000), i);
+        }
+        let mut sum = 0u64;
+        while let Some((_, e)) = q.pop() {
+            sum = sum.wrapping_add(e);
+        }
+        sum
+    });
+    std::hint::black_box(sum);
+    (2 * EVENTS, 2.0 * EVENTS as f64 / (wall_ms / 1e3))
+}
+
+fn main() {
+    let pool = cli::parse().pool;
+    let eval = Evaluator::quick().with_pool(pool);
+    let mut studies: Vec<(&str, f64)> = Vec::new();
+
+    let (_, ms) = timed(|| cpu_study(&eval).expect("catalog platforms evaluate"));
+    studies.push(("cpu_study_quick", ms));
+
+    let (_, ms) = timed(|| unified_study(&eval, PlatformId::Srvr1).expect("designs evaluate"));
+    studies.push(("unified_study_quick", ms));
+
+    let configs = vec![ServerConfig::paper_default(WorkloadId::Websearch); 16];
+    let (_, ms) = timed(|| {
+        run_ensemble_pooled(
+            &configs,
+            RemoteLink::pcie_x4(),
+            PolicyKind::Random,
+            300_000,
+            7,
+            pool,
+        )
+        .expect("non-empty ensemble")
+    });
+    studies.push(("ensemble_16_servers", ms));
+
+    let cluster = Cluster::ideal(ServerSpec::new(2), 16).expect("non-empty cluster");
+    let flap = FaultProcess::exponential(
+        SimDuration::from_secs_f64(0.4),
+        SimDuration::from_secs_f64(0.02),
+    )
+    .expect("positive rates");
+    let plan = ClusterFaults::from_processes(&vec![flap; 16], SimDuration::from_secs_f64(5.0), 23);
+    let retry = RetryPolicy::new(
+        SimDuration::from_secs_f64(0.008),
+        3,
+        SimDuration::from_millis(2),
+    )
+    .expect("positive timeout");
+    let mut source = |rng: &mut SimRng| {
+        vec![Stage::new(
+            Resource::Cpu,
+            rng.exp_duration(SimDuration::from_micros(800)),
+        )]
+    };
+    let (_, ms) = timed(|| {
+        cluster
+            .run_closed_loop_faulted(&mut source, 64, 2_000, 40_000, 17, &plan, &retry)
+            .expect("valid run parameters")
+    });
+    studies.push(("cluster_faulted_40k", ms));
+
+    let (events, events_per_sec) = event_queue_rate();
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"threads\": {},", pool.threads());
+    json.push_str("  \"studies\": [\n");
+    for (i, (name, wall_ms)) in studies.iter().enumerate() {
+        let comma = if i + 1 < studies.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{name}\", \"wall_ms\": {wall_ms:.3}}}{comma}"
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"event_queue\": {{\"events\": {events}, \"events_per_sec\": {events_per_sec:.0}}}"
+    );
+    json.push_str("}\n");
+    std::fs::write("BENCH_results.json", &json).expect("BENCH_results.json is writable");
+
+    println!("perfsmoke ({} threads):", pool.threads());
+    for (name, wall_ms) in &studies {
+        println!("  {name:<22} {wall_ms:>10.1} ms");
+    }
+    println!("  event queue: {events_per_sec:.2e} events/sec");
+    println!("wrote BENCH_results.json");
+}

@@ -9,12 +9,14 @@ use wcs_core::validate::run_scorecard;
 use wcs_platforms::PlatformId;
 
 fn main() {
-    let accurate = std::env::args().any(|a| a == "--accurate");
+    let args = wcs_bench::cli::parse();
+    let accurate = args.rest.iter().any(|a| a == "--accurate");
     let eval = if accurate {
         Evaluator::paper_default()
     } else {
         Evaluator::quick()
-    };
+    }
+    .with_pool(args.pool);
 
     println!("# wcs reproduction report\n");
     println!(

@@ -5,6 +5,8 @@
 use wcs_workloads::{suite, Metric};
 
 fn main() {
+    // Accept the fleet-wide --threads flag; this binary has no fan-out.
+    let _ = wcs_bench::cli::parse();
     println!("Table 1: the warehouse-computing benchmark suite");
     println!(
         "{:<12} {:<38} {:<18} description",

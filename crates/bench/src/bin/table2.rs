@@ -6,6 +6,8 @@
 use wcs_platforms::catalog;
 
 fn main() {
+    // Accept the fleet-wide --threads flag; this binary has no fan-out.
+    let _ = wcs_bench::cli::parse();
     println!("Table 2: systems considered");
     println!(
         "{:<7} {:<34} {:<46} {:>6} {:>7}",

@@ -8,6 +8,8 @@ use wcs_platforms::storage::FlashModel;
 use wcs_workloads::perf::MeasureConfig;
 
 fn main() {
+    // Accept the fleet-wide --threads flag; this binary has no fan-out.
+    let _ = wcs_bench::cli::parse();
     println!("Table 3(a): flash and disk parameters");
     let flash = FlashModel::table3();
     println!(

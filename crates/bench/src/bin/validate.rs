@@ -8,12 +8,14 @@ use wcs_core::evaluate::Evaluator;
 use wcs_core::validate::run_scorecard;
 
 fn main() {
-    let accurate = std::env::args().any(|a| a == "--accurate");
+    let args = wcs_bench::cli::parse();
+    let accurate = args.rest.iter().any(|a| a == "--accurate");
     let eval = if accurate {
         Evaluator::paper_default()
     } else {
         Evaluator::quick()
-    };
+    }
+    .with_pool(args.pool);
     let card = run_scorecard(&eval);
     println!(
         "{:<10} {:<48} {:>10} {:>10} {:>7}",

@@ -1,0 +1,107 @@
+//! Shared command-line handling for the bench binaries.
+//!
+//! Every binary accepts `--threads N` (or `--threads=N`), defaulting to
+//! the machine's available parallelism. The thread count never affects
+//! results — every parallel fan-out in the workspace seeds its tasks
+//! purely from the task index — so the flag is a wall-clock dial, not a
+//! reproducibility hazard.
+
+use std::process::exit;
+
+use wcs_simcore::ThreadPool;
+
+/// Parsed common arguments: the worker pool plus whatever the binary
+/// defines for itself.
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    /// Worker pool sized by `--threads` (default: available parallelism).
+    pub pool: ThreadPool,
+    /// Positional/unrecognized arguments, in order, for the binary's own
+    /// parsing (e.g. `fig5`'s baseline platform).
+    pub rest: Vec<String>,
+}
+
+/// Parses `std::env::args()`, exiting with status 2 on a malformed
+/// `--threads` value.
+pub fn parse() -> BenchArgs {
+    parse_from(std::env::args().skip(1))
+}
+
+/// Parses an explicit argument stream (testable form of [`parse`]).
+///
+/// # Errors
+/// Returns a message describing the malformed `--threads` usage.
+pub fn try_parse_from(args: impl Iterator<Item = String>) -> Result<BenchArgs, String> {
+    let mut pool = ThreadPool::available();
+    let mut rest = Vec::new();
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        let value = if arg == "--threads" {
+            Some(args.next().ok_or("--threads requires a value")?)
+        } else {
+            arg.strip_prefix("--threads=").map(str::to_owned)
+        };
+        match value {
+            Some(v) => {
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--threads expects a positive integer, got {v:?}"))?;
+                pool = ThreadPool::new(n).map_err(|e| e.to_string())?;
+            }
+            None => rest.push(arg),
+        }
+    }
+    Ok(BenchArgs { pool, rest })
+}
+
+fn parse_from(args: impl Iterator<Item = String>) -> BenchArgs {
+    match try_parse_from(args) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("usage: <bin> [--threads N] [args...]");
+            exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> impl Iterator<Item = String> {
+        args.iter()
+            .map(|s| (*s).to_owned())
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    #[test]
+    fn defaults_to_available_parallelism() {
+        let a = try_parse_from(strs(&[])).unwrap();
+        assert_eq!(a.pool, ThreadPool::available());
+        assert!(a.rest.is_empty());
+    }
+
+    #[test]
+    fn parses_both_flag_forms() {
+        let a = try_parse_from(strs(&["--threads", "3"])).unwrap();
+        assert_eq!(a.pool.threads(), 3);
+        let b = try_parse_from(strs(&["--threads=8"])).unwrap();
+        assert_eq!(b.pool.threads(), 8);
+    }
+
+    #[test]
+    fn keeps_positional_args_in_order() {
+        let a = try_parse_from(strs(&["desk", "--threads", "2", "extra"])).unwrap();
+        assert_eq!(a.pool.threads(), 2);
+        assert_eq!(a.rest, vec!["desk".to_owned(), "extra".to_owned()]);
+    }
+
+    #[test]
+    fn rejects_bad_thread_counts() {
+        assert!(try_parse_from(strs(&["--threads", "zero"])).is_err());
+        assert!(try_parse_from(strs(&["--threads", "0"])).is_err());
+        assert!(try_parse_from(strs(&["--threads"])).is_err());
+    }
+}

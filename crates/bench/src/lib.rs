@@ -18,3 +18,12 @@
 //! | `ensemble`| multi-server blade study: contention, page sharing, hybrid blades |
 //! | `report`  | full markdown reproduction report (scorecard + designs) |
 //! | `validate`| the reproduction scorecard: every paper anchor, pass/fail |
+//! | `faults`  | fault-injection scenarios and graceful degradation |
+//! | `perfsmoke` | fixed-seed wall-time smoke benchmark (`BENCH_results.json`) |
+//!
+//! Every binary accepts `--threads N` (default: all available cores) to
+//! size the worker pool used for independent evaluations. Results are
+//! bit-identical at any thread count; the flag only changes wall-clock
+//! time.
+
+pub mod cli;

@@ -100,3 +100,45 @@ fn faults_degrades_gracefully_and_reproduces() {
     let again = run(env!("CARGO_BIN_EXE_faults"), &[]);
     assert_eq!(s, again, "faults bin must be deterministic");
 }
+
+#[test]
+fn faults_output_is_thread_count_invariant() {
+    let serial = run(env!("CARGO_BIN_EXE_faults"), &["--threads", "1"]);
+    let parallel = run(env!("CARGO_BIN_EXE_faults"), &["--threads", "8"]);
+    assert_eq!(serial, parallel, "--threads must only change wall-clock");
+}
+
+#[test]
+fn perfsmoke_writes_results_json() {
+    let dir = std::env::temp_dir().join(format!("wcs-perfsmoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir creates");
+    let out = Command::new(env!("CARGO_BIN_EXE_perfsmoke"))
+        .args(["--threads", "2"])
+        .current_dir(&dir)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "perfsmoke exited with {:?}",
+        out.status
+    );
+    let json = std::fs::read_to_string(dir.join("BENCH_results.json")).expect("results written");
+    for needle in [
+        "\"threads\": 2",
+        "cpu_study_quick",
+        "events_per_sec",
+        "wall_ms",
+    ] {
+        assert!(json.contains(needle), "missing {needle} in {json}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bins_reject_malformed_thread_counts() {
+    let out = Command::new(env!("CARGO_BIN_EXE_table1"))
+        .args(["--threads", "0"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success(), "zero threads must be rejected");
+}

@@ -1,0 +1,96 @@
+//! Thread-count invariance: every study must produce bit-identical
+//! results at 1, 2, and 8 worker threads.
+//!
+//! The workspace's guarantee is that `--threads` is a wall-clock dial
+//! only — every parallel task seeds its RNG stream purely from the task
+//! identity (design, workload, server index), never from scheduling
+//! order. These tests pin that property for the three drivers the bench
+//! binaries are built on: the Figure 2(c) CPU study, the Figure 5
+//! unified study, and the fault-scenario runs.
+
+use wcs_core::evaluate::Evaluator;
+use wcs_core::experiments::{cpu_study, unified_study};
+use wcs_platforms::PlatformId;
+use wcs_simcore::faults::{FaultInjector, FaultProcess};
+use wcs_simcore::pool::Task;
+use wcs_simcore::{SimDuration, SimRng, SimTime, ThreadPool};
+use wcs_simserver::{Cluster, ClusterFaults, Resource, RetryPolicy, RunStats, ServerSpec, Stage};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn secs(s: f64) -> SimDuration {
+    SimDuration::from_secs_f64(s)
+}
+
+#[test]
+fn cpu_study_is_thread_count_invariant() {
+    let renders: Vec<String> = THREAD_COUNTS
+        .map(|t| {
+            let eval = Evaluator::quick().with_pool(ThreadPool::new(t).unwrap());
+            let study = cpu_study(&eval).expect("catalog platforms evaluate");
+            format!("{:?}", study.comparisons)
+        })
+        .to_vec();
+    assert_eq!(renders[0], renders[1], "2 threads drifted from serial");
+    assert_eq!(renders[0], renders[2], "8 threads drifted from serial");
+}
+
+#[test]
+fn unified_study_is_thread_count_invariant() {
+    let renders: Vec<String> = THREAD_COUNTS
+        .map(|t| {
+            let eval = Evaluator::quick().with_pool(ThreadPool::new(t).unwrap());
+            let (n1, n2) = unified_study(&eval, PlatformId::Srvr1).expect("designs evaluate");
+            format!("{n1:?} {n2:?}")
+        })
+        .to_vec();
+    assert_eq!(renders[0], renders[1], "2 threads drifted from serial");
+    assert_eq!(renders[0], renders[2], "8 threads drifted from serial");
+}
+
+/// The faults driver's shape: a wave of independent cluster runs fanned
+/// out over the pool, plus a sampled fault trace. `RunStats` carries the
+/// full latency histogram, so equal Debug renders mean bit-equal runs.
+fn fault_scenarios(pool: ThreadPool) -> (String, u64) {
+    let cluster = Cluster::ideal(ServerSpec::new(2), 8).expect("non-empty cluster");
+    let retry =
+        RetryPolicy::new(secs(0.008), 3, SimDuration::from_millis(2)).expect("positive timeout");
+    let run = |faults: &ClusterFaults, retry: &RetryPolicy| {
+        let mut source = |rng: &mut SimRng| {
+            vec![Stage::new(
+                Resource::Cpu,
+                rng.exp_duration(SimDuration::from_micros(800)),
+            )]
+        };
+        cluster
+            .run_closed_loop_faulted(&mut source, 32, 1_000, 8_000, 17, faults, retry)
+            .expect("valid run parameters")
+    };
+    let flap = FaultProcess::exponential(secs(0.4), secs(0.02)).expect("positive rates");
+    let flap_plan = ClusterFaults::from_processes(&vec![flap; 8], secs(2.0), 23);
+    let outage = ClusterFaults::single_outage(3, SimTime::ZERO + secs(0.05), secs(0.1));
+    let stats = pool.par_tasks(vec![
+        Box::new(|| run(&ClusterFaults::fail_free(), &RetryPolicy::none())) as Task<'_, RunStats>,
+        Box::new(|| run(&outage, &retry)),
+        Box::new(|| run(&flap_plan, &retry)),
+        Box::new(|| run(&flap_plan, &RetryPolicy::none())),
+    ]);
+    let trace = {
+        let mut injector = FaultInjector::new();
+        for i in 0..8 {
+            injector.add(&format!("server-{i}"), flap);
+        }
+        injector.trace(secs(2.0), 23)
+    };
+    (format!("{stats:?}"), trace.fingerprint())
+}
+
+#[test]
+fn fault_scenarios_are_thread_count_invariant() {
+    let (serial_stats, serial_trace) = fault_scenarios(ThreadPool::serial());
+    for t in [2, 8] {
+        let (stats, trace) = fault_scenarios(ThreadPool::new(t).unwrap());
+        assert_eq!(serial_stats, stats, "{t}-thread RunStats drifted");
+        assert_eq!(serial_trace, trace, "{t}-thread FaultTrace drifted");
+    }
+}

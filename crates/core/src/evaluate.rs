@@ -9,6 +9,7 @@ use wcs_memshare::contention::SharedLink;
 use wcs_memshare::slowdown::{estimate_slowdown, SlowdownConfig};
 use wcs_platforms::Platform;
 use wcs_simcore::stats::harmonic_mean;
+use wcs_simcore::ThreadPool;
 use wcs_tco::{BurdenedParams, Efficiency, RackConfig, RealEstateParams, TcoModel, TcoReport};
 use wcs_workloads::disktrace::{params_for as disk_params, DiskTraceGen};
 use wcs_workloads::perf::{measure_perf_with_demand, MeasureConfig, MeasureError};
@@ -34,6 +35,11 @@ pub struct Evaluator {
     /// cost scope exactly; `Some` adds an amortized floor-space line that
     /// rewards dense packaging.
     pub real_estate: Option<RealEstateParams>,
+    /// Worker pool for fanning out independent evaluations. Serial by
+    /// default so library results are reproducible on any machine by
+    /// construction; any thread count produces bit-identical results
+    /// because every task seeds its own RNG stream from the task index.
+    pub pool: ThreadPool,
 }
 
 impl Evaluator {
@@ -45,6 +51,7 @@ impl Evaluator {
             burdened: BurdenedParams::paper_default(),
             storage_replay: 120_000,
             real_estate: None,
+            pool: ThreadPool::serial(),
         }
     }
 
@@ -55,6 +62,16 @@ impl Evaluator {
             storage_replay: 40_000,
             ..Self::paper_default()
         }
+    }
+
+    /// Returns this evaluator with its work fanned out over `pool`.
+    ///
+    /// Results are bit-identical at any thread count: each (design,
+    /// workload) task derives its RNG stream purely from the task, never
+    /// from scheduling order.
+    pub fn with_pool(mut self, pool: ThreadPool) -> Self {
+        self.pool = pool;
+        self
     }
 
     /// Evaluates a design point across the whole benchmark suite.
@@ -77,17 +94,38 @@ impl Evaluator {
             }
         };
 
-        let mut perf = BTreeMap::new();
-        for id in WorkloadId::ALL {
-            let value = self.workload_perf(design, &platform, id)?;
-            perf.insert(id, value);
-        }
+        // Workloads are independent: each derives its seed from the shared
+        // MeasureConfig, not from evaluation order, so fanning them out
+        // over the pool cannot change any value.
+        let values = self.pool.try_par_map(&WorkloadId::ALL, |_, &id| {
+            self.workload_perf(design, &platform, id)
+        })?;
+        let perf: BTreeMap<WorkloadId, f64> = WorkloadId::ALL.into_iter().zip(values).collect();
         Ok(DesignEval {
             name: design.name.clone(),
             perf,
             report,
             systems_per_rack: design.cooling.systems_per_rack,
         })
+    }
+
+    /// Evaluates many design points, fanning the designs out over the
+    /// pool. The returned evaluations are in input order and bit-identical
+    /// to calling [`Evaluator::evaluate`] in a loop.
+    ///
+    /// Parallelism is applied across designs (each design evaluated
+    /// serially inside its task) to keep the worker count bounded by the
+    /// pool size.
+    ///
+    /// # Errors
+    /// Returns the first (lowest-index) design's [`MeasureError`], exactly
+    /// as the serial loop would.
+    pub fn evaluate_many(&self, designs: &[DesignPoint]) -> Result<Vec<DesignEval>, MeasureError> {
+        let inner = Evaluator {
+            pool: ThreadPool::serial(),
+            ..self.clone()
+        };
+        self.pool.try_par_map(designs, |_, d| inner.evaluate(d))
     }
 
     /// Performance of one workload on the design: applies the storage

@@ -51,19 +51,24 @@ impl CpuStudy {
 /// Propagates a [`MeasureError`] if any workload is infeasible on any
 /// platform (none are, with the catalog platforms).
 pub fn cpu_study(eval: &Evaluator) -> Result<CpuStudy, MeasureError> {
-    let baseline = eval.evaluate(&DesignPoint::baseline_srvr1())?;
-    let mut comparisons = Vec::new();
-    for id in [
-        PlatformId::Srvr2,
-        PlatformId::Desk,
-        PlatformId::Mobl,
-        PlatformId::Emb1,
-        PlatformId::Emb2,
-    ] {
-        let e = eval.evaluate(&DesignPoint::baseline(id))?;
-        comparisons.push(e.compare(&baseline));
-    }
-    Ok(CpuStudy { comparisons })
+    // All six platform evaluations are independent; fan them out in one
+    // batch (the baseline rides along as designs[0]).
+    let mut designs = vec![DesignPoint::baseline_srvr1()];
+    designs.extend(
+        [
+            PlatformId::Srvr2,
+            PlatformId::Desk,
+            PlatformId::Mobl,
+            PlatformId::Emb1,
+            PlatformId::Emb2,
+        ]
+        .map(DesignPoint::baseline),
+    );
+    let mut evals = eval.evaluate_many(&designs)?.into_iter();
+    let baseline = evals.next().expect("baseline evaluated");
+    Ok(CpuStudy {
+        comparisons: evals.map(|e| e.compare(&baseline)).collect(),
+    })
 }
 
 /// Runs the Figure 4(b) study: slowdown of every workload under the
@@ -105,10 +110,16 @@ pub fn unified_study(
     eval: &Evaluator,
     baseline: PlatformId,
 ) -> Result<(Comparison, Comparison), MeasureError> {
-    let base = eval.evaluate(&DesignPoint::baseline(baseline))?;
-    let n1 = eval.evaluate(&DesignPoint::n1())?.compare(&base);
-    let n2 = eval.evaluate(&DesignPoint::n2())?.compare(&base);
-    Ok((n1, n2))
+    let designs = [
+        DesignPoint::baseline(baseline),
+        DesignPoint::n1(),
+        DesignPoint::n2(),
+    ];
+    let [base, n1, n2]: [_; 3] = eval
+        .evaluate_many(&designs)?
+        .try_into()
+        .expect("three designs evaluated");
+    Ok((n1.compare(&base), n2.compare(&base)))
 }
 
 #[cfg(test)]

@@ -67,8 +67,9 @@ impl Sweep {
 /// # Errors
 /// Propagates evaluation failures.
 pub fn sweep_local_fraction(eval: &Evaluator, fractions: &[f64]) -> Result<Sweep, MeasureError> {
-    let baseline = eval.evaluate(&DesignPoint::baseline_srvr1())?;
-    let mut points = Vec::new();
+    // Build the whole family first, then evaluate baseline + points as
+    // one parallel batch.
+    let mut designs = vec![DesignPoint::baseline_srvr1()];
     for &f in fractions {
         let mut design = DesignPoint::n2();
         let ms = design.memshare.as_mut().expect("N2 has memory sharing");
@@ -79,12 +80,19 @@ pub fn sweep_local_fraction(eval: &Evaluator, fractions: &[f64]) -> Result<Sweep
             assumed_slowdown: 0.02,
         };
         design.name = format!("N2-local{:.0}%", f * 100.0);
-        points.push(SweepPoint {
-            value: f,
-            label: design.name.clone(),
-            eval: eval.evaluate(&design)?,
-        });
+        designs.push(design);
     }
+    let mut evals = eval.evaluate_many(&designs)?.into_iter();
+    let baseline = evals.next().expect("baseline evaluated");
+    let points = fractions
+        .iter()
+        .zip(evals)
+        .map(|(&f, e)| SweepPoint {
+            value: f,
+            label: e.name.clone(),
+            eval: e,
+        })
+        .collect();
     Ok(Sweep {
         parameter: "local memory fraction",
         baseline,
@@ -97,19 +105,25 @@ pub fn sweep_local_fraction(eval: &Evaluator, fractions: &[f64]) -> Result<Sweep
 /// # Errors
 /// Propagates evaluation failures.
 pub fn sweep_flash_capacity(eval: &Evaluator, sizes_gb: &[f64]) -> Result<Sweep, MeasureError> {
-    let baseline = eval.evaluate(&DesignPoint::baseline_srvr1())?;
-    let mut points = Vec::new();
+    let mut designs = vec![DesignPoint::baseline_srvr1()];
     for &gb in sizes_gb {
         let mut design = DesignPoint::n2();
         let storage = design.storage.as_mut().expect("N2 has a storage scenario");
         storage.flash = Some(FlashModel::scaled(gb));
         design.name = format!("N2-flash{gb}GB");
-        points.push(SweepPoint {
-            value: gb,
-            label: design.name.clone(),
-            eval: eval.evaluate(&design)?,
-        });
+        designs.push(design);
     }
+    let mut evals = eval.evaluate_many(&designs)?.into_iter();
+    let baseline = evals.next().expect("baseline evaluated");
+    let points = sizes_gb
+        .iter()
+        .zip(evals)
+        .map(|(&gb, e)| SweepPoint {
+            value: gb,
+            label: e.name.clone(),
+            eval: e,
+        })
+        .collect();
     Ok(Sweep {
         parameter: "flash capacity (GB)",
         baseline,
@@ -123,15 +137,20 @@ pub fn sweep_flash_capacity(eval: &Evaluator, sizes_gb: &[f64]) -> Result<Sweep,
 /// # Errors
 /// Propagates evaluation failures.
 pub fn sweep_platforms(eval: &Evaluator) -> Result<Sweep, MeasureError> {
-    let baseline = eval.evaluate(&DesignPoint::baseline_srvr1())?;
-    let mut points = Vec::new();
-    for (i, id) in PlatformId::ALL.iter().enumerate() {
-        points.push(SweepPoint {
+    let mut designs = vec![DesignPoint::baseline_srvr1()];
+    designs.extend(PlatformId::ALL.iter().map(|&id| DesignPoint::baseline(id)));
+    let mut evals = eval.evaluate_many(&designs)?.into_iter();
+    let baseline = evals.next().expect("baseline evaluated");
+    let points = PlatformId::ALL
+        .iter()
+        .enumerate()
+        .zip(evals)
+        .map(|((i, id), e)| SweepPoint {
             value: i as f64,
             label: id.label().to_owned(),
-            eval: eval.evaluate(&DesignPoint::baseline(*id))?,
-        });
-    }
+            eval: e,
+        })
+        .collect();
     Ok(Sweep {
         parameter: "platform",
         baseline,

@@ -2,7 +2,7 @@
 //! blade, with allocation enforcement, per-server two-level caching, and
 //! link contention — the pieces of Section 3.4 operating together.
 
-use wcs_simcore::ConfigError;
+use wcs_simcore::{ConfigError, ThreadPool};
 use wcs_workloads::memtrace::{params_for, MemTraceGen};
 use wcs_workloads::WorkloadId;
 
@@ -88,6 +88,34 @@ pub fn run_ensemble(
     accesses_per_server: u64,
     seed: u64,
 ) -> Result<EnsembleOutcome, ConfigError> {
+    run_ensemble_pooled(
+        configs,
+        link,
+        policy,
+        accesses_per_server,
+        seed,
+        ThreadPool::serial(),
+    )
+}
+
+/// [`run_ensemble`] with the per-server trace replays fanned out over
+/// `pool`.
+///
+/// Each server's replay is seeded purely from `(seed, server index)`, so
+/// the outcome is bit-identical at any thread count — `pool` only decides
+/// wall-clock time. The shared blade directory is exercised serially
+/// after the replays (its page maps are order-dependent shared state).
+///
+/// # Errors
+/// Same contract as [`run_ensemble`].
+pub fn run_ensemble_pooled(
+    configs: &[ServerConfig],
+    link: RemoteLink,
+    policy: PolicyKind,
+    accesses_per_server: u64,
+    seed: u64,
+    pool: ThreadPool,
+) -> Result<EnsembleOutcome, ConfigError> {
     if configs.is_empty() {
         return Err(ConfigError::Empty {
             what: "ensemble server configs",
@@ -109,38 +137,44 @@ pub fn run_ensemble(
             .expect("blade sized for all allocations");
     }
 
-    // Phase 1: replay every server's trace, collecting per-server fault
-    // rates and exercising the directory on the miss path.
-    let mut outcomes = Vec::with_capacity(configs.len());
-    let mut fault_rates = Vec::with_capacity(configs.len());
-    for (i, c) in configs.iter().enumerate() {
-        let server = ServerId(i as u32);
+    // Phase 1: replay every server's trace in parallel. Each replay is
+    // private state seeded from (seed, i), so the fan-out cannot change
+    // any miss ratio.
+    let replays = pool.par_map(configs, |i, c| {
         let params = params_for(c.workload);
         let local_pages = ((BASELINE_2GIB_PAGES as f64) * c.local_fraction) as usize;
         let mut sim = TwoLevelSim::new(local_pages.max(1), policy, seed ^ (i as u64) << 8);
         let mut gen = MemTraceGen::new(params, seed ^ 0xD15C ^ i as u64);
 
-        // Fill, then measure; map a sample of missed pages through the
-        // directory to exercise allocation enforcement. (Mapping every
-        // miss would just thrash map/unmap; the blade holds the page
-        // *set*, which is bounded by the allocation.)
+        // Fill, then measure.
         let fill = accesses_per_server / 2;
         let _ = sim.run(&mut gen, fill);
         let stats = sim.run(&mut gen, accesses_per_server - fill);
-        // The blade-resident set: everything not local. Exercise a
-        // bounded sample of mappings.
+        (stats.miss_ratio(), params.accesses_per_cpu_sec)
+    });
+
+    // Map a sample of each server's blade-resident pages through the
+    // shared directory — serially, since the directory's map/unmap order
+    // is shared state. (Mapping every miss would just thrash map/unmap;
+    // the blade holds the page *set*, which is bounded by the
+    // allocation.)
+    let mut outcomes = Vec::with_capacity(configs.len());
+    let mut fault_rates = Vec::with_capacity(configs.len());
+    for (i, c) in configs.iter().enumerate() {
+        let server = ServerId(i as u32);
+        let (miss_ratio, accesses_per_cpu_sec) = replays[i];
         let sample = c.blade_pages.min(10_000);
         for v in 0..sample {
             directory
                 .map_page(server, v)
                 .expect("within the registered allocation");
         }
-        let faults_per_cpu_sec = params.accesses_per_cpu_sec * stats.miss_ratio();
+        let faults_per_cpu_sec = accesses_per_cpu_sec * miss_ratio;
         fault_rates.push(faults_per_cpu_sec);
         outcomes.push(ServerOutcome {
             server,
             workload: c.workload,
-            miss_ratio: stats.miss_ratio(),
+            miss_ratio,
             faults_per_cpu_sec,
             slowdown: 0.0, // filled below with contention
             blade_pages_used: directory.used_pages(server),
@@ -278,5 +312,29 @@ mod tests {
     #[test]
     fn rejects_empty_ensemble() {
         assert!(run_ensemble(&[], RemoteLink::pcie_x4(), PolicyKind::Random, 10, 1).is_err());
+    }
+
+    #[test]
+    fn pooled_run_is_bit_identical_to_serial() {
+        let mut configs = homogeneous(6, WorkloadId::Websearch);
+        configs.push(ServerConfig::paper_default(WorkloadId::Webmail));
+        let serial =
+            run_ensemble(&configs, RemoteLink::pcie_x4(), PolicyKind::Lru, 200_000, 9).unwrap();
+        for threads in [2, 8] {
+            let pooled = run_ensemble_pooled(
+                &configs,
+                RemoteLink::pcie_x4(),
+                PolicyKind::Lru,
+                200_000,
+                9,
+                ThreadPool::new(threads).unwrap(),
+            )
+            .unwrap();
+            assert_eq!(
+                format!("{serial:?}"),
+                format!("{pooled:?}"),
+                "{threads} threads drifted from serial"
+            );
+        }
     }
 }

@@ -39,6 +39,13 @@ pub enum ConfigError {
         /// The amount available.
         available: u64,
     },
+    /// An event was scheduled before the simulation clock.
+    PastEvent {
+        /// Requested firing time, nanoseconds since the epoch.
+        when_ns: u64,
+        /// The clock at the time of the attempt, nanoseconds.
+        now_ns: u64,
+    },
 }
 
 impl ConfigError {
@@ -79,6 +86,12 @@ impl fmt::Display for ConfigError {
             } => write!(
                 f,
                 "{what}: requested {requested} exceeds available {available}"
+            ),
+            ConfigError::PastEvent { when_ns, now_ns } => write!(
+                f,
+                "scheduled event at {:.6}s before current time {:.6}s",
+                *when_ns as f64 * 1e-9,
+                *now_ns as f64 * 1e-9
             ),
         }
     }

@@ -294,9 +294,13 @@ pub struct FaultEvent {
 
 /// A set of components with fault processes, from which deterministic
 /// failure traces are generated.
+///
+/// Labels are interned to `&'static str` ([`crate::intern::intern`]):
+/// registering a component allocates at most once per distinct label
+/// process-wide, and cloning an injector copies pointers, not strings.
 #[derive(Debug, Clone, Default)]
 pub struct FaultInjector {
-    components: Vec<(String, FaultProcess)>,
+    components: Vec<(&'static str, FaultProcess)>,
 }
 
 impl FaultInjector {
@@ -306,9 +310,10 @@ impl FaultInjector {
     }
 
     /// Registers a component, returning its handle.
-    pub fn add(&mut self, label: impl Into<String>, process: FaultProcess) -> ComponentId {
+    pub fn add(&mut self, label: &str, process: FaultProcess) -> ComponentId {
         let id = ComponentId(self.components.len() as u32);
-        self.components.push((label.into(), process));
+        self.components
+            .push((crate::intern::intern(label), process));
         id
     }
 
@@ -327,8 +332,8 @@ impl FaultInjector {
     /// # Panics
     /// Panics on an unknown handle (a handle from a different injector —
     /// always a caller bug).
-    pub fn label(&self, id: ComponentId) -> &str {
-        &self.components[id.0 as usize].0
+    pub fn label(&self, id: ComponentId) -> &'static str {
+        self.components[id.0 as usize].0
     }
 
     /// Generates the deterministic failure trace over `[0, horizon)` for

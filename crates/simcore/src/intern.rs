@@ -1,0 +1,83 @@
+//! String interning for hot-path labels.
+//!
+//! Simulators label components, designs, and traces with short strings.
+//! Carrying those as owned `String`s means an allocation per label per
+//! event/evaluation and `clone()`s at every hand-off. Interning maps each
+//! distinct label to a single leaked `&'static str`, so labels become
+//! `Copy` pointers: comparisons are pointer-width, hand-offs are free,
+//! and the hot paths allocate nothing.
+//!
+//! The pool only grows — appropriate for label sets that are small and
+//! bounded (design names, component labels), not for unbounded
+//! per-request data.
+//!
+//! # Example
+//! ```
+//! use wcs_simcore::intern::intern;
+//! let a = intern("memory-blade");
+//! let b = intern(&format!("memory-{}", "blade"));
+//! assert!(std::ptr::eq(a, b), "same label, same allocation");
+//! ```
+
+use std::collections::HashSet;
+use std::sync::{Mutex, OnceLock};
+
+static POOL: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+
+/// Returns the canonical `&'static str` for `s`, leaking at most one
+/// allocation per distinct string for the life of the process.
+///
+/// Thread-safe; repeated calls with equal strings return the same
+/// pointer.
+pub fn intern(s: &str) -> &'static str {
+    let pool = POOL.get_or_init(|| Mutex::new(HashSet::new()));
+    let mut set = pool.lock().expect("intern pool poisoned");
+    if let Some(&found) = set.get(s) {
+        return found;
+    }
+    let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+    set.insert(leaked);
+    leaked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = intern("srvr1");
+        let b = intern("srvr1");
+        assert!(std::ptr::eq(a, b));
+        assert_eq!(a, "srvr1");
+    }
+
+    #[test]
+    fn distinct_strings_stay_distinct() {
+        let a = intern("N1");
+        let b = intern("N2");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn dynamic_strings_collapse_to_one_allocation() {
+        let ptrs: Vec<*const str> = (0..8)
+            .map(|_| intern(&format!("N2-local{}%", 25)) as *const str)
+            .collect();
+        for p in &ptrs[1..] {
+            assert!(std::ptr::eq(ptrs[0], *p));
+        }
+    }
+
+    #[test]
+    fn concurrent_interning_agrees() {
+        let out = crate::pool::ThreadPool::new(8)
+            .unwrap()
+            .par_map(&[(); 64], |i, _| {
+                intern(&format!("label-{}", i % 4)).as_ptr() as usize
+            });
+        for (i, p) in out.iter().enumerate() {
+            assert_eq!(*p, out[i % 4], "same label interned to same pointer");
+        }
+    }
+}

@@ -49,10 +49,13 @@ pub mod batchmeans;
 pub mod dist;
 pub mod error;
 pub mod faults;
+pub mod intern;
+pub mod pool;
 pub mod stats;
 pub mod timeseries;
 
 pub use error::ConfigError;
 pub use event::EventQueue;
+pub use pool::ThreadPool;
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,284 @@
+//! Deterministic parallel execution of independent simulation tasks.
+//!
+//! Every study in this workspace fans out over *independent* design
+//! points, scenarios, or servers: each task seeds its own [`SimRng`]
+//! stream (see [`SimRng::stream`]) and shares no mutable state with its
+//! siblings. That independence makes parallelism trivial to get right —
+//! as long as the executor never lets scheduling order leak into
+//! results. [`ThreadPool::par_map`] guarantees exactly that: results come
+//! back in **input order**, each task sees only its own index and input,
+//! and therefore the output is bit-identical at any thread count,
+//! including one.
+//!
+//! The pool is std-only (scoped threads, no work-stealing runtime):
+//! tasks here are coarse — whole simulator runs taking milliseconds to
+//! seconds — so an atomic-counter work queue is both simple and within
+//! noise of fancier schedulers.
+//!
+//! # Example
+//! ```
+//! use wcs_simcore::pool::ThreadPool;
+//! use wcs_simcore::SimRng;
+//!
+//! let seeds: Vec<u64> = (0..16).collect();
+//! let serial = ThreadPool::serial();
+//! let parallel = ThreadPool::new(4).unwrap();
+//! let f = |i: usize, &seed: &u64| SimRng::stream(seed, i as u64).next_u64();
+//! assert_eq!(serial.par_map(&seeds, f), parallel.par_map(&seeds, f));
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::error::ConfigError;
+
+/// A boxed one-shot job for [`ThreadPool::par_tasks`].
+pub type Task<'a, R> = Box<dyn FnOnce() -> R + Send + 'a>;
+
+/// A scoped-thread work pool executing independent tasks with
+/// order-preserving results.
+///
+/// Cheap to construct and to clone (it holds only a thread count);
+/// threads are spawned per call and joined before the call returns, so
+/// borrowed data flows into tasks freely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// A pool with exactly `threads` workers.
+    ///
+    /// # Errors
+    /// Rejects a zero thread count.
+    pub fn new(threads: usize) -> Result<Self, ConfigError> {
+        if threads == 0 {
+            return Err(ConfigError::ZeroCount { param: "threads" });
+        }
+        Ok(ThreadPool { threads })
+    }
+
+    /// A single-threaded pool: every call runs inline on the caller's
+    /// thread. The deterministic reference all other thread counts are
+    /// measured against.
+    pub fn serial() -> Self {
+        ThreadPool { threads: 1 }
+    }
+
+    /// A pool sized to the machine's available parallelism (1 when the
+    /// runtime cannot tell).
+    pub fn available() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        ThreadPool { threads }
+    }
+
+    /// The worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Maps `f` over `items` on the pool, returning results in **input
+    /// order**.
+    ///
+    /// `f` receives each item's index alongside the item so tasks can
+    /// derive per-task seeds ([`SimRng::stream`](crate::SimRng::stream))
+    /// without sharing a generator. Because tasks only depend on
+    /// `(index, item)`, the output is bit-identical for every thread
+    /// count.
+    ///
+    /// # Panics
+    /// Propagates the first worker panic after all threads join.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let workers = self.threads.min(items.len());
+        if workers <= 1 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let r = f(i, &items[i]);
+                    *slots[i].lock().expect("result slot poisoned") = Some(r);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("worker filled every slot")
+            })
+            .collect()
+    }
+
+    /// Runs heterogeneous one-shot jobs on the pool, returning their
+    /// results in input order.
+    ///
+    /// The fan-out counterpart of [`par_map`](Self::par_map) for stages
+    /// whose tasks differ in *kind*, not just input — e.g. a fault
+    /// study's scenario runs next to its blade-outage assessments.
+    ///
+    /// # Panics
+    /// Propagates the first worker panic after all threads join.
+    pub fn par_tasks<'a, R: Send>(&self, tasks: Vec<Task<'a, R>>) -> Vec<R> {
+        let workers = self.threads.min(tasks.len());
+        if workers <= 1 {
+            return tasks.into_iter().map(|t| t()).collect();
+        }
+        let n = tasks.len();
+        let next = AtomicUsize::new(0);
+        let jobs: Vec<Mutex<Option<Task<'a, R>>>> =
+            tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let task = jobs[i]
+                        .lock()
+                        .expect("job slot poisoned")
+                        .take()
+                        .expect("each job taken once");
+                    let r = task();
+                    *slots[i].lock().expect("result slot poisoned") = Some(r);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("worker filled every slot")
+            })
+            .collect()
+    }
+
+    /// Maps a fallible `f` over `items`, returning either every result in
+    /// input order or the error of the **lowest-indexed** failing item —
+    /// the same error a serial loop would have surfaced first, regardless
+    /// of which worker finished when.
+    ///
+    /// # Panics
+    /// Propagates the first worker panic after all threads join.
+    pub fn try_par_map<T, R, E, F>(&self, items: &[T], f: F) -> Result<Vec<R>, E>
+    where
+        T: Sync,
+        R: Send,
+        E: Send,
+        F: Fn(usize, &T) -> Result<R, E> + Sync,
+    {
+        let mut out = Vec::with_capacity(items.len());
+        for r in self.par_map(items, f) {
+            out.push(r?);
+        }
+        Ok(out)
+    }
+}
+
+impl Default for ThreadPool {
+    fn default() -> Self {
+        Self::available()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimRng;
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<u64> = (0..257).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let pool = ThreadPool::new(threads).unwrap();
+            let out = pool.par_map(&items, |i, &x| {
+                // Uneven task costs so completion order scrambles.
+                let spin = (x * 37) % 101;
+                let mut acc = 0u64;
+                for k in 0..spin * 50 {
+                    acc = acc.wrapping_add(k);
+                }
+                std::hint::black_box(acc);
+                (i as u64, x * 2)
+            });
+            assert_eq!(out.len(), items.len());
+            for (i, (idx, doubled)) in out.iter().enumerate() {
+                assert_eq!(*idx, i as u64, "threads={threads}");
+                assert_eq!(*doubled, items[i] * 2);
+            }
+        }
+    }
+
+    #[test]
+    fn results_are_thread_count_invariant() {
+        let seeds: Vec<u64> = (0..40).collect();
+        let f = |i: usize, &s: &u64| {
+            let mut rng = SimRng::stream(s, i as u64);
+            (0..100)
+                .map(|_| rng.next_u64())
+                .fold(0u64, u64::wrapping_add)
+        };
+        let reference = ThreadPool::serial().par_map(&seeds, f);
+        for threads in [2, 4, 8] {
+            let got = ThreadPool::new(threads).unwrap().par_map(&seeds, f);
+            assert_eq!(reference, got, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_tasks_orders_heterogeneous_jobs() {
+        let pool = ThreadPool::new(4).unwrap();
+        let tasks: Vec<Task<'_, u64>> = (0..20u64)
+            .map(|i| Box::new(move || i * i) as Task<'_, u64>)
+            .collect();
+        let out = pool.par_tasks(tasks);
+        assert_eq!(out, (0..20u64).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_par_map_reports_first_error_in_input_order() {
+        let items: Vec<u64> = (0..64).collect();
+        let pool = ThreadPool::new(8).unwrap();
+        let r: Result<Vec<u64>, u64> =
+            pool.try_par_map(&items, |_, &x| if x % 7 == 3 { Err(x) } else { Ok(x) });
+        // Serial would fail at x = 3 first; parallel must agree.
+        assert_eq!(r.unwrap_err(), 3);
+        let ok: Result<Vec<u64>, u64> = pool.try_par_map(&items, |_, &x| Ok(x + 1));
+        assert_eq!(ok.unwrap(), (1..65).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rejects_zero_threads() {
+        assert!(matches!(
+            ThreadPool::new(0),
+            Err(ConfigError::ZeroCount { param: "threads" })
+        ));
+        assert!(ThreadPool::available().threads() >= 1);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let pool = ThreadPool::new(8).unwrap();
+        let out: Vec<u64> = pool.par_map(&[] as &[u64], |_, &x| x);
+        assert!(out.is_empty());
+        let out = pool.par_tasks(Vec::<Task<'_, u64>>::new());
+        assert!(out.is_empty());
+    }
+}

@@ -19,6 +19,7 @@
 //! plain run bit for bit.
 
 use std::collections::VecDeque;
+use std::rc::Rc;
 
 use wcs_simcore::stats::Histogram;
 #[cfg(test)]
@@ -56,8 +57,13 @@ pub struct Cluster {
 }
 
 /// One physical attempt at a logical request.
+///
+/// Stages are shared (`Rc<[Stage]>`) rather than owned: a timeout or
+/// crash hands the *same* stage list to the retry event with a refcount
+/// bump instead of re-allocating a `Vec` per attempt — retries and
+/// zombie drains are the fault path's hottest allocation site.
 struct Attempt {
-    stages: Vec<Stage>,
+    stages: Rc<[Stage]>,
     next_stage: usize,
     /// First dispatch instant of the *logical* request, so latency spans
     /// retries.
@@ -89,7 +95,7 @@ enum CEv {
     Up { server: usize },
     /// A backed-off retry re-enters the dispatcher.
     Retry {
-        stages: Vec<Stage>,
+        stages: Rc<[Stage]>,
         logical_started: SimTime,
         attempt_no: u32,
     },
@@ -199,7 +205,11 @@ impl Cluster {
         let mut rng = SimRng::seed_from(seed);
         let mut dispatch_rng = rng.fork(99);
 
-        let mut events: EventQueue<CEv> = EventQueue::new();
+        // Pre-size for the steady state: at most one service event and
+        // one timeout per client in flight, plus the outage plan.
+        let fault_events: usize = (0..s).map(|srv| faults.windows_for(srv).len() * 2).sum();
+        let mut events: EventQueue<CEv> =
+            EventQueue::with_capacity(n_clients as usize * 2 + fault_events);
         let mut inflight: Vec<Attempt> = Vec::new();
         let mut slot_gen: Vec<u64> = Vec::new();
         let mut active: Vec<bool> = Vec::new();
@@ -210,7 +220,7 @@ impl Cluster {
         let mut busy_ns: Vec<[u128; 4]> = vec![[0; 4]; s];
         let mut in_flight_per_server: Vec<u32> = vec![0; s];
         let mut up: Vec<bool> = vec![true; s];
-        let mut parked: VecDeque<(Vec<Stage>, SimTime, u32)> = VecDeque::new();
+        let mut parked: VecDeque<(Rc<[Stage]>, SimTime, u32)> = VecDeque::new();
         let mut rr_next = 0usize;
 
         // Pre-schedule the whole outage plan; zero windows => zero events.
@@ -332,7 +342,7 @@ impl Cluster {
 
         macro_rules! enqueue {
             ($stages:expr, $logical_started:expr, $attempt_no:expr, $now:expr) => {{
-                let stages: Vec<Stage> = $stages;
+                let stages: Rc<[Stage]> = $stages;
                 match pick_server!() {
                     None => parked.push_back((stages, $logical_started, $attempt_no)),
                     Some(server) => {
@@ -386,7 +396,7 @@ impl Cluster {
                     for st in &mut stages {
                         *st = Stage::new(st.resource, st.service * inflation);
                     }
-                    enqueue!(stages, $now, 0u32, $now);
+                    enqueue!(Rc::from(stages), $now, 0u32, $now);
                     break 'gen;
                 }
             }};
@@ -437,7 +447,7 @@ impl Cluster {
                         active[slot] = false;
                         free.push(slot);
                         if !inflight[slot].abandoned {
-                            let stages = std::mem::take(&mut inflight[slot].stages);
+                            let stages = Rc::clone(&inflight[slot].stages);
                             let ls = inflight[slot].logical_started;
                             let an = inflight[slot].attempt_no;
                             fail_attempt!(stages, ls, an, now);
@@ -458,8 +468,9 @@ impl Cluster {
                     inflight[slot].abandoned = true;
                     timeouts_n += 1;
                     // The zombie keeps draining on the server; the client
-                    // moves on with a copy of the work.
-                    let stages = inflight[slot].stages.clone();
+                    // moves on sharing the same stage list (refcount
+                    // bump, no allocation).
+                    let stages = Rc::clone(&inflight[slot].stages);
                     let ls = inflight[slot].logical_started;
                     let an = inflight[slot].attempt_no;
                     fail_attempt!(stages, ls, an, now);

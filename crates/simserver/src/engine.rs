@@ -271,7 +271,9 @@ impl ServerSim {
             spec: self.spec,
             source,
             rng: SimRng::seed_from(seed),
-            events: EventQueue::new(),
+            // One pending service event per client at most, plus think
+            // timers: pre-size so the run never reallocates the arena.
+            events: EventQueue::with_capacity(n_clients as usize + 1),
             inflight: Vec::new(),
             free_slots: Vec::new(),
             queues: Default::default(),

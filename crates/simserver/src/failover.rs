@@ -118,7 +118,7 @@ impl ClusterFaults {
         let ids: Vec<ComponentId> = processes
             .iter()
             .enumerate()
-            .map(|(i, p)| injector.add(format!("server-{i}"), *p))
+            .map(|(i, p)| injector.add(&format!("server-{i}"), *p))
             .collect();
         let trace = injector.trace(horizon, seed);
         ClusterFaults {

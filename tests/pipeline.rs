@@ -164,7 +164,7 @@ fn session_structured_webmail_matches_calibrated_throughput() {
     let lognormal = sim
         .run_closed_loop(&mut demand.source(1), 8, 300, 4000, 99)
         .throughput_rps();
-    let mut sessions = SessionSource::new(demand.clone(), 8);
+    let mut sessions = SessionSource::new(demand, 8);
     let structured = sim
         .run_closed_loop(&mut sessions, 8, 300, 4000, 99)
         .throughput_rps();
