@@ -1,0 +1,83 @@
+//! Benchmarks of the memoization layer: the open-addressed table
+//! against `std::collections::HashMap`, and warm (cached) versus cold
+//! sweep replays.
+
+use std::collections::HashMap;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use wcs_memshare::slowdown::{estimate_slowdown_with, ReplayMemo, SlowdownConfig};
+use wcs_simcore::table::OpenMap;
+use wcs_simcore::SimRng;
+use wcs_workloads::WorkloadId;
+
+/// The two-level simulator's access pattern: lookups dominate, inserts
+/// and removes happen on misses, keys are page numbers.
+fn bench_table(c: &mut Criterion) {
+    let keys: Vec<u64> = {
+        let mut rng = SimRng::seed_from(11);
+        (0..4096).map(|_| rng.next_u64() % 8192).collect()
+    };
+    c.bench_function("open_map_churn_4k", |b| {
+        b.iter(|| {
+            let mut map: OpenMap<u64, u32> = OpenMap::with_capacity(4096);
+            for (i, &k) in keys.iter().enumerate() {
+                match map.get_mut(&k) {
+                    Some(v) => *v += 1,
+                    None => {
+                        if map.len() >= 2048 {
+                            map.remove(&(k / 2));
+                        }
+                        map.insert(k, i as u32);
+                    }
+                }
+            }
+            black_box(map.len())
+        })
+    });
+    c.bench_function("std_hash_map_churn_4k", |b| {
+        b.iter(|| {
+            let mut map: HashMap<u64, u32> = HashMap::with_capacity(4096);
+            for (i, &k) in keys.iter().enumerate() {
+                match map.get_mut(&k) {
+                    Some(v) => *v += 1,
+                    None => {
+                        if map.len() >= 2048 {
+                            map.remove(&(k / 2));
+                        }
+                        map.insert(k, i as u32);
+                    }
+                }
+            }
+            black_box(map.len())
+        })
+    });
+}
+
+/// One Figure 4(b)-style point: cold recompute vs answered from the
+/// memo. The gap is the whole point of the memoization layer.
+fn bench_memoized_sweep(c: &mut Criterion) {
+    let config = SlowdownConfig::paper_default();
+    c.bench_function("slowdown_point_cold", |b| {
+        let memo = ReplayMemo::disabled();
+        b.iter(|| {
+            black_box(
+                estimate_slowdown_with(WorkloadId::Websearch, &config, &memo)
+                    .expect("valid config"),
+            )
+        })
+    });
+    c.bench_function("slowdown_point_warm", |b| {
+        let memo = ReplayMemo::new();
+        // Fill the caches once; every iteration after is a pure lookup.
+        let _ = estimate_slowdown_with(WorkloadId::Websearch, &config, &memo);
+        b.iter(|| {
+            black_box(
+                estimate_slowdown_with(WorkloadId::Websearch, &config, &memo)
+                    .expect("valid config"),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_table, bench_memoized_sweep);
+criterion_main!(benches);

@@ -10,34 +10,35 @@
 
 use wcs_core::designs::{CoolingConfig, DesignPoint};
 use wcs_core::evaluate::Evaluator;
-use wcs_flashcache::system::StorageSystem;
+use wcs_flashcache::memo::StorageMemo;
 use wcs_memshare::policy::PolicyKind;
-use wcs_memshare::slowdown::{estimate_slowdown, SlowdownConfig};
+use wcs_memshare::slowdown::{estimate_slowdown_with, ReplayMemo, SlowdownConfig};
 use wcs_platforms::future::TechTrend;
 use wcs_platforms::storage::{DiskModel, FlashModel};
 use wcs_platforms::{catalog, PlatformId};
 use wcs_simcore::ThreadPool;
 use wcs_tco::sensitivity::component_leverage;
 use wcs_tco::{BurdenedParams, Efficiency, TcoModel};
-use wcs_workloads::disktrace::{params_for, DiskTraceGen};
+use wcs_workloads::disktrace::params_for;
 use wcs_workloads::WorkloadId;
 
 fn main() {
-    let pool = wcs_bench::cli::parse().pool;
+    let args = wcs_bench::cli::parse();
+    let (pool, memo) = (args.pool, args.memo);
     activity_factor_sweep();
     tariff_sweep();
     component_leverage_ranking();
-    local_fraction_sweep();
-    flash_capacity_sweep();
-    n2_technique_ablation(pool);
-    future_projection(pool);
+    local_fraction_sweep(memo);
+    flash_capacity_sweep(memo);
+    n2_technique_ablation(pool, memo);
+    future_projection(pool, memo);
 }
 
 /// Does emb1's advantage persist as technology scales? (Section 3.4:
 /// "we expect these trends to hold into the future as well".)
-fn future_projection(pool: ThreadPool) {
+fn future_projection(pool: ThreadPool, memo: bool) {
     println!("\nAblation: technology projection (emb1-class platform vs srvr1, Perf/TCO-$)");
-    let eval = Evaluator::quick().with_pool(pool);
+    let eval = Evaluator::quick().with_pool(pool).with_memo(memo);
     let base = eval
         .evaluate(&DesignPoint::baseline_srvr1())
         .expect("baseline");
@@ -112,8 +113,11 @@ fn tariff_sweep() {
 }
 
 /// Local-memory fraction and policy sweep for the memory blade.
-fn local_fraction_sweep() {
+fn local_fraction_sweep(memo: bool) {
     println!("\nAblation: memory-blade local fraction x policy (websearch slowdown %)");
+    // Every cell replays the same websearch trace: the memo materializes
+    // it once and shares the buffer across all fraction x policy points.
+    let replays = ReplayMemo::with_enabled(memo);
     print!("  {:<8}", "local");
     for p in [PolicyKind::Lru, PolicyKind::Clock, PolicyKind::Random] {
         print!("{:>8}", format!("{p:?}"));
@@ -122,13 +126,14 @@ fn local_fraction_sweep() {
     for frac in [0.5, 0.25, 0.125, 0.0625] {
         print!("  {:<8}", format!("{:.1}%", frac * 100.0));
         for policy in [PolicyKind::Lru, PolicyKind::Clock, PolicyKind::Random] {
-            let r = estimate_slowdown(
+            let r = estimate_slowdown_with(
                 WorkloadId::Websearch,
                 &SlowdownConfig {
                     local_fraction: frac,
                     policy,
                     ..SlowdownConfig::paper_default()
                 },
+                &replays,
             )
             .expect("valid slowdown config");
             print!("{:>7.2}%", r.slowdown * 100.0);
@@ -139,18 +144,24 @@ fn local_fraction_sweep() {
 
 /// Flash-cache capacity sweep: mean service time for the ytube stream on
 /// the remote laptop disk.
-fn flash_capacity_sweep() {
+fn flash_capacity_sweep(memo: bool) {
     println!("\nAblation: flash capacity (ytube on remote laptop disk)");
-    let bare = {
-        let mut sys = StorageSystem::disk_only(DiskModel::laptop_remote());
-        let mut gen = DiskTraceGen::new(params_for(WorkloadId::Ytube), 1);
-        sys.replay(&mut gen, 80_000).mean_service_secs()
-    };
+    // One ytube trace replayed against six storage configurations: the
+    // memo materializes the trace once and shares it across the sweep.
+    let storage = StorageMemo::with_enabled(memo);
+    let params = params_for(WorkloadId::Ytube);
+    let bare = storage
+        .replay(&DiskModel::laptop_remote(), None, params, 1, 80_000)
+        .mean_service_secs();
     println!("  no flash: {:.2} ms/IO", bare * 1e3);
     for gb in [0.25, 0.5, 1.0, 2.0, 4.0] {
-        let mut sys = StorageSystem::with_flash(DiskModel::laptop_remote(), FlashModel::scaled(gb));
-        let mut gen = DiskTraceGen::new(params_for(WorkloadId::Ytube), 1);
-        let stats = sys.replay(&mut gen, 80_000);
+        let stats = storage.replay(
+            &DiskModel::laptop_remote(),
+            Some(&FlashModel::scaled(gb)),
+            params,
+            1,
+            80_000,
+        );
         println!(
             "  {gb:>4} GB: {:.2} ms/IO (hit ratio {:.0}%, ${:.0})",
             stats.mean_service_secs() * 1e3,
@@ -161,9 +172,9 @@ fn flash_capacity_sweep() {
 }
 
 /// N2 with each technique removed: which contributes what?
-fn n2_technique_ablation(pool: ThreadPool) {
+fn n2_technique_ablation(pool: ThreadPool, memo: bool) {
     println!("\nAblation: N2 technique contributions (HMean Perf/TCO-$ vs srvr1)");
-    let eval = Evaluator::quick().with_pool(pool);
+    let eval = Evaluator::quick().with_pool(pool).with_memo(memo);
     let base = eval
         .evaluate(&DesignPoint::baseline_srvr1())
         .expect("baseline");

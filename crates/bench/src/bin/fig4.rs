@@ -7,14 +7,17 @@ use wcs_memshare::blade::BladeModel;
 use wcs_memshare::link::RemoteLink;
 use wcs_memshare::policy::PolicyKind;
 use wcs_memshare::provisioning::Provisioning;
-use wcs_memshare::slowdown::{estimate_slowdown, SlowdownConfig};
+use wcs_memshare::slowdown::{estimate_slowdown_with, ReplayMemo, SlowdownConfig};
 use wcs_platforms::{catalog, PlatformId};
 use wcs_tco::{Efficiency, TcoModel};
 use wcs_workloads::WorkloadId;
 
 fn main() {
-    // Accept the fleet-wide --threads flag; this binary has no fan-out.
-    let _ = wcs_bench::cli::parse();
+    // Accept the fleet-wide flags; this binary has no fan-out. The memo
+    // lets the PCIe and CBF columns (same replay, different link) share
+    // one two-level simulation per workload.
+    let args = wcs_bench::cli::parse();
+    let memo = ReplayMemo::with_enabled(args.memo);
     println!("Figure 4(b): slowdowns with random replacement (% of execution time)");
     println!(
         "{:<18} {:>10} {:>9} {:>8} {:>10} {:>10}",
@@ -28,13 +31,14 @@ fn main() {
     ] {
         print!("{label:<18}");
         for id in WorkloadId::ALL {
-            let r = estimate_slowdown(
+            let r = estimate_slowdown_with(
                 id,
                 &SlowdownConfig {
                     local_fraction: frac,
                     link,
                     ..SlowdownConfig::paper_default()
                 },
+                &memo,
             )
             .expect("valid slowdown config");
             print!("{:>9.1}%", r.slowdown * 100.0);
@@ -47,12 +51,13 @@ fn main() {
 
     println!("\nReplacement-policy comparison (websearch, 25% local, PCIe x4):");
     for policy in [PolicyKind::Lru, PolicyKind::Clock, PolicyKind::Random] {
-        let r = estimate_slowdown(
+        let r = estimate_slowdown_with(
             WorkloadId::Websearch,
             &SlowdownConfig {
                 policy,
                 ..SlowdownConfig::paper_default()
             },
+            &memo,
         )
         .expect("valid slowdown config");
         println!(

@@ -23,7 +23,9 @@ fn main() {
         }
     };
 
-    let eval = Evaluator::paper_default().with_pool(args.pool);
+    let eval = Evaluator::paper_default()
+        .with_pool(args.pool)
+        .with_memo(args.memo);
     let baseline = eval
         .evaluate(&DesignPoint::baseline(baseline_id))
         .expect("baseline evaluates");

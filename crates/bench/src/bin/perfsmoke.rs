@@ -1,6 +1,7 @@
 //! Fixed-seed performance smoke test: times the workspace's main studies
-//! and the event-queue hot path, then writes `BENCH_results.json` to the
-//! current directory.
+//! and the event-queue hot path, verifies that memoized sweeps are
+//! byte-identical to cold recomputation, then writes
+//! `BENCH_results.json` to the current directory.
 //!
 //! All studies run with pinned seeds, so the *numbers* they produce are
 //! identical run to run and across `--threads` values; only the wall
@@ -12,7 +13,8 @@ use std::time::Instant;
 
 use wcs_bench::cli;
 use wcs_core::evaluate::Evaluator;
-use wcs_core::experiments::{cpu_study, unified_study};
+use wcs_core::experiments::{cpu_study, memory_study_with, run_disk_study_with, unified_study};
+use wcs_core::sweeps::{sweep_flash_capacity, sweep_local_fraction, sweep_platforms};
 use wcs_memshare::ensemble::{run_ensemble_pooled, ServerConfig};
 use wcs_memshare::link::RemoteLink;
 use wcs_memshare::policy::PolicyKind;
@@ -20,12 +22,30 @@ use wcs_platforms::PlatformId;
 use wcs_simcore::faults::FaultProcess;
 use wcs_simcore::{EventQueue, SimDuration, SimRng, SimTime};
 use wcs_simserver::{Cluster, ClusterFaults, Resource, RetryPolicy, ServerSpec, Stage};
+use wcs_workloads::perf::MeasureConfig;
 use wcs_workloads::WorkloadId;
 
 fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
     let start = Instant::now();
     let out = f();
     (out, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// The memoization-sensitive workload: every design-space sweep and
+/// study the caches accelerate, rendered to one canonical string. Any
+/// single-bit difference between memoized and cold runs shows up here.
+fn sweep_bundle(eval: &Evaluator) -> String {
+    let mut out = String::new();
+    let local = sweep_local_fraction(eval, &[0.5, 0.25, 0.125]).expect("sweep evaluates");
+    let flash = sweep_flash_capacity(eval, &[0.5, 1.0, 2.0]).expect("sweep evaluates");
+    let platforms = sweep_platforms(eval).expect("sweep evaluates");
+    let disk = run_disk_study_with(&MeasureConfig::quick(), eval.memo.storage());
+    let memory = memory_study_with(0.25, eval.memo.replay());
+    let _ = write!(
+        out,
+        "{local:?}\n{flash:?}\n{platforms:?}\n{disk:?}\n{memory:?}"
+    );
+    out
 }
 
 /// Push/pop one million uniformly-timed events and report events/sec.
@@ -48,8 +68,9 @@ fn event_queue_rate() -> (u64, f64) {
 }
 
 fn main() {
-    let pool = cli::parse().pool;
-    let eval = Evaluator::quick().with_pool(pool);
+    let args = cli::parse();
+    let pool = args.pool;
+    let eval = Evaluator::quick().with_pool(pool).with_memo(args.memo);
     let mut studies: Vec<(&str, f64)> = Vec::new();
 
     let (_, ms) = timed(|| cpu_study(&eval).expect("catalog platforms evaluate"));
@@ -100,6 +121,26 @@ fn main() {
 
     let (events, events_per_sec) = event_queue_rate();
 
+    // Memoization check: the full sweep bundle, cold (memo disabled),
+    // then twice on one memoized evaluator (filling, then warm). All
+    // three renders must be byte-identical — a divergence fails the run
+    // (and CI) before any results are written.
+    let cold_eval = Evaluator::quick().with_pool(pool).with_memo(false);
+    let (cold, sweep_cold_ms) = timed(|| sweep_bundle(&cold_eval));
+    let memo_eval = Evaluator::quick().with_pool(pool).with_memo(args.memo);
+    let (filling, _) = timed(|| sweep_bundle(&memo_eval));
+    let (warm, sweep_warm_ms) = timed(|| sweep_bundle(&memo_eval));
+    assert_eq!(
+        cold, filling,
+        "memoized sweep output diverged from cold recomputation"
+    );
+    assert_eq!(
+        cold, warm,
+        "warm (cached) sweep output diverged from cold recomputation"
+    );
+    let memo_stats = memo_eval.memo.stats();
+    let speedup = sweep_cold_ms / sweep_warm_ms;
+
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"threads\": {},", pool.threads());
     json.push_str("  \"studies\": [\n");
@@ -113,6 +154,16 @@ fn main() {
     json.push_str("  ],\n");
     let _ = writeln!(
         json,
+        "  \"memo\": {{\"enabled\": {}, \"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}, \
+         \"sweep_cold_ms\": {sweep_cold_ms:.3}, \"sweep_warm_ms\": {sweep_warm_ms:.3}, \
+         \"speedup\": {speedup:.2}, \"diverged\": false}},",
+        memo_eval.memo.is_enabled(),
+        memo_stats.hits,
+        memo_stats.misses,
+        memo_stats.hit_rate(),
+    );
+    let _ = writeln!(
+        json,
         "  \"event_queue\": {{\"events\": {events}, \"events_per_sec\": {events_per_sec:.0}}}"
     );
     json.push_str("}\n");
@@ -123,5 +174,10 @@ fn main() {
         println!("  {name:<22} {wall_ms:>10.1} ms");
     }
     println!("  event queue: {events_per_sec:.2e} events/sec");
+    println!(
+        "  memo sweep: cold {sweep_cold_ms:.1} ms, warm {sweep_warm_ms:.1} ms \
+         ({speedup:.1}x, hit rate {:.1}%, byte-identical)",
+        memo_stats.hit_rate() * 100.0
+    );
     println!("wrote BENCH_results.json");
 }

@@ -16,7 +16,8 @@ fn main() {
     } else {
         Evaluator::quick()
     }
-    .with_pool(args.pool);
+    .with_pool(args.pool)
+    .with_memo(args.memo);
 
     println!("# wcs reproduction report\n");
     println!(

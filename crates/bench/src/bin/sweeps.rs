@@ -7,7 +7,8 @@ use wcs_core::evaluate::Evaluator;
 use wcs_core::sweeps::{sweep_flash_capacity, sweep_local_fraction, sweep_platforms};
 
 fn main() {
-    let eval = Evaluator::quick().with_pool(wcs_bench::cli::parse().pool);
+    let args = wcs_bench::cli::parse();
+    let eval = Evaluator::quick().with_pool(args.pool).with_memo(args.memo);
 
     println!("Sweep: N2 local-memory fraction (HMean Perf/TCO-$ vs srvr1)");
     let sweep = sweep_local_fraction(&eval, &[0.5, 0.25, 0.125, 0.0625]).expect("evaluates");

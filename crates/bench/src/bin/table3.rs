@@ -3,13 +3,14 @@
 //!
 //! Run with `cargo run --release -p wcs-bench --bin table3`.
 
-use wcs_flashcache::study::{run_disk_study, DiskScenario};
+use wcs_flashcache::memo::StorageMemo;
+use wcs_flashcache::study::{run_disk_study_with, DiskScenario};
 use wcs_platforms::storage::FlashModel;
 use wcs_workloads::perf::MeasureConfig;
 
 fn main() {
-    // Accept the fleet-wide --threads flag; this binary has no fan-out.
-    let _ = wcs_bench::cli::parse();
+    // Accept the fleet-wide flags; this binary has no fan-out.
+    let args = wcs_bench::cli::parse();
     println!("Table 3(a): flash and disk parameters");
     let flash = FlashModel::table3();
     println!(
@@ -46,7 +47,8 @@ fn main() {
         "  {:<28} {:>7} {:>12} {:>8} {:>12}",
         "disk type", "Perf", "Perf/Inf-$", "Perf/W", "Perf/TCO-$"
     );
-    for row in run_disk_study(&MeasureConfig::default_accuracy()) {
+    let memo = StorageMemo::with_enabled(args.memo);
+    for row in run_disk_study_with(&MeasureConfig::default_accuracy(), &memo) {
         println!(
             "  {:<28} {:>6.0}% {:>11.0}% {:>7.0}% {:>11.0}%",
             row.name,

@@ -15,7 +15,8 @@ fn main() {
     } else {
         Evaluator::quick()
     }
-    .with_pool(args.pool);
+    .with_pool(args.pool)
+    .with_memo(args.memo);
     let card = run_scorecard(&eval);
     println!(
         "{:<10} {:<48} {:>10} {:>10} {:>7}",

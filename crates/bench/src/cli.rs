@@ -1,10 +1,11 @@
 //! Shared command-line handling for the bench binaries.
 //!
 //! Every binary accepts `--threads N` (or `--threads=N`), defaulting to
-//! the machine's available parallelism. The thread count never affects
-//! results — every parallel fan-out in the workspace seeds its tasks
-//! purely from the task index — so the flag is a wall-clock dial, not a
-//! reproducibility hazard.
+//! the machine's available parallelism, and `--no-memo`, which disables
+//! the sub-simulation result caches. Neither flag affects results —
+//! every parallel fan-out seeds its tasks purely from the task index,
+//! and every memoized value is a pure function of its key — so both are
+//! wall-clock dials, not reproducibility hazards.
 
 use std::process::exit;
 
@@ -16,6 +17,9 @@ use wcs_simcore::ThreadPool;
 pub struct BenchArgs {
     /// Worker pool sized by `--threads` (default: available parallelism).
     pub pool: ThreadPool,
+    /// Whether sub-simulation memoization is enabled (default) or
+    /// disabled by `--no-memo`.
+    pub memo: bool,
     /// Positional/unrecognized arguments, in order, for the binary's own
     /// parsing (e.g. `fig5`'s baseline platform).
     pub rest: Vec<String>,
@@ -33,9 +37,14 @@ pub fn parse() -> BenchArgs {
 /// Returns a message describing the malformed `--threads` usage.
 pub fn try_parse_from(args: impl Iterator<Item = String>) -> Result<BenchArgs, String> {
     let mut pool = ThreadPool::available();
+    let mut memo = true;
     let mut rest = Vec::new();
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
+        if arg == "--no-memo" {
+            memo = false;
+            continue;
+        }
         let value = if arg == "--threads" {
             Some(args.next().ok_or("--threads requires a value")?)
         } else {
@@ -51,7 +60,7 @@ pub fn try_parse_from(args: impl Iterator<Item = String>) -> Result<BenchArgs, S
             None => rest.push(arg),
         }
     }
-    Ok(BenchArgs { pool, rest })
+    Ok(BenchArgs { pool, memo, rest })
 }
 
 fn parse_from(args: impl Iterator<Item = String>) -> BenchArgs {
@@ -59,7 +68,7 @@ fn parse_from(args: impl Iterator<Item = String>) -> BenchArgs {
         Ok(parsed) => parsed,
         Err(msg) => {
             eprintln!("error: {msg}");
-            eprintln!("usage: <bin> [--threads N] [args...]");
+            eprintln!("usage: <bin> [--threads N] [--no-memo] [args...]");
             exit(2);
         }
     }
@@ -80,7 +89,18 @@ mod tests {
     fn defaults_to_available_parallelism() {
         let a = try_parse_from(strs(&[])).unwrap();
         assert_eq!(a.pool, ThreadPool::available());
+        assert!(a.memo, "memoization defaults on");
         assert!(a.rest.is_empty());
+    }
+
+    #[test]
+    fn no_memo_flag_disables_memoization() {
+        let a = try_parse_from(strs(&["--no-memo"])).unwrap();
+        assert!(!a.memo);
+        assert!(a.rest.is_empty());
+        let b = try_parse_from(strs(&["desk", "--no-memo", "--threads=2"])).unwrap();
+        assert!(!b.memo);
+        assert_eq!(b.rest, vec!["desk".to_owned()]);
     }
 
     #[test]

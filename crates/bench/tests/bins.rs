@@ -128,6 +128,15 @@ fn perfsmoke_writes_results_json() {
         "cpu_study_quick",
         "events_per_sec",
         "wall_ms",
+        "\"memo\"",
+        "\"enabled\": true",
+        "hit_rate",
+        "sweep_cold_ms",
+        "sweep_warm_ms",
+        "speedup",
+        // perfsmoke aborts before writing results if the memoized sweep
+        // output differs from cold recomputation by even one byte.
+        "\"diverged\": false",
     ] {
         assert!(json.contains(needle), "missing {needle} in {json}");
     }

@@ -1,0 +1,77 @@
+//! Memoization soundness: memo-on and memo-off runs must produce
+//! byte-identical results, at any thread count, and warm reruns must be
+//! answered from the caches without changing a bit.
+//!
+//! The workspace's guarantee is that every cached value is a pure
+//! function of its key — all inputs, including RNG seeds, are folded
+//! into the key — so the caches are a wall-clock optimization only.
+//! These tests pin that property for the drivers the bench binaries are
+//! built on: the CPU and unified studies, the design-space sweeps, the
+//! Table 3(b) disk study, and the Figure 4(b) memory study.
+
+use wcs_core::evaluate::Evaluator;
+use wcs_core::experiments::{cpu_study, memory_study_with, run_disk_study_with, unified_study};
+use wcs_core::sweeps::{sweep_flash_capacity, sweep_local_fraction};
+use wcs_flashcache::memo::StorageMemo;
+use wcs_memshare::slowdown::ReplayMemo;
+use wcs_platforms::PlatformId;
+use wcs_simcore::ThreadPool;
+use wcs_workloads::perf::MeasureConfig;
+
+/// Renders the memo-sensitive studies and sweeps under one evaluator.
+fn studies_and_sweeps(eval: &Evaluator) -> String {
+    let study = cpu_study(eval).expect("catalog platforms evaluate");
+    let (n1, n2) = unified_study(eval, PlatformId::Srvr1).expect("designs evaluate");
+    let local = sweep_local_fraction(eval, &[0.25, 0.125]).expect("sweep evaluates");
+    let flash = sweep_flash_capacity(eval, &[0.5, 2.0]).expect("sweep evaluates");
+    format!(
+        "{:?}\n{n1:?}\n{n2:?}\n{local:?}\n{flash:?}",
+        study.comparisons
+    )
+}
+
+#[test]
+fn memoized_studies_match_cold_at_any_thread_count() {
+    let cold = {
+        let eval = Evaluator::quick().with_memo(false);
+        studies_and_sweeps(&eval)
+    };
+    for threads in [1, 8] {
+        let eval = Evaluator::quick()
+            .with_pool(ThreadPool::new(threads).unwrap())
+            .with_memo(true);
+        let warm_fill = studies_and_sweeps(&eval);
+        assert_eq!(cold, warm_fill, "{threads}-thread memoized run diverged");
+        // Everything is cached now: a rerun must hit and stay identical.
+        let rerun = studies_and_sweeps(&eval);
+        assert_eq!(cold, rerun, "{threads}-thread warm rerun diverged");
+        let stats = eval.memo.stats();
+        assert!(stats.hit_rate() > 0.0, "warm rerun never hit: {stats:?}");
+    }
+}
+
+#[test]
+fn memoized_disk_study_matches_cold() {
+    let cfg = MeasureConfig::quick();
+    let cold = format!("{:?}", run_disk_study_with(&cfg, &StorageMemo::disabled()));
+    let memo = StorageMemo::new();
+    let first = format!("{:?}", run_disk_study_with(&cfg, &memo));
+    let warm = format!("{:?}", run_disk_study_with(&cfg, &memo));
+    assert_eq!(cold, first, "memoized disk study diverged");
+    assert_eq!(cold, warm, "warm disk study diverged");
+    assert!(memo.stats().hits > 0);
+}
+
+#[test]
+fn memoized_memory_study_matches_cold() {
+    for fraction in [0.25, 0.125] {
+        let cold = format!("{:?}", memory_study_with(fraction, &ReplayMemo::disabled()));
+        let memo = ReplayMemo::new();
+        let first = format!("{:?}", memory_study_with(fraction, &memo));
+        let warm = format!("{:?}", memory_study_with(fraction, &memo));
+        assert_eq!(cold, first, "memoized memory study diverged at {fraction}");
+        assert_eq!(cold, warm, "warm memory study diverged at {fraction}");
+        // PCIe and CBF share replays even on the first pass.
+        assert!(memo.stats().hits > 0, "{:?}", memo.stats());
+    }
+}

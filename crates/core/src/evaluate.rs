@@ -3,20 +3,21 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
-use wcs_flashcache::system::StorageSystem;
 use wcs_memshare::contention::SharedLink;
-use wcs_memshare::slowdown::{estimate_slowdown, SlowdownConfig};
+use wcs_memshare::slowdown::{estimate_slowdown_with, SlowdownConfig};
 use wcs_platforms::Platform;
 use wcs_simcore::stats::harmonic_mean;
 use wcs_simcore::ThreadPool;
 use wcs_tco::{BurdenedParams, Efficiency, RackConfig, RealEstateParams, TcoModel, TcoReport};
-use wcs_workloads::disktrace::{params_for as disk_params, DiskTraceGen};
+use wcs_workloads::disktrace::params_for as disk_params;
 use wcs_workloads::perf::{measure_perf_with_demand, MeasureConfig, MeasureError};
 use wcs_workloads::service::PlatformDemand;
 use wcs_workloads::{suite, WorkloadId};
 
 use crate::designs::DesignPoint;
+use crate::memo::EvalMemo;
 
 /// Evaluates design points: runs every workload's performance metric and
 /// prices the design's bill of materials.
@@ -40,6 +41,11 @@ pub struct Evaluator {
     /// construction; any thread count produces bit-identical results
     /// because every task seeds its own RNG stream from the task index.
     pub pool: ThreadPool,
+    /// Sub-simulation caches shared by every evaluation (and, through
+    /// the `Arc`, by every clone of this evaluator). Enabled by default;
+    /// memoized results are byte-identical to cold recomputation because
+    /// each cached value is a pure function of its key.
+    pub memo: Arc<EvalMemo>,
 }
 
 impl Evaluator {
@@ -52,6 +58,7 @@ impl Evaluator {
             storage_replay: 120_000,
             real_estate: None,
             pool: ThreadPool::serial(),
+            memo: Arc::new(EvalMemo::new()),
         }
     }
 
@@ -71,6 +78,15 @@ impl Evaluator {
     /// from scheduling order.
     pub fn with_pool(mut self, pool: ThreadPool) -> Self {
         self.pool = pool;
+        self
+    }
+
+    /// Returns this evaluator with memoization switched on or off (a
+    /// fresh, empty memo either way). Disabled, every sub-simulation
+    /// recomputes from its live generators — the pre-memoization cold
+    /// path.
+    pub fn with_memo(mut self, enabled: bool) -> Self {
+        self.memo = Arc::new(EvalMemo::with_enabled(enabled));
         self
     }
 
@@ -150,24 +166,26 @@ impl Evaluator {
             platform.memory.capacity_gib,
         );
         if let Some(scenario) = &design.storage {
-            let mut sys = match &scenario.flash {
-                Some(f) => StorageSystem::with_flash(scenario.disk.clone(), f.clone()),
-                None => StorageSystem::disk_only(scenario.disk.clone()),
-            };
-            let mut gen = DiskTraceGen::new(disk_params(id), self.measure.seed ^ 0xD15C);
-            let stats = sys.replay(&mut gen, self.storage_replay);
+            let stats = self.memo.storage().replay(
+                &scenario.disk,
+                scenario.flash.as_ref(),
+                disk_params(id),
+                self.measure.seed ^ 0xD15C,
+                self.storage_replay,
+            );
             demand.set_disk_secs(wl.demand.io_per_req * stats.mean_service_secs());
         }
         if let Some(ms) = &design.memshare {
             // First pass: fault rate at the uncontended link; second
             // pass folds the shared link's M/D/1 queueing delay back in.
-            let base = estimate_slowdown(
+            let base = estimate_slowdown_with(
                 id,
                 &SlowdownConfig {
                     local_fraction: ms.provisioning.local_fraction,
                     link: ms.link,
                     ..SlowdownConfig::paper_default()
                 },
+                self.memo.replay(),
             )
             .expect("memshare design has local_fraction in (0, 1]");
             let shared = SharedLink::new(ms.link, ms.servers_per_blade.max(1));
@@ -175,7 +193,9 @@ impl Evaluator {
             let slowdown = 1.0 + base.faults_per_cpu_sec * effective.fault_latency_secs();
             demand.inflate_cpu(slowdown);
         }
-        measure_perf_with_demand(&wl, &demand, &self.measure).map(|r| r.value)
+        self.memo.perf(id, &demand, &self.measure, || {
+            measure_perf_with_demand(&wl, &demand, &self.measure).map(|r| r.value)
+        })
     }
 }
 
@@ -290,6 +310,24 @@ mod tests {
             assert!((row.perf_per_tco - 1.0).abs() < 1e-9);
         }
         assert!((cmp.hmean(|r| r.perf) - 1.0).abs() < 1e-9);
+    }
+
+    /// Memoization must not change a single bit of any evaluation: the
+    /// N2 design exercises all three caches (storage replay, memory
+    /// replay, performance points).
+    #[test]
+    fn memoized_evaluation_is_bit_identical() {
+        let cold = Evaluator::quick().with_memo(false);
+        let warm = Evaluator::quick();
+        let design = DesignPoint::n2();
+        let a = cold.evaluate(&design).unwrap();
+        let b = warm.evaluate(&design).unwrap();
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        // A warm re-evaluation is answered from the caches, identically.
+        let c = warm.evaluate(&design).unwrap();
+        assert_eq!(format!("{a:?}"), format!("{c:?}"));
+        assert!(warm.memo.stats().hits > 0, "{:?}", warm.memo.stats());
+        assert_eq!(cold.memo.stats().hits, 0);
     }
 
     #[test]

@@ -12,12 +12,12 @@
 use std::collections::BTreeMap;
 
 use wcs_memshare::link::RemoteLink;
-use wcs_memshare::slowdown::{estimate_slowdown, SlowdownConfig, SlowdownResult};
+use wcs_memshare::slowdown::{estimate_slowdown_with, ReplayMemo, SlowdownConfig, SlowdownResult};
 use wcs_platforms::PlatformId;
 use wcs_workloads::perf::MeasureError;
 use wcs_workloads::WorkloadId;
 
-pub use wcs_flashcache::study::{run_disk_study, DiskStudyRow};
+pub use wcs_flashcache::study::{run_disk_study, run_disk_study_with, DiskStudyRow};
 
 use crate::designs::DesignPoint;
 use crate::evaluate::{Comparison, Evaluator};
@@ -75,24 +75,37 @@ pub fn cpu_study(eval: &Evaluator) -> Result<CpuStudy, MeasureError> {
 /// given local-memory fraction, for both the whole-page PCIe link and
 /// CBF.
 pub fn memory_study(local_fraction: f64) -> BTreeMap<WorkloadId, (SlowdownResult, SlowdownResult)> {
+    memory_study_with(local_fraction, &ReplayMemo::disabled())
+}
+
+/// [`memory_study`] with a shared [`ReplayMemo`]: the PCIe and CBF
+/// columns differ only in the link model, which the estimator applies
+/// analytically after the replay, so each workload's two-level replay
+/// runs once and the second column is answered from the cache.
+pub fn memory_study_with(
+    local_fraction: f64,
+    memo: &ReplayMemo,
+) -> BTreeMap<WorkloadId, (SlowdownResult, SlowdownResult)> {
     let mut out = BTreeMap::new();
     for id in WorkloadId::ALL {
-        let pcie = estimate_slowdown(
+        let pcie = estimate_slowdown_with(
             id,
             &SlowdownConfig {
                 local_fraction,
                 link: RemoteLink::pcie_x4(),
                 ..SlowdownConfig::paper_default()
             },
+            memo,
         )
         .expect("local fraction in (0, 1]");
-        let cbf = estimate_slowdown(
+        let cbf = estimate_slowdown_with(
             id,
             &SlowdownConfig {
                 local_fraction,
                 link: RemoteLink::pcie_x4_cbf(),
                 ..SlowdownConfig::paper_default()
             },
+            memo,
         )
         .expect("local fraction in (0, 1]");
         out.insert(id, (pcie, cbf));

@@ -31,6 +31,7 @@
 pub mod designs;
 pub mod evaluate;
 pub mod experiments;
+pub mod memo;
 pub mod report;
 pub mod sweeps;
 pub mod validate;

@@ -1,0 +1,135 @@
+//! The evaluation pipeline's memoization layer.
+//!
+//! One [`EvalMemo`] aggregates the three caches a design-space sweep
+//! exercises: storage-trace replays (from `wcs-flashcache`), two-level
+//! memory replays (from `wcs-memshare`), and the final performance
+//! measurements. Sweep points differ in a few design parameters but
+//! share most sub-simulations — the same disk scenario, the same memory
+//! trace, the same demand vector — so a warm sweep answers most of its
+//! work from the caches.
+//!
+//! Every cached value is a pure function of its key (all inputs,
+//! including RNG seeds, are folded into the key), so memoized and
+//! unmemoized runs are byte-identical by construction.
+
+use std::sync::Arc;
+
+use wcs_flashcache::memo::StorageMemo;
+use wcs_memshare::slowdown::ReplayMemo;
+use wcs_simcore::memo::{MemoCache, MemoKey, MemoStats};
+use wcs_workloads::perf::{MeasureConfig, MeasureError};
+use wcs_workloads::service::PlatformDemand;
+use wcs_workloads::WorkloadId;
+
+/// Caches shared across every evaluation an [`Evaluator`] performs.
+///
+/// [`Evaluator`]: crate::evaluate::Evaluator
+#[derive(Debug, Default)]
+pub struct EvalMemo {
+    storage: StorageMemo,
+    replay: ReplayMemo,
+    perf: MemoCache<Result<f64, MeasureError>>,
+}
+
+impl EvalMemo {
+    /// An enabled memo.
+    pub fn new() -> Self {
+        Self::with_enabled(true)
+    }
+
+    /// A disabled memo: every sub-simulation recomputes from its live
+    /// generator, exactly as the unmemoized code path would.
+    pub fn disabled() -> Self {
+        Self::with_enabled(false)
+    }
+
+    /// A memo with caching switched on or off.
+    pub fn with_enabled(enabled: bool) -> Self {
+        EvalMemo {
+            storage: StorageMemo::with_enabled(enabled),
+            replay: ReplayMemo::with_enabled(enabled),
+            perf: MemoCache::with_enabled(enabled),
+        }
+    }
+
+    /// Whether lookups hit the caches.
+    pub fn is_enabled(&self) -> bool {
+        self.perf.is_enabled()
+    }
+
+    /// The storage-replay caches.
+    pub fn storage(&self) -> &StorageMemo {
+        &self.storage
+    }
+
+    /// The two-level memory replay caches.
+    pub fn replay(&self) -> &ReplayMemo {
+        &self.replay
+    }
+
+    /// Hit/miss counters merged across every cache.
+    pub fn stats(&self) -> MemoStats {
+        self.storage
+            .stats()
+            .merged(&self.replay.stats())
+            .merged(&self.perf.stats())
+    }
+
+    /// A cached performance measurement, keyed on the workload, the full
+    /// platform demand vector (which already folds in storage service
+    /// times and memory-sharing slowdowns), and the measurement config.
+    /// `compute` runs on a miss and must be a pure function of the key.
+    pub fn perf(
+        &self,
+        id: WorkloadId,
+        demand: &PlatformDemand,
+        cfg: &MeasureConfig,
+        compute: impl FnOnce() -> Result<f64, MeasureError>,
+    ) -> Result<f64, MeasureError> {
+        let key = MemoKey::new("eval-perf").push(&id).push(demand).push(cfg);
+        self.perf.get_or_compute(key.finish(), compute)
+    }
+
+    /// A shared handle to an enabled memo (the [`Evaluator`] default).
+    ///
+    /// [`Evaluator`]: crate::evaluate::Evaluator
+    pub fn shared(enabled: bool) -> Arc<Self> {
+        Arc::new(Self::with_enabled(enabled))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcs_platforms::{catalog, PlatformId};
+    use wcs_workloads::suite;
+
+    #[test]
+    fn perf_cache_returns_first_computation() {
+        let memo = EvalMemo::new();
+        let wl = suite::workload(WorkloadId::Websearch);
+        let platform = catalog::platform(PlatformId::Emb1);
+        let demand = PlatformDemand::new(&wl, &platform);
+        let cfg = MeasureConfig::quick();
+        let a = memo.perf(WorkloadId::Websearch, &demand, &cfg, || Ok(1.0));
+        let b = memo.perf(WorkloadId::Websearch, &demand, &cfg, || Ok(2.0));
+        assert_eq!(a.unwrap(), 1.0);
+        assert_eq!(b.unwrap(), 1.0);
+        assert_eq!(memo.stats().hits, 1);
+    }
+
+    #[test]
+    fn disabled_memo_always_recomputes() {
+        let memo = EvalMemo::disabled();
+        assert!(!memo.is_enabled());
+        let wl = suite::workload(WorkloadId::Webmail);
+        let platform = catalog::platform(PlatformId::Desk);
+        let demand = PlatformDemand::new(&wl, &platform);
+        let cfg = MeasureConfig::quick();
+        let a = memo.perf(WorkloadId::Webmail, &demand, &cfg, || Ok(1.0));
+        let b = memo.perf(WorkloadId::Webmail, &demand, &cfg, || Ok(2.0));
+        assert_eq!(a.unwrap(), 1.0);
+        assert_eq!(b.unwrap(), 2.0);
+        assert_eq!(memo.stats().hits, 0);
+    }
+}

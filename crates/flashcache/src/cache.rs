@@ -1,6 +1,11 @@
 //! The flash cache: extent entries, clock eviction, wear accounting.
+//!
+//! The slot bookkeeping (key map, dirty/ref bits, clock hand) is the
+//! shared [`SlotCache`] kernel — the same machinery the memshare page
+//! store uses — leaving this module with what is flash-specific: wear
+//! accounting (program bytes, erases) layered over the kernel's events.
 
-use std::collections::HashMap;
+use wcs_simcore::slotcache::SlotCache;
 
 /// Wear statistics for the flash device.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -55,26 +60,18 @@ impl WearStats {
 /// ```
 #[derive(Debug)]
 pub struct FlashCacheIndex {
-    capacity: usize,
-    map: HashMap<u64, usize>,
-    // slot -> (extent key, dirty, ref bit)
-    slots: Vec<(u64, bool, bool)>,
-    hand: usize,
+    cache: SlotCache,
     wear_extent_bytes: u64,
     wear: WearStats,
 }
 
 impl FlashCacheIndex {
-    /// Creates a cache holding up to `capacity` extents.
-    ///
-    /// # Panics
-    /// Panics if `capacity` is zero.
+    /// Creates a cache holding up to `capacity` extents (clamped up to
+    /// one).
     pub fn new(capacity: usize) -> Self {
         FlashCacheIndex {
-            capacity: capacity.max(1),
-            map: HashMap::with_capacity(capacity * 2),
-            slots: Vec::with_capacity(capacity),
-            hand: 0,
+            // Clock eviction never consults a recency list.
+            cache: SlotCache::new(capacity.max(1), false),
             wear_extent_bytes: 0,
             wear: WearStats::default(),
         }
@@ -92,17 +89,17 @@ impl FlashCacheIndex {
 
     /// Maximum number of extents the cache can hold.
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.cache.capacity()
     }
 
     /// Number of cached extents.
     pub fn len(&self) -> usize {
-        self.slots.len()
+        self.cache.len()
     }
 
     /// True when nothing is cached.
     pub fn is_empty(&self) -> bool {
-        self.slots.is_empty()
+        self.cache.is_empty()
     }
 
     /// Wear counters so far.
@@ -114,33 +111,21 @@ impl FlashCacheIndex {
     /// inserted (programming flash), possibly evicting a victim (erasing
     /// its blocks). `write` marks the extent dirty.
     pub fn access(&mut self, extent: u64, write: bool) -> bool {
-        if let Some(&slot) = self.map.get(&extent) {
-            self.slots[slot].1 |= write;
-            self.slots[slot].2 = true;
+        if let Some(slot) = self.cache.lookup(extent) {
+            self.cache.touch_existing(slot, write);
             if write {
                 self.wear.bytes_programmed += self.wear_extent_bytes;
             }
             return true;
         }
-        // Miss: insert, evicting if full.
-        if self.slots.len() >= self.capacity {
-            let victim = loop {
-                let s = self.hand;
-                self.hand = (self.hand + 1) % self.slots.len();
-                if self.slots[s].2 {
-                    self.slots[s].2 = false;
-                } else {
-                    break s;
-                }
-            };
-            let (old, _dirty, _) = self.slots[victim];
-            self.map.remove(&old);
+        // Miss: insert (programming flash), evicting if full (erasing
+        // the victim's blocks).
+        if self.cache.is_full() {
+            let victim = self.cache.clock_victim();
+            self.cache.replace(victim, extent, write);
             self.wear.erases += 1;
-            self.slots[victim] = (extent, write, true);
-            self.map.insert(extent, victim);
         } else {
-            self.slots.push((extent, write, true));
-            self.map.insert(extent, self.slots.len() - 1);
+            self.cache.insert(extent, write);
         }
         self.wear.bytes_programmed += self.wear_extent_bytes;
         false

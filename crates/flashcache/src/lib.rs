@@ -36,5 +36,6 @@
 
 pub mod cache;
 pub mod ftl;
+pub mod memo;
 pub mod study;
 pub mod system;

@@ -4,12 +4,12 @@ use wcs_platforms::storage::{DiskModel, FlashModel};
 use wcs_platforms::{catalog, BomItem, Component, Platform, PlatformId};
 use wcs_simcore::stats::harmonic_mean;
 use wcs_tco::{Efficiency, TcoModel};
-use wcs_workloads::disktrace::{params_for, DiskTraceGen};
+use wcs_workloads::disktrace::params_for;
 use wcs_workloads::perf::{measure_perf_with_demand, MeasureConfig};
 use wcs_workloads::service::PlatformDemand;
 use wcs_workloads::{suite, Metric, WorkloadId};
 
-use crate::system::StorageSystem;
+use crate::memo::StorageMemo;
 
 /// A disk configuration under study (Table 3's columns).
 #[derive(Debug, Clone)]
@@ -86,13 +86,6 @@ impl DiskScenario {
         p.name = format!("{}+{}", platform.name, self.name);
         p
     }
-
-    fn storage_system(&self) -> StorageSystem {
-        match &self.flash {
-            Some(f) => StorageSystem::with_flash(self.disk.clone(), f.clone()),
-            None => StorageSystem::disk_only(self.disk.clone()),
-        }
-    }
 }
 
 /// One row of Table 3(b): a scenario's efficiency relative to the
@@ -120,12 +113,28 @@ pub fn scenario_perf(
     platform: &Platform,
     cfg: &MeasureConfig,
 ) -> Vec<(WorkloadId, f64)> {
+    scenario_perf_with(scenario, platform, cfg, &StorageMemo::disabled())
+}
+
+/// [`scenario_perf`] with a shared [`StorageMemo`]: block traces are
+/// materialized once per workload and replays / performance points are
+/// cached across scenarios and repeated studies.
+pub fn scenario_perf_with(
+    scenario: &DiskScenario,
+    platform: &Platform,
+    cfg: &MeasureConfig,
+    memo: &StorageMemo,
+) -> Vec<(WorkloadId, f64)> {
     let mut out = Vec::new();
     for id in WorkloadId::ALL {
         let wl = suite::workload(id);
-        let mut sys = scenario.storage_system();
-        let mut gen = DiskTraceGen::new(params_for(id), cfg.seed ^ 0xD15C);
-        let stats = sys.replay(&mut gen, 120_000);
+        let stats = memo.replay(
+            &scenario.disk,
+            scenario.flash.as_ref(),
+            params_for(id),
+            cfg.seed ^ 0xD15C,
+            120_000,
+        );
         let mut demand = PlatformDemand::with_overrides(
             &wl,
             platform,
@@ -133,9 +142,11 @@ pub fn scenario_perf(
             platform.memory.capacity_gib,
         );
         demand.set_disk_secs(wl.demand.io_per_req * stats.mean_service_secs());
-        let perf = measure_perf_with_demand(&wl, &demand, cfg)
-            .map(|r| r.value)
-            .unwrap_or(f64::NAN);
+        let perf = memo.perf(id, &demand, cfg, || {
+            measure_perf_with_demand(&wl, &demand, cfg)
+                .map(|r| r.value)
+                .unwrap_or(f64::NAN)
+        });
         out.push((id, perf));
     }
     out
@@ -144,18 +155,29 @@ pub fn scenario_perf(
 /// Runs the full Table 3(b) study on `emb1` and returns the three
 /// non-baseline rows (plus the baseline row at 100%).
 pub fn run_disk_study(cfg: &MeasureConfig) -> Vec<DiskStudyRow> {
+    run_disk_study_with(cfg, &StorageMemo::disabled())
+}
+
+/// [`run_disk_study`] with a shared [`StorageMemo`].
+pub fn run_disk_study_with(cfg: &MeasureConfig, memo: &StorageMemo) -> Vec<DiskStudyRow> {
     let platform = catalog::platform(PlatformId::Emb1);
     let model = TcoModel::paper_default();
     let scenarios = DiskScenario::all();
 
     let baseline = &scenarios[0];
-    let base_perf = scenario_perf(baseline, &platform, cfg);
+    let base_perf = scenario_perf_with(baseline, &platform, cfg, memo);
     let base_bom = baseline.apply_bom(&platform);
     let base_tco = model.server_tco(&base_bom);
 
     let mut rows = Vec::new();
-    for scenario in &scenarios {
-        let perfs = scenario_perf(scenario, &platform, cfg);
+    for (i, scenario) in scenarios.iter().enumerate() {
+        // The baseline's per-workload numbers are already in hand; don't
+        // measure them twice.
+        let perfs = if i == 0 {
+            base_perf.clone()
+        } else {
+            scenario_perf_with(scenario, &platform, cfg, memo)
+        };
         let rel: Vec<f64> = perfs
             .iter()
             .zip(&base_perf)
@@ -233,5 +255,23 @@ mod tests {
         assert!(flash.perf > laptop.perf);
         // Perf/W improves in all flash scenarios (paper: 109%).
         assert!(flash.perf_per_watt > 1.0);
+    }
+
+    /// Memoized and unmemoized studies must render byte-identically, and
+    /// a warm rerun must be answered from the cache.
+    #[test]
+    fn memoized_study_is_bit_identical() {
+        let cfg = MeasureConfig::quick();
+        let cold = run_disk_study(&cfg);
+        let memo = StorageMemo::new();
+        let first = run_disk_study_with(&cfg, &memo);
+        assert_eq!(format!("{cold:?}"), format!("{first:?}"));
+        let warm = run_disk_study_with(&cfg, &memo);
+        assert_eq!(format!("{cold:?}"), format!("{warm:?}"));
+        let stats = memo.stats();
+        assert!(
+            stats.hits > stats.misses,
+            "warm rerun should hit: {stats:?}"
+        );
     }
 }

@@ -1,10 +1,19 @@
 //! The storage system: a disk, optionally fronted by a flash cache.
+//!
+//! The replay loop is chunked: requests are staged into a small scratch
+//! buffer (from the live generator or from a materialized trace slice)
+//! and consumed by one shared slice kernel, so both paths execute
+//! byte-identical simulation code and differ only in where the chunk
+//! comes from.
 
 use wcs_platforms::storage::{DiskModel, FlashModel};
 use wcs_simcore::stats::Histogram;
-use wcs_workloads::disktrace::DiskTraceGen;
+use wcs_workloads::disktrace::{BlockAccess, DiskTraceGen};
 
 use crate::cache::{FlashCacheIndex, WearStats};
+
+/// Requests staged per chunk of the replay loop.
+const CHUNK: usize = 4096;
 
 /// Statistics from replaying a block trace.
 #[derive(Debug, Clone, Default)]
@@ -121,22 +130,22 @@ impl StorageSystem {
         self.flash.is_some() && !self.flash_failed
     }
 
-    /// Replays `n` requests from the generator, returning service
-    /// statistics. The flash cache (if any) is sized for the generator's
-    /// request extent before the replay.
-    pub fn replay(&mut self, gen: &mut DiskTraceGen, n: u64) -> StorageStats {
-        let extent_bytes = gen.params().request_blocks as u64 * 4096;
+    /// Sizes the flash cache (if present and still cold) for the
+    /// workload's request extent.
+    fn size_flash(&mut self, extent_bytes: u64) {
         if let Some((flash, index)) = &mut self.flash {
             let capacity_extents =
                 ((flash.capacity_gb * 1e9) as u64 / extent_bytes).max(1) as usize;
-            if index.is_empty() && index.is_empty() {
+            if index.is_empty() {
                 *index = FlashCacheIndex::new(capacity_extents);
                 index.set_extent_bytes(extent_bytes);
             }
         }
-        let mut stats = StorageStats::default();
-        for _ in 0..n {
-            let req = gen.next_access();
+    }
+
+    /// The shared replay kernel: consumes one staged chunk of requests.
+    fn replay_slice(&mut self, chunk: &[BlockAccess], stats: &mut StorageStats) {
+        for req in chunk {
             let bytes = req.bytes() as f64;
             stats.requests += 1;
             // A failed flash device degrades to the bare-disk path:
@@ -167,9 +176,52 @@ impl StorageSystem {
                 }
             }
         }
+    }
+
+    /// Copies the cache's wear counters into the replay's statistics.
+    fn finish_wear(&self, stats: &mut StorageStats) {
         if let (Some((_, index)), false) = (&self.flash, self.flash_failed) {
             stats.wear = index.wear();
         }
+    }
+
+    /// Replays `n` requests from the generator, returning service
+    /// statistics. The flash cache (if any) is sized for the generator's
+    /// request extent before the replay.
+    pub fn replay(&mut self, gen: &mut DiskTraceGen, n: u64) -> StorageStats {
+        self.size_flash(gen.params().request_blocks as u64 * 4096);
+        let mut stats = StorageStats::default();
+        let mut scratch = [BlockAccess {
+            block: 0,
+            blocks: 0,
+            write: false,
+        }; CHUNK];
+        let mut left = n;
+        while left > 0 {
+            let take = (left as usize).min(CHUNK);
+            for slot in &mut scratch[..take] {
+                *slot = gen.next_access();
+            }
+            self.replay_slice(&scratch[..take], &mut stats);
+            left -= take as u64;
+        }
+        self.finish_wear(&mut stats);
+        stats
+    }
+
+    /// Replays a materialized trace whose requests use extents of
+    /// `request_blocks` 4 KiB blocks.
+    ///
+    /// Bit-identical to [`replay`](Self::replay) over the same requests:
+    /// the buffer stores exactly what the generator would produce, and
+    /// both paths feed the same slice kernel.
+    pub fn replay_trace(&mut self, request_blocks: u32, trace: &[BlockAccess]) -> StorageStats {
+        self.size_flash(request_blocks as u64 * 4096);
+        let mut stats = StorageStats::default();
+        for chunk in trace.chunks(CHUNK) {
+            self.replay_slice(chunk, &mut stats);
+        }
+        self.finish_wear(&mut stats);
         stats
     }
 }
@@ -238,6 +290,29 @@ mod tests {
             bytes_per_sec,
             3.0
         ));
+    }
+
+    #[test]
+    fn trace_replay_is_bit_identical_to_generator_replay() {
+        for (id, flash) in [
+            (WorkloadId::Ytube, Some(FlashModel::table3())),
+            (WorkloadId::MapredWr, Some(FlashModel::table3())),
+            (WorkloadId::Webmail, None),
+        ] {
+            let params = params_for(id);
+            let build = || match &flash {
+                Some(f) => StorageSystem::with_flash(DiskModel::laptop_remote(), f.clone()),
+                None => StorageSystem::disk_only(DiskModel::laptop_remote()),
+            };
+            let from_gen = build().replay(&mut gen(id, 31), 50_000);
+            let trace = wcs_workloads::disktrace::materialize(params, 31, 50_000);
+            let from_trace = build().replay_trace(params.request_blocks, &trace);
+            assert_eq!(
+                format!("{from_gen:?}"),
+                format!("{from_trace:?}"),
+                "{id} diverged"
+            );
+        }
     }
 
     #[test]

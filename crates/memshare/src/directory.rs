@@ -8,13 +8,20 @@
 //! on every page access, and whole-server revocation (fault isolation —
 //! a dead server's pages are reclaimed without touching anyone else's).
 
-use std::collections::HashMap;
 use std::fmt;
+
+use wcs_simcore::table::{FastKey, OpenMap};
 
 /// Identifies a server blade attached to the memory blade.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ServerId(pub u32);
+
+impl FastKey for ServerId {
+    fn fast_hash(&self) -> u64 {
+        self.0.fast_hash()
+    }
+}
 
 impl fmt::Display for ServerId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -84,11 +91,14 @@ struct Allocation {
 pub struct BladeDirectory {
     capacity_pages: u64,
     allocated_pages: u64,
-    servers: HashMap<ServerId, Allocation>,
+    servers: OpenMap<ServerId, Allocation>,
     // blade physical page -> (owner, server-virtual page)
-    owner_of: HashMap<u64, (ServerId, u64)>,
-    // (owner, server-virtual page) -> blade physical page
-    mapping: HashMap<(ServerId, u64), u64>,
+    owner_of: OpenMap<u64, (ServerId, u64)>,
+    // (owner id, server-virtual page) -> blade physical page. Keyed on
+    // the raw id so the tuple gets the shared `(u32, u64)` fast hash;
+    // OpenMap's deterministic iteration makes revocation (and therefore
+    // free-page recycling order) reproducible across runs.
+    mapping: OpenMap<(u32, u64), u64>,
     next_phys: u64,
     free: Vec<u64>,
 }
@@ -103,9 +113,9 @@ impl BladeDirectory {
         BladeDirectory {
             capacity_pages,
             allocated_pages: 0,
-            servers: HashMap::new(),
-            owner_of: HashMap::new(),
-            mapping: HashMap::new(),
+            servers: OpenMap::new(),
+            owner_of: OpenMap::new(),
+            mapping: OpenMap::new(),
             next_phys: 0,
             free: Vec::new(),
         }
@@ -174,7 +184,7 @@ impl BladeDirectory {
     /// Fails when the server is unknown, over its limit, or the blade is
     /// physically full.
     pub fn map_page(&mut self, server: ServerId, virt_page: u64) -> Result<u64, BladeError> {
-        if let Some(&phys) = self.mapping.get(&(server, virt_page)) {
+        if let Some(&phys) = self.mapping.get(&(server.0, virt_page)) {
             return Ok(phys); // idempotent re-map
         }
         let alloc = self
@@ -200,7 +210,7 @@ impl BladeDirectory {
         };
         alloc.used_pages += 1;
         self.owner_of.insert(phys, (server, virt_page));
-        self.mapping.insert((server, virt_page), phys);
+        self.mapping.insert((server.0, virt_page), phys);
         Ok(phys)
     }
 
@@ -224,7 +234,7 @@ impl BladeDirectory {
     pub fn unmap_page(&mut self, server: ServerId, virt_page: u64) -> Result<(), BladeError> {
         let phys =
             self.mapping
-                .remove(&(server, virt_page))
+                .remove(&(server.0, virt_page))
                 .ok_or(BladeError::IsolationViolation {
                     server,
                     page: virt_page,
@@ -245,10 +255,10 @@ impl BladeDirectory {
             return 0;
         };
         self.allocated_pages = self.allocated_pages.saturating_sub(alloc.limit_pages);
-        let doomed: Vec<(ServerId, u64)> = self
+        let doomed: Vec<(u32, u64)> = self
             .mapping
             .keys()
-            .filter(|(s, _)| *s == server)
+            .filter(|(s, _)| *s == server.0)
             .copied()
             .collect();
         let mut freed = 0;

@@ -9,8 +9,7 @@
 //! over simulated page contents and reports the ensemble-level capacity
 //! saving.
 
-use std::collections::HashMap;
-
+use wcs_simcore::table::OpenMap;
 use wcs_simcore::SimRng;
 
 /// A synthetic model of one server's blade-resident page *contents*:
@@ -104,11 +103,16 @@ pub fn dedup_scan(
     profile.validate();
     assert!(servers > 0 && pages_per_server > 0, "need pages to scan");
     let mut rng = SimRng::seed_from(seed);
-    let mut distinct: HashMap<u64, u64> = HashMap::new();
+    let mut distinct: OpenMap<u64, u64> = OpenMap::new();
     for server in 0..servers {
         for page in 0..pages_per_server {
             let content = profile.page_content(&mut rng, server, page);
-            *distinct.entry(content).or_insert(0) += 1;
+            match distinct.get_mut(&content) {
+                Some(copies) => *copies += 1,
+                None => {
+                    distinct.insert(content, 1);
+                }
+            }
         }
     }
     DedupResult {

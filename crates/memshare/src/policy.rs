@@ -3,9 +3,15 @@
 //! The paper evaluates LRU and random replacement, "expecting that an
 //! implementable policy would have performance between these points"; we
 //! add clock (the usual implementable policy) to check that expectation.
+//!
+//! The slot bookkeeping (key map, dirty/ref bits, recency links, clock
+//! hand) lives in the shared [`wcs_simcore::slotcache::SlotCache`]
+//! kernel — the same machinery the flash cache index uses — so this
+//! module only holds the *policy*: which victim mechanism each
+//! [`PolicyKind`] invokes on a full-store miss.
 
-use std::collections::HashMap;
-
+use wcs_simcore::memo::{MemoHash, MemoKey};
+use wcs_simcore::slotcache::SlotCache;
 use wcs_simcore::SimRng;
 
 /// Which replacement policy to use.
@@ -18,6 +24,23 @@ pub enum PolicyKind {
     Random,
     /// Clock / second-chance (implementable middle ground).
     Clock,
+}
+
+impl PolicyKind {
+    /// Stable label (also the policy's memoization identity).
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyKind::Lru => "lru",
+            PolicyKind::Random => "random",
+            PolicyKind::Clock => "clock",
+        }
+    }
+}
+
+impl MemoHash for PolicyKind {
+    fn memo_hash(&self, key: &mut MemoKey) {
+        *key = key.push_str(self.label());
+    }
 }
 
 /// Result of touching a page.
@@ -48,22 +71,9 @@ pub enum Touch {
 #[derive(Debug)]
 pub struct PageStore {
     kind: PolicyKind,
-    capacity: usize,
-    // page -> slot index
-    map: HashMap<u64, usize>,
-    // slot -> (page, dirty, ref_bit)
-    slots: Vec<(u64, bool, bool)>,
-    // LRU: doubly-linked list over slots; head = MRU, tail = LRU victim.
-    prev: Vec<usize>,
-    next: Vec<usize>,
-    head: usize,
-    tail: usize,
-    // Clock hand.
-    hand: usize,
+    cache: SlotCache,
     rng: SimRng,
 }
-
-const NIL: usize = usize::MAX;
 
 impl PageStore {
     /// Creates an empty store holding up to `capacity` pages.
@@ -71,115 +81,54 @@ impl PageStore {
     /// # Panics
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize, kind: PolicyKind, seed: u64) -> Self {
-        assert!(capacity > 0, "page store needs capacity");
         PageStore {
             kind,
-            capacity,
-            map: HashMap::with_capacity(capacity * 2),
-            slots: Vec::with_capacity(capacity),
-            prev: Vec::with_capacity(capacity),
-            next: Vec::with_capacity(capacity),
-            head: NIL,
-            tail: NIL,
-            hand: 0,
+            // Only LRU consults the recency list; skipping its upkeep for
+            // random/clock cannot change any outcome.
+            cache: SlotCache::new(capacity, kind == PolicyKind::Lru),
             rng: SimRng::seed_from(seed),
         }
     }
 
     /// Number of resident pages.
     pub fn len(&self) -> usize {
-        self.slots.len()
+        self.cache.len()
     }
 
     /// True when no pages are resident.
     pub fn is_empty(&self) -> bool {
-        self.slots.is_empty()
+        self.cache.is_empty()
     }
 
     /// Capacity in pages.
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.cache.capacity()
     }
 
     /// True if `page` is resident (no policy state update).
     pub fn contains(&self, page: u64) -> bool {
-        self.map.contains_key(&page)
-    }
-
-    fn unlink(&mut self, slot: usize) {
-        let (p, n) = (self.prev[slot], self.next[slot]);
-        if p != NIL {
-            self.next[p] = n;
-        } else {
-            self.head = n;
-        }
-        if n != NIL {
-            self.prev[n] = p;
-        } else {
-            self.tail = p;
-        }
-    }
-
-    fn push_front(&mut self, slot: usize) {
-        self.prev[slot] = NIL;
-        self.next[slot] = self.head;
-        if self.head != NIL {
-            self.prev[self.head] = slot;
-        }
-        self.head = slot;
-        if self.tail == NIL {
-            self.tail = slot;
-        }
-    }
-
-    fn pick_victim(&mut self) -> usize {
-        match self.kind {
-            PolicyKind::Lru => self.tail,
-            PolicyKind::Random => self.rng.index(self.slots.len()),
-            PolicyKind::Clock => loop {
-                let slot = self.hand;
-                self.hand = (self.hand + 1) % self.slots.len();
-                if self.slots[slot].2 {
-                    self.slots[slot].2 = false; // second chance
-                } else {
-                    break slot;
-                }
-            },
-        }
+        self.cache.contains(page)
     }
 
     /// Touches `page`, marking it dirty when `write` is set. Returns
     /// whether it hit, and on a full-store miss which victim was evicted.
     pub fn touch(&mut self, page: u64, write: bool) -> Touch {
-        if let Some(&slot) = self.map.get(&page) {
-            self.slots[slot].1 |= write;
-            self.slots[slot].2 = true;
-            if self.kind == PolicyKind::Lru {
-                self.unlink(slot);
-                self.push_front(slot);
-            }
+        if let Some(slot) = self.cache.lookup(page) {
+            self.cache.touch_existing(slot, write);
             return Touch::Hit;
         }
-        if self.slots.len() < self.capacity {
-            let slot = self.slots.len();
-            self.slots.push((page, write, true));
-            self.prev.push(NIL);
-            self.next.push(NIL);
-            self.push_front(slot);
-            self.map.insert(page, slot);
+        if !self.cache.is_full() {
+            self.cache.insert(page, write);
             return Touch::Miss { evicted: None };
         }
-        let victim = self.pick_victim();
-        let (old_page, dirty, _) = self.slots[victim];
-        self.map.remove(&old_page);
-        self.slots[victim] = (page, write, true);
-        self.map.insert(page, victim);
-        if self.kind == PolicyKind::Lru {
-            self.unlink(victim);
-            self.push_front(victim);
-        }
+        let victim = match self.kind {
+            PolicyKind::Lru => self.cache.lru_victim(),
+            PolicyKind::Random => self.rng.index(self.cache.len()) as u32,
+            PolicyKind::Clock => self.cache.clock_victim(),
+        };
+        let evicted = self.cache.replace(victim, page, write);
         Touch::Miss {
-            evicted: Some((old_page, dirty)),
+            evicted: Some(evicted),
         }
     }
 }

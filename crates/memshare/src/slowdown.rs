@@ -1,7 +1,10 @@
 //! Converting two-level miss rates into workload slowdowns (Figure 4(b)).
 
+use std::sync::Arc;
+
+use wcs_simcore::memo::{MemoCache, MemoKey, MemoStats};
 use wcs_simcore::ConfigError;
-use wcs_workloads::memtrace::{params_for, MemTraceGen};
+use wcs_workloads::memtrace::{params_for, MemTraceBuf, MemTraceGen, MemTraceParams};
 use wcs_workloads::WorkloadId;
 
 use crate::link::RemoteLink;
@@ -84,6 +87,67 @@ impl SlowdownResult {
     }
 }
 
+/// Memoization state for two-level trace replays.
+///
+/// Sweeps evaluate many design points whose memshare configurations
+/// differ only in link or TCO parameters while sharing the expensive
+/// part — the multi-million-access two-level replay. This cache keys
+/// each replay by everything that determines its [`MissStats`] (trace
+/// params + both seeds + store geometry + policy + access counts) and
+/// *excludes* the link, whose latency is applied analytically afterward:
+/// a PCIe point and a CBF point therefore share one replay.
+///
+/// Materialized traces are shared too, behind `Arc`s, in compact
+/// [`MemTraceBuf`] form.
+#[derive(Debug, Default)]
+pub struct ReplayMemo {
+    traces: MemoCache<Arc<MemTraceBuf>>,
+    runs: MemoCache<MissStats>,
+}
+
+impl ReplayMemo {
+    /// An empty, enabled memo.
+    pub fn new() -> Self {
+        Self::with_enabled(true)
+    }
+
+    /// A memo in bypass mode: every estimate replays its trace from the
+    /// live generator, exactly like the pre-memoization cold path.
+    pub fn disabled() -> Self {
+        Self::with_enabled(false)
+    }
+
+    /// A memo that caches iff `enabled`.
+    pub fn with_enabled(enabled: bool) -> Self {
+        ReplayMemo {
+            traces: MemoCache::with_enabled(enabled),
+            runs: MemoCache::with_enabled(enabled),
+        }
+    }
+
+    /// Whether this memo stores results.
+    pub fn is_enabled(&self) -> bool {
+        self.runs.is_enabled()
+    }
+
+    /// Combined hit/miss counters (trace materializations + replays).
+    pub fn stats(&self) -> MemoStats {
+        self.traces.stats().merged(&self.runs.stats())
+    }
+
+    /// The materialized `(params, seed)` trace of at least `n` accesses,
+    /// shared across every caller that asks for the same one.
+    pub fn trace(&self, params: MemTraceParams, seed: u64, n: usize) -> Arc<MemTraceBuf> {
+        let key = MemoKey::new("memtrace-buf")
+            .push(&params)
+            .push_u64(seed)
+            .push_usize(n)
+            .finish();
+        self.traces
+            .get_or_compute(key, || Arc::new(MemTraceBuf::generate(params, seed, n)))
+    }
+}
+
 /// Estimates the slowdown `workload` suffers with a remote memory blade.
 ///
 /// Replays the workload's synthetic page trace through the two-level
@@ -98,6 +162,24 @@ pub fn estimate_slowdown(
     workload: WorkloadId,
     config: &SlowdownConfig,
 ) -> Result<SlowdownResult, ConfigError> {
+    estimate_slowdown_with(workload, config, &ReplayMemo::disabled())
+}
+
+/// [`estimate_slowdown`] with replays (and materialized traces) shared
+/// through `memo`.
+///
+/// Bit-identical to the unmemoized estimate: the replay is keyed by
+/// every input that determines its statistics, the materialized buffer
+/// reproduces the generator exactly, and the link latency — deliberately
+/// *not* part of the key — only rescales the result analytically.
+///
+/// # Errors
+/// Rejects a `local_fraction` outside `(0, 1]`.
+pub fn estimate_slowdown_with(
+    workload: WorkloadId,
+    config: &SlowdownConfig,
+    memo: &ReplayMemo,
+) -> Result<SlowdownResult, ConfigError> {
     ConfigError::check_f64(
         "local_fraction",
         config.local_fraction,
@@ -106,9 +188,29 @@ pub fn estimate_slowdown(
     )?;
     let params = params_for(workload);
     let local_pages = ((BASELINE_2GIB_PAGES as f64) * config.local_fraction) as usize;
-    let mut sim = TwoLevelSim::new(local_pages.max(1), config.policy, config.seed);
-    let mut gen = MemTraceGen::new(params, config.seed ^ 0xD15C);
-    let stats = sim.run_steady(&mut gen, config.fill, config.measured);
+    let trace_seed = config.seed ^ 0xD15C;
+    let key = MemoKey::new("twolevel-replay")
+        .push(&params)
+        .push_u64(trace_seed)
+        .push_u64(config.seed)
+        .push_usize(local_pages.max(1))
+        .push(&config.policy)
+        .push_u64(config.fill)
+        .push_u64(config.measured)
+        .finish();
+    let stats = memo.runs.get_or_compute(key, || {
+        let mut sim = TwoLevelSim::new(local_pages.max(1), config.policy, config.seed);
+        if memo.is_enabled() {
+            let total = (config.fill + config.measured) as usize;
+            let buf = memo.trace(params, trace_seed, total);
+            sim.run_steady_buf(&buf, config.fill, config.measured)
+        } else {
+            // True cold path: stream straight from the generator, no
+            // materialization.
+            let mut gen = MemTraceGen::new(params, trace_seed);
+            sim.run_steady(&mut gen, config.fill, config.measured)
+        }
+    });
     let faults_per_cpu_sec = params.accesses_per_cpu_sec * stats.miss_ratio();
     let slowdown = faults_per_cpu_sec * config.link.fault_latency_secs();
     Ok(SlowdownResult {
@@ -209,6 +311,42 @@ mod tests {
         let cbf = estimate_slowdown(WorkloadId::Ytube, &SlowdownConfig::paper_cbf()).unwrap();
         let ratio = pcie.slowdown / cbf.slowdown;
         assert!((3.0..=5.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn memoized_estimate_is_bit_identical_and_shares_links() {
+        // Use a reduced-effort config so the test stays fast.
+        let quick = SlowdownConfig {
+            fill: 150_000,
+            measured: 150_000,
+            ..SlowdownConfig::paper_default()
+        };
+        let memo = ReplayMemo::new();
+        for id in [WorkloadId::Websearch, WorkloadId::Webmail] {
+            let cold = estimate_slowdown(id, &quick).unwrap();
+            let warm = estimate_slowdown_with(id, &quick, &memo).unwrap();
+            assert_eq!(cold.stats, warm.stats, "{id}");
+            assert_eq!(cold.slowdown.to_bits(), warm.slowdown.to_bits(), "{id}");
+            // A CBF estimate differs only in link latency: it must hit
+            // the same replay entry.
+            let cbf_cfg = SlowdownConfig {
+                link: RemoteLink::pcie_x4_cbf(),
+                ..quick
+            };
+            let cbf = estimate_slowdown_with(id, &cbf_cfg, &memo).unwrap();
+            assert_eq!(cbf.stats, warm.stats, "{id}: replay not shared");
+            // CBF strictly helps whenever any fault occurred (webmail's
+            // short trace may see none at all).
+            assert!(
+                cbf.slowdown <= warm.slowdown
+                    && (warm.slowdown == 0.0 || cbf.slowdown < warm.slowdown),
+                "{id}: CBF should be no slower ({} vs {})",
+                cbf.slowdown,
+                warm.slowdown
+            );
+        }
+        let s = memo.stats();
+        assert!(s.hits >= 2, "CBF rows should hit (stats {s:?})");
     }
 
     #[test]

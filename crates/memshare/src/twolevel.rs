@@ -1,8 +1,18 @@
 //! Trace-driven two-level memory simulator.
+//!
+//! The replay loop is chunked: accesses are staged into a small scratch
+//! buffer (from the live generator or from a materialized
+//! [`MemTraceBuf`]) and consumed by one shared slice kernel, so the
+//! generator path and the shared-buffer path execute byte-identical
+//! simulation code and differ only in where the chunk comes from.
 
-use wcs_workloads::memtrace::MemTraceGen;
+use wcs_workloads::memtrace::{MemTraceBuf, MemTraceGen, PageAccess};
 
 use crate::policy::{PageStore, PolicyKind, Touch};
+
+/// Accesses staged per chunk: big enough to amortize the loop switch,
+/// small enough to stay in L1/L2 alongside the store's hot columns.
+const CHUNK: usize = 4096;
 
 /// Miss statistics from a trace replay.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -63,12 +73,9 @@ impl TwoLevelSim {
         }
     }
 
-    /// Replays `n` touches from the generator, returning steady-state
-    /// statistics (the fill phase is replayed but not charged).
-    pub fn run(&mut self, gen: &mut MemTraceGen, n: u64) -> MissStats {
-        let mut stats = MissStats::default();
-        for _ in 0..n {
-            let a = gen.next_access();
+    /// The shared replay kernel: consumes one staged chunk of accesses.
+    fn replay_slice(&mut self, chunk: &[PageAccess], stats: &mut MissStats) {
+        for a in chunk {
             let touch = self.local.touch(a.page, a.write);
             stats.accesses += 1;
             match touch {
@@ -87,6 +94,50 @@ impl TwoLevelSim {
                 }
             }
         }
+    }
+
+    /// Replays `n` touches from the generator, returning steady-state
+    /// statistics (the fill phase is replayed but not charged).
+    pub fn run(&mut self, gen: &mut MemTraceGen, n: u64) -> MissStats {
+        let mut stats = MissStats::default();
+        let mut scratch = [PageAccess {
+            page: 0,
+            write: false,
+        }; CHUNK];
+        let mut left = n;
+        while left > 0 {
+            let take = (left as usize).min(CHUNK);
+            for slot in &mut scratch[..take] {
+                *slot = gen.next_access();
+            }
+            self.replay_slice(&scratch[..take], &mut stats);
+            left -= take as u64;
+        }
+        stats
+    }
+
+    /// Replays accesses `[start, start + n)` of a materialized trace.
+    ///
+    /// Bit-identical to [`run`](Self::run) over the same accesses: the
+    /// buffer stores exactly what the generator would produce, and both
+    /// paths feed the same slice kernel.
+    ///
+    /// # Panics
+    /// Panics if the range runs past the end of the buffer.
+    pub fn run_buf(&mut self, buf: &MemTraceBuf, start: usize, n: u64) -> MissStats {
+        let mut stats = MissStats::default();
+        let mut scratch = [PageAccess {
+            page: 0,
+            write: false,
+        }; CHUNK];
+        let mut at = start;
+        let end = start + n as usize;
+        while at < end {
+            let take = (end - at).min(CHUNK);
+            buf.fill_chunk(at, &mut scratch[..take]);
+            self.replay_slice(&scratch[..take], &mut stats);
+            at += take;
+        }
         stats
     }
 
@@ -95,6 +146,13 @@ impl TwoLevelSim {
     pub fn run_steady(&mut self, gen: &mut MemTraceGen, fill: u64, measured: u64) -> MissStats {
         let _ = self.run(gen, fill);
         self.run(gen, measured)
+    }
+
+    /// [`run_steady`](Self::run_steady) over a materialized trace, which
+    /// must hold at least `fill + measured` accesses.
+    pub fn run_steady_buf(&mut self, buf: &MemTraceBuf, fill: u64, measured: u64) -> MissStats {
+        let _ = self.run_buf(buf, 0, fill);
+        self.run_buf(buf, fill as usize, measured)
     }
 
     /// Local capacity in pages.
@@ -205,6 +263,21 @@ mod tests {
             let mut sim = TwoLevelSim::new(131_072, PolicyKind::Random, 2);
             let stats = sim.run_steady(&mut MemTraceGen::new(params_for(id), 17), 200_000, 200_000);
             assert_eq!(stats.accesses, 200_000, "{id}");
+        }
+    }
+
+    #[test]
+    fn buffer_replay_is_bit_identical_to_generator_replay() {
+        let p = small_params();
+        for policy in [PolicyKind::Lru, PolicyKind::Random, PolicyKind::Clock] {
+            let mut from_gen = TwoLevelSim::new(1_500, policy, 21);
+            let gen_stats = from_gen.run_steady(&mut MemTraceGen::new(p, 23), 60_000, 140_000);
+
+            let buf = MemTraceBuf::generate(p, 23, 200_000);
+            let mut from_buf = TwoLevelSim::new(1_500, policy, 21);
+            let buf_stats = from_buf.run_steady_buf(&buf, 60_000, 140_000);
+
+            assert_eq!(gen_stats, buf_stats, "{policy:?}");
         }
     }
 }

@@ -54,6 +54,25 @@ pub struct DiskModel {
     pub location: DiskLocation,
 }
 
+impl wcs_simcore::memo::MemoHash for DiskLocation {
+    fn memo_hash(&self, key: &mut wcs_simcore::memo::MemoKey) {
+        *key = key.push_bool(matches!(self, DiskLocation::Remote));
+    }
+}
+
+impl wcs_simcore::memo::MemoHash for DiskModel {
+    fn memo_hash(&self, key: &mut wcs_simcore::memo::MemoKey) {
+        *key = key
+            .push_str(&self.name)
+            .push_f64(self.capacity_gb)
+            .push_f64(self.bandwidth_mbs)
+            .push_f64(self.avg_access_ms)
+            .push_f64(self.power_w)
+            .push_f64(self.price_usd)
+            .push(&self.location);
+    }
+}
+
 impl DiskModel {
     fn new(
         name: &str,
@@ -184,6 +203,20 @@ pub struct FlashModel {
     pub price_usd: f64,
     /// Write-endurance limit per block (program/erase cycles).
     pub endurance_cycles: u64,
+}
+
+impl wcs_simcore::memo::MemoHash for FlashModel {
+    fn memo_hash(&self, key: &mut wcs_simcore::memo::MemoKey) {
+        *key = key
+            .push_f64(self.capacity_gb)
+            .push_f64(self.bandwidth_mbs)
+            .push_f64(self.read_us)
+            .push_f64(self.write_us)
+            .push_f64(self.erase_ms)
+            .push_f64(self.power_w)
+            .push_f64(self.price_usd)
+            .push_u64(self.endurance_cycles);
+    }
 }
 
 impl FlashModel {

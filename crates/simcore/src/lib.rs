@@ -50,8 +50,11 @@ pub mod dist;
 pub mod error;
 pub mod faults;
 pub mod intern;
+pub mod memo;
 pub mod pool;
+pub mod slotcache;
 pub mod stats;
+pub mod table;
 pub mod timeseries;
 
 pub use error::ConfigError;

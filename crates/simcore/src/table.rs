@@ -1,0 +1,403 @@
+//! An open-addressed, power-of-two hash table for hot replay loops.
+//!
+//! The cache and directory simulators spend most of their time in a
+//! `page -> slot` lookup on every trace access. `std::collections::HashMap`
+//! pays for SipHash (DoS resistance the simulators do not need) and for
+//! its bucket indirection; [`OpenMap`] replaces it with linear probing
+//! over one flat array and a single multiplicative mix of the key —
+//! deterministic across runs, platforms, and thread counts, so iteration
+//! order (and therefore anything derived from it) is reproducible by
+//! construction.
+//!
+//! Deletion uses backward-shift compaction instead of tombstones, so
+//! tables that churn (a cache evicting on every miss for millions of
+//! accesses) never degrade.
+//!
+//! # Example
+//! ```
+//! use wcs_simcore::table::OpenMap;
+//! let mut m: OpenMap<u64, u32> = OpenMap::new();
+//! m.insert(7, 70);
+//! assert_eq!(m.get(&7), Some(&70));
+//! assert_eq!(m.remove(&7), Some(70));
+//! assert!(m.is_empty());
+//! ```
+
+use std::fmt;
+
+#[inline]
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Keys an [`OpenMap`] can hash: small `Copy` values with a fast,
+/// deterministic, well-mixed 64-bit hash.
+pub trait FastKey: Copy + Eq {
+    /// A full-avalanche 64-bit hash of the key. Must be deterministic
+    /// (no per-process state) — table behaviour is part of simulation
+    /// reproducibility.
+    fn fast_hash(&self) -> u64;
+}
+
+impl FastKey for u64 {
+    #[inline]
+    fn fast_hash(&self) -> u64 {
+        splitmix(*self)
+    }
+}
+
+impl FastKey for u32 {
+    #[inline]
+    fn fast_hash(&self) -> u64 {
+        splitmix(u64::from(*self))
+    }
+}
+
+impl FastKey for u128 {
+    #[inline]
+    fn fast_hash(&self) -> u64 {
+        splitmix((*self as u64) ^ splitmix((*self >> 64) as u64))
+    }
+}
+
+impl FastKey for (u32, u64) {
+    #[inline]
+    fn fast_hash(&self) -> u64 {
+        splitmix(u64::from(self.0).rotate_left(32) ^ splitmix(self.1))
+    }
+}
+
+/// An open-addressed hash map: linear probing over a power-of-two flat
+/// array, backward-shift deletion, deterministic order.
+///
+/// Grows at 3/4 load; never shrinks (replay workloads plateau at their
+/// working-set size).
+#[derive(Clone)]
+pub struct OpenMap<K: FastKey, V> {
+    /// `None` = empty; probe chains never contain holes (backward-shift
+    /// deletion restores the invariant on every remove).
+    slots: Vec<Option<(K, V)>>,
+    len: usize,
+    mask: usize,
+}
+
+const MIN_CAPACITY: usize = 8;
+
+impl<K: FastKey, V> OpenMap<K, V> {
+    /// An empty map with minimal capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// An empty map pre-sized so `capacity` inserts need no growth.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let want = capacity
+            .saturating_mul(4)
+            .div_ceil(3)
+            .next_power_of_two()
+            .max(MIN_CAPACITY);
+        let mut slots = Vec::new();
+        slots.resize_with(want, || None);
+        OpenMap {
+            slots,
+            len: 0,
+            mask: want - 1,
+        }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn home(&self, key: &K) -> usize {
+        (key.fast_hash() as usize) & self.mask
+    }
+
+    /// Index of `key` if present.
+    #[inline]
+    fn probe(&self, key: &K) -> Option<usize> {
+        let mut i = self.home(key);
+        loop {
+            match &self.slots[i] {
+                None => return None,
+                Some((k, _)) if k == key => return Some(i),
+                Some(_) => i = (i + 1) & self.mask,
+            }
+        }
+    }
+
+    /// A reference to the value stored for `key`.
+    #[inline]
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.probe(key).map(|i| {
+            let (_, v) = self.slots[i].as_ref().expect("probed slot occupied");
+            v
+        })
+    }
+
+    /// A mutable reference to the value stored for `key`.
+    #[inline]
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        self.probe(key).map(|i| {
+            let (_, v) = self.slots[i].as_mut().expect("probed slot occupied");
+            v
+        })
+    }
+
+    /// True when `key` is stored.
+    #[inline]
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.probe(key).is_some()
+    }
+
+    /// Stores `value` for `key`, returning the previous value if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        if (self.len + 1) * 4 > self.slots.len() * 3 {
+            self.grow();
+        }
+        let mut i = self.home(&key);
+        loop {
+            match &mut self.slots[i] {
+                slot @ None => {
+                    *slot = Some((key, value));
+                    self.len += 1;
+                    return None;
+                }
+                Some((k, v)) if *k == key => {
+                    return Some(std::mem::replace(v, value));
+                }
+                Some(_) => i = (i + 1) & self.mask,
+            }
+        }
+    }
+
+    /// Removes and returns the value stored for `key`.
+    ///
+    /// Uses backward-shift compaction: entries displaced past the freed
+    /// slot are moved back so probe chains stay hole-free, and no
+    /// tombstones accumulate under churn.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let mut hole = self.probe(key)?;
+        let (_, value) = self.slots[hole].take().expect("probed slot occupied");
+        self.len -= 1;
+        // Backward shift: walk the cluster after the hole; any entry whose
+        // home position does not lie strictly between the hole and itself
+        // (cyclically) must move into the hole.
+        let mut i = (hole + 1) & self.mask;
+        while let Some((k, _)) = &self.slots[i] {
+            let home = self.home(k);
+            // `home` is reachable from `hole` iff the entry's probe chain
+            // passes through the hole: cyclic distance home->hole is no
+            // greater than home->i.
+            let dist_hole = hole.wrapping_sub(home) & self.mask;
+            let dist_i = i.wrapping_sub(home) & self.mask;
+            if dist_hole <= dist_i {
+                self.slots[hole] = self.slots[i].take();
+                hole = i;
+            }
+            i = (i + 1) & self.mask;
+        }
+        Some(value)
+    }
+
+    /// Removes every entry, keeping the allocation.
+    pub fn clear(&mut self) {
+        for s in &mut self.slots {
+            *s = None;
+        }
+        self.len = 0;
+    }
+
+    /// Iterates entries in deterministic (slot) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.slots
+            .iter()
+            .filter_map(|s| s.as_ref().map(|(k, v)| (k, v)))
+    }
+
+    /// Iterates keys in deterministic (slot) order.
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.iter().map(|(k, _)| k)
+    }
+
+    /// Iterates values in deterministic (slot) order.
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.iter().map(|(_, v)| v)
+    }
+
+    fn grow(&mut self) {
+        let new_cap = self.slots.len() * 2;
+        let mut old = Vec::new();
+        old.resize_with(new_cap, || None);
+        std::mem::swap(&mut self.slots, &mut old);
+        self.mask = new_cap - 1;
+        self.len = 0;
+        for (k, v) in old.into_iter().flatten() {
+            self.insert(k, v);
+        }
+    }
+}
+
+impl<K: FastKey, V> Default for OpenMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: FastKey + fmt::Debug, V: fmt::Debug> fmt::Debug for OpenMap<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimRng;
+    use std::collections::HashMap;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut m: OpenMap<u64, u64> = OpenMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.insert(1, 10), None);
+        assert_eq!(m.insert(1, 11), Some(10));
+        assert_eq!(m.get(&1), Some(&11));
+        assert!(m.contains_key(&1));
+        assert_eq!(m.remove(&1), Some(11));
+        assert_eq!(m.remove(&1), None);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let mut m: OpenMap<u64, u64> = OpenMap::with_capacity(4);
+        for i in 0..10_000u64 {
+            m.insert(i, i * 3);
+        }
+        assert_eq!(m.len(), 10_000);
+        for i in 0..10_000u64 {
+            assert_eq!(m.get(&i), Some(&(i * 3)), "key {i}");
+        }
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut m: OpenMap<u32, u64> = OpenMap::new();
+        m.insert(5, 1);
+        *m.get_mut(&5).unwrap() += 41;
+        assert_eq!(m.get(&5), Some(&42));
+        assert_eq!(m.get_mut(&6), None);
+    }
+
+    #[test]
+    fn iteration_order_is_deterministic() {
+        let build = || {
+            let mut m: OpenMap<u64, u64> = OpenMap::new();
+            for i in 0..500u64 {
+                m.insert(i.wrapping_mul(0x9E37_79B9), i);
+            }
+            for i in 0..100u64 {
+                m.remove(&(i * 5).wrapping_mul(0x9E37_79B9));
+            }
+            m.iter().map(|(k, v)| (*k, *v)).collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn tuple_and_wide_keys_hash() {
+        let mut m: OpenMap<(u32, u64), u64> = OpenMap::new();
+        m.insert((1, 2), 3);
+        m.insert((2, 1), 4);
+        assert_eq!(m.get(&(1, 2)), Some(&3));
+        assert_eq!(m.get(&(2, 1)), Some(&4));
+        let mut w: OpenMap<u128, u64> = OpenMap::new();
+        w.insert(u128::MAX, 9);
+        w.insert(1, 8);
+        assert_eq!(w.get(&u128::MAX), Some(&9));
+        assert_eq!(w.get(&1), Some(&8));
+    }
+
+    /// Property test: a long random workload of inserts, removes, and
+    /// lookups must agree with `std::collections::HashMap` at every step.
+    #[test]
+    fn agrees_with_std_hashmap_under_churn() {
+        let mut rng = SimRng::seed_from(0x7AB1E);
+        let mut ours: OpenMap<u64, u64> = OpenMap::new();
+        let mut reference: HashMap<u64, u64> = HashMap::new();
+        for step in 0..60_000u64 {
+            // Small key space forces collisions, duplicate inserts, and
+            // removes of present keys.
+            let key = rng.index(512) as u64;
+            match rng.index(4) {
+                0 | 1 => {
+                    let v = step;
+                    assert_eq!(ours.insert(key, v), reference.insert(key, v), "step {step}");
+                }
+                2 => {
+                    assert_eq!(ours.remove(&key), reference.remove(&key), "step {step}");
+                }
+                _ => {
+                    assert_eq!(ours.get(&key), reference.get(&key), "step {step}");
+                    assert_eq!(
+                        ours.contains_key(&key),
+                        reference.contains_key(&key),
+                        "step {step}"
+                    );
+                }
+            }
+            assert_eq!(ours.len(), reference.len(), "step {step}");
+        }
+        // Full-content equality at the end.
+        let mut got: Vec<(u64, u64)> = ours.iter().map(|(k, v)| (*k, *v)).collect();
+        let mut want: Vec<(u64, u64)> = reference.iter().map(|(k, v)| (*k, *v)).collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn backward_shift_keeps_chains_probeable() {
+        // Force one cluster by inserting many keys, then remove from the
+        // middle and verify every survivor is still reachable.
+        let mut m: OpenMap<u64, u64> = OpenMap::with_capacity(64);
+        for i in 0..48u64 {
+            m.insert(i, i);
+        }
+        for i in (0..48u64).step_by(3) {
+            assert_eq!(m.remove(&i), Some(i));
+        }
+        for i in 0..48u64 {
+            if i % 3 == 0 {
+                assert_eq!(m.get(&i), None);
+            } else {
+                assert_eq!(m.get(&i), Some(&i), "key {i} lost after removes");
+            }
+        }
+    }
+
+    #[test]
+    fn clear_retains_capacity_and_usability() {
+        let mut m: OpenMap<u64, u64> = OpenMap::new();
+        for i in 0..100 {
+            m.insert(i, i);
+        }
+        m.clear();
+        assert!(m.is_empty());
+        m.insert(7, 7);
+        assert_eq!(m.get(&7), Some(&7));
+        assert_eq!(m.keys().count(), 1);
+        assert_eq!(m.values().count(), 1);
+    }
+}

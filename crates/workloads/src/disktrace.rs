@@ -6,7 +6,10 @@
 //! video files, mailboxes), with per-workload read/write mixes and
 //! request sizes.
 
+use std::sync::Arc;
+
 use wcs_simcore::dist::Zipf;
+use wcs_simcore::memo::{MemoHash, MemoKey};
 use wcs_simcore::SimRng;
 
 use crate::spec::WorkloadId;
@@ -54,6 +57,16 @@ impl DiskTraceParams {
         assert!(self.zipf_s.is_finite() && self.zipf_s >= 0.0);
         assert!((0.0..=1.0).contains(&self.write_fraction));
         assert!(self.request_blocks > 0, "request size must be positive");
+    }
+}
+
+impl MemoHash for DiskTraceParams {
+    fn memo_hash(&self, key: &mut MemoKey) {
+        *key = key
+            .push_u64(self.dataset_blocks)
+            .push_f64(self.zipf_s)
+            .push_f64(self.write_fraction)
+            .push_u32(self.request_blocks);
     }
 }
 
@@ -156,6 +169,22 @@ impl DiskTraceGen {
     }
 }
 
+/// Materializes the first `n` requests of the `(params, seed)` stream
+/// into a shared buffer.
+///
+/// Sweeps replay the same disk stream against many storage
+/// configurations; a materialized trace is generated once and shared
+/// across those points (disk traces are short — 120k requests is ~2 MB —
+/// so plain structs need no packing). Element `i` equals the generator's
+/// `i`-th [`DiskTraceGen::next_access`], so buffer replay is
+/// bit-identical to generator replay.
+///
+/// # Panics
+/// Panics if the parameters are invalid.
+pub fn materialize(params: DiskTraceParams, seed: u64, n: usize) -> Arc<[BlockAccess]> {
+    DiskTraceGen::new(params, seed).take_vec(n).into()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,6 +238,17 @@ mod tests {
     fn all_workloads_have_params() {
         for id in WorkloadId::ALL {
             params_for(id).validate();
+        }
+    }
+
+    #[test]
+    fn materialized_buffer_matches_generator() {
+        let p = params_for(WorkloadId::Ytube);
+        let buf = materialize(p, 17, 2_000);
+        let mut gen = DiskTraceGen::new(p, 17);
+        assert_eq!(buf.len(), 2_000);
+        for (i, a) in buf.iter().enumerate() {
+            assert_eq!(*a, gen.next_access(), "request {i}");
         }
     }
 }

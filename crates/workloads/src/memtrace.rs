@@ -15,6 +15,7 @@
 //! slowdown matches the published table at the paper's PCIe latency.
 
 use wcs_simcore::dist::Zipf;
+use wcs_simcore::memo::{MemoHash, MemoKey};
 use wcs_simcore::SimRng;
 
 use crate::spec::WorkloadId;
@@ -54,6 +55,16 @@ impl MemTraceParams {
         assert!(self.zipf_s.is_finite() && self.zipf_s >= 0.0);
         assert!((0.0..=1.0).contains(&self.write_fraction));
         assert!(self.accesses_per_cpu_sec.is_finite() && self.accesses_per_cpu_sec > 0.0);
+    }
+}
+
+impl MemoHash for MemTraceParams {
+    fn memo_hash(&self, key: &mut MemoKey) {
+        *key = key
+            .push_u64(self.footprint_pages)
+            .push_f64(self.zipf_s)
+            .push_f64(self.write_fraction)
+            .push_f64(self.accesses_per_cpu_sec);
     }
 }
 
@@ -156,6 +167,85 @@ impl MemTraceGen {
     }
 }
 
+/// A materialized memory trace in compact, shareable form.
+///
+/// Sweeps replay the same `(params, seed)` trace through many cache
+/// configurations; materializing it once and sharing the buffer (behind
+/// an `Arc`) removes the per-point generator cost. Storage is
+/// struct-of-arrays and packed — `u32` page numbers (footprints are a
+/// few hundred thousand pages, far below `u32::MAX`) plus a write
+/// bitset — so a 4-million-access trace costs ~16.5 MB instead of the
+/// 64 MB a `Vec<PageAccess>` would.
+///
+/// [`MemTraceBuf::get`] returns exactly what the generator's `i`-th
+/// [`MemTraceGen::next_access`] call returned, so replaying from the
+/// buffer is bit-identical to replaying from the generator.
+#[derive(Debug, Clone)]
+pub struct MemTraceBuf {
+    pages: Box<[u32]>,
+    writes: Box<[u64]>,
+}
+
+impl MemTraceBuf {
+    /// Materializes the first `n` accesses of the `(params, seed)`
+    /// trace.
+    ///
+    /// # Panics
+    /// Panics if the parameters are invalid or the footprint does not
+    /// fit the compact `u32` page representation.
+    pub fn generate(params: MemTraceParams, seed: u64, n: usize) -> Self {
+        assert!(
+            params.footprint_pages <= u64::from(u32::MAX),
+            "footprint too large for compact trace pages"
+        );
+        let mut gen = MemTraceGen::new(params, seed);
+        let mut pages = Vec::with_capacity(n);
+        let mut writes = vec![0u64; n.div_ceil(64)];
+        for i in 0..n {
+            let a = gen.next_access();
+            pages.push(a.page as u32);
+            if a.write {
+                writes[i >> 6] |= 1u64 << (i & 63);
+            }
+        }
+        MemTraceBuf {
+            pages: pages.into_boxed_slice(),
+            writes: writes.into_boxed_slice(),
+        }
+    }
+
+    /// Number of accesses stored.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// True when the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// The `i`-th access.
+    #[inline]
+    pub fn get(&self, i: usize) -> PageAccess {
+        PageAccess {
+            page: u64::from(self.pages[i]),
+            write: (self.writes[i >> 6] >> (i & 63)) & 1 == 1,
+        }
+    }
+
+    /// Decodes accesses `[start, start + out.len())` into `out`, the
+    /// chunked-replay entry point: callers decode a cache-sized chunk
+    /// into scratch and run the same SoA kernel the generator path uses.
+    ///
+    /// # Panics
+    /// Panics if the range runs past the end of the trace.
+    pub fn fill_chunk(&self, start: usize, out: &mut [PageAccess]) {
+        for (j, slot) in out.iter_mut().enumerate() {
+            *slot = self.get(start + j);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,6 +290,34 @@ mod tests {
     fn all_workloads_have_params() {
         for id in WorkloadId::ALL {
             params_for(id).validate();
+        }
+    }
+
+    #[test]
+    fn materialized_buffer_matches_generator() {
+        let params = params_for(WorkloadId::Websearch);
+        let buf = MemTraceBuf::generate(params, 21, 5_000);
+        let mut gen = MemTraceGen::new(params, 21);
+        assert_eq!(buf.len(), 5_000);
+        for i in 0..buf.len() {
+            assert_eq!(buf.get(i), gen.next_access(), "access {i}");
+        }
+    }
+
+    #[test]
+    fn fill_chunk_decodes_ranges() {
+        let params = params_for(WorkloadId::Webmail);
+        let buf = MemTraceBuf::generate(params, 4, 1_000);
+        let mut scratch = vec![
+            PageAccess {
+                page: 0,
+                write: false
+            };
+            130
+        ];
+        buf.fill_chunk(500, &mut scratch);
+        for (j, a) in scratch.iter().enumerate() {
+            assert_eq!(*a, buf.get(500 + j));
         }
     }
 

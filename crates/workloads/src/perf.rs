@@ -50,6 +50,16 @@ impl Default for MeasureConfig {
     }
 }
 
+impl wcs_simcore::memo::MemoHash for MeasureConfig {
+    fn memo_hash(&self, key: &mut wcs_simcore::memo::MemoKey) {
+        *key = key
+            .push_u64(self.warmup)
+            .push_u64(self.measured)
+            .push_u32(self.max_clients)
+            .push_u64(self.seed);
+    }
+}
+
 /// A measured performance value.
 #[derive(Debug, Clone)]
 pub struct PerfResult {

@@ -30,6 +30,20 @@ pub struct PlatformDemand {
     cv: f64,
 }
 
+// Implemented here because the fields are private: every one of them
+// feeds the service-time model, so every one of them is in the key.
+impl wcs_simcore::memo::MemoHash for PlatformDemand {
+    fn memo_hash(&self, key: &mut wcs_simcore::memo::MemoKey) {
+        *key = key
+            .push_u32(self.cores)
+            .push_f64(self.cpu_secs)
+            .push_f64(self.mem_secs)
+            .push_f64(self.disk_secs)
+            .push_f64(self.net_secs)
+            .push_f64(self.cv);
+    }
+}
+
 impl PlatformDemand {
     /// Scales `workload` onto `platform` using the platform's own disk
     /// and memory capacity.

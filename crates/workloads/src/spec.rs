@@ -48,6 +48,12 @@ impl fmt::Display for WorkloadId {
     }
 }
 
+impl wcs_simcore::memo::MemoHash for WorkloadId {
+    fn memo_hash(&self, key: &mut wcs_simcore::memo::MemoKey) {
+        *key = key.push_str(self.label());
+    }
+}
+
 /// Per-request (or per-task) resource demands, expressed in platform-
 /// independent units and scaled to a concrete platform by
 /// [`crate::service::PlatformDemand`].
