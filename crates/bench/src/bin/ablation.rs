@@ -8,15 +8,14 @@
 //!
 //! Run with `cargo run --release -p wcs-bench --bin ablation`.
 
+use wcs_bench::cli::BenchArgs;
 use wcs_core::designs::{CoolingConfig, DesignPoint};
-use wcs_core::evaluate::Evaluator;
 use wcs_flashcache::memo::StorageMemo;
 use wcs_memshare::policy::PolicyKind;
 use wcs_memshare::slowdown::{estimate_slowdown_with, ReplayMemo, SlowdownConfig};
 use wcs_platforms::future::TechTrend;
 use wcs_platforms::storage::{DiskModel, FlashModel};
 use wcs_platforms::{catalog, PlatformId};
-use wcs_simcore::ThreadPool;
 use wcs_tco::sensitivity::component_leverage;
 use wcs_tco::{BurdenedParams, Efficiency, TcoModel};
 use wcs_workloads::disktrace::params_for;
@@ -24,21 +23,25 @@ use wcs_workloads::WorkloadId;
 
 fn main() {
     let args = wcs_bench::cli::parse();
-    let (pool, memo) = (args.pool, args.memo);
     activity_factor_sweep();
     tariff_sweep();
     component_leverage_ranking();
-    local_fraction_sweep(memo);
-    flash_capacity_sweep(memo);
-    n2_technique_ablation(pool, memo);
-    future_projection(pool, memo);
+    local_fraction_sweep(&args);
+    flash_capacity_sweep(&args);
+    n2_technique_ablation(&args);
+    future_projection(&args);
+    args.write_metrics();
 }
 
 /// Does emb1's advantage persist as technology scales? (Section 3.4:
 /// "we expect these trends to hold into the future as well".)
-fn future_projection(pool: ThreadPool, memo: bool) {
+fn future_projection(args: &BenchArgs) {
     println!("\nAblation: technology projection (emb1-class platform vs srvr1, Perf/TCO-$)");
-    let eval = Evaluator::quick().with_pool(pool).with_memo(memo);
+    let eval = args
+        .eval_builder()
+        .quick()
+        .build()
+        .expect("quick profile configuration is valid");
     let base = eval
         .evaluate(&DesignPoint::baseline_srvr1())
         .expect("baseline");
@@ -60,6 +63,7 @@ fn future_projection(pool: ThreadPool, memo: bool) {
     println!("  (srvr1 held fixed; in reality it scales too — the point is that the");
     println!("   embedded platform's lead widens as memory cost, its dominant BOM line,");
     println!("   commoditizes fastest.)");
+    eval.export_obs();
 }
 
 /// Which component should a designer attack next? (Figure 1(b)'s
@@ -113,11 +117,11 @@ fn tariff_sweep() {
 }
 
 /// Local-memory fraction and policy sweep for the memory blade.
-fn local_fraction_sweep(memo: bool) {
+fn local_fraction_sweep(args: &BenchArgs) {
     println!("\nAblation: memory-blade local fraction x policy (websearch slowdown %)");
     // Every cell replays the same websearch trace: the memo materializes
     // it once and shares the buffer across all fraction x policy points.
-    let replays = ReplayMemo::with_enabled(memo);
+    let replays = ReplayMemo::with_enabled(args.memo).with_obs(args.obs.clone());
     print!("  {:<8}", "local");
     for p in [PolicyKind::Lru, PolicyKind::Clock, PolicyKind::Random] {
         print!("{:>8}", format!("{p:?}"));
@@ -144,11 +148,11 @@ fn local_fraction_sweep(memo: bool) {
 
 /// Flash-cache capacity sweep: mean service time for the ytube stream on
 /// the remote laptop disk.
-fn flash_capacity_sweep(memo: bool) {
+fn flash_capacity_sweep(args: &BenchArgs) {
     println!("\nAblation: flash capacity (ytube on remote laptop disk)");
     // One ytube trace replayed against six storage configurations: the
     // memo materializes the trace once and shares it across the sweep.
-    let storage = StorageMemo::with_enabled(memo);
+    let storage = StorageMemo::with_enabled(args.memo).with_obs(args.obs.clone());
     let params = params_for(WorkloadId::Ytube);
     let bare = storage
         .replay(&DiskModel::laptop_remote(), None, params, 1, 80_000)
@@ -172,9 +176,13 @@ fn flash_capacity_sweep(memo: bool) {
 }
 
 /// N2 with each technique removed: which contributes what?
-fn n2_technique_ablation(pool: ThreadPool, memo: bool) {
+fn n2_technique_ablation(args: &BenchArgs) {
     println!("\nAblation: N2 technique contributions (HMean Perf/TCO-$ vs srvr1)");
-    let eval = Evaluator::quick().with_pool(pool).with_memo(memo);
+    let eval = args
+        .eval_builder()
+        .quick()
+        .build()
+        .expect("quick profile configuration is valid");
     let base = eval
         .evaluate(&DesignPoint::baseline_srvr1())
         .expect("baseline");
@@ -208,4 +216,5 @@ fn n2_technique_ablation(pool: ThreadPool, memo: bool) {
             Err(err) => println!("  {label:<32} infeasible: {err}"),
         }
     }
+    eval.export_obs();
 }

@@ -16,7 +16,8 @@ use wcs_workloads::WorkloadId;
 fn main() {
     // Per-server replays fan out over the pool; results are identical at
     // any --threads value.
-    let pool = cli::parse().pool;
+    let args = cli::parse();
+    let pool = args.pool;
     println!("Ensemble: servers sharing one memory blade (websearch, 25% local)");
     println!(
         "{:>8} {:>10} {:>12} {:>14} {:>16}",
@@ -92,4 +93,5 @@ fn main() {
             h.relative_power() * 100.0
         );
     }
+    args.write_metrics();
 }

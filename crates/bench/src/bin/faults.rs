@@ -25,10 +25,10 @@
 //! at every `--threads` value.
 
 use wcs_bench::cli;
-use wcs_cooling::faults::{expected_perf_under_fan_faults, throttle, FanWall};
+use wcs_cooling::faults::{expected_perf_under_fan_faults, throttle_obs, FanWall};
 use wcs_cooling::EnclosureDesign;
 use wcs_core::designs::DesignPoint;
-use wcs_core::evaluate::{DesignEval, Evaluator};
+use wcs_core::evaluate::DesignEval;
 use wcs_memshare::degraded::{assess_blade_outages, DegradedOutcome};
 use wcs_memshare::slowdown::SlowdownConfig;
 use wcs_simcore::faults::FaultProcess;
@@ -72,7 +72,8 @@ fn print_run(label: &str, stats: &RunStats) {
 }
 
 fn main() {
-    let pool = cli::parse().pool;
+    let args = cli::parse();
+    let pool = args.pool;
     let servers = 16u32;
     let cluster = Cluster::ideal(ServerSpec::new(2), servers).expect("non-empty cluster");
     let retry =
@@ -98,7 +99,11 @@ fn main() {
     let wall = FanWall::n_plus_one();
     let fan = FaultProcess::exponential(secs(200_000.0), secs(14_400.0)).expect("positive rates");
     let bare_wall = FanWall::new(6, 0).expect("valid wall");
-    let eval = Evaluator::quick();
+    let eval = args
+        .eval_builder()
+        .quick()
+        .build()
+        .expect("quick profile configuration is valid");
 
     let blade_workloads = [
         WorkloadId::Websearch,
@@ -180,6 +185,12 @@ fn main() {
     print_run("single blade failure", &faulted[0]);
     print_run("link flap (all)", &faulted[1]);
     print_run("link flap, no retry", &faulted[2]);
+    // Deterministic queue.* and faults.* series, recorded from the
+    // returned run statistics in a fixed order.
+    healthy.export_obs(&args.obs);
+    for run in &faulted {
+        run.export_obs(&args.obs);
+    }
 
     // 3. Memory-blade outage pricing: while the blade is down, remote
     // pages come from disk swap.
@@ -200,7 +211,7 @@ fn main() {
     // 4. Fan failure: the dense enclosure throttles instead of dying.
     println!("\nFan-wall failure (dual-entry enclosure, 6 fans sized N+1, 30% idle floor):");
     for failed in 0..=3u32 {
-        let t = throttle(&design, &wall, failed, 0.3).expect("valid idle fraction");
+        let t = throttle_obs(&design, &wall, failed, 0.3, &args.obs).expect("valid idle fraction");
         println!(
             "  {failed} failed: airflow {:>4.0}%  power cap {:>5.1} W  sustained perf {:>4.0}%",
             t.flow_fraction * 100.0,
@@ -250,4 +261,6 @@ fn main() {
         );
     }
     println!("\n(deterministic: fixed seeds 17/23/29/31; rerun reproduces bit-identical output)");
+    eval.export_obs();
+    args.write_metrics();
 }

@@ -7,8 +7,8 @@ use wcs_platforms::{catalog, Component, PlatformId};
 use wcs_tco::TcoModel;
 
 fn main() {
-    // Accept the fleet-wide --threads flag; this binary has no fan-out.
-    let _ = wcs_bench::cli::parse();
+    // Accept the fleet-wide flag cluster; this binary has no fan-out.
+    let args = wcs_bench::cli::parse();
     let model = TcoModel::paper_default();
     let srvr1 = catalog::platform(PlatformId::Srvr1);
     let srvr2 = catalog::platform(PlatformId::Srvr2);
@@ -93,4 +93,5 @@ fn main() {
             r2.pc_fraction(c) * 100.0
         );
     }
+    args.write_metrics();
 }

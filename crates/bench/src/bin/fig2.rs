@@ -5,13 +5,15 @@
 
 use wcs_bench::cli;
 use wcs_platforms::{catalog, Component, PlatformId};
+use wcs_simcore::event::QueueObs;
 use wcs_simcore::stats::harmonic_mean;
 use wcs_tco::{Efficiency, TcoModel};
 use wcs_workloads::perf::{measure_perf, MeasureConfig};
 use wcs_workloads::{suite, WorkloadId};
 
 fn main() {
-    let pool = cli::parse().pool;
+    let args = cli::parse();
+    let pool = args.pool;
     let model = TcoModel::paper_default();
     let platforms = catalog::all();
 
@@ -77,11 +79,24 @@ fn main() {
         .iter()
         .flat_map(|&w| ids.iter().map(move |&id| (w, id)))
         .collect();
-    let values = pool.par_map(&cells, |_, &(w, id)| {
+    let results = pool.par_map(&cells, |_, &(w, id)| {
         measure_perf(&suite::workload(w), &catalog::platform(id), &cfg)
-            .map(|r| r.value)
-            .unwrap_or(f64::NAN)
     });
+    // Queue occupancy is summed from the returned measurements in input
+    // order, so the recorded series is identical at any --threads value.
+    let mut queue = QueueObs::default();
+    let values: Vec<f64> = results
+        .into_iter()
+        .map(|r| match r {
+            Ok(r) => {
+                queue = queue.merged(&r.queue);
+                r.value
+            }
+            Err(_) => f64::NAN,
+        })
+        .collect();
+    queue.export(&args.obs);
+    args.obs.counter("pool.tasks").add(cells.len() as u64);
     let perf: Vec<Vec<f64>> = values.chunks(ids.len()).map(<[f64]>::to_vec).collect();
 
     for (metric, f) in [
@@ -121,4 +136,5 @@ fn main() {
         }
         println!();
     }
+    args.write_metrics();
 }

@@ -9,8 +9,8 @@ use wcs_cooling::transient::{simulate_transient, FanController, ThermalNode};
 use wcs_cooling::{EnclosureDesign, RackGeometry};
 
 fn main() {
-    // Accept the fleet-wide --threads flag; this binary has no fan-out.
-    let _ = wcs_bench::cli::parse();
+    // Accept the fleet-wide flag cluster; this binary has no fan-out.
+    let args = wcs_bench::cli::parse();
     let rack = RackGeometry::standard_42u();
     let designs = [
         EnclosureDesign::conventional_1u(),
@@ -25,6 +25,13 @@ fn main() {
     );
     for d in &designs {
         let sol = d.solution(&rack);
+        // Exact-class cooling series, derived from the design solution.
+        args.obs
+            .histogram("cooling.fan_w_per_system_x100")
+            .record((d.fan_power_per_system_w() * 100.0).round() as u64);
+        args.obs
+            .max_gauge("cooling.max_systems_per_rack")
+            .observe(u64::from(sol.systems_per_rack));
         println!(
             "{:<32} {:>9.0} {:>12.2} {:>12.1} {:>11.2}x {:>10}",
             d.name,
@@ -85,4 +92,5 @@ fn main() {
             f.mechanical_pue()
         );
     }
+    args.write_metrics();
 }

@@ -17,7 +17,7 @@ fn main() {
     // lets the PCIe and CBF columns (same replay, different link) share
     // one two-level simulation per workload.
     let args = wcs_bench::cli::parse();
-    let memo = ReplayMemo::with_enabled(args.memo);
+    let memo = ReplayMemo::with_enabled(args.memo).with_obs(args.obs.clone());
     println!("Figure 4(b): slowdowns with random replacement (% of execution time)");
     println!(
         "{:<18} {:>10} {:>9} {:>8} {:>10} {:>10}",
@@ -95,4 +95,5 @@ fn main() {
         );
     }
     println!("(paper: static 102/116/108; dynamic 106/116/111)");
+    args.write_metrics();
 }

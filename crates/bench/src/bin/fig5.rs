@@ -6,7 +6,6 @@
 //! (add `-- srvr2` or `-- desk` for the alternate baselines).
 
 use wcs_core::designs::DesignPoint;
-use wcs_core::evaluate::Evaluator;
 use wcs_core::report::render_comparison;
 use wcs_platforms::PlatformId;
 
@@ -23,9 +22,10 @@ fn main() {
         }
     };
 
-    let eval = Evaluator::paper_default()
-        .with_pool(args.pool)
-        .with_memo(args.memo);
+    let eval = args
+        .eval_builder()
+        .build()
+        .expect("paper profile configuration is valid");
     let baseline = eval
         .evaluate(&DesignPoint::baseline(baseline_id))
         .expect("baseline evaluates");
@@ -42,4 +42,6 @@ fn main() {
         );
         println!();
     }
+    eval.export_obs();
+    args.write_metrics();
 }

@@ -1,7 +1,8 @@
 //! Fixed-seed performance smoke test: times the workspace's main studies
 //! and the event-queue hot path, verifies that memoized sweeps are
-//! byte-identical to cold recomputation, then writes
-//! `BENCH_results.json` to the current directory.
+//! byte-identical to cold recomputation, measures the observability
+//! layer's overhead in-process, then writes `BENCH_results.json` to the
+//! current directory.
 //!
 //! All studies run with pinned seeds, so the *numbers* they produce are
 //! identical run to run and across `--threads` values; only the wall
@@ -20,6 +21,7 @@ use wcs_memshare::link::RemoteLink;
 use wcs_memshare::policy::PolicyKind;
 use wcs_platforms::PlatformId;
 use wcs_simcore::faults::FaultProcess;
+use wcs_simcore::obs::Registry;
 use wcs_simcore::{EventQueue, SimDuration, SimRng, SimTime};
 use wcs_simserver::{Cluster, ClusterFaults, Resource, RetryPolicy, ServerSpec, Stage};
 use wcs_workloads::perf::MeasureConfig;
@@ -30,6 +32,31 @@ fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
     let out = f();
     (out, start.elapsed().as_secs_f64() * 1e3)
 }
+
+/// The metric series folded into `BENCH_results.json`: at least one per
+/// standard family, all recorded by the memoized sweep bundle and the
+/// obs-overhead study runs. Exact-class series are deterministic across
+/// `--threads` and memo settings; the `memo.*` hit/miss counters are
+/// wall-class profiling data.
+const FOLDED_SERIES: [&str; 17] = [
+    "queue.scheduled",
+    "queue.fast_path",
+    "queue.max_depth",
+    "pool.tasks",
+    "memo.storage.hits",
+    "memo.replay.hits",
+    "memo.perf.hits",
+    "memo.perf.misses",
+    "memshare.replays",
+    "memshare.page_faults",
+    "memshare.cbf_saved_ns",
+    "flashcache.replays",
+    "flashcache.flash_hits",
+    "flashcache.ftl_bytes_programmed",
+    "cooling.throttle_events",
+    "faults.retries",
+    "faults.offered",
+];
 
 /// The memoization-sensitive workload: every design-space sweep and
 /// study the caches accelerate, rendered to one canonical string. Any
@@ -70,7 +97,11 @@ fn event_queue_rate() -> (u64, f64) {
 fn main() {
     let args = cli::parse();
     let pool = args.pool;
-    let eval = Evaluator::quick().with_pool(pool).with_memo(args.memo);
+    let eval = args
+        .eval_builder()
+        .quick()
+        .build()
+        .expect("quick profile configuration is valid");
     let mut studies: Vec<(&str, f64)> = Vec::new();
 
     let (_, ms) = timed(|| cpu_study(&eval).expect("catalog platforms evaluate"));
@@ -121,13 +152,48 @@ fn main() {
 
     let (events, events_per_sec) = event_queue_rate();
 
+    // Observability overhead: the unified study on a fresh evaluator per
+    // run, first with the registry disabled, then enabled, interleaved
+    // twice; best-of-two on each side rejects scheduler noise. The same
+    // work runs either way — the only difference is whether the exact
+    // metric exports hit a no-op handle or live atomics.
+    let metrics_reg = Registry::new();
+    let study_run = |obs: Registry| -> f64 {
+        let e = args
+            .eval_builder()
+            .obs(obs)
+            .quick()
+            .build()
+            .expect("quick profile configuration is valid");
+        let (_, ms) = timed(|| unified_study(&e, PlatformId::Srvr1).expect("designs evaluate"));
+        ms
+    };
+    let off_first = study_run(Registry::disabled());
+    let on_first = study_run(metrics_reg.clone());
+    let obs_off_ms = off_first.min(study_run(Registry::disabled()));
+    let obs_on_ms = on_first.min(study_run(metrics_reg.clone()));
+    let obs_overhead_pct = (obs_on_ms - obs_off_ms) / obs_off_ms * 100.0;
+
     // Memoization check: the full sweep bundle, cold (memo disabled),
     // then twice on one memoized evaluator (filling, then warm). All
     // three renders must be byte-identical — a divergence fails the run
-    // (and CI) before any results are written.
-    let cold_eval = Evaluator::quick().with_pool(pool).with_memo(false);
+    // (and CI) before any results are written. The memoized evaluator
+    // records into `metrics_reg`, so the folded series below cover the
+    // sweep bundle as well as the overhead study.
+    let cold_eval = args
+        .eval_builder()
+        .memo(false)
+        .obs(Registry::disabled())
+        .quick()
+        .build()
+        .expect("quick profile configuration is valid");
     let (cold, sweep_cold_ms) = timed(|| sweep_bundle(&cold_eval));
-    let memo_eval = Evaluator::quick().with_pool(pool).with_memo(args.memo);
+    let memo_eval = args
+        .eval_builder()
+        .obs(metrics_reg.clone())
+        .quick()
+        .build()
+        .expect("quick profile configuration is valid");
     let (filling, _) = timed(|| sweep_bundle(&memo_eval));
     let (warm, sweep_warm_ms) = timed(|| sweep_bundle(&memo_eval));
     assert_eq!(
@@ -140,6 +206,10 @@ fn main() {
     );
     let memo_stats = memo_eval.memo.stats();
     let speedup = sweep_cold_ms / sweep_warm_ms;
+
+    memo_eval.export_obs();
+    cli::ensure_standard_series(&metrics_reg);
+    let snap = metrics_reg.snapshot();
 
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"threads\": {},", pool.threads());
@@ -164,6 +234,18 @@ fn main() {
     );
     let _ = writeln!(
         json,
+        "  \"obs\": {{\"disabled_ms\": {obs_off_ms:.3}, \"enabled_ms\": {obs_on_ms:.3}, \
+         \"overhead_pct\": {obs_overhead_pct:.3}}},"
+    );
+    json.push_str("  \"metrics\": {\n");
+    for (i, name) in FOLDED_SERIES.iter().enumerate() {
+        let comma = if i + 1 < FOLDED_SERIES.len() { "," } else { "" };
+        let value = snap.count(name).unwrap_or(0);
+        let _ = writeln!(json, "    \"{name}\": {value}{comma}");
+    }
+    json.push_str("  },\n");
+    let _ = writeln!(
+        json,
         "  \"event_queue\": {{\"events\": {events}, \"events_per_sec\": {events_per_sec:.0}}}"
     );
     json.push_str("}\n");
@@ -175,9 +257,18 @@ fn main() {
     }
     println!("  event queue: {events_per_sec:.2e} events/sec");
     println!(
+        "  obs overhead: disabled {obs_off_ms:.1} ms, enabled {obs_on_ms:.1} ms \
+         ({obs_overhead_pct:+.2}%)"
+    );
+    println!(
         "  memo sweep: cold {sweep_cold_ms:.1} ms, warm {sweep_warm_ms:.1} ms \
          ({speedup:.1}x, hit rate {:.1}%, byte-identical)",
         memo_stats.hit_rate() * 100.0
     );
+
+    // Honor --metrics like every other bench bin: the registry attached
+    // to the studies' evaluator (enabled only when --metrics was given).
+    eval.export_obs();
+    args.write_metrics();
     println!("wrote BENCH_results.json");
 }

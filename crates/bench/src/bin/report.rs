@@ -3,7 +3,6 @@
 //! `cargo run --release -p wcs-bench --bin report > REPORT.md`.
 
 use wcs_core::designs::DesignPoint;
-use wcs_core::evaluate::Evaluator;
 use wcs_core::report::{render_comparison, render_eval_markdown};
 use wcs_core::validate::run_scorecard;
 use wcs_platforms::PlatformId;
@@ -11,13 +10,10 @@ use wcs_platforms::PlatformId;
 fn main() {
     let args = wcs_bench::cli::parse();
     let accurate = args.rest.iter().any(|a| a == "--accurate");
-    let eval = if accurate {
-        Evaluator::paper_default()
-    } else {
-        Evaluator::quick()
-    }
-    .with_pool(args.pool)
-    .with_memo(args.memo);
+    let builder = args.eval_builder();
+    let eval = if accurate { builder } else { builder.quick() }
+        .build()
+        .expect("profile configuration is valid");
 
     println!("# wcs reproduction report\n");
     println!(
@@ -66,4 +62,6 @@ fn main() {
         let e = eval.evaluate(&design).expect("design evaluates");
         println!("{}", render_eval_markdown(&e));
     }
+    eval.export_obs();
+    args.write_metrics();
 }

@@ -3,12 +3,15 @@
 //!
 //! Run with `cargo run --release -p wcs-bench --bin sweeps`.
 
-use wcs_core::evaluate::Evaluator;
 use wcs_core::sweeps::{sweep_flash_capacity, sweep_local_fraction, sweep_platforms};
 
 fn main() {
     let args = wcs_bench::cli::parse();
-    let eval = Evaluator::quick().with_pool(args.pool).with_memo(args.memo);
+    let eval = args
+        .eval_builder()
+        .quick()
+        .build()
+        .expect("quick profile configuration is valid");
 
     println!("Sweep: N2 local-memory fraction (HMean Perf/TCO-$ vs srvr1)");
     let sweep = sweep_local_fraction(&eval, &[0.5, 0.25, 0.125, 0.0625]).expect("evaluates");
@@ -31,4 +34,6 @@ fn main() {
         let tco = p.eval.compare(&sweep.baseline).hmean(|r| r.perf_per_tco);
         println!("  {:<7} ->  {:>4.0}%", p.label, tco * 100.0);
     }
+    eval.export_obs();
+    args.write_metrics();
 }

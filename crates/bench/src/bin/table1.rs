@@ -5,8 +5,8 @@
 use wcs_workloads::{suite, Metric};
 
 fn main() {
-    // Accept the fleet-wide --threads flag; this binary has no fan-out.
-    let _ = wcs_bench::cli::parse();
+    // Accept the fleet-wide flag cluster; this binary has no fan-out.
+    let args = wcs_bench::cli::parse();
     println!("Table 1: the warehouse-computing benchmark suite");
     println!(
         "{:<12} {:<38} {:<18} description",
@@ -49,4 +49,5 @@ fn main() {
             d.net_bytes
         );
     }
+    args.write_metrics();
 }

@@ -6,8 +6,8 @@
 use wcs_platforms::catalog;
 
 fn main() {
-    // Accept the fleet-wide --threads flag; this binary has no fan-out.
-    let _ = wcs_bench::cli::parse();
+    // Accept the fleet-wide flag cluster; this binary has no fan-out.
+    let args = wcs_bench::cli::parse();
     println!("Table 2: systems considered");
     println!(
         "{:<7} {:<34} {:<46} {:>6} {:>7}",
@@ -40,4 +40,5 @@ fn main() {
         "\n(Inf-$ includes the ${:.2} per-server rack-switch share.)",
         switch.cost_usd
     );
+    args.write_metrics();
 }

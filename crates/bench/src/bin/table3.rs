@@ -47,7 +47,7 @@ fn main() {
         "  {:<28} {:>7} {:>12} {:>8} {:>12}",
         "disk type", "Perf", "Perf/Inf-$", "Perf/W", "Perf/TCO-$"
     );
-    let memo = StorageMemo::with_enabled(args.memo);
+    let memo = StorageMemo::with_enabled(args.memo).with_obs(args.obs.clone());
     for row in run_disk_study_with(&MeasureConfig::default_accuracy(), &memo) {
         println!(
             "  {:<28} {:>6.0}% {:>11.0}% {:>7.0}% {:>11.0}%",
@@ -59,4 +59,5 @@ fn main() {
         );
     }
     println!("  (paper: laptop 93/100/96; +flash 99/109/104; laptop-2+flash 110/109/110)");
+    args.write_metrics();
 }

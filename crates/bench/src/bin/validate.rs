@@ -4,19 +4,15 @@
 //! Run with `cargo run --release -p wcs-bench --bin validate`
 //! (`-- --accurate` for full-accuracy simulation).
 
-use wcs_core::evaluate::Evaluator;
 use wcs_core::validate::run_scorecard;
 
 fn main() {
     let args = wcs_bench::cli::parse();
     let accurate = args.rest.iter().any(|a| a == "--accurate");
-    let eval = if accurate {
-        Evaluator::paper_default()
-    } else {
-        Evaluator::quick()
-    }
-    .with_pool(args.pool)
-    .with_memo(args.memo);
+    let builder = args.eval_builder();
+    let eval = if accurate { builder } else { builder.quick() }
+        .build()
+        .expect("profile configuration is valid");
     let card = run_scorecard(&eval);
     println!(
         "{:<10} {:<48} {:>10} {:>10} {:>7}",
@@ -33,6 +29,8 @@ fn main() {
         );
     }
     println!("\n{}/{} checks pass", card.passed(), card.checks.len());
+    eval.export_obs();
+    args.write_metrics();
     if !card.all_pass() {
         std::process::exit(1);
     }

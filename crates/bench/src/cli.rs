@@ -1,15 +1,44 @@
 //! Shared command-line handling for the bench binaries.
 //!
-//! Every binary accepts `--threads N` (or `--threads=N`), defaulting to
-//! the machine's available parallelism, and `--no-memo`, which disables
-//! the sub-simulation result caches. Neither flag affects results —
-//! every parallel fan-out seeds its tasks purely from the task index,
-//! and every memoized value is a pure function of its key — so both are
-//! wall-clock dials, not reproducibility hazards.
+//! Every binary accepts the same flag cluster from this one parser —
+//! there is no per-bin flag handling:
+//!
+//! * `--threads N` (or `--threads=N`) sizes the worker pool, defaulting
+//!   to the machine's available parallelism.
+//! * `--no-memo` disables the sub-simulation result caches.
+//! * `--seed S` overrides the base RNG seed of every evaluation built
+//!   through [`BenchArgs::eval_builder`].
+//! * `--metrics PATH` enables the observability layer and writes a
+//!   snapshot of every recorded series when the binary calls
+//!   [`BenchArgs::write_metrics`]: JSON by default, Prometheus text
+//!   exposition when `PATH` ends in `.prom`, JSON on stdout for `-`.
+//!
+//! None of the flags can change results. Parallel fan-outs seed their
+//! tasks purely from the task index, memoized values are pure functions
+//! of their keys, and every exact-class metric is recorded from returned
+//! simulation values — so `--threads`, `--no-memo`, and `--metrics` are
+//! wall-clock and reporting dials, not reproducibility hazards.
 
 use std::process::exit;
 
+use wcs_core::evaluate::EvalBuilder;
+use wcs_core::{Evaluator, WcsError};
+use wcs_simcore::obs::Registry;
 use wcs_simcore::ThreadPool;
+
+/// The metric families every bench binary's `--metrics` export carries.
+/// [`ensure_standard_series`] registers one canonical series per family
+/// so consumers can rely on the keys being present; a zero value means
+/// the subsystem did not run in that binary.
+pub const STANDARD_FAMILIES: [&str; 7] = [
+    "queue",
+    "pool",
+    "memo",
+    "memshare",
+    "flashcache",
+    "cooling",
+    "faults",
+];
 
 /// Parsed common arguments: the worker pool plus whatever the binary
 /// defines for itself.
@@ -20,13 +49,111 @@ pub struct BenchArgs {
     /// Whether sub-simulation memoization is enabled (default) or
     /// disabled by `--no-memo`.
     pub memo: bool,
+    /// Destination of the metrics snapshot (`--metrics PATH`), if any.
+    pub metrics: Option<String>,
+    /// Base RNG seed override (`--seed S`), if any.
+    pub seed: Option<u64>,
+    /// The metrics registry: enabled iff `--metrics` was passed,
+    /// otherwise the disabled no-op registry.
+    pub obs: Registry,
     /// Positional/unrecognized arguments, in order, for the binary's own
     /// parsing (e.g. `fig5`'s baseline platform).
     pub rest: Vec<String>,
 }
 
+impl BenchArgs {
+    /// An [`EvalBuilder`] with this command line applied: pool, memo,
+    /// observability registry, and seed override. Binaries layer their
+    /// own profile on top (`.quick()`, `.faults(..)`, ...) and `build()`.
+    pub fn eval_builder(&self) -> EvalBuilder {
+        let mut b = Evaluator::builder()
+            .pool(self.pool)
+            .memo(self.memo)
+            .obs(self.obs.clone());
+        if let Some(seed) = self.seed {
+            b = b.seed(seed);
+        }
+        b
+    }
+
+    /// Writes the metrics snapshot to the `--metrics` destination, if
+    /// one was requested: JSON by default, Prometheus text when the path
+    /// ends in `.prom`, JSON on stdout for `-`. Call once, at the end of
+    /// `main`, after [`Evaluator::export_obs`] / any end-of-run exports.
+    ///
+    /// Every standard family is registered before the snapshot, so the
+    /// export always contains the `queue`, `pool`, `memo`, `memshare`,
+    /// `flashcache`, `cooling`, and `faults` series.
+    pub fn write_metrics(&self) {
+        let Some(path) = &self.metrics else {
+            return;
+        };
+        ensure_standard_series(&self.obs);
+        let snap = self.obs.snapshot();
+        if path == "-" {
+            print!("{}", snap.to_json());
+            return;
+        }
+        let body = if path.ends_with(".prom") {
+            snap.to_prometheus()
+        } else {
+            snap.to_json()
+        };
+        match std::fs::write(path, body) {
+            Ok(()) => eprintln!("wrote metrics to {path}"),
+            Err(e) => {
+                eprintln!("error: cannot write metrics to {path}: {e}");
+                exit(1);
+            }
+        }
+    }
+}
+
+/// Registers one canonical series from each [`STANDARD_FAMILIES`] family
+/// (kind-compatible with the real recorders), so that a snapshot always
+/// carries every family even when a binary exercises only some
+/// subsystems. Zero means "subsystem did not run", absent means "binary
+/// predates the obs layer".
+pub fn ensure_standard_series(registry: &Registry) {
+    if !registry.is_enabled() {
+        return;
+    }
+    for name in ["queue.scheduled", "queue.fast_path"] {
+        registry.counter(name).add(0);
+    }
+    registry.max_gauge("queue.max_depth").observe(0);
+    registry.counter("pool.tasks").add(0);
+    for domain in ["storage", "replay", "perf"] {
+        registry.wall_counter(&format!("memo.{domain}.hits")).add(0);
+        registry
+            .wall_counter(&format!("memo.{domain}.misses"))
+            .add(0);
+    }
+    for name in [
+        "memshare.replays",
+        "memshare.accesses",
+        "memshare.page_faults",
+        "memshare.writebacks",
+        "memshare.cbf_saved_ns",
+        "flashcache.replays",
+        "flashcache.requests",
+        "flashcache.flash_hits",
+        "flashcache.background_bytes",
+        "flashcache.ftl_bytes_programmed",
+        "flashcache.ftl_erases",
+        "cooling.throttle_events",
+        "cooling.fan_failures",
+        "faults.timeouts",
+        "faults.retries",
+        "faults.dropped",
+        "faults.offered",
+    ] {
+        registry.counter(name).add(0);
+    }
+}
+
 /// Parses `std::env::args()`, exiting with status 2 on a malformed
-/// `--threads` value.
+/// command line.
 pub fn parse() -> BenchArgs {
     parse_from(std::env::args().skip(1))
 }
@@ -34,10 +161,12 @@ pub fn parse() -> BenchArgs {
 /// Parses an explicit argument stream (testable form of [`parse`]).
 ///
 /// # Errors
-/// Returns a message describing the malformed `--threads` usage.
-pub fn try_parse_from(args: impl Iterator<Item = String>) -> Result<BenchArgs, String> {
+/// Returns a [`WcsError::Cli`] describing the malformed flag.
+pub fn try_parse_from(args: impl Iterator<Item = String>) -> Result<BenchArgs, WcsError> {
     let mut pool = ThreadPool::available();
     let mut memo = true;
+    let mut metrics = None;
+    let mut seed = None;
     let mut rest = Vec::new();
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
@@ -45,30 +174,55 @@ pub fn try_parse_from(args: impl Iterator<Item = String>) -> Result<BenchArgs, S
             memo = false;
             continue;
         }
-        let value = if arg == "--threads" {
-            Some(args.next().ok_or("--threads requires a value")?)
-        } else {
-            arg.strip_prefix("--threads=").map(str::to_owned)
-        };
-        match value {
-            Some(v) => {
-                let n: usize = v
-                    .parse()
-                    .map_err(|_| format!("--threads expects a positive integer, got {v:?}"))?;
-                pool = ThreadPool::new(n).map_err(|e| e.to_string())?;
+        // `--flag value` and `--flag=value` are both accepted for every
+        // valued flag.
+        let mut valued = |flag: &str| -> Result<Option<String>, WcsError> {
+            if arg == flag {
+                return args
+                    .next()
+                    .map(Some)
+                    .ok_or_else(|| WcsError::Cli(format!("{flag} requires a value")));
             }
-            None => rest.push(arg),
+            Ok(arg
+                .strip_prefix(flag)
+                .and_then(|r| r.strip_prefix('='))
+                .map(str::to_owned))
+        };
+        if let Some(v) = valued("--threads")? {
+            let n: usize = v.parse().map_err(|_| {
+                WcsError::Cli(format!("--threads expects a positive integer, got {v:?}"))
+            })?;
+            pool = ThreadPool::new(n).map_err(WcsError::from)?;
+        } else if let Some(v) = valued("--seed")? {
+            let s: u64 = v
+                .parse()
+                .map_err(|_| WcsError::Cli(format!("--seed expects an integer, got {v:?}")))?;
+            seed = Some(s);
+        } else if let Some(v) = valued("--metrics")? {
+            metrics = Some(v);
+        } else {
+            rest.push(arg);
         }
     }
-    Ok(BenchArgs { pool, memo, rest })
+    let obs = Registry::with_enabled(metrics.is_some());
+    Ok(BenchArgs {
+        pool,
+        memo,
+        metrics,
+        seed,
+        obs,
+        rest,
+    })
 }
 
 fn parse_from(args: impl Iterator<Item = String>) -> BenchArgs {
     match try_parse_from(args) {
         Ok(parsed) => parsed,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            eprintln!("usage: <bin> [--threads N] [--no-memo] [args...]");
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: <bin> [--threads N] [--no-memo] [--seed S] [--metrics PATH] [args...]"
+            );
             exit(2);
         }
     }
@@ -90,6 +244,9 @@ mod tests {
         let a = try_parse_from(strs(&[])).unwrap();
         assert_eq!(a.pool, ThreadPool::available());
         assert!(a.memo, "memoization defaults on");
+        assert!(a.metrics.is_none());
+        assert!(a.seed.is_none());
+        assert!(!a.obs.is_enabled(), "obs stays disabled without --metrics");
         assert!(a.rest.is_empty());
     }
 
@@ -112,10 +269,22 @@ mod tests {
     }
 
     #[test]
-    fn keeps_positional_args_in_order() {
-        let a = try_parse_from(strs(&["desk", "--threads", "2", "extra"])).unwrap();
-        assert_eq!(a.pool.threads(), 2);
-        assert_eq!(a.rest, vec!["desk".to_owned(), "extra".to_owned()]);
+    fn metrics_flag_enables_obs() {
+        let a = try_parse_from(strs(&["--metrics", "out.json"])).unwrap();
+        assert_eq!(a.metrics.as_deref(), Some("out.json"));
+        assert!(a.obs.is_enabled());
+        let b = try_parse_from(strs(&["--metrics=out.prom"])).unwrap();
+        assert_eq!(b.metrics.as_deref(), Some("out.prom"));
+    }
+
+    #[test]
+    fn seed_flag_parses_and_flows_into_builder() {
+        let a = try_parse_from(strs(&["--seed", "42"])).unwrap();
+        assert_eq!(a.seed, Some(42));
+        let eval = a.eval_builder().quick().build().unwrap();
+        assert_eq!(eval.measure.seed, 42);
+        assert!(try_parse_from(strs(&["--seed", "x"])).is_err());
+        assert!(try_parse_from(strs(&["--seed"])).is_err());
     }
 
     #[test]
@@ -123,5 +292,38 @@ mod tests {
         assert!(try_parse_from(strs(&["--threads", "zero"])).is_err());
         assert!(try_parse_from(strs(&["--threads", "0"])).is_err());
         assert!(try_parse_from(strs(&["--threads"])).is_err());
+    }
+
+    #[test]
+    fn keeps_positional_args_in_order() {
+        let a = try_parse_from(strs(&["desk", "--threads", "2", "extra"])).unwrap();
+        assert_eq!(a.pool.threads(), 2);
+        assert_eq!(a.rest, vec!["desk".to_owned(), "extra".to_owned()]);
+    }
+
+    #[test]
+    fn cli_errors_surface_as_wcs_errors() {
+        let err = try_parse_from(strs(&["--threads", "zero"])).unwrap_err();
+        assert!(matches!(err, WcsError::Cli(_)), "{err:?}");
+        // A zero thread count is a configuration error, unified too.
+        let err = try_parse_from(strs(&["--threads", "0"])).unwrap_err();
+        assert!(matches!(err, WcsError::Config(_)), "{err:?}");
+    }
+
+    #[test]
+    fn standard_series_cover_every_family() {
+        let reg = Registry::new();
+        ensure_standard_series(&reg);
+        let json = reg.snapshot().to_json();
+        for family in STANDARD_FAMILIES {
+            assert!(
+                json.contains(&format!("\"{family}.")),
+                "family {family} missing from {json}"
+            );
+        }
+        // The disabled registry stays inert.
+        let off = Registry::disabled();
+        ensure_standard_series(&off);
+        assert!(off.snapshot().metrics.is_empty());
     }
 }

@@ -21,9 +21,12 @@
 //! | `faults`  | fault-injection scenarios and graceful degradation |
 //! | `perfsmoke` | fixed-seed wall-time smoke benchmark (`BENCH_results.json`) |
 //!
-//! Every binary accepts `--threads N` (default: all available cores) to
-//! size the worker pool used for independent evaluations. Results are
-//! bit-identical at any thread count; the flag only changes wall-clock
-//! time.
+//! Every binary accepts the shared flag cluster from [`cli`]:
+//! `--threads N` (default: all available cores) sizes the worker pool,
+//! `--no-memo` disables the sub-simulation caches, `--seed S` overrides
+//! the measurement seed, and `--metrics PATH` exports the observability
+//! snapshot (JSON, Prometheus for `.prom`, stdout for `-`). Results are
+//! bit-identical at any thread count and memo setting; the flags only
+//! change wall-clock time and reporting.
 
 pub mod cli;

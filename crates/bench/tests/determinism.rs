@@ -26,7 +26,12 @@ fn secs(s: f64) -> SimDuration {
 fn cpu_study_is_thread_count_invariant() {
     let renders: Vec<String> = THREAD_COUNTS
         .map(|t| {
-            let eval = Evaluator::quick().with_pool(ThreadPool::new(t).unwrap());
+            let eval = Evaluator::builder()
+                .quick()
+                .threads(t)
+                .unwrap()
+                .build()
+                .unwrap();
             let study = cpu_study(&eval).expect("catalog platforms evaluate");
             format!("{:?}", study.comparisons)
         })
@@ -39,7 +44,12 @@ fn cpu_study_is_thread_count_invariant() {
 fn unified_study_is_thread_count_invariant() {
     let renders: Vec<String> = THREAD_COUNTS
         .map(|t| {
-            let eval = Evaluator::quick().with_pool(ThreadPool::new(t).unwrap());
+            let eval = Evaluator::builder()
+                .quick()
+                .threads(t)
+                .unwrap()
+                .build()
+                .unwrap();
             let (n1, n2) = unified_study(&eval, PlatformId::Srvr1).expect("designs evaluate");
             format!("{n1:?} {n2:?}")
         })

@@ -15,7 +15,6 @@ use wcs_core::sweeps::{sweep_flash_capacity, sweep_local_fraction};
 use wcs_flashcache::memo::StorageMemo;
 use wcs_memshare::slowdown::ReplayMemo;
 use wcs_platforms::PlatformId;
-use wcs_simcore::ThreadPool;
 use wcs_workloads::perf::MeasureConfig;
 
 /// Renders the memo-sensitive studies and sweeps under one evaluator.
@@ -33,13 +32,17 @@ fn studies_and_sweeps(eval: &Evaluator) -> String {
 #[test]
 fn memoized_studies_match_cold_at_any_thread_count() {
     let cold = {
-        let eval = Evaluator::quick().with_memo(false);
+        let eval = Evaluator::builder().quick().memo(false).build().unwrap();
         studies_and_sweeps(&eval)
     };
     for threads in [1, 8] {
-        let eval = Evaluator::quick()
-            .with_pool(ThreadPool::new(threads).unwrap())
-            .with_memo(true);
+        let eval = Evaluator::builder()
+            .quick()
+            .threads(threads)
+            .unwrap()
+            .memo(true)
+            .build()
+            .unwrap();
         let warm_fill = studies_and_sweeps(&eval);
         assert_eq!(cold, warm_fill, "{threads}-thread memoized run diverged");
         // Everything is cached now: a rerun must hit and stay identical.

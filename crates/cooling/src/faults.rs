@@ -10,6 +10,7 @@
 //! thermal shutdown.
 
 use wcs_simcore::faults::{downtime, FaultProcess};
+use wcs_simcore::obs::Registry;
 use wcs_simcore::{ConfigError, SimDuration, SimRng};
 
 use crate::enclosure::EnclosureDesign;
@@ -110,6 +111,43 @@ pub fn throttle(
     })
 }
 
+/// [`throttle`] with `cooling.*` metrics recorded into `registry`:
+/// every throttled state (perf below nominal) counts as a throttle
+/// event, and the sustained-performance fraction lands in a histogram.
+/// The recorded values derive only from the returned state, so they are
+/// bit-identical across thread counts.
+///
+/// # Errors
+/// Rejects an `idle_fraction` outside `[0, 1)`.
+pub fn throttle_obs(
+    design: &EnclosureDesign,
+    wall: &FanWall,
+    failed: u32,
+    idle_fraction: f64,
+    registry: &Registry,
+) -> Result<ThrottleState, ConfigError> {
+    let state = throttle(design, wall, failed, idle_fraction)?;
+    registry
+        .counter("cooling.fan_failures")
+        .add(u64::from(failed));
+    if state.perf_fraction < 1.0 {
+        registry.counter("cooling.throttle_events").inc();
+    }
+    registry
+        .histogram("cooling.perf_fraction_pct")
+        .record((state.perf_fraction * 100.0).round() as u64);
+    state.export_power_cap(registry);
+    Ok(state)
+}
+
+impl ThrottleState {
+    fn export_power_cap(&self, registry: &Registry) {
+        registry
+            .histogram("cooling.power_cap_w")
+            .record(self.power_cap_w.round().max(0.0) as u64);
+    }
+}
+
 /// Expected enclosure performance (fraction of nominal) under a
 /// one-fan-at-a-time failure/repair process sampled over `horizon`:
 /// full speed while all fans spin, the single-failure throttle while
@@ -133,10 +171,51 @@ pub fn expected_perf_under_fan_faults(
             got: 0.0,
         });
     }
+    expected_perf_under_fan_faults_obs(
+        design,
+        wall,
+        fan,
+        horizon,
+        idle_fraction,
+        seed,
+        &Registry::disabled(),
+    )
+}
+
+/// [`expected_perf_under_fan_faults`] with `cooling.*` metrics recorded
+/// into `registry`: the number of sampled fan-outage windows and the
+/// degraded-mode dwell fraction. Both derive from the seeded fault
+/// process, so the values are bit-identical for identical inputs.
+///
+/// # Errors
+/// Rejects a zero `horizon` or an invalid `idle_fraction`.
+#[allow(clippy::too_many_arguments)]
+pub fn expected_perf_under_fan_faults_obs(
+    design: &EnclosureDesign,
+    wall: &FanWall,
+    fan: &FaultProcess,
+    horizon: SimDuration,
+    idle_fraction: f64,
+    seed: u64,
+    registry: &Registry,
+) -> Result<f64, ConfigError> {
+    if horizon.is_zero() {
+        return Err(ConfigError::OutOfRange {
+            param: "horizon",
+            requirement: "must be positive",
+            got: 0.0,
+        });
+    }
     let degraded = throttle(design, wall, 1, idle_fraction)?.perf_fraction;
     let mut rng = SimRng::seed_from(seed);
     let windows = fan.windows(horizon, &mut rng);
+    registry
+        .counter("cooling.fan_fault_windows")
+        .add(windows.len() as u64);
     let down_frac = downtime(&windows, horizon).as_secs_f64() / horizon.as_secs_f64();
+    registry
+        .histogram("cooling.degraded_dwell_pct")
+        .record((down_frac * 100.0).round() as u64);
     Ok((1.0 - down_frac) + down_frac * degraded)
 }
 

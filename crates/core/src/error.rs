@@ -1,0 +1,120 @@
+//! The unified error hierarchy for the evaluation facade.
+//!
+//! The substrate crates each define the error type natural to their
+//! domain: [`ConfigError`] for rejected parameters, [`MeasureError`]
+//! for infeasible QoS points, [`BladeError`] for memory-blade directory
+//! capacity faults, [`TraceError`] for malformed trace files. Callers
+//! of the facade should not have to enumerate them — everything
+//! converts into [`WcsError`] with `?`, so a bench binary or study can
+//! hold its whole pipeline in one `Result<_, WcsError>`.
+
+use std::fmt;
+
+use wcs_memshare::directory::BladeError;
+use wcs_simcore::ConfigError;
+use wcs_workloads::perf::MeasureError;
+use wcs_workloads::tracefile::TraceError;
+
+/// Any error the evaluation pipeline can surface.
+#[derive(Debug)]
+pub enum WcsError {
+    /// A rejected configuration parameter (out-of-range value, zero
+    /// count, event scheduled in the past, ...).
+    Config(ConfigError),
+    /// A workload measurement failed — typically an infeasible QoS
+    /// bound on the platform under test.
+    Measure(MeasureError),
+    /// A memory-blade directory fault.
+    Blade(BladeError),
+    /// A malformed or unreadable trace file.
+    Trace(TraceError),
+    /// A malformed command line (bench binaries).
+    Cli(String),
+}
+
+impl fmt::Display for WcsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WcsError::Config(e) => write!(f, "configuration error: {e}"),
+            WcsError::Measure(e) => write!(f, "measurement error: {e}"),
+            WcsError::Blade(e) => write!(f, "memory blade error: {e}"),
+            WcsError::Trace(e) => write!(f, "trace error: {e}"),
+            WcsError::Cli(msg) => write!(f, "command line error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WcsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WcsError::Config(e) => Some(e),
+            WcsError::Measure(e) => Some(e),
+            WcsError::Blade(e) => Some(e),
+            WcsError::Trace(e) => Some(e),
+            WcsError::Cli(_) => None,
+        }
+    }
+}
+
+impl From<ConfigError> for WcsError {
+    fn from(e: ConfigError) -> Self {
+        WcsError::Config(e)
+    }
+}
+
+impl From<MeasureError> for WcsError {
+    fn from(e: MeasureError) -> Self {
+        WcsError::Measure(e)
+    }
+}
+
+impl From<BladeError> for WcsError {
+    fn from(e: BladeError) -> Self {
+        WcsError::Blade(e)
+    }
+}
+
+impl From<TraceError> for WcsError {
+    fn from(e: TraceError) -> Self {
+        WcsError::Trace(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_substrate_error_converts_and_displays() {
+        let config: WcsError = ConfigError::ZeroCount { param: "threads" }.into();
+        assert!(config.to_string().contains("configuration error"));
+        assert!(config.to_string().contains("threads"));
+
+        let measure: WcsError = MeasureError {
+            workload: "websearch",
+            reason: "QoS infeasible".to_owned(),
+        }
+        .into();
+        assert!(measure.to_string().contains("measurement error"));
+
+        let cli = WcsError::Cli("unknown flag --frobnicate".to_owned());
+        assert!(cli.to_string().contains("--frobnicate"));
+    }
+
+    #[test]
+    fn sources_chain_to_the_substrate_error() {
+        use std::error::Error as _;
+        let e: WcsError = ConfigError::ZeroCount { param: "fans" }.into();
+        assert!(e.source().is_some());
+        assert!(WcsError::Cli("x".into()).source().is_none());
+    }
+
+    #[test]
+    fn question_mark_converts_in_one_pipeline() {
+        fn pipeline() -> Result<(), WcsError> {
+            wcs_simcore::ThreadPool::new(0).map(|_| ())?;
+            Ok(())
+        }
+        assert!(matches!(pipeline(), Err(WcsError::Config(_))));
+    }
+}

@@ -8,16 +8,23 @@ use std::sync::Arc;
 use wcs_memshare::contention::SharedLink;
 use wcs_memshare::slowdown::{estimate_slowdown_with, SlowdownConfig};
 use wcs_platforms::Platform;
+use wcs_simcore::obs::Registry;
 use wcs_simcore::stats::harmonic_mean;
-use wcs_simcore::ThreadPool;
-use wcs_tco::{BurdenedParams, Efficiency, RackConfig, RealEstateParams, TcoModel, TcoReport};
+use wcs_simcore::{ConfigError, ThreadPool};
+use wcs_tco::{
+    AvailabilityModel, AvailableEfficiency, BurdenedParams, Efficiency, RackConfig,
+    RealEstateParams, TcoModel, TcoReport,
+};
 use wcs_workloads::disktrace::params_for as disk_params;
 use wcs_workloads::perf::{measure_perf_with_demand, MeasureConfig, MeasureError};
 use wcs_workloads::service::PlatformDemand;
 use wcs_workloads::{suite, WorkloadId};
 
+use wcs_simcore::event::QueueObs;
+
 use crate::designs::DesignPoint;
-use crate::memo::EvalMemo;
+use crate::error::WcsError;
+use crate::memo::{EvalMemo, PerfSample};
 
 /// Evaluates design points: runs every workload's performance metric and
 /// prices the design's bill of materials.
@@ -46,29 +53,45 @@ pub struct Evaluator {
     /// memoized results are byte-identical to cold recomputation because
     /// each cached value is a pure function of its key.
     pub memo: Arc<EvalMemo>,
+    /// Metrics registry. Disabled by default (a single-branch no-op on
+    /// every record). Exact-class series are recorded from returned
+    /// simulation values only, so enabling observability cannot change
+    /// any evaluation result, and the recorded values are bit-identical
+    /// at any thread count with the memo on or off.
+    pub obs: Registry,
+    /// Optional failure/repair burden applied to efficiency metrics via
+    /// [`DesignEval::available_efficiency`]. `None` reproduces the
+    /// paper's fail-free metrics exactly.
+    pub availability: Option<AvailabilityModel>,
 }
 
 impl Evaluator {
+    /// The builder-style entry point: every evaluation knob — thread
+    /// count, memoization, fault burden, observability, seed — in one
+    /// place, starting from the paper's full-accuracy profile.
+    ///
+    /// ```no_run
+    /// use wcs_core::evaluate::Evaluator;
+    /// let eval = Evaluator::builder().quick().threads(8).memo(true).build().unwrap();
+    /// # let _ = eval;
+    /// ```
+    pub fn builder() -> EvalBuilder {
+        EvalBuilder::paper()
+    }
+
     /// Full-accuracy evaluator with the paper's cost parameters.
     pub fn paper_default() -> Self {
-        Evaluator {
-            measure: MeasureConfig::default_accuracy(),
-            rack: RackConfig::paper_default(),
-            burdened: BurdenedParams::paper_default(),
-            storage_replay: 120_000,
-            real_estate: None,
-            pool: ThreadPool::serial(),
-            memo: Arc::new(EvalMemo::new()),
-        }
+        EvalBuilder::paper()
+            .build()
+            .expect("paper default configuration is valid")
     }
 
     /// Reduced-effort evaluator for tests and examples.
     pub fn quick() -> Self {
-        Evaluator {
-            measure: MeasureConfig::quick(),
-            storage_replay: 40_000,
-            ..Self::paper_default()
-        }
+        EvalBuilder::paper()
+            .quick()
+            .build()
+            .expect("quick default configuration is valid")
     }
 
     /// Returns this evaluator with its work fanned out over `pool`.
@@ -76,6 +99,10 @@ impl Evaluator {
     /// Results are bit-identical at any thread count: each (design,
     /// workload) task derives its RNG stream purely from the task, never
     /// from scheduling order.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Evaluator::builder().pool(..) or .threads(..)"
+    )]
     pub fn with_pool(mut self, pool: ThreadPool) -> Self {
         self.pool = pool;
         self
@@ -85,9 +112,17 @@ impl Evaluator {
     /// fresh, empty memo either way). Disabled, every sub-simulation
     /// recomputes from its live generators — the pre-memoization cold
     /// path.
+    #[deprecated(since = "0.1.0", note = "use Evaluator::builder().memo(..)")]
     pub fn with_memo(mut self, enabled: bool) -> Self {
-        self.memo = Arc::new(EvalMemo::with_enabled(enabled));
+        self.memo = Arc::new(EvalMemo::with_enabled(enabled).with_obs(self.obs.clone()));
         self
+    }
+
+    /// Flushes end-of-run metrics (memo hit/miss counters) into the
+    /// attached registry. Counters accumulate — call once, right before
+    /// snapshotting.
+    pub fn export_obs(&self) {
+        self.memo.export_obs();
     }
 
     /// Evaluates a design point across the whole benchmark suite.
@@ -114,14 +149,34 @@ impl Evaluator {
         // MeasureConfig, not from evaluation order, so fanning them out
         // over the pool cannot change any value.
         let values = self.pool.try_par_map(&WorkloadId::ALL, |_, &id| {
+            let _span = self.obs.timer("pool.task_wall_ns").start();
             self.workload_perf(design, &platform, id)
         })?;
-        let perf: BTreeMap<WorkloadId, f64> = WorkloadId::ALL.into_iter().zip(values).collect();
+        // Exact-class series are recorded only after the whole fan-out
+        // succeeded, from its returned values: the counts depend on the
+        // design list alone, never on worker scheduling. The queue
+        // counters come out of the (possibly cached) PerfSamples, so
+        // they are identical with the memo on or off.
+        self.obs.counter("eval.designs").inc();
+        self.obs.counter("eval.workloads").add(values.len() as u64);
+        self.obs.counter("pool.tasks").add(values.len() as u64);
+        self.obs
+            .histogram("cooling.cooling_scale_x100")
+            .record((design.cooling.cooling_scale * 100.0).round() as u64);
+        let queue = values
+            .iter()
+            .fold(QueueObs::default(), |acc, s| acc.merged(&s.queue));
+        queue.export(&self.obs);
+        let perf: BTreeMap<WorkloadId, f64> = WorkloadId::ALL
+            .into_iter()
+            .zip(values.into_iter().map(|s| s.value))
+            .collect();
         Ok(DesignEval {
             name: design.name.clone(),
             perf,
             report,
             systems_per_rack: design.cooling.systems_per_rack,
+            availability: self.availability,
         })
     }
 
@@ -141,7 +196,12 @@ impl Evaluator {
             pool: ThreadPool::serial(),
             ..self.clone()
         };
-        self.pool.try_par_map(designs, |_, d| inner.evaluate(d))
+        let evals = self.pool.try_par_map(designs, |_, d| {
+            let _span = self.obs.timer("pool.task_wall_ns").start();
+            inner.evaluate(d)
+        })?;
+        self.obs.counter("pool.tasks").add(evals.len() as u64);
+        Ok(evals)
     }
 
     /// Performance of one workload on the design: applies the storage
@@ -152,7 +212,7 @@ impl Evaluator {
         design: &DesignPoint,
         platform: &Platform,
         id: WorkloadId,
-    ) -> Result<f64, MeasureError> {
+    ) -> Result<PerfSample, MeasureError> {
         let wl = suite::workload(id);
         let disk = design
             .storage
@@ -194,7 +254,10 @@ impl Evaluator {
             demand.inflate_cpu(slowdown);
         }
         self.memo.perf(id, &demand, &self.measure, || {
-            measure_perf_with_demand(&wl, &demand, &self.measure).map(|r| r.value)
+            measure_perf_with_demand(&wl, &demand, &self.measure).map(|r| PerfSample {
+                value: r.value,
+                queue: r.queue,
+            })
         })
     }
 }
@@ -202,6 +265,193 @@ impl Evaluator {
 impl Default for Evaluator {
     fn default() -> Self {
         Self::paper_default()
+    }
+}
+
+/// Builder for [`Evaluator`]: one place for every evaluation knob.
+///
+/// Replaces the scattered `with_*` combinators and ad-hoc flag
+/// threading: thread count, memoization, observability, fault burden,
+/// and seed are all configured here and validated together in
+/// [`EvalBuilder::build`].
+///
+/// ```no_run
+/// use wcs_core::evaluate::Evaluator;
+/// use wcs_simcore::obs::Registry;
+///
+/// let reg = Registry::new();
+/// let eval = Evaluator::builder()
+///     .quick()
+///     .threads(8)
+///     .unwrap()
+///     .memo(true)
+///     .obs(reg.clone())
+///     .seed(0x5EED)
+///     .build()
+///     .unwrap();
+/// # let _ = eval;
+/// ```
+#[derive(Debug, Clone)]
+pub struct EvalBuilder {
+    measure: MeasureConfig,
+    rack: RackConfig,
+    burdened: BurdenedParams,
+    storage_replay: u64,
+    real_estate: Option<RealEstateParams>,
+    pool: ThreadPool,
+    memo: bool,
+    obs: Registry,
+    seed: Option<u64>,
+    availability: Option<AvailabilityModel>,
+}
+
+impl EvalBuilder {
+    /// The paper's full-accuracy profile (the [`Evaluator::builder`]
+    /// starting point).
+    pub fn paper() -> Self {
+        EvalBuilder {
+            measure: MeasureConfig::default_accuracy(),
+            rack: RackConfig::paper_default(),
+            burdened: BurdenedParams::paper_default(),
+            storage_replay: 120_000,
+            real_estate: None,
+            pool: ThreadPool::serial(),
+            memo: true,
+            obs: Registry::disabled(),
+            seed: None,
+            availability: None,
+        }
+    }
+
+    /// Switches to the reduced-effort profile (shorter probes, shorter
+    /// storage replays) used by tests, examples, and smoke benches.
+    #[must_use]
+    pub fn quick(mut self) -> Self {
+        self.measure = MeasureConfig::quick();
+        self.storage_replay = 40_000;
+        self
+    }
+
+    /// Fans independent evaluations out over `n` worker threads.
+    /// Results are bit-identical at any thread count.
+    ///
+    /// # Errors
+    /// Rejects a zero thread count.
+    pub fn threads(mut self, n: usize) -> Result<Self, WcsError> {
+        self.pool = ThreadPool::new(n)?;
+        Ok(self)
+    }
+
+    /// Fans independent evaluations out over an existing pool.
+    #[must_use]
+    pub fn pool(mut self, pool: ThreadPool) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// Switches sub-simulation memoization on or off. Off reproduces
+    /// the cold path: every replay recomputes from its live generators.
+    #[must_use]
+    pub fn memo(mut self, enabled: bool) -> Self {
+        self.memo = enabled;
+        self
+    }
+
+    /// Attaches a metrics registry. The evaluator and its memo record
+    /// their series into it; a [`Registry::disabled`] handle (the
+    /// default) records nothing at one branch per call.
+    #[must_use]
+    pub fn obs(mut self, registry: Registry) -> Self {
+        self.obs = registry;
+        self
+    }
+
+    /// Overrides the base RNG seed of the measurement config. Every
+    /// probe run derives its stream from this value, so two evaluators
+    /// with equal seeds (and otherwise equal configs) are bit-identical.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Burdens efficiency metrics with a failure/repair model (see
+    /// [`DesignEval::available_efficiency`]). Raw performance values
+    /// are unchanged — faults tax the metric, not the simulation.
+    #[must_use]
+    pub fn faults(mut self, model: AvailabilityModel) -> Self {
+        self.availability = Some(model);
+        self
+    }
+
+    /// Adds amortized floor-space pricing to the cost scope.
+    #[must_use]
+    pub fn real_estate(mut self, params: RealEstateParams) -> Self {
+        self.real_estate = Some(params);
+        self
+    }
+
+    /// Overrides the measurement-effort config wholesale.
+    #[must_use]
+    pub fn measure(mut self, measure: MeasureConfig) -> Self {
+        self.measure = measure;
+        self
+    }
+
+    /// Overrides the disk-trace replay length for storage scenarios.
+    #[must_use]
+    pub fn storage_replay(mut self, events: u64) -> Self {
+        self.storage_replay = events;
+        self
+    }
+
+    /// Overrides the rack configuration for cost amortization.
+    #[must_use]
+    pub fn rack(mut self, rack: RackConfig) -> Self {
+        self.rack = rack;
+        self
+    }
+
+    /// Overrides the burdened power-and-cooling parameters.
+    #[must_use]
+    pub fn burdened(mut self, burdened: BurdenedParams) -> Self {
+        self.burdened = burdened;
+        self
+    }
+
+    /// Validates the configuration and builds the evaluator.
+    ///
+    /// # Errors
+    /// Rejects a zero storage-replay length.
+    pub fn build(self) -> Result<Evaluator, WcsError> {
+        if self.storage_replay == 0 {
+            return Err(ConfigError::ZeroCount {
+                param: "storage_replay",
+            }
+            .into());
+        }
+        let mut measure = self.measure;
+        if let Some(seed) = self.seed {
+            measure.seed = seed;
+        }
+        let memo = Arc::new(EvalMemo::with_enabled(self.memo).with_obs(self.obs.clone()));
+        Ok(Evaluator {
+            measure,
+            rack: self.rack,
+            burdened: self.burdened,
+            storage_replay: self.storage_replay,
+            real_estate: self.real_estate,
+            pool: self.pool,
+            memo,
+            obs: self.obs,
+            availability: self.availability,
+        })
+    }
+}
+
+impl Default for EvalBuilder {
+    fn default() -> Self {
+        Self::paper()
     }
 }
 
@@ -217,6 +467,10 @@ pub struct DesignEval {
     pub report: TcoReport,
     /// Rack density of the design's packaging.
     pub systems_per_rack: u32,
+    /// The fault burden the evaluator was configured with, if any,
+    /// carried along so availability-adjusted metrics use the same
+    /// model the evaluation ran under.
+    pub availability: Option<AvailabilityModel>,
 }
 
 impl DesignEval {
@@ -226,6 +480,27 @@ impl DesignEval {
     /// Panics if the workload was not evaluated.
     pub fn efficiency(&self, id: WorkloadId) -> Efficiency {
         Efficiency::new(self.perf[&id], self.report.clone())
+    }
+
+    /// Efficiency burdened with the evaluator's fault model (perfect
+    /// availability when none was configured) over `years` of
+    /// operation.
+    ///
+    /// # Errors
+    /// Rejects a non-positive depreciation period.
+    ///
+    /// # Panics
+    /// Panics if the workload was not evaluated.
+    pub fn available_efficiency(
+        &self,
+        id: WorkloadId,
+        years: f64,
+    ) -> Result<AvailableEfficiency, ConfigError> {
+        AvailableEfficiency::new(
+            self.efficiency(id),
+            self.availability.unwrap_or_else(AvailabilityModel::perfect),
+            years,
+        )
     }
 
     /// Compares this design against a baseline, workload by workload.
@@ -317,7 +592,7 @@ mod tests {
     /// replay, performance points).
     #[test]
     fn memoized_evaluation_is_bit_identical() {
-        let cold = Evaluator::quick().with_memo(false);
+        let cold = Evaluator::builder().quick().memo(false).build().unwrap();
         let warm = Evaluator::quick();
         let design = DesignPoint::n2();
         let a = cold.evaluate(&design).unwrap();
@@ -328,6 +603,84 @@ mod tests {
         assert_eq!(format!("{a:?}"), format!("{c:?}"));
         assert!(warm.memo.stats().hits > 0, "{:?}", warm.memo.stats());
         assert_eq!(cold.memo.stats().hits, 0);
+    }
+
+    /// The deprecated combinators must stay bit-identical to the
+    /// builder so downstream code can migrate incrementally.
+    #[test]
+    #[allow(deprecated)]
+    fn builder_matches_deprecated_shims() {
+        let design = DesignPoint::n2();
+        let via_shims = Evaluator::quick()
+            .with_pool(ThreadPool::new(2).unwrap())
+            .with_memo(false)
+            .evaluate(&design)
+            .unwrap();
+        let via_builder = Evaluator::builder()
+            .quick()
+            .threads(2)
+            .unwrap()
+            .memo(false)
+            .build()
+            .unwrap()
+            .evaluate(&design)
+            .unwrap();
+        assert_eq!(format!("{via_shims:?}"), format!("{via_builder:?}"));
+    }
+
+    #[test]
+    fn builder_seed_overrides_measure_seed() {
+        let eval = Evaluator::builder().quick().seed(42).build().unwrap();
+        assert_eq!(eval.measure.seed, 42);
+    }
+
+    #[test]
+    fn builder_rejects_bad_configs() {
+        assert!(Evaluator::builder().threads(0).is_err());
+        assert!(Evaluator::builder().storage_replay(0).build().is_err());
+    }
+
+    #[test]
+    fn obs_enabled_evaluation_is_unchanged_and_records() {
+        use wcs_simcore::obs::Registry;
+        let design = DesignPoint::n2();
+        let plain = Evaluator::quick().evaluate(&design).unwrap();
+        let reg = Registry::new();
+        let observed = Evaluator::builder()
+            .quick()
+            .obs(reg.clone())
+            .build()
+            .unwrap();
+        let e = observed.evaluate(&design).unwrap();
+        assert_eq!(format!("{plain:?}"), format!("{e:?}"));
+        observed.export_obs();
+        let snap = reg.snapshot();
+        assert_eq!(snap.count("eval.designs"), Some(1));
+        assert_eq!(snap.count("eval.workloads"), Some(5));
+        assert!(snap.count("flashcache.replays").unwrap_or(0) > 0);
+        assert!(snap.count("memshare.replays").unwrap_or(0) > 0);
+        assert!(snap.metrics.contains_key("memo.perf.hits"));
+    }
+
+    #[test]
+    fn faults_burden_taxes_efficiency_not_perf() {
+        let model = AvailabilityModel::new(0.9, 2.0, 100.0).unwrap();
+        let design = DesignPoint::baseline(wcs_platforms::PlatformId::Desk);
+        let plain = Evaluator::quick().evaluate(&design).unwrap();
+        let burdened = Evaluator::builder()
+            .quick()
+            .faults(model)
+            .build()
+            .unwrap()
+            .evaluate(&design)
+            .unwrap();
+        // Raw perf identical; the availability-adjusted metric pays.
+        assert_eq!(plain.perf, burdened.perf);
+        let id = WorkloadId::Websearch;
+        let adj = burdened.available_efficiency(id, 3.0).unwrap();
+        assert!(adj.effective_perf() < plain.efficiency(id).perf);
+        let perfect = plain.available_efficiency(id, 3.0).unwrap();
+        assert_eq!(perfect.effective_perf(), plain.efficiency(id).perf);
     }
 
     #[test]

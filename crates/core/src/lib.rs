@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod designs;
+pub mod error;
 pub mod evaluate;
 pub mod experiments;
 pub mod memo;
@@ -37,4 +38,5 @@ pub mod sweeps;
 pub mod validate;
 
 pub use designs::DesignPoint;
-pub use evaluate::{DesignEval, Evaluator};
+pub use error::WcsError;
+pub use evaluate::{DesignEval, EvalBuilder, Evaluator};

@@ -16,10 +16,25 @@ use std::sync::Arc;
 
 use wcs_flashcache::memo::StorageMemo;
 use wcs_memshare::slowdown::ReplayMemo;
+use wcs_simcore::event::QueueObs;
 use wcs_simcore::memo::{MemoCache, MemoKey, MemoStats};
+use wcs_simcore::obs::Registry;
 use wcs_workloads::perf::{MeasureConfig, MeasureError};
 use wcs_workloads::service::PlatformDemand;
 use wcs_workloads::WorkloadId;
+
+/// A cached performance measurement: the metric value plus the
+/// event-queue occupancy its probe runs accumulated. Caching the queue
+/// counters alongside the value keeps the `queue.*` observability
+/// series bit-identical whether a measurement was recomputed or served
+/// from the cache.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerfSample {
+    /// The performance metric value (RPS or 1/makespan-seconds).
+    pub value: f64,
+    /// Event-queue occupancy summed over the measurement's probe runs.
+    pub queue: QueueObs,
+}
 
 /// Caches shared across every evaluation an [`Evaluator`] performs.
 ///
@@ -28,7 +43,8 @@ use wcs_workloads::WorkloadId;
 pub struct EvalMemo {
     storage: StorageMemo,
     replay: ReplayMemo,
-    perf: MemoCache<Result<f64, MeasureError>>,
+    perf: MemoCache<Result<PerfSample, MeasureError>>,
+    obs: Registry,
 }
 
 impl EvalMemo {
@@ -49,6 +65,45 @@ impl EvalMemo {
             storage: StorageMemo::with_enabled(enabled),
             replay: ReplayMemo::with_enabled(enabled),
             perf: MemoCache::with_enabled(enabled),
+            obs: Registry::disabled(),
+        }
+    }
+
+    /// Returns this memo recording into `registry`: the storage and
+    /// memory replay caches report their exact-class `flashcache.*` and
+    /// `memshare.*` series (recorded from returned replay results, so
+    /// the values are independent of cache state), and
+    /// [`EvalMemo::export_obs`] reports the per-domain hit/miss
+    /// counters.
+    #[must_use]
+    pub fn with_obs(mut self, registry: Registry) -> Self {
+        self.storage = self.storage.with_obs(registry.clone());
+        self.replay = self.replay.with_obs(registry.clone());
+        self.obs = registry;
+        self
+    }
+
+    /// Records the per-domain cache hit/miss counters into the attached
+    /// registry as wall-class `memo.*` series. Hit counts depend on
+    /// which racing worker computed a value first (and on whether the
+    /// memo is enabled at all), so they are profiling data, not part of
+    /// the deterministic snapshot. Counters accumulate: call once, just
+    /// before snapshotting the registry.
+    pub fn export_obs(&self) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        for (domain, stats) in [
+            ("storage", self.storage.stats()),
+            ("replay", self.replay.stats()),
+            ("perf", self.perf.stats()),
+        ] {
+            self.obs
+                .wall_counter(&format!("memo.{domain}.hits"))
+                .add(stats.hits);
+            self.obs
+                .wall_counter(&format!("memo.{domain}.misses"))
+                .add(stats.misses);
         }
     }
 
@@ -84,8 +139,8 @@ impl EvalMemo {
         id: WorkloadId,
         demand: &PlatformDemand,
         cfg: &MeasureConfig,
-        compute: impl FnOnce() -> Result<f64, MeasureError>,
-    ) -> Result<f64, MeasureError> {
+        compute: impl FnOnce() -> Result<PerfSample, MeasureError>,
+    ) -> Result<PerfSample, MeasureError> {
         let key = MemoKey::new("eval-perf").push(&id).push(demand).push(cfg);
         self.perf.get_or_compute(key.finish(), compute)
     }
@@ -104,6 +159,13 @@ mod tests {
     use wcs_platforms::{catalog, PlatformId};
     use wcs_workloads::suite;
 
+    fn sample(value: f64) -> PerfSample {
+        PerfSample {
+            value,
+            queue: QueueObs::default(),
+        }
+    }
+
     #[test]
     fn perf_cache_returns_first_computation() {
         let memo = EvalMemo::new();
@@ -111,10 +173,10 @@ mod tests {
         let platform = catalog::platform(PlatformId::Emb1);
         let demand = PlatformDemand::new(&wl, &platform);
         let cfg = MeasureConfig::quick();
-        let a = memo.perf(WorkloadId::Websearch, &demand, &cfg, || Ok(1.0));
-        let b = memo.perf(WorkloadId::Websearch, &demand, &cfg, || Ok(2.0));
-        assert_eq!(a.unwrap(), 1.0);
-        assert_eq!(b.unwrap(), 1.0);
+        let a = memo.perf(WorkloadId::Websearch, &demand, &cfg, || Ok(sample(1.0)));
+        let b = memo.perf(WorkloadId::Websearch, &demand, &cfg, || Ok(sample(2.0)));
+        assert_eq!(a.unwrap().value, 1.0);
+        assert_eq!(b.unwrap().value, 1.0);
         assert_eq!(memo.stats().hits, 1);
     }
 
@@ -126,10 +188,10 @@ mod tests {
         let platform = catalog::platform(PlatformId::Desk);
         let demand = PlatformDemand::new(&wl, &platform);
         let cfg = MeasureConfig::quick();
-        let a = memo.perf(WorkloadId::Webmail, &demand, &cfg, || Ok(1.0));
-        let b = memo.perf(WorkloadId::Webmail, &demand, &cfg, || Ok(2.0));
-        assert_eq!(a.unwrap(), 1.0);
-        assert_eq!(b.unwrap(), 2.0);
+        let a = memo.perf(WorkloadId::Webmail, &demand, &cfg, || Ok(sample(1.0)));
+        let b = memo.perf(WorkloadId::Webmail, &demand, &cfg, || Ok(sample(2.0)));
+        assert_eq!(a.unwrap().value, 1.0);
+        assert_eq!(b.unwrap().value, 2.0);
         assert_eq!(memo.stats().hits, 0);
     }
 }

@@ -1,0 +1,73 @@
+//! The observability contract, end to end: the deterministic snapshot of
+//! a full design-point evaluation is bit-identical across worker-pool
+//! sizes and memoization settings, because every exact-class metric is
+//! recorded from returned simulation values (cached or recomputed), never
+//! from scheduling order or cache state.
+
+use wcs_core::designs::DesignPoint;
+use wcs_core::evaluate::Evaluator;
+use wcs_simcore::obs::Registry;
+
+/// Evaluates the N2 design (which exercises the storage-replay,
+/// memory-replay, and performance caches) and returns the deterministic
+/// snapshot rendered to JSON.
+fn deterministic_json(threads: usize, memo: bool) -> String {
+    let reg = Registry::new();
+    let eval = Evaluator::builder()
+        .quick()
+        .threads(threads)
+        .expect("positive thread count")
+        .memo(memo)
+        .obs(reg.clone())
+        .build()
+        .expect("quick profile configuration is valid");
+    eval.evaluate(&DesignPoint::n2()).expect("n2 evaluates");
+    eval.export_obs();
+    reg.snapshot().deterministic().to_json()
+}
+
+#[test]
+fn deterministic_snapshot_is_identical_across_threads_and_memo() {
+    let reference = deterministic_json(1, true);
+    assert!(
+        reference.contains("queue.scheduled"),
+        "snapshot must carry the queue series: {reference}"
+    );
+    assert!(
+        !reference.contains("memo.perf.hits"),
+        "wall-class series must be excluded from the deterministic snapshot"
+    );
+    for threads in [1usize, 2, 8] {
+        for memo in [true, false] {
+            let got = deterministic_json(threads, memo);
+            assert_eq!(
+                reference, got,
+                "deterministic snapshot diverged at threads={threads} memo={memo}"
+            );
+        }
+    }
+}
+
+#[test]
+fn warm_cache_replays_identical_queue_series() {
+    // A second evaluation on the same evaluator is answered from the
+    // perf cache; the cached PerfSample must replay the same queue
+    // counters the original computation recorded.
+    let reg = Registry::new();
+    let eval = Evaluator::builder()
+        .quick()
+        .obs(reg.clone())
+        .build()
+        .expect("quick profile configuration is valid");
+    eval.evaluate(&DesignPoint::n2()).expect("n2 evaluates");
+    let first = reg.snapshot().deterministic();
+    let scheduled = first.count("queue.scheduled").expect("series present");
+    eval.evaluate(&DesignPoint::n2()).expect("n2 evaluates");
+    assert!(eval.memo.stats().hits > 0, "second run must hit the cache");
+    let second = reg.snapshot().deterministic();
+    assert_eq!(
+        second.count("queue.scheduled"),
+        Some(2 * scheduled),
+        "a cache hit must contribute exactly the original queue counters"
+    );
+}

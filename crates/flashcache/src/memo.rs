@@ -13,6 +13,7 @@ use std::sync::Arc;
 
 use wcs_platforms::storage::{DiskModel, FlashModel};
 use wcs_simcore::memo::{MemoCache, MemoKey, MemoStats};
+use wcs_simcore::obs::Registry;
 use wcs_workloads::disktrace::{self, BlockAccess, DiskTraceGen, DiskTraceParams};
 use wcs_workloads::perf::MeasureConfig;
 use wcs_workloads::service::PlatformDemand;
@@ -27,6 +28,7 @@ pub struct StorageMemo {
     traces: MemoCache<Arc<[BlockAccess]>>,
     replays: MemoCache<Arc<StorageStats>>,
     perf: MemoCache<f64>,
+    obs: Registry,
 }
 
 impl StorageMemo {
@@ -47,7 +49,18 @@ impl StorageMemo {
             traces: MemoCache::with_enabled(enabled),
             replays: MemoCache::with_enabled(enabled),
             perf: MemoCache::with_enabled(enabled),
+            obs: Registry::disabled(),
         }
+    }
+
+    /// Returns this memo with `flashcache.*` metrics recorded into
+    /// `registry`. Metrics are derived from the (cached) replay results,
+    /// never from cache behaviour, so the reported values are identical
+    /// with memoization on or off.
+    #[must_use]
+    pub fn with_obs(mut self, registry: Registry) -> Self {
+        self.obs = registry;
+        self
     }
 
     /// Whether lookups hit the caches.
@@ -96,7 +109,7 @@ impl StorageMemo {
             None => key.push_bool(false),
         };
         key = key.push(&params).push_u64(seed).push_u64(n);
-        self.replays.get_or_compute(key.finish(), || {
+        let stats = self.replays.get_or_compute(key.finish(), || {
             let mut sys = match flash {
                 Some(f) => StorageSystem::with_flash(disk.clone(), f.clone()),
                 None => StorageSystem::disk_only(disk.clone()),
@@ -108,7 +121,27 @@ impl StorageMemo {
                 sys.replay(&mut DiskTraceGen::new(params, seed), n)
             };
             Arc::new(stats)
-        })
+        });
+        // Recorded from the returned (cached or recomputed) statistics,
+        // so the series is bit-identical across threads and memo modes.
+        self.obs.counter("flashcache.replays").inc();
+        self.obs.counter("flashcache.requests").add(stats.requests);
+        self.obs
+            .counter("flashcache.flash_hits")
+            .add(stats.flash_hits);
+        self.obs
+            .counter("flashcache.background_bytes")
+            .add(stats.background_bytes);
+        self.obs
+            .counter("flashcache.ftl_bytes_programmed")
+            .add(stats.wear.bytes_programmed);
+        self.obs
+            .counter("flashcache.ftl_erases")
+            .add(stats.wear.erases);
+        self.obs
+            .histogram("flashcache.hit_ratio_pct")
+            .record((stats.hit_ratio() * 100.0).round() as u64);
+        stats
     }
 
     /// A cached performance point, keyed on the workload, the full

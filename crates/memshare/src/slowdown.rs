@@ -3,6 +3,7 @@
 use std::sync::Arc;
 
 use wcs_simcore::memo::{MemoCache, MemoKey, MemoStats};
+use wcs_simcore::obs::Registry;
 use wcs_simcore::ConfigError;
 use wcs_workloads::memtrace::{params_for, MemTraceBuf, MemTraceGen, MemTraceParams};
 use wcs_workloads::WorkloadId;
@@ -103,6 +104,7 @@ impl SlowdownResult {
 pub struct ReplayMemo {
     traces: MemoCache<Arc<MemTraceBuf>>,
     runs: MemoCache<MissStats>,
+    obs: Registry,
 }
 
 impl ReplayMemo {
@@ -122,7 +124,18 @@ impl ReplayMemo {
         ReplayMemo {
             traces: MemoCache::with_enabled(enabled),
             runs: MemoCache::with_enabled(enabled),
+            obs: Registry::disabled(),
         }
+    }
+
+    /// Returns this memo with `memshare.*` metrics recorded into
+    /// `registry`. Metrics are derived from the (cached) replay results,
+    /// never from cache behaviour, so the reported values are identical
+    /// with memoization on or off.
+    #[must_use]
+    pub fn with_obs(mut self, registry: Registry) -> Self {
+        self.obs = registry;
+        self
     }
 
     /// Whether this memo stores results.
@@ -213,6 +226,19 @@ pub fn estimate_slowdown_with(
     });
     let faults_per_cpu_sec = params.accesses_per_cpu_sec * stats.miss_ratio();
     let slowdown = faults_per_cpu_sec * config.link.fault_latency_secs();
+    // Observability: recorded from the returned (cached or recomputed)
+    // statistics, so the series is bit-identical across threads and memo
+    // modes. CBF savings are the remote-stall nanoseconds the configured
+    // link avoids relative to whole-page PCIe x4 transfers.
+    let obs = &memo.obs;
+    obs.counter("memshare.replays").inc();
+    obs.counter("memshare.accesses").add(stats.accesses);
+    obs.counter("memshare.page_faults").add(stats.misses);
+    obs.counter("memshare.writebacks").add(stats.writebacks);
+    let whole_page = RemoteLink::pcie_x4().fault_latency_secs();
+    let saved_secs = (whole_page - config.link.fault_latency_secs()).max(0.0);
+    obs.counter("memshare.cbf_saved_ns")
+        .add((stats.misses as f64 * saved_secs * 1e9).round() as u64);
     Ok(SlowdownResult {
         stats,
         faults_per_cpu_sec,

@@ -63,6 +63,46 @@ pub struct EventQueue<E> {
     immediate: VecDeque<E>,
     next_seq: u64,
     now: SimTime,
+    /// Schedules that took the O(1) same-instant fast path.
+    fast_path: u64,
+    /// Largest pending-event count ever reached.
+    max_depth: u64,
+}
+
+/// Occupancy counters of an [`EventQueue`], exported to the
+/// observability layer after a run. Derived purely from the simulated
+/// event stream, so the values are bit-identical for identical runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueObs {
+    /// Events scheduled over the queue's lifetime.
+    pub scheduled: u64,
+    /// Schedules that took the same-instant O(1) fast path.
+    pub fast_path: u64,
+    /// High-water mark of pending events.
+    pub max_depth: u64,
+}
+
+impl QueueObs {
+    /// Component-wise accumulation (sums, max for the high-water mark) —
+    /// commutative and associative, like every obs merge.
+    #[must_use]
+    pub fn merged(&self, other: &QueueObs) -> QueueObs {
+        QueueObs {
+            scheduled: self.scheduled + other.scheduled,
+            fast_path: self.fast_path + other.fast_path,
+            max_depth: self.max_depth.max(other.max_depth),
+        }
+    }
+
+    /// Records this queue's counters into `registry` under the standard
+    /// `queue.*` names.
+    pub fn export(&self, registry: &crate::obs::Registry) {
+        registry.counter("queue.scheduled").add(self.scheduled);
+        registry.counter("queue.fast_path").add(self.fast_path);
+        registry
+            .max_gauge("queue.max_depth")
+            .observe(self.max_depth);
+    }
 }
 
 impl<E> Default for EventQueue<E> {
@@ -81,6 +121,8 @@ impl<E> EventQueue<E> {
             immediate: VecDeque::new(),
             next_seq: 0,
             now: SimTime::ZERO,
+            fast_path: 0,
+            max_depth: 0,
         }
     }
 
@@ -92,6 +134,8 @@ impl<E> EventQueue<E> {
             immediate: VecDeque::new(),
             next_seq: 0,
             now: SimTime::ZERO,
+            fast_path: 0,
+            max_depth: 0,
         }
     }
 
@@ -120,12 +164,27 @@ impl<E> EventQueue<E> {
             // Fast path: fires at the current instant, after everything
             // already pending for this instant. O(1) instead of a sift.
             self.immediate.push_back(payload);
-            return Ok(());
+            self.fast_path += 1;
+        } else {
+            let seq = self.next_seq;
+            self.heap.push(Scheduled { when, seq, payload });
+            self.sift_up(self.heap.len() - 1);
         }
-        let seq = self.next_seq;
-        self.heap.push(Scheduled { when, seq, payload });
-        self.sift_up(self.heap.len() - 1);
+        let depth = (self.heap.len() + self.immediate.len()) as u64;
+        if depth > self.max_depth {
+            self.max_depth = depth;
+        }
         Ok(())
+    }
+
+    /// Occupancy counters accumulated since construction; a pure
+    /// function of the simulated event stream.
+    pub fn obs_stats(&self) -> QueueObs {
+        QueueObs {
+            scheduled: self.next_seq,
+            fast_path: self.fast_path,
+            max_depth: self.max_depth,
+        }
     }
 
     /// Schedules `payload` to fire at `when`.

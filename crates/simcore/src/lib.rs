@@ -41,7 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod event;
+pub mod event;
 mod rng;
 mod time;
 
@@ -51,6 +51,7 @@ pub mod error;
 pub mod faults;
 pub mod intern;
 pub mod memo;
+pub mod obs;
 pub mod pool;
 pub mod slotcache;
 pub mod stats;
@@ -59,6 +60,7 @@ pub mod timeseries;
 
 pub use error::ConfigError;
 pub use event::EventQueue;
+pub use obs::Registry;
 pub use pool::ThreadPool;
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,662 @@
+//! Deterministic observability: named counters, histograms, and span
+//! timers for every hot subsystem in the workspace.
+//!
+//! The paper's methodology is attribution: a Perf/TCO-$ difference must
+//! be traceable to the mechanism that caused it (memory-blade faults,
+//! flash hit ratios, cooling throttles). This module provides the
+//! metrics layer that makes the simulators observable without making
+//! them nondeterministic:
+//!
+//! * **Zero overhead when disabled.** A [`Registry`] is a handle around
+//!   an `Option<Arc<..>>`; the disabled registry hands out empty handles
+//!   whose record operations are a single branch on `None` and whose
+//!   [`Timer`] never reads the clock. Every bench binary runs disabled
+//!   unless `--metrics` is passed.
+//! * **Deterministic by construction.** Exact-class metrics are recorded
+//!   from *returned simulation values* (never from scheduling order) and
+//!   merged with commutative, associative operations (sums for counters
+//!   and histogram buckets, max for high-water gauges), so `--threads N`
+//!   and `--no-memo` cannot change a single reported bit. Quantities
+//!   that are inherently run-dependent — wall-clock spans, memo hit
+//!   counts under racing workers — are tagged [`Class::Wall`] and
+//!   excluded from the deterministic snapshot.
+//! * **Stable export.** [`Snapshot`] holds metrics in a `BTreeMap`, so
+//!   JSON ([`Snapshot::to_json`]) and Prometheus text
+//!   ([`Snapshot::to_prometheus`]) render in stable name order on every
+//!   platform.
+//!
+//! Worker threads may either record through clones of one registry
+//! (handles share cells; atomic adds commute) or record into per-worker
+//! [`Registry::fork`]s folded back with [`Registry::merge`], which is
+//! associative and commutative — both strategies report identical
+//! values.
+//!
+//! # Example
+//! ```
+//! use wcs_simcore::obs::Registry;
+//! let reg = Registry::new();
+//! let faults = reg.counter("memshare.page_faults");
+//! faults.add(3);
+//! let depth = reg.max_gauge("queue.max_depth");
+//! depth.observe(17);
+//! depth.observe(9);
+//! let snap = reg.snapshot();
+//! assert!(snap.to_json().contains("\"memshare.page_faults\""));
+//! assert!(snap.to_prometheus().contains("queue_max_depth 17"));
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Determinism class of a metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Class {
+    /// Recorded from deterministic simulation values: bit-identical
+    /// across thread counts and memoization settings.
+    Exact,
+    /// Wall-clock or scheduling-dependent (span timers, memo hit
+    /// counters): reported for profiling, excluded from determinism
+    /// comparisons.
+    Wall,
+}
+
+impl Class {
+    fn label(self) -> &'static str {
+        match self {
+            Class::Exact => "exact",
+            Class::Wall => "wall",
+        }
+    }
+}
+
+/// Shape of a metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    MaxGauge,
+    Histogram,
+}
+
+/// Number of log2 buckets: bucket `b` counts values `v` with
+/// `bit_length(v) == b`, i.e. bucket 0 holds `v == 0`, bucket 1 holds
+/// `v == 1`, bucket 11 holds `1024..=2047`, up to bucket 64.
+const BUCKETS: usize = 65;
+
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// One registered metric's storage. Counters use only `count`;
+/// histograms use `count`, `sum`, and `buckets`; max gauges use `count`
+/// as the running maximum.
+#[derive(Debug)]
+struct Cell {
+    kind: Kind,
+    class: Class,
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: Vec<AtomicU64>,
+}
+
+impl Cell {
+    fn new(kind: Kind, class: Class) -> Self {
+        Cell {
+            kind,
+            class,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: match kind {
+                Kind::Histogram => (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+                _ => Vec::new(),
+            },
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    cells: Mutex<BTreeMap<String, Arc<Cell>>>,
+}
+
+/// A handle to a metric registry. Cloning is cheap (an `Arc` bump) and
+/// clones share cells: a counter registered under one clone accumulates
+/// with the same-named counter of every other clone.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Registry {
+    /// An enabled, empty registry.
+    pub fn new() -> Self {
+        Registry {
+            inner: Some(Arc::new(Inner::default())),
+        }
+    }
+
+    /// The disabled registry: hands out no-op handles, records nothing,
+    /// costs one branch per record call. This is the default everywhere.
+    pub fn disabled() -> Self {
+        Registry { inner: None }
+    }
+
+    /// Enabled iff `enabled` (`--metrics` plumbing).
+    pub fn with_enabled(enabled: bool) -> Self {
+        if enabled {
+            Self::new()
+        } else {
+            Self::disabled()
+        }
+    }
+
+    /// Whether this registry records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn cell(&self, name: &str, kind: Kind, class: Class) -> Option<Arc<Cell>> {
+        let inner = self.inner.as_ref()?;
+        let mut cells = inner.cells.lock().expect("obs registry");
+        let cell = cells
+            .entry(name.to_owned())
+            .or_insert_with(|| Arc::new(Cell::new(kind, class)));
+        assert!(
+            cell.kind == kind && cell.class == class,
+            "metric {name:?} registered twice with different kind/class"
+        );
+        Some(Arc::clone(cell))
+    }
+
+    /// Registers (or retrieves) an exact-class monotonic counter.
+    pub fn counter(&self, name: &str) -> Counter {
+        Counter(self.cell(name, Kind::Counter, Class::Exact))
+    }
+
+    /// Registers a wall-class counter — for quantities that legitimately
+    /// vary run to run (memo hits under racing workers).
+    pub fn wall_counter(&self, name: &str) -> Counter {
+        Counter(self.cell(name, Kind::Counter, Class::Wall))
+    }
+
+    /// Registers an exact-class high-water gauge (merged by max).
+    pub fn max_gauge(&self, name: &str) -> MaxGauge {
+        MaxGauge(self.cell(name, Kind::MaxGauge, Class::Exact))
+    }
+
+    /// Registers an exact-class log2-bucketed histogram.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        Histogram(self.cell(name, Kind::Histogram, Class::Exact))
+    }
+
+    /// Registers a wall-class span timer recording elapsed nanoseconds
+    /// into a log2 histogram. Disabled registries never read the clock.
+    pub fn timer(&self, name: &str) -> Timer {
+        Timer(self.cell(name, Kind::Histogram, Class::Wall))
+    }
+
+    /// An independent empty registry with the same enabledness — the
+    /// per-worker half of the fork/merge pattern.
+    pub fn fork(&self) -> Registry {
+        Self::with_enabled(self.is_enabled())
+    }
+
+    /// Folds `other`'s metrics into this registry: counters and
+    /// histograms add, max gauges take the maximum. The operation is
+    /// associative and commutative, so any merge order over any
+    /// partition of the recorded events yields identical totals.
+    pub fn merge(&self, other: &Registry) {
+        let Some(theirs) = other.inner.as_ref() else {
+            return;
+        };
+        let snapshot: Vec<(String, Arc<Cell>)> = {
+            let cells = theirs.cells.lock().expect("obs registry");
+            cells
+                .iter()
+                .map(|(k, v)| (k.clone(), Arc::clone(v)))
+                .collect()
+        };
+        for (name, cell) in snapshot {
+            let Some(mine) = self.cell(&name, cell.kind, cell.class) else {
+                return;
+            };
+            match cell.kind {
+                Kind::Counter => {
+                    mine.count
+                        .fetch_add(cell.count.load(Ordering::Relaxed), Ordering::Relaxed);
+                }
+                Kind::MaxGauge => {
+                    mine.count
+                        .fetch_max(cell.count.load(Ordering::Relaxed), Ordering::Relaxed);
+                }
+                Kind::Histogram => {
+                    mine.count
+                        .fetch_add(cell.count.load(Ordering::Relaxed), Ordering::Relaxed);
+                    mine.sum
+                        .fetch_add(cell.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+                    for (m, t) in mine.buckets.iter().zip(&cell.buckets) {
+                        m.fetch_add(t.load(Ordering::Relaxed), Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+    }
+
+    /// A stable-order snapshot of every registered metric.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut metrics = BTreeMap::new();
+        if let Some(inner) = &self.inner {
+            let cells = inner.cells.lock().expect("obs registry");
+            for (name, cell) in cells.iter() {
+                let value = match cell.kind {
+                    Kind::Counter => MetricValue::Counter(cell.count.load(Ordering::Relaxed)),
+                    Kind::MaxGauge => MetricValue::Max(cell.count.load(Ordering::Relaxed)),
+                    Kind::Histogram => MetricValue::Histogram {
+                        count: cell.count.load(Ordering::Relaxed),
+                        sum: cell.sum.load(Ordering::Relaxed),
+                        buckets: cell
+                            .buckets
+                            .iter()
+                            .enumerate()
+                            .filter_map(|(i, b)| {
+                                let n = b.load(Ordering::Relaxed);
+                                (n > 0).then_some((i as u32, n))
+                            })
+                            .collect(),
+                    },
+                };
+                metrics.insert(
+                    name.clone(),
+                    Metric {
+                        class: cell.class,
+                        value,
+                    },
+                );
+            }
+        }
+        Snapshot { metrics }
+    }
+}
+
+/// A monotonic counter handle. No-op when obtained from a disabled
+/// registry.
+#[derive(Debug, Clone)]
+pub struct Counter(Option<Arc<Cell>>);
+
+impl Counter {
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            cell.count.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+}
+
+/// A high-water gauge handle: keeps the maximum observed value.
+#[derive(Debug, Clone)]
+pub struct MaxGauge(Option<Arc<Cell>>);
+
+impl MaxGauge {
+    /// Raises the gauge to `v` if `v` exceeds the current maximum.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        if let Some(cell) = &self.0 {
+            cell.count.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A log2-bucketed histogram handle.
+#[derive(Debug, Clone)]
+pub struct Histogram(Option<Arc<Cell>>);
+
+impl Histogram {
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if let Some(cell) = &self.0 {
+            cell.count.fetch_add(1, Ordering::Relaxed);
+            cell.sum.fetch_add(v, Ordering::Relaxed);
+            cell.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records `n` identical observations in one shot (used when folding
+    /// aggregate simulation results into a distribution).
+    #[inline]
+    pub fn record_n(&self, v: u64, n: u64) {
+        if let Some(cell) = &self.0 {
+            cell.count.fetch_add(n, Ordering::Relaxed);
+            cell.sum.fetch_add(v.wrapping_mul(n), Ordering::Relaxed);
+            cell.buckets[bucket_of(v)].fetch_add(n, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A wall-clock span timer. [`Timer::start`] returns a guard that
+/// records the elapsed nanoseconds when dropped; from a disabled
+/// registry neither the start nor the stop reads the clock.
+#[derive(Debug, Clone)]
+pub struct Timer(Option<Arc<Cell>>);
+
+impl Timer {
+    /// Starts a span; drop the guard to record it.
+    #[inline]
+    pub fn start(&self) -> Span {
+        Span(
+            self.0
+                .as_ref()
+                .map(|cell| (Instant::now(), Arc::clone(cell))),
+        )
+    }
+}
+
+/// An in-flight timed span (see [`Timer::start`]).
+#[derive(Debug)]
+pub struct Span(Option<(Instant, Arc<Cell>)>);
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((start, cell)) = self.0.take() {
+            let ns = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+            cell.count.fetch_add(1, Ordering::Relaxed);
+            cell.sum.fetch_add(ns, Ordering::Relaxed);
+            cell.buckets[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// One exported metric: determinism class plus value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Metric {
+    /// Determinism class.
+    pub class: Class,
+    /// The recorded value.
+    pub value: MetricValue,
+}
+
+/// An exported metric value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    /// Monotonic count.
+    Counter(u64),
+    /// High-water mark.
+    Max(u64),
+    /// Log2-bucketed distribution; `buckets` holds `(bucket_index,
+    /// count)` for non-empty buckets, ascending.
+    Histogram {
+        /// Observations.
+        count: u64,
+        /// Sum of observations (wrapping).
+        sum: u64,
+        /// Non-empty `(log2 bucket, count)` pairs.
+        buckets: Vec<(u32, u64)>,
+    },
+}
+
+/// A point-in-time, stable-order view of a [`Registry`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Metric name → metric, in lexicographic name order.
+    pub metrics: BTreeMap<String, Metric>,
+}
+
+impl Snapshot {
+    /// Only the exact-class metrics — the subset guaranteed
+    /// bit-identical across `--threads` and `--no-memo`.
+    #[must_use]
+    pub fn deterministic(&self) -> Snapshot {
+        Snapshot {
+            metrics: self
+                .metrics
+                .iter()
+                .filter(|(_, m)| m.class == Class::Exact)
+                .map(|(k, m)| (k.clone(), m.clone()))
+                .collect(),
+        }
+    }
+
+    /// The value of a counter or max gauge by name.
+    pub fn count(&self, name: &str) -> Option<u64> {
+        match self.metrics.get(name)?.value {
+            MetricValue::Counter(n) | MetricValue::Max(n) => Some(n),
+            MetricValue::Histogram { .. } => None,
+        }
+    }
+
+    /// Renders the snapshot as a JSON object, one key per metric, in
+    /// stable name order.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        for (i, (name, m)) in self.metrics.iter().enumerate() {
+            let comma = if i + 1 < self.metrics.len() { "," } else { "" };
+            match &m.value {
+                MetricValue::Counter(n) => {
+                    let _ = writeln!(
+                        out,
+                        "  \"{name}\": {{\"type\": \"counter\", \"class\": \"{}\", \"value\": {n}}}{comma}",
+                        m.class.label()
+                    );
+                }
+                MetricValue::Max(n) => {
+                    let _ = writeln!(
+                        out,
+                        "  \"{name}\": {{\"type\": \"max\", \"class\": \"{}\", \"value\": {n}}}{comma}",
+                        m.class.label()
+                    );
+                }
+                MetricValue::Histogram {
+                    count,
+                    sum,
+                    buckets,
+                } => {
+                    let _ = write!(
+                        out,
+                        "  \"{name}\": {{\"type\": \"histogram\", \"class\": \"{}\", \
+                         \"count\": {count}, \"sum\": {sum}, \"buckets\": {{",
+                        m.class.label()
+                    );
+                    for (j, (b, n)) in buckets.iter().enumerate() {
+                        let c = if j + 1 < buckets.len() { ", " } else { "" };
+                        let _ = write!(out, "\"{b}\": {n}{c}");
+                    }
+                    let _ = writeln!(out, "}}}}{comma}");
+                }
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Renders the snapshot as Prometheus text exposition: metric names
+    /// with `.` mapped to `_`, histograms as `_count`/`_sum` plus
+    /// cumulative `_bucket{le="..."}` series (le = the bucket's upper
+    /// bound `2^b - 1`).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, m) in &self.metrics {
+            let flat = name.replace('.', "_");
+            match &m.value {
+                MetricValue::Counter(n) | MetricValue::Max(n) => {
+                    let _ = writeln!(out, "# TYPE {flat} counter");
+                    let _ = writeln!(out, "{flat} {n}");
+                }
+                MetricValue::Histogram {
+                    count,
+                    sum,
+                    buckets,
+                } => {
+                    let _ = writeln!(out, "# TYPE {flat} histogram");
+                    let mut cumulative = 0u64;
+                    for (b, n) in buckets {
+                        cumulative += n;
+                        let le = if *b >= 64 {
+                            u64::MAX
+                        } else {
+                            (1u64 << b).saturating_sub(1)
+                        };
+                        let _ = writeln!(out, "{flat}_bucket{{le=\"{le}\"}} {cumulative}");
+                    }
+                    let _ = writeln!(out, "{flat}_bucket{{le=\"+Inf\"}} {count}");
+                    let _ = writeln!(out, "{flat}_sum {sum}");
+                    let _ = writeln!(out, "{flat}_count {count}");
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_is_inert() {
+        let reg = Registry::disabled();
+        assert!(!reg.is_enabled());
+        let c = reg.counter("a");
+        c.add(5);
+        reg.histogram("h").record(9);
+        reg.max_gauge("g").observe(3);
+        let _span = reg.timer("t").start();
+        let snap = reg.snapshot();
+        assert!(snap.metrics.is_empty());
+        assert_eq!(snap.to_json(), "{\n}\n");
+        assert!(snap.to_prometheus().is_empty());
+    }
+
+    #[test]
+    // The point of the clone IS the clone: handles must alias one store.
+    #[allow(clippy::redundant_clone)]
+    fn counters_share_cells_across_clones_and_names() {
+        let reg = Registry::new();
+        let a = reg.counter("x");
+        let b = reg.clone().counter("x");
+        a.add(2);
+        b.inc();
+        assert_eq!(reg.snapshot().count("x"), Some(3));
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat");
+        for v in [0, 1, 2, 3, 1024, u64::MAX] {
+            h.record(v);
+        }
+        let snap = reg.snapshot();
+        match &snap.metrics["lat"].value {
+            MetricValue::Histogram {
+                count,
+                sum,
+                buckets,
+            } => {
+                assert_eq!(*count, 6);
+                assert_eq!(
+                    *sum,
+                    0u64.wrapping_add(1 + 2 + 3 + 1024).wrapping_add(u64::MAX)
+                );
+                // v=0 -> bucket 0, 1 -> 1, 2..3 -> 2, 1024 -> 11, MAX -> 64.
+                assert_eq!(
+                    buckets,
+                    &vec![(0u32, 1u64), (1, 1), (2, 2), (11, 1), (64, 1)]
+                );
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn max_gauge_keeps_high_water() {
+        let reg = Registry::new();
+        let g = reg.max_gauge("depth");
+        g.observe(4);
+        g.observe(9);
+        g.observe(7);
+        assert_eq!(reg.snapshot().count("depth"), Some(9));
+    }
+
+    #[test]
+    fn timer_records_wall_spans() {
+        let reg = Registry::new();
+        let t = reg.timer("span");
+        drop(t.start());
+        let snap = reg.snapshot();
+        let m = &snap.metrics["span"];
+        assert_eq!(m.class, Class::Wall);
+        match &m.value {
+            MetricValue::Histogram { count, .. } => assert_eq!(*count, 1),
+            other => panic!("expected histogram, got {other:?}"),
+        }
+        // Wall metrics drop out of the deterministic view.
+        assert!(snap.deterministic().metrics.is_empty());
+    }
+
+    #[test]
+    fn merge_folds_counters_histograms_and_gauges() {
+        let a = Registry::new();
+        a.counter("c").add(2);
+        a.histogram("h").record(8);
+        a.max_gauge("g").observe(5);
+        let b = a.fork();
+        assert!(b.is_enabled());
+        b.counter("c").add(3);
+        b.histogram("h").record(8);
+        b.max_gauge("g").observe(4);
+        b.counter("only_b").inc();
+        a.merge(&b);
+        let snap = a.snapshot();
+        assert_eq!(snap.count("c"), Some(5));
+        assert_eq!(snap.count("g"), Some(5));
+        assert_eq!(snap.count("only_b"), Some(1));
+        match &snap.metrics["h"].value {
+            MetricValue::Histogram { count, sum, .. } => {
+                assert_eq!(*count, 2);
+                assert_eq!(*sum, 16);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn json_and_prometheus_are_stable_and_parseable() {
+        let reg = Registry::new();
+        reg.counter("b.count").add(7);
+        reg.counter("a.count").add(1);
+        reg.histogram("c.hist").record(100);
+        let snap = reg.snapshot();
+        let json = snap.to_json();
+        // BTreeMap order: a.count before b.count before c.hist.
+        let (ia, ib, ic) = (
+            json.find("a.count").unwrap(),
+            json.find("b.count").unwrap(),
+            json.find("c.hist").unwrap(),
+        );
+        assert!(ia < ib && ib < ic, "{json}");
+        assert!(json.contains("\"value\": 7"));
+        let prom = snap.to_prometheus();
+        assert!(prom.contains("a_count 1"));
+        assert!(prom.contains("c_hist_count 1"));
+        assert!(prom.contains("c_hist_sum 100"));
+        assert!(prom.contains("c_hist_bucket{le=\"+Inf\"} 1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn kind_conflicts_are_rejected() {
+        let reg = Registry::new();
+        let _ = reg.counter("m");
+        let _ = reg.histogram("m");
+    }
+}

@@ -1,0 +1,116 @@
+//! Algebraic properties of [`Registry::merge`], exercised with
+//! SimRng-driven random operation sequences: merging per-worker forks
+//! must be associative and commutative, or per-thread aggregation order
+//! would leak into reported metrics.
+
+use wcs_simcore::obs::Registry;
+use wcs_simcore::SimRng;
+
+/// One randomly generated metric operation.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Count(usize, u64),
+    WallCount(usize, u64),
+    Max(usize, u64),
+    Hist(usize, u64),
+}
+
+const COUNTERS: [&str; 3] = ["queue.scheduled", "faults.retries", "memshare.page_faults"];
+const WALL: [&str; 2] = ["memo.perf.hits", "memo.perf.misses"];
+const GAUGES: [&str; 2] = ["queue.max_depth", "pool.peak"];
+const HISTS: [&str; 2] = ["flashcache.latency_ns", "cooling.fan_w"];
+
+/// A random op sequence, long enough to hit every series several times.
+fn random_ops(seed: u64, len: usize) -> Vec<Op> {
+    let mut rng = SimRng::seed_from(seed);
+    (0..len)
+        .map(|_| {
+            let v = rng.next_u64() >> 32;
+            match rng.next_u64() % 4 {
+                0 => Op::Count(rng.next_u64() as usize % COUNTERS.len(), v),
+                1 => Op::WallCount(rng.next_u64() as usize % WALL.len(), v),
+                2 => Op::Max(rng.next_u64() as usize % GAUGES.len(), v),
+                _ => Op::Hist(rng.next_u64() as usize % HISTS.len(), v % 1_000_000),
+            }
+        })
+        .collect()
+}
+
+/// A fresh enabled registry with `ops` applied.
+fn apply(ops: &[Op]) -> Registry {
+    let reg = Registry::new();
+    for op in ops {
+        match *op {
+            Op::Count(i, v) => reg.counter(COUNTERS[i]).add(v),
+            Op::WallCount(i, v) => reg.wall_counter(WALL[i]).add(v),
+            Op::Max(i, v) => reg.max_gauge(GAUGES[i]).observe(v),
+            Op::Hist(i, v) => reg.histogram(HISTS[i]).record(v),
+        }
+    }
+    reg
+}
+
+#[test]
+fn merge_is_commutative() {
+    for seed in 1..=8u64 {
+        let a_ops = random_ops(seed, 200);
+        let b_ops = random_ops(seed.wrapping_mul(0x9E37_79B9), 200);
+
+        let ab = apply(&a_ops);
+        ab.merge(&apply(&b_ops));
+        let ba = apply(&b_ops);
+        ba.merge(&apply(&a_ops));
+
+        assert_eq!(
+            ab.snapshot().to_json(),
+            ba.snapshot().to_json(),
+            "merge order changed the snapshot (seed {seed})"
+        );
+    }
+}
+
+#[test]
+fn merge_is_associative() {
+    for seed in 1..=8u64 {
+        let a_ops = random_ops(seed, 150);
+        let b_ops = random_ops(seed + 100, 150);
+        let c_ops = random_ops(seed + 200, 150);
+
+        // (a · b) · c
+        let left = apply(&a_ops);
+        left.merge(&apply(&b_ops));
+        left.merge(&apply(&c_ops));
+        // a · (b · c)
+        let bc = apply(&b_ops);
+        bc.merge(&apply(&c_ops));
+        let right = apply(&a_ops);
+        right.merge(&bc);
+
+        assert_eq!(
+            left.snapshot().to_json(),
+            right.snapshot().to_json(),
+            "merge grouping changed the snapshot (seed {seed})"
+        );
+    }
+}
+
+#[test]
+fn merge_matches_single_registry_recording() {
+    // Forking per worker and merging must equal recording everything
+    // into one registry — the property the evaluator's fan-out relies
+    // on.
+    for seed in [3u64, 17, 99] {
+        let ops = random_ops(seed, 300);
+        let (front, back) = ops.split_at(ops.len() / 2);
+
+        let whole = apply(&ops);
+        let merged = apply(front);
+        merged.merge(&apply(back));
+
+        assert_eq!(
+            whole.snapshot().to_json(),
+            merged.snapshot().to_json(),
+            "split recording diverged from single-registry recording (seed {seed})"
+        );
+    }
+}

@@ -4,6 +4,7 @@
 
 use std::collections::VecDeque;
 
+use wcs_simcore::event::QueueObs;
 use wcs_simcore::{EventQueue, SimDuration, SimTime};
 
 use crate::engine::ServerSpec;
@@ -19,6 +20,9 @@ pub struct BatchResult {
     /// Per-resource busy fraction over the makespan, indexed by
     /// [`Resource::index`].
     pub utilization: [f64; 4],
+    /// Event-queue occupancy counters for the run — a pure function of
+    /// the task set, so safe to record as exact-class observability.
+    pub queue: QueueObs,
 }
 
 impl BatchResult {
@@ -162,6 +166,7 @@ pub fn run_batch(spec: ServerSpec, tasks: Vec<Vec<Stage>>, concurrency: u32) -> 
         makespan,
         tasks: n_tasks,
         utilization,
+        queue: events.obs_stats(),
     }
 }
 

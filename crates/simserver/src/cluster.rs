@@ -540,6 +540,7 @@ impl Cluster {
                 dropped: dropped_n,
                 offered: completed_measured + dropped_n,
             },
+            queue: events.obs_stats(),
         })
     }
 }

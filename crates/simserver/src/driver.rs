@@ -3,6 +3,7 @@
 
 use std::fmt;
 
+use wcs_simcore::event::QueueObs;
 use wcs_simcore::SimDuration;
 
 use crate::engine::{RunStats, ServerSim};
@@ -78,6 +79,12 @@ pub struct ThroughputResult {
     pub bottleneck: Resource,
     /// Utilization of the bottleneck resource.
     pub bottleneck_utilization: f64,
+    /// Event-queue occupancy accumulated over *every* probe run of the
+    /// search (ramp, refinement, and the returned operating point). The
+    /// probe sequence is a pure function of the inputs, so these
+    /// counters are deterministic and can be recorded as exact-class
+    /// observability series.
+    pub queue: QueueObs,
 }
 
 /// Tuning parameters for the search.
@@ -123,15 +130,18 @@ pub fn find_max_throughput(
     qos: QosSpec,
     config: SearchConfig,
 ) -> Result<ThroughputResult, QosInfeasible> {
+    let mut queue = QueueObs::default();
     let mut probe = |n: u32| -> RunStats {
         let mut source = make_source();
-        sim.run_closed_loop(
+        let stats = sim.run_closed_loop(
             source.as_mut(),
             n,
             config.warmup,
             config.measured,
             config.seed ^ (n as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-        )
+        );
+        queue = queue.merged(&stats.queue);
+        stats
     };
 
     let first = probe(1);
@@ -184,6 +194,7 @@ pub fn find_max_throughput(
         latency_at_qos: stats.latency.percentile(qos.percentile).unwrap_or(f64::NAN),
         bottleneck,
         bottleneck_utilization: util,
+        queue,
     })
 }
 

@@ -2,6 +2,8 @@
 
 use std::collections::VecDeque;
 
+use wcs_simcore::event::QueueObs;
+use wcs_simcore::obs::Registry;
 use wcs_simcore::stats::Histogram;
 use wcs_simcore::{EventQueue, SimDuration, SimRng, SimTime};
 
@@ -67,9 +69,25 @@ pub struct RunStats {
     /// Fault-side accounting (timeouts, retries, drops, offered count).
     /// All-zero for fault-free single-server runs.
     pub faults: FaultStats,
+    /// Event-queue occupancy counters for the run — scheduling volume,
+    /// same-instant fast-path hits, and the pending-event high-water
+    /// mark. A pure function of the simulated event stream.
+    pub queue: QueueObs,
 }
 
 impl RunStats {
+    /// Records this run's deterministic series — event-queue occupancy
+    /// (`queue.*`) and fault accounting (`faults.*`) — into `registry`.
+    pub fn export_obs(&self, registry: &Registry) {
+        self.queue.export(registry);
+        registry
+            .counter("faults.timeouts")
+            .add(self.faults.timeouts);
+        registry.counter("faults.retries").add(self.faults.retries);
+        registry.counter("faults.dropped").add(self.faults.dropped);
+        registry.counter("faults.offered").add(self.faults.offered);
+    }
+
     /// Sustained throughput over the measurement window, requests/second.
     pub fn throughput_rps(&self) -> f64 {
         if self.window.is_zero() {
@@ -343,6 +361,7 @@ impl ServerSim {
             latency: run.latency,
             utilization,
             faults: FaultStats::default(),
+            queue: run.events.obs_stats(),
         }
     }
 }

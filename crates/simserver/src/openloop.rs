@@ -183,6 +183,7 @@ pub fn run_open_loop(
         latency,
         utilization,
         faults: crate::failover::FaultStats::default(),
+        queue: events.obs_stats(),
     }
 }
 

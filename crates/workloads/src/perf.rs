@@ -3,6 +3,7 @@
 use std::fmt;
 
 use wcs_platforms::Platform;
+use wcs_simcore::event::QueueObs;
 use wcs_simserver::driver::SearchConfig;
 use wcs_simserver::{find_max_throughput, run_batch, Resource, ServerSim};
 
@@ -70,6 +71,11 @@ pub struct PerfResult {
     pub unit: &'static str,
     /// The busiest resource at the measured operating point.
     pub bottleneck: Resource,
+    /// Event-queue occupancy summed over every simulation run the
+    /// measurement performed (all throughput probes, or the batch run).
+    /// A pure function of the measurement inputs — safe to record as
+    /// exact-class observability.
+    pub queue: QueueObs,
 }
 
 impl fmt::Display for PerfResult {
@@ -155,6 +161,7 @@ pub fn measure_perf_with_demand(
                 value: result.rps,
                 unit: "RPS",
                 bottleneck: result.bottleneck,
+                queue: result.queue,
             })
         }
         Metric::Batch {
@@ -176,6 +183,7 @@ pub fn measure_perf_with_demand(
                 value: result.perf(),
                 unit: "1/s",
                 bottleneck,
+                queue: result.queue,
             })
         }
     }

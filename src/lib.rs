@@ -21,7 +21,7 @@
 //! See `examples/` for runnable scenarios and `crates/bench/src/bin/`
 //! for the binaries that regenerate every table and figure of the paper.
 
-pub use wcs_core::{designs, evaluate, report, DesignPoint, Evaluator};
+pub use wcs_core::{designs, evaluate, report, DesignPoint, EvalBuilder, Evaluator, WcsError};
 
 /// Discrete-event simulation substrate (events, RNG, distributions,
 /// statistics).
