@@ -37,11 +37,7 @@ fn main() {
 /// "we expect these trends to hold into the future as well".)
 fn future_projection(args: &BenchArgs) {
     println!("\nAblation: technology projection (emb1-class platform vs srvr1, Perf/TCO-$)");
-    let eval = args
-        .eval_builder()
-        .quick()
-        .build()
-        .expect("quick profile configuration is valid");
+    let eval = args.build_evaluator(|b| b.quick());
     let base = eval
         .evaluate(&DesignPoint::baseline_srvr1())
         .expect("baseline");
@@ -178,11 +174,7 @@ fn flash_capacity_sweep(args: &BenchArgs) {
 /// N2 with each technique removed: which contributes what?
 fn n2_technique_ablation(args: &BenchArgs) {
     println!("\nAblation: N2 technique contributions (HMean Perf/TCO-$ vs srvr1)");
-    let eval = args
-        .eval_builder()
-        .quick()
-        .build()
-        .expect("quick profile configuration is valid");
+    let eval = args.build_evaluator(|b| b.quick());
     let base = eval
         .evaluate(&DesignPoint::baseline_srvr1())
         .expect("baseline");

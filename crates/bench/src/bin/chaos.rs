@@ -1,0 +1,361 @@
+//! Chaos harness: crash-safety proof for the sweep journal, panic
+//! isolation, and watchdog deadlines.
+//!
+//! Three waves, all fault-plan driven (seeded from `--seed`, default 42):
+//!
+//! 1. **Kill + resume** — a clean reference run renders the full design
+//!    family to one canonical string; then, for kill points at 25% and
+//!    60% of the cell family, a journaled run evaluates only that prefix
+//!    (simulating a crash mid-sweep), the journal tail is deliberately
+//!    damaged (torn append at the first kill point, a flipped bit at the
+//!    second), and a fresh `--resume`-style evaluator replays the valid
+//!    prefix and completes the run. The resumed render must be
+//!    byte-identical to the clean one at every thread count in {1, 2, 8}
+//!    and with memoization on and off.
+//! 2. **Panic isolation** — a parallel map in which plan-chosen cells
+//!    panic (some persistently, some only on their first attempt) must
+//!    complete every other cell, retry the transient ones to success,
+//!    and report the persistent ones as per-cell errors — never abort.
+//! 3. **Deadline degradation** — a cell that never finishes on its own
+//!    must be cancelled cooperatively by the watchdog and reported as
+//!    degraded while its neighbours complete.
+//!
+//! Writes `BENCH_results.json` with `"resume_diverged": false` (CI greps
+//! for exactly that) plus the recovery counters. Run with
+//! `cargo run --release -p wcs-bench --bin chaos [--threads N] [--no-memo]`.
+
+use std::fmt::Write as _;
+use std::fs::OpenOptions;
+use std::io::{Read as _, Seek, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use wcs_bench::cli;
+use wcs_core::evaluate::CellOutcome;
+use wcs_core::{DesignPoint, Evaluator};
+use wcs_platforms::PlatformId;
+use wcs_simcore::faults::FaultProcess;
+use wcs_simcore::watchdog::Watchdog;
+use wcs_simcore::{SimDuration, SimRng, ThreadPool};
+
+/// The cell family every wave runs over: all six baseline platforms plus
+/// the paper's unified designs and two N2 variants.
+fn cell_family() -> Vec<DesignPoint> {
+    let mut designs: Vec<DesignPoint> = PlatformId::ALL
+        .iter()
+        .map(|&id| DesignPoint::baseline(id))
+        .collect();
+    designs.push(DesignPoint::n1());
+    designs.push(DesignPoint::n2());
+    let mut no_share = DesignPoint::n2();
+    no_share.memshare = None;
+    no_share.name = "N2-noshare".into();
+    designs.push(no_share);
+    let mut no_flash = DesignPoint::n2();
+    no_flash.storage = None;
+    no_flash.name = "N2-noflash".into();
+    designs.push(no_flash);
+    designs
+}
+
+/// One canonical, byte-comparable render of the whole family.
+fn render(evals: &[wcs_core::DesignEval]) -> String {
+    let mut out = String::new();
+    for e in evals {
+        let _ = writeln!(out, "{e:?}");
+    }
+    out
+}
+
+/// A unique journal path under the system temp directory.
+fn journal_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("wcs-chaos-{}-{tag}.journal", std::process::id()))
+}
+
+/// Damage the journal tail: a torn half-frame for `kill == 0`, a flipped
+/// bit inside the last written byte for `kill == 1`. Both must be caught
+/// by the reader (CRC / framing) and truncated away on resume.
+fn damage_tail(path: &Path, kill: usize) {
+    let mut file = OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(path)
+        .expect("journal exists after the partial run");
+    let len = file.metadata().expect("journal metadata").len();
+    if kill == 0 {
+        file.seek(SeekFrom::End(0)).expect("seek to end");
+        // A torn append: the length prefix of a frame that never finished.
+        file.write_all(&[0xAB; 13]).expect("append torn tail");
+    } else if len > 0 {
+        let mut byte = [0u8; 1];
+        file.seek(SeekFrom::Start(len - 1))
+            .expect("seek to last byte");
+        file.read_exact(&mut byte).expect("read last byte");
+        byte[0] ^= 0x01;
+        file.seek(SeekFrom::Start(len - 1)).expect("seek back");
+        file.write_all(&byte).expect("flip bit in last frame");
+    }
+}
+
+struct ResumeOutcome {
+    configs: u64,
+    replayed: u64,
+    resume_hits: u64,
+    journaled: u64,
+}
+
+/// Wave 1: kill at 25% and 60%, damage the tail, resume, compare.
+fn resume_wave(args: &cli::BenchArgs, designs: &[DesignPoint], clean: &str) -> ResumeOutcome {
+    let mut out = ResumeOutcome {
+        configs: 0,
+        replayed: 0,
+        resume_hits: 0,
+        journaled: 0,
+    };
+    let memo_settings: &[bool] = if args.memo { &[true, false] } else { &[false] };
+    for &threads in &[1usize, 2, 8] {
+        let pool = ThreadPool::new(threads).expect("positive thread count");
+        for &memo in memo_settings {
+            for (kill, frac) in [(0usize, 0.25f64), (1, 0.60)] {
+                let path = journal_path(&format!("t{threads}-m{}-k{kill}", u8::from(memo)));
+                let _ = std::fs::remove_file(&path);
+                let build =
+                    |b: wcs_core::EvalBuilder| b.pool(pool).memo(memo).quick().resume(&path);
+
+                // The "crashed" run: evaluate only the prefix, then die.
+                let k = ((designs.len() as f64) * frac).ceil() as usize;
+                let partial = args.build_evaluator(build);
+                partial
+                    .evaluate_many(&designs[..k])
+                    .expect("prefix evaluates");
+                out.journaled += partial.memo.cells_journaled();
+                assert!(
+                    partial.memo.cells_journaled() > 0,
+                    "partial run journaled nothing"
+                );
+                drop(partial);
+                damage_tail(&path, kill);
+
+                // The resumed run: replay the valid prefix, finish the rest.
+                let resumed = args.build_evaluator(build);
+                let evals = resumed.evaluate_many(designs).expect("family evaluates");
+                let rendered = render(&evals);
+                assert_eq!(
+                    clean, rendered,
+                    "resumed output diverged (threads {threads}, memo {memo}, kill {kill})"
+                );
+                assert!(
+                    resumed.memo.cells_replayed() > 0,
+                    "resume replayed nothing from the journal"
+                );
+                assert!(
+                    resumed.memo.resume_hits() > 0,
+                    "resume lane never hit during the resumed run"
+                );
+                out.replayed += resumed.memo.cells_replayed();
+                out.resume_hits += resumed.memo.resume_hits();
+                out.configs += 1;
+                let _ = std::fs::remove_file(&path);
+            }
+        }
+    }
+    out
+}
+
+struct PanicOutcome {
+    cells: usize,
+    persistent: usize,
+    transient: usize,
+    panics_caught: u64,
+    retries: u64,
+}
+
+/// Wave 2: plan-chosen cells panic; the sweep must finish anyway.
+fn panic_wave(args: &cli::BenchArgs, seed: u64) -> PanicOutcome {
+    const CELLS: usize = 24;
+    // The outage plan doubles as the panic plan: each down-window marks
+    // one cell as faulty, alternating persistent / first-attempt-only.
+    let flap = FaultProcess::exponential(
+        SimDuration::from_secs_f64(400.0),
+        SimDuration::from_secs_f64(10.0),
+    )
+    .expect("positive rates");
+    let mut rng = SimRng::seed_from(seed);
+    let windows = flap.windows(SimDuration::from_secs_f64(2_000.0), &mut rng);
+    let mut persistent = [false; CELLS];
+    let mut transient = [false; CELLS];
+    for (i, w) in windows.iter().enumerate() {
+        let cell = (w.down_at.as_nanos() as usize) % CELLS;
+        if i % 2 == 0 {
+            persistent[cell] = true;
+            transient[cell] = false;
+        } else if !persistent[cell] {
+            transient[cell] = true;
+        }
+    }
+    if !persistent.iter().any(|&p| p) {
+        persistent[3] = true; // the plan must draw blood
+    }
+    if !transient.iter().any(|&t| t) {
+        transient[7] = true;
+    }
+
+    // Injected panics are expected here — keep their backtraces out of
+    // the harness output while leaving real panics loud.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|m| m.starts_with("chaos:"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+
+    use std::sync::atomic::{AtomicU32, Ordering};
+    let first_attempts: Vec<AtomicU32> = (0..CELLS).map(|_| AtomicU32::new(0)).collect();
+    let items: Vec<usize> = (0..CELLS).collect();
+    let (results, recovery) = args.pool.par_map_isolated(&items, |i, &cell| {
+        if persistent[cell] {
+            panic!("chaos: persistent fault in cell {cell}");
+        }
+        if transient[cell] && first_attempts[cell].fetch_add(1, Ordering::Relaxed) == 0 {
+            panic!("chaos: transient fault in cell {cell}");
+        }
+        // Each healthy cell does real, seed-derived work.
+        let mut r = SimRng::stream(seed, i as u64);
+        (0..512).map(|_| r.next_u64() & 1).sum::<u64>()
+    });
+
+    println!("\nchaos wave 2: panic isolation ({CELLS} cells)");
+    let mut ok = 0usize;
+    for (i, r) in results.iter().enumerate() {
+        match r {
+            Ok(_) => ok += 1,
+            Err(e) => println!("  cell {i:>2}: DEGRADED — {e}"),
+        }
+    }
+    let expected_failures = persistent.iter().filter(|&&p| p).count();
+    assert_eq!(
+        ok,
+        CELLS - expected_failures,
+        "healthy and retried cells must all complete"
+    );
+    for (i, r) in results.iter().enumerate() {
+        assert_eq!(r.is_err(), persistent[i], "cell {i} outcome mismatch");
+    }
+    assert!(recovery.panics_caught >= expected_failures as u64);
+    assert!(
+        recovery.retries >= 1,
+        "at least one transient cell must have been retried"
+    );
+    let _ = std::panic::take_hook(); // restore default panic reporting
+    println!(
+        "  {ok}/{CELLS} cells ok, {} persistent faults isolated, {} panics caught, {} retries",
+        expected_failures, recovery.panics_caught, recovery.retries
+    );
+    PanicOutcome {
+        cells: CELLS,
+        persistent: expected_failures,
+        transient: transient.iter().filter(|&&t| t).count(),
+        panics_caught: recovery.panics_caught,
+        retries: recovery.retries,
+    }
+}
+
+/// Wave 3: a never-finishing cell is cancelled by deadline; its
+/// neighbours complete untouched.
+fn deadline_wave(args: &cli::BenchArgs) -> u64 {
+    let wd = Watchdog::new(Duration::from_millis(20));
+    let items: Vec<usize> = (0..4).collect();
+    let (results, _) = args
+        .pool
+        .par_map_watched(&items, Some(&wd), |_, &cell, token| {
+            if cell == 0 {
+                // Runs "forever" — only the watchdog can stop it.
+                let started = Instant::now();
+                while !token.is_cancelled() {
+                    assert!(
+                        started.elapsed() < Duration::from_secs(30),
+                        "watchdog never fired"
+                    );
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                return Err("degraded: deadline exceeded");
+            }
+            Ok(cell * 10)
+        });
+    println!("\nchaos wave 3: watchdog deadlines (4 cells, 20ms budget)");
+    for (i, r) in results.iter().enumerate() {
+        match r {
+            Ok(Ok(v)) => println!("  cell {i}: ok ({v})"),
+            Ok(Err(msg)) => println!("  cell {i}: DEGRADED — {msg}"),
+            Err(e) => println!("  cell {i}: DEGRADED — {e}"),
+        }
+    }
+    assert!(matches!(results[0], Ok(Err(_))), "cell 0 must be degraded");
+    for r in &results[1..] {
+        assert!(matches!(r, Ok(Ok(_))), "healthy cells must complete");
+    }
+    let cancels = wd.deadline_cancels();
+    assert!(cancels >= 1, "the watchdog must have cancelled cell 0");
+    println!("  {cancels} deadline cancel(s) recorded");
+    cancels
+}
+
+fn main() {
+    let args = cli::parse();
+    let seed = args.seed.unwrap_or(42);
+    let designs = cell_family();
+
+    // Clean reference run: serial, memoized-or-not per flags.
+    println!(
+        "chaos: {} cells, seed {seed}, reference render...",
+        designs.len()
+    );
+    let clean_eval: Evaluator = args.build_evaluator(|b| b.quick());
+    let clean = render(
+        &clean_eval
+            .evaluate_many(&designs)
+            .expect("family evaluates"),
+    );
+
+    // The reference run also exercises the per-cell report path.
+    let outcomes: Vec<CellOutcome> = clean_eval.evaluate_cells(&designs);
+    assert!(outcomes.iter().all(CellOutcome::is_ok));
+
+    println!("chaos wave 1: kill at 25%/60%, damage tail, resume (threads 1/2/8)");
+    let resume = resume_wave(&args, &designs, &clean);
+    println!(
+        "  {} kill/resume configurations byte-identical ({} cells replayed, {} resume hits)",
+        resume.configs, resume.replayed, resume.resume_hits
+    );
+
+    let panics = panic_wave(&args, seed);
+    let deadline_cancels = deadline_wave(&args);
+
+    // Fold the proof into BENCH_results.json for CI.
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"seed\": {seed},");
+    let _ = writeln!(json, "  \"cells\": {},", designs.len());
+    let _ = writeln!(json, "  \"resume_diverged\": false,");
+    let _ = writeln!(json, "  \"recovery\": {{");
+    let _ = writeln!(json, "    \"kill_resume_configs\": {},", resume.configs);
+    let _ = writeln!(json, "    \"cells_replayed\": {},", resume.replayed);
+    let _ = writeln!(json, "    \"cells_journaled\": {},", resume.journaled);
+    let _ = writeln!(json, "    \"resume_hits\": {},", resume.resume_hits);
+    let _ = writeln!(json, "    \"panic_cells\": {},", panics.cells);
+    let _ = writeln!(json, "    \"persistent_faults\": {},", panics.persistent);
+    let _ = writeln!(json, "    \"transient_faults\": {},", panics.transient);
+    let _ = writeln!(json, "    \"task_panics\": {},", panics.panics_caught);
+    let _ = writeln!(json, "    \"task_retries\": {},", panics.retries);
+    let _ = writeln!(json, "    \"deadline_cancels\": {deadline_cancels}");
+    let _ = writeln!(json, "  }}");
+    json.push_str("}\n");
+    std::fs::write("BENCH_results.json", &json).expect("BENCH_results.json is writable");
+
+    clean_eval.export_obs();
+    args.write_metrics();
+    println!("\nchaos: all waves passed — wrote BENCH_results.json (resume_diverged: false)");
+}

@@ -99,11 +99,7 @@ fn main() {
     let wall = FanWall::n_plus_one();
     let fan = FaultProcess::exponential(secs(200_000.0), secs(14_400.0)).expect("positive rates");
     let bare_wall = FanWall::new(6, 0).expect("valid wall");
-    let eval = args
-        .eval_builder()
-        .quick()
-        .build()
-        .expect("quick profile configuration is valid");
+    let eval = args.build_evaluator(|b| b.quick());
 
     let blade_workloads = [
         WorkloadId::Websearch,

@@ -38,7 +38,7 @@ fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
 /// obs-overhead study runs. Exact-class series are deterministic across
 /// `--threads` and memo settings; the `memo.*` hit/miss counters are
 /// wall-class profiling data.
-const FOLDED_SERIES: [&str; 17] = [
+const FOLDED_SERIES: [&str; 20] = [
     "queue.scheduled",
     "queue.fast_path",
     "queue.max_depth",
@@ -56,6 +56,9 @@ const FOLDED_SERIES: [&str; 17] = [
     "cooling.throttle_events",
     "faults.retries",
     "faults.offered",
+    "recovery.cells_replayed",
+    "recovery.cells_journaled",
+    "recovery.task_panics",
 ];
 
 /// The memoization-sensitive workload: every design-space sweep and
@@ -97,11 +100,7 @@ fn event_queue_rate() -> (u64, f64) {
 fn main() {
     let args = cli::parse();
     let pool = args.pool;
-    let eval = args
-        .eval_builder()
-        .quick()
-        .build()
-        .expect("quick profile configuration is valid");
+    let eval = args.build_evaluator(|b| b.quick());
     let mut studies: Vec<(&str, f64)> = Vec::new();
 
     let (_, ms) = timed(|| cpu_study(&eval).expect("catalog platforms evaluate"));
@@ -159,12 +158,7 @@ fn main() {
     // metric exports hit a no-op handle or live atomics.
     let metrics_reg = Registry::new();
     let study_run = |obs: Registry| -> f64 {
-        let e = args
-            .eval_builder()
-            .obs(obs)
-            .quick()
-            .build()
-            .expect("quick profile configuration is valid");
+        let e = args.build_evaluator(|b| b.obs(obs).quick());
         let (_, ms) = timed(|| unified_study(&e, PlatformId::Srvr1).expect("designs evaluate"));
         ms
     };
@@ -180,20 +174,9 @@ fn main() {
     // (and CI) before any results are written. The memoized evaluator
     // records into `metrics_reg`, so the folded series below cover the
     // sweep bundle as well as the overhead study.
-    let cold_eval = args
-        .eval_builder()
-        .memo(false)
-        .obs(Registry::disabled())
-        .quick()
-        .build()
-        .expect("quick profile configuration is valid");
+    let cold_eval = args.build_evaluator(|b| b.memo(false).obs(Registry::disabled()).quick());
     let (cold, sweep_cold_ms) = timed(|| sweep_bundle(&cold_eval));
-    let memo_eval = args
-        .eval_builder()
-        .obs(metrics_reg.clone())
-        .quick()
-        .build()
-        .expect("quick profile configuration is valid");
+    let memo_eval = args.build_evaluator(|b| b.obs(metrics_reg.clone()).quick());
     let (filling, _) = timed(|| sweep_bundle(&memo_eval));
     let (warm, sweep_warm_ms) = timed(|| sweep_bundle(&memo_eval));
     assert_eq!(

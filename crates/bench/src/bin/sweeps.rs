@@ -7,11 +7,7 @@ use wcs_core::sweeps::{sweep_flash_capacity, sweep_local_fraction, sweep_platfor
 
 fn main() {
     let args = wcs_bench::cli::parse();
-    let eval = args
-        .eval_builder()
-        .quick()
-        .build()
-        .expect("quick profile configuration is valid");
+    let eval = args.build_evaluator(|b| b.quick());
 
     println!("Sweep: N2 local-memory fraction (HMean Perf/TCO-$ vs srvr1)");
     let sweep = sweep_local_fraction(&eval, &[0.5, 0.25, 0.125, 0.0625]).expect("evaluates");

@@ -12,12 +12,22 @@
 //!   snapshot of every recorded series when the binary calls
 //!   [`BenchArgs::write_metrics`]: JSON by default, Prometheus text
 //!   exposition when `PATH` ends in `.prom`, JSON on stdout for `-`.
+//! * `--resume PATH` opens (creating if absent) the crash-safety journal
+//!   at `PATH`: previously completed sweep cells are replayed into the
+//!   memo instead of recomputed, and newly computed cells are appended.
+//! * `--task-budget-ms N` arms the watchdog: any sweep cell running
+//!   longer than `N` wall-clock milliseconds is cancelled cooperatively
+//!   and reported as a degraded cell instead of stalling the run.
 //!
 //! None of the flags can change results. Parallel fan-outs seed their
 //! tasks purely from the task index, memoized values are pure functions
-//! of their keys, and every exact-class metric is recorded from returned
-//! simulation values — so `--threads`, `--no-memo`, and `--metrics` are
-//! wall-clock and reporting dials, not reproducibility hazards.
+//! of their keys, journal replay seeds the memo with bit-identical
+//! payloads, and every exact-class metric is recorded from returned
+//! simulation values — so `--threads`, `--no-memo`, `--metrics`, and
+//! `--resume` are wall-clock and reporting dials, not reproducibility
+//! hazards. (`--task-budget-ms` is the one exception: deadlines are
+//! wall-clock, so a fired deadline degrades a cell nondeterministically —
+//! use generous budgets for runs that must be bit-identical.)
 
 use std::process::exit;
 
@@ -30,7 +40,7 @@ use wcs_simcore::ThreadPool;
 /// [`ensure_standard_series`] registers one canonical series per family
 /// so consumers can rely on the keys being present; a zero value means
 /// the subsystem did not run in that binary.
-pub const STANDARD_FAMILIES: [&str; 7] = [
+pub const STANDARD_FAMILIES: [&str; 8] = [
     "queue",
     "pool",
     "memo",
@@ -38,6 +48,7 @@ pub const STANDARD_FAMILIES: [&str; 7] = [
     "flashcache",
     "cooling",
     "faults",
+    "recovery",
 ];
 
 /// Parsed common arguments: the worker pool plus whatever the binary
@@ -53,6 +64,14 @@ pub struct BenchArgs {
     pub metrics: Option<String>,
     /// Base RNG seed override (`--seed S`), if any.
     pub seed: Option<u64>,
+    /// Crash-safety journal path (`--resume PATH`), if any. Completed
+    /// cells recorded there are replayed instead of recomputed, and new
+    /// cells are appended as they finish.
+    pub resume: Option<String>,
+    /// Per-cell watchdog budget in milliseconds (`--task-budget-ms N`),
+    /// if any. Cells exceeding it are cancelled cooperatively and
+    /// reported as degraded.
+    pub task_budget_ms: Option<u64>,
     /// The metrics registry: enabled iff `--metrics` was passed,
     /// otherwise the disabled no-op registry.
     pub obs: Registry,
@@ -63,8 +82,9 @@ pub struct BenchArgs {
 
 impl BenchArgs {
     /// An [`EvalBuilder`] with this command line applied: pool, memo,
-    /// observability registry, and seed override. Binaries layer their
-    /// own profile on top (`.quick()`, `.faults(..)`, ...) and `build()`.
+    /// observability registry, seed override, resume journal, and
+    /// watchdog budget. Binaries layer their own profile on top
+    /// (`.quick()`, `.faults(..)`, ...) and `build()`.
     pub fn eval_builder(&self) -> EvalBuilder {
         let mut b = Evaluator::builder()
             .pool(self.pool)
@@ -73,7 +93,27 @@ impl BenchArgs {
         if let Some(seed) = self.seed {
             b = b.seed(seed);
         }
+        if let Some(path) = &self.resume {
+            b = b.resume(path);
+        }
+        if let Some(ms) = self.task_budget_ms {
+            b = b.task_budget(std::time::Duration::from_millis(ms));
+        }
         b
+    }
+
+    /// Builds the evaluator from [`eval_builder`](Self::eval_builder)
+    /// after applying `profile`, exiting with status 1 on failure (an
+    /// unreadable `--resume` journal is the common cause) instead of
+    /// panicking. Binaries call this as their one construction point.
+    pub fn build_evaluator(&self, profile: impl FnOnce(EvalBuilder) -> EvalBuilder) -> Evaluator {
+        match profile(self.eval_builder()).build() {
+            Ok(eval) => eval,
+            Err(e) => {
+                eprintln!("error: cannot construct evaluator: {e}");
+                exit(1);
+            }
+        }
     }
 
     /// Writes the metrics snapshot to the `--metrics` destination, if
@@ -83,7 +123,7 @@ impl BenchArgs {
     ///
     /// Every standard family is registered before the snapshot, so the
     /// export always contains the `queue`, `pool`, `memo`, `memshare`,
-    /// `flashcache`, `cooling`, and `faults` series.
+    /// `flashcache`, `cooling`, `faults`, and `recovery` series.
     pub fn write_metrics(&self) {
         let Some(path) = &self.metrics else {
             return;
@@ -147,8 +187,23 @@ pub fn ensure_standard_series(registry: &Registry) {
         "faults.retries",
         "faults.dropped",
         "faults.offered",
+        "recovery.cells_replayed",
+        "recovery.cells_journaled",
+        "recovery.resume_hits",
+        "recovery.task_panics",
+        "recovery.task_retries",
+        "recovery.plan_skipped",
     ] {
         registry.counter(name).add(0);
+    }
+    // Wall-class recovery series: deadlines and journal damage are
+    // wall-clock phenomena, so they live outside the deterministic set.
+    for name in [
+        "recovery.deadline_cancels",
+        "recovery.journal_errors",
+        "recovery.journal_truncated_bytes",
+    ] {
+        registry.wall_counter(name).add(0);
     }
 }
 
@@ -167,6 +222,8 @@ pub fn try_parse_from(args: impl Iterator<Item = String>) -> Result<BenchArgs, W
     let mut memo = true;
     let mut metrics = None;
     let mut seed = None;
+    let mut resume = None;
+    let mut task_budget_ms = None;
     let mut rest = Vec::new();
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
@@ -200,6 +257,20 @@ pub fn try_parse_from(args: impl Iterator<Item = String>) -> Result<BenchArgs, W
             seed = Some(s);
         } else if let Some(v) = valued("--metrics")? {
             metrics = Some(v);
+        } else if let Some(v) = valued("--resume")? {
+            resume = Some(v);
+        } else if let Some(v) = valued("--task-budget-ms")? {
+            let ms: u64 = v.parse().map_err(|_| {
+                WcsError::Cli(format!(
+                    "--task-budget-ms expects a positive integer, got {v:?}"
+                ))
+            })?;
+            if ms == 0 {
+                return Err(WcsError::Cli(
+                    "--task-budget-ms must be positive (every cell would be cancelled)".to_owned(),
+                ));
+            }
+            task_budget_ms = Some(ms);
         } else {
             rest.push(arg);
         }
@@ -210,6 +281,8 @@ pub fn try_parse_from(args: impl Iterator<Item = String>) -> Result<BenchArgs, W
         memo,
         metrics,
         seed,
+        resume,
+        task_budget_ms,
         obs,
         rest,
     })
@@ -221,7 +294,8 @@ fn parse_from(args: impl Iterator<Item = String>) -> BenchArgs {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: <bin> [--threads N] [--no-memo] [--seed S] [--metrics PATH] [args...]"
+                "usage: <bin> [--threads N] [--no-memo] [--seed S] [--metrics PATH] \
+                 [--resume JOURNAL] [--task-budget-ms N] [args...]"
             );
             exit(2);
         }
@@ -285,6 +359,35 @@ mod tests {
         assert_eq!(eval.measure.seed, 42);
         assert!(try_parse_from(strs(&["--seed", "x"])).is_err());
         assert!(try_parse_from(strs(&["--seed"])).is_err());
+    }
+
+    #[test]
+    fn resume_flag_parses_both_forms() {
+        let a = try_parse_from(strs(&["--resume", "run.journal"])).unwrap();
+        assert_eq!(a.resume.as_deref(), Some("run.journal"));
+        let b = try_parse_from(strs(&["--resume=other.journal"])).unwrap();
+        assert_eq!(b.resume.as_deref(), Some("other.journal"));
+        assert!(try_parse_from(strs(&["--resume"])).is_err());
+        // No flag: no journal, and the builder stays journal-free.
+        let c = try_parse_from(strs(&[])).unwrap();
+        assert!(c.resume.is_none());
+        let eval = c.eval_builder().quick().build().unwrap();
+        assert!(!eval.memo.is_journaling());
+    }
+
+    #[test]
+    fn task_budget_flag_parses_and_rejects_zero() {
+        let a = try_parse_from(strs(&["--task-budget-ms", "5000"])).unwrap();
+        assert_eq!(a.task_budget_ms, Some(5000));
+        let b = try_parse_from(strs(&["--task-budget-ms=250"])).unwrap();
+        assert_eq!(b.task_budget_ms, Some(250));
+        assert!(try_parse_from(strs(&["--task-budget-ms", "0"])).is_err());
+        assert!(try_parse_from(strs(&["--task-budget-ms", "soon"])).is_err());
+        assert!(try_parse_from(strs(&["--task-budget-ms"])).is_err());
+        // The budget arms the evaluator's watchdog through the builder.
+        let eval = a.eval_builder().quick().build().unwrap();
+        let wd = eval.watchdog.as_deref().expect("watchdog armed");
+        assert_eq!(wd.budget(), std::time::Duration::from_millis(5000));
     }
 
     #[test]

@@ -20,13 +20,17 @@
 //! | `validate`| the reproduction scorecard: every paper anchor, pass/fail |
 //! | `faults`  | fault-injection scenarios and graceful degradation |
 //! | `perfsmoke` | fixed-seed wall-time smoke benchmark (`BENCH_results.json`) |
+//! | `chaos`   | crash-safety harness: kill/resume byte-identity, panic isolation, deadlines |
 //!
 //! Every binary accepts the shared flag cluster from [`cli`]:
 //! `--threads N` (default: all available cores) sizes the worker pool,
 //! `--no-memo` disables the sub-simulation caches, `--seed S` overrides
-//! the measurement seed, and `--metrics PATH` exports the observability
-//! snapshot (JSON, Prometheus for `.prom`, stdout for `-`). Results are
-//! bit-identical at any thread count and memo setting; the flags only
-//! change wall-clock time and reporting.
+//! the measurement seed, `--metrics PATH` exports the observability
+//! snapshot (JSON, Prometheus for `.prom`, stdout for `-`),
+//! `--resume JOURNAL` replays completed sweep cells from a crash-safety
+//! journal and appends new ones, and `--task-budget-ms N` arms the
+//! watchdog that degrades (rather than hangs on) stuck cells. Results
+//! are bit-identical at any thread count, memo setting, and resume
+//! state; the flags only change wall-clock time and reporting.
 
 pub mod cli;

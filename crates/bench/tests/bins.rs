@@ -144,6 +144,86 @@ fn perfsmoke_writes_results_json() {
 }
 
 #[test]
+fn chaos_proves_resume_and_isolation() {
+    let dir = std::env::temp_dir().join(format!("wcs-chaos-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir creates");
+    let out = Command::new(env!("CARGO_BIN_EXE_chaos"))
+        .current_dir(&dir)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "chaos exited with {:?}", out.status);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "kill at 25%/60%",
+        "byte-identical",
+        "panic isolation",
+        "DEGRADED",
+        "watchdog deadlines",
+        "all waves passed",
+    ] {
+        assert!(stdout.contains(needle), "missing {needle} in {stdout}");
+    }
+    let json = std::fs::read_to_string(dir.join("BENCH_results.json")).expect("results written");
+    // The chaos bin asserts byte-identity before writing results, so the
+    // file existing with this line is the proof CI greps for.
+    assert!(json.contains("\"resume_diverged\": false"), "{json}");
+    for needle in [
+        "\"cells_replayed\"",
+        "\"task_panics\"",
+        "\"task_retries\"",
+        "\"deadline_cancels\"",
+    ] {
+        assert!(json.contains(needle), "missing {needle} in {json}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sweeps_resume_round_trip_is_identical() {
+    let path = std::env::temp_dir().join(format!("wcs-sweeps-resume-{}", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let journal = path.to_str().expect("utf-8 temp path");
+    let first = run(env!("CARGO_BIN_EXE_sweeps"), &["--resume", journal]);
+    assert!(
+        std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0) > 0,
+        "first run must write the journal"
+    );
+    // Second run replays every cell from the journal; the printed sweep
+    // must be byte-identical, with or without the in-process memo.
+    let resumed = run(env!("CARGO_BIN_EXE_sweeps"), &["--resume", journal]);
+    assert_eq!(first, resumed, "resumed sweeps output diverged");
+    let no_memo = run(
+        env!("CARGO_BIN_EXE_sweeps"),
+        &["--resume", journal, "--no-memo", "--threads", "2"],
+    );
+    assert_eq!(first, no_memo, "--no-memo --resume output diverged");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn bins_reject_bad_resume_journals() {
+    // A file that is not a journal must be a clean, explained exit —
+    // not a panic (satellite: no raw unwraps on the build path).
+    let path = std::env::temp_dir().join(format!("wcs-notajournal-{}", std::process::id()));
+    std::fs::write(&path, b"definitely not a journal").expect("temp file writes");
+    let out = Command::new(env!("CARGO_BIN_EXE_sweeps"))
+        .args(["--resume", path.to_str().expect("utf-8 temp path")])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success(), "bad journal must be rejected");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("cannot construct evaluator"),
+        "expected a graceful error, got: {stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "bad journal must not panic: {stderr}"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn bins_reject_malformed_thread_counts() {
     let out = Command::new(env!("CARGO_BIN_EXE_table1"))
         .args(["--threads", "0"])

@@ -11,6 +11,8 @@
 use std::fmt;
 
 use wcs_memshare::directory::BladeError;
+use wcs_simcore::journal::JournalError;
+use wcs_simcore::pool::TaskPanic;
 use wcs_simcore::ConfigError;
 use wcs_workloads::perf::MeasureError;
 use wcs_workloads::tracefile::TraceError;
@@ -30,6 +32,17 @@ pub enum WcsError {
     Trace(TraceError),
     /// A malformed command line (bench binaries).
     Cli(String),
+    /// A sweep cell panicked (twice, after the retry-once policy) and was
+    /// isolated by the pool instead of aborting the run.
+    TaskPanic(TaskPanic),
+    /// A sweep cell exceeded its watchdog budget and was cancelled
+    /// cooperatively; the cell is degraded, the sweep continues.
+    Deadline {
+        /// Name of the design point whose evaluation was cancelled.
+        cell: String,
+    },
+    /// The resume journal could not be opened, replayed, or appended to.
+    Journal(JournalError),
 }
 
 impl fmt::Display for WcsError {
@@ -40,6 +53,14 @@ impl fmt::Display for WcsError {
             WcsError::Blade(e) => write!(f, "memory blade error: {e}"),
             WcsError::Trace(e) => write!(f, "trace error: {e}"),
             WcsError::Cli(msg) => write!(f, "command line error: {msg}"),
+            WcsError::TaskPanic(e) => write!(f, "task panic isolated: {e}"),
+            WcsError::Deadline { cell } => {
+                write!(
+                    f,
+                    "cell '{cell}' exceeded its deadline budget and was degraded"
+                )
+            }
+            WcsError::Journal(e) => write!(f, "journal error: {e}"),
         }
     }
 }
@@ -52,6 +73,9 @@ impl std::error::Error for WcsError {
             WcsError::Blade(e) => Some(e),
             WcsError::Trace(e) => Some(e),
             WcsError::Cli(_) => None,
+            WcsError::TaskPanic(e) => Some(e),
+            WcsError::Deadline { .. } => None,
+            WcsError::Journal(e) => Some(e),
         }
     }
 }
@@ -77,6 +101,18 @@ impl From<BladeError> for WcsError {
 impl From<TraceError> for WcsError {
     fn from(e: TraceError) -> Self {
         WcsError::Trace(e)
+    }
+}
+
+impl From<TaskPanic> for WcsError {
+    fn from(e: TaskPanic) -> Self {
+        WcsError::TaskPanic(e)
+    }
+}
+
+impl From<JournalError> for WcsError {
+    fn from(e: JournalError) -> Self {
+        WcsError::Journal(e)
     }
 }
 
@@ -107,6 +143,35 @@ mod tests {
         let e: WcsError = ConfigError::ZeroCount { param: "fans" }.into();
         assert!(e.source().is_some());
         assert!(WcsError::Cli("x".into()).source().is_none());
+    }
+
+    #[test]
+    fn recovery_errors_convert_and_display() {
+        let panic: WcsError = TaskPanic {
+            index: 4,
+            message: "poisoned cell".to_owned(),
+            retried: true,
+        }
+        .into();
+        assert!(panic.to_string().contains("task panic isolated"));
+        assert!(panic.to_string().contains("panicked twice"));
+        {
+            use std::error::Error as _;
+            assert!(panic.source().is_some());
+        }
+
+        let deadline = WcsError::Deadline {
+            cell: "flash-4x".to_owned(),
+        };
+        assert!(deadline.to_string().contains("flash-4x"));
+        assert!(deadline.to_string().contains("deadline"));
+
+        let journal: WcsError = JournalError::BadMagic {
+            path: "/tmp/x.wal".into(),
+        }
+        .into();
+        assert!(journal.to_string().contains("journal error"));
+        assert!(journal.to_string().contains("bad magic"));
     }
 
     #[test]

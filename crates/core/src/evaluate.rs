@@ -3,13 +3,17 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Duration;
 
 use wcs_memshare::contention::SharedLink;
 use wcs_memshare::slowdown::{estimate_slowdown_with, SlowdownConfig};
 use wcs_platforms::Platform;
+use wcs_simcore::journal;
 use wcs_simcore::obs::Registry;
 use wcs_simcore::stats::harmonic_mean;
+use wcs_simcore::watchdog::{CancelToken, Watchdog};
 use wcs_simcore::{ConfigError, ThreadPool};
 use wcs_tco::{
     AvailabilityModel, AvailableEfficiency, BurdenedParams, Efficiency, RackConfig,
@@ -63,6 +67,12 @@ pub struct Evaluator {
     /// [`DesignEval::available_efficiency`]. `None` reproduces the
     /// paper's fail-free metrics exactly.
     pub availability: Option<AvailabilityModel>,
+    /// Optional deadline monitor for [`Evaluator::evaluate_cells`]: cells
+    /// exceeding the budget are cancelled cooperatively and reported as
+    /// [`WcsError::Deadline`] instead of hanging the sweep. `None` (the
+    /// default) applies no deadline, keeping results pure functions of
+    /// the cell inputs.
+    pub watchdog: Option<Arc<Watchdog>>,
 }
 
 impl Evaluator {
@@ -72,7 +82,7 @@ impl Evaluator {
     ///
     /// ```no_run
     /// use wcs_core::evaluate::Evaluator;
-    /// let eval = Evaluator::builder().quick().threads(8).memo(true).build().unwrap();
+    /// let eval = Evaluator::builder().quick().threads(8).unwrap().memo(true).build().unwrap();
     /// # let _ = eval;
     /// ```
     pub fn builder() -> EvalBuilder {
@@ -118,11 +128,16 @@ impl Evaluator {
         self
     }
 
-    /// Flushes end-of-run metrics (memo hit/miss counters) into the
-    /// attached registry. Counters accumulate — call once, right before
-    /// snapshotting.
+    /// Flushes end-of-run metrics (memo hit/miss counters, watchdog
+    /// deadline cancels) into the attached registry. Counters accumulate
+    /// — call once, right before snapshotting.
     pub fn export_obs(&self) {
         self.memo.export_obs();
+        if let Some(wd) = &self.watchdog {
+            self.obs
+                .wall_counter("recovery.deadline_cancels")
+                .add(wd.deadline_cancels());
+        }
     }
 
     /// Evaluates a design point across the whole benchmark suite.
@@ -131,6 +146,29 @@ impl Evaluator {
     /// Returns a [`MeasureError`] if any workload's QoS bound is
     /// infeasible on the design.
     pub fn evaluate(&self, design: &DesignPoint) -> Result<DesignEval, MeasureError> {
+        match self.evaluate_cell(design, &CancelToken::never()) {
+            Ok(e) => Ok(e),
+            Err(WcsError::Measure(e)) => Err(e),
+            // A never-firing token admits no deadline, and this path has
+            // no catch_unwind, so only measurement errors can surface.
+            Err(other) => unreachable!("uncancellable evaluation surfaced {other}"),
+        }
+    }
+
+    /// Evaluates a design point under a cooperative cancellation token:
+    /// the token is polled before each workload measurement, so a cell
+    /// cancelled by a deadline [`Watchdog`] returns
+    /// [`WcsError::Deadline`] at the next workload boundary instead of
+    /// running to completion.
+    ///
+    /// # Errors
+    /// [`WcsError::Measure`] for an infeasible QoS bound,
+    /// [`WcsError::Deadline`] when `token` fired.
+    pub fn evaluate_cell(
+        &self,
+        design: &DesignPoint,
+        token: &CancelToken,
+    ) -> Result<DesignEval, WcsError> {
         let platform = design.effective_platform();
         let burdened = self
             .burdened
@@ -147,10 +185,17 @@ impl Evaluator {
 
         // Workloads are independent: each derives its seed from the shared
         // MeasureConfig, not from evaluation order, so fanning them out
-        // over the pool cannot change any value.
+        // over the pool cannot change any value. The cancel token is
+        // polled once per workload — the cooperative deadline boundary.
         let values = self.pool.try_par_map(&WorkloadId::ALL, |_, &id| {
+            if token.is_cancelled() {
+                return Err(WcsError::Deadline {
+                    cell: design.name.clone(),
+                });
+            }
             let _span = self.obs.timer("pool.task_wall_ns").start();
             self.workload_perf(design, &platform, id)
+                .map_err(WcsError::from)
         })?;
         // Exact-class series are recorded only after the whole fan-out
         // succeeded, from its returned values: the counts depend on the
@@ -202,6 +247,51 @@ impl Evaluator {
         })?;
         self.obs.counter("pool.tasks").add(evals.len() as u64);
         Ok(evals)
+    }
+
+    /// Evaluates many design points with **per-cell fault isolation**: a
+    /// cell that panics (twice, after the retry-once policy) or exceeds
+    /// the evaluator's watchdog budget becomes an `Err` in its own
+    /// [`CellOutcome`] while every other cell completes normally. This is
+    /// the crash-safe counterpart of [`evaluate_many`](Self::evaluate_many),
+    /// which aborts the whole fan-out on the first error.
+    ///
+    /// Outcomes are returned in input order. With no watchdog configured,
+    /// success/failure of each cell is a pure function of the cell, so
+    /// the outcome vector is bit-identical at any thread count.
+    pub fn evaluate_cells(&self, designs: &[DesignPoint]) -> Vec<CellOutcome> {
+        let inner = Evaluator {
+            pool: ThreadPool::serial(),
+            ..self.clone()
+        };
+        let (results, recovery) =
+            self.pool
+                .par_map_watched(designs, self.watchdog.as_deref(), |_, d, token| {
+                    let _span = self.obs.timer("pool.task_wall_ns").start();
+                    inner.evaluate_cell(d, token)
+                });
+        self.obs.counter("pool.tasks").add(results.len() as u64);
+        // Panic and retry counts are pure functions of the cell set
+        // (tasks share no mutable state), hence exact-class.
+        self.obs
+            .counter("recovery.task_panics")
+            .add(recovery.panics_caught);
+        self.obs
+            .counter("recovery.task_retries")
+            .add(recovery.retries);
+        results
+            .into_iter()
+            .zip(designs)
+            .enumerate()
+            .map(|(index, (r, d))| CellOutcome {
+                index,
+                name: d.name.clone(),
+                result: match r {
+                    Ok(cell) => cell,
+                    Err(panic) => Err(WcsError::TaskPanic(panic)),
+                },
+            })
+            .collect()
     }
 
     /// Performance of one workload on the design: applies the storage
@@ -303,6 +393,8 @@ pub struct EvalBuilder {
     obs: Registry,
     seed: Option<u64>,
     availability: Option<AvailabilityModel>,
+    resume: Option<PathBuf>,
+    task_budget: Option<Duration>,
 }
 
 impl EvalBuilder {
@@ -320,7 +412,32 @@ impl EvalBuilder {
             obs: Registry::disabled(),
             seed: None,
             availability: None,
+            resume: None,
+            task_budget: None,
         }
+    }
+
+    /// Journals completed cells to `path` and seeds the evaluator from
+    /// any valid prefix already there, so a run interrupted mid-sweep
+    /// resumes bit-identical to an uninterrupted one. A missing file
+    /// starts a fresh journal; a torn or corrupt tail is truncated on
+    /// open. Resuming works with the memo on *or* off — replayed cells
+    /// live in their own always-on lane.
+    #[must_use]
+    pub fn resume(mut self, path: impl Into<PathBuf>) -> Self {
+        self.resume = Some(path.into());
+        self
+    }
+
+    /// Applies a per-cell wall-clock budget to
+    /// [`Evaluator::evaluate_cells`]: cells exceeding it are cancelled
+    /// cooperatively and reported as degraded. Wall-clock deadlines are
+    /// inherently nondeterministic — leave unset for bit-reproducible
+    /// sweeps.
+    #[must_use]
+    pub fn task_budget(mut self, budget: Duration) -> Self {
+        self.task_budget = Some(budget);
+        self
     }
 
     /// Switches to the reduced-effort profile (shorter probes, shorter
@@ -419,10 +536,15 @@ impl EvalBuilder {
         self
     }
 
-    /// Validates the configuration and builds the evaluator.
+    /// Validates the configuration and builds the evaluator. When a
+    /// resume journal is configured, its valid prefix is replayed into
+    /// the memo here (truncating any torn tail) and an append handle is
+    /// attached for the cells this run computes.
     ///
     /// # Errors
-    /// Rejects a zero storage-replay length.
+    /// Rejects a zero storage-replay length; surfaces
+    /// [`WcsError::Journal`] when the resume journal cannot be opened
+    /// (unreadable, or not a journal at all).
     pub fn build(self) -> Result<Evaluator, WcsError> {
         if self.storage_replay == 0 {
             return Err(ConfigError::ZeroCount {
@@ -435,6 +557,17 @@ impl EvalBuilder {
             measure.seed = seed;
         }
         let memo = Arc::new(EvalMemo::with_enabled(self.memo).with_obs(self.obs.clone()));
+        if let Some(path) = &self.resume {
+            let (records, writer, report) = journal::open(path)?;
+            memo.seed_journal(&records);
+            memo.attach_journal(writer);
+            self.obs
+                .wall_counter("recovery.journal_truncated_bytes")
+                .add(report.truncated_bytes);
+        }
+        let watchdog = self
+            .task_budget
+            .map(|budget| Arc::new(Watchdog::new(budget)));
         Ok(Evaluator {
             measure,
             rack: self.rack,
@@ -445,6 +578,7 @@ impl EvalBuilder {
             memo,
             obs: self.obs,
             availability: self.availability,
+            watchdog,
         })
     }
 }
@@ -452,6 +586,35 @@ impl EvalBuilder {
 impl Default for EvalBuilder {
     fn default() -> Self {
         Self::paper()
+    }
+}
+
+/// One cell's outcome from [`Evaluator::evaluate_cells`]: the design's
+/// evaluation, or the isolated error that degraded it (panic, deadline,
+/// infeasible QoS) while the rest of the sweep completed.
+#[derive(Debug)]
+pub struct CellOutcome {
+    /// Input-order index of the design.
+    pub index: usize,
+    /// The design's name.
+    pub name: String,
+    /// The evaluation, or the isolated per-cell error.
+    pub result: Result<DesignEval, WcsError>,
+}
+
+impl CellOutcome {
+    /// True when the cell evaluated cleanly.
+    pub fn is_ok(&self) -> bool {
+        self.result.is_ok()
+    }
+}
+
+impl fmt::Display for CellOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.result {
+            Ok(_) => write!(f, "cell {} '{}': ok", self.index, self.name),
+            Err(e) => write!(f, "cell {} '{}': DEGRADED — {e}", self.index, self.name),
+        }
     }
 }
 
@@ -681,6 +844,135 @@ mod tests {
         assert!(adj.effective_perf() < plain.efficiency(id).perf);
         let perfect = plain.available_efficiency(id, 3.0).unwrap();
         assert_eq!(perfect.effective_perf(), plain.efficiency(id).perf);
+    }
+
+    /// A run interrupted mid-sweep and resumed from its journal must be
+    /// bit-identical to an uninterrupted run — at every thread count,
+    /// with the memo on and off, and even when the journal tail is torn.
+    #[test]
+    fn resumed_run_is_bit_identical_to_clean_run() {
+        let designs = [
+            DesignPoint::baseline(PlatformId::Desk),
+            DesignPoint::baseline(PlatformId::Emb1),
+        ];
+        let path = std::env::temp_dir().join(format!(
+            "wcs-core-resume-{}-{:?}.wal",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        for threads in [1usize, 2, 8] {
+            for memo in [true, false] {
+                std::fs::remove_file(&path).ok();
+                let clean = Evaluator::builder()
+                    .quick()
+                    .threads(threads)
+                    .unwrap()
+                    .memo(memo)
+                    .build()
+                    .unwrap();
+                let want: Vec<String> = clean
+                    .evaluate_many(&designs)
+                    .unwrap()
+                    .iter()
+                    .map(|e| format!("{e:?}"))
+                    .collect();
+
+                // "Crash": evaluate only the first design while journaling,
+                // then tear the journal's tail.
+                {
+                    let interrupted = Evaluator::builder()
+                        .quick()
+                        .threads(threads)
+                        .unwrap()
+                        .memo(memo)
+                        .resume(&path)
+                        .build()
+                        .unwrap();
+                    interrupted.evaluate(&designs[0]).unwrap();
+                    assert!(interrupted.memo.cells_journaled() > 0);
+                }
+                {
+                    use std::io::Write as _;
+                    let mut f = std::fs::OpenOptions::new()
+                        .append(true)
+                        .open(&path)
+                        .unwrap();
+                    f.write_all(&[0xAB; 11]).unwrap(); // torn half-record
+                }
+
+                // Resume: replays the journaled cells, recomputes the rest.
+                let resumed = Evaluator::builder()
+                    .quick()
+                    .threads(threads)
+                    .unwrap()
+                    .memo(memo)
+                    .resume(&path)
+                    .build()
+                    .unwrap();
+                assert!(
+                    resumed.memo.cells_replayed() > 0,
+                    "threads={threads} memo={memo}"
+                );
+                let got: Vec<String> = resumed
+                    .evaluate_many(&designs)
+                    .unwrap()
+                    .iter()
+                    .map(|e| format!("{e:?}"))
+                    .collect();
+                assert_eq!(want, got, "threads={threads} memo={memo}");
+                assert!(resumed.memo.resume_hits() > 0);
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn builder_rejects_non_journal_resume_file() {
+        let path =
+            std::env::temp_dir().join(format!("wcs-core-badjournal-{}.wal", std::process::id()));
+        std::fs::write(&path, b"not a journal at all").unwrap();
+        let err = Evaluator::builder()
+            .quick()
+            .resume(&path)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, WcsError::Journal(_)), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// evaluate_cells isolates per-cell failures: a pre-cancelled token
+    /// degrades the cell deterministically, other cells complete.
+    #[test]
+    fn cancelled_cell_degrades_without_aborting() {
+        let eval = Evaluator::quick();
+        let design = DesignPoint::baseline(PlatformId::Desk);
+        let token = CancelToken::never();
+        token.cancel();
+        let err = eval.evaluate_cell(&design, &token).unwrap_err();
+        assert!(matches!(err, WcsError::Deadline { .. }), "{err}");
+
+        // The isolated sweep entry point returns per-cell outcomes in
+        // order, all Ok for healthy designs, at every thread count.
+        let designs = [
+            DesignPoint::baseline(PlatformId::Desk),
+            DesignPoint::baseline(PlatformId::Emb1),
+            DesignPoint::baseline(PlatformId::Mobl),
+        ];
+        for threads in [1usize, 2, 8] {
+            let eval = Evaluator::builder()
+                .quick()
+                .threads(threads)
+                .unwrap()
+                .build()
+                .unwrap();
+            let outcomes = eval.evaluate_cells(&designs);
+            assert_eq!(outcomes.len(), 3);
+            for (i, o) in outcomes.iter().enumerate() {
+                assert_eq!(o.index, i);
+                assert_eq!(o.name, designs[i].name);
+                assert!(o.is_ok(), "{o}");
+            }
+        }
     }
 
     #[test]

@@ -39,4 +39,4 @@ pub mod validate;
 
 pub use designs::DesignPoint;
 pub use error::WcsError;
-pub use evaluate::{DesignEval, EvalBuilder, Evaluator};
+pub use evaluate::{CellOutcome, DesignEval, EvalBuilder, Evaluator};

@@ -12,11 +12,14 @@
 //! including RNG seeds, are folded into the key), so memoized and
 //! unmemoized runs are byte-identical by construction.
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use wcs_flashcache::memo::StorageMemo;
 use wcs_memshare::slowdown::ReplayMemo;
 use wcs_simcore::event::QueueObs;
+use wcs_simcore::intern::intern;
+use wcs_simcore::journal::{JournalRecord, JournalWriter};
 use wcs_simcore::memo::{MemoCache, MemoKey, MemoStats};
 use wcs_simcore::obs::Registry;
 use wcs_workloads::perf::{MeasureConfig, MeasureError};
@@ -36,6 +39,93 @@ pub struct PerfSample {
     pub queue: QueueObs,
 }
 
+/// Encode a perf measurement into its journal payload (little-endian).
+///
+/// ```text
+/// Ok : 0x00 value:f64-bits scheduled:u64 fast_path:u64 max_depth:u64
+/// Err: 0x01 wl_len:u32 wl_bytes reason_len:u32 reason_bytes
+/// ```
+///
+/// Both arms are journaled: an infeasible-QoS `Err` is as much a pure
+/// function of the cell key as a successful sample, and replaying it
+/// saves the resumed run the recompute.
+pub fn encode_perf(result: &Result<PerfSample, MeasureError>) -> Vec<u8> {
+    match result {
+        Ok(s) => {
+            let mut out = Vec::with_capacity(1 + 8 * 4);
+            out.push(0);
+            out.extend_from_slice(&s.value.to_bits().to_le_bytes());
+            out.extend_from_slice(&s.queue.scheduled.to_le_bytes());
+            out.extend_from_slice(&s.queue.fast_path.to_le_bytes());
+            out.extend_from_slice(&s.queue.max_depth.to_le_bytes());
+            out
+        }
+        Err(e) => {
+            let wl = e.workload.as_bytes();
+            let reason = e.reason.as_bytes();
+            let mut out = Vec::with_capacity(1 + 4 + wl.len() + 4 + reason.len());
+            out.push(1);
+            out.extend_from_slice(&(wl.len() as u32).to_le_bytes());
+            out.extend_from_slice(wl);
+            out.extend_from_slice(&(reason.len() as u32).to_le_bytes());
+            out.extend_from_slice(reason);
+            out
+        }
+    }
+}
+
+/// Decode a journal payload back into a perf measurement. Returns `None`
+/// on any structural mismatch — a record that decodes wrong is dropped by
+/// the replay seeding rather than poisoning the resumed run.
+pub fn decode_perf(payload: &[u8]) -> Option<Result<PerfSample, MeasureError>> {
+    let (&tag, rest) = payload.split_first()?;
+    match tag {
+        0 => {
+            if rest.len() != 32 {
+                return None;
+            }
+            let word =
+                |i: usize| u64::from_le_bytes(rest[i * 8..i * 8 + 8].try_into().expect("8 bytes"));
+            Some(Ok(PerfSample {
+                value: f64::from_bits(word(0)),
+                queue: QueueObs {
+                    scheduled: word(1),
+                    fast_path: word(2),
+                    max_depth: word(3),
+                },
+            }))
+        }
+        1 => {
+            let take = |buf: &[u8]| -> Option<(String, usize)> {
+                let len = u32::from_le_bytes(buf.get(..4)?.try_into().ok()?) as usize;
+                let bytes = buf.get(4..4 + len)?;
+                Some((String::from_utf8(bytes.to_vec()).ok()?, 4 + len))
+            };
+            let (workload, used) = take(rest)?;
+            let (reason, used2) = take(&rest[used..])?;
+            if used + used2 != rest.len() {
+                return None;
+            }
+            Some(Err(MeasureError {
+                workload: intern(&workload),
+                reason,
+            }))
+        }
+        _ => None,
+    }
+}
+
+/// FNV-1a 64 digest of a journal payload; cross-checked when seeding a
+/// resumed run so a CRC-colliding or hand-edited record is still dropped.
+pub fn perf_digest(payload: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in payload {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
 /// Caches shared across every evaluation an [`Evaluator`] performs.
 ///
 /// [`Evaluator`]: crate::evaluate::Evaluator
@@ -44,6 +134,19 @@ pub struct EvalMemo {
     storage: StorageMemo,
     replay: ReplayMemo,
     perf: MemoCache<Result<PerfSample, MeasureError>>,
+    /// Cells recovered from a `--resume` journal. Consulted before the
+    /// regular perf lane and *always* enabled — resuming must work under
+    /// `--no-memo` too, and a replayed cell is by construction the value
+    /// the cold path would recompute.
+    resume: MemoCache<Result<PerfSample, MeasureError>>,
+    /// Append handle for the active journal, when this run is journaling.
+    /// Cleared on the first append failure (a full disk degrades the run
+    /// to unjournaled rather than aborting it).
+    journal: Mutex<Option<JournalWriter>>,
+    replayed: AtomicU64,
+    resume_hits: AtomicU64,
+    journaled: AtomicU64,
+    journal_errors: AtomicU64,
     obs: Registry,
 }
 
@@ -65,7 +168,81 @@ impl EvalMemo {
             storage: StorageMemo::with_enabled(enabled),
             replay: ReplayMemo::with_enabled(enabled),
             perf: MemoCache::with_enabled(enabled),
+            resume: MemoCache::new(),
+            journal: Mutex::new(None),
+            replayed: AtomicU64::new(0),
+            resume_hits: AtomicU64::new(0),
+            journaled: AtomicU64::new(0),
+            journal_errors: AtomicU64::new(0),
             obs: Registry::disabled(),
+        }
+    }
+
+    /// Seeds the resume lane from replayed journal records, first-insert
+    /// wins. Records whose payload fails to decode or whose digest does
+    /// not match are silently dropped — the resumed run recomputes those
+    /// cells. Returns how many records were seeded.
+    pub fn seed_journal(&self, records: &[JournalRecord]) -> u64 {
+        let mut seeded = 0;
+        for r in records {
+            if perf_digest(&r.payload) != r.digest {
+                continue;
+            }
+            let Some(value) = decode_perf(&r.payload) else {
+                continue;
+            };
+            if self.resume.insert(r.key, value) {
+                seeded += 1;
+            }
+        }
+        self.replayed.fetch_add(seeded, Ordering::Relaxed);
+        seeded
+    }
+
+    /// Attaches an append handle: every freshly computed perf cell is
+    /// written to the journal from now on (one record per distinct key).
+    pub fn attach_journal(&self, writer: JournalWriter) {
+        *self.journal.lock().unwrap_or_else(PoisonError::into_inner) = Some(writer);
+    }
+
+    /// Whether a journal writer is currently attached.
+    pub fn is_journaling(&self) -> bool {
+        self.journal
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .is_some()
+    }
+
+    /// Cells seeded from a journal replay by [`seed_journal`](Self::seed_journal).
+    pub fn cells_replayed(&self) -> u64 {
+        self.replayed.load(Ordering::Relaxed)
+    }
+
+    /// Distinct cells appended to the journal by this run.
+    pub fn cells_journaled(&self) -> u64 {
+        self.journaled.load(Ordering::Relaxed)
+    }
+
+    /// Perf lookups served from the resume lane.
+    pub fn resume_hits(&self) -> u64 {
+        self.resume_hits.load(Ordering::Relaxed)
+    }
+
+    fn journal_result(&self, key: u128, value: &Result<PerfSample, MeasureError>) {
+        let mut guard = self.journal.lock().unwrap_or_else(PoisonError::into_inner);
+        let Some(writer) = guard.as_mut() else { return };
+        let payload = encode_perf(value);
+        let digest = perf_digest(&payload);
+        match writer.append(key, digest, &payload) {
+            Ok(true) => {
+                self.journaled.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(false) => {}
+            Err(e) => {
+                self.journal_errors.fetch_add(1, Ordering::Relaxed);
+                eprintln!("warning: sweep journal append failed, journaling disabled: {e}");
+                *guard = None;
+            }
         }
     }
 
@@ -105,6 +282,22 @@ impl EvalMemo {
                 .wall_counter(&format!("memo.{domain}.misses"))
                 .add(stats.misses);
         }
+        // Recovery counters are pure functions of the cell set and the
+        // journal contents — deterministic across thread counts and memo
+        // on/off — so they export under the exact class. Journal append
+        // *errors* (full disk etc.) are environmental: wall class.
+        self.obs
+            .counter("recovery.cells_replayed")
+            .add(self.replayed.load(Ordering::Relaxed));
+        self.obs
+            .counter("recovery.cells_journaled")
+            .add(self.journaled.load(Ordering::Relaxed));
+        self.obs
+            .counter("recovery.resume_hits")
+            .add(self.resume_hits.load(Ordering::Relaxed));
+        self.obs
+            .wall_counter("recovery.journal_errors")
+            .add(self.journal_errors.load(Ordering::Relaxed));
     }
 
     /// Whether lookups hit the caches.
@@ -141,8 +334,27 @@ impl EvalMemo {
         cfg: &MeasureConfig,
         compute: impl FnOnce() -> Result<PerfSample, MeasureError>,
     ) -> Result<PerfSample, MeasureError> {
-        let key = MemoKey::new("eval-perf").push(&id).push(demand).push(cfg);
-        self.perf.get_or_compute(key.finish(), compute)
+        let key = MemoKey::new("eval-perf")
+            .push(&id)
+            .push(demand)
+            .push(cfg)
+            .finish();
+        // The resume lane answers first: cells recovered from a journal
+        // are served even under `--no-memo`, and the replayed bits are by
+        // construction what the cold path would recompute.
+        if let Some(v) = self.resume.get(key) {
+            self.resume_hits.fetch_add(1, Ordering::Relaxed);
+            return v;
+        }
+        let mut computed = false;
+        let v = self.perf.get_or_compute(key, || {
+            computed = true;
+            compute()
+        });
+        if computed {
+            self.journal_result(key, &v);
+        }
+        v
     }
 
     /// A shared handle to an enabled memo (the [`Evaluator`] default).
@@ -178,6 +390,88 @@ mod tests {
         assert_eq!(a.unwrap().value, 1.0);
         assert_eq!(b.unwrap().value, 1.0);
         assert_eq!(memo.stats().hits, 1);
+    }
+
+    #[test]
+    fn perf_payload_roundtrips_both_arms() {
+        let ok: Result<PerfSample, MeasureError> = Ok(PerfSample {
+            value: 1234.5678,
+            queue: QueueObs {
+                scheduled: 10,
+                fast_path: 3,
+                max_depth: 7,
+            },
+        });
+        let err: Result<PerfSample, MeasureError> = Err(MeasureError {
+            workload: "websearch",
+            reason: "QoS infeasible at 99p".to_owned(),
+        });
+        for v in [ok, err] {
+            let payload = encode_perf(&v);
+            let back = decode_perf(&payload).expect("decode");
+            assert_eq!(back, v);
+            // The digest is stable and payload-sensitive.
+            let d = perf_digest(&payload);
+            assert_eq!(d, perf_digest(&payload));
+            let mut damaged = payload.clone();
+            damaged[0] ^= 0x80;
+            assert_ne!(d, perf_digest(&damaged));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed_payloads() {
+        assert!(decode_perf(&[]).is_none());
+        assert!(decode_perf(&[9]).is_none(), "unknown tag");
+        assert!(decode_perf(&[0, 1, 2]).is_none(), "short Ok body");
+        assert!(
+            decode_perf(&[1, 255, 255, 255, 255]).is_none(),
+            "oversized Err len"
+        );
+        // Trailing garbage after a valid Err body is rejected too.
+        let mut err = encode_perf(&Err(MeasureError {
+            workload: "webmail",
+            reason: "x".to_owned(),
+        }));
+        err.push(0);
+        assert!(decode_perf(&err).is_none());
+    }
+
+    #[test]
+    fn seeded_resume_lane_answers_before_compute_even_with_memo_off() {
+        use wcs_simcore::journal::JournalRecord;
+        let memo = EvalMemo::disabled();
+        let wl = suite::workload(WorkloadId::Websearch);
+        let platform = catalog::platform(PlatformId::Emb1);
+        let demand = PlatformDemand::new(&wl, &platform);
+        let cfg = MeasureConfig::quick();
+        let key = MemoKey::new("eval-perf")
+            .push(&WorkloadId::Websearch)
+            .push(&demand)
+            .push(&cfg)
+            .finish();
+        let value: Result<PerfSample, MeasureError> = Ok(sample(42.0));
+        let payload = encode_perf(&value);
+        let records = vec![JournalRecord {
+            key,
+            digest: perf_digest(&payload),
+            payload: payload.clone(),
+        }];
+        assert_eq!(memo.seed_journal(&records), 1);
+        assert_eq!(memo.cells_replayed(), 1);
+        let got = memo.perf(WorkloadId::Websearch, &demand, &cfg, || {
+            panic!("resume lane must answer")
+        });
+        assert_eq!(got.unwrap().value, 42.0);
+        assert_eq!(memo.resume_hits(), 1);
+
+        // A record with a wrong digest is dropped, not served.
+        let bad = vec![JournalRecord {
+            key: key ^ 1,
+            digest: 0,
+            payload,
+        }];
+        assert_eq!(memo.seed_journal(&bad), 0);
     }
 
     #[test]

@@ -71,3 +71,64 @@ fn warm_cache_replays_identical_queue_series() {
         "a cache hit must contribute exactly the original queue counters"
     );
 }
+
+/// Runs a journaled evaluation then a resumed one, returning the resumed
+/// run's deterministic snapshot (which includes the exact `recovery.*`
+/// counters — cells replayed, resume hits, cells journaled).
+fn resumed_deterministic_snapshot(
+    threads: usize,
+    memo: bool,
+    tag: &str,
+) -> wcs_simcore::obs::Snapshot {
+    let path = std::env::temp_dir().join(format!(
+        "wcs-obsdet-{tag}-{}-{threads}-{memo}.wal",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    let first = Evaluator::builder()
+        .quick()
+        .threads(threads)
+        .expect("positive thread count")
+        .memo(memo)
+        .resume(&path)
+        .build()
+        .expect("fresh journal opens");
+    first.evaluate(&DesignPoint::n2()).expect("n2 evaluates");
+    drop(first);
+
+    let reg = Registry::new();
+    let resumed = Evaluator::builder()
+        .quick()
+        .threads(threads)
+        .expect("positive thread count")
+        .memo(memo)
+        .obs(reg.clone())
+        .resume(&path)
+        .build()
+        .expect("journal replays");
+    resumed.evaluate(&DesignPoint::n2()).expect("n2 evaluates");
+    resumed.export_obs();
+    let _ = std::fs::remove_file(&path);
+    reg.snapshot().deterministic()
+}
+
+#[test]
+fn recovery_counters_are_deterministic_across_threads_and_memo() {
+    let reference = resumed_deterministic_snapshot(1, true, "ref");
+    // The resumed run answered cells from the journal, and that count is
+    // part of the deterministic snapshot being compared below.
+    let replayed = reference
+        .count("recovery.cells_replayed")
+        .expect("snapshot carries the recovery series");
+    assert!(replayed > 0, "resume must replay journaled cells");
+    let reference = reference.to_json();
+    for threads in [2usize, 8] {
+        for memo in [true, false] {
+            let got = resumed_deterministic_snapshot(threads, memo, "cmp").to_json();
+            assert_eq!(
+                reference, got,
+                "recovery snapshot diverged at threads={threads} memo={memo}"
+            );
+        }
+    }
+}

@@ -50,6 +50,7 @@ pub mod dist;
 pub mod error;
 pub mod faults;
 pub mod intern;
+pub mod journal;
 pub mod memo;
 pub mod obs;
 pub mod pool;
@@ -57,6 +58,7 @@ pub mod slotcache;
 pub mod stats;
 pub mod table;
 pub mod timeseries;
+pub mod watchdog;
 
 pub use error::ConfigError;
 pub use event::EventQueue;

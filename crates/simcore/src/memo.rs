@@ -35,7 +35,15 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Lock a shard, recovering from poisoning. Shard state is a plain
+/// `HashMap` mutated only by single `insert`/`clear` calls, so a panic
+/// while the lock was held (e.g. a poisoned sweep cell under
+/// `catch_unwind`) cannot leave a half-written entry behind.
+fn lock_shard<V>(shard: &Mutex<HashMap<u128, V>>) -> MutexGuard<'_, HashMap<u128, V>> {
+    shard.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Number of independent shards; keys are spread by their low bits so
 /// concurrent sweep workers rarely contend on the same lock.
@@ -292,7 +300,7 @@ impl<V: Clone> MemoCache<V> {
     /// and the first insert wins.
     pub fn get_or_compute(&self, key: u128, compute: impl FnOnce() -> V) -> V {
         if self.enabled {
-            if let Some(v) = self.shard(key).lock().expect("memo shard").get(&key) {
+            if let Some(v) = lock_shard(self.shard(key)).get(&key) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return v.clone();
             }
@@ -300,9 +308,7 @@ impl<V: Clone> MemoCache<V> {
         self.misses.fetch_add(1, Ordering::Relaxed);
         let v = compute();
         if self.enabled {
-            self.shard(key)
-                .lock()
-                .expect("memo shard")
+            lock_shard(self.shard(key))
                 .entry(key)
                 .or_insert_with(|| v.clone());
         }
@@ -314,19 +320,32 @@ impl<V: Clone> MemoCache<V> {
         if !self.enabled {
             return None;
         }
-        self.shard(key)
-            .lock()
-            .expect("memo shard")
-            .get(&key)
-            .cloned()
+        lock_shard(self.shard(key)).get(&key).cloned()
+    }
+
+    /// Stores `value` under `key` unless an entry already exists
+    /// (first-insert-wins, matching the racing-compute semantics of
+    /// [`get_or_compute`](Self::get_or_compute)). Returns `true` when the
+    /// value was stored. No-op (returning `false`) on a disabled cache.
+    ///
+    /// This is the journal-replay seeding path: a resumed run pre-loads
+    /// cells recovered from the write-ahead journal before any compute
+    /// happens, so lookups on those keys hit without recomputing.
+    pub fn insert(&self, key: u128, value: V) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        let mut shard = lock_shard(self.shard(key));
+        if shard.contains_key(&key) {
+            return false;
+        }
+        shard.insert(key, value);
+        true
     }
 
     /// Number of cached entries.
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("memo shard").len())
-            .sum()
+        self.shards.iter().map(|s| lock_shard(s).len()).sum()
     }
 
     /// True when nothing is cached.
@@ -337,7 +356,7 @@ impl<V: Clone> MemoCache<V> {
     /// Drops every cached entry (counters are kept).
     pub fn clear(&self) {
         for s in &self.shards {
-            s.lock().expect("memo shard").clear();
+            lock_shard(s).clear();
         }
     }
 
@@ -437,6 +456,41 @@ mod tests {
         assert_eq!(cache.len(), 32);
         let s = cache.stats();
         assert_eq!(s.hits + s.misses, 1600);
+    }
+
+    #[test]
+    fn insert_is_first_insert_wins() {
+        let cache: MemoCache<u64> = MemoCache::new();
+        let key = MemoKey::new("seed").push_u64(1).finish();
+        assert!(cache.insert(key, 10));
+        assert!(!cache.insert(key, 20), "second insert loses");
+        assert_eq!(cache.get(key), Some(10));
+        // get_or_compute hits the seeded value without computing.
+        assert_eq!(cache.get_or_compute(key, || panic!("must hit")), 10);
+
+        let off: MemoCache<u64> = MemoCache::disabled();
+        assert!(!off.insert(key, 10));
+        assert_eq!(off.get(key), None);
+    }
+
+    #[test]
+    fn poisoned_shard_recovers() {
+        // Panic while holding a shard lock (via compute that panics inside
+        // get_or_compute's *unlocked* section cannot poison; poison the
+        // shard directly through a scoped thread instead).
+        let cache: MemoCache<u64> = MemoCache::new();
+        let key = MemoKey::new("p").push_u64(5).finish();
+        assert!(cache.insert(key, 7));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = lock_shard(cache.shard(key));
+            panic!("poison the shard");
+        }));
+        assert!(result.is_err());
+        // The cache still serves reads and writes after the poisoning.
+        assert_eq!(cache.get(key), Some(7));
+        let key2 = MemoKey::new("p").push_u64(6).finish();
+        assert_eq!(cache.get_or_compute(key2, || 11), 11);
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]

@@ -27,13 +27,87 @@
 //! assert_eq!(serial.par_map(&seeds, f), parallel.par_map(&seeds, f));
 //! ```
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use crate::error::ConfigError;
+use crate::watchdog::{CancelToken, Watchdog};
 
 /// A boxed one-shot job for [`ThreadPool::par_tasks`].
 pub type Task<'a, R> = Box<dyn FnOnce() -> R + Send + 'a>;
+
+/// A worker panic caught and isolated to its own cell by one of the
+/// `*_isolated` / `*_watched` pool entry points.
+///
+/// Panics in this workspace's tasks are pure functions of `(index, item)` —
+/// tasks share no mutable state — so whether a cell panics is deterministic
+/// and thread-count invariant, even though *when* it panics is not.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskPanic {
+    /// Input-order index of the cell that panicked.
+    pub index: usize,
+    /// Rendered panic payload (the `panic!` message when it was a string).
+    pub message: String,
+    /// True when this panic came from the retry attempt — i.e. the cell
+    /// failed twice and is being reported as permanently poisoned.
+    pub retried: bool,
+}
+
+impl fmt::Display for TaskPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let attempt = if self.retried {
+            "panicked twice"
+        } else {
+            "panicked"
+        };
+        write!(f, "task {} {attempt}: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for TaskPanic {}
+
+/// Recovery counters aggregated across one isolated pool call.
+///
+/// `panics_caught` counts every caught unwind (first attempts and retries);
+/// `retries` counts retry attempts made. Both are pure functions of the
+/// input cells, so they are deterministic across thread counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolRecovery {
+    /// Worker panics caught by `catch_unwind` (includes failed retries).
+    pub panics_caught: u64,
+    /// Retry attempts made after a first-attempt panic.
+    pub retries: u64,
+}
+
+impl PoolRecovery {
+    /// Combine counters from two calls.
+    pub fn merge(self, other: PoolRecovery) -> PoolRecovery {
+        PoolRecovery {
+            panics_caught: self.panics_caught + other.panics_caught,
+            retries: self.retries + other.retries,
+        }
+    }
+}
+
+/// Lock a mutex, recovering from poisoning: every slot mutation here is a
+/// single `*guard = Some(..)` store, so a panic while holding the lock
+/// cannot leave partially-written data behind.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Render a panic payload into a human-readable message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// A scoped-thread work pool executing independent tasks with
 /// order-preserving results.
@@ -110,7 +184,7 @@ impl ThreadPool {
                         break;
                     }
                     let r = f(i, &items[i]);
-                    *slots[i].lock().expect("result slot poisoned") = Some(r);
+                    *lock_recover(&slots[i]) = Some(r);
                 });
             }
         });
@@ -118,7 +192,7 @@ impl ThreadPool {
             .into_iter()
             .map(|m| {
                 m.into_inner()
-                    .expect("result slot poisoned")
+                    .unwrap_or_else(PoisonError::into_inner)
                     .expect("worker filled every slot")
             })
             .collect()
@@ -150,13 +224,9 @@ impl ThreadPool {
                     if i >= n {
                         break;
                     }
-                    let task = jobs[i]
-                        .lock()
-                        .expect("job slot poisoned")
-                        .take()
-                        .expect("each job taken once");
+                    let task = lock_recover(&jobs[i]).take().expect("each job taken once");
                     let r = task();
-                    *slots[i].lock().expect("result slot poisoned") = Some(r);
+                    *lock_recover(&slots[i]) = Some(r);
                 });
             }
         });
@@ -164,10 +234,177 @@ impl ThreadPool {
             .into_iter()
             .map(|m| {
                 m.into_inner()
-                    .expect("result slot poisoned")
+                    .unwrap_or_else(PoisonError::into_inner)
                     .expect("worker filled every slot")
             })
             .collect()
+    }
+
+    /// Like [`par_map`](Self::par_map) but each cell runs under
+    /// `catch_unwind`: a panicking cell becomes `Err(TaskPanic)` in its own
+    /// slot while every other cell completes normally. A cell that panics
+    /// on the first attempt is retried exactly once (tasks are pure, so a
+    /// second failure means the cell is deterministically poisoned).
+    pub fn par_map_isolated<T, R, F>(
+        &self,
+        items: &[T],
+        f: F,
+    ) -> (Vec<Result<R, TaskPanic>>, PoolRecovery)
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        self.par_map_watched(items, None, |i, item, _token| f(i, item))
+    }
+
+    /// [`par_map_isolated`](Self::par_map_isolated) with an optional
+    /// deadline [`Watchdog`]: each attempt of each cell is registered with
+    /// the watchdog and handed a [`CancelToken`] that the monitor thread
+    /// sets once the cell overruns its budget. Cancellation is cooperative
+    /// — `f` polls the token at convenient boundaries and returns a
+    /// degraded result; the pool never kills a thread.
+    ///
+    /// With `watchdog: None` every cell receives a never-firing token, so
+    /// results stay pure functions of `(index, item)` and bit-identical
+    /// across thread counts.
+    pub fn par_map_watched<T, R, F>(
+        &self,
+        items: &[T],
+        watchdog: Option<&Watchdog>,
+        f: F,
+    ) -> (Vec<Result<R, TaskPanic>>, PoolRecovery)
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T, &CancelToken) -> R + Sync,
+    {
+        let panics = AtomicU64::new(0);
+        let retries = AtomicU64::new(0);
+        let run_cell = |i: usize| -> Result<R, TaskPanic> {
+            let attempt = |retried: bool| -> Result<R, TaskPanic> {
+                let guard = watchdog.map(|w| w.watch());
+                let token = guard
+                    .as_ref()
+                    .map(|g| g.token().clone())
+                    .unwrap_or_default();
+                match catch_unwind(AssertUnwindSafe(|| f(i, &items[i], &token))) {
+                    Ok(r) => Ok(r),
+                    Err(payload) => {
+                        panics.fetch_add(1, Ordering::Relaxed);
+                        Err(TaskPanic {
+                            index: i,
+                            message: panic_message(payload.as_ref()),
+                            retried,
+                        })
+                    }
+                }
+            };
+            match attempt(false) {
+                Ok(r) => Ok(r),
+                Err(_first) => {
+                    retries.fetch_add(1, Ordering::Relaxed);
+                    attempt(true)
+                }
+            }
+        };
+        let workers = self.threads.min(items.len());
+        let results: Vec<Result<R, TaskPanic>> = if workers <= 1 {
+            (0..items.len()).map(run_cell).collect()
+        } else {
+            let next = AtomicUsize::new(0);
+            let slots: Vec<Mutex<Option<Result<R, TaskPanic>>>> =
+                items.iter().map(|_| Mutex::new(None)).collect();
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        *lock_recover(&slots[i]) = Some(run_cell(i));
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|m| {
+                    m.into_inner()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .expect("worker filled every slot")
+                })
+                .collect()
+        };
+        let recovery = PoolRecovery {
+            panics_caught: panics.load(Ordering::Relaxed),
+            retries: retries.load(Ordering::Relaxed),
+        };
+        (results, recovery)
+    }
+
+    /// Like [`par_tasks`](Self::par_tasks) but each job runs under
+    /// `catch_unwind`: a panicking job becomes `Err(TaskPanic)` in its own
+    /// slot instead of aborting the fan-out. One-shot jobs are consumed by
+    /// their attempt, so there is no retry here — retry-once applies to the
+    /// re-runnable closures of [`par_map_isolated`](Self::par_map_isolated).
+    pub fn par_tasks_isolated<'a, R: Send>(
+        &self,
+        tasks: Vec<Task<'a, R>>,
+    ) -> (Vec<Result<R, TaskPanic>>, PoolRecovery) {
+        let panics = AtomicU64::new(0);
+        let run_task = |i: usize, task: Task<'a, R>| -> Result<R, TaskPanic> {
+            match catch_unwind(AssertUnwindSafe(task)) {
+                Ok(r) => Ok(r),
+                Err(payload) => {
+                    panics.fetch_add(1, Ordering::Relaxed);
+                    Err(TaskPanic {
+                        index: i,
+                        message: panic_message(payload.as_ref()),
+                        retried: false,
+                    })
+                }
+            }
+        };
+        let workers = self.threads.min(tasks.len());
+        let results: Vec<Result<R, TaskPanic>> = if workers <= 1 {
+            tasks
+                .into_iter()
+                .enumerate()
+                .map(|(i, t)| run_task(i, t))
+                .collect()
+        } else {
+            let n = tasks.len();
+            let next = AtomicUsize::new(0);
+            let jobs: Vec<Mutex<Option<Task<'a, R>>>> =
+                tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+            let slots: Vec<Mutex<Option<Result<R, TaskPanic>>>> =
+                (0..n).map(|_| Mutex::new(None)).collect();
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let task = lock_recover(&jobs[i]).take().expect("each job taken once");
+                        *lock_recover(&slots[i]) = Some(run_task(i, task));
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|m| {
+                    m.into_inner()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .expect("worker filled every slot")
+                })
+                .collect()
+        };
+        let recovery = PoolRecovery {
+            panics_caught: panics.load(Ordering::Relaxed),
+            retries: 0,
+        };
+        (results, recovery)
     }
 
     /// Maps a fallible `f` over `items`, returning either every result in
@@ -271,6 +508,134 @@ mod tests {
             Err(ConfigError::ZeroCount { param: "threads" })
         ));
         assert!(ThreadPool::available().threads() >= 1);
+    }
+
+    #[test]
+    fn panicking_cell_is_isolated_and_others_complete() {
+        let items: Vec<u64> = (0..64).collect();
+        for threads in [1, 2, 8] {
+            let pool = ThreadPool::new(threads).unwrap();
+            let (out, recovery) = pool.par_map_isolated(&items, |_, &x| {
+                if x % 13 == 5 {
+                    panic!("poisoned cell {x}");
+                }
+                x * 3
+            });
+            assert_eq!(out.len(), items.len());
+            for (i, r) in out.iter().enumerate() {
+                if items[i] % 13 == 5 {
+                    let e = r.as_ref().unwrap_err();
+                    assert_eq!(e.index, i);
+                    assert!(e.retried, "second attempt also panics");
+                    assert!(e.message.contains("poisoned cell"));
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), items[i] * 3, "threads={threads}");
+                }
+            }
+            // 5 poisoned cells (5, 18, 31, 44, 57): each panics twice.
+            assert_eq!(recovery.retries, 5, "threads={threads}");
+            assert_eq!(recovery.panics_caught, 10, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn retry_once_recovers_flaky_cell() {
+        use std::sync::atomic::AtomicU64;
+        // A cell that panics on its first attempt only; the retry succeeds.
+        let attempts = AtomicU64::new(0);
+        let items = [7u64];
+        let pool = ThreadPool::serial();
+        let (out, recovery) = pool.par_map_isolated(&items, |_, &x| {
+            if attempts.fetch_add(1, Ordering::Relaxed) == 0 {
+                panic!("transient failure");
+            }
+            x + 1
+        });
+        assert_eq!(out[0].as_ref().unwrap(), &8);
+        assert_eq!(
+            recovery,
+            PoolRecovery {
+                panics_caught: 1,
+                retries: 1
+            }
+        );
+    }
+
+    #[test]
+    fn par_tasks_isolated_catches_without_retry() {
+        let pool = ThreadPool::new(4).unwrap();
+        let tasks: Vec<Task<'_, u64>> = (0..12u64)
+            .map(|i| {
+                Box::new(move || {
+                    if i == 3 {
+                        panic!("job {i} exploded");
+                    }
+                    i * i
+                }) as Task<'_, u64>
+            })
+            .collect();
+        let (out, recovery) = pool.par_tasks_isolated(tasks);
+        assert_eq!(
+            recovery,
+            PoolRecovery {
+                panics_caught: 1,
+                retries: 0
+            }
+        );
+        for (i, r) in out.iter().enumerate() {
+            if i == 3 {
+                let e = r.as_ref().unwrap_err();
+                assert!(!e.retried);
+                assert!(e.message.contains("job 3 exploded"));
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), (i * i) as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_results_are_thread_count_invariant() {
+        let items: Vec<u64> = (0..40).collect();
+        let f = |i: usize, &s: &u64| {
+            if s % 11 == 7 {
+                panic!("cell {i} poisoned");
+            }
+            SimRng::stream(s, i as u64).next_u64()
+        };
+        let (reference, ref_rec) = ThreadPool::serial().par_map_isolated(&items, f);
+        for threads in [2, 8] {
+            let (got, rec) = ThreadPool::new(threads)
+                .unwrap()
+                .par_map_isolated(&items, f);
+            assert_eq!(reference, got, "threads={threads}");
+            assert_eq!(ref_rec, rec, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn watched_token_cancels_cooperatively() {
+        use crate::watchdog::Watchdog;
+        use std::time::Duration;
+        let wd = Watchdog::new(Duration::from_millis(5));
+        let pool = ThreadPool::new(2).unwrap();
+        let items = [0u64, 1];
+        let (out, _) = pool.par_map_watched(&items, Some(&wd), |_, &x, token| {
+            if x == 0 {
+                return "fast";
+            }
+            // Slow cell: loop until the watchdog cancels us.
+            let start = std::time::Instant::now();
+            while !token.is_cancelled() {
+                if start.elapsed() > Duration::from_secs(10) {
+                    return "watchdog never fired";
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            "degraded"
+        });
+        assert_eq!(out[0].as_ref().unwrap(), &"fast");
+        assert_eq!(out[1].as_ref().unwrap(), &"degraded");
+        assert!(wd.deadline_cancels() >= 1);
     }
 
     #[test]

@@ -1,0 +1,232 @@
+//! Cooperative task deadlines: a monitor thread plus shared cancel flags.
+//!
+//! A hung or pathologically slow sweep cell must not stall the whole
+//! ensemble run. The [`Watchdog`] owns a background monitor thread; each
+//! task registers with [`Watchdog::watch`] and receives a [`CancelToken`].
+//! When a task's wall-clock runtime exceeds the configured budget the
+//! monitor sets the token. Cancellation is *cooperative*: compute kernels
+//! poll [`CancelToken::is_cancelled`] at cell boundaries and bail out with a
+//! degraded-cell error instead of being killed mid-write — so a deadline
+//! never corrupts shared state, it only marks the cell as degraded.
+//!
+//! Deadlines are wall-clock and therefore not deterministic; runs that rely
+//! on bit-identical output use generous budgets (or none) so the watchdog
+//! only fires on genuinely stuck cells. The [`deadline_cancels`]
+//! counter is exported under the wall metric class for exactly this reason.
+//!
+//! [`deadline_cancels`]: Watchdog::deadline_cancels
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Shared cancellation flag handed to a task by the watchdog (or created
+/// standalone with [`CancelToken::never`] when no deadline applies).
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A token that is never set by any watchdog; polling it is a single
+    /// relaxed load, so uncancellable paths pay essentially nothing.
+    pub fn never() -> Self {
+        Self::default()
+    }
+
+    /// True once the budget was exceeded (or [`cancel`](Self::cancel) ran).
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+
+    /// Set the flag directly (used by the watchdog and by tests).
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+}
+
+/// One registered task: start time plus its cancel token.
+#[derive(Debug)]
+struct WatchEntry {
+    id: u64,
+    started: Instant,
+    token: CancelToken,
+}
+
+#[derive(Debug)]
+struct Shared {
+    budget: Duration,
+    stop: AtomicBool,
+    next_id: AtomicU64,
+    cancels: AtomicU64,
+    active: Mutex<Vec<WatchEntry>>,
+}
+
+/// Recover a possibly poisoned mutex: a panic while holding the lock leaves
+/// the entry list intact (all mutations are single push/retain calls), so
+/// the data is safe to keep using.
+fn lock_active(shared: &Shared) -> std::sync::MutexGuard<'_, Vec<WatchEntry>> {
+    shared.active.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Deadline monitor for a pool of cooperative tasks.
+///
+/// Dropping the watchdog stops and joins the monitor thread. Tokens already
+/// handed out keep working (they are plain shared flags); they just stop
+/// being cancelled by deadline.
+#[derive(Debug)]
+pub struct Watchdog {
+    shared: Arc<Shared>,
+    monitor: Option<thread::JoinHandle<()>>,
+}
+
+impl Watchdog {
+    /// Create a watchdog whose tasks may run for `budget` wall-clock time.
+    /// The monitor polls at `budget / 4`, clamped to [1ms, 250ms], so
+    /// cancellation lands within ~25% of the budget.
+    pub fn new(budget: Duration) -> Self {
+        let poll = (budget / 4).clamp(Duration::from_millis(1), Duration::from_millis(250));
+        let shared = Arc::new(Shared {
+            budget,
+            stop: AtomicBool::new(false),
+            next_id: AtomicU64::new(0),
+            cancels: AtomicU64::new(0),
+            active: Mutex::new(Vec::new()),
+        });
+        let mon = Arc::clone(&shared);
+        let monitor = thread::Builder::new()
+            .name("wcs-watchdog".into())
+            .spawn(move || {
+                while !mon.stop.load(Ordering::Relaxed) {
+                    thread::sleep(poll);
+                    let now = Instant::now();
+                    let active = lock_active(&mon);
+                    for entry in active.iter() {
+                        if now.duration_since(entry.started) > mon.budget
+                            && !entry.token.is_cancelled()
+                        {
+                            entry.token.cancel();
+                            mon.cancels.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            })
+            .expect("spawn watchdog monitor thread");
+        Watchdog {
+            shared,
+            monitor: Some(monitor),
+        }
+    }
+
+    /// Configured per-task budget.
+    pub fn budget(&self) -> Duration {
+        self.shared.budget
+    }
+
+    /// Register the calling task; hold the guard for the task's duration and
+    /// poll [`WatchGuard::token`] at convenient boundaries.
+    pub fn watch(&self) -> WatchGuard {
+        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        let token = CancelToken::default();
+        lock_active(&self.shared).push(WatchEntry {
+            id,
+            started: Instant::now(),
+            token: token.clone(),
+        });
+        WatchGuard {
+            shared: Arc::clone(&self.shared),
+            id,
+            token,
+        }
+    }
+
+    /// Total tasks cancelled for exceeding the budget since creation.
+    pub fn deadline_cancels(&self) -> u64 {
+        self.shared.cancels.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.monitor.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Registration handle for one watched task; deregisters on drop.
+#[derive(Debug)]
+pub struct WatchGuard {
+    shared: Arc<Shared>,
+    id: u64,
+    token: CancelToken,
+}
+
+impl WatchGuard {
+    /// The cancel token the monitor will set if this task overruns.
+    pub fn token(&self) -> &CancelToken {
+        &self.token
+    }
+}
+
+impl Drop for WatchGuard {
+    fn drop(&mut self) {
+        lock_active(&self.shared).retain(|e| e.id != self.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_token_is_never_cancelled() {
+        let t = CancelToken::never();
+        assert!(!t.is_cancelled());
+        t.cancel();
+        assert!(t.is_cancelled()); // manual cancel still works
+    }
+
+    #[test]
+    fn overrunning_task_is_cancelled() {
+        let wd = Watchdog::new(Duration::from_millis(5));
+        let guard = wd.watch();
+        let started = Instant::now();
+        while !guard.token().is_cancelled() {
+            assert!(
+                started.elapsed() < Duration::from_secs(10),
+                "watchdog never fired"
+            );
+            thread::sleep(Duration::from_millis(1));
+        }
+        assert!(wd.deadline_cancels() >= 1);
+    }
+
+    #[test]
+    fn fast_task_is_not_cancelled() {
+        let wd = Watchdog::new(Duration::from_secs(3600));
+        {
+            let guard = wd.watch();
+            assert!(!guard.token().is_cancelled());
+        }
+        // Give the monitor a couple of polls; nothing should fire.
+        thread::sleep(Duration::from_millis(5));
+        assert_eq!(wd.deadline_cancels(), 0);
+    }
+
+    #[test]
+    fn guard_drop_deregisters() {
+        let wd = Watchdog::new(Duration::from_millis(1));
+        let g1 = wd.watch();
+        drop(g1);
+        // A deregistered task can no longer be cancelled by deadline.
+        thread::sleep(Duration::from_millis(10));
+        // cancels may only come from still-registered tasks; none exist.
+        let before = wd.deadline_cancels();
+        thread::sleep(Duration::from_millis(5));
+        assert_eq!(wd.deadline_cancels(), before);
+    }
+}

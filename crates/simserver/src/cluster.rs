@@ -224,10 +224,29 @@ impl Cluster {
         let mut rr_next = 0usize;
 
         // Pre-schedule the whole outage plan; zero windows => zero events.
+        // A window that cannot be scheduled (its instant precedes the
+        // clock — impossible for generated plans, reachable through a
+        // hand-built one) degrades the run: the window is skipped and
+        // counted in `FaultStats::plan_skipped` instead of panicking the
+        // whole sweep cell. Skipping both edges together keeps the
+        // up/down bookkeeping balanced.
+        let mut plan_skipped_n = 0u64;
         for server in 0..s {
             for w in faults.windows_for(server) {
-                events.schedule(w.down_at, CEv::Down { server });
-                events.schedule(w.up_at, CEv::Up { server });
+                if events
+                    .try_schedule(w.down_at, CEv::Down { server })
+                    .is_err()
+                {
+                    plan_skipped_n += 1;
+                    continue;
+                }
+                if events.try_schedule(w.up_at, CEv::Up { server }).is_err() {
+                    // Down landed but Up cannot: bring the server back at
+                    // the earliest schedulable instant rather than losing
+                    // it for the rest of the run.
+                    plan_skipped_n += 1;
+                    events.schedule(events.now(), CEv::Up { server });
+                }
             }
         }
 
@@ -539,6 +558,7 @@ impl Cluster {
                 retries: retries_n,
                 dropped: dropped_n,
                 offered: completed_measured + dropped_n,
+                plan_skipped: plan_skipped_n,
             },
             queue: events.obs_stats(),
         })

@@ -86,6 +86,9 @@ impl RunStats {
         registry.counter("faults.retries").add(self.faults.retries);
         registry.counter("faults.dropped").add(self.faults.dropped);
         registry.counter("faults.offered").add(self.faults.offered);
+        registry
+            .counter("recovery.plan_skipped")
+            .add(self.faults.plan_skipped);
     }
 
     /// Sustained throughput over the measurement window, requests/second.

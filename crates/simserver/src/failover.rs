@@ -97,6 +97,10 @@ pub struct FaultStats {
     /// Logical requests resolved either way: successes plus drops. The
     /// offered/goodput split of the run.
     pub offered: u64,
+    /// Outage-plan events that could not be scheduled (a window opening
+    /// in the simulated past). The run degrades — the unschedulable
+    /// window is skipped and counted — instead of panicking.
+    pub plan_skipped: u64,
 }
 
 /// A deterministic outage schedule for every server in a cluster.

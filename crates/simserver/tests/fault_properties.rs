@@ -135,6 +135,16 @@ fn faulted_runs_are_reproducible_per_seed() {
             a.faults.retries + a.faults.dropped + a.faults.timeouts > 0,
             "seed {seed} produced a fault-free run"
         );
+        // Generated plans never open a window in the simulated past, so
+        // the degrade path stays dormant — and is still exported.
+        assert_eq!(a.faults.plan_skipped, 0, "seed {seed}");
+        let registry = wcs_simcore::obs::Registry::new();
+        a.export_obs(&registry);
+        assert_eq!(
+            registry.snapshot().count("recovery.plan_skipped"),
+            Some(0),
+            "recovery.plan_skipped missing from obs export"
+        );
     }
 }
 
