@@ -8,7 +8,7 @@
 //!
 //! Run with `cargo run --release -p wcs-bench --bin ablation`.
 
-use wcs_bench::cli::BenchArgs;
+use wcs_bench::cli::{run_or_exit, BenchArgs};
 use wcs_core::designs::{CoolingConfig, DesignPoint};
 use wcs_flashcache::memo::StorageMemo;
 use wcs_memshare::policy::PolicyKind;
@@ -38,9 +38,10 @@ fn main() {
 fn future_projection(args: &BenchArgs) {
     println!("\nAblation: technology projection (emb1-class platform vs srvr1, Perf/TCO-$)");
     let eval = args.build_evaluator(|b| b.quick());
-    let base = eval
-        .evaluate(&DesignPoint::baseline_srvr1())
-        .expect("baseline");
+    let base = run_or_exit(
+        "srvr1 baseline",
+        eval.evaluate(&DesignPoint::baseline_srvr1()),
+    );
     for years in [0.0, 2.0, 4.0] {
         let platform =
             TechTrend::vintage_2008().project_platform(&catalog::platform(PlatformId::Emb1), years);
@@ -175,9 +176,10 @@ fn flash_capacity_sweep(args: &BenchArgs) {
 fn n2_technique_ablation(args: &BenchArgs) {
     println!("\nAblation: N2 technique contributions (HMean Perf/TCO-$ vs srvr1)");
     let eval = args.build_evaluator(|b| b.quick());
-    let base = eval
-        .evaluate(&DesignPoint::baseline_srvr1())
-        .expect("baseline");
+    let base = run_or_exit(
+        "srvr1 baseline",
+        eval.evaluate(&DesignPoint::baseline_srvr1()),
+    );
 
     let mut variants: Vec<(&str, DesignPoint)> = Vec::new();
     variants.push(("N2 (full)", DesignPoint::n2()));

@@ -19,9 +19,15 @@
 //! 3. **Deadline degradation** — a cell that never finishes on its own
 //!    must be cancelled cooperatively by the watchdog and reported as
 //!    degraded while its neighbours complete.
+//! 4. **Service chaos** — the multi-process sweep service runs its plan
+//!    across 4 worker processes while the supervisor SIGKILLs a live
+//!    worker at 25% and 60% completion; the merged canonical journal and
+//!    the rendered results must be byte-identical to an uninterrupted
+//!    single-process `--threads 1` run of the same plan and seed.
 //!
-//! Writes `BENCH_results.json` with `"resume_diverged": false` (CI greps
-//! for exactly that) plus the recovery counters. Run with
+//! Writes `BENCH_results.json` with `"resume_diverged": false` and
+//! `"merge_diverged": false` (CI greps for exactly those) plus the
+//! recovery counters. Run with
 //! `cargo run --release -p wcs-bench --bin chaos [--threads N] [--no-memo]`.
 
 use std::fmt::Write as _;
@@ -31,6 +37,7 @@ use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 use wcs_bench::cli;
+use wcs_bench::service::{run_serial_reference, run_supervisor, ServiceOptions};
 use wcs_core::evaluate::CellOutcome;
 use wcs_core::{DesignPoint, Evaluator};
 use wcs_platforms::PlatformId;
@@ -304,7 +311,73 @@ fn deadline_wave(args: &cli::BenchArgs) -> u64 {
     cancels
 }
 
+struct ServiceOutcome {
+    cells: usize,
+    spawns: u64,
+    kills: u64,
+    stolen: u64,
+    retries: u64,
+    merge_conflicts: u64,
+}
+
+/// Wave 4: the multi-process service under SIGKILLs at fixed plan
+/// fractions must still produce a canonical journal byte-identical to
+/// the single-process reference.
+fn service_wave(seed: u64) -> ServiceOutcome {
+    let dir = std::env::temp_dir().join(format!("wcs-chaos-service-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut opts = ServiceOptions::new(4);
+    opts.seed = seed;
+    opts.out = dir.join("canonical.journal");
+    opts.dir = dir.clone();
+    opts.kill_at = vec![0.25, 0.60];
+    let report = run_supervisor(&opts).expect("service completes under chaos kills");
+
+    let reference_journal = dir.join("reference.journal");
+    let reference_render = run_serial_reference(opts.plan_cells, seed, &reference_journal)
+        .expect("serial reference evaluates");
+    let canonical = std::fs::read(&report.canonical_journal).expect("canonical journal readable");
+    let reference = std::fs::read(&reference_journal).expect("reference journal readable");
+    assert_eq!(
+        report.render, reference_render,
+        "service render diverged from the single-process reference"
+    );
+    assert_eq!(
+        canonical, reference,
+        "merged canonical journal is not byte-identical to the single-process journal"
+    );
+
+    use std::sync::atomic::Ordering;
+    let p = &report.progress;
+    let out = ServiceOutcome {
+        cells: report.cells,
+        spawns: p.worker_spawns.load(Ordering::Relaxed),
+        kills: p.worker_kills_observed.load(Ordering::Relaxed),
+        stolen: p.worker_cells_stolen.load(Ordering::Relaxed),
+        retries: p.worker_retries.load(Ordering::Relaxed),
+        merge_conflicts: p.worker_merge_conflicts.load(Ordering::Relaxed),
+    };
+    assert!(
+        out.kills >= 2,
+        "both chaos kill points must have claimed a worker (got {})",
+        out.kills
+    );
+    assert!(
+        out.stolen >= 1,
+        "kills must have orphaned at least one cell"
+    );
+    assert_eq!(out.merge_conflicts, 0, "pure cells can never conflict");
+    println!("\nchaos wave 4: service chaos (4 workers, kills at 25%/60%)");
+    println!(
+        "  {} cells byte-identical after {} kills; {} spawns, {} cells stolen, {} retries",
+        out.cells, out.kills, out.spawns, out.stolen, out.retries
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    out
+}
+
 fn main() {
+    wcs_bench::service::maybe_run_worker();
     let args = cli::parse();
     let seed = args.seed.unwrap_or(42);
     let designs = cell_family();
@@ -334,12 +407,26 @@ fn main() {
 
     let panics = panic_wave(&args, seed);
     let deadline_cancels = deadline_wave(&args);
+    let service = service_wave(seed);
 
     // Fold the proof into BENCH_results.json for CI.
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"seed\": {seed},");
     let _ = writeln!(json, "  \"cells\": {},", designs.len());
     let _ = writeln!(json, "  \"resume_diverged\": false,");
+    let _ = writeln!(json, "  \"merge_diverged\": false,");
+    let _ = writeln!(json, "  \"service\": {{");
+    let _ = writeln!(json, "    \"cells\": {},", service.cells);
+    let _ = writeln!(json, "    \"worker_spawns\": {},", service.spawns);
+    let _ = writeln!(json, "    \"worker_kills_observed\": {},", service.kills);
+    let _ = writeln!(json, "    \"worker_cells_stolen\": {},", service.stolen);
+    let _ = writeln!(json, "    \"worker_retries\": {},", service.retries);
+    let _ = writeln!(
+        json,
+        "    \"worker_merge_conflicts\": {}",
+        service.merge_conflicts
+    );
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"recovery\": {{");
     let _ = writeln!(json, "    \"kill_resume_configs\": {},", resume.configs);
     let _ = writeln!(json, "    \"cells_replayed\": {},", resume.replayed);
@@ -357,5 +444,8 @@ fn main() {
 
     clean_eval.export_obs();
     args.write_metrics();
-    println!("\nchaos: all waves passed — wrote BENCH_results.json (resume_diverged: false)");
+    println!(
+        "\nchaos: all waves passed — wrote BENCH_results.json \
+         (resume_diverged: false, merge_diverged: false)"
+    );
 }

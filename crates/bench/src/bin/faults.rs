@@ -24,7 +24,7 @@
 //! printed after both waves in a fixed order, so it is byte-identical
 //! at every `--threads` value.
 
-use wcs_bench::cli;
+use wcs_bench::cli::{self, run_or_exit};
 use wcs_cooling::faults::{expected_perf_under_fan_faults, throttle_obs, FanWall};
 use wcs_cooling::EnclosureDesign;
 use wcs_core::designs::DesignPoint;
@@ -138,7 +138,10 @@ fn main() {
     ] {
         let eval = &eval;
         tasks.push(Box::new(move || {
-            Piece::Eval(Box::new(eval.evaluate(&d).expect("design evaluates")))
+            Piece::Eval(Box::new(run_or_exit(
+                "design evaluation",
+                eval.evaluate(&d),
+            )))
         }));
     }
 

@@ -6,13 +6,16 @@
 //!
 //! All studies run with pinned seeds, so the *numbers* they produce are
 //! identical run to run and across `--threads` values; only the wall
-//! times vary. Run with
+//! times vary. The smoke also scales the multi-process sweep service
+//! across worker counts (1, 2, 4 processes, no chaos) and folds the
+//! wall times into the `service` section. Run with
 //! `cargo run --release -p wcs-bench --bin perfsmoke [--threads N]`.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use wcs_bench::cli;
+use wcs_bench::cli::{self, run_or_exit};
+use wcs_bench::service::{run_supervisor, ServiceOptions};
 use wcs_core::evaluate::Evaluator;
 use wcs_core::experiments::{cpu_study, memory_study_with, run_disk_study_with, unified_study};
 use wcs_core::sweeps::{sweep_flash_capacity, sweep_local_fraction, sweep_platforms};
@@ -97,7 +100,30 @@ fn event_queue_rate() -> (u64, f64) {
     (2 * EVENTS, 2.0 * EVENTS as f64 / (wall_ms / 1e3))
 }
 
+/// Scale the sweep service across worker-process counts (no chaos) and
+/// report (workers, wall_ms, cells) per point.
+fn service_scaling(seed: u64) -> Vec<(usize, f64, usize)> {
+    let mut points = Vec::new();
+    for workers in [1usize, 2, 4] {
+        let dir = std::env::temp_dir().join(format!(
+            "wcs-perfsmoke-service-{}-w{workers}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut opts = ServiceOptions::new(workers);
+        opts.seed = seed;
+        opts.out = dir.join("canonical.journal");
+        opts.dir = dir.clone();
+        let (report, wall_ms) =
+            timed(|| run_or_exit("sweep service scaling run", run_supervisor(&opts)));
+        points.push((workers, wall_ms, report.cells));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    points
+}
+
 fn main() {
+    wcs_bench::service::maybe_run_worker();
     let args = cli::parse();
     let pool = args.pool;
     let eval = args.build_evaluator(|b| b.quick());
@@ -193,6 +219,18 @@ fn main() {
     memo_eval.export_obs();
     cli::ensure_standard_series(&metrics_reg);
     let snap = metrics_reg.snapshot();
+    // The same-instant fast path must actually fire in real studies: the
+    // batch engines schedule identical-service tasks at tied timestamps,
+    // and the epoch buffer has to catch them (a zero here is the
+    // regression the fast-path fix addressed).
+    let fast_path = snap.count("queue.fast_path").unwrap_or(0);
+    assert!(
+        fast_path > 0,
+        "queue.fast_path stayed zero across the sweep bundle — the \
+         same-instant fast path never fired"
+    );
+
+    let service_points = service_scaling(args.seed.unwrap_or(42));
 
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"threads\": {},", pool.threads());
@@ -227,18 +265,37 @@ fn main() {
         let _ = writeln!(json, "    \"{name}\": {value}{comma}");
     }
     json.push_str("  },\n");
+    json.push_str("  \"service\": [\n");
+    for (i, (workers, wall_ms, cells)) in service_points.iter().enumerate() {
+        let comma = if i + 1 < service_points.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            json,
+            "    {{\"workers\": {workers}, \"wall_ms\": {wall_ms:.3}, \"cells\": {cells}}}{comma}"
+        );
+    }
+    json.push_str("  ],\n");
     let _ = writeln!(
         json,
         "  \"event_queue\": {{\"events\": {events}, \"events_per_sec\": {events_per_sec:.0}}}"
     );
     json.push_str("}\n");
-    std::fs::write("BENCH_results.json", &json).expect("BENCH_results.json is writable");
+    run_or_exit(
+        "write BENCH_results.json",
+        std::fs::write("BENCH_results.json", &json),
+    );
 
     println!("perfsmoke ({} threads):", pool.threads());
     for (name, wall_ms) in &studies {
         println!("  {name:<22} {wall_ms:>10.1} ms");
     }
     println!("  event queue: {events_per_sec:.2e} events/sec");
+    for (workers, wall_ms, cells) in &service_points {
+        println!("  service {cells} cells, {workers} worker(s): {wall_ms:>10.1} ms");
+    }
     println!(
         "  obs overhead: disabled {obs_off_ms:.1} ms, enabled {obs_on_ms:.1} ms \
          ({obs_overhead_pct:+.2}%)"

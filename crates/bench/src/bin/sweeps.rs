@@ -3,6 +3,7 @@
 //!
 //! Run with `cargo run --release -p wcs-bench --bin sweeps`.
 
+use wcs_bench::cli::run_or_exit;
 use wcs_core::sweeps::{sweep_flash_capacity, sweep_local_fraction, sweep_platforms};
 
 fn main() {
@@ -10,7 +11,10 @@ fn main() {
     let eval = args.build_evaluator(|b| b.quick());
 
     println!("Sweep: N2 local-memory fraction (HMean Perf/TCO-$ vs srvr1)");
-    let sweep = sweep_local_fraction(&eval, &[0.5, 0.25, 0.125, 0.0625]).expect("evaluates");
+    let sweep = run_or_exit(
+        "local-memory fraction sweep",
+        sweep_local_fraction(&eval, &[0.5, 0.25, 0.125, 0.0625]),
+    );
     for (f, tco) in sweep.tco_curve() {
         println!("  local {:>5.1}%  ->  {:>4.0}%", f * 100.0, tco * 100.0);
     }
@@ -19,13 +23,16 @@ fn main() {
     }
 
     println!("\nSweep: N2 flash capacity (HMean Perf/TCO-$ vs srvr1)");
-    let sweep = sweep_flash_capacity(&eval, &[0.25, 0.5, 1.0, 2.0, 4.0]).expect("evaluates");
+    let sweep = run_or_exit(
+        "flash capacity sweep",
+        sweep_flash_capacity(&eval, &[0.25, 0.5, 1.0, 2.0, 4.0]),
+    );
     for (gb, tco) in sweep.tco_curve() {
         println!("  {gb:>5} GB  ->  {:>4.0}%", tco * 100.0);
     }
 
     println!("\nSweep: baseline platforms (HMean Perf/TCO-$ vs srvr1)");
-    let sweep = sweep_platforms(&eval).expect("evaluates");
+    let sweep = run_or_exit("platform sweep", sweep_platforms(&eval));
     for p in &sweep.points {
         let tco = p.eval.compare(&sweep.baseline).hmean(|r| r.perf_per_tco);
         println!("  {:<7} ->  {:>4.0}%", p.label, tco * 100.0);

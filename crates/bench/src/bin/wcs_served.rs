@@ -1,0 +1,203 @@
+//! `wcs-served` — the crash-tolerant multi-process sweep service.
+//!
+//! Shards the service plan across worker processes (lease-based work
+//! stealing over per-worker journals), survives worker deaths and
+//! stalls, and merges the surviving journals into one canonical journal
+//! byte-identical to an uninterrupted single-process `--threads 1` run.
+//! See `wcs_bench::service` for the protocol and
+//! `DESIGN.md` §10 for the architecture.
+//!
+//! Flags (on top of the shared cluster from `wcs_bench::cli`):
+//!
+//! * `--workers N` — worker process count (default 4),
+//! * `--plan-cells N` — truncate the plan to its first `N` cells,
+//! * `--out PATH` — canonical journal destination (default under a
+//!   temp scratch directory),
+//! * `--dir PATH` — scratch directory for per-worker journals,
+//! * `--status-port P` — serve `/status` and `/metrics` on
+//!   `127.0.0.1:P` (0 picks an ephemeral port),
+//! * `--stall-ms N` — lease deadline: a worker whose journal stops
+//!   growing for `N` ms is killed and its cells stolen (default 20000),
+//! * `--max-retries N` — respawn budget per cell lineage (default 5),
+//! * `--kill-at f1,f2,...` — chaos: SIGKILL a live worker when the
+//!   completed-cell fraction first reaches each `f`,
+//! * `--stall-worker IDX:AFTER` — chaos: worker `IDX` stalls (alive, no
+//!   progress) after completing `AFTER` cells, exercising lease expiry,
+//! * `--verify` — additionally run the uninterrupted single-process
+//!   reference, compare journal bytes and rendered results, and write
+//!   `SERVICE_results.json`; exits nonzero on any divergence.
+
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+
+use wcs_bench::cli::{self, run_or_exit, EXIT_ERROR, EXIT_USAGE};
+use wcs_bench::service::{maybe_run_worker, run_serial_reference, run_supervisor, ServiceOptions};
+use wcs_simcore::obs::Registry;
+
+fn usage_err(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: wcs-served [--workers N] [--plan-cells N] [--out PATH] [--dir PATH] \
+         [--status-port P] [--stall-ms N] [--max-retries N] [--kill-at f1,f2] \
+         [--stall-worker IDX:AFTER] [--verify] [shared flags]"
+    );
+    std::process::exit(EXIT_USAGE);
+}
+
+fn main() {
+    maybe_run_worker();
+    let args = cli::parse();
+
+    let mut opts = ServiceOptions::new(4);
+    opts.obs = args.obs.clone();
+    if let Some(seed) = args.seed {
+        opts.seed = seed;
+    }
+    let mut verify = false;
+    let mut results_path = PathBuf::from("SERVICE_results.json");
+    let mut rest = args.rest.iter();
+    while let Some(arg) = rest.next() {
+        let mut value = |flag: &str| -> String {
+            match rest.next() {
+                Some(v) => v.clone(),
+                None => usage_err(&format!("{flag} requires a value")),
+            }
+        };
+        match arg.as_str() {
+            "--workers" => {
+                let v = value("--workers");
+                match v.parse::<usize>() {
+                    Ok(n) if n > 0 => opts.workers = n,
+                    _ => usage_err(&format!("--workers expects a positive integer, got {v:?}")),
+                }
+            }
+            "--plan-cells" => {
+                let v = value("--plan-cells");
+                opts.plan_cells = v.parse().unwrap_or_else(|_| {
+                    usage_err(&format!("--plan-cells expects an integer, got {v:?}"))
+                });
+            }
+            "--out" => opts.out = PathBuf::from(value("--out")),
+            "--dir" => opts.dir = PathBuf::from(value("--dir")),
+            "--status-port" => {
+                let v = value("--status-port");
+                opts.status_port = Some(v.parse().unwrap_or_else(|_| {
+                    usage_err(&format!("--status-port expects a port number, got {v:?}"))
+                }));
+                // The status server snapshots this registry for
+                // `/metrics`; a disabled one would serve an empty page,
+                // so force it live even without --metrics.
+                if !opts.obs.is_enabled() {
+                    opts.obs = Registry::new();
+                }
+            }
+            "--stall-ms" => {
+                let v = value("--stall-ms");
+                opts.stall_ms = v.parse().unwrap_or_else(|_| {
+                    usage_err(&format!("--stall-ms expects milliseconds, got {v:?}"))
+                });
+            }
+            "--max-retries" => {
+                let v = value("--max-retries");
+                opts.max_retries = v.parse().unwrap_or_else(|_| {
+                    usage_err(&format!("--max-retries expects an integer, got {v:?}"))
+                });
+            }
+            "--kill-at" => {
+                let v = value("--kill-at");
+                opts.kill_at = v
+                    .split(',')
+                    .map(|s| {
+                        s.parse::<f64>()
+                            .ok()
+                            .filter(|f| f.is_finite() && *f >= 0.0)
+                            .unwrap_or_else(|| {
+                                usage_err(&format!("--kill-at expects fractions, got {s:?}"))
+                            })
+                    })
+                    .collect();
+            }
+            "--stall-worker" => {
+                let v = value("--stall-worker");
+                let parsed = v
+                    .split_once(':')
+                    .and_then(|(i, a)| Some((i.parse::<usize>().ok()?, a.parse::<u32>().ok()?)));
+                match parsed {
+                    Some(p) => opts.stall_worker = Some(p),
+                    None => usage_err(&format!("--stall-worker expects IDX:AFTER, got {v:?}")),
+                }
+            }
+            "--verify" => verify = true,
+            "--results" => results_path = PathBuf::from(value("--results")),
+            other => usage_err(&format!("unknown flag {other}")),
+        }
+    }
+
+    let report = run_or_exit("sweep service", run_supervisor(&opts));
+    let p = &report.progress;
+    eprintln!(
+        "wcs-served: {} cells complete; {} spawns, {} kills observed, {} leases expired, \
+         {} cells stolen, {} retries, {} merge conflicts; canonical journal at {} ({} records)",
+        report.cells,
+        p.worker_spawns.load(Ordering::Relaxed),
+        p.worker_kills_observed.load(Ordering::Relaxed),
+        p.worker_leases_expired.load(Ordering::Relaxed),
+        p.worker_cells_stolen.load(Ordering::Relaxed),
+        p.worker_retries.load(Ordering::Relaxed),
+        p.worker_merge_conflicts.load(Ordering::Relaxed),
+        report.canonical_journal.display(),
+        report.merged_records,
+    );
+    print!("{}", report.render);
+
+    if verify {
+        let reference_journal = opts.dir.join("reference.journal");
+        let reference_render = run_or_exit(
+            "serial reference",
+            run_serial_reference(opts.plan_cells, opts.seed, &reference_journal),
+        );
+        let canonical = run_or_exit(
+            "read canonical journal",
+            std::fs::read(&report.canonical_journal),
+        );
+        let reference = run_or_exit("read reference journal", std::fs::read(&reference_journal));
+        let merge_diverged = canonical != reference;
+        let resume_diverged = report.render != reference_render;
+        let json = format!(
+            "{{\n  \"workers\": {},\n  \"cells\": {},\n  \"kill_at\": {:?},\n  \
+             \"worker_spawns\": {},\n  \"worker_kills_observed\": {},\n  \
+             \"worker_leases_expired\": {},\n  \"worker_cells_stolen\": {},\n  \
+             \"worker_retries\": {},\n  \"worker_merge_conflicts\": {},\n  \
+             \"merged_records\": {},\n  \"merge_diverged\": {merge_diverged},\n  \
+             \"resume_diverged\": {resume_diverged}\n}}\n",
+            opts.workers,
+            report.cells,
+            opts.kill_at,
+            p.worker_spawns.load(Ordering::Relaxed),
+            p.worker_kills_observed.load(Ordering::Relaxed),
+            p.worker_leases_expired.load(Ordering::Relaxed),
+            p.worker_cells_stolen.load(Ordering::Relaxed),
+            p.worker_retries.load(Ordering::Relaxed),
+            p.worker_merge_conflicts.load(Ordering::Relaxed),
+            report.merged_records,
+        );
+        run_or_exit(
+            "write verification results",
+            std::fs::write(&results_path, &json),
+        );
+        eprintln!("wcs-served: wrote {}", results_path.display());
+        if merge_diverged || resume_diverged {
+            eprintln!(
+                "error: service diverged from the single-process reference \
+                 (merge_diverged: {merge_diverged}, resume_diverged: {resume_diverged})"
+            );
+            std::process::exit(EXIT_ERROR);
+        }
+        eprintln!(
+            "wcs-served: canonical journal and render byte-identical to the \
+             single-process reference"
+        );
+    }
+
+    args.write_metrics();
+}

@@ -29,12 +29,54 @@
 //! wall-clock, so a fired deadline degrades a cell nondeterministically —
 //! use generous budgets for runs that must be bit-identical.)
 
+//! # Exit-code convention
+//!
+//! Every bench binary (and every worker process `wcs-served` spawns)
+//! uses the same exit codes, so supervisors and CI can tell outcomes
+//! apart without parsing stderr:
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | [`EXIT_OK`] (0)       | completed normally |
+//! | [`EXIT_ERROR`] (1)    | runtime failure (evaluation error, unwritable output, divergence) |
+//! | [`EXIT_USAGE`] (2)    | malformed command line |
+//! | [`EXIT_GRACEFUL`] (3) | clean early shutdown: a service worker saw its stdin close (supervisor death or explicit drain), sealed its journal, and left — no torn tail, nothing lost |
+//!
+//! Anything else (or a signal death, which has no code on Unix) is a
+//! crash; the sweep-service journal tolerates those by construction.
+
+use std::fmt::Display;
 use std::process::exit;
 
 use wcs_core::evaluate::EvalBuilder;
 use wcs_core::{Evaluator, WcsError};
 use wcs_simcore::obs::Registry;
 use wcs_simcore::ThreadPool;
+
+/// The run completed normally.
+pub const EXIT_OK: i32 = 0;
+/// A runtime failure: evaluation error, unwritable output, divergence.
+pub const EXIT_ERROR: i32 = 1;
+/// A malformed command line.
+pub const EXIT_USAGE: i32 = 2;
+/// A clean early shutdown (service workers: stdin closed, journal
+/// sealed). Distinct from [`EXIT_ERROR`] so the supervisor can tell a
+/// drained worker from a crashed one.
+pub const EXIT_GRACEFUL: i32 = 3;
+
+/// Unwraps `result` or prints `error: <context>: <cause>` and exits with
+/// [`EXIT_ERROR`]. The one error boundary every bench binary shares —
+/// per-bin `.expect(..)` panics (which exit 101 and print a backtrace
+/// pointing at the binary, not the cause) are replaced by this.
+pub fn run_or_exit<T, E: Display>(context: &str, result: Result<T, E>) -> T {
+    match result {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {context}: {e}");
+            exit(EXIT_ERROR);
+        }
+    }
+}
 
 /// The metric families every bench binary's `--metrics` export carries.
 /// [`ensure_standard_series`] registers one canonical series per family
@@ -111,7 +153,7 @@ impl BenchArgs {
             Ok(eval) => eval,
             Err(e) => {
                 eprintln!("error: cannot construct evaluator: {e}");
-                exit(1);
+                exit(EXIT_ERROR);
             }
         }
     }
@@ -143,7 +185,7 @@ impl BenchArgs {
             Ok(()) => eprintln!("wrote metrics to {path}"),
             Err(e) => {
                 eprintln!("error: cannot write metrics to {path}: {e}");
-                exit(1);
+                exit(EXIT_ERROR);
             }
         }
     }
@@ -193,6 +235,12 @@ pub fn ensure_standard_series(registry: &Registry) {
         "recovery.task_panics",
         "recovery.task_retries",
         "recovery.plan_skipped",
+        "recovery.worker_spawns",
+        "recovery.worker_kills_observed",
+        "recovery.worker_leases_expired",
+        "recovery.worker_cells_stolen",
+        "recovery.worker_merge_conflicts",
+        "recovery.worker_retries",
     ] {
         registry.counter(name).add(0);
     }
@@ -297,7 +345,7 @@ fn parse_from(args: impl Iterator<Item = String>) -> BenchArgs {
                 "usage: <bin> [--threads N] [--no-memo] [--seed S] [--metrics PATH] \
                  [--resume JOURNAL] [--task-budget-ms N] [args...]"
             );
-            exit(2);
+            exit(EXIT_USAGE);
         }
     }
 }

@@ -21,6 +21,7 @@
 //! | `faults`  | fault-injection scenarios and graceful degradation |
 //! | `perfsmoke` | fixed-seed wall-time smoke benchmark (`BENCH_results.json`) |
 //! | `chaos`   | crash-safety harness: kill/resume byte-identity, panic isolation, deadlines |
+//! | `wcs-served` | crash-tolerant multi-process sweep service: lease-based work stealing over the journal |
 //!
 //! Every binary accepts the shared flag cluster from [`cli`]:
 //! `--threads N` (default: all available cores) sizes the worker pool,
@@ -34,3 +35,4 @@
 //! state; the flags only change wall-clock time and reporting.
 
 pub mod cli;
+pub mod service;

@@ -43,6 +43,10 @@ pub enum WcsError {
     },
     /// The resume journal could not be opened, replayed, or appended to.
     Journal(JournalError),
+    /// The multi-process sweep service failed: a worker could not be
+    /// spawned, a cell exhausted its retry budget, or the merged journal
+    /// diverged from the serial reference.
+    Service(String),
 }
 
 impl fmt::Display for WcsError {
@@ -61,6 +65,7 @@ impl fmt::Display for WcsError {
                 )
             }
             WcsError::Journal(e) => write!(f, "journal error: {e}"),
+            WcsError::Service(msg) => write!(f, "sweep service error: {msg}"),
         }
     }
 }
@@ -76,6 +81,7 @@ impl std::error::Error for WcsError {
             WcsError::TaskPanic(e) => Some(e),
             WcsError::Deadline { .. } => None,
             WcsError::Journal(e) => Some(e),
+            WcsError::Service(_) => None,
         }
     }
 }

@@ -143,6 +143,13 @@ pub struct EvalMemo {
     /// Cleared on the first append failure (a full disk degrades the run
     /// to unjournaled rather than aborting it).
     journal: Mutex<Option<JournalWriter>>,
+    /// When set, perf lookups answered by the resume lane are *also*
+    /// journaled (normally only freshly computed cells are). The sweep
+    /// service uses this to canonicalize a merged multi-worker journal:
+    /// a serial pass over the plan with every cell in the resume lane
+    /// re-journals the records in first-compute order, reproducing the
+    /// byte layout of an uninterrupted single-process run.
+    journal_resume_hits: std::sync::atomic::AtomicBool,
     replayed: AtomicU64,
     resume_hits: AtomicU64,
     journaled: AtomicU64,
@@ -170,6 +177,7 @@ impl EvalMemo {
             perf: MemoCache::with_enabled(enabled),
             resume: MemoCache::new(),
             journal: Mutex::new(None),
+            journal_resume_hits: std::sync::atomic::AtomicBool::new(false),
             replayed: AtomicU64::new(0),
             resume_hits: AtomicU64::new(0),
             journaled: AtomicU64::new(0),
@@ -211,6 +219,45 @@ impl EvalMemo {
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .is_some()
+    }
+
+    /// Also journal perf lookups answered by the resume lane (normally
+    /// only freshly computed cells are written). Used by the sweep
+    /// service's canonicalization pass — see the field doc.
+    pub fn set_journal_resume_hits(&self, enabled: bool) {
+        self.journal_resume_hits.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Append an opaque marker record (e.g. a service lease or
+    /// completion marker) through the attached journal writer. A no-op
+    /// without a writer; returns whether the record was written (`false`
+    /// also for duplicate keys). Append failures degrade journaling
+    /// exactly like result-record failures.
+    pub fn journal_marker(&self, key: u128, digest: u64, payload: &[u8]) -> bool {
+        let mut guard = self.journal.lock().unwrap_or_else(PoisonError::into_inner);
+        let Some(writer) = guard.as_mut() else {
+            return false;
+        };
+        match writer.append(key, digest, payload) {
+            Ok(wrote) => wrote,
+            Err(e) => {
+                self.journal_errors.fetch_add(1, Ordering::Relaxed);
+                eprintln!("warning: sweep journal append failed, journaling disabled: {e}");
+                *guard = None;
+                false
+            }
+        }
+    }
+
+    /// Flush and sync the attached journal to disk (clean shutdown); a
+    /// no-op without a writer.
+    pub fn sync_journal(&self) {
+        let mut guard = self.journal.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(writer) = guard.as_mut() {
+            if let Err(e) = writer.sync() {
+                eprintln!("warning: sweep journal sync failed: {e}");
+            }
+        }
     }
 
     /// Cells seeded from a journal replay by [`seed_journal`](Self::seed_journal).
@@ -344,6 +391,11 @@ impl EvalMemo {
         // construction what the cold path would recompute.
         if let Some(v) = self.resume.get(key) {
             self.resume_hits.fetch_add(1, Ordering::Relaxed);
+            if self.journal_resume_hits.load(Ordering::Relaxed) {
+                // Canonicalization mode: re-journal replayed cells too
+                // (the writer's key dedup keeps each record single).
+                self.journal_result(key, &v);
+            }
             return v;
         }
         let mut computed = false;
@@ -472,6 +524,94 @@ mod tests {
             payload,
         }];
         assert_eq!(memo.seed_journal(&bad), 0);
+    }
+
+    #[test]
+    fn resume_hits_journal_in_first_compute_order_when_enabled() {
+        use wcs_simcore::journal::{self, JournalRecord};
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("wcs-memo-canon-{}.journal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        let wl = suite::workload(WorkloadId::Websearch);
+        let platform = catalog::platform(PlatformId::Emb1);
+        let demand = PlatformDemand::new(&wl, &platform);
+        let cfg = MeasureConfig::quick();
+        let key = |id: WorkloadId| MemoKey::new("eval-perf").push(&id).push(&demand).push(&cfg);
+        let record = |id: WorkloadId, value: f64| {
+            let payload = encode_perf(&Ok(sample(value)));
+            JournalRecord {
+                key: key(id).finish(),
+                digest: perf_digest(&payload),
+                payload,
+            }
+        };
+        // Seed two cells into the resume lane (key-sorted order is
+        // whatever it is); then look them up in a chosen compute order.
+        let memo = EvalMemo::new();
+        memo.seed_journal(&[
+            record(WorkloadId::Websearch, 1.0),
+            record(WorkloadId::Webmail, 2.0),
+        ]);
+        let (_, writer, _) = journal::open(&path).expect("fresh journal");
+        memo.attach_journal(writer);
+
+        // Without the flag, resume hits stay out of the journal.
+        let got = memo.perf(WorkloadId::Webmail, &demand, &cfg, || unreachable!());
+        assert_eq!(got.unwrap().value, 2.0);
+        memo.sync_journal();
+        let (records, _) = journal::replay(&path).expect("journal replays");
+        assert!(
+            records.is_empty(),
+            "resume hits must not journal by default"
+        );
+
+        // With the flag, each hit re-journals — in lookup order, which is
+        // how the canonicalization pass reproduces first-compute layout.
+        memo.set_journal_resume_hits(true);
+        let _ = memo.perf(WorkloadId::Webmail, &demand, &cfg, || unreachable!());
+        let _ = memo.perf(WorkloadId::Websearch, &demand, &cfg, || unreachable!());
+        memo.sync_journal();
+        let (records, _) = journal::replay(&path).expect("journal replays");
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].key, key(WorkloadId::Webmail).finish());
+        assert_eq!(records[1].key, key(WorkloadId::Websearch).finish());
+        // Re-hitting an already-journaled key appends nothing (the writer
+        // dedups by key), so the canonical pass is idempotent per key.
+        let _ = memo.perf(WorkloadId::Webmail, &demand, &cfg, || unreachable!());
+        memo.sync_journal();
+        let (records, _) = journal::replay(&path).expect("journal replays");
+        assert_eq!(records.len(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn journal_marker_appends_and_dedups_opaque_records() {
+        use wcs_simcore::journal;
+        let path =
+            std::env::temp_dir().join(format!("wcs-memo-marker-{}.journal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let memo = EvalMemo::new();
+        // No writer attached: a marker is a no-op, not an error.
+        assert!(!memo.journal_marker(7, 0, &[0xFE, 9]));
+
+        let (_, writer, _) = journal::open(&path).expect("fresh journal");
+        memo.attach_journal(writer);
+        let payload = [0xFE, 2, 5, 0, 0, 0];
+        assert!(memo.journal_marker(7, perf_digest(&payload), &payload));
+        assert!(
+            !memo.journal_marker(7, perf_digest(&payload), &payload),
+            "duplicate keys dedup"
+        );
+        memo.sync_journal();
+        let (records, _) = journal::replay(&path).expect("journal replays");
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].key, 7);
+        assert_eq!(records[0].payload, payload);
+        // Marker payloads are opaque to the resume path: seeding drops them.
+        let fresh = EvalMemo::new();
+        assert_eq!(fresh.seed_journal(&records), 0);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

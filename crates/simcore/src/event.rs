@@ -36,12 +36,21 @@ impl<E> Scheduled<E> {
 ///
 /// * [`with_capacity`](EventQueue::with_capacity) pre-sizes the arena so
 ///   steady-state runs never reallocate, and
-/// * events scheduled *at the current clock instant* (the pop-then-push
-///   pattern the engines hit when a completion immediately launches new
-///   work) bypass the heap entirely into a FIFO side buffer, turning an
-///   O(log n) sift into an O(1) append. Ordering is unaffected: an event
-///   at `now` already in the heap was necessarily scheduled earlier (the
-///   clock only reaches `now` by popping) and therefore still pops first.
+/// * a FIFO side buffer holding events for a single epoch `imm_time`
+///   keeps the heap out of the hot path entirely. An empty buffer adopts
+///   the next scheduled event's timestamp as its epoch, and while it is
+///   non-empty every schedule at exactly `imm_time` appends to it.
+///   Ordering is unaffected: a heap entry at `imm_time` was necessarily
+///   scheduled before every current buffer entry (while the buffer is
+///   non-empty, same-epoch events are routed to the buffer, never the
+///   heap), so the pop path drains the heap's `imm_time` entries before
+///   touching the buffer. Two real scheduling patterns ride this buffer
+///   with zero heap comparisons, counted by the `fast_path` statistic:
+///   runs of events landing on *one shared instant* (identical batch
+///   tasks, fixed retry timeouts), and the *pure event chain* — pop one
+///   event, schedule its successor, repeat — where the heap stays empty
+///   and the queue degenerates to a deque (every single-client
+///   feasibility probe and every drain tail runs in this mode).
 ///
 /// # Example
 /// ```
@@ -56,14 +65,19 @@ impl<E> Scheduled<E> {
 pub struct EventQueue<E> {
     /// 4-ary min-heap on `(when, seq)`.
     heap: Vec<Scheduled<E>>,
-    /// FIFO of events scheduled at exactly `now`. All entries fire at
-    /// `now` and were sequenced after every heap entry with `when ==
-    /// now`, so draining the heap's `now`-entries first preserves global
-    /// FIFO order.
+    /// FIFO of events all firing at the shared epoch `imm_time`. Every
+    /// entry was sequenced after every heap entry with `when ==
+    /// imm_time`, so draining the heap's `imm_time` entries first
+    /// preserves global FIFO order.
     immediate: VecDeque<E>,
+    /// The epoch of the `immediate` buffer; meaningful only while the
+    /// buffer is non-empty. Always `>= now` then (the pop path never
+    /// advances the clock past a pending buffer).
+    imm_time: SimTime,
     next_seq: u64,
     now: SimTime,
-    /// Schedules that took the O(1) same-instant fast path.
+    /// Schedules that took an O(1) buffer path with no heap comparison:
+    /// same-epoch appends, plus adoptions while the heap was empty.
     fast_path: u64,
     /// Largest pending-event count ever reached.
     max_depth: u64,
@@ -76,7 +90,10 @@ pub struct EventQueue<E> {
 pub struct QueueObs {
     /// Events scheduled over the queue's lifetime.
     pub scheduled: u64,
-    /// Schedules that took the same-instant O(1) fast path.
+    /// Schedules that bypassed the heap through the epoch buffer with
+    /// zero comparisons: same-instant appends at the buffer's epoch, and
+    /// epoch adoptions while the heap was empty (the pure pop-schedule
+    /// chain of a single-client probe or a drain tail).
     pub fast_path: u64,
     /// High-water mark of pending events.
     pub max_depth: u64,
@@ -119,6 +136,7 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: Vec::new(),
             immediate: VecDeque::new(),
+            imm_time: SimTime::ZERO,
             next_seq: 0,
             now: SimTime::ZERO,
             fast_path: 0,
@@ -132,6 +150,7 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: Vec::with_capacity(capacity),
             immediate: VecDeque::new(),
+            imm_time: SimTime::ZERO,
             next_seq: 0,
             now: SimTime::ZERO,
             fast_path: 0,
@@ -160,9 +179,20 @@ impl<E> EventQueue<E> {
             });
         }
         self.next_seq += 1;
-        if when == self.now {
-            // Fast path: fires at the current instant, after everything
-            // already pending for this instant. O(1) instead of a sift.
+        if self.immediate.is_empty() {
+            // An empty buffer adopts this event's timestamp as the new
+            // epoch: an O(1) append with no sift. With the heap also
+            // empty this is the pure event-chain mode — the whole
+            // schedule/pop cycle runs on the deque without a single
+            // comparison, so it counts as a fast-path schedule.
+            self.imm_time = when;
+            self.immediate.push_back(payload);
+            if self.heap.is_empty() {
+                self.fast_path += 1;
+            }
+        } else if when == self.imm_time {
+            // Fast path: fires at the buffer's epoch, after everything
+            // already pending for that instant. O(1) instead of a sift.
             self.immediate.push_back(payload);
             self.fast_path += 1;
         } else {
@@ -203,11 +233,13 @@ impl<E> EventQueue<E> {
     /// Removes and returns the earliest event, advancing the clock to its
     /// firing time. Returns `None` when the queue is empty.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        // Heap entries at `when == now` predate everything in the
-        // immediate buffer (the buffer only accepts events once the
-        // clock has already reached `now`), so they pop first.
-        if !self.immediate.is_empty() && self.heap.first().is_none_or(|s| s.when > self.now) {
+        // Heap entries at `when == imm_time` predate everything in the
+        // immediate buffer (while the buffer is non-empty, same-epoch
+        // schedules are routed to the buffer), so they pop first; heap
+        // entries at earlier times pop first by time order.
+        if !self.immediate.is_empty() && self.heap.first().is_none_or(|s| s.when > self.imm_time) {
             let payload = self.immediate.pop_front().expect("checked non-empty");
+            self.now = self.imm_time;
             return Some((self.now, payload));
         }
         if self.heap.is_empty() {
@@ -226,12 +258,16 @@ impl<E> EventQueue<E> {
 
     /// The firing time of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        if !self.immediate.is_empty() {
-            // Immediate events fire at `now`; no heap entry fires
-            // earlier, so `now` is the minimum either way.
-            return Some(self.now);
+        let heap_min = self.heap.first().map(|s| s.when);
+        if self.immediate.is_empty() {
+            return heap_min;
         }
-        self.heap.first().map(|s| s.when)
+        // A heap entry may fire before the buffer's epoch; the earliest
+        // pending time is the minimum of the two.
+        Some(match heap_min {
+            Some(h) if h < self.imm_time => h,
+            _ => self.imm_time,
+        })
     }
 
     /// Number of pending events.
@@ -394,21 +430,127 @@ mod tests {
 
     #[test]
     fn same_instant_fast_path_preserves_fifo() {
-        // Mix heap entries and immediate-buffer entries at one instant:
-        // earlier-scheduled must still pop first.
+        // Mix buffered and heap entries at one instant: earlier-scheduled
+        // must still pop first, wherever each entry landed internally.
         let mut q = EventQueue::new();
-        q.schedule(SimTime::from_nanos(10), "heap-a"); // goes to heap (now = 0)
-        q.schedule(SimTime::from_nanos(10), "heap-b");
-        q.schedule(SimTime::from_nanos(20), "later");
-        assert_eq!(q.pop(), Some((SimTime::from_nanos(10), "heap-a")));
-        // Clock is now 10: these take the O(1) immediate path.
-        q.schedule(SimTime::from_nanos(10), "imm-a");
-        q.schedule(SimTime::from_nanos(10), "imm-b");
-        assert_eq!(q.pop(), Some((SimTime::from_nanos(10), "heap-b")));
-        assert_eq!(q.pop(), Some((SimTime::from_nanos(10), "imm-a")));
-        assert_eq!(q.pop(), Some((SimTime::from_nanos(10), "imm-b")));
+        q.schedule(SimTime::from_nanos(10), "a"); // starts the epoch buffer
+        q.schedule(SimTime::from_nanos(10), "b"); // same epoch: O(1) append
+        q.schedule(SimTime::from_nanos(20), "later"); // different time: heap
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(10), "a")));
+        q.schedule(SimTime::from_nanos(10), "c");
+        q.schedule(SimTime::from_nanos(10), "d");
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(10), "b")));
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(10), "c")));
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(10), "d")));
         assert_eq!(q.pop(), Some((SimTime::from_nanos(20), "later")));
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn fast_path_fires_on_future_time_ties() {
+        // Regression: the pre-epoch fast path required `when == now`
+        // exactly, which no engine ever does (every stage has positive
+        // service time), so the counter sat at zero. A batch of events
+        // landing on one *future* timestamp must now take the O(1) path.
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(1_000);
+        for i in 0..64 {
+            q.schedule(t, i);
+        }
+        assert!(
+            q.obs_stats().fast_path > 0,
+            "same-epoch schedules must take the fast path"
+        );
+        // The heap-empty adoption counts, and so does every follower.
+        assert_eq!(q.obs_stats().fast_path, 64);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..64).collect::<Vec<_>>(), "FIFO preserved");
+    }
+
+    #[test]
+    fn pure_event_chain_never_touches_the_heap() {
+        // The dominant single-client pattern: pop the only pending event,
+        // schedule its successor at a strictly later (untied) time. The
+        // buffer absorbs every schedule with the heap empty throughout,
+        // so each one counts as a fast-path schedule.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(3), 0u64);
+        for i in 1..100u64 {
+            let (t, e) = q.pop().expect("chain event pending");
+            assert_eq!(e, i - 1);
+            q.schedule(t + crate::SimDuration::from_nanos(2 * i + 1), i);
+        }
+        assert_eq!(q.obs_stats().fast_path, 100, "every chain schedule is O(1)");
+        // Once a second event makes the heap non-empty, adoption stops
+        // counting: ordering work is back on the table.
+        q.schedule(SimTime::from_nanos(1 << 40), 1000);
+        let (_, e) = q.pop().expect("pending");
+        assert_eq!(e, 99);
+        q.schedule(SimTime::from_nanos(1 << 41), 1001); // adopts, heap busy
+        assert_eq!(
+            q.obs_stats().fast_path,
+            100,
+            "heap-backed adoption is not fast"
+        );
+    }
+
+    #[test]
+    fn epoch_buffer_restart_respects_older_heap_entries() {
+        // A heap entry at time T scheduled while the buffer held an
+        // earlier epoch must pop before buffer entries from a *restarted*
+        // epoch at T.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(5), "early"); // epoch 5
+        q.schedule(SimTime::from_nanos(10), "heap@10"); // heap (epoch is 5)
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(5), "early")));
+        q.schedule(SimTime::from_nanos(10), "buf@10"); // buffer restarts at 10
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(10), "heap@10")));
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(10), "buf@10")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn epoch_buffer_matches_reference_model_with_heavy_ties() {
+        // Exhaustive order check against a naive (when, seq) reference
+        // model, on a tie-heavy interleaved schedule/pop workload — the
+        // pattern batch engines and fixed retry timeouts produce.
+        let mut rng = crate::SimRng::seed_from(4242);
+        let mut q = EventQueue::new();
+        let mut model: Vec<(u64, u64)> = Vec::new(); // (when, seq)
+        let mut seq = 0u64;
+        let mut fast = 0u64;
+        for _ in 0..4000 {
+            if rng.chance(0.55) || q.is_empty() {
+                // Few distinct offsets => many exact ties, some at `now`.
+                let when = q.now().as_nanos() + [0u64, 3, 3, 7][rng.next_u64() as usize % 4];
+                q.schedule(SimTime::from_nanos(when), seq);
+                model.push((when, seq));
+                seq += 1;
+            } else {
+                let (t, e) = q.pop().unwrap();
+                let min = model
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, &k)| k)
+                    .map(|(i, _)| i)
+                    .unwrap();
+                let want = model.remove(min);
+                assert_eq!((t.as_nanos(), e), want, "pop order diverged from model");
+            }
+            fast = q.obs_stats().fast_path;
+        }
+        while let Some((t, e)) = q.pop() {
+            let min = model
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &k)| k)
+                .map(|(i, _)| i)
+                .unwrap();
+            let want = model.remove(min);
+            assert_eq!((t.as_nanos(), e), want, "drain order diverged from model");
+        }
+        assert!(model.is_empty());
+        assert!(fast > 0, "tie-heavy schedule must exercise the fast path");
     }
 
     #[test]

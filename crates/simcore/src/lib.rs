@@ -54,6 +54,7 @@ pub mod journal;
 pub mod memo;
 pub mod obs;
 pub mod pool;
+pub mod service;
 pub mod slotcache;
 pub mod stats;
 pub mod table;
