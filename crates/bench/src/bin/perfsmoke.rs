@@ -25,7 +25,7 @@ use wcs_memshare::policy::PolicyKind;
 use wcs_platforms::PlatformId;
 use wcs_simcore::faults::FaultProcess;
 use wcs_simcore::obs::Registry;
-use wcs_simcore::{EventQueue, SimDuration, SimRng, SimTime};
+use wcs_simcore::{EventQueue, QueueKind, SimDuration, SimRng, SimTime};
 use wcs_simserver::{Cluster, ClusterFaults, Resource, RetryPolicy, ServerSpec, Stage};
 use wcs_workloads::perf::MeasureConfig;
 use wcs_workloads::WorkloadId;
@@ -41,9 +41,11 @@ fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
 /// obs-overhead study runs. Exact-class series are deterministic across
 /// `--threads` and memo settings; the `memo.*` hit/miss counters are
 /// wall-class profiling data.
-const FOLDED_SERIES: [&str; 20] = [
+const FOLDED_SERIES: [&str; 22] = [
     "queue.scheduled",
     "queue.fast_path",
+    "queue.calendar_hits",
+    "queue.heap_fallbacks",
     "queue.max_depth",
     "pool.tasks",
     "memo.storage.hits",
@@ -81,23 +83,26 @@ fn sweep_bundle(eval: &Evaluator) -> String {
     out
 }
 
-/// Push/pop one million uniformly-timed events and report events/sec.
-fn event_queue_rate() -> (u64, f64) {
+/// Push/pop one million uniformly-timed events on the given scheduler
+/// and report (events, events/sec). Every kind pops the same total
+/// order, so `sum` doubles as a cheap identity check across kinds.
+fn event_queue_rate(kind: QueueKind) -> (u64, f64, u64) {
     const EVENTS: u64 = 1_000_000;
     let mut rng = SimRng::seed_from(97);
-    let mut q = EventQueue::with_capacity(EVENTS as usize);
+    let mut q = EventQueue::with_capacity_and_kind(EVENTS as usize, kind);
     let (sum, wall_ms) = timed(|| {
         for i in 0..EVENTS {
             q.schedule(SimTime::from_nanos(rng.next_u64() % 1_000_000_000), i);
         }
         let mut sum = 0u64;
-        while let Some((_, e)) = q.pop() {
-            sum = sum.wrapping_add(e);
+        let mut order = 0u64;
+        while let Some((t, e)) = q.pop() {
+            sum = sum.wrapping_add(e).wrapping_add(order);
+            order = order.wrapping_mul(31).wrapping_add(t.as_nanos());
         }
         sum
     });
-    std::hint::black_box(sum);
-    (2 * EVENTS, 2.0 * EVENTS as f64 / (wall_ms / 1e3))
+    (2 * EVENTS, 2.0 * EVENTS as f64 / (wall_ms / 1e3), sum)
 }
 
 /// Scale the sweep service across worker-process counts (no chaos) and
@@ -175,7 +180,25 @@ fn main() {
     });
     studies.push(("cluster_faulted_40k", ms));
 
-    let (events, events_per_sec) = event_queue_rate();
+    // Event-queue hot path, once per scheduler kind. The pop-order
+    // checksum must agree across kinds — the three lanes are required to
+    // produce one total order.
+    let mut queue_rates: Vec<(QueueKind, u64, f64)> = Vec::new();
+    let mut pop_checksums: Vec<u64> = Vec::new();
+    for kind in QueueKind::ALL {
+        let (events, rate, checksum) = event_queue_rate(kind);
+        queue_rates.push((kind, events, rate));
+        pop_checksums.push(checksum);
+    }
+    assert!(
+        pop_checksums.windows(2).all(|w| w[0] == w[1]),
+        "queue kinds diverged on the microbench pop order: {pop_checksums:?}"
+    );
+    let events_per_sec = queue_rates
+        .iter()
+        .find(|(k, ..)| *k == args.queue)
+        .map(|&(_, _, rate)| rate)
+        .expect("selected kind was benchmarked");
 
     // Observability overhead: the unified study on a fresh evaluator per
     // run, first with the registry disabled, then enabled, interleaved
@@ -278,9 +301,24 @@ fn main() {
         );
     }
     json.push_str("  ],\n");
+    json.push_str("  \"event_queue\": [\n");
+    for (i, (kind, events, rate)) in queue_rates.iter().enumerate() {
+        let comma = if i + 1 < queue_rates.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"kind\": \"{}\", \"events\": {events}, \"events_per_sec\": {rate:.0}}}{comma}",
+            kind.as_str()
+        );
+    }
+    json.push_str("  ],\n");
+    let scheduled = snap.count("queue.scheduled").unwrap_or(0);
+    let fast_path_share = fast_path as f64 / scheduled.max(1) as f64;
     let _ = writeln!(
         json,
-        "  \"event_queue\": {{\"events\": {events}, \"events_per_sec\": {events_per_sec:.0}}}"
+        "  \"perf\": {{\"queue_kind\": \"{}\", \"events_per_sec\": {events_per_sec:.0}, \
+         \"sweep_cold_ms\": {sweep_cold_ms:.3}, \"sweep_warm_ms\": {sweep_warm_ms:.3}, \
+         \"fast_path_share\": {fast_path_share:.4}}}",
+        args.queue.as_str()
     );
     json.push_str("}\n");
     run_or_exit(
@@ -292,7 +330,9 @@ fn main() {
     for (name, wall_ms) in &studies {
         println!("  {name:<22} {wall_ms:>10.1} ms");
     }
-    println!("  event queue: {events_per_sec:.2e} events/sec");
+    for (kind, _, rate) in &queue_rates {
+        println!("  event queue ({}): {rate:.2e} events/sec", kind.as_str());
+    }
     for (workers, wall_ms, cells) in &service_points {
         println!("  service {cells} cells, {workers} worker(s): {wall_ms:>10.1} ms");
     }

@@ -18,6 +18,11 @@
 //! * `--task-budget-ms N` arms the watchdog: any sweep cell running
 //!   longer than `N` wall-clock milliseconds is cancelled cooperatively
 //!   and reported as a degraded cell instead of stalling the run.
+//! * `--queue {heap,calendar,auto}` selects the event-queue scheduler
+//!   for every simulation in the process: the 4-ary heap, the calendar
+//!   wheel, or occupancy-based selection (the default). All three pop
+//!   the same total order, so this is an A/B performance dial, not a
+//!   results dial.
 //!
 //! None of the flags can change results. Parallel fan-outs seed their
 //! tasks purely from the task index, memoized values are pure functions
@@ -51,7 +56,7 @@ use std::process::exit;
 use wcs_core::evaluate::EvalBuilder;
 use wcs_core::{Evaluator, WcsError};
 use wcs_simcore::obs::Registry;
-use wcs_simcore::ThreadPool;
+use wcs_simcore::{QueueKind, ThreadPool};
 
 /// The run completed normally.
 pub const EXIT_OK: i32 = 0;
@@ -114,6 +119,10 @@ pub struct BenchArgs {
     /// if any. Cells exceeding it are cancelled cooperatively and
     /// reported as degraded.
     pub task_budget_ms: Option<u64>,
+    /// Event-queue scheduler selected by `--queue` (default:
+    /// [`QueueKind::Auto`]). [`parse`] installs it as the process-wide
+    /// default before any simulation constructs a queue.
+    pub queue: QueueKind,
     /// The metrics registry: enabled iff `--metrics` was passed,
     /// otherwise the disabled no-op registry.
     pub obs: Registry,
@@ -200,7 +209,12 @@ pub fn ensure_standard_series(registry: &Registry) {
     if !registry.is_enabled() {
         return;
     }
-    for name in ["queue.scheduled", "queue.fast_path"] {
+    for name in [
+        "queue.scheduled",
+        "queue.fast_path",
+        "queue.calendar_hits",
+        "queue.heap_fallbacks",
+    ] {
         registry.counter(name).add(0);
     }
     registry.max_gauge("queue.max_depth").observe(0);
@@ -256,9 +270,12 @@ pub fn ensure_standard_series(registry: &Registry) {
 }
 
 /// Parses `std::env::args()`, exiting with status 2 on a malformed
-/// command line.
+/// command line. Installs the parsed `--queue` kind as the process-wide
+/// event-queue default, so every simulation the binary runs uses it.
 pub fn parse() -> BenchArgs {
-    parse_from(std::env::args().skip(1))
+    let args = parse_from(std::env::args().skip(1));
+    wcs_simcore::event::set_default_queue_kind(args.queue);
+    args
 }
 
 /// Parses an explicit argument stream (testable form of [`parse`]).
@@ -272,6 +289,7 @@ pub fn try_parse_from(args: impl Iterator<Item = String>) -> Result<BenchArgs, W
     let mut seed = None;
     let mut resume = None;
     let mut task_budget_ms = None;
+    let mut queue = QueueKind::default();
     let mut rest = Vec::new();
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
@@ -319,6 +337,12 @@ pub fn try_parse_from(args: impl Iterator<Item = String>) -> Result<BenchArgs, W
                 ));
             }
             task_budget_ms = Some(ms);
+        } else if let Some(v) = valued("--queue")? {
+            queue = QueueKind::parse(&v).ok_or_else(|| {
+                WcsError::Cli(format!(
+                    "--queue expects one of heap, calendar, auto; got {v:?}"
+                ))
+            })?;
         } else {
             rest.push(arg);
         }
@@ -331,6 +355,7 @@ pub fn try_parse_from(args: impl Iterator<Item = String>) -> Result<BenchArgs, W
         seed,
         resume,
         task_budget_ms,
+        queue,
         obs,
         rest,
     })
@@ -343,7 +368,7 @@ fn parse_from(args: impl Iterator<Item = String>) -> BenchArgs {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: <bin> [--threads N] [--no-memo] [--seed S] [--metrics PATH] \
-                 [--resume JOURNAL] [--task-budget-ms N] [args...]"
+                 [--resume JOURNAL] [--task-budget-ms N] [--queue heap|calendar|auto] [args...]"
             );
             exit(EXIT_USAGE);
         }
@@ -436,6 +461,18 @@ mod tests {
         let eval = a.eval_builder().quick().build().unwrap();
         let wd = eval.watchdog.as_deref().expect("watchdog armed");
         assert_eq!(wd.budget(), std::time::Duration::from_millis(5000));
+    }
+
+    #[test]
+    fn queue_flag_parses_and_rejects_unknown_kinds() {
+        let a = try_parse_from(strs(&[])).unwrap();
+        assert_eq!(a.queue, QueueKind::Auto, "auto is the default");
+        let b = try_parse_from(strs(&["--queue", "heap"])).unwrap();
+        assert_eq!(b.queue, QueueKind::Heap);
+        let c = try_parse_from(strs(&["--queue=calendar"])).unwrap();
+        assert_eq!(c.queue, QueueKind::Calendar);
+        assert!(try_parse_from(strs(&["--queue", "splay"])).is_err());
+        assert!(try_parse_from(strs(&["--queue"])).is_err());
     }
 
     #[test]

@@ -1,0 +1,128 @@
+//! Queue-kind invariance: the heap, calendar, and auto schedulers must
+//! produce bit-identical simulation results at every thread count, with
+//! memoization on or off.
+//!
+//! All three lanes of the event queue pop one total order — `(when,
+//! seq)` — so swapping the scheduler is a wall-clock dial, never a
+//! results dial. These tests pin that end to end through the study
+//! drivers and the fault-aware cluster engine.
+//!
+//! This lives in its own integration-test binary on purpose: it flips
+//! the *process-wide* default queue kind, and no other test binary may
+//! observe the flip. Within this file everything runs under one `#[test]`
+//! so the global is never toggled concurrently.
+
+use wcs_core::evaluate::Evaluator;
+use wcs_core::experiments::cpu_study;
+use wcs_simcore::event::set_default_queue_kind;
+use wcs_simcore::faults::FaultProcess;
+use wcs_simcore::{QueueKind, SimDuration, SimRng};
+use wcs_simserver::{Cluster, ClusterFaults, Resource, RetryPolicy, RunStats, ServerSpec, Stage};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn secs(s: f64) -> SimDuration {
+    SimDuration::from_secs_f64(s)
+}
+
+/// A `RunStats` fingerprint over every field required to be invariant
+/// across queue kinds. `queue.calendar_hits` and `queue.heap_fallbacks`
+/// are deliberately excluded: they describe which lane did the work (a
+/// property of the scheduler, exact per kind), not what the simulation
+/// computed.
+fn fingerprint(stats: &RunStats) -> String {
+    format!(
+        "{} {} {:?} {:?} {:?} scheduled={} fast_path={} max_depth={}",
+        stats.completed,
+        stats.window.as_nanos(),
+        stats.latency,
+        stats.utilization,
+        stats.faults,
+        stats.queue.scheduled,
+        stats.queue.fast_path,
+        stats.queue.max_depth,
+    )
+}
+
+/// One fault-aware cluster run: retries, timeouts, and a flapping
+/// outage plan drive the queue through all three lanes (the retry
+/// backoffs land far ahead of the clock, the dispatch ties exercise the
+/// immediate buffer).
+fn faulted_run() -> RunStats {
+    let cluster = Cluster::ideal(ServerSpec::new(2), 8).expect("non-empty cluster");
+    let retry =
+        RetryPolicy::new(secs(0.008), 3, SimDuration::from_millis(2)).expect("positive timeout");
+    let flap = FaultProcess::exponential(secs(0.4), secs(0.02)).expect("positive rates");
+    let plan = ClusterFaults::from_processes(&vec![flap; 8], secs(2.0), 23);
+    let mut source = |rng: &mut SimRng| {
+        vec![Stage::new(
+            Resource::Cpu,
+            rng.exp_duration(SimDuration::from_micros(800)),
+        )]
+    };
+    cluster
+        .run_closed_loop_faulted(&mut source, 32, 1_000, 8_000, 17, &plan, &retry)
+        .expect("valid run parameters")
+}
+
+#[test]
+fn results_are_queue_kind_invariant() {
+    let mut reference: Option<(String, String, String)> = None;
+    for kind in QueueKind::ALL {
+        set_default_queue_kind(kind);
+        for threads in THREAD_COUNTS {
+            let study = |memo: bool| -> String {
+                let eval = Evaluator::builder()
+                    .quick()
+                    .memo(memo)
+                    .threads(threads)
+                    .unwrap()
+                    .build()
+                    .unwrap();
+                let study = cpu_study(&eval).expect("catalog platforms evaluate");
+                format!("{:?}", study.comparisons)
+            };
+            let probe = (study(true), study(false), fingerprint(&faulted_run()));
+            match &reference {
+                None => reference = Some(probe),
+                Some(r) => {
+                    assert_eq!(r.0, probe.0, "{kind} x {threads} threads drifted (memo on)");
+                    assert_eq!(
+                        r.1, probe.1,
+                        "{kind} x {threads} threads drifted (memo off)"
+                    );
+                    assert_eq!(r.2, probe.2, "{kind} x {threads} threads drifted (faulted)");
+                }
+            }
+        }
+    }
+    // Leave the process default where the suite found it.
+    set_default_queue_kind(QueueKind::default());
+}
+
+#[test]
+fn forced_kinds_agree_on_the_fault_engine_without_the_global() {
+    // Belt and braces for the global-free path: build queues of each
+    // kind explicitly and replay the same schedule script.
+    use wcs_simcore::{EventQueue, SimTime};
+    let script: Vec<(u64, u64)> = {
+        let mut rng = SimRng::seed_from(7);
+        (0..5_000u64)
+            .map(|i| (rng.next_u64() % (1 << 34), i))
+            .collect()
+    };
+    let drain = |kind: QueueKind| -> Vec<(u64, u64)> {
+        let mut q = EventQueue::with_kind(kind);
+        for &(t, p) in &script {
+            q.schedule(SimTime::from_nanos(t), p);
+        }
+        let mut out = Vec::new();
+        while let Some((t, p)) = q.pop() {
+            out.push((t.as_nanos(), p));
+        }
+        out
+    };
+    let heap = drain(QueueKind::Heap);
+    assert_eq!(heap, drain(QueueKind::Calendar));
+    assert_eq!(heap, drain(QueueKind::Auto));
+}

@@ -42,21 +42,27 @@ pub struct PerfSample {
 /// Encode a perf measurement into its journal payload (little-endian).
 ///
 /// ```text
-/// Ok : 0x00 value:f64-bits scheduled:u64 fast_path:u64 max_depth:u64
+/// Ok : 0x00 value:f64-bits scheduled:u64 fast_path:u64
+///      calendar_hits:u64 heap_fallbacks:u64 max_depth:u64
 /// Err: 0x01 wl_len:u32 wl_bytes reason_len:u32 reason_bytes
 /// ```
 ///
 /// Both arms are journaled: an infeasible-QoS `Err` is as much a pure
 /// function of the cell key as a successful sample, and replaying it
-/// saves the resumed run the recompute.
+/// saves the resumed run the recompute. Records written before the
+/// calendar-queue counters existed carry a 32-byte `Ok` body and fail
+/// the length check below, so resumed runs recompute those cells
+/// instead of reviving a half-decoded sample.
 pub fn encode_perf(result: &Result<PerfSample, MeasureError>) -> Vec<u8> {
     match result {
         Ok(s) => {
-            let mut out = Vec::with_capacity(1 + 8 * 4);
+            let mut out = Vec::with_capacity(1 + 8 * 6);
             out.push(0);
             out.extend_from_slice(&s.value.to_bits().to_le_bytes());
             out.extend_from_slice(&s.queue.scheduled.to_le_bytes());
             out.extend_from_slice(&s.queue.fast_path.to_le_bytes());
+            out.extend_from_slice(&s.queue.calendar_hits.to_le_bytes());
+            out.extend_from_slice(&s.queue.heap_fallbacks.to_le_bytes());
             out.extend_from_slice(&s.queue.max_depth.to_le_bytes());
             out
         }
@@ -81,7 +87,7 @@ pub fn decode_perf(payload: &[u8]) -> Option<Result<PerfSample, MeasureError>> {
     let (&tag, rest) = payload.split_first()?;
     match tag {
         0 => {
-            if rest.len() != 32 {
+            if rest.len() != 48 {
                 return None;
             }
             let word =
@@ -91,7 +97,9 @@ pub fn decode_perf(payload: &[u8]) -> Option<Result<PerfSample, MeasureError>> {
                 queue: QueueObs {
                     scheduled: word(1),
                     fast_path: word(2),
-                    max_depth: word(3),
+                    calendar_hits: word(3),
+                    heap_fallbacks: word(4),
+                    max_depth: word(5),
                 },
             }))
         }
@@ -451,6 +459,8 @@ mod tests {
             queue: QueueObs {
                 scheduled: 10,
                 fast_path: 3,
+                calendar_hits: 5,
+                heap_fallbacks: 2,
                 max_depth: 7,
             },
         });
@@ -476,6 +486,10 @@ mod tests {
         assert!(decode_perf(&[]).is_none());
         assert!(decode_perf(&[9]).is_none(), "unknown tag");
         assert!(decode_perf(&[0, 1, 2]).is_none(), "short Ok body");
+        assert!(
+            decode_perf(&[0u8; 33]).is_none(),
+            "pre-calendar 32-byte Ok body is dropped, not half-decoded"
+        );
         assert!(
             decode_perf(&[1, 255, 255, 255, 255]).is_none(),
             "oversized Err len"

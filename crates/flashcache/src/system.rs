@@ -2,7 +2,7 @@
 //!
 //! The replay loop is chunked: requests are staged into a small scratch
 //! buffer (from the live generator or from a materialized trace slice)
-//! and consumed by one shared slice kernel, so both paths execute
+//! and consumed by one shared epoch-batch kernel, so both paths execute
 //! byte-identical simulation code and differ only in where the chunk
 //! comes from.
 
@@ -143,38 +143,70 @@ impl StorageSystem {
         }
     }
 
-    /// The shared replay kernel: consumes one staged chunk of requests.
-    fn replay_slice(&mut self, chunk: &[BlockAccess], stats: &mut StorageStats) {
-        for req in chunk {
-            let bytes = req.bytes() as f64;
-            stats.requests += 1;
-            // A failed flash device degrades to the bare-disk path:
-            // full disk latency, no caching, no wear.
-            match (&mut self.flash, self.flash_failed) {
-                (None, _) | (Some(_), true) => {
-                    let svc = self.disk.access_secs(bytes);
-                    stats.total_service_secs += svc;
-                    stats.latency.record(svc);
-                }
-                (Some((flash, index)), false) => {
-                    let hit = index.access(req.block, req.write);
-                    let svc = if req.write {
-                        // Write-back: absorbed by flash either way.
-                        stats.background_bytes += req.bytes();
-                        if hit {
-                            stats.flash_hits += 1;
-                        }
-                        flash.write_secs(bytes)
-                    } else if hit {
-                        stats.flash_hits += 1;
-                        flash.read_secs(bytes)
-                    } else {
-                        self.disk.access_secs(bytes)
-                    };
-                    stats.total_service_secs += svc;
-                    stats.latency.record(svc);
+    /// The shared replay kernel, split into two phases per staged epoch.
+    ///
+    /// Phase one probes the cache index (the hash-walk is the
+    /// unpredictable part) and stages each request's service time plus
+    /// an outcome code; the flash-state dispatch is hoisted out of the
+    /// loop — it cannot change mid-chunk. Phase two folds the staged
+    /// outcomes into the counters: integer stats accumulate branch-free
+    /// over `chunks_exact` lanes, while the f64 service sum and the
+    /// histogram run in the original sequential request order so the
+    /// floating-point results stay bit-identical to the one-pass loop.
+    ///
+    /// Code bits: bit 0 = flash hit, bit 1 = write absorbed by flash.
+    fn replay_epoch_batch(&mut self, chunk: &[BlockAccess], stats: &mut StorageStats) {
+        debug_assert!(chunk.len() <= CHUNK);
+        let mut svc = [0.0f64; CHUNK];
+        let mut codes = [0u8; CHUNK];
+        let staged = chunk.len();
+        // A failed flash device degrades to the bare-disk path: full
+        // disk latency, no caching, no wear.
+        match (&mut self.flash, self.flash_failed) {
+            (None, _) | (Some(_), true) => {
+                for (req, s) in chunk.iter().zip(svc.iter_mut()) {
+                    *s = self.disk.access_secs(req.bytes() as f64);
                 }
             }
+            (Some((flash, index)), false) => {
+                for ((req, s), code) in chunk.iter().zip(svc.iter_mut()).zip(codes.iter_mut()) {
+                    let bytes = req.bytes() as f64;
+                    let hit = index.access(req.block, req.write);
+                    if req.write {
+                        // Write-back: absorbed by flash either way.
+                        *code = 2 | u8::from(hit);
+                        *s = flash.write_secs(bytes);
+                    } else if hit {
+                        *code = 1;
+                        *s = flash.read_secs(bytes);
+                    } else {
+                        *s = self.disk.access_secs(bytes);
+                    }
+                }
+            }
+        }
+        stats.requests += staged as u64;
+        let (mut hits, mut bg) = (0u64, 0u64);
+        let mut code_lanes = codes[..staged].chunks_exact(8);
+        let mut req_lanes = chunk.chunks_exact(8);
+        for (cl, rl) in code_lanes.by_ref().zip(req_lanes.by_ref()) {
+            let (mut h, mut b) = (0u64, 0u64);
+            for (&c, req) in cl.iter().zip(rl) {
+                h += u64::from(c & 1);
+                b += u64::from(c & 2 != 0) * req.bytes();
+            }
+            hits += h;
+            bg += b;
+        }
+        for (&c, req) in code_lanes.remainder().iter().zip(req_lanes.remainder()) {
+            hits += u64::from(c & 1);
+            bg += u64::from(c & 2 != 0) * req.bytes();
+        }
+        stats.flash_hits += hits;
+        stats.background_bytes += bg;
+        for &s in &svc[..staged] {
+            stats.total_service_secs += s;
+            stats.latency.record(s);
         }
     }
 
@@ -202,7 +234,7 @@ impl StorageSystem {
             for slot in &mut scratch[..take] {
                 *slot = gen.next_access();
             }
-            self.replay_slice(&scratch[..take], &mut stats);
+            self.replay_epoch_batch(&scratch[..take], &mut stats);
             left -= take as u64;
         }
         self.finish_wear(&mut stats);
@@ -214,12 +246,12 @@ impl StorageSystem {
     ///
     /// Bit-identical to [`replay`](Self::replay) over the same requests:
     /// the buffer stores exactly what the generator would produce, and
-    /// both paths feed the same slice kernel.
+    /// both paths feed the same epoch-batch kernel.
     pub fn replay_trace(&mut self, request_blocks: u32, trace: &[BlockAccess]) -> StorageStats {
         self.size_flash(request_blocks as u64 * 4096);
         let mut stats = StorageStats::default();
         for chunk in trace.chunks(CHUNK) {
-            self.replay_slice(chunk, &mut stats);
+            self.replay_epoch_batch(chunk, &mut stats);
         }
         self.finish_wear(&mut stats);
         stats

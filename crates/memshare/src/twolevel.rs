@@ -2,8 +2,8 @@
 //!
 //! The replay loop is chunked: accesses are staged into a small scratch
 //! buffer (from the live generator or from a materialized
-//! [`MemTraceBuf`]) and consumed by one shared slice kernel, so the
-//! generator path and the shared-buffer path execute byte-identical
+//! [`MemTraceBuf`]) and consumed by one shared epoch-batch kernel, so
+//! the generator path and the shared-buffer path execute byte-identical
 //! simulation code and differ only in where the chunk comes from.
 
 use wcs_workloads::memtrace::{MemTraceBuf, MemTraceGen, PageAccess};
@@ -73,27 +73,46 @@ impl TwoLevelSim {
         }
     }
 
-    /// The shared replay kernel: consumes one staged chunk of accesses.
-    fn replay_slice(&mut self, chunk: &[PageAccess], stats: &mut MissStats) {
-        for a in chunk {
-            let touch = self.local.touch(a.page, a.write);
-            stats.accesses += 1;
-            match touch {
-                Touch::Hit => {}
-                Touch::Miss { evicted: None } => {
-                    // Cold fill: local memory not yet full.
-                }
+    /// The shared replay kernel, split into two phases per staged epoch:
+    /// the touch loop walks the store (pointer-heavy, unpredictable) and
+    /// records one outcome code per access, then a branch-free
+    /// `chunks_exact` pass folds the codes into the counters. Keeping
+    /// the accumulation out of the touch loop lets the compiler unroll
+    /// and vectorize it, and keeps the counters out of the store's
+    /// cache-miss shadow.
+    ///
+    /// Codes: 0 = hit or uncharged cold fill, 1 = clean miss, 2 = dirty
+    /// miss (miss + writeback).
+    fn replay_epoch_batch(&mut self, chunk: &[PageAccess], stats: &mut MissStats) {
+        debug_assert!(chunk.len() <= CHUNK);
+        let mut codes = [0u8; CHUNK];
+        for (a, code) in chunk.iter().zip(codes.iter_mut()) {
+            *code = match self.local.touch(a.page, a.write) {
+                Touch::Hit | Touch::Miss { evicted: None } => 0,
                 Touch::Miss {
                     evicted: Some((_, dirty)),
-                } => {
-                    self.warm = true;
-                    stats.misses += 1;
-                    if dirty {
-                        stats.writebacks += 1;
-                    }
-                }
-            }
+                } => 1 + dirty as u8,
+            };
         }
+        stats.accesses += chunk.len() as u64;
+        let (mut misses, mut writebacks) = (0u64, 0u64);
+        let mut lanes = codes[..chunk.len()].chunks_exact(8);
+        for lane in lanes.by_ref() {
+            let (mut m, mut w) = (0u64, 0u64);
+            for &c in lane {
+                m += u64::from(c != 0);
+                w += u64::from(c == 2);
+            }
+            misses += m;
+            writebacks += w;
+        }
+        for &c in lanes.remainder() {
+            misses += u64::from(c != 0);
+            writebacks += u64::from(c == 2);
+        }
+        self.warm |= misses > 0;
+        stats.misses += misses;
+        stats.writebacks += writebacks;
     }
 
     /// Replays `n` touches from the generator, returning steady-state
@@ -110,7 +129,7 @@ impl TwoLevelSim {
             for slot in &mut scratch[..take] {
                 *slot = gen.next_access();
             }
-            self.replay_slice(&scratch[..take], &mut stats);
+            self.replay_epoch_batch(&scratch[..take], &mut stats);
             left -= take as u64;
         }
         stats
@@ -120,7 +139,7 @@ impl TwoLevelSim {
     ///
     /// Bit-identical to [`run`](Self::run) over the same accesses: the
     /// buffer stores exactly what the generator would produce, and both
-    /// paths feed the same slice kernel.
+    /// paths feed the same epoch-batch kernel.
     ///
     /// # Panics
     /// Panics if the range runs past the end of the buffer.
@@ -135,7 +154,7 @@ impl TwoLevelSim {
         while at < end {
             let take = (end - at).min(CHUNK);
             buf.fill_chunk(at, &mut scratch[..take]);
-            self.replay_slice(&scratch[..take], &mut stats);
+            self.replay_epoch_batch(&scratch[..take], &mut stats);
             at += take;
         }
         stats

@@ -1,0 +1,213 @@
+//! Bump arena for event payloads.
+//!
+//! Server engines used to allocate one `Vec` or `Rc<[T]>` per request
+//! for its stage list — millions of short-lived heap allocations per
+//! run, all freed together when the run ends. [`EpochArena`] replaces
+//! them with a single growing buffer: payloads copy in with a bump
+//! append, events carry a [`ArenaSlice`] (a `Copy` index range) instead
+//! of an owning pointer, and the whole arena resets in O(1) between
+//! runs. A generation tag on every slice catches the classic arena bug
+//! — dereferencing a slice after the arena was reset — deterministically
+//! in every build, instead of yielding stale data.
+
+/// A `Copy` handle to a contiguous range of items in an [`EpochArena`].
+///
+/// Slices are only meaningful against the arena and generation that
+/// issued them; [`EpochArena::get`] panics on a stale generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArenaSlice {
+    start: u32,
+    len: u32,
+    generation: u32,
+}
+
+impl ArenaSlice {
+    /// An empty slice, valid against any arena at generation 0.
+    pub const EMPTY: ArenaSlice = ArenaSlice {
+        start: 0,
+        len: 0,
+        generation: 0,
+    };
+
+    /// Number of items the slice spans.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when the slice spans no items.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// A bump arena holding the payload data of one simulation epoch (one
+/// run, one generation). See the module docs for the rationale.
+///
+/// # Example
+/// ```
+/// use wcs_simcore::EpochArena;
+/// let mut arena: EpochArena<u32> = EpochArena::new();
+/// let s = arena.alloc_copy(&[1, 2, 3]);
+/// assert_eq!(arena.get(s), &[1, 2, 3]);
+/// arena.reset(); // O(1): next generation, storage reused
+/// assert!(arena.is_empty());
+/// ```
+pub struct EpochArena<T> {
+    items: Vec<T>,
+    generation: u32,
+}
+
+impl<T> Default for EpochArena<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EpochArena<T> {
+    /// An empty arena at generation 0.
+    pub fn new() -> Self {
+        EpochArena {
+            items: Vec::new(),
+            generation: 0,
+        }
+    }
+
+    /// An empty arena pre-sized for `capacity` items.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EpochArena {
+            items: Vec::with_capacity(capacity),
+            generation: 0,
+        }
+    }
+
+    /// Bump-appends everything `iter` yields, returning the handle.
+    ///
+    /// # Panics
+    /// Panics if the arena would exceed `u32::MAX` items — engine runs
+    /// are bounded far below that, and a 32-bit handle keeps event
+    /// payloads small.
+    pub fn alloc_extend(&mut self, iter: impl IntoIterator<Item = T>) -> ArenaSlice {
+        let start = self.items.len();
+        self.items.extend(iter);
+        let len = self.items.len() - start;
+        assert!(
+            self.items.len() <= u32::MAX as usize,
+            "EpochArena overflowed u32 indexing"
+        );
+        ArenaSlice {
+            start: start as u32,
+            len: len as u32,
+            generation: self.generation,
+        }
+    }
+
+    /// The items a slice refers to.
+    ///
+    /// # Panics
+    /// Panics when `slice` was issued by a previous generation (the
+    /// arena has been [`reset`](Self::reset) since): a stale handle is
+    /// always a bug, and failing loudly keeps it deterministic.
+    pub fn get(&self, slice: ArenaSlice) -> &[T] {
+        assert_eq!(
+            slice.generation, self.generation,
+            "stale ArenaSlice: arena was reset since this slice was allocated"
+        );
+        &self.items[slice.start as usize..(slice.start + slice.len) as usize]
+    }
+
+    /// Drops every allocation and advances the generation; the backing
+    /// storage is retained, so steady-state epochs never reallocate.
+    pub fn reset(&mut self) {
+        self.items.clear();
+        self.generation = self.generation.wrapping_add(1);
+    }
+
+    /// Items currently allocated.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when nothing is allocated in the current generation.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The current generation (advanced by every [`reset`](Self::reset)).
+    pub fn generation(&self) -> u32 {
+        self.generation
+    }
+}
+
+impl<T: Copy> EpochArena<T> {
+    /// Bump-copies a slice of `Copy` items, returning the handle. This
+    /// is the hot-path entry: a `memcpy` into the bump buffer, no
+    /// per-payload allocator round trip.
+    pub fn alloc_copy(&mut self, items: &[T]) -> ArenaSlice {
+        let start = self.items.len();
+        self.items.extend_from_slice(items);
+        assert!(
+            self.items.len() <= u32::MAX as usize,
+            "EpochArena overflowed u32 indexing"
+        );
+        ArenaSlice {
+            start: start as u32,
+            len: items.len() as u32,
+            generation: self.generation,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_get_round_trip() {
+        let mut arena = EpochArena::new();
+        let a = arena.alloc_copy(&[1u64, 2, 3]);
+        let b = arena.alloc_copy(&[9u64]);
+        let c = arena.alloc_copy(&[]);
+        assert_eq!(arena.get(a), &[1, 2, 3]);
+        assert_eq!(arena.get(b), &[9]);
+        assert_eq!(arena.get(c), &[] as &[u64]);
+        assert_eq!(a.len(), 3);
+        assert!(c.is_empty());
+        assert_eq!(arena.len(), 4);
+    }
+
+    #[test]
+    fn alloc_extend_matches_alloc_copy() {
+        let mut a = EpochArena::new();
+        let mut b = EpochArena::with_capacity(16);
+        let sa = a.alloc_extend([5u32, 6, 7]);
+        let sb = b.alloc_copy(&[5u32, 6, 7]);
+        assert_eq!(a.get(sa), b.get(sb));
+    }
+
+    #[test]
+    fn reset_keeps_capacity_and_bumps_generation() {
+        let mut arena = EpochArena::with_capacity(8);
+        let _ = arena.alloc_copy(&[1u8, 2, 3, 4]);
+        let g0 = arena.generation();
+        arena.reset();
+        assert!(arena.is_empty());
+        assert_eq!(arena.generation(), g0 + 1);
+        let s = arena.alloc_copy(&[7u8]);
+        assert_eq!(arena.get(s), &[7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale ArenaSlice")]
+    fn stale_slice_panics() {
+        let mut arena = EpochArena::new();
+        let s = arena.alloc_copy(&[1u8]);
+        arena.reset();
+        let _ = arena.get(s);
+    }
+
+    #[test]
+    fn empty_const_is_valid_on_fresh_arena() {
+        let arena: EpochArena<u16> = EpochArena::new();
+        assert_eq!(arena.get(ArenaSlice::EMPTY), &[] as &[u16]);
+    }
+}

@@ -41,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod event;
 mod rng;
 mod time;
@@ -61,8 +62,9 @@ pub mod table;
 pub mod timeseries;
 pub mod watchdog;
 
+pub use arena::{ArenaSlice, EpochArena};
 pub use error::ConfigError;
-pub use event::EventQueue;
+pub use event::{EventQueue, QueueKind};
 pub use obs::Registry;
 pub use pool::ThreadPool;
 pub use rng::SimRng;

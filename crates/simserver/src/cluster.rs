@@ -19,12 +19,11 @@
 //! plain run bit for bit.
 
 use std::collections::VecDeque;
-use std::rc::Rc;
 
 use wcs_simcore::stats::Histogram;
 #[cfg(test)]
 use wcs_simcore::SimDuration;
-use wcs_simcore::{ConfigError, EventQueue, SimRng, SimTime};
+use wcs_simcore::{ArenaSlice, ConfigError, EpochArena, EventQueue, SimRng, SimTime};
 
 use crate::engine::{RunStats, ServerSpec};
 use crate::failover::{ClusterFaults, FaultStats, RetryPolicy};
@@ -58,12 +57,14 @@ pub struct Cluster {
 
 /// One physical attempt at a logical request.
 ///
-/// Stages are shared (`Rc<[Stage]>`) rather than owned: a timeout or
-/// crash hands the *same* stage list to the retry event with a refcount
-/// bump instead of re-allocating a `Vec` per attempt — retries and
-/// zombie drains are the fault path's hottest allocation site.
+/// Stages live in the run's [`EpochArena`] and attempts carry a `Copy`
+/// [`ArenaSlice`] handle: a timeout or crash hands the *same* stage list
+/// to the retry event by copying 12 bytes — no refcount traffic, no
+/// re-allocating a `Vec` per attempt. Retries and zombie drains are the
+/// fault path's hottest allocation site, and the bump arena removes the
+/// per-request `Rc<[Stage]>` allocation they used to share.
 struct Attempt {
-    stages: Rc<[Stage]>,
+    stages: ArenaSlice,
     next_stage: usize,
     /// First dispatch instant of the *logical* request, so latency spans
     /// retries.
@@ -95,7 +96,7 @@ enum CEv {
     Up { server: usize },
     /// A backed-off retry re-enters the dispatcher.
     Retry {
-        stages: Rc<[Stage]>,
+        stages: ArenaSlice,
         logical_started: SimTime,
         attempt_no: u32,
     },
@@ -210,6 +211,12 @@ impl Cluster {
         let fault_events: usize = (0..s).map(|srv| faults.windows_for(srv).len() * 2).sum();
         let mut events: EventQueue<CEv> =
             EventQueue::with_capacity(n_clients as usize * 2 + fault_events);
+        // All stage lists for the run live here; events and attempts
+        // carry `Copy` handles. The arena grows with the run's logical
+        // request count (a few stages each) and is dropped wholesale at
+        // the end — one bump append per request instead of one `Rc`
+        // allocation plus refcount churn on every retry and zombie.
+        let mut arena: EpochArena<Stage> = EpochArena::with_capacity(n_clients as usize * 8);
         let mut inflight: Vec<Attempt> = Vec::new();
         let mut slot_gen: Vec<u64> = Vec::new();
         let mut active: Vec<bool> = Vec::new();
@@ -220,7 +227,7 @@ impl Cluster {
         let mut busy_ns: Vec<[u128; 4]> = vec![[0; 4]; s];
         let mut in_flight_per_server: Vec<u32> = vec![0; s];
         let mut up: Vec<bool> = vec![true; s];
-        let mut parked: VecDeque<(Rc<[Stage]>, SimTime, u32)> = VecDeque::new();
+        let mut parked: VecDeque<(ArenaSlice, SimTime, u32)> = VecDeque::new();
         let mut rr_next = 0usize;
 
         // Pre-schedule the whole outage plan; zero windows => zero events.
@@ -281,7 +288,7 @@ impl Cluster {
                         break;
                     };
                     busy[$srv][ri] += 1;
-                    let svc = inflight[req].stages[inflight[req].next_stage].service;
+                    let svc = arena.get(inflight[req].stages)[inflight[req].next_stage].service;
                     busy_ns[$srv][ri] += svc.as_nanos() as u128;
                     events.schedule(
                         $now + svc,
@@ -361,12 +368,12 @@ impl Cluster {
 
         macro_rules! enqueue {
             ($stages:expr, $logical_started:expr, $attempt_no:expr, $now:expr) => {{
-                let stages: Rc<[Stage]> = $stages;
+                let stages: ArenaSlice = $stages;
                 match pick_server!() {
                     None => parked.push_back((stages, $logical_started, $attempt_no)),
                     Some(server) => {
                         in_flight_per_server[server] += 1;
-                        let first = stages[0].resource;
+                        let first = arena.get(stages)[0].resource;
                         let attempt = Attempt {
                             stages,
                             next_stage: 0,
@@ -415,7 +422,7 @@ impl Cluster {
                     for st in &mut stages {
                         *st = Stage::new(st.resource, st.service * inflation);
                     }
-                    enqueue!(Rc::from(stages), $now, 0u32, $now);
+                    enqueue!(arena.alloc_copy(&stages), $now, 0u32, $now);
                     break 'gen;
                 }
             }};
@@ -466,7 +473,7 @@ impl Cluster {
                         active[slot] = false;
                         free.push(slot);
                         if !inflight[slot].abandoned {
-                            let stages = Rc::clone(&inflight[slot].stages);
+                            let stages = inflight[slot].stages;
                             let ls = inflight[slot].logical_started;
                             let an = inflight[slot].attempt_no;
                             fail_attempt!(stages, ls, an, now);
@@ -487,9 +494,9 @@ impl Cluster {
                     inflight[slot].abandoned = true;
                     timeouts_n += 1;
                     // The zombie keeps draining on the server; the client
-                    // moves on sharing the same stage list (refcount
-                    // bump, no allocation).
-                    let stages = Rc::clone(&inflight[slot].stages);
+                    // moves on sharing the same stage list (a 12-byte
+                    // handle copy, no allocation).
+                    let stages = inflight[slot].stages;
                     let ls = inflight[slot].logical_started;
                     let an = inflight[slot].attempt_no;
                     fail_attempt!(stages, ls, an, now);
@@ -523,7 +530,8 @@ impl Cluster {
                             launch!(now);
                         }
                     } else {
-                        let r = inflight[slot].stages[inflight[slot].next_stage].resource;
+                        let r =
+                            arena.get(inflight[slot].stages)[inflight[slot].next_stage].resource;
                         queues[server][r.index()].push_back(slot);
                         try_start!(server, r, now);
                     }

@@ -313,34 +313,46 @@ impl ServerSim {
             run.launch(SimTime::ZERO);
         }
 
-        while let Some((now, ev)) = run.events.pop() {
-            let Ev::StageDone { req, resource } = ev else {
-                run.launch(now);
-                continue;
-            };
-            let ev = StageDoneInfo { req, resource };
-            run.busy[ev.resource.index()] -= 1;
-            run.inflight[ev.req].next_stage += 1;
-            let inf = &run.inflight[ev.req];
-            if inf.next_stage >= inf.stages.len() {
-                let started = inf.started;
-                run.account_completion(started, now);
-                run.free_slots.push(ev.req);
-                match run.think_mean {
-                    Some(mean) if !mean.is_zero() => {
-                        let think = run.rng.exp_duration(mean);
-                        run.events.schedule(now + think, Ev::Launch);
+        // Batched epoch delivery: every event of an instant arrives as
+        // one slice (`pop_epoch`), replacing a lane comparison per event
+        // with one per epoch. Events are still processed in exact pop
+        // order — the drained slice *is* the pop order, and anything
+        // scheduled while processing carries a higher seq, so it lands
+        // in a later epoch exactly as the one-at-a-time loop delivered
+        // it. Breaking mid-epoch matches the old early exit: the clock
+        // already sits at the epoch instant and the leftover events were
+        // equally unprocessed before.
+        let mut epoch: Vec<Ev> = Vec::new();
+        'outer: while let Some(now) = run.events.pop_epoch(&mut epoch) {
+            for ev in epoch.drain(..) {
+                let Ev::StageDone { req, resource } = ev else {
+                    run.launch(now);
+                    continue;
+                };
+                let ev = StageDoneInfo { req, resource };
+                run.busy[ev.resource.index()] -= 1;
+                run.inflight[ev.req].next_stage += 1;
+                let inf = &run.inflight[ev.req];
+                if inf.next_stage >= inf.stages.len() {
+                    let started = inf.started;
+                    run.account_completion(started, now);
+                    run.free_slots.push(ev.req);
+                    match run.think_mean {
+                        Some(mean) if !mean.is_zero() => {
+                            let think = run.rng.exp_duration(mean);
+                            run.events.schedule(now + think, Ev::Launch);
+                        }
+                        _ => run.launch(now),
                     }
-                    _ => run.launch(now),
+                } else {
+                    let r = inf.stages[inf.next_stage].resource;
+                    run.queues[r.index()].push_back(ev.req);
+                    run.try_start(r, now);
                 }
-            } else {
-                let r = inf.stages[inf.next_stage].resource;
-                run.queues[r.index()].push_back(ev.req);
-                run.try_start(r, now);
-            }
-            run.try_start(ev.resource, now);
-            if run.completed_total >= run.target_total {
-                break;
+                run.try_start(ev.resource, now);
+                if run.completed_total >= run.target_total {
+                    break 'outer;
+                }
             }
         }
 
