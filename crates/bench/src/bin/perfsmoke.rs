@@ -6,9 +6,13 @@
 //!
 //! All studies run with pinned seeds, so the *numbers* they produce are
 //! identical run to run and across `--threads` values; only the wall
-//! times vary. The smoke also scales the multi-process sweep service
-//! across worker counts (1, 2, 4 processes, no chaos) and folds the
-//! wall times into the `service` section. Run with
+//! times vary — and the `cross_check` section proves it, evaluating one
+//! design under every worker-thread count × scheduler kind × memo
+//! setting and requiring byte-identical renders. The smoke also rates
+//! the chunked SoA replay kernels (`perf.replay`: pages/sec and
+//! blocks/sec) and scales the multi-process sweep service across worker
+//! counts (1, 2, 4 processes, no chaos), folding the wall times into
+//! the `service` section. Run with
 //! `cargo run --release -p wcs-bench --bin perfsmoke [--threads N]`.
 
 use std::fmt::Write as _;
@@ -19,14 +23,20 @@ use wcs_bench::service::{run_supervisor, ServiceOptions};
 use wcs_core::evaluate::Evaluator;
 use wcs_core::experiments::{cpu_study, memory_study_with, run_disk_study_with, unified_study};
 use wcs_core::sweeps::{sweep_flash_capacity, sweep_local_fraction, sweep_platforms};
+use wcs_core::DesignPoint;
+use wcs_flashcache::system::StorageSystem;
 use wcs_memshare::ensemble::{run_ensemble_pooled, ServerConfig};
 use wcs_memshare::link::RemoteLink;
 use wcs_memshare::policy::PolicyKind;
+use wcs_memshare::twolevel::TwoLevelSim;
+use wcs_platforms::storage::{DiskModel, FlashModel};
 use wcs_platforms::PlatformId;
 use wcs_simcore::faults::FaultProcess;
 use wcs_simcore::obs::Registry;
-use wcs_simcore::{EventQueue, QueueKind, SimDuration, SimRng, SimTime};
+use wcs_simcore::{EventQueue, QueueKind, SimDuration, SimRng, SimTime, ThreadPool};
 use wcs_simserver::{Cluster, ClusterFaults, Resource, RetryPolicy, ServerSpec, Stage};
+use wcs_workloads::disktrace;
+use wcs_workloads::memtrace::{params_for as mem_params, MemTraceBuf};
 use wcs_workloads::perf::MeasureConfig;
 use wcs_workloads::WorkloadId;
 
@@ -103,6 +113,78 @@ fn event_queue_rate(kind: QueueKind) -> (u64, f64, u64) {
         sum
     });
     (2 * EVENTS, 2.0 * EVENTS as f64 / (wall_ms / 1e3), sum)
+}
+
+/// Rate the two chunked SoA replay kernels over fixed-seed materialized
+/// traces: the two-level page kernel in pages/sec (dense store, lane
+/// staging fanned over `pool`) and the flashcache block kernel in
+/// blocks/sec. These feed `perf.replay` in the JSON and are gated
+/// against the committed baseline in CI.
+fn replay_kernel_rates(pool: &ThreadPool) -> (f64, f64) {
+    const MEM_ACCESSES: usize = 2_000_000;
+    let params = mem_params(WorkloadId::Websearch);
+    let buf = MemTraceBuf::generate_par(params, 1, MEM_ACCESSES, pool);
+    // 25% of the 2 GiB baseline locally — the paper's operating point.
+    let mut sim =
+        TwoLevelSim::with_page_universe(131_072, PolicyKind::Lru, 5, params.footprint_pages);
+    let fill = (MEM_ACCESSES / 2) as u64;
+    let _ = sim.par_replay(&buf, 0, fill, pool);
+    let (stats, ms) = timed(|| sim.par_replay(&buf, MEM_ACCESSES / 2, fill, pool));
+    let pages_per_sec = stats.accesses as f64 / (ms / 1e3);
+
+    const DISK_REQUESTS: usize = 400_000;
+    let dparams = disktrace::params_for(WorkloadId::Ytube);
+    let trace = disktrace::materialize(dparams, 1, DISK_REQUESTS);
+    let mut sys = StorageSystem::with_flash(DiskModel::laptop_remote(), FlashModel::table3());
+    let (_, ms) = timed(|| sys.replay_trace(dparams.request_blocks, &trace));
+    let blocks_per_sec =
+        (DISK_REQUESTS as u64 * u64::from(dparams.request_blocks)) as f64 / (ms / 1e3);
+    (pages_per_sec, blocks_per_sec)
+}
+
+/// FNV-1a over a render, for reporting a compact checksum in the JSON.
+fn fnv64(s: &str) -> u64 {
+    s.bytes().fold(0xcbf2_9ce4_8422_2325_u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+    })
+}
+
+/// Byte-identity cross-check: evaluate the N2 design (every cache plus
+/// the event engine in one cell) on a fresh evaluator under every
+/// engine configuration — worker threads × scheduler kind × memoization
+/// — and require all renders byte-identical. Any divergence aborts the
+/// run before results are written. Restores the process default queue
+/// kind to `args.queue` before returning.
+fn engine_cross_check(args: &cli::BenchArgs) -> (usize, u64, f64) {
+    let design = DesignPoint::n2();
+    let mut reference: Option<(String, String)> = None;
+    let mut configs = 0usize;
+    let (_, wall_ms) = timed(|| {
+        for threads in [1usize, 2, 8] {
+            let pool = ThreadPool::new(threads).expect("positive thread count");
+            for kind in QueueKind::ALL {
+                wcs_simcore::event::set_default_queue_kind(kind);
+                for memo in [true, false] {
+                    let label = format!("threads={threads} queue={} memo={memo}", kind.as_str());
+                    let e = args.build_evaluator(|b| {
+                        b.quick().pool(pool).memo(memo).obs(Registry::disabled())
+                    });
+                    let render = format!("{:?}", e.evaluate(&design).expect("N2 evaluates"));
+                    match &reference {
+                        None => reference = Some((render, label)),
+                        Some((want, base)) => assert_eq!(
+                            want, &render,
+                            "evaluation diverged between [{base}] and [{label}]"
+                        ),
+                    }
+                    configs += 1;
+                }
+            }
+        }
+    });
+    wcs_simcore::event::set_default_queue_kind(args.queue);
+    let (render, _) = reference.expect("at least one config ran");
+    (configs, fnv64(&render), wall_ms)
 }
 
 /// Scale the sweep service across worker-process counts (no chaos) and
@@ -201,21 +283,33 @@ fn main() {
         .expect("selected kind was benchmarked");
 
     // Observability overhead: the unified study on a fresh evaluator per
-    // run, first with the registry disabled, then enabled, interleaved
-    // twice; best-of-two on each side rejects scheduler noise. The same
-    // work runs either way — the only difference is whether the exact
-    // metric exports hit a no-op handle or live atomics.
+    // run, disabled/enabled runs interleaved five times; the median of
+    // each side rejects scheduler noise that best-of-two let through.
+    // The same work runs either way — the only difference is whether the
+    // exact metric exports hit a no-op handle or live atomics. Both the
+    // absolute delta and the percentage are reported, so sub-millisecond
+    // jitter on a fast study cannot read as a large ratio.
+    const OBS_RUNS: usize = 5;
     let metrics_reg = Registry::new();
     let study_run = |obs: Registry| -> f64 {
         let e = args.build_evaluator(|b| b.obs(obs).quick());
         let (_, ms) = timed(|| unified_study(&e, PlatformId::Srvr1).expect("designs evaluate"));
         ms
     };
-    let off_first = study_run(Registry::disabled());
-    let on_first = study_run(metrics_reg.clone());
-    let obs_off_ms = off_first.min(study_run(Registry::disabled()));
-    let obs_on_ms = on_first.min(study_run(metrics_reg.clone()));
-    let obs_overhead_pct = (obs_on_ms - obs_off_ms) / obs_off_ms * 100.0;
+    let median = |mut xs: Vec<f64>| -> f64 {
+        xs.sort_by(f64::total_cmp);
+        xs[xs.len() / 2]
+    };
+    let mut off_runs = Vec::with_capacity(OBS_RUNS);
+    let mut on_runs = Vec::with_capacity(OBS_RUNS);
+    for _ in 0..OBS_RUNS {
+        off_runs.push(study_run(Registry::disabled()));
+        on_runs.push(study_run(metrics_reg.clone()));
+    }
+    let obs_off_ms = median(off_runs);
+    let obs_on_ms = median(on_runs);
+    let obs_delta_ms = obs_on_ms - obs_off_ms;
+    let obs_overhead_pct = obs_delta_ms / obs_off_ms * 100.0;
 
     // Memoization check: the full sweep bundle, cold (memo disabled),
     // then twice on one memoized evaluator (filling, then warm). All
@@ -252,7 +346,20 @@ fn main() {
         "queue.fast_path stayed zero across the sweep bundle — the \
          same-instant fast path never fired"
     );
+    // The auto router must actually reach the calendar wheel at real
+    // study depths — a zero here means the routing threshold regressed
+    // back above the depths studies reach (dead routing).
+    if args.queue != QueueKind::Heap {
+        let calendar_hits = snap.count("queue.calendar_hits").unwrap_or(0);
+        assert!(
+            calendar_hits > 0,
+            "queue.calendar_hits stayed zero across the sweep bundle with --queue {}",
+            args.queue.as_str()
+        );
+    }
 
+    let (replay_pages_per_sec, replay_blocks_per_sec) = replay_kernel_rates(&pool);
+    let (cross_configs, cross_fnv, cross_ms) = engine_cross_check(&args);
     let service_points = service_scaling(args.seed.unwrap_or(42));
 
     let mut json = String::from("{\n");
@@ -278,7 +385,8 @@ fn main() {
     );
     let _ = writeln!(
         json,
-        "  \"obs\": {{\"disabled_ms\": {obs_off_ms:.3}, \"enabled_ms\": {obs_on_ms:.3}, \
+        "  \"obs\": {{\"runs\": {OBS_RUNS}, \"disabled_ms\": {obs_off_ms:.3}, \
+         \"enabled_ms\": {obs_on_ms:.3}, \"delta_ms\": {obs_delta_ms:.3}, \
          \"overhead_pct\": {obs_overhead_pct:.3}}},"
     );
     json.push_str("  \"metrics\": {\n");
@@ -317,8 +425,16 @@ fn main() {
         json,
         "  \"perf\": {{\"queue_kind\": \"{}\", \"events_per_sec\": {events_per_sec:.0}, \
          \"sweep_cold_ms\": {sweep_cold_ms:.3}, \"sweep_warm_ms\": {sweep_warm_ms:.3}, \
-         \"fast_path_share\": {fast_path_share:.4}}}",
+         \"fast_path_share\": {fast_path_share:.4}, \
+         \"replay\": {{\"pages_per_sec\": {replay_pages_per_sec:.0}, \
+         \"blocks_per_sec\": {replay_blocks_per_sec:.0}}}}},",
         args.queue.as_str()
+    );
+    let _ = writeln!(
+        json,
+        "  \"cross_check\": {{\"configs\": {cross_configs}, \
+         \"render_fnv64\": \"{cross_fnv:#018x}\", \"wall_ms\": {cross_ms:.1}, \
+         \"diverged\": false}}"
     );
     json.push_str("}\n");
     run_or_exit(
@@ -337,8 +453,16 @@ fn main() {
         println!("  service {cells} cells, {workers} worker(s): {wall_ms:>10.1} ms");
     }
     println!(
-        "  obs overhead: disabled {obs_off_ms:.1} ms, enabled {obs_on_ms:.1} ms \
-         ({obs_overhead_pct:+.2}%)"
+        "  replay kernels: twolevel {replay_pages_per_sec:.2e} pages/sec, \
+         flashcache {replay_blocks_per_sec:.2e} blocks/sec"
+    );
+    println!(
+        "  cross-check: {cross_configs} engine configs byte-identical \
+         (fnv64 {cross_fnv:#018x}, {cross_ms:.0} ms)"
+    );
+    println!(
+        "  obs overhead (median of {OBS_RUNS}): disabled {obs_off_ms:.1} ms, \
+         enabled {obs_on_ms:.1} ms ({obs_delta_ms:+.2} ms, {obs_overhead_pct:+.2}%)"
     );
     println!(
         "  memo sweep: cold {sweep_cold_ms:.1} ms, warm {sweep_warm_ms:.1} ms \

@@ -4,8 +4,9 @@
 //! # Protocol
 //!
 //! The **supervisor** owns a deterministic sweep plan ([`service_plan`]),
-//! shards its cells into contiguous ranges, and spawns one **worker
-//! process** per range — the same executable re-invoked with
+//! shards its cells with memo affinity (cells sharing replay-cache keys
+//! stay together — see `affinity_shards`), and spawns one **worker
+//! process** per shard — the same executable re-invoked with
 //! [`WORKER_FLAG`] (every binary that embeds the supervisor calls
 //! [`maybe_run_worker`] first, so a spawned copy runs the worker loop
 //! instead of its own `main`). Each worker:
@@ -328,6 +329,67 @@ fn run_worker(args: &[String]) -> i32 {
     EXIT_OK
 }
 
+/// Shard `plan` across up to `workers` processes with memo affinity:
+/// cells sharing a [`wcs_core::designs::MemShareConfig`] stay on one
+/// worker — their trace replays hit the process-local memo instead of
+/// being recomputed once per process — while memshare-free cells move
+/// freely as singletons. Units are bin-packed largest-first onto the
+/// least-loaded worker, so the result is a pure function of the plan
+/// and deterministic across supervisor restarts. Returns non-empty
+/// shards, each sorted in plan order.
+///
+/// Contiguous near-equal ranges (the previous policy) split the
+/// memshare family across processes; every process then replayed the
+/// same traces cold, which is pure duplicated CPU and made 4 workers
+/// *lose* to 1 on small machines.
+fn affinity_shards(plan: &[DesignPoint], workers: usize) -> Vec<Vec<u32>> {
+    // Atomic units: one per distinct memshare config (rendered — the
+    // configs are plain data with stable Debug output), singletons
+    // otherwise.
+    let mut units: Vec<(Vec<u32>, u64)> = Vec::new();
+    let mut shared: Vec<(String, usize)> = Vec::new();
+    for (i, d) in plan.iter().enumerate() {
+        let light = 1 + u64::from(d.storage.is_some());
+        match &d.memshare {
+            None => units.push((vec![i as u32], light)),
+            Some(ms) => {
+                let key = format!("{ms:?}");
+                match shared.iter().find(|(k, _)| *k == key) {
+                    Some(&(_, at)) => {
+                        units[at].0.push(i as u32);
+                        units[at].1 += light;
+                    }
+                    None => {
+                        shared.push((key, units.len()));
+                        // The group's first cell pays the full replay
+                        // cost; weight it like several light cells.
+                        units.push((vec![i as u32], 8 + light));
+                    }
+                }
+            }
+        }
+    }
+    // Largest-first onto the least-loaded bin; `min_by_key` keeps the
+    // first minimum, so ties break toward earlier bins.
+    units.sort_by(|a, b| b.1.cmp(&a.1).then(a.0[0].cmp(&b.0[0])));
+    let mut bins: Vec<(u64, Vec<u32>)> = vec![(0, Vec::new()); workers.max(1)];
+    for (cells, w) in units {
+        let bin = bins
+            .iter_mut()
+            .min_by_key(|(load, _)| *load)
+            .expect("at least one bin");
+        bin.0 += w;
+        bin.1.extend(cells);
+    }
+    bins.retain(|(_, cells)| !cells.is_empty());
+    bins.into_iter()
+        .map(|(_, mut cells)| {
+            cells.sort_unstable();
+            cells
+        })
+        .collect()
+}
+
 /// Maximal contiguous runs of a sorted index list, as `(start, end)`.
 fn contiguous_runs(cells: &[u32]) -> Vec<(u32, u32)> {
     let mut runs = Vec::new();
@@ -432,6 +494,10 @@ struct WorkerSlot {
     cells: Vec<u32>,
     attempt: u32,
     last_len: u64,
+    /// Byte offset of the journal's parsed prefix — the resume point for
+    /// [`journal::replay_tail`], so each heartbeat decodes only what the
+    /// worker appended since the previous poll.
+    tail_offset: u64,
     last_progress: Instant,
 }
 
@@ -536,29 +602,19 @@ pub fn run_supervisor(opts: &ServiceOptions) -> Result<ServiceReport, WcsError> 
             cells,
             attempt,
             last_len: 0,
+            tail_offset: 0,
             last_progress: Instant::now(),
         })
     };
 
-    // Initial shard: contiguous, near-equal ranges.
-    let workers = opts.workers.min(total.max(1));
-    for w in 0..workers {
-        let start = w * total / workers;
-        let end = (w + 1) * total / workers;
-        if start == end {
-            continue;
-        }
+    // Initial shard: memo-affinity (see [`affinity_shards`]) — cells
+    // sharing replay-cache keys stay in one process.
+    for (w, cells) in affinity_shards(&plan, opts.workers).into_iter().enumerate() {
         let stall = match opts.stall_worker {
             Some((idx, after)) if idx == w => Some(after),
             _ => None,
         };
-        let slot = spawn(
-            (start as u32..end as u32).collect(),
-            0,
-            stall,
-            &mut all_journals,
-            &mut cell_state,
-        )?;
+        let slot = spawn(cells, 0, stall, &mut all_journals, &mut cell_state)?;
         slots.push(slot);
     }
 
@@ -568,17 +624,26 @@ pub fn run_supervisor(opts: &ServiceOptions) -> Result<ServiceReport, WcsError> 
 
     loop {
         // 1. Heartbeat: absorb completion markers from every live journal.
+        // A cheap stat gates the read — an unchanged file is skipped
+        // outright — and the read itself resumes from the cached offset,
+        // decoding only the appended tail. Re-reading whole journals
+        // here made the supervisor CPU-bound at higher worker counts.
         for slot in &mut slots {
-            let Ok((records, _report)) = journal::replay(&slot.journal) else {
-                continue;
-            };
             let len = std::fs::metadata(&slot.journal)
                 .map(|m| m.len())
                 .unwrap_or(0);
+            if len == slot.last_len {
+                continue;
+            }
             if len > slot.last_len {
                 slot.last_len = len;
                 slot.last_progress = Instant::now();
             }
+            let Ok((records, offset)) = journal::replay_tail(&slot.journal, slot.tail_offset)
+            else {
+                continue;
+            };
+            slot.tail_offset = offset;
             for r in &records {
                 if let Some(ServiceRecord::CellDone { cell }) = ServiceRecord::decode(&r.payload) {
                     if let Some(s) = cell_state.get_mut(cell as usize) {
@@ -657,9 +722,10 @@ pub fn run_supervisor(opts: &ServiceOptions) -> Result<ServiceReport, WcsError> 
                     }
                 }
             };
-            // The worker is gone: final journal read, then reclaim.
+            // The worker is gone: final tail read (markers seen by the
+            // heartbeat are already absorbed), then reclaim.
             progress.workers_live.fetch_sub(1, Ordering::Relaxed);
-            if let Ok((records, _)) = journal::replay(&slot.journal) {
+            if let Ok((records, _)) = journal::replay_tail(&slot.journal, slot.tail_offset) {
                 for r in &records {
                     if let Some(ServiceRecord::CellDone { cell }) =
                         ServiceRecord::decode(&r.payload)
@@ -867,6 +933,41 @@ mod tests {
         assert_eq!(four.len(), 4);
         for (a, b) in four.iter().zip(full.iter()) {
             assert_eq!(a.name, b.name);
+        }
+    }
+
+    #[test]
+    fn affinity_shards_cover_plan_and_keep_memshare_groups_whole() {
+        let plan = service_plan(0);
+        for workers in [1usize, 2, 4, 8, 32] {
+            let shards = affinity_shards(&plan, workers);
+            assert!(!shards.is_empty() && shards.len() <= workers);
+            let mut seen: Vec<u32> = shards.iter().flatten().copied().collect();
+            seen.sort_unstable();
+            assert_eq!(
+                seen,
+                (0..plan.len() as u32).collect::<Vec<_>>(),
+                "{workers} workers must cover every cell exactly once"
+            );
+            // Every pair of cells with the same memshare config sits in
+            // the same shard — the property that stops cross-process
+            // replay duplication.
+            let shard_of = |cell: u32| shards.iter().position(|s| s.contains(&cell)).unwrap();
+            for (i, a) in plan.iter().enumerate() {
+                for (j, b) in plan.iter().enumerate().skip(i + 1) {
+                    if let (Some(ma), Some(mb)) = (&a.memshare, &b.memshare) {
+                        if format!("{ma:?}") == format!("{mb:?}") {
+                            assert_eq!(
+                                shard_of(i as u32),
+                                shard_of(j as u32),
+                                "cells {i} and {j} share a memshare config"
+                            );
+                        }
+                    }
+                }
+            }
+            // Determinism: recomputing the shards yields the same split.
+            assert_eq!(shards, affinity_shards(&plan, workers));
         }
     }
 

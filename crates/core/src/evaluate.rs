@@ -8,7 +8,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use wcs_memshare::contention::SharedLink;
-use wcs_memshare::slowdown::{estimate_slowdown_with, SlowdownConfig};
+use wcs_memshare::slowdown::{estimate_slowdown_pooled, SlowdownConfig};
 use wcs_platforms::Platform;
 use wcs_simcore::journal;
 use wcs_simcore::obs::Registry;
@@ -225,20 +225,32 @@ impl Evaluator {
         })
     }
 
+    /// Splits the pool between the across-cell fan-out and the work
+    /// inside each cell: with more threads than cells, each cell's
+    /// inner evaluator keeps the leftover `threads / cells` workers for
+    /// its own workload fan-out and replay lane staging, so a 3-design
+    /// study at `--threads 8` still uses idle workers intra-study
+    /// instead of leaving five of them parked. The split affects wall
+    /// time only — every path is bit-identical at any thread count.
+    fn intra_cell_pool(&self, cells: usize) -> ThreadPool {
+        let outer = self.pool.threads().min(cells.max(1));
+        ThreadPool::new((self.pool.threads() / outer).max(1)).expect("thread count is positive")
+    }
+
     /// Evaluates many design points, fanning the designs out over the
     /// pool. The returned evaluations are in input order and bit-identical
     /// to calling [`Evaluator::evaluate`] in a loop.
     ///
-    /// Parallelism is applied across designs (each design evaluated
-    /// serially inside its task) to keep the worker count bounded by the
-    /// pool size.
+    /// Parallelism is applied across designs first; threads left over
+    /// when the pool is wider than the design list are applied *within*
+    /// each design (see [`intra_cell_pool`](Self::intra_cell_pool)).
     ///
     /// # Errors
     /// Returns the first (lowest-index) design's [`MeasureError`], exactly
     /// as the serial loop would.
     pub fn evaluate_many(&self, designs: &[DesignPoint]) -> Result<Vec<DesignEval>, MeasureError> {
         let inner = Evaluator {
-            pool: ThreadPool::serial(),
+            pool: self.intra_cell_pool(designs.len()),
             ..self.clone()
         };
         let evals = self.pool.try_par_map(designs, |_, d| {
@@ -261,7 +273,7 @@ impl Evaluator {
     /// the outcome vector is bit-identical at any thread count.
     pub fn evaluate_cells(&self, designs: &[DesignPoint]) -> Vec<CellOutcome> {
         let inner = Evaluator {
-            pool: ThreadPool::serial(),
+            pool: self.intra_cell_pool(designs.len()),
             ..self.clone()
         };
         let (results, recovery) =
@@ -328,7 +340,7 @@ impl Evaluator {
         if let Some(ms) = &design.memshare {
             // First pass: fault rate at the uncontended link; second
             // pass folds the shared link's M/D/1 queueing delay back in.
-            let base = estimate_slowdown_with(
+            let base = estimate_slowdown_pooled(
                 id,
                 &SlowdownConfig {
                     local_fraction: ms.provisioning.local_fraction,
@@ -336,6 +348,7 @@ impl Evaluator {
                     ..SlowdownConfig::paper_default()
                 },
                 self.memo.replay(),
+                &self.pool,
             )
             .expect("memshare design has local_fraction in (0, 1]");
             let shared = SharedLink::new(ms.link, ms.servers_per_blade.max(1));

@@ -4,16 +4,31 @@
 //! buffer (from the live generator or from a materialized trace slice)
 //! and consumed by one shared epoch-batch kernel, so both paths execute
 //! byte-identical simulation code and differ only in where the chunk
-//! comes from.
+//! comes from. The kernel itself is a SoA lane pass: a probe loop
+//! records one outcome-code bitmask byte per request, integer counters
+//! fold branch-free via [`wcs_simcore::simd`], service times come from
+//! a per-code table (every request of a trace moves the same number of
+//! blocks, so each code has one service time), and the f64 service sum
+//! accumulates through the fixed-order per-epoch reduction tree of
+//! [`simd::block_sums_f64`] — bit-identical for every chunking of the
+//! trace that splits at epoch boundaries.
 
 use wcs_platforms::storage::{DiskModel, FlashModel};
-use wcs_simcore::stats::Histogram;
+use wcs_simcore::simd;
+use wcs_simcore::stats::{Histogram, PreparedSample};
 use wcs_workloads::disktrace::{BlockAccess, DiskTraceGen};
 
 use crate::cache::{FlashCacheIndex, WearStats};
 
-/// Requests staged per chunk of the replay loop.
-const CHUNK: usize = 4096;
+/// Requests staged per chunk of the replay loop — one f64 accumulation
+/// block ([`simd::F64_BLOCK`]), so chunked replays that split at epoch
+/// boundaries reproduce the unsplit block-sum sequence exactly.
+const CHUNK: usize = simd::F64_BLOCK;
+
+/// Outcome-code bit: the request was served from flash.
+const CODE_HIT: u8 = 1;
+/// Outcome-code bit: a write absorbed by flash (write-back traffic).
+const CODE_ABSORBED: u8 = 2;
 
 /// Statistics from replaying a block trace.
 #[derive(Debug, Clone, Default)]
@@ -143,71 +158,126 @@ impl StorageSystem {
         }
     }
 
-    /// The shared replay kernel, split into two phases per staged epoch.
+    /// Builds the per-code service-time table for requests of
+    /// `request_blocks` blocks. Codes index it directly: every request
+    /// of a homogeneous trace moves the same byte count, so each
+    /// outcome class has exactly one service time (and one pre-bucketed
+    /// histogram sample). The degraded row covers the no-flash /
+    /// failed-flash path, where every code is 0.
+    fn svc_table(&self, request_blocks: u32) -> SvcTable {
+        let bytes = u64::from(request_blocks) * 4096;
+        let fbytes = bytes as f64;
+        let disk = self.disk.access_secs(fbytes);
+        let svc = match &self.flash {
+            Some((flash, _)) => [
+                disk,                    // read miss
+                flash.read_secs(fbytes), // read hit
+                flash.write_secs(fbytes),
+                flash.write_secs(fbytes),
+            ],
+            None => [disk; 4],
+        };
+        SvcTable {
+            blocks: request_blocks,
+            bytes,
+            svc,
+            prepared: svc.map(Histogram::prepare),
+            degraded: disk,
+            degraded_prepared: Histogram::prepare(disk),
+        }
+    }
+
+    /// The shared replay kernel, split into lane passes per staged
+    /// epoch.
     ///
-    /// Phase one probes the cache index (the hash-walk is the
-    /// unpredictable part) and stages each request's service time plus
-    /// an outcome code; the flash-state dispatch is hoisted out of the
-    /// loop — it cannot change mid-chunk. Phase two folds the staged
-    /// outcomes into the counters: integer stats accumulate branch-free
-    /// over `chunks_exact` lanes, while the f64 service sum and the
-    /// histogram run in the original sequential request order so the
-    /// floating-point results stay bit-identical to the one-pass loop.
+    /// The probe pass walks the cache index (the unpredictable part)
+    /// and records one outcome-code bitmask byte per request; the
+    /// flash-state dispatch is hoisted out of the loop — it cannot
+    /// change mid-chunk. Integer counters then fold branch-free
+    /// ([`simd::fold_mask_counts`]); the service-time lane is a
+    /// per-code table gather whose epoch sum joins the fixed-order
+    /// block-sum sequence (`svc_sums`), reduced once at the end of the
+    /// replay; and the histogram replays pre-bucketed samples in the
+    /// original request order, so every statistic stays bit-identical
+    /// to a one-pass scalar loop.
     ///
-    /// Code bits: bit 0 = flash hit, bit 1 = write absorbed by flash.
-    fn replay_epoch_batch(&mut self, chunk: &[BlockAccess], stats: &mut StorageStats) {
+    /// Requests whose size differs from the table's (hand-built traces
+    /// only) fall back to computing the same service formulas per
+    /// request — identical bits for the sizes that do match.
+    fn replay_epoch_batch(
+        &mut self,
+        chunk: &[BlockAccess],
+        table: &SvcTable,
+        stats: &mut StorageStats,
+        svc_sums: &mut Vec<f64>,
+    ) {
         debug_assert!(chunk.len() <= CHUNK);
-        let mut svc = [0.0f64; CHUNK];
         let mut codes = [0u8; CHUNK];
         let staged = chunk.len();
-        // A failed flash device degrades to the bare-disk path: full
-        // disk latency, no caching, no wear.
-        match (&mut self.flash, self.flash_failed) {
-            (None, _) | (Some(_), true) => {
-                for (req, s) in chunk.iter().zip(svc.iter_mut()) {
-                    *s = self.disk.access_secs(req.bytes() as f64);
-                }
-            }
-            (Some((flash, index)), false) => {
-                for ((req, s), code) in chunk.iter().zip(svc.iter_mut()).zip(codes.iter_mut()) {
-                    let bytes = req.bytes() as f64;
+        let degraded = match (&mut self.flash, self.flash_failed) {
+            // A failed flash device degrades to the bare-disk path:
+            // full disk latency, no caching, no wear. Codes stay 0.
+            (None, _) | (Some(_), true) => true,
+            (Some((_, index)), false) => {
+                for (req, code) in chunk.iter().zip(codes.iter_mut()) {
                     let hit = index.access(req.block, req.write);
-                    if req.write {
-                        // Write-back: absorbed by flash either way.
-                        *code = 2 | u8::from(hit);
-                        *s = flash.write_secs(bytes);
-                    } else if hit {
-                        *code = 1;
-                        *s = flash.read_secs(bytes);
+                    // Write-back: absorbed by flash either way.
+                    *code = u8::from(hit) * CODE_HIT + u8::from(req.write) * CODE_ABSORBED;
+                }
+                false
+            }
+        };
+        stats.requests += staged as u64;
+        let counts = simd::fold_mask_counts(&codes[..staged]);
+        stats.flash_hits += counts[0];
+        let homogeneous = chunk.iter().all(|r| r.blocks == table.blocks);
+        if homogeneous {
+            stats.background_bytes += counts[1] * table.bytes;
+        } else {
+            for (req, &c) in chunk.iter().zip(&codes[..staged]) {
+                stats.background_bytes += u64::from(c & CODE_ABSORBED != 0) * req.bytes();
+            }
+        }
+        // Service-time lane: a branch-free table gather in the common
+        // homogeneous case, the same formulas per request otherwise.
+        let mut svc = [0.0f64; CHUNK];
+        match (homogeneous, degraded) {
+            (true, false) => {
+                for (&c, s) in codes[..staged].iter().zip(svc.iter_mut()) {
+                    *s = table.svc[usize::from(c)];
+                }
+                for &c in &codes[..staged] {
+                    stats
+                        .latency
+                        .record_prepared(table.prepared[usize::from(c)]);
+                }
+            }
+            (true, true) => {
+                svc[..staged].fill(table.degraded);
+                for _ in 0..staged {
+                    stats.latency.record_prepared(table.degraded_prepared);
+                }
+            }
+            (false, _) => {
+                for ((req, &c), s) in chunk.iter().zip(&codes[..staged]).zip(svc.iter_mut()) {
+                    let bytes = req.bytes() as f64;
+                    *s = if degraded || c == 0 {
+                        self.disk.access_secs(bytes)
                     } else {
-                        *s = self.disk.access_secs(bytes);
-                    }
+                        let (flash, _) = self.flash.as_ref().expect("probed above");
+                        if c & CODE_ABSORBED != 0 {
+                            flash.write_secs(bytes)
+                        } else {
+                            flash.read_secs(bytes)
+                        }
+                    };
+                }
+                for &s in &svc[..staged] {
+                    stats.latency.record(s);
                 }
             }
         }
-        stats.requests += staged as u64;
-        let (mut hits, mut bg) = (0u64, 0u64);
-        let mut code_lanes = codes[..staged].chunks_exact(8);
-        let mut req_lanes = chunk.chunks_exact(8);
-        for (cl, rl) in code_lanes.by_ref().zip(req_lanes.by_ref()) {
-            let (mut h, mut b) = (0u64, 0u64);
-            for (&c, req) in cl.iter().zip(rl) {
-                h += u64::from(c & 1);
-                b += u64::from(c & 2 != 0) * req.bytes();
-            }
-            hits += h;
-            bg += b;
-        }
-        for (&c, req) in code_lanes.remainder().iter().zip(req_lanes.remainder()) {
-            hits += u64::from(c & 1);
-            bg += u64::from(c & 2 != 0) * req.bytes();
-        }
-        stats.flash_hits += hits;
-        stats.background_bytes += bg;
-        for &s in &svc[..staged] {
-            stats.total_service_secs += s;
-            stats.latency.record(s);
-        }
+        simd::block_sums_f64(&svc[..staged], svc_sums);
     }
 
     /// Copies the cache's wear counters into the replay's statistics.
@@ -221,8 +291,7 @@ impl StorageSystem {
     /// statistics. The flash cache (if any) is sized for the generator's
     /// request extent before the replay.
     pub fn replay(&mut self, gen: &mut DiskTraceGen, n: u64) -> StorageStats {
-        self.size_flash(gen.params().request_blocks as u64 * 4096);
-        let mut stats = StorageStats::default();
+        let mut session = self.begin_replay(gen.params().request_blocks);
         let mut scratch = [BlockAccess {
             block: 0,
             blocks: 0,
@@ -234,11 +303,10 @@ impl StorageSystem {
             for slot in &mut scratch[..take] {
                 *slot = gen.next_access();
             }
-            self.replay_epoch_batch(&scratch[..take], &mut stats);
+            self.replay_chunk(&mut session, &scratch[..take]);
             left -= take as u64;
         }
-        self.finish_wear(&mut stats);
-        stats
+        self.finish_replay(session)
     }
 
     /// Replays a materialized trace whose requests use extents of
@@ -248,14 +316,93 @@ impl StorageSystem {
     /// the buffer stores exactly what the generator would produce, and
     /// both paths feed the same epoch-batch kernel.
     pub fn replay_trace(&mut self, request_blocks: u32, trace: &[BlockAccess]) -> StorageStats {
-        self.size_flash(request_blocks as u64 * 4096);
-        let mut stats = StorageStats::default();
-        for chunk in trace.chunks(CHUNK) {
-            self.replay_epoch_batch(chunk, &mut stats);
+        let mut session = self.begin_replay(request_blocks);
+        self.replay_chunk(&mut session, trace);
+        self.finish_replay(session)
+    }
+
+    /// Opens a resumable replay of requests sized `request_blocks`
+    /// blocks, sizing the flash cache (if cold) for that extent.
+    ///
+    /// Feed trace ranges with [`replay_chunk`](Self::replay_chunk) and
+    /// close with [`finish_replay`](Self::finish_replay). Splitting a
+    /// trace across any number of chunks whose boundaries fall on
+    /// [`REPLAY_CHUNK_ALIGN`] multiples yields statistics bit-identical
+    /// to one whole-trace call: the cache state threads chunk to chunk
+    /// inside the system, integer counters merge exactly, and the f64
+    /// service total is reduced once, at finish, from the per-epoch
+    /// block-sum sequence — which aligned splits reproduce exactly.
+    pub fn begin_replay(&mut self, request_blocks: u32) -> ReplaySession {
+        self.size_flash(u64::from(request_blocks) * 4096);
+        ReplaySession {
+            table: self.svc_table(request_blocks),
+            stats: StorageStats::default(),
+            svc_sums: Vec::new(),
+            mid_epoch: false,
         }
+    }
+
+    /// Replays one trace range of an open session.
+    ///
+    /// # Panics
+    /// Panics if a previous chunk of this session ended off an epoch
+    /// boundary (only the final chunk may be ragged — see
+    /// [`begin_replay`](Self::begin_replay)).
+    pub fn replay_chunk(&mut self, session: &mut ReplaySession, chunk: &[BlockAccess]) {
+        assert!(
+            !session.mid_epoch,
+            "replay_chunk after a ragged (non-multiple-of-{REPLAY_CHUNK_ALIGN}) chunk"
+        );
+        session.mid_epoch = !chunk.len().is_multiple_of(CHUNK);
+        for epoch in chunk.chunks(CHUNK) {
+            self.replay_epoch_batch(
+                epoch,
+                &session.table,
+                &mut session.stats,
+                &mut session.svc_sums,
+            );
+        }
+    }
+
+    /// Closes a session: reduces the service-time block sums with one
+    /// fixed-shape tree and snapshots the wear counters.
+    pub fn finish_replay(&mut self, session: ReplaySession) -> StorageStats {
+        let ReplaySession {
+            mut stats,
+            svc_sums,
+            ..
+        } = session;
+        stats.total_service_secs = simd::reduce_block_sums(&svc_sums);
         self.finish_wear(&mut stats);
         stats
     }
+}
+
+/// Chunk boundaries a split replay must fall on to stay bit-identical
+/// to an unsplit one (one f64 accumulation block, [`simd::F64_BLOCK`]).
+pub const REPLAY_CHUNK_ALIGN: usize = CHUNK;
+
+/// An open resumable replay: cache state lives in the
+/// [`StorageSystem`]; the session carries the statistics under
+/// construction and the fixed-order f64 block-sum sequence.
+#[derive(Debug)]
+pub struct ReplaySession {
+    table: SvcTable,
+    stats: StorageStats,
+    svc_sums: Vec<f64>,
+    mid_epoch: bool,
+}
+
+/// Per-code service times for homogeneous (fixed-size) requests — the
+/// gather table of the replay kernel's service lane.
+#[derive(Debug)]
+struct SvcTable {
+    blocks: u32,
+    bytes: u64,
+    svc: [f64; 4],
+    prepared: [PreparedSample; 4],
+    degraded: f64,
+    degraded_prepared: PreparedSample,
 }
 
 #[cfg(test)]
@@ -345,6 +492,77 @@ mod tests {
                 "{id} diverged"
             );
         }
+    }
+
+    #[test]
+    fn chunked_replay_is_invariant_to_chunk_count() {
+        let params = params_for(WorkloadId::Ytube);
+        let n = 50_000;
+        let trace = wcs_workloads::disktrace::materialize(params, 17, n);
+        let mut whole = StorageSystem::with_flash(DiskModel::laptop_remote(), FlashModel::table3());
+        let want = whole.replay_trace(params.request_blocks, &trace);
+        for chunks in [1usize, 2, 7, 64] {
+            let mut sys =
+                StorageSystem::with_flash(DiskModel::laptop_remote(), FlashModel::table3());
+            let mut session = sys.begin_replay(params.request_blocks);
+            // Split only at epoch-aligned boundaries.
+            let epochs = n.div_ceil(REPLAY_CHUNK_ALIGN);
+            let per = epochs.div_ceil(chunks) * REPLAY_CHUNK_ALIGN;
+            let mut at = 0;
+            while at < n {
+                let end = (at + per).min(n);
+                sys.replay_chunk(&mut session, &trace[at..end]);
+                at = end;
+            }
+            let got = sys.finish_replay(session);
+            assert_eq!(
+                format!("{want:?}"),
+                format!("{got:?}"),
+                "chunks={chunks} diverged"
+            );
+            assert_eq!(
+                want.total_service_secs.to_bits(),
+                got.total_service_secs.to_bits(),
+                "chunks={chunks} f64 total"
+            );
+        }
+    }
+
+    #[test]
+    fn heterogeneous_trace_sizes_fall_back_bit_consistently() {
+        // Hand-built trace mixing request sizes: the per-request
+        // fallback must agree with a table-free scalar expectation.
+        let disk = DiskModel::laptop_remote();
+        let trace: Vec<BlockAccess> = (0..9000u64)
+            .map(|i| BlockAccess {
+                block: (i * 64) % 4096,
+                blocks: if i % 3 == 0 { 64 } else { 16 },
+                write: i % 5 == 0,
+            })
+            .collect();
+        let mut sys = StorageSystem::disk_only(disk.clone());
+        let got = sys.replay_trace(64, &trace);
+        assert_eq!(got.requests, 9000);
+        let want: f64 = trace
+            .iter()
+            .map(|r| disk.access_secs(r.bytes() as f64))
+            .sum();
+        assert!(
+            (got.total_service_secs - want).abs() < 1e-9,
+            "{} vs {want}",
+            got.total_service_secs
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_mid_session_chunks_are_rejected() {
+        let params = params_for(WorkloadId::Webmail);
+        let trace = wcs_workloads::disktrace::materialize(params, 3, 5000);
+        let mut sys = StorageSystem::disk_only(DiskModel::desktop());
+        let mut session = sys.begin_replay(params.request_blocks);
+        sys.replay_chunk(&mut session, &trace[..100]); // off-boundary
+        sys.replay_chunk(&mut session, &trace[100..]);
     }
 
     #[test]

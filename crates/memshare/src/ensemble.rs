@@ -143,7 +143,14 @@ pub fn run_ensemble_pooled(
     let replays = pool.par_map(configs, |i, c| {
         let params = params_for(c.workload);
         let local_pages = ((BASELINE_2GIB_PAGES as f64) * c.local_fraction) as usize;
-        let mut sim = TwoLevelSim::new(local_pages.max(1), policy, seed ^ (i as u64) << 8);
+        // Trace pages lie in [0, footprint), so the store can index them
+        // densely — bit-identical to the hashed store, just faster.
+        let mut sim = TwoLevelSim::with_page_universe(
+            local_pages.max(1),
+            policy,
+            seed ^ (i as u64) << 8,
+            params.footprint_pages,
+        );
         let mut gen = MemTraceGen::new(params, seed ^ 0xD15C ^ i as u64);
 
         // Fill, then measure.

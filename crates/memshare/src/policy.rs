@@ -90,6 +90,22 @@ impl PageStore {
         }
     }
 
+    /// Creates a store whose page numbers are known to lie in
+    /// `[0, universe)`, backing the key map with a dense direct-index
+    /// table instead of a hash map. Behaviour is identical to
+    /// [`new`](Self::new) — slot order, victim choice, and dirty
+    /// tracking are all unchanged — only lookups get cheaper.
+    ///
+    /// # Panics
+    /// Panics if `capacity` or `universe` is zero.
+    pub fn with_universe(capacity: usize, kind: PolicyKind, seed: u64, universe: u64) -> Self {
+        PageStore {
+            kind,
+            cache: SlotCache::with_dense_keys(capacity, kind == PolicyKind::Lru, universe),
+            rng: SimRng::seed_from(seed),
+        }
+    }
+
     /// Number of resident pages.
     pub fn len(&self) -> usize {
         self.cache.len()
@@ -130,6 +146,67 @@ impl PageStore {
         Touch::Miss {
             evicted: Some(evicted),
         }
+    }
+
+    /// The epoch touch pass of the vectorized replay kernel: touches
+    /// every access of an SoA chunk (`pages[i]`, write iff
+    /// `writes[i] != 0`) and records one outcome-code bitmask byte per
+    /// access into `codes` — [`CODE_MISS`] for a charged (full-store)
+    /// miss, `| `[`CODE_WRITEBACK`] when the victim was dirty. Hits and
+    /// uncharged cold fills record 0.
+    ///
+    /// Bit-identical to calling [`touch`](Self::touch) per access: the
+    /// policy dispatch is hoisted out of the loop (one monomorphic loop
+    /// per [`PolicyKind`]), but slot operations and RNG draws happen in
+    /// exactly the same order.
+    ///
+    /// # Panics
+    /// Panics if the slice lengths disagree.
+    pub fn touch_pass(&mut self, pages: &[u32], writes: &[u8], codes: &mut [u8]) {
+        assert!(
+            pages.len() == writes.len() && pages.len() == codes.len(),
+            "SoA chunk length mismatch"
+        );
+        let (cache, rng) = (&mut self.cache, &mut self.rng);
+        match self.kind {
+            PolicyKind::Lru => touch_loop(cache, pages, writes, codes, |c| c.lru_victim()),
+            PolicyKind::Random => {
+                touch_loop(cache, pages, writes, codes, |c| rng.index(c.len()) as u32)
+            }
+            PolicyKind::Clock => touch_loop(cache, pages, writes, codes, |c| c.clock_victim()),
+        }
+    }
+}
+
+/// Outcome-code bit: the access faulted against a full store.
+pub const CODE_MISS: u8 = 1;
+/// Outcome-code bit: the evicted victim was dirty (writeback DMA).
+pub const CODE_WRITEBACK: u8 = 2;
+
+/// The shared inner loop of [`PageStore::touch_pass`], monomorphized per
+/// victim selector so the per-access policy `match` disappears.
+#[inline]
+fn touch_loop(
+    cache: &mut SlotCache,
+    pages: &[u32],
+    writes: &[u8],
+    codes: &mut [u8],
+    mut victim: impl FnMut(&mut SlotCache) -> u32,
+) {
+    for ((&page, &w), code) in pages.iter().zip(writes).zip(codes.iter_mut()) {
+        let page = u64::from(page);
+        let write = w != 0;
+        *code = if let Some(slot) = cache.lookup(page) {
+            cache.touch_existing(slot, write);
+            0
+        } else if !cache.is_full() {
+            cache.insert(page, write);
+            0
+        } else {
+            let v = victim(cache);
+            let (_, dirty) = cache.replace(v, page, write);
+            CODE_MISS | (u8::from(dirty) * CODE_WRITEBACK)
+        };
     }
 }
 
@@ -206,6 +283,48 @@ mod tests {
             let large_hit = matches!(large.touch(page, false), Touch::Hit);
             if small_hit {
                 assert!(large_hit, "inclusion violated at page {page}");
+            }
+        }
+    }
+
+    #[test]
+    fn touch_pass_matches_scalar_touch_for_every_policy_and_index() {
+        // The vectorized epoch pass must reproduce, access by access,
+        // what the scalar touch API reports — for all three policies and
+        // for both key-index kinds.
+        let universe = 600u64;
+        let mut rng = SimRng::seed_from(0xACE5);
+        let n = 8_000;
+        let pages: Vec<u32> = (0..n)
+            .map(|_| rng.index(universe as usize) as u32)
+            .collect();
+        let writes: Vec<u8> = (0..n).map(|_| u8::from(rng.chance(0.3))).collect();
+        for kind in [PolicyKind::Lru, PolicyKind::Random, PolicyKind::Clock] {
+            let stores = [
+                PageStore::new(96, kind, 42),
+                PageStore::with_universe(96, kind, 42, universe),
+            ];
+            for mut soa in stores {
+                let mut scalar = PageStore::new(96, kind, 42);
+                let mut want = vec![0u8; n];
+                for (i, w) in want.iter_mut().enumerate() {
+                    *w = match scalar.touch(u64::from(pages[i]), writes[i] != 0) {
+                        Touch::Hit | Touch::Miss { evicted: None } => 0,
+                        Touch::Miss {
+                            evicted: Some((_, dirty)),
+                        } => CODE_MISS | (u8::from(dirty) * CODE_WRITEBACK),
+                    };
+                }
+                let mut got = vec![0u8; n];
+                // Feed the pass in ragged chunks to cover resume points.
+                let mut at = 0;
+                for take in [1usize, 7, 512, 4096, n] {
+                    let end = (at + take).min(n);
+                    soa.touch_pass(&pages[at..end], &writes[at..end], &mut got[at..end]);
+                    at = end;
+                }
+                soa.touch_pass(&pages[at..], &writes[at..], &mut got[at..]);
+                assert_eq!(got, want, "{kind:?}");
             }
         }
     }

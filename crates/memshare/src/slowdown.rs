@@ -4,7 +4,7 @@ use std::sync::Arc;
 
 use wcs_simcore::memo::{MemoCache, MemoKey, MemoStats};
 use wcs_simcore::obs::Registry;
-use wcs_simcore::ConfigError;
+use wcs_simcore::{ConfigError, ThreadPool};
 use wcs_workloads::memtrace::{params_for, MemTraceBuf, MemTraceGen, MemTraceParams};
 use wcs_workloads::WorkloadId;
 
@@ -151,13 +151,28 @@ impl ReplayMemo {
     /// The materialized `(params, seed)` trace of at least `n` accesses,
     /// shared across every caller that asks for the same one.
     pub fn trace(&self, params: MemTraceParams, seed: u64, n: usize) -> Arc<MemTraceBuf> {
+        self.trace_par(params, seed, n, &ThreadPool::serial())
+    }
+
+    /// [`trace`](Self::trace) with a cache miss materialized on `pool`'s
+    /// threads. The parallel generator is bit-identical to the
+    /// sequential one for every pool size, so the memo key is shared
+    /// with [`trace`](Self::trace).
+    pub fn trace_par(
+        &self,
+        params: MemTraceParams,
+        seed: u64,
+        n: usize,
+        pool: &ThreadPool,
+    ) -> Arc<MemTraceBuf> {
         let key = MemoKey::new("memtrace-buf")
             .push(&params)
             .push_u64(seed)
             .push_usize(n)
             .finish();
-        self.traces
-            .get_or_compute(key, || Arc::new(MemTraceBuf::generate(params, seed, n)))
+        self.traces.get_or_compute(key, || {
+            Arc::new(MemTraceBuf::generate_par(params, seed, n, pool))
+        })
     }
 }
 
@@ -193,6 +208,24 @@ pub fn estimate_slowdown_with(
     config: &SlowdownConfig,
     memo: &ReplayMemo,
 ) -> Result<SlowdownResult, ConfigError> {
+    estimate_slowdown_pooled(workload, config, memo, &ThreadPool::serial())
+}
+
+/// [`estimate_slowdown_with`] with the trace materialization and the
+/// replay's SoA lane staging fanned out on `pool`'s threads. The cache
+/// touch loop itself stays sequential — the cache state threads access
+/// to access — but it consumes pre-staged chunk ranges whose state
+/// checkpoints merge in chunk order, so the result is bit-identical at
+/// every pool size.
+///
+/// # Errors
+/// Rejects a `local_fraction` outside `(0, 1]`.
+pub fn estimate_slowdown_pooled(
+    workload: WorkloadId,
+    config: &SlowdownConfig,
+    memo: &ReplayMemo,
+    pool: &ThreadPool,
+) -> Result<SlowdownResult, ConfigError> {
     ConfigError::check_f64(
         "local_fraction",
         config.local_fraction,
@@ -212,11 +245,19 @@ pub fn estimate_slowdown_with(
         .push_u64(config.measured)
         .finish();
     let stats = memo.runs.get_or_compute(key, || {
-        let mut sim = TwoLevelSim::new(local_pages.max(1), config.policy, config.seed);
+        // Trace pages are scrambled modulo the footprint, so the store
+        // can index them densely.
+        let mut sim = TwoLevelSim::with_page_universe(
+            local_pages.max(1),
+            config.policy,
+            config.seed,
+            params.footprint_pages,
+        );
         if memo.is_enabled() {
             let total = (config.fill + config.measured) as usize;
-            let buf = memo.trace(params, trace_seed, total);
-            sim.run_steady_buf(&buf, config.fill, config.measured)
+            let buf = memo.trace_par(params, trace_seed, total, pool);
+            let _ = sim.par_replay(&buf, 0, config.fill, pool);
+            sim.par_replay(&buf, config.fill as usize, config.measured, pool)
         } else {
             // True cold path: stream straight from the generator, no
             // materialization.

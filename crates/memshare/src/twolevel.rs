@@ -1,18 +1,49 @@
 //! Trace-driven two-level memory simulator.
 //!
-//! The replay loop is chunked: accesses are staged into a small scratch
-//! buffer (from the live generator or from a materialized
-//! [`MemTraceBuf`]) and consumed by one shared epoch-batch kernel, so
-//! the generator path and the shared-buffer path execute byte-identical
-//! simulation code and differ only in where the chunk comes from.
+//! The replay loop is chunked: accesses are staged into small
+//! struct-of-arrays scratch lanes (packed `u32` pages plus write bytes,
+//! from the live generator or decoded straight out of a materialized
+//! [`MemTraceBuf`]) and consumed by one shared epoch-batch kernel: a
+//! monomorphic-per-policy touch pass that records an outcome-code
+//! bitmask byte per access ([`crate::policy::PageStore::touch_pass`]),
+//! then a branch-free [`wcs_simcore::simd`] fold that pops the code
+//! bits into counters. The generator path and the shared-buffer path
+//! execute byte-identical simulation code and differ only in where the
+//! chunk comes from.
 
-use wcs_workloads::memtrace::{MemTraceBuf, MemTraceGen, PageAccess};
+use wcs_simcore::{simd, ThreadPool};
+use wcs_workloads::memtrace::{MemTraceBuf, MemTraceGen};
 
-use crate::policy::{PageStore, PolicyKind, Touch};
+use crate::policy::{PageStore, PolicyKind};
 
 /// Accesses staged per chunk: big enough to amortize the loop switch,
-/// small enough to stay in L1/L2 alongside the store's hot columns.
+/// small enough that the SoA lanes (16 KiB of pages, 4 KiB of write
+/// bytes, 4 KiB of codes) stay in L1/L2 alongside the store's hot
+/// columns.
 const CHUNK: usize = 4096;
+
+/// Accesses per parallel staging range of [`TwoLevelSim::par_replay`]:
+/// 64 epoch chunks, so one pool task decodes enough lanes (1 MiB of
+/// pages + 256 KiB of writes) to amortize its scheduling cost.
+const PAR_RANGE: usize = 64 * CHUNK;
+
+/// Fixed-size SoA staging lanes for one replay epoch.
+#[derive(Debug)]
+struct EpochLanes {
+    pages: [u32; CHUNK],
+    writes: [u8; CHUNK],
+    codes: [u8; CHUNK],
+}
+
+impl EpochLanes {
+    fn new() -> Box<Self> {
+        Box::new(EpochLanes {
+            pages: [0; CHUNK],
+            writes: [0; CHUNK],
+            codes: [0; CHUNK],
+        })
+    }
+}
 
 /// Miss statistics from a trace replay.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -33,6 +64,18 @@ impl MissStats {
             0.0
         } else {
             self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Component-wise sum — the chunk-merge operation of checkpointed
+    /// replay. All counters are integers, so merging per-chunk results
+    /// in chunk order is exact for every chunk count.
+    #[must_use]
+    pub fn merged(&self, other: &MissStats) -> MissStats {
+        MissStats {
+            accesses: self.accesses + other.accesses,
+            misses: self.misses + other.misses,
+            writebacks: self.writebacks + other.writebacks,
         }
     }
 }
@@ -73,43 +116,46 @@ impl TwoLevelSim {
         }
     }
 
-    /// The shared replay kernel, split into two phases per staged epoch:
-    /// the touch loop walks the store (pointer-heavy, unpredictable) and
-    /// records one outcome code per access, then a branch-free
-    /// `chunks_exact` pass folds the codes into the counters. Keeping
-    /// the accumulation out of the touch loop lets the compiler unroll
-    /// and vectorize it, and keeps the counters out of the store's
-    /// cache-miss shadow.
+    /// Creates a simulator whose trace pages are known to lie in
+    /// `[0, universe)` — the usual case when replaying a synthetic trace
+    /// of known footprint — so the store can use a dense direct-index
+    /// key map instead of hashing. Statistics are bit-identical to
+    /// [`new`](Self::new); only lookups get cheaper.
     ///
-    /// Codes: 0 = hit or uncharged cold fill, 1 = clean miss, 2 = dirty
-    /// miss (miss + writeback).
-    fn replay_epoch_batch(&mut self, chunk: &[PageAccess], stats: &mut MissStats) {
-        debug_assert!(chunk.len() <= CHUNK);
-        let mut codes = [0u8; CHUNK];
-        for (a, code) in chunk.iter().zip(codes.iter_mut()) {
-            *code = match self.local.touch(a.page, a.write) {
-                Touch::Hit | Touch::Miss { evicted: None } => 0,
-                Touch::Miss {
-                    evicted: Some((_, dirty)),
-                } => 1 + dirty as u8,
-            };
+    /// # Panics
+    /// Panics if `local_pages` or `universe` is zero.
+    pub fn with_page_universe(
+        local_pages: usize,
+        policy: PolicyKind,
+        seed: u64,
+        universe: u64,
+    ) -> Self {
+        TwoLevelSim {
+            local: PageStore::with_universe(local_pages, policy, seed, universe),
+            warm: false,
         }
-        stats.accesses += chunk.len() as u64;
-        let (mut misses, mut writebacks) = (0u64, 0u64);
-        let mut lanes = codes[..chunk.len()].chunks_exact(8);
-        for lane in lanes.by_ref() {
-            let (mut m, mut w) = (0u64, 0u64);
-            for &c in lane {
-                m += u64::from(c != 0);
-                w += u64::from(c == 2);
-            }
-            misses += m;
-            writebacks += w;
-        }
-        for &c in lanes.remainder() {
-            misses += u64::from(c != 0);
-            writebacks += u64::from(c == 2);
-        }
+    }
+
+    /// The shared replay kernel: the monomorphic touch pass walks the
+    /// store (pointer-heavy, unpredictable) and records one outcome-code
+    /// bitmask byte per access, then the branch-free
+    /// [`simd::fold_mask_counts`] pass pops the code bits into the
+    /// counters. Keeping the accumulation out of the touch loop lets
+    /// the compiler vectorize it and keeps the counters out of the
+    /// store's cache-miss shadow.
+    fn replay_epoch_batch(
+        &mut self,
+        pages: &[u32],
+        writes: &[u8],
+        codes: &mut [u8],
+        stats: &mut MissStats,
+    ) {
+        debug_assert!(pages.len() <= CHUNK);
+        debug_assert!(pages.len() == writes.len() && writes.len() == codes.len());
+        self.local.touch_pass(pages, writes, codes);
+        stats.accesses += pages.len() as u64;
+        let counts = simd::fold_mask_counts(codes);
+        let (misses, writebacks) = (counts[0], counts[1]);
         self.warm |= misses > 0;
         stats.misses += misses;
         stats.writebacks += writebacks;
@@ -119,17 +165,22 @@ impl TwoLevelSim {
     /// statistics (the fill phase is replayed but not charged).
     pub fn run(&mut self, gen: &mut MemTraceGen, n: u64) -> MissStats {
         let mut stats = MissStats::default();
-        let mut scratch = [PageAccess {
-            page: 0,
-            write: false,
-        }; CHUNK];
+        let mut lanes = EpochLanes::new();
         let mut left = n;
         while left > 0 {
             let take = (left as usize).min(CHUNK);
-            for slot in &mut scratch[..take] {
-                *slot = gen.next_access();
+            for j in 0..take {
+                let a = gen.next_access();
+                debug_assert!(a.page <= u64::from(u32::MAX));
+                lanes.pages[j] = a.page as u32;
+                lanes.writes[j] = u8::from(a.write);
             }
-            self.replay_epoch_batch(&scratch[..take], &mut stats);
+            self.replay_epoch_batch(
+                &lanes.pages[..take],
+                &lanes.writes[..take],
+                &mut lanes.codes[..take],
+                &mut stats,
+            );
             left -= take as u64;
         }
         stats
@@ -139,23 +190,78 @@ impl TwoLevelSim {
     ///
     /// Bit-identical to [`run`](Self::run) over the same accesses: the
     /// buffer stores exactly what the generator would produce, and both
-    /// paths feed the same epoch-batch kernel.
+    /// paths feed the same epoch-batch kernel — the buffer path just
+    /// decodes its SoA lanes directly, with no intermediate
+    /// `PageAccess` structs.
+    ///
+    /// Also the checkpointed chunk primitive: calling `run_buf` over
+    /// any partition of a range, accumulating the returned integer
+    /// counters, yields exactly the totals of one whole-range call —
+    /// the simulator itself carries the cache state from chunk to
+    /// chunk.
     ///
     /// # Panics
     /// Panics if the range runs past the end of the buffer.
     pub fn run_buf(&mut self, buf: &MemTraceBuf, start: usize, n: u64) -> MissStats {
         let mut stats = MissStats::default();
-        let mut scratch = [PageAccess {
-            page: 0,
-            write: false,
-        }; CHUNK];
+        let mut lanes = EpochLanes::new();
         let mut at = start;
         let end = start + n as usize;
         while at < end {
             let take = (end - at).min(CHUNK);
-            buf.fill_chunk(at, &mut scratch[..take]);
-            self.replay_epoch_batch(&scratch[..take], &mut stats);
+            buf.fill_chunk_soa(at, &mut lanes.pages[..take], &mut lanes.writes[..take]);
+            self.replay_epoch_batch(
+                &lanes.pages[..take],
+                &lanes.writes[..take],
+                &mut lanes.codes[..take],
+                &mut stats,
+            );
             at += take;
+        }
+        stats
+    }
+
+    /// [`run_buf`](Self::run_buf) with lane staging fanned out over
+    /// `pool`.
+    ///
+    /// The range splits into deterministic [`PAR_RANGE`]-sized chunk
+    /// ranges whose SoA lanes (packed pages + write bytes) decode in
+    /// parallel — pure per-range work with no simulator state. The
+    /// cache then consumes the staged lanes strictly in chunk order:
+    /// the simulator's own state at each chunk boundary is the
+    /// checkpoint the next chunk resumes from, and the per-chunk
+    /// integer counters merge exactly ([`MissStats::merged`]). The
+    /// result is bit-identical to [`run_buf`](Self::run_buf) at every
+    /// pool size.
+    ///
+    /// # Panics
+    /// Panics if the range runs past the end of the buffer.
+    pub fn par_replay(
+        &mut self,
+        buf: &MemTraceBuf,
+        start: usize,
+        n: u64,
+        pool: &ThreadPool,
+    ) -> MissStats {
+        let end = start + n as usize;
+        let ranges: Vec<(usize, usize)> = (start..end)
+            .step_by(PAR_RANGE)
+            .map(|at| (at, (end - at).min(PAR_RANGE)))
+            .collect();
+        let staged = pool.par_map(&ranges, |_, &(at, len)| {
+            let mut pages = vec![0u32; len];
+            let mut writes = vec![0u8; len];
+            buf.fill_chunk_soa(at, &mut pages, &mut writes);
+            (pages, writes)
+        });
+        let mut codes = vec![0u8; CHUNK];
+        let mut stats = MissStats::default();
+        for (pages, writes) in &staged {
+            let mut range_stats = MissStats::default();
+            for (p, w) in pages.chunks(CHUNK).zip(writes.chunks(CHUNK)) {
+                self.replay_epoch_batch(p, w, &mut codes[..p.len()], &mut range_stats);
+            }
+            stats = stats.merged(&range_stats);
         }
         stats
     }
@@ -297,6 +403,87 @@ mod tests {
             let buf_stats = from_buf.run_steady_buf(&buf, 60_000, 140_000);
 
             assert_eq!(gen_stats, buf_stats, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn soa_kernel_matches_scalar_touch_reference() {
+        // Independent scalar re-implementation of the replay semantics,
+        // driven access by access through the public touch API — the
+        // reference the vectorized kernel is pinned to.
+        use crate::policy::{PageStore, Touch};
+        let p = small_params();
+        for policy in [PolicyKind::Lru, PolicyKind::Random, PolicyKind::Clock] {
+            let buf = MemTraceBuf::generate(p, 29, 120_000);
+            let mut store = PageStore::new(1_200, policy, 31);
+            let mut want = MissStats::default();
+            for i in 0..buf.len() {
+                let a = buf.get(i);
+                want.accesses += 1;
+                if let Touch::Miss {
+                    evicted: Some((_, dirty)),
+                } = store.touch(a.page, a.write)
+                {
+                    want.misses += 1;
+                    want.writebacks += u64::from(dirty);
+                }
+            }
+            let mut sim = TwoLevelSim::new(1_200, policy, 31);
+            let got = sim.run_buf(&buf, 0, 120_000);
+            assert_eq!(got, want, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn dense_universe_store_replays_identically() {
+        let p = small_params();
+        let buf = MemTraceBuf::generate(p, 37, 150_000);
+        for policy in [PolicyKind::Lru, PolicyKind::Random, PolicyKind::Clock] {
+            let mut open = TwoLevelSim::new(2_000, policy, 5);
+            let mut dense = TwoLevelSim::with_page_universe(2_000, policy, 5, p.footprint_pages);
+            assert_eq!(
+                open.run_buf(&buf, 0, 150_000),
+                dense.run_buf(&buf, 0, 150_000),
+                "{policy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn par_replay_is_bit_identical_to_run_buf_at_every_pool_size() {
+        let p = small_params();
+        // Deliberately not a multiple of PAR_RANGE or CHUNK, with an
+        // offset start, so both tails are exercised.
+        let buf = MemTraceBuf::generate(p, 43, 700_001);
+        for policy in [PolicyKind::Lru, PolicyKind::Random, PolicyKind::Clock] {
+            let mut whole = TwoLevelSim::new(1_500, policy, 11);
+            let want = whole.run_buf(&buf, 3, 700_001 - 3);
+            for threads in [1usize, 2, 8] {
+                let pool = ThreadPool::new(threads).unwrap();
+                let mut sim = TwoLevelSim::new(1_500, policy, 11);
+                let got = sim.par_replay(&buf, 3, 700_001 - 3, &pool);
+                assert_eq!(got, want, "{policy:?} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_replay_is_invariant_to_chunk_count() {
+        let p = small_params();
+        let buf = MemTraceBuf::generate(p, 41, 130_000);
+        let mut whole = TwoLevelSim::new(1_500, PolicyKind::Random, 11);
+        let want = whole.run_buf(&buf, 0, 130_000);
+        for chunks in [1usize, 2, 7, 64] {
+            let mut sim = TwoLevelSim::new(1_500, PolicyKind::Random, 11);
+            let per = 130_000usize.div_ceil(chunks);
+            let mut merged = MissStats::default();
+            let mut at = 0usize;
+            while at < 130_000 {
+                let take = (130_000 - at).min(per);
+                merged = merged.merged(&sim.run_buf(&buf, at, take as u64));
+                at += take;
+            }
+            assert_eq!(merged, want, "chunks={chunks}");
         }
     }
 }

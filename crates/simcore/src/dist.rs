@@ -250,7 +250,11 @@ impl Distribution for BoundedPareto {
 ///
 /// Used for search keyword popularity and video popularity (the paper cites
 /// Zipf usage patterns for both `websearch` and `ytube`). Sampling is by
-/// binary search over the precomputed CDF — O(log n) per draw and exact.
+/// lower-bound search over the precomputed CDF, accelerated by a guide
+/// table that maps the uniform draw to a narrow CDF bracket: popular head
+/// ranks resolve in a single probe and the tail search touches only one
+/// or two cache lines, instead of the O(log n) walk across the whole CDF
+/// that dominated trace materialization.
 ///
 /// # Example
 /// ```
@@ -263,6 +267,12 @@ impl Distribution for BoundedPareto {
 #[derive(Debug, Clone)]
 pub struct Zipf {
     cdf: Vec<f64>,
+    /// `guide[j]` = number of CDF entries `<= j / guide_scale`, i.e. the
+    /// lower-bound index for any `u` in bucket `j`. Bucket `j` of a draw
+    /// `u` is `(u * guide_scale) as usize`, so the answer for `u` lies in
+    /// `cdf[guide[j] .. guide[j + 1] + 1]`.
+    guide: Vec<u32>,
+    guide_scale: f64,
     mean_rank: f64,
 }
 
@@ -294,7 +304,31 @@ impl Zipf {
             mean_rank += (i as f64 + 1.0) * (c - last);
             last = c;
         }
-        Ok(Zipf { cdf, mean_rank })
+        // Guide buckets proportional to n (clamped): one pass over the
+        // CDF fills the count-below table for every bucket boundary.
+        let buckets = n.clamp(16, 1 << 16);
+        let guide_scale = buckets as f64;
+        let mut guide = vec![0u32; buckets + 1];
+        let mut j = 0usize;
+        for (i, &c) in cdf.iter().enumerate() {
+            // First bucket whose boundary exceeds c: all earlier bucket
+            // boundaries have at least i + 1 entries at or below them.
+            let bound = ((c * guide_scale) as usize + 1).min(buckets);
+            while j < bound {
+                guide[j] = i as u32;
+                j += 1;
+            }
+        }
+        while j <= buckets {
+            guide[j] = n as u32;
+            j += 1;
+        }
+        Ok(Zipf {
+            cdf,
+            guide,
+            guide_scale,
+            mean_rank,
+        })
     }
 
     /// Number of ranks.
@@ -309,17 +343,24 @@ impl Zipf {
 
     /// Draws a 1-based rank.
     pub fn sample_rank(&self, rng: &mut SimRng) -> usize {
-        let u = rng.uniform();
-        // rank = smallest k with u < cdf[k-1]; an exact hit on cdf[i]
-        // belongs to the next rank.
-        let idx = match self
-            .cdf
-            .binary_search_by(|c| c.partial_cmp(&u).expect("finite"))
-        {
-            Ok(i) => i + 2,
-            Err(i) => i + 1,
-        };
-        idx.min(self.cdf.len())
+        self.rank_of(rng.uniform())
+    }
+
+    /// The 1-based rank a uniform draw `u` in `[0, 1)` maps to: the
+    /// smallest `k` with `u < cdf[k - 1]` (an exact hit on `cdf[i]`
+    /// belongs to the next rank). Exposed so chunk-parallel trace
+    /// generators can sample from pre-split uniform streams.
+    #[inline]
+    pub fn rank_of(&self, u: f64) -> usize {
+        // Guide bracket: every entry before `lo` is <= the bucket's lower
+        // boundary <= u, and the lower bound for u is at most the next
+        // bucket's count (entries <= its boundary) since u < boundary.
+        let j = ((u * self.guide_scale) as usize).min(self.guide.len() - 2);
+        let lo = self.guide[j] as usize;
+        let hi = (self.guide[j + 1] as usize).min(self.cdf.len());
+        // Lower bound within the bracket: first index with cdf[i] > u.
+        let idx = lo + self.cdf[lo..hi].partition_point(|&c| c <= u);
+        (idx + 1).min(self.cdf.len())
     }
 
     /// Probability of the given 1-based rank.
@@ -493,6 +534,29 @@ mod tests {
         let z = Zipf::new(10, 0.0).unwrap();
         for k in 1..=10 {
             assert!((z.pmf(k) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_guide_table_matches_full_lower_bound_search() {
+        // The guide table is a pure accelerator: for every draw it must
+        // produce exactly the rank a lower-bound search over the whole
+        // CDF produces.
+        for (n, s) in [(1, 0.9), (2, 0.0), (17, 1.2), (1000, 0.65), (50_000, 1.05)] {
+            let z = Zipf::new(n, s).unwrap();
+            let mut rng = SimRng::seed_from(0xC0FFEE ^ n as u64);
+            for _ in 0..20_000 {
+                let u = rng.uniform();
+                let direct = z.cdf.partition_point(|&c| c <= u) + 1;
+                assert_eq!(z.rank_of(u), direct.min(n), "n={n} s={s} u={u}");
+            }
+            // Boundary draws: bucket edges and exact CDF values.
+            for k in [0usize, 1, n / 2, n.saturating_sub(1)] {
+                let u = z.cdf[k.min(n - 1)];
+                let direct = z.cdf.partition_point(|&c| c <= u) + 1;
+                assert_eq!(z.rank_of(u), direct.min(n));
+            }
+            assert_eq!(z.rank_of(0.0), 1);
         }
     }
 

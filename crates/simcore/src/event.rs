@@ -111,7 +111,18 @@ pub fn default_queue_kind() -> QueueKind {
 
 /// Pending-event depth at which [`QueueKind::Auto`] starts routing new
 /// inserts to the calendar wheel instead of the heap.
-pub const AUTO_WHEEL_MIN_DEPTH: usize = 64;
+///
+/// Tuned from the steady-state occupancy sweep (spread timestamps, pop +
+/// reschedule): the heap wins clearly below depth 8 (31M vs 25M events/s
+/// at 8), the wheel wins clearly from 16 up (29M vs 23M at 16, 35M vs
+/// 15M at 64) and its cost stays flat with depth, and the band in
+/// between is a tie within noise (27M vs 26M at 11). Real studies peak
+/// at depth ~11, so the threshold sits at the bottom of the tie band:
+/// deep enough to keep short chains on the small-n-optimal heap, shallow
+/// enough that real study workloads actually ride the wheel (perfsmoke
+/// asserts `queue.calendar_hits > 0` on a study, not just on synthetic
+/// benches).
+pub const AUTO_WHEEL_MIN_DEPTH: usize = 10;
 
 const WHEEL_BITS: u32 = 6;
 const WHEEL_SLOTS: usize = 1 << WHEEL_BITS; // 64

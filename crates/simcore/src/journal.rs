@@ -280,6 +280,56 @@ pub fn replay(path: &Path) -> Result<(Vec<JournalRecord>, ReplayReport), Journal
     Ok((records, report))
 }
 
+/// Incrementally replay a growing journal from a previously returned
+/// offset: parse only the bytes appended since, returning the new
+/// records and the offset of the valid prefix end to resume from next
+/// time.
+///
+/// Pass `0` on the first call (the magic is skipped automatically); pass
+/// the returned offset afterwards. Offsets are only meaningful if they
+/// came from this function (or `0`) for the same file — they always sit
+/// on a record boundary. A torn or still-in-flight tail is *not* an
+/// error: the records before it are returned and the offset stays at the
+/// boundary, so the next poll retries the tail after the writer finishes
+/// the frame. A missing file replays as empty at offset `0`.
+///
+/// This is what supervisor heartbeats use: polling N workers every few
+/// milliseconds must not re-read and re-checksum every worker's whole
+/// journal each tick — only the appended tail.
+pub fn replay_tail(path: &Path, offset: u64) -> Result<(Vec<JournalRecord>, u64), JournalError> {
+    let mut file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok((Vec::new(), 0)),
+        Err(e) => return Err(io_err(path, e)),
+    };
+    let len = file.metadata().map_err(|e| io_err(path, e))?.len();
+    let start = if offset == 0 {
+        // First read: verify the magic before trusting any offsets.
+        if len < MAGIC.len() as u64 {
+            return Ok((Vec::new(), 0));
+        }
+        let mut magic = [0u8; 8];
+        file.read_exact(&mut magic).map_err(|e| io_err(path, e))?;
+        if magic != MAGIC {
+            return Err(JournalError::BadMagic {
+                path: path.to_path_buf(),
+            });
+        }
+        MAGIC.len() as u64
+    } else {
+        offset
+    };
+    if len <= start {
+        return Ok((Vec::new(), start));
+    }
+    file.seek(SeekFrom::Start(start))
+        .map_err(|e| io_err(path, e))?;
+    let mut buf = Vec::with_capacity((len - start) as usize);
+    file.read_to_end(&mut buf).map_err(|e| io_err(path, e))?;
+    let (records, valid) = parse_records(&buf);
+    Ok((records, start + valid as u64))
+}
+
 /// Open a journal for resuming: replay the valid prefix, truncate any torn
 /// or corrupt tail in place, and return the records plus an append handle
 /// positioned at the end of the valid prefix.
@@ -386,6 +436,57 @@ mod tests {
             .append(records[0].key, records[0].digest, &records[0].payload)
             .unwrap());
         assert_eq!(w.appended(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tail_replay_resumes_from_offsets() {
+        let path = temp_path("tail");
+        let records = sample_records(9);
+        // Write the first 4, tail-read, write the rest, tail-read again.
+        let (_, mut w, _) = open(&path).expect("open");
+        for r in &records[..4] {
+            assert!(w.append(r.key, r.digest, &r.payload).unwrap());
+        }
+        w.sync().unwrap();
+        let (head, at) = replay_tail(&path, 0).expect("first tail");
+        assert_eq!(head, records[..4]);
+        // Nothing appended: no bytes re-read, offset unchanged.
+        let (none, at2) = replay_tail(&path, at).expect("idle tail");
+        assert!(none.is_empty());
+        assert_eq!(at2, at);
+        for r in &records[4..] {
+            assert!(w.append(r.key, r.digest, &r.payload).unwrap());
+        }
+        w.sync().unwrap();
+        let (tail, end) = replay_tail(&path, at).expect("second tail");
+        assert_eq!(tail, records[4..]);
+        // Full replay agrees with the incremental reads.
+        let (all, _) = replay(&path).expect("full replay");
+        assert_eq!(all, records);
+        // A torn in-flight frame is retried from the same boundary.
+        {
+            use std::fs::OpenOptions;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[0xAA; 7]).unwrap();
+        }
+        let (torn, still) = replay_tail(&path, end).expect("torn tail");
+        assert!(torn.is_empty());
+        assert_eq!(still, end);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tail_replay_missing_and_bad_magic() {
+        let path = temp_path("tailmissing");
+        let (records, at) = replay_tail(&path, 0).expect("missing file");
+        assert!(records.is_empty());
+        assert_eq!(at, 0);
+        std::fs::write(&path, b"bogus bytes, not a journal").unwrap();
+        assert!(matches!(
+            replay_tail(&path, 0),
+            Err(JournalError::BadMagic { .. })
+        ));
         std::fs::remove_file(&path).ok();
     }
 

@@ -29,6 +29,53 @@ use crate::table::OpenMap;
 /// Sentinel for "no slot" in the recency links.
 const NIL: u32 = u32::MAX;
 
+/// The `key -> slot` index of a [`SlotCache`].
+///
+/// The open-addressed map handles arbitrary `u64` keys; the dense
+/// variant is a direct-indexed `Vec<u32>` over a known finite key
+/// universe (page numbers below a footprint, extent numbers below a
+/// dataset size). Dense lookups are one predictable array access — no
+/// hashing, no probe chain — which is where the replay kernels spend
+/// most of their per-touch time.
+#[derive(Debug, Clone)]
+enum KeyIndex {
+    Open(OpenMap<u64, u32>),
+    Dense(Vec<u32>),
+}
+
+impl KeyIndex {
+    #[inline]
+    fn get(&self, key: u64) -> Option<u32> {
+        match self {
+            KeyIndex::Open(map) => map.get(&key).copied(),
+            KeyIndex::Dense(slots) => {
+                let s = slots[key as usize];
+                (s != NIL).then_some(s)
+            }
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, key: u64, slot: u32) {
+        match self {
+            KeyIndex::Open(map) => {
+                map.insert(key, slot);
+            }
+            KeyIndex::Dense(slots) => slots[key as usize] = slot,
+        }
+    }
+
+    #[inline]
+    fn clear(&mut self, key: u64) {
+        match self {
+            KeyIndex::Open(map) => {
+                map.remove(&key);
+            }
+            KeyIndex::Dense(slots) => slots[key as usize] = NIL,
+        }
+    }
+}
+
 /// Fixed-capacity cache state: key map, SoA slot columns, clock hand,
 /// and an optional intrusive LRU list.
 ///
@@ -37,7 +84,7 @@ const NIL: u32 = u32::MAX;
 #[derive(Debug, Clone)]
 pub struct SlotCache {
     capacity: usize,
-    map: OpenMap<u64, u32>,
+    index: KeyIndex,
     keys: Vec<u64>,
     dirty: Vec<bool>,
     refbit: Vec<bool>,
@@ -59,6 +106,32 @@ impl SlotCache {
     /// # Panics
     /// Panics if `capacity` is zero or does not fit slot indices.
     pub fn new(capacity: usize, linked: bool) -> Self {
+        Self::with_index(
+            capacity,
+            linked,
+            KeyIndex::Open(OpenMap::with_capacity(capacity)),
+        )
+    }
+
+    /// Creates an empty cache whose keys are known to lie in
+    /// `0..universe`: the key index is a direct-indexed array (one
+    /// predictable load per lookup) instead of a hash map. Behaviour is
+    /// otherwise identical to [`new`](Self::new), including every victim
+    /// mechanism — only the lookup machinery changes.
+    ///
+    /// # Panics
+    /// Panics on a zero/oversized capacity or a zero universe; keys at
+    /// or above `universe` panic at first use (index out of bounds).
+    pub fn with_dense_keys(capacity: usize, linked: bool, universe: u64) -> Self {
+        assert!(universe > 0, "dense slot cache needs a key universe");
+        Self::with_index(
+            capacity,
+            linked,
+            KeyIndex::Dense(vec![NIL; universe as usize]),
+        )
+    }
+
+    fn with_index(capacity: usize, linked: bool, index: KeyIndex) -> Self {
         assert!(capacity > 0, "slot cache needs capacity");
         assert!(
             capacity < NIL as usize,
@@ -66,7 +139,7 @@ impl SlotCache {
         );
         SlotCache {
             capacity,
-            map: OpenMap::with_capacity(capacity),
+            index,
             keys: Vec::with_capacity(capacity),
             dirty: Vec::with_capacity(capacity),
             refbit: Vec::with_capacity(capacity),
@@ -101,13 +174,13 @@ impl SlotCache {
 
     /// True if `key` is resident (no policy state update).
     pub fn contains(&self, key: u64) -> bool {
-        self.map.contains_key(&key)
+        self.index.get(key).is_some()
     }
 
     /// The slot holding `key`, if resident (no policy state update).
     #[inline]
     pub fn lookup(&self, key: u64) -> Option<u32> {
-        self.map.get(&key).copied()
+        self.index.get(key)
     }
 
     /// The key resident in `slot`.
@@ -147,7 +220,7 @@ impl SlotCache {
             self.next.push(NIL);
             self.push_front(slot);
         }
-        self.map.insert(key, slot);
+        self.index.set(key, slot);
         slot
     }
 
@@ -158,11 +231,11 @@ impl SlotCache {
         let s = slot as usize;
         let old_key = self.keys[s];
         let old_dirty = self.dirty[s];
-        self.map.remove(&old_key);
+        self.index.clear(old_key);
         self.keys[s] = key;
         self.dirty[s] = write;
         self.refbit[s] = true;
-        self.map.insert(key, slot);
+        self.index.set(key, slot);
         if self.linked {
             self.unlink(slot);
             self.push_front(slot);
@@ -297,6 +370,52 @@ mod tests {
         c.touch_existing(s, false);
         let (_, dirty) = c.replace(s, 6, false);
         assert!(dirty);
+    }
+
+    #[test]
+    fn dense_index_behaves_like_open_map() {
+        // Same operation sequence through both index kinds must agree on
+        // every observable: lookups, victims, replace results.
+        let mut open = SlotCache::new(3, true);
+        let mut dense = SlotCache::with_dense_keys(3, true, 64);
+        let ops: &[(u64, bool)] = &[
+            (5, false),
+            (9, true),
+            (5, false),
+            (1, false),
+            (7, true),
+            (9, false),
+            (3, false),
+        ];
+        for &(key, write) in ops {
+            let a = open.lookup(key);
+            let b = dense.lookup(key);
+            assert_eq!(a, b, "lookup {key}");
+            match a {
+                Some(slot) => {
+                    open.touch_existing(slot, write);
+                    dense.touch_existing(slot, write);
+                }
+                None if !open.is_full() => {
+                    assert_eq!(open.insert(key, write), dense.insert(key, write));
+                }
+                None => {
+                    let (vo, vd) = (open.lru_victim(), dense.lru_victim());
+                    assert_eq!(vo, vd);
+                    assert_eq!(open.replace(vo, key, write), dense.replace(vd, key, write));
+                }
+            }
+            assert_eq!(open.len(), dense.len());
+            for k in 0..16u64 {
+                assert_eq!(open.contains(k), dense.contains(k), "contains {k}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "universe")]
+    fn dense_rejects_zero_universe() {
+        SlotCache::with_dense_keys(4, false, 0);
     }
 
     #[test]

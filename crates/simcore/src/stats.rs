@@ -135,6 +135,16 @@ pub struct Histogram {
     stats: OnlineStats,
 }
 
+/// A value pre-classified by [`Histogram::prepare`] so repeated
+/// recording skips the bucket computation. `bucket` is the bucket
+/// index, `NBUCKETS` for the zero bin, or `usize::MAX` for ignored
+/// (negative / non-finite) values.
+#[derive(Debug, Clone, Copy)]
+pub struct PreparedSample {
+    x: f64,
+    bucket: usize,
+}
+
 /// Ratio between consecutive bucket upper bounds (~2% resolution).
 const GROWTH: f64 = 1.02;
 /// Lower edge of the first bucket. Values below land in bucket 0.
@@ -190,6 +200,43 @@ impl Histogram {
     /// Records a duration in seconds.
     pub fn record_duration(&mut self, d: SimDuration) {
         self.record(d.as_secs_f64());
+    }
+
+    /// Pre-classifies `x` for repeated recording via
+    /// [`record_prepared`](Self::record_prepared).
+    ///
+    /// Replay kernels record the same few distinct service times
+    /// millions of times; preparing each distinct value once hoists the
+    /// bucket logarithm out of the per-request loop.
+    pub fn prepare(x: f64) -> PreparedSample {
+        if !x.is_finite() || x < 0.0 {
+            return PreparedSample {
+                x,
+                bucket: usize::MAX,
+            };
+        }
+        let bucket = if x == 0.0 {
+            NBUCKETS // sentinel: zero bin
+        } else {
+            Self::bucket_of(x)
+        };
+        PreparedSample { x, bucket }
+    }
+
+    /// Records a pre-classified value — bit-identical in every counter
+    /// and statistic to calling [`record`](Self::record) with the same
+    /// value.
+    pub fn record_prepared(&mut self, p: PreparedSample) {
+        if p.bucket == usize::MAX {
+            return;
+        }
+        if p.bucket == NBUCKETS {
+            self.zero_count += 1;
+        } else {
+            self.counts[p.bucket] += 1;
+        }
+        self.total += 1;
+        self.stats.record(p.x);
     }
 
     /// Number of recorded values.
@@ -439,5 +486,25 @@ mod tests {
         let g = geometric_mean(&vals).unwrap();
         let a = vals.iter().sum::<f64>() / vals.len() as f64;
         assert!(h <= g && g <= a);
+    }
+
+    #[test]
+    fn prepared_recording_is_bit_identical_to_record() {
+        let values = [0.0, 1e-12, 5e-3, 0.028, 1.5, -2.0, f64::NAN, 700.0];
+        let mut plain = Histogram::new();
+        let mut prepped = Histogram::new();
+        for &v in &values {
+            let p = Histogram::prepare(v);
+            for _ in 0..3 {
+                plain.record(v);
+                prepped.record_prepared(p);
+            }
+        }
+        assert_eq!(plain.count(), prepped.count());
+        assert_eq!(plain.mean().to_bits(), prepped.mean().to_bits());
+        assert_eq!(plain.max(), prepped.max());
+        for q in [1.0, 25.0, 50.0, 99.0] {
+            assert_eq!(plain.percentile(q), prepped.percentile(q), "p{q}");
+        }
     }
 }

@@ -16,9 +16,18 @@
 
 use wcs_simcore::dist::Zipf;
 use wcs_simcore::memo::{MemoHash, MemoKey};
-use wcs_simcore::SimRng;
+use wcs_simcore::{SimRng, ThreadPool};
 
 use crate::spec::WorkloadId;
+
+/// Accesses drawn per RNG substream: generation restarts from
+/// `SimRng::stream(seed, i)` at every `i * GEN_CHUNK` boundary, making
+/// access `i` a pure function of `(params, seed, i / GEN_CHUNK)`-chunk
+/// state. Chunks can therefore be materialized independently — in any
+/// order, on any number of threads — and always reproduce the
+/// sequential stream bit for bit. A multiple of 64 so each chunk owns
+/// whole words of the write bitset.
+pub const GEN_CHUNK: usize = 1 << 16;
 
 /// One page-granularity memory touch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -124,6 +133,8 @@ pub struct MemTraceGen {
     params: MemTraceParams,
     zipf: Zipf,
     rng: SimRng,
+    seed: u64,
+    pos: u64,
 }
 
 impl MemTraceGen {
@@ -138,7 +149,9 @@ impl MemTraceGen {
         MemTraceGen {
             params,
             zipf,
-            rng: SimRng::seed_from(seed),
+            rng: SimRng::stream(seed, 0),
+            seed,
+            pos: 0,
         }
     }
 
@@ -148,23 +161,41 @@ impl MemTraceGen {
     }
 
     /// Draws the next page touch.
+    ///
+    /// The generator reseeds from `SimRng::stream(seed, chunk)` at every
+    /// [`GEN_CHUNK`] boundary so the sequential stream matches what
+    /// independent per-chunk generation produces (see
+    /// [`MemTraceBuf::generate_par`]).
+    #[inline]
     pub fn next_access(&mut self) -> PageAccess {
-        let rank = self.zipf.sample_rank(&mut self.rng) as u64;
-        // Scramble ranks into page numbers so popular pages are scattered
-        // across the address space (multiplicative hashing, full period
-        // because the multiplier is odd).
-        let page = rank
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(0x2545_F491_4F6C_DD1D)
-            % self.params.footprint_pages;
-        let write = self.rng.chance(self.params.write_fraction);
-        PageAccess { page, write }
+        if self.pos != 0 && self.pos.is_multiple_of(GEN_CHUNK as u64) {
+            self.rng = SimRng::stream(self.seed, self.pos / GEN_CHUNK as u64);
+        }
+        self.pos += 1;
+        chunk_access(&self.zipf, &mut self.rng, &self.params)
     }
 
     /// Generates `n` accesses as a vector.
     pub fn take_vec(&mut self, n: usize) -> Vec<PageAccess> {
         (0..n).map(|_| self.next_access()).collect()
     }
+}
+
+/// One draw of the shared access recipe: Zipf rank, rank-scramble, write
+/// coin. Factored out so the sequential generator and the per-chunk
+/// parallel materializer execute the identical sampling code.
+#[inline]
+fn chunk_access(zipf: &Zipf, rng: &mut SimRng, params: &MemTraceParams) -> PageAccess {
+    let rank = zipf.sample_rank(rng) as u64;
+    // Scramble ranks into page numbers so popular pages are scattered
+    // across the address space (multiplicative hashing, full period
+    // because the multiplier is odd).
+    let page = rank
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(0x2545_F491_4F6C_DD1D)
+        % params.footprint_pages;
+    let write = rng.chance(params.write_fraction);
+    PageAccess { page, write }
 }
 
 /// A materialized memory trace in compact, shareable form.
@@ -194,19 +225,51 @@ impl MemTraceBuf {
     /// Panics if the parameters are invalid or the footprint does not
     /// fit the compact `u32` page representation.
     pub fn generate(params: MemTraceParams, seed: u64, n: usize) -> Self {
+        Self::generate_par(params, seed, n, &ThreadPool::serial())
+    }
+
+    /// [`generate`](Self::generate) with the per-[`GEN_CHUNK`] substreams
+    /// materialized on `pool`'s threads.
+    ///
+    /// Bit-identical to the sequential path for every pool size: chunk
+    /// `i` draws from `SimRng::stream(seed, i)` exactly as the
+    /// sequential generator does when it crosses the `i * GEN_CHUNK`
+    /// boundary, and chunks are stitched back together in index order.
+    ///
+    /// # Panics
+    /// Panics if the parameters are invalid or the footprint does not
+    /// fit the compact `u32` page representation.
+    pub fn generate_par(params: MemTraceParams, seed: u64, n: usize, pool: &ThreadPool) -> Self {
+        params.validate();
         assert!(
             params.footprint_pages <= u64::from(u32::MAX),
             "footprint too large for compact trace pages"
         );
-        let mut gen = MemTraceGen::new(params, seed);
-        let mut pages = Vec::with_capacity(n);
-        let mut writes = vec![0u64; n.div_ceil(64)];
-        for i in 0..n {
-            let a = gen.next_access();
-            pages.push(a.page as u32);
-            if a.write {
-                writes[i >> 6] |= 1u64 << (i & 63);
+        let zipf = Zipf::new(params.footprint_pages as usize, params.zipf_s)
+            .expect("validated parameters");
+        let chunks: Vec<usize> = (0..n.div_ceil(GEN_CHUNK)).collect();
+        let parts = pool.par_map(&chunks, |_, &chunk| {
+            let start = chunk * GEN_CHUNK;
+            let len = (n - start).min(GEN_CHUNK);
+            let mut rng = SimRng::stream(seed, chunk as u64);
+            let mut pages = Vec::with_capacity(len);
+            // GEN_CHUNK is a multiple of 64, so every chunk owns whole
+            // words of the write bitset and concatenation is exact.
+            let mut writes = vec![0u64; len.div_ceil(64)];
+            for i in 0..len {
+                let a = chunk_access(&zipf, &mut rng, &params);
+                pages.push(a.page as u32);
+                if a.write {
+                    writes[i >> 6] |= 1u64 << (i & 63);
+                }
             }
+            (pages, writes)
+        });
+        let mut pages = Vec::with_capacity(n);
+        let mut writes = Vec::with_capacity(n.div_ceil(64));
+        for (p, w) in parts {
+            pages.extend_from_slice(&p);
+            writes.extend_from_slice(&w);
         }
         MemTraceBuf {
             pages: pages.into_boxed_slice(),
@@ -242,6 +305,23 @@ impl MemTraceBuf {
     pub fn fill_chunk(&self, start: usize, out: &mut [PageAccess]) {
         for (j, slot) in out.iter_mut().enumerate() {
             *slot = self.get(start + j);
+        }
+    }
+
+    /// Decodes accesses `[start, start + pages.len())` straight into SoA
+    /// scratch — packed `u32` page numbers plus one write byte (0/1) per
+    /// access — the staging step of the vectorized replay kernels, which
+    /// never materialize `PageAccess` structs.
+    ///
+    /// # Panics
+    /// Panics if the two slices disagree in length or the range runs
+    /// past the end of the trace.
+    pub fn fill_chunk_soa(&self, start: usize, pages: &mut [u32], writes: &mut [u8]) {
+        assert_eq!(pages.len(), writes.len(), "SoA scratch length mismatch");
+        pages.copy_from_slice(&self.pages[start..start + pages.len()]);
+        for (j, w) in writes.iter_mut().enumerate() {
+            let i = start + j;
+            *w = ((self.writes[i >> 6] >> (i & 63)) & 1) as u8;
         }
     }
 }
@@ -318,6 +398,53 @@ mod tests {
         buf.fill_chunk(500, &mut scratch);
         for (j, a) in scratch.iter().enumerate() {
             assert_eq!(*a, buf.get(500 + j));
+        }
+    }
+
+    #[test]
+    fn parallel_generation_is_bit_identical_to_sequential() {
+        let params = params_for(WorkloadId::Ytube);
+        // Cover: sub-chunk, exact multiple, ragged multi-chunk.
+        for n in [1_000usize, 2 * GEN_CHUNK, 2 * GEN_CHUNK + 777] {
+            let seq = MemTraceBuf::generate(params, 31, n);
+            let pool = wcs_simcore::ThreadPool::new(3).unwrap();
+            let par = MemTraceBuf::generate_par(params, 31, n, &pool);
+            assert_eq!(seq.len(), par.len(), "n={n}");
+            for i in 0..n {
+                assert_eq!(seq.get(i), par.get(i), "n={n} access {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn generator_reseeds_at_chunk_boundaries() {
+        // Accesses at and after a chunk boundary must be reproducible by
+        // a fresh generator-free stream — the contract generate_par
+        // relies on.
+        let params = params_for(WorkloadId::Webmail);
+        let mut gen = MemTraceGen::new(params, 77);
+        let mut all = Vec::new();
+        for _ in 0..GEN_CHUNK + 50 {
+            all.push(gen.next_access());
+        }
+        let zipf = Zipf::new(params.footprint_pages as usize, params.zipf_s).unwrap();
+        let mut rng = SimRng::stream(77, 1);
+        for (j, want) in all[GEN_CHUNK..].iter().enumerate() {
+            assert_eq!(chunk_access(&zipf, &mut rng, &params), *want, "offset {j}");
+        }
+    }
+
+    #[test]
+    fn soa_chunk_decode_matches_get() {
+        let params = params_for(WorkloadId::MapredWc);
+        let buf = MemTraceBuf::generate(params, 9, 2_000);
+        let mut pages = [0u32; 300];
+        let mut writes = [0u8; 300];
+        buf.fill_chunk_soa(700, &mut pages, &mut writes);
+        for j in 0..300 {
+            let a = buf.get(700 + j);
+            assert_eq!(u64::from(pages[j]), a.page, "access {j}");
+            assert_eq!(writes[j] != 0, a.write, "access {j}");
         }
     }
 
