@@ -38,7 +38,7 @@ use wcs_simserver::{Cluster, ClusterFaults, Resource, RetryPolicy, ServerSpec, S
 use wcs_workloads::disktrace;
 use wcs_workloads::memtrace::{params_for as mem_params, MemTraceBuf};
 use wcs_workloads::perf::MeasureConfig;
-use wcs_workloads::WorkloadId;
+use wcs_workloads::{ScenarioSpec, TrafficPack, WorkloadId};
 
 fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
     let start = Instant::now();
@@ -51,7 +51,7 @@ fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
 /// obs-overhead study runs. Exact-class series are deterministic across
 /// `--threads` and memo settings; the `memo.*` hit/miss counters are
 /// wall-class profiling data.
-const FOLDED_SERIES: [&str; 22] = [
+const FOLDED_SERIES: [&str; 27] = [
     "queue.scheduled",
     "queue.fast_path",
     "queue.calendar_hits",
@@ -62,6 +62,7 @@ const FOLDED_SERIES: [&str; 22] = [
     "memo.replay.hits",
     "memo.perf.hits",
     "memo.perf.misses",
+    "memo.scenario.hits",
     "memshare.replays",
     "memshare.page_faults",
     "memshare.cbf_saved_ns",
@@ -74,6 +75,10 @@ const FOLDED_SERIES: [&str; 22] = [
     "recovery.cells_replayed",
     "recovery.cells_journaled",
     "recovery.task_panics",
+    "scenario.evals",
+    "scenario.traffic_runs",
+    "scenario.requests",
+    "scenario.qos_violations",
 ];
 
 /// The memoization-sensitive workload: every design-space sweep and
@@ -333,6 +338,32 @@ fn main() {
     let memo_stats = memo_eval.memo.stats();
     let speedup = sweep_cold_ms / sweep_warm_ms;
 
+    // Scenario packs: both new workload families plus a paper workload
+    // under a flash crowd, on the N2 design. The memoized run feeds the
+    // scenario.* series folded below; the cold evaluator must render
+    // byte-identically (same gate as the sweep bundle).
+    let scenario_slate = [
+        ScenarioSpec::steady("faas").with_traffic(TrafficPack::flash_crowd()),
+        ScenarioSpec::steady("dag-analytics").with_traffic(TrafficPack::diurnal()),
+        ScenarioSpec::steady("websearch"),
+    ];
+    let n2 = DesignPoint::n2();
+    let (scenario_evals, scenario_ms) = timed(|| {
+        memo_eval
+            .evaluate_scenarios(&n2, &scenario_slate)
+            .expect("scenario slate evaluates")
+    });
+    let scenario_cold = cold_eval
+        .evaluate_scenarios(&n2, &scenario_slate)
+        .expect("scenario slate evaluates");
+    assert_eq!(
+        format!("{scenario_evals:?}"),
+        format!("{scenario_cold:?}"),
+        "scenario evaluation diverged between memoized and cold evaluators"
+    );
+    studies.push(("scenario_packs_n2", scenario_ms));
+    let scenario_evals_per_sec = scenario_evals.len() as f64 / (scenario_ms / 1e3);
+
     memo_eval.export_obs();
     cli::ensure_standard_series(&metrics_reg);
     let snap = metrics_reg.snapshot();
@@ -426,6 +457,7 @@ fn main() {
         "  \"perf\": {{\"queue_kind\": \"{}\", \"events_per_sec\": {events_per_sec:.0}, \
          \"sweep_cold_ms\": {sweep_cold_ms:.3}, \"sweep_warm_ms\": {sweep_warm_ms:.3}, \
          \"fast_path_share\": {fast_path_share:.4}, \
+         \"scenario_evals_per_sec\": {scenario_evals_per_sec:.3}, \
          \"replay\": {{\"pages_per_sec\": {replay_pages_per_sec:.0}, \
          \"blocks_per_sec\": {replay_blocks_per_sec:.0}}}}},",
         args.queue.as_str()
@@ -468,6 +500,11 @@ fn main() {
         "  memo sweep: cold {sweep_cold_ms:.1} ms, warm {sweep_warm_ms:.1} ms \
          ({speedup:.1}x, hit rate {:.1}%, byte-identical)",
         memo_stats.hit_rate() * 100.0
+    );
+    println!(
+        "  scenario packs: {} evals in {scenario_ms:.1} ms \
+         ({scenario_evals_per_sec:.1} evals/sec, memo==cold byte-identical)",
+        scenario_evals.len()
     );
 
     // Honor --metrics like every other bench bin: the registry attached

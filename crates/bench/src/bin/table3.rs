@@ -4,7 +4,7 @@
 //! Run with `cargo run --release -p wcs-bench --bin table3`.
 
 use wcs_flashcache::memo::StorageMemo;
-use wcs_flashcache::study::{run_disk_study_with, DiskScenario};
+use wcs_flashcache::study::{run_disk_study_with, StorageScenario};
 use wcs_platforms::storage::FlashModel;
 use wcs_workloads::perf::MeasureConfig;
 
@@ -29,7 +29,7 @@ fn main() {
         format!("{} W", flash.power_w),
         format!("${}", flash.price_usd)
     );
-    for scenario in DiskScenario::all() {
+    for scenario in StorageScenario::all() {
         let d = &scenario.disk;
         println!(
             "  {:<12} {:>8} {:>22} {:>10} {:>8} {:>7}",

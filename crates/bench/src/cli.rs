@@ -23,6 +23,12 @@
 //!   wheel, or occupancy-based selection (the default). All three pop
 //!   the same total order, so this is an A/B performance dial, not a
 //!   results dial.
+//! * `--scenario NAME` narrows scenario-aware binaries to one registered
+//!   workload (paper suite, `faas`, `dag-analytics`, or anything
+//!   registered at startup). An unknown name is a usage error (exit 2)
+//!   whose message lists every registered scenario.
+//! * `--traffic PACK` selects the arrival process for scenario runs:
+//!   `steady` (default), `diurnal`, `flash-crowd`, or `failover-surge`.
 //!
 //! None of the flags can change results. Parallel fan-outs seed their
 //! tasks purely from the task index, memoized values are pure functions
@@ -57,6 +63,8 @@ use wcs_core::evaluate::EvalBuilder;
 use wcs_core::{Evaluator, WcsError};
 use wcs_simcore::obs::Registry;
 use wcs_simcore::{QueueKind, ThreadPool};
+use wcs_workloads::registry;
+use wcs_workloads::{ScenarioSpec, TrafficPack};
 
 /// The run completed normally.
 pub const EXIT_OK: i32 = 0;
@@ -87,7 +95,7 @@ pub fn run_or_exit<T, E: Display>(context: &str, result: Result<T, E>) -> T {
 /// [`ensure_standard_series`] registers one canonical series per family
 /// so consumers can rely on the keys being present; a zero value means
 /// the subsystem did not run in that binary.
-pub const STANDARD_FAMILIES: [&str; 8] = [
+pub const STANDARD_FAMILIES: [&str; 9] = [
     "queue",
     "pool",
     "memo",
@@ -96,6 +104,7 @@ pub const STANDARD_FAMILIES: [&str; 8] = [
     "cooling",
     "faults",
     "recovery",
+    "scenario",
 ];
 
 /// Parsed common arguments: the worker pool plus whatever the binary
@@ -123,6 +132,11 @@ pub struct BenchArgs {
     /// [`QueueKind::Auto`]). [`parse`] installs it as the process-wide
     /// default before any simulation constructs a queue.
     pub queue: QueueKind,
+    /// Registered workload selected by `--scenario NAME`, if any. The
+    /// name was validated against the registry at parse time.
+    pub scenario: Option<String>,
+    /// Traffic pack selected by `--traffic PACK`, if any.
+    pub traffic: Option<TrafficPack>,
     /// The metrics registry: enabled iff `--metrics` was passed,
     /// otherwise the disabled no-op registry.
     pub obs: Registry,
@@ -164,6 +178,35 @@ impl BenchArgs {
                 eprintln!("error: cannot construct evaluator: {e}");
                 exit(EXIT_ERROR);
             }
+        }
+    }
+
+    /// The scenario slate this command line selects from a binary's
+    /// `default` slate:
+    ///
+    /// * `--scenario NAME` narrows to that one workload (under
+    ///   `--traffic`, or steady when the flag is absent),
+    /// * `--traffic PACK` alone re-runs the default slate's distinct
+    ///   workloads, each under `PACK`,
+    /// * neither flag runs `default` unchanged.
+    pub fn scenario_specs(&self, default: &[ScenarioSpec]) -> Vec<ScenarioSpec> {
+        match (&self.scenario, self.traffic) {
+            (Some(name), pack) => {
+                vec![ScenarioSpec::steady(name).with_traffic(pack.unwrap_or(TrafficPack::Steady))]
+            }
+            (None, Some(pack)) => {
+                let mut specs: Vec<ScenarioSpec> = Vec::new();
+                for spec in default {
+                    if !specs.iter().any(|s| s.workload == spec.workload) {
+                        specs.push(ScenarioSpec {
+                            workload: spec.workload,
+                            traffic: pack,
+                        });
+                    }
+                }
+                specs
+            }
+            (None, None) => default.to_vec(),
         }
     }
 
@@ -219,7 +262,7 @@ pub fn ensure_standard_series(registry: &Registry) {
     }
     registry.max_gauge("queue.max_depth").observe(0);
     registry.counter("pool.tasks").add(0);
-    for domain in ["storage", "replay", "perf"] {
+    for domain in ["storage", "replay", "perf", "scenario"] {
         registry.wall_counter(&format!("memo.{domain}.hits")).add(0);
         registry
             .wall_counter(&format!("memo.{domain}.misses"))
@@ -255,6 +298,13 @@ pub fn ensure_standard_series(registry: &Registry) {
         "recovery.worker_cells_stolen",
         "recovery.worker_merge_conflicts",
         "recovery.worker_retries",
+        "scenario.evals",
+        "scenario.traffic_runs",
+        "scenario.requests",
+        "scenario.qos_violations",
+        "scenario.faas_resident",
+        "scenario.dag_tasks",
+        "scenario.dag_stragglers",
     ] {
         registry.counter(name).add(0);
     }
@@ -290,6 +340,8 @@ pub fn try_parse_from(args: impl Iterator<Item = String>) -> Result<BenchArgs, W
     let mut resume = None;
     let mut task_budget_ms = None;
     let mut queue = QueueKind::default();
+    let mut scenario = None;
+    let mut traffic = None;
     let mut rest = Vec::new();
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
@@ -343,6 +395,21 @@ pub fn try_parse_from(args: impl Iterator<Item = String>) -> Result<BenchArgs, W
                     "--queue expects one of heap, calendar, auto; got {v:?}"
                 ))
             })?;
+        } else if let Some(v) = valued("--scenario")? {
+            if !registry::contains(&v) {
+                return Err(WcsError::UnknownScenario {
+                    name: v,
+                    known: registry::names(),
+                });
+            }
+            scenario = Some(v);
+        } else if let Some(v) = valued("--traffic")? {
+            traffic = Some(TrafficPack::parse(&v).ok_or_else(|| {
+                WcsError::Cli(format!(
+                    "--traffic expects one of {}; got {v:?}",
+                    TrafficPack::NAMES.join(", ")
+                ))
+            })?);
         } else {
             rest.push(arg);
         }
@@ -356,6 +423,8 @@ pub fn try_parse_from(args: impl Iterator<Item = String>) -> Result<BenchArgs, W
         resume,
         task_budget_ms,
         queue,
+        scenario,
+        traffic,
         obs,
         rest,
     })
@@ -368,7 +437,9 @@ fn parse_from(args: impl Iterator<Item = String>) -> BenchArgs {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: <bin> [--threads N] [--no-memo] [--seed S] [--metrics PATH] \
-                 [--resume JOURNAL] [--task-budget-ms N] [--queue heap|calendar|auto] [args...]"
+                 [--resume JOURNAL] [--task-budget-ms N] [--queue heap|calendar|auto] \
+                 [--scenario NAME] [--traffic steady|diurnal|flash-crowd|failover-surge] \
+                 [args...]"
             );
             exit(EXIT_USAGE);
         }
@@ -473,6 +544,64 @@ mod tests {
         assert_eq!(c.queue, QueueKind::Calendar);
         assert!(try_parse_from(strs(&["--queue", "splay"])).is_err());
         assert!(try_parse_from(strs(&["--queue"])).is_err());
+    }
+
+    #[test]
+    fn scenario_flag_validates_against_the_registry() {
+        let a = try_parse_from(strs(&["--scenario", "faas"])).unwrap();
+        assert_eq!(a.scenario.as_deref(), Some("faas"));
+        assert!(a.traffic.is_none());
+        let err = try_parse_from(strs(&["--scenario", "nope"])).unwrap_err();
+        match err {
+            WcsError::UnknownScenario { name, known } => {
+                assert_eq!(name, "nope");
+                assert!(known.contains(&"faas"), "{known:?}");
+                assert!(known.contains(&"websearch"), "{known:?}");
+            }
+            other => panic!("expected UnknownScenario, got {other:?}"),
+        }
+        assert!(try_parse_from(strs(&["--scenario"])).is_err());
+    }
+
+    #[test]
+    fn traffic_flag_parses_pack_names() {
+        let a = try_parse_from(strs(&["--traffic", "flash-crowd"])).unwrap();
+        assert_eq!(a.traffic, Some(TrafficPack::flash_crowd()));
+        let b = try_parse_from(strs(&["--traffic=steady"])).unwrap();
+        assert_eq!(b.traffic, Some(TrafficPack::Steady));
+        let err = try_parse_from(strs(&["--traffic", "tsunami"])).unwrap_err();
+        assert!(err.to_string().contains("flash-crowd"), "{err}");
+        assert!(try_parse_from(strs(&["--traffic"])).is_err());
+    }
+
+    #[test]
+    fn scenario_specs_narrow_the_default_slate() {
+        let default = [
+            ScenarioSpec::steady("faas").with_traffic(TrafficPack::flash_crowd()),
+            ScenarioSpec::steady("faas"),
+            ScenarioSpec::steady("dag-analytics"),
+        ];
+        // No flags: the default slate, unchanged.
+        let none = try_parse_from(strs(&[])).unwrap();
+        assert_eq!(none.scenario_specs(&default), default.to_vec());
+        // --scenario (+ --traffic) narrows to one spec.
+        let one = try_parse_from(strs(&["--scenario", "webmail", "--traffic", "diurnal"])).unwrap();
+        assert_eq!(
+            one.scenario_specs(&default),
+            vec![ScenarioSpec::steady("webmail").with_traffic(TrafficPack::diurnal())]
+        );
+        let steady = try_parse_from(strs(&["--scenario=faas"])).unwrap();
+        assert_eq!(
+            steady.scenario_specs(&default),
+            vec![ScenarioSpec::steady("faas")]
+        );
+        // --traffic alone re-packs the slate's distinct workloads.
+        let pack = try_parse_from(strs(&["--traffic", "failover-surge"])).unwrap();
+        let specs = pack.scenario_specs(&default);
+        assert_eq!(specs.len(), 2, "distinct workloads only: {specs:?}");
+        assert!(specs
+            .iter()
+            .all(|s| s.traffic == TrafficPack::failover_surge()));
     }
 
     #[test]

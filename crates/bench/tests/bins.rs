@@ -144,6 +144,53 @@ fn perfsmoke_writes_results_json() {
 }
 
 #[test]
+fn scenarios_bin_runs_packs_and_rejects_unknown_names() {
+    let dir = std::env::temp_dir().join(format!("wcs-scenarios-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir creates");
+    let out = Command::new(env!("CARGO_BIN_EXE_scenarios"))
+        .args(["--threads", "2"])
+        .current_dir(&dir)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "scenarios exited with {:?}",
+        out.status
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The default slate covers both new families and a paper workload
+    // under a pack, and the built-in determinism gate reported identity
+    // (the bin aborts before writing results otherwise).
+    for needle in [
+        "faas/flash-crowd",
+        "dag-analytics/diurnal",
+        "websearch/flash-crowd",
+        "byte-identical",
+    ] {
+        assert!(stdout.contains(needle), "missing {needle} in {stdout}");
+    }
+    let json =
+        std::fs::read_to_string(dir.join("SCENARIOS_results.json")).expect("results written");
+    assert!(json.contains("\"diverged\": false"), "{json}");
+
+    // An unknown scenario name is a usage error (exit 2) whose message
+    // lists every registered scenario.
+    let out = Command::new(env!("CARGO_BIN_EXE_scenarios"))
+        .args(["--scenario", "nope"])
+        .current_dir(&dir)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2), "unknown scenario must exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown scenario workload"), "{stderr}");
+    assert!(
+        stderr.contains("dag-analytics") && stderr.contains("websearch"),
+        "error must list registered scenarios: {stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn chaos_proves_resume_and_isolation() {
     let dir = std::env::temp_dir().join(format!("wcs-chaos-test-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("temp dir creates");

@@ -1,7 +1,7 @@
 //! Named design points: baselines and the unified N1/N2 architectures.
 
 use wcs_cooling::{EnclosureDesign, RackGeometry};
-use wcs_flashcache::study::DiskScenario;
+use wcs_flashcache::study::StorageScenario;
 use wcs_memshare::blade::BladeModel;
 use wcs_memshare::link::RemoteLink;
 use wcs_memshare::provisioning::Provisioning;
@@ -83,7 +83,7 @@ pub struct DesignPoint {
     /// Ensemble memory sharing, if used.
     pub memshare: Option<MemShareConfig>,
     /// Storage configuration (None = the platform's stock local disk).
-    pub storage: Option<DiskScenario>,
+    pub storage: Option<StorageScenario>,
 }
 
 impl DesignPoint {
@@ -131,7 +131,7 @@ impl DesignPoint {
                 link: RemoteLink::pcie_x4_cbf(),
                 servers_per_blade: 8,
             }),
-            storage: Some(DiskScenario::laptop_flash()),
+            storage: Some(StorageScenario::laptop_flash()),
         }
     }
 

@@ -41,6 +41,14 @@ pub enum WcsError {
         /// Name of the design point whose evaluation was cancelled.
         cell: String,
     },
+    /// A scenario named a workload the registry does not know. Carries
+    /// the registered names so CLI layers can print what *would* work.
+    UnknownScenario {
+        /// The name that failed to resolve.
+        name: String,
+        /// Every registered workload name, sorted.
+        known: Vec<&'static str>,
+    },
     /// The resume journal could not be opened, replayed, or appended to.
     Journal(JournalError),
     /// The multi-process sweep service failed: a worker could not be
@@ -64,6 +72,14 @@ impl fmt::Display for WcsError {
                     "cell '{cell}' exceeded its deadline budget and was degraded"
                 )
             }
+            WcsError::UnknownScenario { name, known } => {
+                write!(
+                    f,
+                    "unknown scenario workload {:?}; registered scenarios: {}",
+                    name,
+                    known.join(", ")
+                )
+            }
             WcsError::Journal(e) => write!(f, "journal error: {e}"),
             WcsError::Service(msg) => write!(f, "sweep service error: {msg}"),
         }
@@ -80,6 +96,7 @@ impl std::error::Error for WcsError {
             WcsError::Cli(_) => None,
             WcsError::TaskPanic(e) => Some(e),
             WcsError::Deadline { .. } => None,
+            WcsError::UnknownScenario { .. } => None,
             WcsError::Journal(e) => Some(e),
             WcsError::Service(_) => None,
         }
@@ -141,6 +158,18 @@ mod tests {
 
         let cli = WcsError::Cli("unknown flag --frobnicate".to_owned());
         assert!(cli.to_string().contains("--frobnicate"));
+
+        let unknown = WcsError::UnknownScenario {
+            name: "tsunami".to_owned(),
+            known: vec!["faas", "websearch"],
+        };
+        let msg = unknown.to_string();
+        assert!(msg.contains("tsunami"), "{msg}");
+        assert!(msg.contains("faas, websearch"), "{msg}");
+        {
+            use std::error::Error as _;
+            assert!(unknown.source().is_none());
+        }
     }
 
     #[test]

@@ -104,30 +104,6 @@ impl Evaluator {
             .expect("quick default configuration is valid")
     }
 
-    /// Returns this evaluator with its work fanned out over `pool`.
-    ///
-    /// Results are bit-identical at any thread count: each (design,
-    /// workload) task derives its RNG stream purely from the task, never
-    /// from scheduling order.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use Evaluator::builder().pool(..) or .threads(..)"
-    )]
-    pub fn with_pool(mut self, pool: ThreadPool) -> Self {
-        self.pool = pool;
-        self
-    }
-
-    /// Returns this evaluator with memoization switched on or off (a
-    /// fresh, empty memo either way). Disabled, every sub-simulation
-    /// recomputes from its live generators — the pre-memoization cold
-    /// path.
-    #[deprecated(since = "0.1.0", note = "use Evaluator::builder().memo(..)")]
-    pub fn with_memo(mut self, enabled: bool) -> Self {
-        self.memo = Arc::new(EvalMemo::with_enabled(enabled).with_obs(self.obs.clone()));
-        self
-    }
-
     /// Flushes end-of-run metrics (memo hit/miss counters, watchdog
     /// deadline cancels) into the attached registry. Counters accumulate
     /// — call once, right before snapshotting.
@@ -170,18 +146,7 @@ impl Evaluator {
         token: &CancelToken,
     ) -> Result<DesignEval, WcsError> {
         let platform = design.effective_platform();
-        let burdened = self
-            .burdened
-            .with_cooling_scale(design.cooling.cooling_scale);
-        let tco_model = TcoModel::new(self.rack, burdened);
-        let report = match &self.real_estate {
-            None => tco_model.server_tco(&platform),
-            Some(re) => {
-                let mut bom = platform.bom().to_vec();
-                bom.push(re.bom_item(design.cooling.systems_per_rack));
-                tco_model.bom_tco(&platform.name, &bom)
-            }
-        };
+        let report = self.design_report(design, &platform);
 
         // Workloads are independent: each derives its seed from the shared
         // MeasureConfig, not from evaluation order, so fanning them out
@@ -306,23 +271,43 @@ impl Evaluator {
             .collect()
     }
 
-    /// Performance of one workload on the design: applies the storage
+    /// Prices the design's bill of materials under the evaluator's cost
+    /// scope (shared by the suite and scenario pipelines).
+    pub(crate) fn design_report(&self, design: &DesignPoint, platform: &Platform) -> TcoReport {
+        let burdened = self
+            .burdened
+            .with_cooling_scale(design.cooling.cooling_scale);
+        let tco_model = TcoModel::new(self.rack, burdened);
+        match &self.real_estate {
+            None => tco_model.server_tco(platform),
+            Some(re) => {
+                let mut bom = platform.bom().to_vec();
+                bom.push(re.bom_item(design.cooling.systems_per_rack));
+                tco_model.bom_tco(&platform.name, &bom)
+            }
+        }
+    }
+
+    /// The platform demand of `wl` on `design`: applies the storage
     /// scenario's effective disk service and the memory-sharing slowdown
-    /// before running the simulation.
-    fn workload_perf(
+    /// before any simulation runs. `trace_id` anchors the disk-trace and
+    /// memory-trace sub-simulations — for paper workloads it is the
+    /// workload itself; registry scenarios reuse the calibration anchor
+    /// carried in their `Workload::id`.
+    pub(crate) fn demand_for(
         &self,
         design: &DesignPoint,
         platform: &Platform,
-        id: WorkloadId,
-    ) -> Result<PerfSample, MeasureError> {
-        let wl = suite::workload(id);
+        wl: &wcs_workloads::Workload,
+        trace_id: WorkloadId,
+    ) -> PlatformDemand {
         let disk = design
             .storage
             .as_ref()
             .map(|s| s.disk.clone())
             .unwrap_or_else(|| design.platform.disk.clone());
         let mut demand = PlatformDemand::with_overrides(
-            &wl,
+            wl,
             &design.platform,
             &disk,
             platform.memory.capacity_gib,
@@ -331,7 +316,7 @@ impl Evaluator {
             let stats = self.memo.storage().replay(
                 &scenario.disk,
                 scenario.flash.as_ref(),
-                disk_params(id),
+                disk_params(trace_id),
                 self.measure.seed ^ 0xD15C,
                 self.storage_replay,
             );
@@ -341,7 +326,7 @@ impl Evaluator {
             // First pass: fault rate at the uncontended link; second
             // pass folds the shared link's M/D/1 queueing delay back in.
             let base = estimate_slowdown_pooled(
-                id,
+                trace_id,
                 &SlowdownConfig {
                     local_fraction: ms.provisioning.local_fraction,
                     link: ms.link,
@@ -356,6 +341,18 @@ impl Evaluator {
             let slowdown = 1.0 + base.faults_per_cpu_sec * effective.fault_latency_secs();
             demand.inflate_cpu(slowdown);
         }
+        demand
+    }
+
+    /// Performance of one paper workload on the design.
+    pub(crate) fn workload_perf(
+        &self,
+        design: &DesignPoint,
+        platform: &Platform,
+        id: WorkloadId,
+    ) -> Result<PerfSample, MeasureError> {
+        let wl = suite::workload(id);
+        let demand = self.demand_for(design, platform, &wl, id);
         self.memo.perf(id, &demand, &self.measure, || {
             measure_perf_with_demand(&wl, &demand, &self.measure).map(|r| PerfSample {
                 value: r.value,
@@ -781,18 +778,15 @@ mod tests {
         assert_eq!(cold.memo.stats().hits, 0);
     }
 
-    /// The deprecated combinators must stay bit-identical to the
-    /// builder so downstream code can migrate incrementally.
+    /// The builder path is the only construction surface now that the
+    /// deprecated `with_pool`/`with_memo` shims are gone: pin that every
+    /// builder combination (threads, memo, pre-built pool) stays
+    /// bit-identical to the plain quick evaluator.
     #[test]
-    #[allow(deprecated)]
-    fn builder_matches_deprecated_shims() {
+    fn builder_paths_are_bit_identical() {
         let design = DesignPoint::n2();
-        let via_shims = Evaluator::quick()
-            .with_pool(ThreadPool::new(2).unwrap())
-            .with_memo(false)
-            .evaluate(&design)
-            .unwrap();
-        let via_builder = Evaluator::builder()
+        let want = format!("{:?}", Evaluator::quick().evaluate(&design).unwrap());
+        let via_threads = Evaluator::builder()
             .quick()
             .threads(2)
             .unwrap()
@@ -801,7 +795,16 @@ mod tests {
             .unwrap()
             .evaluate(&design)
             .unwrap();
-        assert_eq!(format!("{via_shims:?}"), format!("{via_builder:?}"));
+        assert_eq!(want, format!("{via_threads:?}"));
+        let via_pool = Evaluator::builder()
+            .quick()
+            .pool(ThreadPool::new(4).unwrap())
+            .memo(true)
+            .build()
+            .unwrap()
+            .evaluate(&design)
+            .unwrap();
+        assert_eq!(want, format!("{via_pool:?}"));
     }
 
     #[test]

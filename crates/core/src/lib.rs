@@ -10,6 +10,8 @@
 //!   remote laptop disks) architectures of Section 3.6,
 //! * [`evaluate`] — the evaluation pipeline: performance simulation +
 //!   cost model + efficiency metrics for any design point,
+//! * [`scenario`] — the open-world counterpart: registry-resolved
+//!   workloads (paper suite, FaaS, DAG analytics) under traffic packs,
 //! * [`report`] — text rendering of the comparison tables the paper's
 //!   figures show.
 //!
@@ -34,9 +36,11 @@ pub mod evaluate;
 pub mod experiments;
 pub mod memo;
 pub mod report;
+pub mod scenario;
 pub mod sweeps;
 pub mod validate;
 
 pub use designs::DesignPoint;
 pub use error::WcsError;
 pub use evaluate::{CellOutcome, DesignEval, EvalBuilder, Evaluator};
+pub use scenario::{FamilyEval, ScenarioEval, TrafficEval};

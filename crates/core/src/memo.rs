@@ -142,6 +142,16 @@ pub struct EvalMemo {
     storage: StorageMemo,
     replay: ReplayMemo,
     perf: MemoCache<Result<PerfSample, MeasureError>>,
+    /// Steady-state measurements of registry scenarios outside the
+    /// paper suite (FaaS, DAG, user registrations). A separate lane from
+    /// `perf` because scenario keys are workload *names* plus family
+    /// parameters — the paper lane's `WorkloadId` key cannot express
+    /// them, and paper workloads under `TrafficPack::Steady` must keep
+    /// hitting the `perf` lane bit-identically.
+    scenario_perf: MemoCache<Result<PerfSample, MeasureError>>,
+    /// Open-loop traffic-pack runs (diurnal, flash-crowd, failover
+    /// surge) keyed on scenario, pack parameters, demand, and config.
+    traffic: MemoCache<crate::scenario::TrafficSample>,
     /// Cells recovered from a `--resume` journal. Consulted before the
     /// regular perf lane and *always* enabled — resuming must work under
     /// `--no-memo` too, and a replayed cell is by construction the value
@@ -183,6 +193,8 @@ impl EvalMemo {
             storage: StorageMemo::with_enabled(enabled),
             replay: ReplayMemo::with_enabled(enabled),
             perf: MemoCache::with_enabled(enabled),
+            scenario_perf: MemoCache::with_enabled(enabled),
+            traffic: MemoCache::with_enabled(enabled),
             resume: MemoCache::new(),
             journal: Mutex::new(None),
             journal_resume_hits: std::sync::atomic::AtomicBool::new(false),
@@ -329,6 +341,10 @@ impl EvalMemo {
             ("storage", self.storage.stats()),
             ("replay", self.replay.stats()),
             ("perf", self.perf.stats()),
+            (
+                "scenario",
+                self.scenario_perf.stats().merged(&self.traffic.stats()),
+            ),
         ] {
             self.obs
                 .wall_counter(&format!("memo.{domain}.hits"))
@@ -376,6 +392,8 @@ impl EvalMemo {
             .stats()
             .merged(&self.replay.stats())
             .merged(&self.perf.stats())
+            .merged(&self.scenario_perf.stats())
+            .merged(&self.traffic.stats())
     }
 
     /// A cached performance measurement, keyed on the workload, the full
@@ -415,6 +433,30 @@ impl EvalMemo {
             self.journal_result(key, &v);
         }
         v
+    }
+
+    /// A cached steady-state measurement of a registry scenario (FaaS,
+    /// DAG, user registrations). The caller builds the key — scenario
+    /// name, family parameters, final demand vector, measurement config
+    /// — because family-specific inputs vary; `compute` must be a pure
+    /// function of it. Not journaled: the resume journal stays a pure
+    /// record of the paper sweep lattice.
+    pub fn scenario_perf(
+        &self,
+        key: u128,
+        compute: impl FnOnce() -> Result<PerfSample, MeasureError>,
+    ) -> Result<PerfSample, MeasureError> {
+        self.scenario_perf.get_or_compute(key, compute)
+    }
+
+    /// A cached open-loop traffic-pack run, keyed by the caller on
+    /// scenario, pack, demand, and config.
+    pub fn traffic(
+        &self,
+        key: u128,
+        compute: impl FnOnce() -> crate::scenario::TrafficSample,
+    ) -> crate::scenario::TrafficSample {
+        self.traffic.get_or_compute(key, compute)
     }
 
     /// A shared handle to an enabled memo (the [`Evaluator`] default).

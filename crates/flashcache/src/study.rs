@@ -11,9 +11,12 @@ use wcs_workloads::{suite, Metric, WorkloadId};
 
 use crate::memo::StorageMemo;
 
-/// A disk configuration under study (Table 3's columns).
+/// A storage configuration under study (Table 3's columns).
+///
+/// Named `DiskScenario` before the scenario API redesign; the old name
+/// survives as a deprecated alias for one release.
 #[derive(Debug, Clone)]
-pub struct DiskScenario {
+pub struct StorageScenario {
     /// Row label as in Table 3(b).
     pub name: &'static str,
     /// The disk model.
@@ -22,10 +25,10 @@ pub struct DiskScenario {
     pub flash: Option<FlashModel>,
 }
 
-impl DiskScenario {
+impl StorageScenario {
     /// The baseline: local desktop-class disk.
     pub fn desktop_local() -> Self {
-        DiskScenario {
+        StorageScenario {
             name: "Local Desktop (baseline)",
             disk: DiskModel::desktop(),
             flash: None,
@@ -34,7 +37,7 @@ impl DiskScenario {
 
     /// Remote laptop disk over the SAN.
     pub fn laptop_remote() -> Self {
-        DiskScenario {
+        StorageScenario {
             name: "Remote Laptop",
             disk: DiskModel::laptop_remote(),
             flash: None,
@@ -43,7 +46,7 @@ impl DiskScenario {
 
     /// Remote laptop disk plus the 1 GB flash cache.
     pub fn laptop_flash() -> Self {
-        DiskScenario {
+        StorageScenario {
             name: "Remote Laptop + Flash",
             disk: DiskModel::laptop_remote(),
             flash: Some(FlashModel::table3()),
@@ -52,7 +55,7 @@ impl DiskScenario {
 
     /// The cheaper laptop-2 disk plus flash.
     pub fn laptop2_flash() -> Self {
-        DiskScenario {
+        StorageScenario {
             name: "Remote Laptop-2 + Flash",
             disk: DiskModel::laptop2_remote(),
             flash: Some(FlashModel::table3()),
@@ -60,7 +63,7 @@ impl DiskScenario {
     }
 
     /// All four scenarios, baseline first.
-    pub fn all() -> Vec<DiskScenario> {
+    pub fn all() -> Vec<StorageScenario> {
         vec![
             Self::desktop_local(),
             Self::laptop_remote(),
@@ -88,6 +91,13 @@ impl DiskScenario {
     }
 }
 
+/// Deprecated pre-redesign name for [`StorageScenario`]. "Scenario" now
+/// means a workload/traffic pairing repo-wide (see `wcs-core`'s
+/// `scenario` module); this alias exists for one release so downstream
+/// code keeps compiling while it migrates.
+#[deprecated(note = "renamed to `StorageScenario`")]
+pub type DiskScenario = StorageScenario;
+
 /// One row of Table 3(b): a scenario's efficiency relative to the
 /// desktop baseline, harmonically aggregated across the suite.
 #[derive(Debug, Clone)]
@@ -109,7 +119,7 @@ pub struct DiskStudyRow {
 /// per-IO service time, then runs the performance simulation with the
 /// substituted disk stage.
 pub fn scenario_perf(
-    scenario: &DiskScenario,
+    scenario: &StorageScenario,
     platform: &Platform,
     cfg: &MeasureConfig,
 ) -> Vec<(WorkloadId, f64)> {
@@ -120,7 +130,7 @@ pub fn scenario_perf(
 /// materialized once per workload and replays / performance points are
 /// cached across scenarios and repeated studies.
 pub fn scenario_perf_with(
-    scenario: &DiskScenario,
+    scenario: &StorageScenario,
     platform: &Platform,
     cfg: &MeasureConfig,
     memo: &StorageMemo,
@@ -162,7 +172,7 @@ pub fn run_disk_study(cfg: &MeasureConfig) -> Vec<DiskStudyRow> {
 pub fn run_disk_study_with(cfg: &MeasureConfig, memo: &StorageMemo) -> Vec<DiskStudyRow> {
     let platform = catalog::platform(PlatformId::Emb1);
     let model = TcoModel::paper_default();
-    let scenarios = DiskScenario::all();
+    let scenarios = StorageScenario::all();
 
     let baseline = &scenarios[0];
     let base_perf = scenario_perf_with(baseline, &platform, cfg, memo);
@@ -212,7 +222,7 @@ mod tests {
 
     #[test]
     fn scenarios_cover_table3a() {
-        let all = DiskScenario::all();
+        let all = StorageScenario::all();
         assert_eq!(all.len(), 4);
         assert_eq!(all[1].disk.price_usd, 80.0);
         assert_eq!(all[3].disk.price_usd, 40.0);
@@ -222,7 +232,7 @@ mod tests {
     #[test]
     fn bom_swap_changes_cost_and_power() {
         let p = catalog::platform(PlatformId::Emb1);
-        let swapped = DiskScenario::laptop_flash().apply_bom(&p);
+        let swapped = StorageScenario::laptop_flash().apply_bom(&p);
         assert_eq!(swapped.component_cost(Component::Disk), 80.0);
         assert_eq!(swapped.component_cost(Component::Flash), 14.0);
         assert!((swapped.max_power_w() - (52.0 - 10.0 + 2.0 + 0.5)).abs() < 1e-9);

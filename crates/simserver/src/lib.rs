@@ -54,6 +54,6 @@ pub use cluster::{Cluster, Dispatch};
 pub use driver::{find_max_throughput, QosSpec, ThroughputResult};
 pub use engine::{RunStats, ServerSim, ServerSpec};
 pub use failover::{ClusterFaults, FaultStats, RetryPolicy};
-pub use openloop::run_open_loop;
+pub use openloop::{run_open_loop, run_open_loop_profiled, RateProfile};
 pub use request::{RequestSource, Resource, Stage};
 pub use tracing::{trace_closed_loop, RequestTrace, StageVisit};

@@ -25,6 +25,79 @@ enum Event {
     StageDone { req: usize, resource: Resource },
 }
 
+/// A piecewise-constant arrival-rate modulation, cycled over simulated
+/// time: the offered rate during segment `i` is the run's base rate
+/// times `multipliers[i % len]`, each segment lasting `seg_dur`.
+///
+/// Traffic packs (diurnal curves, flash crowds, failover surges) render
+/// to a `RateProfile` before reaching the simulator, so the open loop
+/// itself stays a dumb, deterministic interpreter: the same profile and
+/// seed always produce the same arrival stream.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RateProfile {
+    seg_dur: SimDuration,
+    multipliers: Vec<f64>,
+}
+
+impl RateProfile {
+    /// A constant profile: the base rate, unmodified. `run_open_loop`
+    /// with this profile is bit-identical to the unprofiled entry point.
+    pub fn constant() -> Self {
+        RateProfile {
+            seg_dur: SimDuration::from_secs(1),
+            multipliers: vec![1.0],
+        }
+    }
+
+    /// Builds a profile from explicit segments.
+    ///
+    /// # Panics
+    /// Panics if `seg_dur` is zero, `multipliers` is empty, or any
+    /// multiplier is not positive and finite (a zero rate would stall
+    /// the arrival stream forever).
+    pub fn new(seg_dur: SimDuration, multipliers: Vec<f64>) -> Self {
+        assert!(!seg_dur.is_zero(), "segment duration must be positive");
+        assert!(
+            !multipliers.is_empty(),
+            "profile needs at least one segment"
+        );
+        assert!(
+            multipliers.iter().all(|m| m.is_finite() && *m > 0.0),
+            "multipliers must be positive and finite"
+        );
+        RateProfile {
+            seg_dur,
+            multipliers,
+        }
+    }
+
+    /// The rate multiplier in effect at simulated time `t` (cyclic).
+    pub fn multiplier_at(&self, t: SimTime) -> f64 {
+        let seg = (t.as_nanos() / self.seg_dur.as_nanos()) as usize;
+        self.multipliers[seg % self.multipliers.len()]
+    }
+
+    /// Largest multiplier in the cycle (the peak offered load).
+    pub fn peak(&self) -> f64 {
+        self.multipliers.iter().copied().fold(f64::MIN, f64::max)
+    }
+
+    /// Time-average multiplier over one cycle.
+    pub fn mean(&self) -> f64 {
+        self.multipliers.iter().sum::<f64>() / self.multipliers.len() as f64
+    }
+
+    /// Duration of one full cycle.
+    pub fn cycle(&self) -> SimDuration {
+        SimDuration::from_nanos(self.seg_dur.as_nanos() * self.multipliers.len() as u64)
+    }
+
+    /// True when the profile never modulates the base rate.
+    pub fn is_constant(&self) -> bool {
+        self.multipliers.iter().all(|m| *m == 1.0)
+    }
+}
+
 /// Runs an open-loop simulation: requests arrive as a Poisson process of
 /// rate `lambda_rps` and queue at the stations regardless of how many
 /// are already in flight.
@@ -45,6 +118,39 @@ pub fn run_open_loop(
     measured: u64,
     seed: u64,
 ) -> RunStats {
+    run_open_loop_profiled(
+        spec,
+        source,
+        lambda_rps,
+        &RateProfile::constant(),
+        warmup,
+        measured,
+        seed,
+    )
+}
+
+/// Runs an open-loop simulation whose Poisson arrival rate is modulated
+/// by `profile`: at any instant the offered rate is `lambda_rps` times
+/// the profile's multiplier at that simulated time.
+///
+/// Each arrival samples its inter-arrival gap from the rate in effect
+/// when it is scheduled (a piecewise-stationary approximation of an
+/// inhomogeneous Poisson process — exact within a segment, and fully
+/// deterministic for a given seed). With `RateProfile::constant()` this
+/// is bit-identical to [`run_open_loop`], which merely delegates here.
+///
+/// # Panics
+/// Panics if `lambda_rps` is not positive and finite, or `measured` is
+/// zero.
+pub fn run_open_loop_profiled(
+    spec: ServerSpec,
+    source: &mut dyn RequestSource,
+    lambda_rps: f64,
+    profile: &RateProfile,
+    warmup: u64,
+    measured: u64,
+    seed: u64,
+) -> RunStats {
     assert!(
         lambda_rps.is_finite() && lambda_rps > 0.0,
         "arrival rate must be positive"
@@ -52,7 +158,9 @@ pub fn run_open_loop(
     assert!(measured > 0, "need a measurement window");
     let mut rng = SimRng::seed_from(seed);
     let mut arrival_rng = rng.fork(1);
-    let mean_iat = SimDuration::from_secs_f64(1.0 / lambda_rps);
+    let iat_at = |t: SimTime| -> SimDuration {
+        SimDuration::from_secs_f64(1.0 / (lambda_rps * profile.multiplier_at(t)))
+    };
 
     let mut events: EventQueue<Event> = EventQueue::new();
     let mut inflight: Vec<InFlight> = Vec::new();
@@ -77,7 +185,7 @@ pub fn run_open_loop(
     let mut measure_start = SimTime::ZERO;
 
     events.schedule(
-        SimTime::ZERO + arrival_rng.exp_duration(mean_iat),
+        SimTime::ZERO + arrival_rng.exp_duration(iat_at(SimTime::ZERO)),
         Event::Arrival,
     );
 
@@ -122,7 +230,7 @@ pub fn run_open_loop(
             Event::Arrival => {
                 // Schedule the next arrival first so the stream is
                 // independent of service completions.
-                events.schedule(now + arrival_rng.exp_duration(mean_iat), Event::Arrival);
+                events.schedule(now + arrival_rng.exp_duration(iat_at(now)), Event::Arrival);
                 let stages = source.next_request(&mut rng);
                 if stages.is_empty() {
                     complete!(now, now);
@@ -284,5 +392,77 @@ mod tests {
     #[should_panic(expected = "arrival rate")]
     fn rejects_zero_rate() {
         run_open_loop(ServerSpec::new(1), &mut cpu_source(1), 0.0, 1, 1, 1);
+    }
+
+    #[test]
+    fn constant_profile_is_bit_identical_to_unprofiled() {
+        let plain = run_open_loop(
+            ServerSpec::new(2),
+            &mut cpu_source(500),
+            900.0,
+            100,
+            1000,
+            5,
+        );
+        let profiled = run_open_loop_profiled(
+            ServerSpec::new(2),
+            &mut cpu_source(500),
+            900.0,
+            &RateProfile::constant(),
+            100,
+            1000,
+            5,
+        );
+        assert_eq!(format!("{plain:?}"), format!("{profiled:?}"));
+    }
+
+    #[test]
+    fn spike_segment_raises_tail_latency() {
+        // Same mean offered load, but one profile crams half the work
+        // into a 4x spike: its p99 must be visibly worse.
+        let steady = run_open_loop_profiled(
+            ServerSpec::new(1),
+            &mut cpu_source(1000),
+            700.0,
+            &RateProfile::constant(),
+            200,
+            4000,
+            11,
+        );
+        let spiky = run_open_loop_profiled(
+            ServerSpec::new(1),
+            &mut cpu_source(1000),
+            700.0,
+            &RateProfile::new(
+                SimDuration::from_millis(500),
+                vec![0.4, 0.4, 0.4, 2.8, 0.4, 0.4, 0.4, 0.4],
+            ),
+            200,
+            4000,
+            11,
+        );
+        let p99_steady = steady.latency.percentile(99.0).unwrap();
+        let p99_spiky = spiky.latency.percentile(99.0).unwrap();
+        assert!(p99_spiky > 2.0 * p99_steady, "{p99_steady} vs {p99_spiky}");
+    }
+
+    #[test]
+    fn profile_cycles_and_reports_shape() {
+        let p = RateProfile::new(SimDuration::from_secs(2), vec![0.5, 2.0, 1.0]);
+        assert_eq!(p.multiplier_at(SimTime::from_nanos(0)), 0.5);
+        assert_eq!(p.multiplier_at(SimTime::from_nanos(2_500_000_000)), 2.0);
+        // Wraps around after one 6 s cycle.
+        assert_eq!(p.multiplier_at(SimTime::from_nanos(6_100_000_000)), 0.5);
+        assert_eq!(p.peak(), 2.0);
+        assert!((p.mean() - 3.5 / 3.0).abs() < 1e-12);
+        assert_eq!(p.cycle(), SimDuration::from_secs(6));
+        assert!(!p.is_constant());
+        assert!(RateProfile::constant().is_constant());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn rejects_zero_multiplier() {
+        RateProfile::new(SimDuration::from_secs(1), vec![1.0, 0.0]);
     }
 }

@@ -1,0 +1,390 @@
+//! DAG analytics workload family: arbitrary task graphs with
+//! stragglers.
+//!
+//! The paper's two `mapred-*` workloads are a single embarrassingly
+//! parallel layer; production analytics engines run multi-stage DAGs
+//! whose critical path and stragglers — not aggregate work — bound the
+//! makespan ("Characterizing Data Analysis Workloads in Data Centers",
+//! PAPERS.md). This module generalizes the batch metric: a seeded
+//! generator produces a layered task graph with cross-layer
+//! dependencies, lognormal task-size dispersion, and a straggler tail;
+//! a deterministic list scheduler executes it on a bounded slot pool
+//! over the event queue. The metric stays `1/makespan`, so DAG results
+//! are directly comparable with the mapred ones.
+
+use std::collections::VecDeque;
+
+use wcs_simcore::dist::{Distribution, LogNormal};
+use wcs_simcore::event::QueueObs;
+use wcs_simcore::memo::{MemoHash, MemoKey};
+use wcs_simcore::{EventQueue, SimDuration, SimRng, SimTime};
+
+/// Parameters of a DAG analytics job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DagParams {
+    /// Total tasks in the job.
+    pub tasks: u32,
+    /// Graph depth: tasks spread over this many layers, front-loaded
+    /// like a map-heavy job (the first layer is the widest).
+    pub layers: u32,
+    /// Dependencies per task on the previous layer (clamped to that
+    /// layer's width). 0 makes the layers independent.
+    pub fan_in: u32,
+    /// Coefficient of variation of task sizes around the mean.
+    pub task_cv: f64,
+    /// Fraction of tasks that straggle.
+    pub straggler_frac: f64,
+    /// Service-time multiplier for straggling tasks.
+    pub straggler_factor: f64,
+    /// Task slots per CPU core (the Hadoop-style slot pool).
+    pub slots_per_core: u32,
+}
+
+impl DagParams {
+    /// A calibrated default: a 256-task, 4-layer job matching the
+    /// mapred scale, with a 5% straggler tail running 6x long.
+    pub fn paper_default() -> Self {
+        DagParams {
+            tasks: 256,
+            layers: 4,
+            fan_in: 3,
+            task_cv: 0.4,
+            straggler_frac: 0.05,
+            straggler_factor: 6.0,
+            slots_per_core: 4,
+        }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Panics
+    /// Panics on zero tasks/layers/slots, more layers than tasks, or
+    /// out-of-range dispersion/straggler settings.
+    pub fn validate(&self) {
+        assert!(self.tasks > 0, "need at least one task");
+        assert!(
+            self.layers > 0 && self.layers <= self.tasks,
+            "layers must be in [1, tasks]"
+        );
+        assert!(self.slots_per_core > 0, "need at least one slot per core");
+        assert!(
+            self.task_cv.is_finite() && self.task_cv >= 0.0,
+            "task_cv must be finite and >= 0"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.straggler_frac),
+            "straggler_frac in [0, 1]"
+        );
+        assert!(
+            self.straggler_factor.is_finite() && self.straggler_factor >= 1.0,
+            "straggler_factor must be >= 1"
+        );
+    }
+}
+
+impl MemoHash for DagParams {
+    fn memo_hash(&self, key: &mut MemoKey) {
+        *key = key
+            .push_u32(self.tasks)
+            .push_u32(self.layers)
+            .push_u32(self.fan_in)
+            .push_f64(self.task_cv)
+            .push_f64(self.straggler_frac)
+            .push_f64(self.straggler_factor)
+            .push_u32(self.slots_per_core);
+    }
+}
+
+/// One task in a generated graph.
+#[derive(Debug, Clone)]
+struct Task {
+    service: SimDuration,
+    deps: Vec<u32>,
+    straggler: bool,
+}
+
+/// A generated, ready-to-schedule task graph.
+#[derive(Debug, Clone)]
+pub struct TaskGraph {
+    tasks: Vec<Task>,
+}
+
+impl TaskGraph {
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True when the graph has no tasks (never, for validated params).
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Number of straggling tasks.
+    pub fn stragglers(&self) -> u32 {
+        self.tasks.iter().filter(|t| t.straggler).count() as u32
+    }
+
+    /// Length of the longest service-weighted dependency chain — the
+    /// makespan lower bound no amount of parallelism beats.
+    pub fn critical_path(&self) -> SimDuration {
+        // Tasks are topologically ordered by construction (deps always
+        // point to earlier indices), so one forward pass suffices.
+        let mut finish = vec![SimDuration::ZERO; self.tasks.len()];
+        for (i, t) in self.tasks.iter().enumerate() {
+            let ready = t
+                .deps
+                .iter()
+                .map(|&d| finish[d as usize])
+                .max()
+                .unwrap_or(SimDuration::ZERO);
+            finish[i] = SimDuration::from_nanos(ready.as_nanos() + t.service.as_nanos());
+        }
+        finish.into_iter().max().unwrap_or(SimDuration::ZERO)
+    }
+}
+
+/// Generates a layered task graph: `params.tasks` tasks spread over
+/// `params.layers` layers (widest first), each task sized
+/// `mean_task * LogNormal(cv)` — times the straggler factor for the
+/// seeded straggler tail — and depending on `fan_in` tasks of the
+/// previous layer.
+///
+/// Pure function of its arguments: the same params, mean and seed
+/// always yield the same graph.
+///
+/// # Panics
+/// Panics if params are invalid or `mean_task` is zero.
+pub fn generate(params: &DagParams, mean_task: SimDuration, seed: u64) -> TaskGraph {
+    params.validate();
+    assert!(!mean_task.is_zero(), "mean task service must be positive");
+    let mut size_rng = SimRng::stream(seed, 0x00DA_6001);
+    let mut dep_rng = SimRng::stream(seed, 0x00DA_6002);
+    let mut straggle_rng = SimRng::stream(seed, 0x00DA_6003);
+
+    // Front-loaded layer widths: layer l gets a share proportional to
+    // (layers - l), so a 4-layer job splits 4:3:2:1 — map-heavy, with
+    // narrowing reduce/merge stages behind it.
+    let l = params.layers as u64;
+    let weight_sum = l * (l + 1) / 2;
+    let mut widths: Vec<u32> = (0..params.layers)
+        .map(|i| ((u64::from(params.tasks) * (l - u64::from(i))) / weight_sum).max(1) as u32)
+        .collect();
+    let assigned: u32 = widths.iter().sum();
+    // Rounding remainder lands on the widest layer.
+    widths[0] = widths[0] + params.tasks - assigned.min(params.tasks);
+
+    let sizer = LogNormal::from_mean_cv(1.0, params.task_cv.max(1e-9)).expect("validated cv");
+    let mut tasks: Vec<Task> = Vec::with_capacity(params.tasks as usize);
+    let mut prev_layer: Vec<u32> = Vec::new();
+    for &width in &widths {
+        let mut this_layer = Vec::with_capacity(width as usize);
+        for _ in 0..width {
+            let id = tasks.len() as u32;
+            let scale = sizer.sample(&mut size_rng);
+            let straggler = straggle_rng.chance(params.straggler_frac);
+            let factor = if straggler {
+                params.straggler_factor
+            } else {
+                1.0
+            };
+            let service = SimDuration::from_secs_f64(mean_task.as_secs_f64() * scale * factor);
+            let fan = (params.fan_in as usize).min(prev_layer.len());
+            let mut deps = Vec::with_capacity(fan);
+            for _ in 0..fan {
+                let dep = prev_layer[dep_rng.index(prev_layer.len())];
+                if !deps.contains(&dep) {
+                    deps.push(dep);
+                }
+            }
+            tasks.push(Task {
+                service,
+                deps,
+                straggler,
+            });
+            this_layer.push(id);
+        }
+        prev_layer = this_layer;
+    }
+    TaskGraph { tasks }
+}
+
+/// Result of executing a task graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DagStats {
+    /// Wall time from first dispatch to last completion, seconds.
+    pub makespan_secs: f64,
+    /// Service-weighted critical path, seconds.
+    pub critical_path_secs: f64,
+    /// Tasks executed.
+    pub tasks: u32,
+    /// Straggling tasks among them.
+    pub stragglers: u32,
+    /// Event-queue occupancy of the scheduling run (exact-class).
+    pub queue: QueueObs,
+}
+
+impl DagStats {
+    /// The batch metric: reciprocal makespan, directly comparable with
+    /// the mapred workloads' `1/s` values.
+    pub fn perf(&self) -> f64 {
+        1.0 / self.makespan_secs
+    }
+}
+
+/// Executes `graph` on `slots` parallel task slots with deterministic
+/// list scheduling: tasks become ready when all dependencies finish and
+/// are dispatched in task-id order from a FIFO ready queue.
+///
+/// # Panics
+/// Panics if `slots` is zero or the graph is empty.
+pub fn execute(graph: &TaskGraph, slots: u32) -> DagStats {
+    assert!(slots > 0, "need at least one task slot");
+    assert!(!graph.is_empty(), "graph has no tasks");
+    let n = graph.tasks.len();
+    let mut pending_deps: Vec<u32> = graph.tasks.iter().map(|t| t.deps.len() as u32).collect();
+    // Dependents are derivable from deps; invert once so completion is
+    // O(out-degree).
+    let mut dependents: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (i, t) in graph.tasks.iter().enumerate() {
+        for &d in &t.deps {
+            dependents[d as usize].push(i as u32);
+        }
+    }
+    let mut ready: VecDeque<u32> = (0..n as u32)
+        .filter(|&i| pending_deps[i as usize] == 0)
+        .collect();
+
+    let mut events: EventQueue<u32> = EventQueue::new();
+    let mut free_slots = slots;
+    let mut done = 0usize;
+    let mut makespan = SimTime::ZERO;
+
+    macro_rules! dispatch {
+        ($now:expr) => {
+            while free_slots > 0 {
+                let Some(task) = ready.pop_front() else { break };
+                free_slots -= 1;
+                events.schedule($now + graph.tasks[task as usize].service, task);
+            }
+        };
+    }
+
+    dispatch!(SimTime::ZERO);
+    while let Some((now, task)) = events.pop() {
+        done += 1;
+        free_slots += 1;
+        makespan = now;
+        for &dep in &dependents[task as usize] {
+            pending_deps[dep as usize] -= 1;
+            if pending_deps[dep as usize] == 0 {
+                ready.push_back(dep);
+            }
+        }
+        dispatch!(now);
+    }
+    assert_eq!(done, n, "scheduler drained the graph");
+
+    DagStats {
+        makespan_secs: makespan.as_secs_f64(),
+        critical_path_secs: graph.critical_path().as_secs_f64(),
+        tasks: n as u32,
+        stragglers: graph.stragglers(),
+        queue: events.obs_stats(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_params() -> DagParams {
+        DagParams {
+            tasks: 64,
+            layers: 4,
+            fan_in: 2,
+            task_cv: 0.4,
+            straggler_frac: 0.1,
+            straggler_factor: 5.0,
+            slots_per_core: 4,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = quick_params();
+        let mean = SimDuration::from_millis(200);
+        let a = generate(&p, mean, 42);
+        let b = generate(&p, mean, 42);
+        let c = generate(&p, mean, 43);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        assert_ne!(format!("{a:?}"), format!("{c:?}"));
+        assert_eq!(a.len(), 64);
+    }
+
+    #[test]
+    fn execution_is_deterministic_and_respects_bounds() {
+        let p = quick_params();
+        let g = generate(&p, SimDuration::from_millis(200), 7);
+        let a = execute(&g, 16);
+        let b = execute(&g, 16);
+        assert_eq!(a, b);
+        // Makespan is bounded below by the critical path and by
+        // work-conservation (total work / slots).
+        assert!(a.makespan_secs >= a.critical_path_secs - 1e-9);
+        let total_work: f64 = (0..g.len()).map(|i| g.tasks[i].service.as_secs_f64()).sum();
+        assert!(a.makespan_secs >= total_work / 16.0 - 1e-9);
+        assert_eq!(a.tasks, 64);
+    }
+
+    #[test]
+    fn more_slots_never_hurt() {
+        let p = quick_params();
+        let g = generate(&p, SimDuration::from_millis(200), 7);
+        let narrow = execute(&g, 4);
+        let wide = execute(&g, 64);
+        assert!(wide.makespan_secs <= narrow.makespan_secs + 1e-9);
+        assert!(wide.perf() >= narrow.perf());
+    }
+
+    #[test]
+    fn stragglers_stretch_the_makespan() {
+        let mut p = quick_params();
+        p.straggler_frac = 0.0;
+        let clean = execute(&generate(&p, SimDuration::from_millis(200), 7), 16);
+        p.straggler_frac = 0.15;
+        let straggly = execute(&generate(&p, SimDuration::from_millis(200), 7), 16);
+        assert_eq!(clean.stragglers, 0);
+        assert!(straggly.stragglers > 0);
+        assert!(straggly.makespan_secs > clean.makespan_secs);
+    }
+
+    #[test]
+    fn single_layer_matches_mapred_shape() {
+        // layers = 1, fan_in irrelevant: an embarrassingly parallel
+        // batch, the mapred special case.
+        let p = DagParams {
+            tasks: 32,
+            layers: 1,
+            fan_in: 3,
+            task_cv: 0.0,
+            straggler_frac: 0.0,
+            straggler_factor: 1.0,
+            slots_per_core: 4,
+        };
+        let g = generate(&p, SimDuration::from_secs(1), 1);
+        assert!((0..g.len()).all(|i| g.tasks[i].deps.is_empty()));
+        let stats = execute(&g, 8);
+        // 32 equal 1 s tasks on 8 slots: exactly 4 waves.
+        assert!((stats.makespan_secs - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "layers")]
+    fn rejects_more_layers_than_tasks() {
+        let mut p = quick_params();
+        p.layers = 100;
+        p.validate();
+    }
+}

@@ -1,0 +1,205 @@
+//! FaaS (serverless) workload family: cold starts versus keep-alive
+//! memory.
+//!
+//! A FaaS fleet keeps "warm" function snapshots resident so invocations
+//! can skip initialization. Memory is the budget: every resident
+//! snapshot costs DRAM, and whatever does not fit pays a cold start —
+//! extra CPU burned restoring the sandbox before the request proper
+//! runs. This couples the workload directly to the paper's memory-blade
+//! argument: disaggregated capacity raises the warm pool, which lowers
+//! the cold-start rate, which buys back throughput. The model here is
+//! intentionally first-order — Zipf invocation popularity over a
+//! function population, snapshots cached greedily by popularity — which
+//! is the same level of fidelity as the rest of the demand suite.
+
+use wcs_simcore::memo::{MemoHash, MemoKey};
+
+/// Parameters of a FaaS tenant mix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FaasParams {
+    /// Distinct functions in the tenant population.
+    pub functions: u32,
+    /// Zipf exponent of invocation popularity (production traces skew
+    /// hard: a few functions dominate invocations).
+    pub zipf_alpha: f64,
+    /// Resident warm-snapshot size per function, MiB.
+    pub snapshot_mib: f64,
+    /// Extra CPU per cold invocation, GHz-seconds (sandbox restore +
+    /// runtime init), added on top of the warm per-request CPU demand.
+    pub cold_start_cpu_ghz_s: f64,
+    /// Local DRAM dedicated to the warm pool when no memory blade is
+    /// attached, GiB.
+    pub keepalive_local_gib: f64,
+}
+
+impl FaasParams {
+    /// A production-flavoured default: 4096 functions, strong skew,
+    /// 96 MiB snapshots, a cold start costing ~4x the warm CPU demand,
+    /// 1 GiB of local keep-alive budget.
+    pub fn paper_default() -> Self {
+        FaasParams {
+            functions: 4096,
+            zipf_alpha: 1.1,
+            snapshot_mib: 96.0,
+            cold_start_cpu_ghz_s: 0.08,
+            keepalive_local_gib: 1.0,
+        }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Panics
+    /// Panics if any field is non-positive or non-finite (`zipf_alpha`
+    /// may be zero: uniform popularity).
+    pub fn validate(&self) {
+        assert!(self.functions > 0, "need at least one function");
+        assert!(
+            self.zipf_alpha.is_finite() && self.zipf_alpha >= 0.0,
+            "zipf_alpha must be finite and >= 0"
+        );
+        for (name, v) in [
+            ("snapshot_mib", self.snapshot_mib),
+            ("cold_start_cpu_ghz_s", self.cold_start_cpu_ghz_s),
+            ("keepalive_local_gib", self.keepalive_local_gib),
+        ] {
+            assert!(v.is_finite() && v > 0.0, "{name} must be positive");
+        }
+    }
+}
+
+impl MemoHash for FaasParams {
+    fn memo_hash(&self, key: &mut MemoKey) {
+        *key = key
+            .push_u32(self.functions)
+            .push_f64(self.zipf_alpha)
+            .push_f64(self.snapshot_mib)
+            .push_f64(self.cold_start_cpu_ghz_s)
+            .push_f64(self.keepalive_local_gib);
+    }
+}
+
+/// Warm-pool statistics for a given pool capacity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WarmPool {
+    /// Functions whose snapshots fit in the pool (most popular first).
+    pub resident_functions: u32,
+    /// Fraction of invocations hitting a resident snapshot.
+    pub warm_fraction: f64,
+}
+
+impl WarmPool {
+    /// Fraction of invocations paying a cold start.
+    pub fn cold_fraction(&self) -> f64 {
+        1.0 - self.warm_fraction
+    }
+}
+
+/// Computes warm-pool statistics when `pool_gib` GiB hold the most
+/// popular snapshots: the warm fraction is the Zipf mass of the resident
+/// prefix.
+///
+/// # Panics
+/// Panics if the parameters are invalid or `pool_gib` is negative or
+/// non-finite.
+pub fn warm_pool(params: &FaasParams, pool_gib: f64) -> WarmPool {
+    params.validate();
+    assert!(
+        pool_gib.is_finite() && pool_gib >= 0.0,
+        "pool capacity must be finite and >= 0"
+    );
+    let fit = (pool_gib * 1024.0 / params.snapshot_mib).floor();
+    let resident = (fit.max(0.0) as u64).min(u64::from(params.functions)) as u32;
+    let mut prefix = 0.0;
+    let mut total = 0.0;
+    for rank in 1..=params.functions {
+        let mass = 1.0 / f64::from(rank).powf(params.zipf_alpha);
+        total += mass;
+        if rank <= resident {
+            prefix += mass;
+        }
+    }
+    WarmPool {
+        resident_functions: resident,
+        warm_fraction: prefix / total,
+    }
+}
+
+/// The CPU inflation factor a given cold fraction imposes on a warm
+/// per-request demand of `warm_cpu_ghz_s`: the fleet-average invocation
+/// costs `warm + cold_fraction * cold_start` CPU.
+///
+/// # Panics
+/// Panics if `warm_cpu_ghz_s` is not positive or `cold_fraction` is
+/// outside `[0, 1]`.
+pub fn cold_inflation(params: &FaasParams, warm_cpu_ghz_s: f64, cold_fraction: f64) -> f64 {
+    assert!(
+        warm_cpu_ghz_s.is_finite() && warm_cpu_ghz_s > 0.0,
+        "warm CPU demand must be positive"
+    );
+    assert!(
+        (0.0..=1.0).contains(&cold_fraction),
+        "cold fraction in [0, 1]"
+    );
+    1.0 + cold_fraction * params.cold_start_cpu_ghz_s / warm_cpu_ghz_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bigger_pool_means_warmer_fleet() {
+        let p = FaasParams::paper_default();
+        let small = warm_pool(&p, 1.0);
+        let big = warm_pool(&p, 16.0);
+        assert!(big.resident_functions > small.resident_functions);
+        assert!(big.warm_fraction > small.warm_fraction);
+        assert!(small.warm_fraction > 0.0);
+    }
+
+    #[test]
+    fn zipf_skew_front_loads_the_pool() {
+        // With alpha 1.1 over 4096 functions, the ~10 most popular
+        // already carry a disproportionate share of invocations.
+        let p = FaasParams::paper_default();
+        let one_gib = warm_pool(&p, 1.0);
+        let share_of_functions = f64::from(one_gib.resident_functions) / f64::from(p.functions);
+        assert!(one_gib.warm_fraction > 10.0 * share_of_functions);
+    }
+
+    #[test]
+    fn pool_saturates_at_full_population() {
+        let p = FaasParams::paper_default();
+        let all = warm_pool(&p, 100_000.0);
+        assert_eq!(all.resident_functions, p.functions);
+        assert!((all.warm_fraction - 1.0).abs() < 1e-12);
+        assert!(all.cold_fraction().abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_pool_is_fully_cold() {
+        let p = FaasParams::paper_default();
+        let none = warm_pool(&p, 0.0);
+        assert_eq!(none.resident_functions, 0);
+        assert_eq!(none.warm_fraction, 0.0);
+    }
+
+    #[test]
+    fn inflation_scales_with_cold_fraction() {
+        let p = FaasParams::paper_default();
+        assert_eq!(cold_inflation(&p, 0.02, 0.0), 1.0);
+        let half = cold_inflation(&p, 0.02, 0.5);
+        let full = cold_inflation(&p, 0.02, 1.0);
+        assert!(half > 1.0 && full > half);
+        assert!((full - (1.0 + p.cold_start_cpu_ghz_s / 0.02)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot_mib")]
+    fn rejects_zero_snapshot() {
+        let mut p = FaasParams::paper_default();
+        p.snapshot_mib = 0.0;
+        p.validate();
+    }
+}

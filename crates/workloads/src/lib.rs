@@ -31,6 +31,14 @@
 //! disk block traces ([`disktrace`]) that the memory-blade and
 //! flash-cache studies replay.
 //!
+//! Beyond the closed paper suite, the workload layer is **open**: the
+//! [`registry`] resolves interned [`registry::WorkloadKey`] names to
+//! registered workloads (the five paper benchmarks are built-in
+//! registrations, joined by the [`faas`] and [`dag`] families), and a
+//! [`scenario::ScenarioSpec`] pairs a workload with a
+//! [`scenario::TrafficPack`] arrival process — steady, diurnal,
+//! flash-crowd, or failover-surge.
+//!
 //! # Example
 //! ```
 //! use wcs_platforms::{catalog, PlatformId};
@@ -47,17 +55,23 @@
 
 pub mod analytic;
 pub mod calib;
+pub mod dag;
 pub mod disktrace;
 pub mod diurnal;
+pub mod faas;
 pub mod media;
 pub mod memtrace;
 pub mod mix;
 pub mod perf;
 pub mod queries;
+pub mod registry;
+pub mod scenario;
 pub mod service;
 pub mod sessions;
 mod spec;
 pub mod suite;
 pub mod tracefile;
 
+pub use registry::WorkloadKey;
+pub use scenario::{ScenarioSpec, TrafficPack};
 pub use spec::{DemandParams, Metric, Workload, WorkloadId};

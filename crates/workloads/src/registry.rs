@@ -1,0 +1,364 @@
+//! The open workload registry.
+//!
+//! The paper's suite is a closed five-variant enum; every new scenario
+//! used to be a breaking change rippling through exhaustive matches in
+//! `core`, `bench`, and `tco`. The registry inverts that: workloads are
+//! looked up by [`WorkloadKey`] — an interned name — and the five paper
+//! benchmarks become built-in registrations alongside the FaaS and DAG
+//! families. New families register at startup without touching any
+//! downstream crate; [`crate::WorkloadId`] remains only as the
+//! calibration anchor inside [`crate::Workload`] and as a convenience
+//! for code that still speaks the paper's closed suite (see DESIGN.md
+//! §13 for the deprecation policy).
+//!
+//! Everything here is deterministic: the map is ordered by name, so
+//! [`names`] and any iteration order are stable across runs, threads,
+//! and platforms.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+use wcs_simcore::intern::intern;
+use wcs_simcore::memo::{MemoHash, MemoKey};
+
+use crate::dag::DagParams;
+use crate::faas::FaasParams;
+use crate::spec::{Workload, WorkloadId};
+use crate::suite;
+
+/// An interned workload name: the open-world replacement for
+/// [`WorkloadId`]. Keys are cheap to copy and compare; equality and
+/// ordering are by name content, so behaviour never depends on
+/// interning order.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WorkloadKey(&'static str);
+
+impl WorkloadKey {
+    /// Interns `name` into a key. Does not check registration — use
+    /// [`resolve`] (or [`contains`]) for that.
+    pub fn new(name: &str) -> Self {
+        WorkloadKey(intern(name))
+    }
+
+    /// The workload name.
+    pub fn name(&self) -> &'static str {
+        self.0
+    }
+}
+
+impl PartialOrd for WorkloadKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for WorkloadKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.cmp(other.0)
+    }
+}
+
+impl fmt::Debug for WorkloadKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "WorkloadKey({:?})", self.0)
+    }
+}
+
+impl fmt::Display for WorkloadKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl From<WorkloadId> for WorkloadKey {
+    fn from(id: WorkloadId) -> Self {
+        WorkloadKey(intern(id.label()))
+    }
+}
+
+impl MemoHash for WorkloadKey {
+    fn memo_hash(&self, key: &mut MemoKey) {
+        *key = key.push_str(self.0);
+    }
+}
+
+/// Which simulation family executes a registered workload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Family {
+    /// One of the paper's five calibrated benchmarks, executed exactly
+    /// as before the registry existed.
+    Paper(WorkloadId),
+    /// Serverless functions with cold-start/keep-alive semantics
+    /// ([`crate::faas`]).
+    Faas(FaasParams),
+    /// DAG analytics with stragglers ([`crate::dag`]).
+    Dag(DagParams),
+}
+
+/// A registry entry: the key, the demand/metric description, and the
+/// family that executes it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegisteredWorkload {
+    /// The name this entry resolves under.
+    pub key: WorkloadKey,
+    /// Demand model and metric. For non-paper families, `workload.id`
+    /// is the paper benchmark the demand calibration anchors to.
+    pub workload: Workload,
+    /// Execution family.
+    pub family: Family,
+}
+
+static REGISTRY: OnceLock<Mutex<BTreeMap<WorkloadKey, RegisteredWorkload>>> = OnceLock::new();
+
+fn with_registry<R>(f: impl FnOnce(&mut BTreeMap<WorkloadKey, RegisteredWorkload>) -> R) -> R {
+    let lock = REGISTRY.get_or_init(|| {
+        let mut map = BTreeMap::new();
+        for entry in builtins() {
+            map.insert(entry.key, entry);
+        }
+        Mutex::new(map)
+    });
+    f(&mut lock.lock().expect("workload registry poisoned"))
+}
+
+/// The built-in registrations: the five paper benchmarks plus the
+/// default FaaS and DAG instances.
+fn builtins() -> Vec<RegisteredWorkload> {
+    let mut entries: Vec<RegisteredWorkload> = WorkloadId::ALL
+        .iter()
+        .map(|&id| RegisteredWorkload {
+            key: WorkloadKey::from(id),
+            workload: suite::workload(id),
+            family: Family::Paper(id),
+        })
+        .collect();
+    entries.push(RegisteredWorkload {
+        key: WorkloadKey::new("faas"),
+        workload: faas_workload(),
+        family: Family::Faas(FaasParams::paper_default()),
+    });
+    entries.push(RegisteredWorkload {
+        key: WorkloadKey::new("dag-analytics"),
+        workload: dag_workload(),
+        family: Family::Dag(DagParams::paper_default()),
+    });
+    entries
+}
+
+/// The built-in FaaS workload description. Demand sits between webmail
+/// (CPU-bound scripting) and websearch (small responses): short warm
+/// invocations, tight QoS, negligible per-request disk.
+fn faas_workload() -> Workload {
+    use wcs_simcore::SimDuration;
+    use wcs_simserver::QosSpec;
+
+    Workload {
+        // Anchored to websearch: interactive, QoS-bound, small I/O.
+        id: WorkloadId::Websearch,
+        emphasizes: "serverless cold starts vs keep-alive memory",
+        description: "FaaS tenant mix: 4096 functions under Zipf(1.1) \
+                      invocation popularity, 96 MiB warm snapshots kept \
+                      resident in local DRAM and (when attached) on the \
+                      memory blade; cold invocations pay a sandbox-restore \
+                      CPU penalty. QoS: >95% of invocations under 0.3 s.",
+        demand: crate::spec::DemandParams {
+            cpu_ghz_s: 0.018,
+            sigma: 0.05,
+            cache_sensitivity: 0.02,
+            cache_ws_mib: 4.0,
+            io_per_req: 0.0002,
+            io_bytes: 16384.0,
+            net_bytes: 8192.0,
+            mem_gib_s: 0.004,
+            cv: 0.8,
+        },
+        metric: crate::spec::Metric::ThroughputQos(QosSpec::new(
+            95.0,
+            SimDuration::from_millis(300),
+        )),
+    }
+}
+
+/// The built-in DAG analytics workload description: mapred-wc's per-task
+/// demands driving a 4-layer, straggler-prone graph.
+fn dag_workload() -> Workload {
+    Workload {
+        // Anchored to mapred-wc: the batch family it generalizes.
+        id: WorkloadId::MapredWc,
+        emphasizes: "multi-stage analytics DAGs with stragglers",
+        description: "Layered analytics job: 256 tasks over 4 stages \
+                      (widest first), lognormal task sizes, 5% stragglers \
+                      at 6x, cross-stage fan-in of 3. Metric: reciprocal \
+                      makespan under slot-pool list scheduling.",
+        demand: suite::workload(WorkloadId::MapredWc).demand,
+        metric: crate::spec::Metric::Batch {
+            tasks: 256,
+            slots_per_core: 4,
+        },
+    }
+}
+
+/// Error registering a workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegisterError {
+    /// The name that collided.
+    pub name: &'static str,
+}
+
+impl fmt::Display for RegisterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "workload {:?} is already registered", self.name)
+    }
+}
+
+impl std::error::Error for RegisterError {}
+
+/// Registers a workload under `name`.
+///
+/// # Errors
+/// Fails if the name is already taken (built-ins included): first
+/// registration wins, so results never depend on registration races.
+///
+/// # Panics
+/// Panics if the workload's demand parameters are invalid.
+pub fn register(
+    name: &str,
+    workload: Workload,
+    family: Family,
+) -> Result<WorkloadKey, RegisterError> {
+    workload.demand.validate();
+    let key = WorkloadKey::new(name);
+    with_registry(|map| {
+        if map.contains_key(&key) {
+            return Err(RegisterError { name: key.name() });
+        }
+        map.insert(
+            key,
+            RegisteredWorkload {
+                key,
+                workload,
+                family,
+            },
+        );
+        Ok(key)
+    })
+}
+
+/// Looks up a registered workload by key.
+pub fn resolve(key: WorkloadKey) -> Option<RegisteredWorkload> {
+    with_registry(|map| map.get(&key).cloned())
+}
+
+/// Looks up a registered workload by name.
+pub fn resolve_name(name: &str) -> Option<RegisteredWorkload> {
+    resolve(WorkloadKey::new(name))
+}
+
+/// True when `name` is registered.
+pub fn contains(name: &str) -> bool {
+    with_registry(|map| map.contains_key(&WorkloadKey::new(name)))
+}
+
+/// All registered names, sorted (deterministic).
+pub fn names() -> Vec<&'static str> {
+    with_registry(|map| map.keys().map(|k| k.name()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_cover_paper_suite_and_new_families() {
+        for id in WorkloadId::ALL {
+            let entry = resolve_name(id.label()).expect("paper workload registered");
+            assert_eq!(entry.family, Family::Paper(id));
+            assert_eq!(entry.workload, suite::workload(id));
+        }
+        assert!(matches!(
+            resolve_name("faas").unwrap().family,
+            Family::Faas(_)
+        ));
+        assert!(matches!(
+            resolve_name("dag-analytics").unwrap().family,
+            Family::Dag(_)
+        ));
+    }
+
+    #[test]
+    fn names_are_sorted_and_contain_builtins() {
+        let names = names();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+        for want in [
+            "websearch",
+            "webmail",
+            "ytube",
+            "mapred-wc",
+            "mapred-wr",
+            "faas",
+            "dag-analytics",
+        ] {
+            assert!(names.contains(&want), "{want} missing from {names:?}");
+        }
+    }
+
+    #[test]
+    fn register_rejects_collisions_and_accepts_new_names() {
+        let err = register(
+            "websearch",
+            suite::workload(WorkloadId::Websearch),
+            Family::Paper(WorkloadId::Websearch),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("websearch"));
+
+        let key = register(
+            "test-registry-custom",
+            suite::workload(WorkloadId::Webmail),
+            Family::Paper(WorkloadId::Webmail),
+        )
+        .expect("fresh name registers");
+        assert!(contains("test-registry-custom"));
+        let entry = resolve(key).unwrap();
+        assert_eq!(entry.workload.id, WorkloadId::Webmail);
+        // Second registration of the same name loses.
+        assert!(register(
+            "test-registry-custom",
+            suite::workload(WorkloadId::Ytube),
+            Family::Paper(WorkloadId::Ytube),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn keys_compare_by_content() {
+        let a = WorkloadKey::new("alpha");
+        let b = WorkloadKey::new(&String::from("alpha"));
+        let c = WorkloadKey::new("beta");
+        assert_eq!(a, b);
+        assert!(a < c);
+        assert_eq!(a.to_string(), "alpha");
+        assert_eq!(WorkloadKey::from(WorkloadId::MapredWc).name(), "mapred-wc");
+    }
+
+    #[test]
+    fn key_memo_hash_matches_workload_id_label() {
+        // A WorkloadKey and the WorkloadId it wraps produce the same
+        // memo key, so registry-path lookups share cache entries with
+        // enum-path lookups.
+        let by_id = MemoKey::new("t").push(&WorkloadId::Ytube).finish();
+        let by_key = MemoKey::new("t")
+            .push(&WorkloadKey::from(WorkloadId::Ytube))
+            .finish();
+        assert_eq!(by_id, by_key);
+    }
+
+    #[test]
+    fn new_family_workloads_validate() {
+        faas_workload().demand.validate();
+        dag_workload().demand.validate();
+    }
+}

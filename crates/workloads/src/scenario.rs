@@ -1,0 +1,430 @@
+//! Scenario specifications: a workload plus a traffic pack.
+//!
+//! A [`ScenarioSpec`] names *what* runs (a [`WorkloadKey`] resolved
+//! through [`crate::registry`]) and *how* traffic arrives (a
+//! [`TrafficPack`]). `Steady` reproduces the paper's sustained-load
+//! methodology bit-for-bit; the other packs render to a
+//! [`RateProfile`] and drive the open-loop simulator with time-varying
+//! offered load — the regime the paper explicitly defers ("requests
+//! follow a time-of-day distribution... we only study request
+//! distributions that focus on sustained performance", Section 4).
+//!
+//! Packs are *descriptions*, not simulations: each renders to a
+//! deterministic piecewise-constant rate profile given the run's base
+//! rate and request budget, so the same spec and seed always produce
+//! the same arrival stream.
+
+use std::fmt;
+
+use wcs_simcore::memo::{MemoHash, MemoKey};
+use wcs_simcore::SimDuration;
+use wcs_simserver::RateProfile;
+
+use crate::diurnal::DiurnalCurve;
+use crate::registry::WorkloadKey;
+use crate::WorkloadId;
+
+/// A seeded arrival-process modifier layered on the open-loop
+/// simulator. Load fields are fractions of the workload's measured
+/// steady capacity: `1.0` offers exactly what the closed-loop driver
+/// found sustainable, above `1.0` is deliberate overload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum TrafficPack {
+    /// The paper's methodology: closed-loop sustained load. Renders no
+    /// profile; results are bit-identical to the pre-registry API.
+    Steady,
+    /// A day of time-of-day traffic under `curve`, scaled so the daily
+    /// peak offers `peak_load` of capacity (Fan et al.'s traces).
+    Diurnal {
+        /// Curve shape (trough fraction, peak hour).
+        curve: DiurnalCurve,
+        /// Offered load at the daily peak, as a fraction of capacity.
+        peak_load: f64,
+    },
+    /// A flash crowd: steady base load, a sudden spike (possibly past
+    /// capacity), then exponential decay back to base.
+    FlashCrowd {
+        /// Offered load before and long after the crowd.
+        base_load: f64,
+        /// Offered load at the top of the spike.
+        spike_load: f64,
+        /// Fraction of the run spent at the full spike, in `(0, 0.5]`.
+        spike_fraction: f64,
+    },
+    /// A failover surge: at the midpoint, a peer cluster fails and the
+    /// survivors absorb its traffic — offered load steps from
+    /// `base_load` to `base_load * surge_factor` and stays there.
+    FailoverSurge {
+        /// Offered load before the failover.
+        base_load: f64,
+        /// Multiplier applied at the failover instant.
+        surge_factor: f64,
+    },
+}
+
+impl TrafficPack {
+    /// Canonical diurnal pack: typical curve, 85% peak load.
+    pub fn diurnal() -> Self {
+        TrafficPack::Diurnal {
+            curve: DiurnalCurve::typical(),
+            peak_load: 0.85,
+        }
+    }
+
+    /// Canonical flash crowd: 60% base, 150% spike (overload) for an
+    /// eighth of the run.
+    pub fn flash_crowd() -> Self {
+        TrafficPack::FlashCrowd {
+            base_load: 0.6,
+            spike_load: 1.5,
+            spike_fraction: 0.125,
+        }
+    }
+
+    /// Canonical failover surge: 55% base load doubling at midpoint —
+    /// the "lose half the fleet" drill.
+    pub fn failover_surge() -> Self {
+        TrafficPack::FailoverSurge {
+            base_load: 0.55,
+            surge_factor: 2.0,
+        }
+    }
+
+    /// The four canonical packs, in catalog order.
+    pub fn defaults() -> [TrafficPack; 4] {
+        [
+            TrafficPack::Steady,
+            TrafficPack::diurnal(),
+            TrafficPack::flash_crowd(),
+            TrafficPack::failover_surge(),
+        ]
+    }
+
+    /// The pack's catalog name.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TrafficPack::Steady => "steady",
+            TrafficPack::Diurnal { .. } => "diurnal",
+            TrafficPack::FlashCrowd { .. } => "flash-crowd",
+            TrafficPack::FailoverSurge { .. } => "failover-surge",
+        }
+    }
+
+    /// Parses a catalog name into the canonical pack of that shape.
+    pub fn parse(name: &str) -> Option<TrafficPack> {
+        match name {
+            "steady" => Some(TrafficPack::Steady),
+            "diurnal" => Some(TrafficPack::diurnal()),
+            "flash-crowd" => Some(TrafficPack::flash_crowd()),
+            "failover-surge" => Some(TrafficPack::failover_surge()),
+            _ => None,
+        }
+    }
+
+    /// The catalog names accepted by [`parse`](TrafficPack::parse).
+    pub const NAMES: [&'static str; 4] = ["steady", "diurnal", "flash-crowd", "failover-surge"];
+
+    /// Validates the pack's parameters.
+    ///
+    /// # Panics
+    /// Panics on non-positive loads, a flash-crowd spike below base or
+    /// `spike_fraction` outside `(0, 0.5]`, or a surge factor below 1.
+    pub fn validate(&self) {
+        match *self {
+            TrafficPack::Steady => {}
+            TrafficPack::Diurnal { peak_load, .. } => {
+                assert!(
+                    peak_load.is_finite() && peak_load > 0.0,
+                    "peak_load must be positive"
+                );
+            }
+            TrafficPack::FlashCrowd {
+                base_load,
+                spike_load,
+                spike_fraction,
+            } => {
+                assert!(
+                    base_load.is_finite() && base_load > 0.0,
+                    "base_load must be positive"
+                );
+                assert!(
+                    spike_load.is_finite() && spike_load >= base_load,
+                    "spike_load must be >= base_load"
+                );
+                assert!(
+                    spike_fraction > 0.0 && spike_fraction <= 0.5,
+                    "spike_fraction in (0, 0.5]"
+                );
+            }
+            TrafficPack::FailoverSurge {
+                base_load,
+                surge_factor,
+            } => {
+                assert!(
+                    base_load.is_finite() && base_load > 0.0,
+                    "base_load must be positive"
+                );
+                assert!(
+                    surge_factor.is_finite() && surge_factor >= 1.0,
+                    "surge_factor must be >= 1"
+                );
+            }
+        }
+    }
+
+    /// Renders the pack to a rate profile for a run offering
+    /// `capacity_rps * multiplier` and sized to complete roughly
+    /// `total_requests` arrivals over one profile cycle. `Steady`
+    /// renders `None`: it is the closed-loop path, not a profile.
+    ///
+    /// # Panics
+    /// Panics if the pack is invalid, `capacity_rps` is not positive,
+    /// or `total_requests` is zero.
+    pub fn profile(&self, capacity_rps: f64, total_requests: u64) -> Option<RateProfile> {
+        self.validate();
+        assert!(
+            capacity_rps.is_finite() && capacity_rps > 0.0,
+            "capacity must be positive"
+        );
+        assert!(total_requests > 0, "need a request budget");
+        let multipliers: Vec<f64> = match *self {
+            TrafficPack::Steady => return None,
+            TrafficPack::Diurnal { curve, peak_load } => (0..24)
+                .map(|h| peak_load * curve.load_at(f64::from(h)))
+                .collect(),
+            TrafficPack::FlashCrowd {
+                base_load,
+                spike_load,
+                spike_fraction,
+            } => {
+                // 16 segments: base, spike (at least one segment), then
+                // a two-segment exponential decay back to base.
+                let segs = 16usize;
+                let spike_segs = ((segs as f64 * spike_fraction).ceil() as usize).max(1);
+                let spike_start = segs / 4;
+                (0..segs)
+                    .map(|i| {
+                        if i < spike_start {
+                            base_load
+                        } else if i < spike_start + spike_segs {
+                            spike_load
+                        } else if i == spike_start + spike_segs {
+                            base_load + (spike_load - base_load) * 0.5
+                        } else if i == spike_start + spike_segs + 1 {
+                            base_load + (spike_load - base_load) * 0.25
+                        } else {
+                            base_load
+                        }
+                    })
+                    .collect()
+            }
+            TrafficPack::FailoverSurge {
+                base_load,
+                surge_factor,
+            } => {
+                let segs = 16usize;
+                (0..segs)
+                    .map(|i| {
+                        if i < segs / 2 {
+                            base_load
+                        } else {
+                            base_load * surge_factor
+                        }
+                    })
+                    .collect()
+            }
+        };
+        // Size segments so one cycle carries the request budget:
+        // capacity * mean(mult) * cycle = total_requests.
+        let mean = multipliers.iter().sum::<f64>() / multipliers.len() as f64;
+        let cycle_secs = total_requests as f64 / (capacity_rps * mean);
+        let seg_secs = (cycle_secs / multipliers.len() as f64).max(1e-9);
+        Some(RateProfile::new(
+            SimDuration::from_secs_f64(seg_secs),
+            multipliers,
+        ))
+    }
+}
+
+impl fmt::Display for TrafficPack {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl MemoHash for TrafficPack {
+    fn memo_hash(&self, key: &mut MemoKey) {
+        *key = match *self {
+            TrafficPack::Steady => key.push_str("steady"),
+            TrafficPack::Diurnal { curve, peak_load } => key
+                .push_str("diurnal")
+                .push_f64(curve.trough)
+                .push_f64(curve.peak_hour)
+                .push_f64(peak_load),
+            TrafficPack::FlashCrowd {
+                base_load,
+                spike_load,
+                spike_fraction,
+            } => key
+                .push_str("flash-crowd")
+                .push_f64(base_load)
+                .push_f64(spike_load)
+                .push_f64(spike_fraction),
+            TrafficPack::FailoverSurge {
+                base_load,
+                surge_factor,
+            } => key
+                .push_str("failover-surge")
+                .push_f64(base_load)
+                .push_f64(surge_factor),
+        };
+    }
+}
+
+/// What to run: a registered workload under a traffic pack.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioSpec {
+    /// The workload, resolved through [`crate::registry`].
+    pub workload: WorkloadKey,
+    /// The arrival process.
+    pub traffic: TrafficPack,
+}
+
+impl ScenarioSpec {
+    /// A steady-traffic spec for a registered workload name.
+    pub fn steady(name: &str) -> Self {
+        ScenarioSpec {
+            workload: WorkloadKey::new(name),
+            traffic: TrafficPack::Steady,
+        }
+    }
+
+    /// The steady spec equivalent to a paper [`WorkloadId`] — the
+    /// bridge from the closed enum API.
+    pub fn from_id(id: WorkloadId) -> Self {
+        ScenarioSpec {
+            workload: WorkloadKey::from(id),
+            traffic: TrafficPack::Steady,
+        }
+    }
+
+    /// Replaces the traffic pack.
+    #[must_use]
+    pub fn with_traffic(mut self, traffic: TrafficPack) -> Self {
+        self.traffic = traffic;
+        self
+    }
+}
+
+impl fmt::Display for ScenarioSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.workload, self.traffic)
+    }
+}
+
+impl MemoHash for ScenarioSpec {
+    fn memo_hash(&self, key: &mut MemoKey) {
+        *key = key.push(&self.workload).push(&self.traffic);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrips_catalog_names() {
+        for name in TrafficPack::NAMES {
+            let pack = TrafficPack::parse(name).expect("catalog name parses");
+            assert_eq!(pack.label(), name);
+        }
+        assert!(TrafficPack::parse("tsunami").is_none());
+    }
+
+    #[test]
+    fn steady_renders_no_profile() {
+        assert!(TrafficPack::Steady.profile(1000.0, 5000).is_none());
+    }
+
+    #[test]
+    fn profiles_carry_the_request_budget() {
+        for pack in [
+            TrafficPack::diurnal(),
+            TrafficPack::flash_crowd(),
+            TrafficPack::failover_surge(),
+        ] {
+            let p = pack.profile(1000.0, 4000).expect("profiled pack");
+            // capacity * mean multiplier * cycle ≈ budget.
+            let carried = 1000.0 * p.mean() * p.cycle().as_secs_f64();
+            assert!(
+                (carried - 4000.0).abs() / 4000.0 < 0.01,
+                "{}: carried {carried}",
+                pack.label()
+            );
+        }
+    }
+
+    #[test]
+    fn flash_crowd_peaks_past_capacity() {
+        let p = TrafficPack::flash_crowd().profile(1000.0, 4000).unwrap();
+        assert!(p.peak() > 1.0, "spike exceeds capacity");
+        assert!(!p.is_constant());
+    }
+
+    #[test]
+    fn failover_surge_doubles_and_holds() {
+        let p = TrafficPack::failover_surge().profile(500.0, 2000).unwrap();
+        assert!((p.peak() - 1.1).abs() < 1e-12, "0.55 * 2.0");
+        let early = p.multiplier_at(wcs_simcore::SimTime::from_nanos(0));
+        assert!((early - 0.55).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diurnal_profile_follows_the_curve() {
+        let p = TrafficPack::diurnal().profile(1000.0, 24_000).unwrap();
+        assert!((p.peak() - 0.85).abs() < 1e-9, "peak hour offers 85%");
+        assert!(p.mean() < 0.85, "off-peak hours offer less");
+    }
+
+    #[test]
+    fn memo_hash_separates_packs_and_parameters() {
+        let k = |p: &TrafficPack| MemoKey::new("t").push(p).finish();
+        let packs = TrafficPack::defaults();
+        for (i, a) in packs.iter().enumerate() {
+            for b in packs.iter().skip(i + 1) {
+                assert_ne!(k(a), k(b), "{a} vs {b}");
+            }
+        }
+        let hot = TrafficPack::FlashCrowd {
+            base_load: 0.6,
+            spike_load: 2.0,
+            spike_fraction: 0.125,
+        };
+        assert_ne!(k(&TrafficPack::flash_crowd()), k(&hot));
+    }
+
+    #[test]
+    fn spec_displays_and_hashes_both_halves() {
+        let spec = ScenarioSpec::steady("faas").with_traffic(TrafficPack::flash_crowd());
+        assert_eq!(spec.to_string(), "faas/flash-crowd");
+        let steady = ScenarioSpec::steady("faas");
+        let k = |s: &ScenarioSpec| MemoKey::new("t").push(s).finish();
+        assert_ne!(k(&spec), k(&steady));
+        assert_eq!(
+            ScenarioSpec::from_id(WorkloadId::Ytube).workload.name(),
+            "ytube"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "spike_load")]
+    fn rejects_spike_below_base() {
+        TrafficPack::FlashCrowd {
+            base_load: 1.0,
+            spike_load: 0.5,
+            spike_fraction: 0.1,
+        }
+        .validate();
+    }
+}

@@ -5,6 +5,15 @@ use std::fmt;
 use wcs_simserver::QosSpec;
 
 /// The five benchmarks of the suite.
+///
+/// **Deprecation note:** `WorkloadId` is the *closed* paper suite. New
+/// code should address workloads by [`crate::registry::WorkloadKey`]
+/// through the open registry ([`crate::registry`]) — the enum survives
+/// as the calibration anchor inside [`Workload`] and as a convenience
+/// for the five built-ins (`WorkloadKey::from(id)` bridges the two; see
+/// DESIGN.md §13 for the removal timeline). It is not attributed
+/// `#[deprecated]` only because the workspace denies warnings and the
+/// calibrated suite itself still legitimately speaks it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum WorkloadId {

@@ -60,7 +60,7 @@ fn main() {
             link: RemoteLink::pcie_x4_cbf(),
             servers_per_blade: 8,
         }),
-        storage: Some(wcs::flashcache::study::DiskScenario::laptop_flash()),
+        storage: Some(wcs::flashcache::study::StorageScenario::laptop_flash()),
     };
 
     let n2 = eval.evaluate(&DesignPoint::n2()).expect("N2 evaluates");

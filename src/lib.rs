@@ -21,7 +21,10 @@
 //! See `examples/` for runnable scenarios and `crates/bench/src/bin/`
 //! for the binaries that regenerate every table and figure of the paper.
 
-pub use wcs_core::{designs, evaluate, report, DesignPoint, EvalBuilder, Evaluator, WcsError};
+pub use wcs_core::{
+    designs, evaluate, report, scenario, DesignPoint, EvalBuilder, Evaluator, FamilyEval,
+    ScenarioEval, TrafficEval, WcsError,
+};
 
 /// Discrete-event simulation substrate (events, RNG, distributions,
 /// statistics).

@@ -2,7 +2,7 @@
 
 use wcs::designs::{CoolingConfig, DesignPoint};
 use wcs::evaluate::Evaluator;
-use wcs::flashcache::study::DiskScenario;
+use wcs::flashcache::study::StorageScenario;
 use wcs::platforms::{Component, PlatformId};
 use wcs::workloads::WorkloadId;
 
@@ -60,7 +60,7 @@ fn storage_scenarios_change_disk_sensitive_workloads_most() {
     let mut base = DesignPoint::baseline(PlatformId::Emb1);
     base.name = "emb1-desktop".into();
     let mut laptop = DesignPoint::baseline(PlatformId::Emb1);
-    laptop.storage = Some(DiskScenario::laptop_remote());
+    laptop.storage = Some(StorageScenario::laptop_remote());
     laptop.name = "emb1-laptop".into();
 
     let a = eval.evaluate(&base).unwrap();
@@ -131,7 +131,7 @@ fn qos_infeasible_design_reports_cleanly() {
     // evaluator must return an error, not panic or hang.
     let eval = Evaluator::quick();
     let mut design = DesignPoint::baseline(PlatformId::Emb2);
-    design.storage = Some(DiskScenario::laptop_remote());
+    design.storage = Some(StorageScenario::laptop_remote());
     design.name = "emb2-crippled".into();
     match eval.evaluate(&design) {
         Ok(e) => {
