@@ -25,10 +25,18 @@
 //!    the rendered results must be byte-identical to an uninterrupted
 //!    single-process `--threads 1` run of the same plan and seed.
 //!
-//! Writes `BENCH_results.json` with `"resume_diverged": false` and
-//! `"merge_diverged": false` (CI greps for exactly those) plus the
-//! recovery counters. Run with
-//! `cargo run --release -p wcs-bench --bin chaos [--threads N] [--no-memo]`.
+//! `--traffic PACK` adds a traffic leg to the compared render: faas and
+//! websearch on N2 under the pack (with admission control, retry
+//! budgets, breakers, and the co-varying chaos wave when `--resilience`
+//! is armed), so kill/resume byte-identity is asserted under varied
+//! traffic too.
+//!
+//! Writes `BENCH_results.json` with `"resume_diverged": false`,
+//! `"merge_diverged": false`, and a `"resilience"` block whose
+//! `"within_budget": true` certifies the retry spend stayed under every
+//! run's accrual ceiling (CI greps for exactly those) plus the recovery
+//! counters. Run with `cargo run --release -p wcs-bench --bin chaos
+//! [--threads N] [--no-memo] [--traffic PACK] [--resilience]`.
 
 use std::fmt::Write as _;
 use std::fs::OpenOptions;
@@ -39,11 +47,12 @@ use std::time::{Duration, Instant};
 use wcs_bench::cli;
 use wcs_bench::service::{run_serial_reference, run_supervisor, ServiceOptions};
 use wcs_core::evaluate::CellOutcome;
-use wcs_core::{DesignPoint, Evaluator};
+use wcs_core::{DesignPoint, Evaluator, ScenarioEval};
 use wcs_platforms::PlatformId;
 use wcs_simcore::faults::FaultProcess;
 use wcs_simcore::watchdog::Watchdog;
 use wcs_simcore::{SimDuration, SimRng, ThreadPool};
+use wcs_workloads::{ScenarioSpec, TrafficPack};
 
 /// The cell family every wave runs over: all six baseline platforms plus
 /// the paper's unified designs and two N2 variants.
@@ -72,6 +81,42 @@ fn render(evals: &[wcs_core::DesignEval]) -> String {
         let _ = writeln!(out, "{e:?}");
     }
     out
+}
+
+/// The traffic leg `--traffic` arms: faas and websearch on N2 under the
+/// selected pack (and the resilience layer, when `--resilience` is on).
+/// Empty without the flag, so the default run is byte-identical to the
+/// pre-traffic binary.
+fn traffic_specs(args: &cli::BenchArgs) -> Vec<ScenarioSpec> {
+    match args.traffic {
+        Some(pack) if pack != TrafficPack::Steady => vec![
+            ScenarioSpec::steady("faas").with_traffic(pack),
+            ScenarioSpec::steady("websearch").with_traffic(pack),
+        ],
+        _ => Vec::new(),
+    }
+}
+
+/// Renders the design family plus the traffic leg into one canonical
+/// string — kill/resume byte-identity is asserted over both, so chaos
+/// waves hold under varied traffic too.
+fn render_with_traffic(
+    eval: &Evaluator,
+    designs: &[DesignPoint],
+    specs: &[ScenarioSpec],
+) -> (String, Vec<ScenarioEval>) {
+    let mut out = render(&eval.evaluate_many(designs).expect("family evaluates"));
+    let mut scenarios = Vec::new();
+    if !specs.is_empty() {
+        let evals = eval
+            .evaluate_scenarios(&DesignPoint::n2(), specs)
+            .expect("traffic leg evaluates");
+        for e in &evals {
+            let _ = writeln!(out, "{e:?}");
+        }
+        scenarios = evals;
+    }
+    (out, scenarios)
 }
 
 /// A unique journal path under the system temp directory.
@@ -112,7 +157,12 @@ struct ResumeOutcome {
 }
 
 /// Wave 1: kill at 25% and 60%, damage the tail, resume, compare.
-fn resume_wave(args: &cli::BenchArgs, designs: &[DesignPoint], clean: &str) -> ResumeOutcome {
+fn resume_wave(
+    args: &cli::BenchArgs,
+    designs: &[DesignPoint],
+    specs: &[ScenarioSpec],
+    clean: &str,
+) -> ResumeOutcome {
     let mut out = ResumeOutcome {
         configs: 0,
         replayed: 0,
@@ -143,10 +193,10 @@ fn resume_wave(args: &cli::BenchArgs, designs: &[DesignPoint], clean: &str) -> R
                 drop(partial);
                 damage_tail(&path, kill);
 
-                // The resumed run: replay the valid prefix, finish the rest.
+                // The resumed run: replay the valid prefix, finish the
+                // rest (traffic leg included, recomputed purely).
                 let resumed = args.build_evaluator(build);
-                let evals = resumed.evaluate_many(designs).expect("family evaluates");
-                let rendered = render(&evals);
+                let (rendered, _) = render_with_traffic(&resumed, designs, specs);
                 assert_eq!(
                     clean, rendered,
                     "resumed output diverged (threads {threads}, memo {memo}, kill {kill})"
@@ -382,24 +432,26 @@ fn main() {
     let seed = args.seed.unwrap_or(42);
     let designs = cell_family();
 
+    let specs = traffic_specs(&args);
+
     // Clean reference run: serial, memoized-or-not per flags.
     println!(
-        "chaos: {} cells, seed {seed}, reference render...",
-        designs.len()
+        "chaos: {} cells{}, seed {seed}, reference render...",
+        designs.len(),
+        match args.traffic {
+            Some(pack) if !specs.is_empty() => format!(" + {} traffic leg", pack.label()),
+            _ => String::new(),
+        }
     );
     let clean_eval: Evaluator = args.build_evaluator(|b| b.quick());
-    let clean = render(
-        &clean_eval
-            .evaluate_many(&designs)
-            .expect("family evaluates"),
-    );
+    let (clean, clean_scenarios) = render_with_traffic(&clean_eval, &designs, &specs);
 
     // The reference run also exercises the per-cell report path.
     let outcomes: Vec<CellOutcome> = clean_eval.evaluate_cells(&designs);
     assert!(outcomes.iter().all(CellOutcome::is_ok));
 
     println!("chaos wave 1: kill at 25%/60%, damage tail, resume (threads 1/2/8)");
-    let resume = resume_wave(&args, &designs, &clean);
+    let resume = resume_wave(&args, &designs, &specs, &clean);
     println!(
         "  {} kill/resume configurations byte-identical ({} cells replayed, {} resume hits)",
         resume.configs, resume.replayed, resume.resume_hits
@@ -409,12 +461,44 @@ fn main() {
     let deadline_cancels = deadline_wave(&args);
     let service = service_wave(seed);
 
+    // The traffic leg's resilience accounting: total retry spend must
+    // stay under every run's accrual ceiling (CI greps the verdict).
+    let ratio = args.resilience.and_then(|rs| rs.retry_ratio).unwrap_or(0.0);
+    let (mut res_runs, mut res_requests, mut res_spent, mut res_denied, mut res_shed) =
+        (0u64, 0u64, 0u64, 0u64, 0u64);
+    let mut within_budget = true;
+    for s in &clean_scenarios {
+        if let Some(r) = &s.resilience {
+            res_runs += 1;
+            res_requests += r.offered;
+            res_spent += r.retries_spent;
+            res_denied += r.retries_denied;
+            res_shed += r.shed;
+            within_budget &= (r.retries_spent as f64) <= 8.0 + ratio * r.offered as f64;
+        }
+    }
+    let spend_ratio = res_spent as f64 / res_requests.max(1) as f64;
+
     // Fold the proof into BENCH_results.json for CI.
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"seed\": {seed},");
     let _ = writeln!(json, "  \"cells\": {},", designs.len());
     let _ = writeln!(json, "  \"resume_diverged\": false,");
     let _ = writeln!(json, "  \"merge_diverged\": false,");
+    let _ = writeln!(
+        json,
+        "  \"traffic_pack\": \"{}\",",
+        args.traffic.unwrap_or(TrafficPack::Steady).label()
+    );
+    let _ = writeln!(json, "  \"resilience\": {{");
+    let _ = writeln!(json, "    \"runs\": {res_runs},");
+    let _ = writeln!(json, "    \"requests\": {res_requests},");
+    let _ = writeln!(json, "    \"retries_spent\": {res_spent},");
+    let _ = writeln!(json, "    \"retries_denied\": {res_denied},");
+    let _ = writeln!(json, "    \"shed\": {res_shed},");
+    let _ = writeln!(json, "    \"retry_spend_ratio\": {spend_ratio:.6},");
+    let _ = writeln!(json, "    \"within_budget\": {within_budget}");
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"service\": {{");
     let _ = writeln!(json, "    \"cells\": {},", service.cells);
     let _ = writeln!(json, "    \"worker_spawns\": {},", service.spawns);

@@ -14,8 +14,11 @@
 //!    cool instead of shutting down.
 //!
 //! The closing table folds the measured availabilities into the
-//! Figure-5 Perf/TCO-$ comparison. Run with
-//! `cargo run --release -p wcs-bench --bin faults [--threads N]`.
+//! Figure-5 Perf/TCO-$ comparison, and a degraded-mode traffic section
+//! replays the `--traffic` pack (steady by default) through the open
+//! loop against a blade outage with and without the resilience layer.
+//! Run with `cargo run --release -p wcs-bench --bin faults
+//! [--threads N] [--traffic PACK]`.
 //!
 //! The scenarios are scheduled in two parallel waves: everything
 //! independent of the measured window (healthy run, blade assessments,
@@ -31,12 +34,15 @@ use wcs_core::designs::DesignPoint;
 use wcs_core::evaluate::DesignEval;
 use wcs_memshare::degraded::{assess_blade_outages, DegradedOutcome};
 use wcs_memshare::slowdown::SlowdownConfig;
-use wcs_simcore::faults::FaultProcess;
+use wcs_simcore::faults::{DownWindow, FaultProcess};
 use wcs_simcore::pool::Task;
 use wcs_simcore::{SimDuration, SimRng, SimTime};
-use wcs_simserver::{Cluster, ClusterFaults, Resource, RetryPolicy, RunStats, ServerSpec, Stage};
+use wcs_simserver::{
+    run_open_loop_resilient, Cluster, ClusterFaults, RateProfile, ResilienceConfig, Resource,
+    RetryPolicy, RunStats, ServerSpec, Stage,
+};
 use wcs_tco::{AvailabilityModel, AvailableEfficiency};
-use wcs_workloads::WorkloadId;
+use wcs_workloads::{TrafficPack, WorkloadId};
 
 /// One result from the first wave of independent scenario work.
 enum Piece {
@@ -259,6 +265,89 @@ fn main() {
             burdened_eff.relative_to(&base_eff).perf_per_tco,
         );
     }
+    // 6. Degraded-mode traffic: the `--traffic` pack replayed through
+    // the open loop against a blade outage, with and without the
+    // resilience layer — the retry storm the unconditional path allows
+    // next to the budgeted, shedding, breaker-guarded one.
+    let pack = args.traffic.unwrap_or(TrafficPack::Steady);
+    let (t_warm, t_meas) = (2_000u64, 10_000u64);
+    let capacity = 1_000.0f64;
+    let profile = match pack {
+        TrafficPack::Steady => RateProfile::constant(),
+        p => p
+            .profile(capacity, t_warm + t_meas)
+            .expect("non-steady packs render a profile"),
+    };
+    let span = (t_warm + t_meas) as f64 / (capacity * profile.mean());
+    let blade_down = [DownWindow {
+        down_at: SimTime::ZERO + secs(0.30 * span),
+        up_at: SimTime::ZERO + secs(0.45 * span),
+    }];
+    let open_retry = RetryPolicy {
+        timeout: None,
+        max_retries: 4,
+        backoff: SimDuration::from_millis(2),
+    };
+    let mut traffic_runs = Vec::new();
+    for (label, config) in [
+        ("no resilience", ResilienceConfig::disabled()),
+        ("resilient", ResilienceConfig::standard(capacity)),
+    ] {
+        let mut source = websearch_source;
+        let (stats, res) = run_open_loop_resilient(
+            ServerSpec::new(2),
+            &mut source,
+            capacity,
+            &profile,
+            t_warm,
+            t_meas,
+            17,
+            &blade_down,
+            &open_retry,
+            &config,
+        );
+        traffic_runs.push((label, stats, res));
+    }
+    println!(
+        "\nDegraded-mode traffic: `{}` pack vs a 15%-of-run blade outage \
+         (open loop, {capacity:.0} RPS capacity):",
+        pack.label()
+    );
+    println!(
+        "  {:<16} {:>9} {:>8} {:>9} {:>8} {:>8} {:>9} {:>9}",
+        "mode", "offered", "shed", "goodput/s", "retries", "dropped", "fastfail", "p99 (ms)"
+    );
+    for (label, stats, res) in &traffic_runs {
+        println!(
+            "  {:<16} {:>9} {:>8} {:>9.0} {:>8} {:>8} {:>9} {:>9.2}",
+            label,
+            res.offered.max(stats.faults.offered),
+            res.shed(),
+            stats.goodput_rps(),
+            stats.faults.retries,
+            stats.faults.dropped,
+            res.breaker_fast_fails,
+            stats.latency.percentile(99.0).unwrap_or(0.0) * 1e3,
+        );
+        stats.export_obs(&args.obs);
+    }
+    let (_, _, res) = &traffic_runs[1];
+    args.obs.counter("resilience.runs").inc();
+    args.obs.counter("resilience.requests").add(res.offered);
+    args.obs.counter("resilience.shed").add(res.shed());
+    args.obs
+        .counter("resilience.retries_spent")
+        .add(res.retries_spent);
+    args.obs
+        .counter("resilience.retries_denied")
+        .add(res.retries_denied);
+    args.obs
+        .counter("resilience.breaker_trips")
+        .add(res.breaker_trips);
+    args.obs
+        .counter("resilience.fast_fails")
+        .add(res.breaker_fast_fails);
+
     println!("\n(deterministic: fixed seeds 17/23/29/31; rerun reproduces bit-identical output)");
     eval.export_obs();
     args.write_metrics();

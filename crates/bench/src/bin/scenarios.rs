@@ -87,8 +87,8 @@ fn main() {
 
     println!("Scenario packs on srvr1 baseline vs unified N2 (quick profile):");
     println!(
-        "  {:<28} {:<14} {:>12} {:<5} {:>8} {:>8}  detail",
-        "scenario", "design", "value", "unit", "p95(s)", "QoS att"
+        "  {:<28} {:<14} {:>12} {:<5} {:>8} {:>8} {:>7}  detail",
+        "scenario", "design", "value", "unit", "p95(s)", "QoS att", "avail"
     );
     for ev in &all {
         let (p95, att) = match &ev.traffic {
@@ -99,16 +99,42 @@ fn main() {
             ),
             None => ("-".to_owned(), "-".to_owned()),
         };
+        // Fleet availability is the evaluator's fault burden; a
+        // resilient run reports its own measured availability instead.
+        let avail = match (&ev.resilience, &ev.availability) {
+            (Some(r), _) => format!("{:.4}", r.availability),
+            (None, Some(a)) => format!("{:.4}", a.availability),
+            (None, None) => "-".to_owned(),
+        };
         println!(
-            "  {:<28} {:<14} {:>12.2} {:<5} {:>8} {:>8}  {}",
+            "  {:<28} {:<14} {:>12.2} {:<5} {:>8} {:>8} {:>7}  {}",
             ev.scenario,
             ev.design,
             ev.value,
             ev.unit,
             p95,
             att,
+            avail,
             family_note(&ev.family)
         );
+        if let Some(r) = &ev.resilience {
+            println!(
+                "  {:>43} shed {:.1}%, goodput {:.1} rps, SLO att {:.3}, \
+                 p99/SLO {:.2}, retries {}+{} denied, breaker {} trips ({:.1}% open), \
+                 chaos {} outages ({:.1}% down)",
+                "resilience:",
+                r.shed_fraction * 100.0,
+                r.goodput_rps,
+                r.slo_attainment,
+                r.p99_over_slo,
+                r.retries_spent,
+                r.retries_denied,
+                r.breaker_trips,
+                r.breaker_open_fraction * 100.0,
+                r.chaos_outages,
+                r.chaos_down_fraction * 100.0,
+            );
+        }
     }
 
     // Determinism gate: the full slate again under 1 and 2 worker
@@ -121,6 +147,9 @@ fn main() {
         let mut b = Evaluator::builder().quick().pool(pool).memo(false);
         if let Some(seed) = args.seed {
             b = b.seed(seed);
+        }
+        if let Some(rs) = args.resilience {
+            b = b.resilience(rs);
         }
         let gate_eval = run_or_exit("construct gate evaluator", b.build());
         let rerun = format!("{:?}", run_slate(&gate_eval, &designs, &specs));
@@ -153,10 +182,41 @@ fn main() {
             ),
             None => "null".to_owned(),
         };
+        let availability = match (&ev.resilience, &ev.availability) {
+            (Some(r), _) => format!("{:.6}", r.availability),
+            (None, Some(a)) => format!("{:.6}", a.availability),
+            (None, None) => "null".to_owned(),
+        };
+        let resilience = match &ev.resilience {
+            Some(r) => format!(
+                "{{\"shed_fraction\": {:.6}, \"goodput_rps\": {:.4}, \
+                 \"availability\": {:.6}, \"slo_secs\": {:.6}, \
+                 \"slo_attainment\": {:.6}, \"p99_over_slo\": {:.4}, \
+                 \"retries_spent\": {}, \"retries_denied\": {}, \
+                 \"retry_amplification\": {:.4}, \"breaker_trips\": {}, \
+                 \"breaker_open_fraction\": {:.6}, \"chaos_outages\": {}, \
+                 \"chaos_down_fraction\": {:.6}}}",
+                r.shed_fraction,
+                r.goodput_rps,
+                r.availability,
+                r.slo_secs,
+                r.slo_attainment,
+                r.p99_over_slo,
+                r.retries_spent,
+                r.retries_denied,
+                r.retry_amplification,
+                r.breaker_trips,
+                r.breaker_open_fraction,
+                r.chaos_outages,
+                r.chaos_down_fraction
+            ),
+            None => "null".to_owned(),
+        };
         let _ = writeln!(
             json,
             "    {{\"scenario\": \"{}\", \"design\": \"{}\", \"value\": {:.6}, \
-             \"unit\": \"{}\", \"traffic\": {traffic}}}{comma}",
+             \"unit\": \"{}\", \"availability\": {availability}, \
+             \"traffic\": {traffic}, \"resilience\": {resilience}}}{comma}",
             ev.scenario, ev.design, ev.value, ev.unit
         );
     }

@@ -29,6 +29,12 @@
 //!   whose message lists every registered scenario.
 //! * `--traffic PACK` selects the arrival process for scenario runs:
 //!   `steady` (default), `diurnal`, `flash-crowd`, or `failover-surge`.
+//! * `--resilience` arms the standard resilience layer for scenario
+//!   runs: token-bucket admission control, a 10% retry budget, circuit
+//!   breakers, and a seeded chaos wave that co-varies blade faults with
+//!   the traffic profile.
+//! * `--retry-budget RATIO` overrides the retry-budget accrual ratio
+//!   (and implies `--resilience`).
 //!
 //! None of the flags can change results. Parallel fan-outs seed their
 //! tasks purely from the task index, memoized values are pure functions
@@ -60,7 +66,7 @@ use std::fmt::Display;
 use std::process::exit;
 
 use wcs_core::evaluate::EvalBuilder;
-use wcs_core::{Evaluator, WcsError};
+use wcs_core::{Evaluator, ResilienceSpec, WcsError};
 use wcs_simcore::obs::Registry;
 use wcs_simcore::{QueueKind, ThreadPool};
 use wcs_workloads::registry;
@@ -95,7 +101,7 @@ pub fn run_or_exit<T, E: Display>(context: &str, result: Result<T, E>) -> T {
 /// [`ensure_standard_series`] registers one canonical series per family
 /// so consumers can rely on the keys being present; a zero value means
 /// the subsystem did not run in that binary.
-pub const STANDARD_FAMILIES: [&str; 9] = [
+pub const STANDARD_FAMILIES: [&str; 10] = [
     "queue",
     "pool",
     "memo",
@@ -105,6 +111,7 @@ pub const STANDARD_FAMILIES: [&str; 9] = [
     "faults",
     "recovery",
     "scenario",
+    "resilience",
 ];
 
 /// Parsed common arguments: the worker pool plus whatever the binary
@@ -137,6 +144,10 @@ pub struct BenchArgs {
     pub scenario: Option<String>,
     /// Traffic pack selected by `--traffic PACK`, if any.
     pub traffic: Option<TrafficPack>,
+    /// Resilience layer armed by `--resilience` / `--retry-budget`, if
+    /// any. Applied to every evaluator built through
+    /// [`BenchArgs::eval_builder`].
+    pub resilience: Option<ResilienceSpec>,
     /// The metrics registry: enabled iff `--metrics` was passed,
     /// otherwise the disabled no-op registry.
     pub obs: Registry,
@@ -163,6 +174,9 @@ impl BenchArgs {
         }
         if let Some(ms) = self.task_budget_ms {
             b = b.task_budget(std::time::Duration::from_millis(ms));
+        }
+        if let Some(rs) = self.resilience {
+            b = b.resilience(rs);
         }
         b
     }
@@ -305,6 +319,13 @@ pub fn ensure_standard_series(registry: &Registry) {
         "scenario.faas_resident",
         "scenario.dag_tasks",
         "scenario.dag_stragglers",
+        "resilience.runs",
+        "resilience.requests",
+        "resilience.shed",
+        "resilience.retries_spent",
+        "resilience.retries_denied",
+        "resilience.breaker_trips",
+        "resilience.fast_fails",
     ] {
         registry.counter(name).add(0);
     }
@@ -342,11 +363,17 @@ pub fn try_parse_from(args: impl Iterator<Item = String>) -> Result<BenchArgs, W
     let mut queue = QueueKind::default();
     let mut scenario = None;
     let mut traffic = None;
+    let mut resilience = false;
+    let mut retry_budget = None;
     let mut rest = Vec::new();
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
         if arg == "--no-memo" {
             memo = false;
+            continue;
+        }
+        if arg == "--resilience" {
+            resilience = true;
             continue;
         }
         // `--flag value` and `--flag=value` are both accepted for every
@@ -410,10 +437,27 @@ pub fn try_parse_from(args: impl Iterator<Item = String>) -> Result<BenchArgs, W
                     TrafficPack::NAMES.join(", ")
                 ))
             })?);
+        } else if let Some(v) = valued("--retry-budget")? {
+            let ratio: f64 = v
+                .parse()
+                .map_err(|_| WcsError::Cli(format!("--retry-budget expects a ratio, got {v:?}")))?;
+            if !(ratio.is_finite() && ratio > 0.0) {
+                return Err(WcsError::Cli(format!(
+                    "--retry-budget must be a positive finite ratio, got {v:?}"
+                )));
+            }
+            retry_budget = Some(ratio);
         } else {
             rest.push(arg);
         }
     }
+    // `--retry-budget` implies the standard layer with the ratio
+    // overridden; `--resilience` alone uses the standard layer as-is.
+    let resilience = match (resilience, retry_budget) {
+        (_, Some(ratio)) => Some(ResilienceSpec::standard().with_retry_ratio(ratio)),
+        (true, None) => Some(ResilienceSpec::standard()),
+        (false, None) => None,
+    };
     let obs = Registry::with_enabled(metrics.is_some());
     Ok(BenchArgs {
         pool,
@@ -425,6 +469,7 @@ pub fn try_parse_from(args: impl Iterator<Item = String>) -> Result<BenchArgs, W
         queue,
         scenario,
         traffic,
+        resilience,
         obs,
         rest,
     })
@@ -439,7 +484,7 @@ fn parse_from(args: impl Iterator<Item = String>) -> BenchArgs {
                 "usage: <bin> [--threads N] [--no-memo] [--seed S] [--metrics PATH] \
                  [--resume JOURNAL] [--task-budget-ms N] [--queue heap|calendar|auto] \
                  [--scenario NAME] [--traffic steady|diurnal|flash-crowd|failover-surge] \
-                 [args...]"
+                 [--resilience] [--retry-budget RATIO] [args...]"
             );
             exit(EXIT_USAGE);
         }
@@ -602,6 +647,29 @@ mod tests {
         assert!(specs
             .iter()
             .all(|s| s.traffic == TrafficPack::failover_surge()));
+    }
+
+    #[test]
+    fn resilience_flags_arm_the_standard_layer() {
+        let off = try_parse_from(strs(&[])).unwrap();
+        assert!(off.resilience.is_none(), "resilience defaults off");
+        let on = try_parse_from(strs(&["--resilience"])).unwrap();
+        assert_eq!(on.resilience, Some(ResilienceSpec::standard()));
+        // --retry-budget implies resilience and overrides the ratio.
+        let budget = try_parse_from(strs(&["--retry-budget", "0.05"])).unwrap();
+        assert_eq!(
+            budget.resilience,
+            Some(ResilienceSpec::standard().with_retry_ratio(0.05))
+        );
+        let both = try_parse_from(strs(&["--resilience", "--retry-budget=0.2"])).unwrap();
+        assert_eq!(both.resilience.unwrap().retry_ratio, Some(0.2));
+        assert!(try_parse_from(strs(&["--retry-budget", "0"])).is_err());
+        assert!(try_parse_from(strs(&["--retry-budget", "-1"])).is_err());
+        assert!(try_parse_from(strs(&["--retry-budget", "soon"])).is_err());
+        assert!(try_parse_from(strs(&["--retry-budget"])).is_err());
+        // The spec flows into the evaluator through the builder.
+        let eval = on.eval_builder().quick().build().unwrap();
+        assert_eq!(eval.resilience, Some(ResilienceSpec::standard()));
     }
 
     #[test]

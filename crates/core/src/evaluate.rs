@@ -73,6 +73,12 @@ pub struct Evaluator {
     /// default) applies no deadline, keeping results pure functions of
     /// the cell inputs.
     pub watchdog: Option<Arc<Watchdog>>,
+    /// Optional overload-resilience layer for scenario traffic runs
+    /// ([`Evaluator::evaluate_scenario`]): admission control, a retry
+    /// budget, circuit breakers, and a chaos plan co-varied with the
+    /// traffic pack. `None` (the default) reproduces the plain traffic
+    /// path byte-for-byte.
+    pub resilience: Option<crate::scenario::ResilienceSpec>,
 }
 
 impl Evaluator {
@@ -405,6 +411,7 @@ pub struct EvalBuilder {
     availability: Option<AvailabilityModel>,
     resume: Option<PathBuf>,
     task_budget: Option<Duration>,
+    resilience: Option<crate::scenario::ResilienceSpec>,
 }
 
 impl EvalBuilder {
@@ -424,6 +431,7 @@ impl EvalBuilder {
             availability: None,
             resume: None,
             task_budget: None,
+            resilience: None,
         }
     }
 
@@ -511,6 +519,18 @@ impl EvalBuilder {
         self
     }
 
+    /// Enables the overload-resilience layer for scenario traffic runs:
+    /// admission control, a global retry budget, per-backend circuit
+    /// breakers, and an optional chaos plan whose fault waves co-vary
+    /// with the traffic pack. Leaving this unset (the default) keeps
+    /// every scenario render byte-identical to an evaluator that never
+    /// heard of resilience.
+    #[must_use]
+    pub fn resilience(mut self, spec: crate::scenario::ResilienceSpec) -> Self {
+        self.resilience = Some(spec);
+        self
+    }
+
     /// Adds amortized floor-space pricing to the cost scope.
     #[must_use]
     pub fn real_estate(mut self, params: RealEstateParams) -> Self {
@@ -589,6 +609,7 @@ impl EvalBuilder {
             obs: self.obs,
             availability: self.availability,
             watchdog,
+            resilience: self.resilience,
         })
     }
 }

@@ -43,4 +43,6 @@ pub mod validate;
 pub use designs::DesignPoint;
 pub use error::WcsError;
 pub use evaluate::{CellOutcome, DesignEval, EvalBuilder, Evaluator};
-pub use scenario::{FamilyEval, ScenarioEval, TrafficEval};
+pub use scenario::{
+    ChaosPlan, FamilyEval, ResilienceEval, ResilienceSpec, ScenarioEval, TrafficEval,
+};

@@ -152,6 +152,11 @@ pub struct EvalMemo {
     /// Open-loop traffic-pack runs (diurnal, flash-crowd, failover
     /// surge) keyed on scenario, pack parameters, demand, and config.
     traffic: MemoCache<crate::scenario::TrafficSample>,
+    /// Resilient traffic runs (admission + budget + breakers under a
+    /// chaos plan) keyed additionally on the full resilience spec. A
+    /// separate lane from `traffic` so a resilient run can never alias
+    /// the plain run of the same scenario.
+    resilient: MemoCache<crate::scenario::ResilientSample>,
     /// Cells recovered from a `--resume` journal. Consulted before the
     /// regular perf lane and *always* enabled — resuming must work under
     /// `--no-memo` too, and a replayed cell is by construction the value
@@ -195,6 +200,7 @@ impl EvalMemo {
             perf: MemoCache::with_enabled(enabled),
             scenario_perf: MemoCache::with_enabled(enabled),
             traffic: MemoCache::with_enabled(enabled),
+            resilient: MemoCache::with_enabled(enabled),
             resume: MemoCache::new(),
             journal: Mutex::new(None),
             journal_resume_hits: std::sync::atomic::AtomicBool::new(false),
@@ -343,7 +349,10 @@ impl EvalMemo {
             ("perf", self.perf.stats()),
             (
                 "scenario",
-                self.scenario_perf.stats().merged(&self.traffic.stats()),
+                self.scenario_perf
+                    .stats()
+                    .merged(&self.traffic.stats())
+                    .merged(&self.resilient.stats()),
             ),
         ] {
             self.obs
@@ -394,6 +403,7 @@ impl EvalMemo {
             .merged(&self.perf.stats())
             .merged(&self.scenario_perf.stats())
             .merged(&self.traffic.stats())
+            .merged(&self.resilient.stats())
     }
 
     /// A cached performance measurement, keyed on the workload, the full
@@ -457,6 +467,17 @@ impl EvalMemo {
         compute: impl FnOnce() -> crate::scenario::TrafficSample,
     ) -> crate::scenario::TrafficSample {
         self.traffic.get_or_compute(key, compute)
+    }
+
+    /// A cached resilient traffic run, keyed by the caller on scenario,
+    /// pack, demand, config, and the full resilience spec (admission,
+    /// budget, breaker, and chaos-plan parameters).
+    pub fn resilient(
+        &self,
+        key: u128,
+        compute: impl FnOnce() -> crate::scenario::ResilientSample,
+    ) -> crate::scenario::ResilientSample {
+        self.resilient.get_or_compute(key, compute)
     }
 
     /// A shared handle to an enabled memo (the [`Evaluator`] default).

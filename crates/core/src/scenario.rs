@@ -25,9 +25,13 @@
 use std::fmt;
 
 use wcs_simcore::event::QueueObs;
+use wcs_simcore::faults::{self, FaultProcess};
 use wcs_simcore::memo::MemoKey;
-use wcs_simcore::{ConfigError, SimDuration};
-use wcs_simserver::{run_open_loop_profiled, QosSpec, RateProfile};
+use wcs_simcore::{ConfigError, SimDuration, SimRng};
+use wcs_simserver::{
+    run_open_loop_profiled, run_open_loop_resilient, AdmissionConfig, BreakerConfig, QosSpec,
+    RateProfile, ResilienceConfig, RetryBudgetConfig, RetryPolicy,
+};
 use wcs_tco::{AvailabilityModel, AvailableEfficiency, Efficiency, TcoReport};
 use wcs_workloads::perf::{measure_perf_with_demand, MeasureConfig};
 use wcs_workloads::registry::{self, Family};
@@ -93,6 +97,201 @@ impl TrafficEval {
     }
 }
 
+/// A chaos plan: seeded blade outages scaled to the traffic run's
+/// expected span and, optionally, co-varied with its rate profile so
+/// faults concentrate where offered load is high (the compound failure
+/// mode — flash crowd plus blade loss — that steady-state availability
+/// math averages away).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosPlan {
+    /// Mean time to failure, as a fraction of the expected run span.
+    pub mttf_span: f64,
+    /// Mean repair time, as a fraction of the expected run span.
+    pub mttr_span: f64,
+    /// Thin the fault hazard by the traffic profile's rate multipliers:
+    /// outages become proportionally likelier in high-traffic segments.
+    /// Flat profiles are unaffected (hazard thinning at full weight
+    /// consumes no draw).
+    pub co_vary: bool,
+}
+
+impl ChaosPlan {
+    /// The standard wave: roughly one-to-two blade outages per run, each
+    /// taking out the blade for ~8% of the span, landing preferentially
+    /// under peak load.
+    pub fn blade_fault() -> Self {
+        ChaosPlan {
+            mttf_span: 0.45,
+            mttr_span: 0.08,
+            co_vary: true,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.mttf_span.is_finite() && self.mttf_span > 0.0,
+            "chaos MTTF fraction must be positive"
+        );
+        assert!(
+            self.mttr_span.is_finite() && self.mttr_span > 0.0,
+            "chaos MTTR fraction must be positive"
+        );
+    }
+}
+
+/// Capacity-relative resilience layer for scenario traffic runs.
+///
+/// Every knob scales off the design's measured steady capacity, so one
+/// spec is meaningful across designs whose capacities differ by an
+/// order of magnitude; [`ResilienceSpec::config_at`] renders it into
+/// the absolute [`wcs_simserver::ResilienceConfig`] for a given run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResilienceSpec {
+    /// Admission rate as a multiple of steady capacity (`None` disables
+    /// admission control).
+    pub admission_x: Option<f64>,
+    /// Fraction of arrivals classed low priority (sheddable first).
+    pub low_fraction: f64,
+    /// Retry-budget accrual ratio (`None` disables the budget, leaving
+    /// retries bounded only by `max_retries`).
+    pub retry_ratio: Option<f64>,
+    /// Enable the circuit breaker in front of the blade.
+    pub breaker: bool,
+    /// Per-request retry ceiling for failed attempts.
+    pub max_retries: u32,
+    /// Seeded fault waves to run under (`None` for fault-free runs).
+    pub chaos: Option<ChaosPlan>,
+}
+
+impl ResilienceSpec {
+    /// The standard layer: 1.2x admission with a 20% low-priority
+    /// class, a 10% retry budget, breakers on, and the co-varying
+    /// blade-fault chaos wave.
+    pub fn standard() -> Self {
+        ResilienceSpec {
+            admission_x: Some(1.2),
+            low_fraction: 0.2,
+            retry_ratio: Some(0.1),
+            breaker: true,
+            max_retries: 3,
+            chaos: Some(ChaosPlan::blade_fault()),
+        }
+    }
+
+    /// Overrides the retry-budget ratio.
+    #[must_use]
+    pub fn with_retry_ratio(mut self, ratio: f64) -> Self {
+        self.retry_ratio = Some(ratio);
+        self
+    }
+
+    /// Renders the capacity-relative spec into absolute simulator
+    /// configuration for a run at `capacity_rps` whose expected length
+    /// is `span`.
+    pub fn config_at(&self, capacity_rps: f64, span: SimDuration) -> ResilienceConfig {
+        ResilienceConfig {
+            admission: self.admission_x.map(|x| AdmissionConfig {
+                rate_rps: capacity_rps * x,
+                burst: (capacity_rps * 0.25).max(8.0),
+                low_reserve: (capacity_rps * 0.05).max(2.0),
+                low_fraction: self.low_fraction,
+            }),
+            retry_budget: self.retry_ratio.map(|ratio| RetryBudgetConfig {
+                ratio,
+                initial: 8.0,
+                cap: 64.0,
+            }),
+            breaker: self.breaker.then(|| BreakerConfig {
+                failure_threshold: 3,
+                open_for: SimDuration::from_secs_f64((span.as_secs_f64() * 0.02).max(1e-6)),
+                jitter: 0.2,
+                half_open_probes: 2,
+            }),
+        }
+    }
+
+    /// Folds every field into a memo key; the key changes whenever any
+    /// knob does, so distinct specs never alias a cache entry.
+    fn fold_key(&self, key: MemoKey) -> MemoKey {
+        let key = match self.admission_x {
+            None => key.push_u64(0),
+            Some(x) => key.push_u64(1).push_f64(x),
+        };
+        let key = key.push_f64(self.low_fraction);
+        let key = match self.retry_ratio {
+            None => key.push_u64(0),
+            Some(r) => key.push_u64(1).push_f64(r),
+        };
+        let key = key.push_bool(self.breaker).push_u32(self.max_retries);
+        match self.chaos {
+            None => key.push_u64(0),
+            Some(c) => key
+                .push_u64(1)
+                .push_f64(c.mttf_span)
+                .push_f64(c.mttr_span)
+                .push_bool(c.co_vary),
+        }
+    }
+}
+
+/// What the resilience layer did during a traffic run: SLO attainment,
+/// shed/goodput accounting, retry-budget spend, breaker activity, and
+/// the chaos wave it ran under. Every field is a pure function of the
+/// scenario, design, measurement config, and [`ResilienceSpec`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilienceEval {
+    /// Logical requests that reached the admission point (whole run).
+    pub offered: u64,
+    /// Requests admitted past the token bucket (whole run).
+    pub admitted: u64,
+    /// Requests shed by admission control (whole run).
+    pub shed: u64,
+    /// Shed fraction of offered load.
+    pub shed_fraction: f64,
+    /// Successfully completed requests per second over the measurement
+    /// window.
+    pub goodput_rps: f64,
+    /// Requests dropped after exhausting retries, measurement window.
+    pub dropped: u64,
+    /// Completed / (completed + dropped) over the measurement window.
+    pub availability: f64,
+    /// Retry attempts granted by the budget (whole run).
+    pub retries_spent: u64,
+    /// Retry attempts the budget refused (whole run).
+    pub retries_denied: u64,
+    /// (admitted + retries) / admitted — the work-amplification factor
+    /// the budget holds down under concurrent faults.
+    pub retry_amplification: f64,
+    /// Breaker trips across the run.
+    pub breaker_trips: u64,
+    /// Requests failed fast by an open breaker (no backend attempt).
+    pub breaker_fast_fails: u64,
+    /// Fraction of the expected span the breaker spent open.
+    pub breaker_open_fraction: f64,
+    /// The latency SLO scored against, seconds (the workload's QoS
+    /// bound, or 10x its unloaded latency for batch metrics).
+    pub slo_secs: f64,
+    /// p99 latency over the SLO (>1 means the tail violates it).
+    pub p99_over_slo: f64,
+    /// Fraction of measured completions at or under the SLO.
+    pub slo_attainment: f64,
+    /// Outage windows the chaos plan scheduled within the horizon.
+    pub chaos_outages: u32,
+    /// Fraction of the expected span the blade spent down.
+    pub chaos_down_fraction: f64,
+}
+
+/// A memoized resilient traffic run: the traffic sample plus the
+/// resilience evaluation, cached together in their own lane so
+/// resilient runs never alias plain traffic runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilientSample {
+    /// The open-loop traffic measurements (pack, latency, throughput).
+    pub traffic: TrafficSample,
+    /// What the resilience layer did.
+    pub eval: ResilienceEval,
+}
+
 /// Family-specific detail of a scenario evaluation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum FamilyEval {
@@ -132,7 +331,7 @@ pub enum FamilyEval {
 /// The evaluation of one scenario on one design: the steady metric, the
 /// family detail, the optional traffic-pack run, and the priced bill of
 /// materials.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ScenarioEval {
     /// Design name.
     pub design: String,
@@ -145,13 +344,38 @@ pub struct ScenarioEval {
     pub unit: &'static str,
     /// Family-specific detail.
     pub family: FamilyEval,
-    /// The open-loop traffic run, for non-steady packs.
+    /// The open-loop traffic run, for non-steady packs (always present
+    /// when the evaluator carries a [`ResilienceSpec`]).
     pub traffic: Option<TrafficEval>,
+    /// The resilience evaluation, when the evaluator carries a
+    /// [`ResilienceSpec`].
+    pub resilience: Option<ResilienceEval>,
     /// The priced bill of materials.
     pub report: TcoReport,
     /// The evaluator's fault burden, carried for
     /// [`ScenarioEval::available_efficiency`].
     pub availability: Option<AvailabilityModel>,
+}
+
+// Hand-written so the `resilience` field only appears when populated:
+// evaluators without a resilience spec render byte-identically to
+// builds that predate the field (the determinism fixture pins this).
+impl fmt::Debug for ScenarioEval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut d = f.debug_struct("ScenarioEval");
+        d.field("design", &self.design)
+            .field("scenario", &self.scenario)
+            .field("value", &self.value)
+            .field("unit", &self.unit)
+            .field("family", &self.family)
+            .field("traffic", &self.traffic);
+        if let Some(res) = &self.resilience {
+            d.field("resilience", res);
+        }
+        d.field("report", &self.report)
+            .field("availability", &self.availability)
+            .finish()
+    }
 }
 
 impl ScenarioEval {
@@ -302,47 +526,111 @@ impl Evaluator {
             Metric::Batch { .. } => "1/s",
         };
         // Non-steady packs replay the pack's rate profile at the
-        // measured steady capacity through the open loop.
-        let traffic = match spec.traffic {
-            TrafficPack::Steady => None,
-            pack => {
-                let (capacity_rps, qos) = match wl.metric {
-                    Metric::ThroughputQos(q) => (sample.value, Some(q)),
-                    // Batch metrics complete `tasks` tasks per makespan:
-                    // the per-task completion rate is the open-loop
-                    // capacity analogue.
-                    Metric::Batch { tasks, .. } => (sample.value * f64::from(tasks), None),
-                };
-                let total = self.measure.warmup + self.measure.measured;
-                let profile = pack
+        // measured steady capacity through the open loop. An evaluator
+        // carrying a resilience spec instead routes every pack — steady
+        // included, as a constant profile — through the resilient open
+        // loop, co-varying the chaos wave with the profile.
+        let (traffic, resilience) = if let Some(rspec) = &self.resilience {
+            let (capacity_rps, qos) = match wl.metric {
+                Metric::ThroughputQos(q) => (sample.value, Some(q)),
+                Metric::Batch { tasks, .. } => (sample.value * f64::from(tasks), None),
+            };
+            let total = self.measure.warmup + self.measure.measured;
+            let profile = match spec.traffic {
+                TrafficPack::Steady => RateProfile::constant(),
+                pack => pack
                     .profile(capacity_rps, total)
-                    .expect("non-steady packs render a profile");
-                let key = MemoKey::new("scenario-traffic")
-                    .push(spec)
-                    .push(&demand)
-                    .push(&self.measure)
-                    .push_f64(capacity_rps)
-                    .finish();
-                let ts = self.memo.traffic(key, || {
-                    run_traffic(
-                        &demand,
-                        qos,
-                        capacity_rps,
-                        pack.label(),
-                        &profile,
-                        &self.measure,
-                    )
-                });
-                // Exact-class: completed/violation counts come out of the
-                // (possibly cached) sample, never from worker scheduling.
-                self.obs.counter("scenario.traffic_runs").inc();
-                self.obs.counter("scenario.requests").add(ts.eval.completed);
-                self.obs
-                    .counter("scenario.qos_violations")
-                    .add(ts.eval.qos_violations());
-                ts.queue.export(&self.obs);
-                Some(ts.eval)
-            }
+                    .expect("non-steady packs render a profile"),
+            };
+            let key = rspec
+                .fold_key(
+                    MemoKey::new("scenario-resilience")
+                        .push(spec)
+                        .push(&demand)
+                        .push(&self.measure)
+                        .push_f64(capacity_rps),
+                )
+                .finish();
+            let rs = self.memo.resilient(key, || {
+                run_resilient_traffic(
+                    &demand,
+                    qos,
+                    capacity_rps,
+                    spec.traffic.label(),
+                    &profile,
+                    &self.measure,
+                    rspec,
+                )
+            });
+            // Exact-class: every count comes out of the (possibly
+            // cached) sample, never from worker scheduling.
+            self.obs.counter("scenario.traffic_runs").inc();
+            self.obs
+                .counter("scenario.requests")
+                .add(rs.traffic.eval.completed);
+            self.obs
+                .counter("scenario.qos_violations")
+                .add(rs.traffic.eval.qos_violations());
+            self.obs.counter("resilience.runs").inc();
+            self.obs.counter("resilience.requests").add(rs.eval.offered);
+            self.obs.counter("resilience.shed").add(rs.eval.shed);
+            self.obs
+                .counter("resilience.retries_spent")
+                .add(rs.eval.retries_spent);
+            self.obs
+                .counter("resilience.retries_denied")
+                .add(rs.eval.retries_denied);
+            self.obs
+                .counter("resilience.breaker_trips")
+                .add(rs.eval.breaker_trips);
+            self.obs
+                .counter("resilience.fast_fails")
+                .add(rs.eval.breaker_fast_fails);
+            rs.traffic.queue.export(&self.obs);
+            (Some(rs.traffic.eval), Some(rs.eval))
+        } else {
+            let traffic = match spec.traffic {
+                TrafficPack::Steady => None,
+                pack => {
+                    let (capacity_rps, qos) = match wl.metric {
+                        Metric::ThroughputQos(q) => (sample.value, Some(q)),
+                        // Batch metrics complete `tasks` tasks per makespan:
+                        // the per-task completion rate is the open-loop
+                        // capacity analogue.
+                        Metric::Batch { tasks, .. } => (sample.value * f64::from(tasks), None),
+                    };
+                    let total = self.measure.warmup + self.measure.measured;
+                    let profile = pack
+                        .profile(capacity_rps, total)
+                        .expect("non-steady packs render a profile");
+                    let key = MemoKey::new("scenario-traffic")
+                        .push(spec)
+                        .push(&demand)
+                        .push(&self.measure)
+                        .push_f64(capacity_rps)
+                        .finish();
+                    let ts = self.memo.traffic(key, || {
+                        run_traffic(
+                            &demand,
+                            qos,
+                            capacity_rps,
+                            pack.label(),
+                            &profile,
+                            &self.measure,
+                        )
+                    });
+                    // Exact-class: completed/violation counts come out of the
+                    // (possibly cached) sample, never from worker scheduling.
+                    self.obs.counter("scenario.traffic_runs").inc();
+                    self.obs.counter("scenario.requests").add(ts.eval.completed);
+                    self.obs
+                        .counter("scenario.qos_violations")
+                        .add(ts.eval.qos_violations());
+                    ts.queue.export(&self.obs);
+                    Some(ts.eval)
+                }
+            };
+            (traffic, None)
         };
 
         self.obs.counter("scenario.evals").inc();
@@ -380,6 +668,7 @@ impl Evaluator {
             unit,
             family,
             traffic,
+            resilience,
             report,
             availability: self.availability,
         })
@@ -444,6 +733,113 @@ fn run_traffic(
         },
         queue: stats.queue,
     }
+}
+
+/// One resilient open-loop run: renders the chaos wave (co-varied with
+/// the profile when the plan asks), runs the traffic through admission
+/// control, the retry budget, and the breaker, and scores the outcome
+/// against the workload's SLO. Pure function of its arguments — the
+/// chaos schedule comes from the pure [`SimRng::stream`], the run seed
+/// from the measurement seed — so memoized and cold runs are
+/// byte-identical.
+fn run_resilient_traffic(
+    demand: &PlatformDemand,
+    qos: Option<QosSpec>,
+    capacity_rps: f64,
+    pack: &'static str,
+    profile: &RateProfile,
+    cfg: &MeasureConfig,
+    rspec: &ResilienceSpec,
+) -> ResilientSample {
+    let total = cfg.warmup + cfg.measured;
+    let span_secs = total as f64 / (capacity_rps * profile.mean());
+    let span = SimDuration::from_secs_f64(span_secs);
+    let config = rspec.config_at(capacity_rps, span);
+    let retry = RetryPolicy {
+        timeout: None,
+        max_retries: rspec.max_retries,
+        backoff: SimDuration::from_secs_f64((span_secs * 0.002).max(1e-6)),
+    };
+
+    // The horizon doubles the expected span so outages keep landing if
+    // overload stretches the run past its nominal length.
+    let mut outages = Vec::new();
+    if let Some(chaos) = &rspec.chaos {
+        chaos.validate();
+        let process = FaultProcess::exponential(
+            SimDuration::from_secs_f64(span_secs * chaos.mttf_span),
+            SimDuration::from_secs_f64(span_secs * chaos.mttr_span),
+        )
+        .expect("chaos plan durations are positive");
+        let horizon = SimDuration::from_secs_f64(span_secs * 2.0);
+        let mut rng = SimRng::stream(cfg.seed ^ 0x000C_4A05, capacity_rps.to_bits());
+        outages = if chaos.co_vary && !profile.is_constant() {
+            let (seg_dur, weights) = profile.segments();
+            process.windows_weighted(horizon, seg_dur, weights, &mut rng)
+        } else {
+            process.windows(horizon, &mut rng)
+        };
+    }
+
+    let mut source = demand.source(0x7AFF);
+    let (stats, res) = run_open_loop_resilient(
+        demand.server_spec(),
+        &mut source,
+        capacity_rps,
+        profile,
+        cfg.warmup,
+        cfg.measured,
+        cfg.seed ^ 0x007A_FF1C,
+        &outages,
+        &retry,
+        &config,
+    );
+
+    let percentile = |p: f64| stats.latency.percentile(p).unwrap_or(0.0);
+    let p99 = percentile(99.0);
+    // Batch metrics carry no per-request bound; score against 10x the
+    // unloaded latency so degraded-mode tails still register.
+    let slo_secs = qos.map_or_else(
+        || 10.0 * demand.single_client_latency_secs(),
+        |q| q.bound.as_secs_f64(),
+    );
+    let eval = ResilienceEval {
+        offered: res.offered,
+        admitted: res.admitted,
+        shed: res.shed(),
+        shed_fraction: res.shed_fraction(),
+        goodput_rps: stats.goodput_rps(),
+        dropped: stats.faults.dropped,
+        availability: stats.completed as f64 / stats.faults.offered.max(1) as f64,
+        retries_spent: res.retries_spent,
+        retries_denied: res.retries_denied,
+        retry_amplification: res.retry_amplification(),
+        breaker_trips: res.breaker_trips,
+        breaker_fast_fails: res.breaker_fast_fails,
+        breaker_open_fraction: (res.breaker_open_ns as f64 / span.as_nanos() as f64).min(1.0),
+        slo_secs,
+        p99_over_slo: if slo_secs > 0.0 { p99 / slo_secs } else { 0.0 },
+        slo_attainment: stats.latency.fraction_at_or_below(slo_secs),
+        chaos_outages: outages.len() as u32,
+        chaos_down_fraction: 1.0 - faults::availability(&outages, span),
+    };
+    let traffic = TrafficSample {
+        eval: TrafficEval {
+            pack,
+            offered_peak_rps: capacity_rps * profile.peak(),
+            offered_mean_rps: capacity_rps * profile.mean(),
+            completed: stats.completed,
+            throughput_rps: stats.throughput_rps(),
+            mean_latency_secs: stats.latency.mean(),
+            p50_latency_secs: percentile(50.0),
+            p95_latency_secs: percentile(95.0),
+            p99_latency_secs: percentile(99.0),
+            qos_attainment: qos.map(|q| stats.latency.fraction_at_or_below(q.bound.as_secs_f64())),
+            peak_utilization: stats.utilization.iter().copied().fold(0.0, f64::max),
+        },
+        queue: stats.queue,
+    };
+    ResilientSample { traffic, eval }
 }
 
 #[cfg(test)]
@@ -618,6 +1014,152 @@ mod tests {
         assert!(snap.count("scenario.requests").unwrap_or(0) > 0);
         assert!(snap.count("scenario.dag_tasks").unwrap_or(0) >= 256);
         assert!(snap.metrics.contains_key("memo.scenario.hits"));
+    }
+
+    #[test]
+    fn resilient_flash_crowd_sheds_and_stays_within_budget() {
+        let rspec = ResilienceSpec::standard();
+        let eval = Evaluator::builder()
+            .quick()
+            .resilience(rspec)
+            .build()
+            .unwrap();
+        let design = DesignPoint::baseline(PlatformId::Desk);
+        let spec = ScenarioSpec::steady("faas").with_traffic(TrafficPack::flash_crowd());
+        let s = eval.evaluate_scenario(&design, &spec).unwrap();
+        let r = s.resilience.expect("resilient evaluator populates eval");
+        let t = s.traffic.expect("resilient evaluator runs traffic");
+        assert_eq!(t.pack, "flash-crowd");
+        assert!(r.offered > 0);
+        assert_eq!(r.offered, r.admitted + r.shed);
+        assert!((0.0..1.0).contains(&r.shed_fraction), "{}", r.shed_fraction);
+        assert!(r.goodput_rps > 0.0);
+        assert!((0.0..=1.0).contains(&r.availability));
+        assert!((0.0..=1.0).contains(&r.slo_attainment));
+        // The retry-budget invariant: spend never exceeds the accrual
+        // ceiling, so amplification stays bounded no matter how the
+        // chaos wave lands.
+        let ratio = rspec.retry_ratio.unwrap();
+        let ceiling = 8.0 + ratio * r.offered as f64;
+        assert!(
+            (r.retries_spent as f64) <= ceiling,
+            "spent {} > ceiling {ceiling}",
+            r.retries_spent
+        );
+        assert!(r.retry_amplification >= 1.0);
+        assert!(r.retry_amplification <= 1.0 + ratio + 8.0 / r.admitted.max(1) as f64);
+        assert!(r.slo_secs > 0.0);
+        assert!((0.0..=1.0).contains(&r.chaos_down_fraction));
+    }
+
+    #[test]
+    fn resilient_steady_runs_a_constant_profile() {
+        let eval = Evaluator::builder()
+            .quick()
+            .resilience(ResilienceSpec::standard())
+            .build()
+            .unwrap();
+        let design = DesignPoint::baseline(PlatformId::Desk);
+        let s = eval
+            .evaluate_scenario(&design, &ScenarioSpec::steady("websearch"))
+            .unwrap();
+        let t = s.traffic.expect("steady runs under resilience too");
+        assert_eq!(t.pack, "steady");
+        assert_eq!(t.offered_peak_rps.to_bits(), t.offered_mean_rps.to_bits());
+        assert!(s.resilience.is_some());
+    }
+
+    #[test]
+    fn resilient_renders_are_bit_identical_across_knobs() {
+        let design = DesignPoint::n2();
+        let specs = [
+            ScenarioSpec::steady("faas").with_traffic(TrafficPack::flash_crowd()),
+            ScenarioSpec::steady("websearch").with_traffic(TrafficPack::failover_surge()),
+            ScenarioSpec::steady("dag-analytics").with_traffic(TrafficPack::diurnal()),
+        ];
+        let render = |threads: usize, memo: bool| {
+            let eval = Evaluator::builder()
+                .quick()
+                .threads(threads)
+                .unwrap()
+                .memo(memo)
+                .resilience(ResilienceSpec::standard())
+                .build()
+                .unwrap();
+            let evals = eval.evaluate_scenarios(&design, &specs).unwrap();
+            format!("{evals:?}")
+        };
+        let want = render(1, true);
+        assert!(want.contains("resilience"), "render carries the eval");
+        for threads in [2usize, 8] {
+            for memo in [true, false] {
+                assert_eq!(want, render(threads, memo), "threads={threads} memo={memo}");
+            }
+        }
+    }
+
+    #[test]
+    fn no_resilience_render_omits_the_field() {
+        let eval = Evaluator::quick();
+        let design = DesignPoint::baseline(PlatformId::Desk);
+        let spec = ScenarioSpec::steady("faas").with_traffic(TrafficPack::flash_crowd());
+        let s = eval.evaluate_scenario(&design, &spec).unwrap();
+        assert!(s.resilience.is_none());
+        let render = format!("{s:?}");
+        assert!(
+            !render.contains("resilience"),
+            "disabled layer must not perturb the render"
+        );
+    }
+
+    #[test]
+    fn resilience_obs_counters_record() {
+        use wcs_simcore::obs::Registry;
+        let reg = Registry::new();
+        let eval = Evaluator::builder()
+            .quick()
+            .obs(reg.clone())
+            .resilience(ResilienceSpec::standard())
+            .build()
+            .unwrap();
+        let design = DesignPoint::baseline(PlatformId::Desk);
+        eval.evaluate_scenario(
+            &design,
+            &ScenarioSpec::steady("faas").with_traffic(TrafficPack::flash_crowd()),
+        )
+        .unwrap();
+        eval.export_obs();
+        let snap = reg.snapshot();
+        assert_eq!(snap.count("resilience.runs"), Some(1));
+        assert!(snap.count("resilience.requests").unwrap_or(0) > 0);
+        assert!(snap.metrics.contains_key("resilience.shed"));
+        assert!(snap.metrics.contains_key("resilience.retries_spent"));
+        assert!(snap.metrics.contains_key("resilience.breaker_trips"));
+    }
+
+    #[test]
+    fn chaos_co_varies_with_the_profile() {
+        // Same spec with and without co-variation: schedules differ
+        // under a non-flat profile, and both are deterministic.
+        let design = DesignPoint::baseline(PlatformId::Desk);
+        let spec = ScenarioSpec::steady("faas").with_traffic(TrafficPack::flash_crowd());
+        let run = |co_vary: bool| {
+            let mut rspec = ResilienceSpec::standard();
+            rspec.chaos = Some(ChaosPlan {
+                co_vary,
+                ..ChaosPlan::blade_fault()
+            });
+            let eval = Evaluator::builder()
+                .quick()
+                .resilience(rspec)
+                .build()
+                .unwrap();
+            let s = eval.evaluate_scenario(&design, &spec).unwrap();
+            format!("{:?}", s.resilience.unwrap())
+        };
+        assert_eq!(run(true), run(true), "co-varying wave is deterministic");
+        assert_eq!(run(false), run(false), "plain wave is deterministic");
+        assert_ne!(run(true), run(false), "thinning consumes draws");
     }
 
     #[test]

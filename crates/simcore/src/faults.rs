@@ -206,6 +206,80 @@ impl FaultProcess {
         }
         out
     }
+
+    /// Generates down windows whose *hazard co-varies with load*: the
+    /// failure intensity at time `t` is scaled by the piecewise-constant
+    /// weight in effect there (segment `i` covers
+    /// `[i * seg_dur, (i+1) * seg_dur)`, cycled), normalized so the peak
+    /// weight carries the process's full base hazard.
+    ///
+    /// This is the chaos/traffic orchestration primitive: handing the
+    /// arrival profile's rate multipliers in as `weights` makes blades
+    /// likeliest to fail exactly when a flash crowd or failover surge
+    /// has the ensemble hottest. Implemented by thinning — candidate
+    /// failures are drawn from the base process and accepted with
+    /// probability `weight / max_weight` — which is exact for the
+    /// memoryless ([`TtfDist::Exponential`]) hazard and a deterministic,
+    /// monotone approximation for Weibull.
+    ///
+    /// With every weight equal to the maximum, no thinning draw is
+    /// consumed and the schedule is bit-identical to
+    /// [`windows`](Self::windows). All-zero weights yield no failures.
+    ///
+    /// # Panics
+    /// Panics if `seg_dur` is zero, `weights` is empty, or any weight is
+    /// negative or non-finite.
+    pub fn windows_weighted(
+        &self,
+        horizon: SimDuration,
+        seg_dur: SimDuration,
+        weights: &[f64],
+        rng: &mut SimRng,
+    ) -> Vec<DownWindow> {
+        assert!(!seg_dur.is_zero(), "segment duration must be positive");
+        assert!(!weights.is_empty(), "need at least one weight segment");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be non-negative and finite"
+        );
+        let w_max = weights.iter().copied().fold(0.0, f64::max);
+        let mut out = Vec::new();
+        if self.is_fail_free() || horizon.is_zero() || w_max <= 0.0 {
+            return out;
+        }
+        let weight_at = |t: SimTime| -> f64 {
+            let seg = (t.as_nanos() / seg_dur.as_nanos()) as usize;
+            weights[seg % weights.len()]
+        };
+        let end = SimTime::ZERO + horizon;
+        let mut t = SimTime::ZERO;
+        while let Some(ttf) = self.ttf.sample(rng) {
+            let down_at = t + ttf;
+            if down_at >= end {
+                break;
+            }
+            // Thinning: accept the candidate with probability
+            // weight/w_max. The draw is skipped at full weight so a
+            // flat profile reproduces `windows` bit for bit.
+            let accept = weight_at(down_at) / w_max;
+            if accept < 1.0 && !rng.chance(accept) {
+                t = down_at;
+                continue;
+            }
+            let repair = self.repair.sample(rng);
+            let up_at = down_at + repair;
+            let clipped_up = if up_at > end { end } else { up_at };
+            out.push(DownWindow {
+                down_at,
+                up_at: clipped_up,
+            });
+            if up_at >= end {
+                break;
+            }
+            t = up_at;
+        }
+        out
+    }
 }
 
 /// One outage: the component is down in `[down_at, up_at)`.
@@ -565,6 +639,68 @@ mod tests {
         let t = inj.trace(secs(1e6), 1);
         assert!(t.events().is_empty());
         assert_eq!(t.fingerprint(), inj.trace(secs(1e6), 2).fingerprint());
+    }
+
+    #[test]
+    fn flat_weights_reproduce_unweighted_windows() {
+        let p = FaultProcess::exponential(secs(300.0), secs(10.0)).unwrap();
+        let plain = p.windows(secs(50_000.0), &mut SimRng::seed_from(17));
+        let flat = p.windows_weighted(
+            secs(50_000.0),
+            secs(100.0),
+            &[2.5, 2.5, 2.5],
+            &mut SimRng::seed_from(17),
+        );
+        assert_eq!(plain, flat, "full-weight segments must not thin");
+    }
+
+    #[test]
+    fn weighted_windows_concentrate_in_hot_segments() {
+        // Hazard concentrated in the second half of a 2-segment cycle:
+        // nearly every accepted failure must start there.
+        let p = FaultProcess::exponential(secs(50.0), secs(1.0)).unwrap();
+        let seg = secs(500.0);
+        let w = p.windows_weighted(
+            secs(200_000.0),
+            seg,
+            &[0.02, 1.0],
+            &mut SimRng::seed_from(23),
+        );
+        assert!(w.len() > 20, "enough samples: {}", w.len());
+        let hot = w
+            .iter()
+            .filter(|win| {
+                (win.down_at.as_nanos() / seg.as_nanos()) % 2 == 1 // second segment
+            })
+            .count();
+        let frac = hot as f64 / w.len() as f64;
+        assert!(frac > 0.9, "hot-segment fraction {frac}");
+    }
+
+    #[test]
+    fn weighted_windows_are_deterministic_and_bounded() {
+        let p = FaultProcess::exponential(secs(100.0), secs(5.0)).unwrap();
+        let run = || {
+            p.windows_weighted(
+                secs(20_000.0),
+                secs(50.0),
+                &[1.0, 0.2, 3.0],
+                &mut SimRng::seed_from(7),
+            )
+        };
+        let a = run();
+        assert_eq!(a, run());
+        for pair in a.windows(2) {
+            assert!(pair[0].up_at <= pair[1].down_at);
+        }
+        // Zero weights everywhere: no failures at all.
+        let none = p.windows_weighted(
+            secs(20_000.0),
+            secs(50.0),
+            &[0.0, 0.0],
+            &mut SimRng::seed_from(7),
+        );
+        assert!(none.is_empty());
     }
 
     #[test]

@@ -28,6 +28,7 @@ use wcs_simcore::{ArenaSlice, ConfigError, EpochArena, EventQueue, SimRng, SimTi
 use crate::engine::{RunStats, ServerSpec};
 use crate::failover::{ClusterFaults, FaultStats, RetryPolicy};
 use crate::request::{RequestSource, Resource, Stage};
+use crate::resilience::{CircuitBreaker, ResilienceConfig, ResilienceStats, RetryBudget};
 
 /// Dispatch policy of the front-end load balancer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -188,6 +189,55 @@ impl Cluster {
         faults: &ClusterFaults,
         retry: &RetryPolicy,
     ) -> Result<RunStats, ConfigError> {
+        self.run_closed_loop_resilient(
+            source,
+            n_clients,
+            warmup,
+            measured,
+            seed,
+            faults,
+            retry,
+            &ResilienceConfig::disabled(),
+        )
+        .map(|(stats, _)| stats)
+    }
+
+    /// [`run_closed_loop_faulted`](Self::run_closed_loop_faulted) with an
+    /// overload-resilience layer: a global [`RetryBudget`] gates every
+    /// retry the [`RetryPolicy`] would otherwise grant unconditionally,
+    /// and per-server [`CircuitBreaker`]s steer the dispatcher away from
+    /// backends on a failure streak (admission control lives at the
+    /// open-loop entry — see
+    /// [`run_open_loop_resilient`](crate::run_open_loop_resilient) — not
+    /// here, where closed-loop clients self-limit).
+    ///
+    /// When every live server's breaker refuses, the dispatcher routes
+    /// anyway (counted in
+    /// [`breaker_fast_fails`](ResilienceStats::breaker_fast_fails)):
+    /// breakers are overload protection, and parking behind them would
+    /// deadlock a closed loop whose only servers are all on a streak.
+    ///
+    /// With [`ResilienceConfig::disabled`] this is bit-identical to
+    /// [`run_closed_loop_faulted`](Self::run_closed_loop_faulted): no
+    /// extra RNG draws, no event-schedule changes. [`ResilienceStats`]
+    /// counters cover the whole run (warmup included), unlike
+    /// [`FaultStats`], which covers the measurement window.
+    ///
+    /// # Errors
+    /// As [`run_closed_loop_faulted`](Self::run_closed_loop_faulted).
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_closed_loop_resilient(
+        &self,
+        source: &mut dyn RequestSource,
+        n_clients: u32,
+        warmup: u64,
+        measured: u64,
+        seed: u64,
+        faults: &ClusterFaults,
+        retry: &RetryPolicy,
+        resilience: &ResilienceConfig,
+    ) -> Result<(RunStats, ResilienceStats), ConfigError> {
+        resilience.validate();
         if n_clients == 0 {
             return Err(ConfigError::ZeroCount { param: "n_clients" });
         }
@@ -205,6 +255,24 @@ impl Cluster {
         let n_res = Resource::ALL.len();
         let mut rng = SimRng::seed_from(seed);
         let mut dispatch_rng = rng.fork(99);
+
+        // Resilience state: absent mechanisms cost nothing — the
+        // disabled path below executes exactly the statements of the
+        // plain faulted run (the bit-for-bit guarantee).
+        let mut budget: Option<RetryBudget> = resilience.retry_budget.map(RetryBudget::new);
+        let mut breakers: Option<Vec<CircuitBreaker>> = resilience.breaker.map(|cfg| {
+            (0..s)
+                .map(|srv| CircuitBreaker::new(cfg, seed ^ 0xB4EA_0001, srv as u64))
+                .collect()
+        });
+        let mut res_stats = ResilienceStats::default();
+        // All-closed fast path: until the first recorded failure every
+        // breaker is Closed, so `admits` is vacuously true and
+        // `note_dispatch` a no-op — dispatch reads `up` directly and
+        // skips the per-request eligibility scan. `elig_buf` is reused
+        // across dispatches once a breaker has been touched.
+        let mut breakers_touched = false;
+        let mut elig_buf: Vec<bool> = vec![true; s];
 
         // Pre-size for the steady state: at most one service event and
         // one timeout per client in flight, plus the outage plan.
@@ -303,17 +371,18 @@ impl Cluster {
             }};
         }
 
-        // Picks a live server per the dispatch policy; `None` when every
-        // server is down. Fault-free, this draws exactly what the plain
-        // run draws (the bit-for-bit guarantee).
-        macro_rules! pick_server {
-            () => {{
+        // Picks an eligible server per the dispatch policy; `None` when
+        // none is eligible. With `elig == up` (no breakers) this draws
+        // exactly what the plain run draws (the bit-for-bit guarantee).
+        macro_rules! pick_eligible {
+            ($elig:expr) => {{
+                let elig: &[bool] = $elig;
                 match self.dispatch {
                     Dispatch::RoundRobin => {
                         let mut chosen = None;
                         for _ in 0..s {
                             rr_next = (rr_next + 1) % s;
-                            if up[rr_next] {
+                            if elig[rr_next] {
                                 chosen = Some(rr_next);
                                 break;
                             }
@@ -321,10 +390,10 @@ impl Cluster {
                         chosen
                     }
                     Dispatch::Random => {
-                        if up.iter().all(|&u| u) {
+                        if elig.iter().all(|&u| u) {
                             Some(dispatch_rng.index(s))
                         } else {
-                            let ups: Vec<usize> = (0..s).filter(|&i| up[i]).collect();
+                            let ups: Vec<usize> = (0..s).filter(|&i| elig[i]).collect();
                             if ups.is_empty() {
                                 None
                             } else {
@@ -335,7 +404,7 @@ impl Cluster {
                     Dispatch::LeastLoaded => {
                         let mut best: Option<usize> = None;
                         for i in 0..s {
-                            if !up[i] {
+                            if !elig[i] {
                                 continue;
                             }
                             match best {
@@ -344,6 +413,32 @@ impl Cluster {
                             }
                         }
                         best
+                    }
+                }
+            }};
+        }
+
+        // Breaker-aware dispatch: skip servers whose breaker refuses;
+        // when every live server refuses, route anyway rather than park
+        // (breakers shed failure streaks, they do not model outages).
+        macro_rules! pick_server {
+            ($now:expr) => {{
+                match &mut breakers {
+                    None => pick_eligible!(&up),
+                    Some(_) if !breakers_touched => pick_eligible!(&up),
+                    Some(bs) => {
+                        for i in 0..s {
+                            elig_buf[i] = up[i] && bs[i].admits($now);
+                        }
+                        if !elig_buf.iter().any(|&e| e) && up.iter().any(|&u| u) {
+                            res_stats.breaker_fast_fails += 1;
+                            elig_buf.copy_from_slice(&up);
+                        }
+                        let picked = pick_eligible!(&elig_buf);
+                        if let Some(srv) = picked {
+                            bs[srv].note_dispatch();
+                        }
+                        picked
                     }
                 }
             }};
@@ -369,7 +464,7 @@ impl Cluster {
         macro_rules! enqueue {
             ($stages:expr, $logical_started:expr, $attempt_no:expr, $now:expr) => {{
                 let stages: ArenaSlice = $stages;
-                match pick_server!() {
+                match pick_server!($now) {
                     None => parked.push_back((stages, $logical_started, $attempt_no)),
                     Some(server) => {
                         in_flight_per_server[server] += 1;
@@ -415,6 +510,11 @@ impl Cluster {
             ($now:expr) => {{
                 'gen: while completed + dropped_total < target {
                     let mut stages = source.next_request(&mut rng);
+                    if let Some(b) = &mut budget {
+                        b.on_request();
+                        res_stats.offered += 1;
+                        res_stats.admitted += 1;
+                    }
                     if stages.is_empty() {
                         complete!($now, $now);
                         continue 'gen;
@@ -429,10 +529,16 @@ impl Cluster {
         }
 
         // A dispatched attempt failed (crash or timeout): retry with
-        // backoff while budget remains, else drop and free the client.
+        // backoff while the per-request attempt budget AND the global
+        // retry budget both allow it, else drop and free the client.
         macro_rules! fail_attempt {
             ($stages:expr, $logical_started:expr, $attempt_no:expr, $now:expr) => {{
-                if $attempt_no < retry.max_retries {
+                if $attempt_no < retry.max_retries
+                    && match &mut budget {
+                        None => true,
+                        Some(b) => b.try_spend(),
+                    }
+                {
                     retries_n += 1;
                     let delay = retry.backoff_for($attempt_no);
                     events.schedule(
@@ -472,6 +578,10 @@ impl Cluster {
                         slot_gen[slot] += 1; // voids pending Done/Timeout
                         active[slot] = false;
                         free.push(slot);
+                        if let Some(bs) = &mut breakers {
+                            breakers_touched = true;
+                            bs[server].record_failure(now);
+                        }
                         if !inflight[slot].abandoned {
                             let stages = inflight[slot].stages;
                             let ls = inflight[slot].logical_started;
@@ -493,6 +603,10 @@ impl Cluster {
                     }
                     inflight[slot].abandoned = true;
                     timeouts_n += 1;
+                    if let Some(bs) = &mut breakers {
+                        breakers_touched = true;
+                        bs[inflight[slot].server].record_failure(now);
+                    }
                     // The zombie keeps draining on the server; the client
                     // moves on sharing the same stage list (a 12-byte
                     // handle copy, no allocation).
@@ -525,6 +639,9 @@ impl Cluster {
                         active[slot] = false;
                         free.push(slot);
                         if !inflight[slot].abandoned {
+                            if let Some(bs) = &mut breakers {
+                                bs[server].record_success(now);
+                            }
                             let started = inflight[slot].logical_started;
                             complete!(started, now);
                             launch!(now);
@@ -556,20 +673,31 @@ impl Cluster {
                 utilization[r.index()] = (total as f64 / cap).min(1.0);
             }
         }
-        Ok(RunStats {
-            completed: completed_measured,
-            window,
-            latency,
-            utilization,
-            faults: FaultStats {
-                timeouts: timeouts_n,
-                retries: retries_n,
-                dropped: dropped_n,
-                offered: completed_measured + dropped_n,
-                plan_skipped: plan_skipped_n,
+        if let Some(b) = &budget {
+            res_stats.retries_spent = b.spent();
+            res_stats.retries_denied = b.denied();
+        }
+        if let Some(bs) = &breakers {
+            res_stats.breaker_trips = bs.iter().map(CircuitBreaker::trips).sum();
+            res_stats.breaker_open_ns = bs.iter().map(|b| b.open_ns(end)).sum();
+        }
+        Ok((
+            RunStats {
+                completed: completed_measured,
+                window,
+                latency,
+                utilization,
+                faults: FaultStats {
+                    timeouts: timeouts_n,
+                    retries: retries_n,
+                    dropped: dropped_n,
+                    offered: completed_measured + dropped_n,
+                    plan_skipped: plan_skipped_n,
+                },
+                queue: events.obs_stats(),
             },
-            queue: events.obs_stats(),
-        })
+            res_stats,
+        ))
     }
 }
 
@@ -826,6 +954,122 @@ mod fault_tests {
         assert_eq!(a.completed, b.completed);
         assert_eq!(a.window, b.window);
         assert_eq!(a.faults, b.faults);
+    }
+
+    #[test]
+    fn disabled_resilience_is_bit_identical_to_faulted_run() {
+        use crate::resilience::ResilienceConfig;
+        let c = Cluster::ideal(ServerSpec::new(2), 4).unwrap();
+        let p =
+            FaultProcess::exponential(SimDuration::from_millis(300), SimDuration::from_millis(40))
+                .unwrap();
+        let faults = ClusterFaults::from_processes(&[p, p, p, p], SimDuration::from_secs(30), 77);
+        let retry =
+            RetryPolicy::new(SimDuration::from_millis(20), 2, SimDuration::from_millis(1)).unwrap();
+        for dispatch in [
+            Dispatch::RoundRobin,
+            Dispatch::LeastLoaded,
+            Dispatch::Random,
+        ] {
+            let mut cl = c.clone();
+            cl.dispatch = dispatch;
+            let plain = cl
+                .run_closed_loop_faulted(&mut exp_cpu(900), 24, 200, 4000, 31, &faults, &retry)
+                .unwrap();
+            let (run, res) = cl
+                .run_closed_loop_resilient(
+                    &mut exp_cpu(900),
+                    24,
+                    200,
+                    4000,
+                    31,
+                    &faults,
+                    &retry,
+                    &ResilienceConfig::disabled(),
+                )
+                .unwrap();
+            assert_eq!(fingerprint(&plain), fingerprint(&run));
+            assert_eq!(plain.faults, run.faults);
+            assert_eq!(res, crate::resilience::ResilienceStats::default());
+        }
+    }
+
+    #[test]
+    fn retry_budget_caps_amplification_under_fault_storm() {
+        use crate::resilience::{ResilienceConfig, RetryBudgetConfig};
+        let c = Cluster::ideal(ServerSpec::new(2), 4).unwrap();
+        // Churning faults + a generous per-request retry allowance: the
+        // unconditional path would amplify; the budget must hold the line.
+        let p =
+            FaultProcess::exponential(SimDuration::from_millis(120), SimDuration::from_millis(30))
+                .unwrap();
+        let faults = ClusterFaults::from_processes(&[p, p, p, p], SimDuration::from_secs(60), 5);
+        let retry =
+            RetryPolicy::new(SimDuration::from_millis(10), 8, SimDuration::from_millis(1)).unwrap();
+        let budget = RetryBudgetConfig {
+            ratio: 0.01,
+            initial: 2.0,
+            cap: 8.0,
+        };
+        let cfg = ResilienceConfig {
+            retry_budget: Some(budget),
+            ..ResilienceConfig::disabled()
+        };
+        let (stats, res) = c
+            .run_closed_loop_resilient(&mut exp_cpu(900), 24, 200, 6000, 31, &faults, &retry, &cfg)
+            .unwrap();
+        assert!(res.offered > 0);
+        let ceiling = budget.initial + budget.ratio * res.offered as f64;
+        assert!(
+            (res.retries_spent as f64) <= ceiling + 1e-9,
+            "spent {} > ceiling {ceiling}",
+            res.retries_spent
+        );
+        assert!(res.retries_denied > 0, "storm must exhaust the budget");
+        assert!(stats.completed > 0);
+        // Unbudgeted comparison run: strictly more retries granted.
+        let unbudgeted = c
+            .run_closed_loop_faulted(&mut exp_cpu(900), 24, 200, 6000, 31, &faults, &retry)
+            .unwrap();
+        assert!(
+            unbudgeted.faults.retries + unbudgeted.faults.dropped > 0,
+            "storm is real"
+        );
+    }
+
+    #[test]
+    fn breakers_trip_on_outage_and_run_recovers() {
+        use crate::resilience::{BreakerConfig, ResilienceConfig};
+        let c = Cluster::ideal(ServerSpec::new(2), 4).unwrap();
+        let faults = ClusterFaults::single_outage(
+            0,
+            SimTime::ZERO + SimDuration::from_millis(200),
+            SimDuration::from_millis(800),
+        );
+        let retry =
+            RetryPolicy::new(SimDuration::from_millis(30), 3, SimDuration::from_millis(1)).unwrap();
+        let cfg = ResilienceConfig {
+            breaker: Some(BreakerConfig {
+                failure_threshold: 2,
+                open_for: SimDuration::from_millis(50),
+                jitter: 0.2,
+                half_open_probes: 2,
+            }),
+            ..ResilienceConfig::disabled()
+        };
+        let (stats, res) = c
+            .run_closed_loop_resilient(&mut exp_cpu(1000), 32, 200, 6000, 9, &faults, &retry, &cfg)
+            .unwrap();
+        assert_eq!(stats.completed, 6000, "run completes despite the trip");
+        assert!(res.breaker_trips > 0, "outage victims trip the breaker");
+        assert!(res.breaker_open_ns > 0);
+        // Determinism of the resilient path.
+        let (stats2, res2) = c
+            .run_closed_loop_resilient(&mut exp_cpu(1000), 32, 200, 6000, 9, &faults, &retry, &cfg)
+            .unwrap();
+        assert_eq!(stats.completed, stats2.completed);
+        assert_eq!(stats.window, stats2.window);
+        assert_eq!(res, res2);
     }
 
     #[test]

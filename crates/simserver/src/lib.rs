@@ -47,6 +47,7 @@ mod engine;
 pub mod failover;
 pub mod openloop;
 mod request;
+pub mod resilience;
 pub mod tracing;
 
 pub use batch::{run_batch, BatchResult};
@@ -54,6 +55,10 @@ pub use cluster::{Cluster, Dispatch};
 pub use driver::{find_max_throughput, QosSpec, ThroughputResult};
 pub use engine::{RunStats, ServerSim, ServerSpec};
 pub use failover::{ClusterFaults, FaultStats, RetryPolicy};
-pub use openloop::{run_open_loop, run_open_loop_profiled, RateProfile};
+pub use openloop::{run_open_loop, run_open_loop_profiled, run_open_loop_resilient, RateProfile};
 pub use request::{RequestSource, Resource, Stage};
+pub use resilience::{
+    AdmissionConfig, BreakerConfig, CircuitBreaker, Priority, ResilienceConfig, ResilienceStats,
+    RetryBudget, RetryBudgetConfig, TokenBucket,
+};
 pub use tracing::{trace_closed_loop, RequestTrace, StageVisit};

@@ -8,16 +8,25 @@
 
 use std::collections::VecDeque;
 
+use wcs_simcore::faults::DownWindow;
 use wcs_simcore::stats::Histogram;
 use wcs_simcore::{EventQueue, SimDuration, SimRng, SimTime};
 
 use crate::engine::{RunStats, ServerSpec};
-use crate::request::{RequestSource, Resource};
+use crate::failover::{FaultStats, RetryPolicy};
+use crate::request::{RequestSource, Resource, Stage};
+use crate::resilience::{
+    priority_for, CircuitBreaker, Priority, ResilienceConfig, ResilienceStats, RetryBudget,
+    TokenBucket,
+};
 
 struct InFlight {
     stages: Vec<crate::request::Stage>,
     next_stage: usize,
     started: SimTime,
+    /// 0-based attempt index; always 0 outside the resilient entry
+    /// point, which re-dispatches failed work.
+    attempt_no: u32,
 }
 
 enum Event {
@@ -95,6 +104,14 @@ impl RateProfile {
     /// True when the profile never modulates the base rate.
     pub fn is_constant(&self) -> bool {
         self.multipliers.iter().all(|m| *m == 1.0)
+    }
+
+    /// The raw piecewise shape: segment duration and per-segment
+    /// multipliers. Chaos planning uses this to co-vary fault hazard
+    /// with offered load
+    /// ([`FaultProcess::windows_weighted`](wcs_simcore::faults::FaultProcess::windows_weighted)).
+    pub fn segments(&self) -> (SimDuration, &[f64]) {
+        (self.seg_dur, &self.multipliers)
     }
 }
 
@@ -242,6 +259,7 @@ pub fn run_open_loop_profiled(
                             stages,
                             next_stage: 0,
                             started: now,
+                            attempt_no: 0,
                         };
                         s
                     }
@@ -250,6 +268,7 @@ pub fn run_open_loop_profiled(
                             stages,
                             next_stage: 0,
                             started: now,
+                            attempt_no: 0,
                         });
                         inflight.len() - 1
                     }
@@ -293,6 +312,379 @@ pub fn run_open_loop_profiled(
         faults: crate::failover::FaultStats::default(),
         queue: events.obs_stats(),
     }
+}
+
+/// Open-loop events for the resilient entry point. Stage completions
+/// carry a slot generation so work voided by a blade outage is skipped
+/// when its completion event finally pops.
+enum REvent {
+    Arrival,
+    StageDone {
+        req: usize,
+        gen: u64,
+        resource: Resource,
+    },
+    Down,
+    Up,
+    Retry {
+        stages: Vec<Stage>,
+        started: SimTime,
+        attempt_no: u32,
+    },
+}
+
+/// Runs a profiled open loop through the overload-resilience layer
+/// against a single blade that goes down and comes back per `outages`.
+///
+/// This is the serving entry the tentpole wires into scenarios: open
+/// (production) traffic, so overload is visible, plus a fault plan, so
+/// flash crowds and blade faults finally meet. The layer applies, in
+/// order per arrival:
+///
+/// 1. **Admission** — each arrival is classed [`Priority::High`] or
+///    [`Priority::Low`] from the pure per-index stream
+///    ([`priority_for`]) and offered to the token bucket; shed requests
+///    resolve immediately and never queue.
+/// 2. **Breaker** — an open breaker fails arrivals fast (no queueing,
+///    no service); a blade outage's killed work trips it, so the
+///    breaker absorbs the arrival flood while the blade is down.
+/// 3. **Retry budget** — failed work (outage kills, fast-fails) retries
+///    after `retry.backoff_for` only while `retry.max_retries` and the
+///    global budget both allow; otherwise it is dropped.
+///    `retry.timeout` is ignored here: an open loop has no client to
+///    abandon work, and outages already fail in-flight work fast.
+///
+/// The arrival and request streams are drawn exactly as in
+/// [`run_open_loop_profiled`] (shed decisions discard the drawn
+/// request rather than skipping the draw), so the offered workload is
+/// identical across resilience configurations — only its fate differs.
+/// With no outages and [`ResilienceConfig::disabled`] the run
+/// reproduces [`run_open_loop_profiled`]'s completions, window,
+/// latency, and utilization exactly.
+///
+/// If faults or shedding keep the run from ever completing
+/// `warmup + measured` requests, it still terminates once that many
+/// arrivals have *resolved* (completed, shed, or dropped) — degraded,
+/// not hanging. [`ResilienceStats`] counters cover the whole run;
+/// [`FaultStats`] covers the measurement window.
+///
+/// # Panics
+/// Panics if `lambda_rps` is not positive and finite, `measured` is
+/// zero, or `resilience` is misconfigured.
+#[allow(clippy::too_many_arguments)]
+pub fn run_open_loop_resilient(
+    spec: ServerSpec,
+    source: &mut dyn RequestSource,
+    lambda_rps: f64,
+    profile: &RateProfile,
+    warmup: u64,
+    measured: u64,
+    seed: u64,
+    outages: &[DownWindow],
+    retry: &RetryPolicy,
+    resilience: &ResilienceConfig,
+) -> (RunStats, ResilienceStats) {
+    assert!(
+        lambda_rps.is_finite() && lambda_rps > 0.0,
+        "arrival rate must be positive"
+    );
+    assert!(measured > 0, "need a measurement window");
+    resilience.validate();
+    let mut rng = SimRng::seed_from(seed);
+    let mut arrival_rng = rng.fork(1);
+    let iat_at = |t: SimTime| -> SimDuration {
+        SimDuration::from_secs_f64(1.0 / (lambda_rps * profile.multiplier_at(t)))
+    };
+
+    let mut admission: Option<TokenBucket> = resilience.admission.map(TokenBucket::new);
+    let low_fraction = resilience.admission.map_or(0.0, |a| a.low_fraction);
+    let mut budget: Option<RetryBudget> = resilience.retry_budget.map(RetryBudget::new);
+    let mut breaker: Option<CircuitBreaker> = resilience
+        .breaker
+        .map(|cfg| CircuitBreaker::new(cfg, seed ^ 0xB4EA_0002, 0));
+    let mut res_stats = ResilienceStats::default();
+
+    let mut events: EventQueue<REvent> = EventQueue::new();
+    let mut inflight: Vec<InFlight> = Vec::new();
+    let mut slot_gen: Vec<u64> = Vec::new();
+    let mut active: Vec<bool> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut queues: [VecDeque<usize>; 4] = Default::default();
+    let mut busy = [0u32; 4];
+    let mut busy_ns = [0u128; 4];
+    let mut up = true;
+
+    let servers_at = |r: Resource| -> u32 {
+        match r {
+            Resource::Cpu => spec.cores,
+            Resource::Memory => spec.memory_channels,
+            Resource::Disk => spec.disks,
+            Resource::Net => spec.nics,
+        }
+    };
+
+    // The whole outage plan up front; generated windows are in-horizon
+    // and sorted, so plain `schedule` is safe at time zero.
+    for w in outages {
+        events.schedule(w.down_at, REvent::Down);
+        events.schedule(w.up_at, REvent::Up);
+    }
+
+    let target = warmup + measured;
+    let mut completed: u64 = 0;
+    let mut completed_measured: u64 = 0;
+    let mut retries_n: u64 = 0;
+    let mut dropped_n: u64 = 0;
+    let mut resolved: u64 = 0;
+    let mut arrival_idx: u64 = 0;
+    let mut latency = Histogram::new();
+    let mut measure_start = SimTime::ZERO;
+
+    events.schedule(
+        SimTime::ZERO + arrival_rng.exp_duration(iat_at(SimTime::ZERO)),
+        REvent::Arrival,
+    );
+
+    macro_rules! try_start {
+        ($res:expr, $now:expr) => {{
+            let ri = $res.index();
+            while busy[ri] < servers_at($res) {
+                let Some(req) = queues[ri].pop_front() else {
+                    break;
+                };
+                busy[ri] += 1;
+                let svc = inflight[req].stages[inflight[req].next_stage].service;
+                busy_ns[ri] += svc.as_nanos() as u128;
+                events.schedule(
+                    $now + svc,
+                    REvent::StageDone {
+                        req,
+                        gen: slot_gen[req],
+                        resource: $res,
+                    },
+                );
+            }
+        }};
+    }
+
+    macro_rules! complete {
+        ($now:expr, $started:expr) => {{
+            completed += 1;
+            resolved += 1;
+            if completed == warmup {
+                measure_start = $now;
+                latency = Histogram::new();
+                retries_n = 0;
+                dropped_n = 0;
+            }
+            if completed > warmup {
+                completed_measured += 1;
+            }
+            latency.record_duration($now.saturating_sub($started));
+        }};
+    }
+
+    // Failed work (outage kill or breaker fast-fail): retry while both
+    // the per-request attempt budget and the global budget allow, else
+    // drop — the request resolves either way.
+    macro_rules! fail_attempt {
+        ($stages:expr, $started:expr, $attempt_no:expr, $now:expr) => {{
+            let attempt_no: u32 = $attempt_no;
+            if attempt_no < retry.max_retries
+                && match &mut budget {
+                    None => true,
+                    Some(b) => b.try_spend(),
+                }
+            {
+                retries_n += 1;
+                events.schedule(
+                    $now + retry.backoff_for(attempt_no),
+                    REvent::Retry {
+                        stages: $stages,
+                        started: $started,
+                        attempt_no: attempt_no + 1,
+                    },
+                );
+            } else {
+                dropped_n += 1;
+                resolved += 1;
+            }
+        }};
+    }
+
+    // Routes admitted work to the blade, or through the failure path
+    // when the blade is down or the breaker refuses.
+    macro_rules! dispatch {
+        ($stages:expr, $started:expr, $attempt_no:expr, $now:expr) => {{
+            let stages: Vec<Stage> = $stages;
+            let breaker_refuses = up && breaker.as_mut().is_some_and(|b| !b.admits($now));
+            if !up {
+                // An attempt against a down blade is a failure the
+                // breaker must hear about, so the outage trips it even
+                // when little was in flight at the down instant.
+                if let Some(b) = &mut breaker {
+                    b.record_failure($now);
+                }
+                fail_attempt!(stages, $started, $attempt_no, $now);
+            } else if breaker_refuses {
+                res_stats.breaker_fast_fails += 1;
+                fail_attempt!(stages, $started, $attempt_no, $now);
+            } else {
+                if let Some(b) = &mut breaker {
+                    b.note_dispatch();
+                }
+                let first = stages[0].resource;
+                let flight = InFlight {
+                    stages,
+                    next_stage: 0,
+                    started: $started,
+                    attempt_no: $attempt_no,
+                };
+                let slot = match free.pop() {
+                    Some(s) => {
+                        inflight[s] = flight;
+                        active[s] = true;
+                        s
+                    }
+                    None => {
+                        inflight.push(flight);
+                        slot_gen.push(0);
+                        active.push(true);
+                        inflight.len() - 1
+                    }
+                };
+                queues[first.index()].push_back(slot);
+                try_start!(first, $now);
+            }
+        }};
+    }
+
+    while resolved < target {
+        let Some((now, ev)) = events.pop() else { break };
+        match ev {
+            REvent::Arrival => {
+                // Next arrival first: the stream is independent of
+                // completions, shedding, and faults.
+                events.schedule(now + arrival_rng.exp_duration(iat_at(now)), REvent::Arrival);
+                let idx = arrival_idx;
+                arrival_idx += 1;
+                let stages = source.next_request(&mut rng);
+                res_stats.offered += 1;
+                if let Some(b) = &mut budget {
+                    b.on_request();
+                }
+                if let Some(bucket) = &mut admission {
+                    let prio = priority_for(seed, idx, low_fraction);
+                    if !bucket.try_admit(now, prio) {
+                        match prio {
+                            Priority::Low => res_stats.shed_low += 1,
+                            Priority::High => res_stats.shed_high += 1,
+                        }
+                        resolved += 1;
+                        continue;
+                    }
+                }
+                res_stats.admitted += 1;
+                if stages.is_empty() {
+                    complete!(now, now);
+                    continue;
+                }
+                dispatch!(stages, now, 0u32, now);
+            }
+            REvent::Retry {
+                stages,
+                started,
+                attempt_no,
+            } => {
+                dispatch!(stages, started, attempt_no, now);
+            }
+            REvent::Down => {
+                up = false;
+                // Fail-fast: everything queued or in service dies; the
+                // breaker hears about every victim.
+                for q in queues.iter_mut() {
+                    q.clear();
+                }
+                busy = [0; 4];
+                for slot in 0..inflight.len() {
+                    if !active[slot] {
+                        continue;
+                    }
+                    slot_gen[slot] += 1; // voids pending StageDone
+                    active[slot] = false;
+                    free.push(slot);
+                    if let Some(b) = &mut breaker {
+                        b.record_failure(now);
+                    }
+                    let stages = std::mem::take(&mut inflight[slot].stages);
+                    let started = inflight[slot].started;
+                    let attempt_no = inflight[slot].attempt_no;
+                    fail_attempt!(stages, started, attempt_no, now);
+                }
+            }
+            REvent::Up => {
+                up = true;
+            }
+            REvent::StageDone { req, gen, resource } => {
+                if slot_gen[req] != gen {
+                    continue; // voided by an outage
+                }
+                busy[resource.index()] -= 1;
+                inflight[req].next_stage += 1;
+                if inflight[req].next_stage >= inflight[req].stages.len() {
+                    slot_gen[req] += 1;
+                    active[req] = false;
+                    let started = inflight[req].started;
+                    complete!(now, started);
+                    if let Some(b) = &mut breaker {
+                        b.record_success(now);
+                    }
+                    free.push(req);
+                } else {
+                    let r = inflight[req].stages[inflight[req].next_stage].resource;
+                    queues[r.index()].push_back(req);
+                    try_start!(r, now);
+                }
+                try_start!(resource, now);
+            }
+        }
+    }
+
+    let end = events.now();
+    let window = end.saturating_sub(measure_start);
+    let span = end.saturating_sub(SimTime::ZERO).as_nanos() as f64;
+    let mut utilization = [0.0; 4];
+    if span > 0.0 {
+        for r in Resource::ALL {
+            utilization[r.index()] =
+                (busy_ns[r.index()] as f64 / (span * servers_at(r) as f64)).min(1.0);
+        }
+    }
+    if let Some(b) = &budget {
+        res_stats.retries_spent = b.spent();
+        res_stats.retries_denied = b.denied();
+    }
+    if let Some(b) = &breaker {
+        res_stats.breaker_trips = b.trips();
+        res_stats.breaker_open_ns = b.open_ns(end);
+    }
+    (
+        RunStats {
+            completed: completed_measured,
+            window,
+            latency,
+            utilization,
+            faults: FaultStats {
+                timeouts: 0,
+                retries: retries_n,
+                dropped: dropped_n,
+                offered: completed_measured + dropped_n,
+                plan_skipped: 0,
+            },
+            queue: events.obs_stats(),
+        },
+        res_stats,
+    )
 }
 
 #[cfg(test)]
@@ -464,5 +856,151 @@ mod tests {
     #[should_panic(expected = "positive and finite")]
     fn rejects_zero_multiplier() {
         RateProfile::new(SimDuration::from_secs(1), vec![1.0, 0.0]);
+    }
+
+    fn fingerprint(stats: &RunStats) -> (u64, u64, String, String) {
+        (
+            stats.completed,
+            stats.window.as_nanos(),
+            format!("{:?}", stats.latency),
+            format!("{:?}", stats.utilization),
+        )
+    }
+
+    #[test]
+    fn resilient_disabled_no_outages_matches_profiled() {
+        let profile = RateProfile::new(SimDuration::from_millis(500), vec![0.5, 1.0, 2.0, 1.0]);
+        let plain = run_open_loop_profiled(
+            ServerSpec::new(2),
+            &mut cpu_source(500),
+            900.0,
+            &profile,
+            100,
+            2000,
+            5,
+        );
+        let (res, stats) = run_open_loop_resilient(
+            ServerSpec::new(2),
+            &mut cpu_source(500),
+            900.0,
+            &profile,
+            100,
+            2000,
+            5,
+            &[],
+            &RetryPolicy::none(),
+            &ResilienceConfig::disabled(),
+        );
+        assert_eq!(fingerprint(&plain), fingerprint(&res));
+        assert_eq!(stats.shed(), 0);
+        assert_eq!(stats.retries_spent, 0);
+        assert_eq!(stats.breaker_trips, 0);
+        assert_eq!(stats.offered, stats.admitted);
+    }
+
+    #[test]
+    fn admission_sheds_overload_and_protects_tail() {
+        use crate::resilience::AdmissionConfig;
+        // 1500 RPS offered on a 1000 RPS blade: unprotected latency
+        // diverges; admission at ~capacity sheds the excess and keeps
+        // the served tail bounded.
+        let overload = || cpu_source(1000);
+        let unprotected = run_open_loop_profiled(
+            ServerSpec::new(1),
+            &mut overload(),
+            1500.0,
+            &RateProfile::constant(),
+            200,
+            4000,
+            9,
+        );
+        let cfg = ResilienceConfig {
+            admission: Some(AdmissionConfig {
+                rate_rps: 950.0,
+                burst: 64.0,
+                low_reserve: 8.0,
+                low_fraction: 0.3,
+            }),
+            ..ResilienceConfig::disabled()
+        };
+        let (protected, stats) = run_open_loop_resilient(
+            ServerSpec::new(1),
+            &mut overload(),
+            1500.0,
+            &RateProfile::constant(),
+            200,
+            4000,
+            9,
+            &[],
+            &RetryPolicy::none(),
+            &cfg,
+        );
+        assert!(stats.shed() > 0, "overload must shed");
+        assert!(
+            stats.shed_low > stats.shed_high,
+            "low priority sheds first: {stats:?}"
+        );
+        assert!(stats.shed_fraction() > 0.2 && stats.shed_fraction() < 0.6);
+        let p99_un = unprotected.latency.percentile(99.0).unwrap();
+        let p99_pro = protected.latency.percentile(99.0).unwrap();
+        assert!(
+            p99_pro < p99_un / 5.0,
+            "admission bounds the tail: {p99_pro} vs {p99_un}"
+        );
+    }
+
+    #[test]
+    fn blade_outage_with_budget_is_bounded_and_deterministic() {
+        use crate::resilience::{BreakerConfig, RetryBudgetConfig};
+        let outage = [DownWindow {
+            down_at: SimTime::ZERO + SimDuration::from_millis(800),
+            up_at: SimTime::ZERO + SimDuration::from_millis(1600),
+        }];
+        let retry =
+            RetryPolicy::new(SimDuration::from_millis(50), 4, SimDuration::from_millis(2)).unwrap();
+        let budget = RetryBudgetConfig {
+            ratio: 0.1,
+            initial: 4.0,
+            cap: 64.0,
+        };
+        let cfg = ResilienceConfig {
+            retry_budget: Some(budget),
+            breaker: Some(BreakerConfig {
+                failure_threshold: 3,
+                open_for: SimDuration::from_millis(40),
+                jitter: 0.25,
+                half_open_probes: 2,
+            }),
+            ..ResilienceConfig::disabled()
+        };
+        let run = || {
+            run_open_loop_resilient(
+                ServerSpec::new(2),
+                &mut cpu_source(800),
+                1200.0,
+                &RateProfile::constant(),
+                200,
+                4000,
+                13,
+                &outage,
+                &retry,
+                &cfg,
+            )
+        };
+        let (stats, res) = run();
+        assert!(res.retries_spent > 0, "outage work retries: {res:?}");
+        let ceiling = budget.initial + budget.ratio * res.offered as f64;
+        assert!(
+            (res.retries_spent as f64) <= ceiling + 1e-9,
+            "spent {} > ceiling {ceiling}",
+            res.retries_spent
+        );
+        assert!(res.breaker_trips > 0, "kills trip the breaker: {res:?}");
+        assert!(res.breaker_open_ns > 0);
+        assert!(stats.faults.dropped > 0 || res.retries_denied > 0);
+        let (stats2, res2) = run();
+        assert_eq!(stats.completed, stats2.completed);
+        assert_eq!(stats.window, stats2.window);
+        assert_eq!(res, res2);
     }
 }

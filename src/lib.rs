@@ -22,8 +22,8 @@
 //! for the binaries that regenerate every table and figure of the paper.
 
 pub use wcs_core::{
-    designs, evaluate, report, scenario, DesignPoint, EvalBuilder, Evaluator, FamilyEval,
-    ScenarioEval, TrafficEval, WcsError,
+    designs, evaluate, report, scenario, ChaosPlan, DesignPoint, EvalBuilder, Evaluator,
+    FamilyEval, ResilienceEval, ResilienceSpec, ScenarioEval, TrafficEval, WcsError,
 };
 
 /// Discrete-event simulation substrate (events, RNG, distributions,
